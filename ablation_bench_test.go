@@ -1,0 +1,130 @@
+package pipette
+
+import (
+	"testing"
+
+	"pipette/internal/bench"
+	"pipette/internal/cache"
+	"pipette/internal/core"
+	"pipette/internal/graph"
+	"pipette/internal/sim"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out. Run with
+//
+//	go test -bench=Ablation -v
+//
+// Each reports cycles for the configurations under study via b.Logf and
+// b.ReportMetric, so the effect of each mechanism is visible directly.
+
+func ablGraph() *graph.Graph { return graph.Road(90, 90, 7) }
+
+func ablRun(b *testing.B, tweak func(*sim.Config), builder bench.Builder, cores int) sim.Result {
+	b.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Cores = cores
+	cfg.Cache = cache.DefaultConfig().Scale(8)
+	cfg.WatchdogCycles = 5_000_000
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	s := sim.New(cfg)
+	r, err := bench.Run(s, builder)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// Committed-only vs speculative dequeue (Sec. IV-A: the paper measured
+// about 1% from the aggressive variant).
+func BenchmarkAblationSpeculativeDequeue(b *testing.B) {
+	g := ablGraph()
+	for i := 0; i < b.N; i++ {
+		committed := ablRun(b, nil, bench.BFSPipette(g, 0, 4, true), 1)
+		spec := ablRun(b, func(c *sim.Config) { c.Core.SpeculativeDequeue = true },
+			bench.BFSPipette(g, 0, 4, true), 1)
+		b.Logf("committed-only=%d cycles, speculative=%d cycles (%.2f%% faster)",
+			committed.Cycles, spec.Cycles,
+			100*(float64(committed.Cycles)-float64(spec.Cycles))/float64(committed.Cycles))
+		b.ReportMetric(float64(committed.Cycles)/float64(spec.Cycles), "spec-speedup")
+	}
+}
+
+// SMT thread-priority policies (the paper uses ICOUNT and defers
+// producer-prioritization to future work).
+func BenchmarkAblationPriorityPolicy(b *testing.B) {
+	g := ablGraph()
+	for i := 0; i < b.N; i++ {
+		names := []string{"icount", "producers", "round-robin"}
+		for p, name := range names {
+			pol := core.PriorityPolicy(p)
+			r := ablRun(b, func(c *sim.Config) { c.Core.Priority = pol },
+				bench.BFSPipette(g, 0, 4, true), 1)
+			b.Logf("%-12s %d cycles (IPC %.2f)", name, r.Cycles, r.IPC())
+		}
+	}
+}
+
+// Queue depth: decoupling depth vs PRF pressure (the Fig. 14 mechanism,
+// isolated from PRF size).
+func BenchmarkAblationQueueDepth(b *testing.B) {
+	g := ablGraph()
+	for i := 0; i < b.N; i++ {
+		for _, qs := range []float64{0.25, 0.5, 1.0, 1.4} {
+			r := ablRun(b, nil, bench.BFSPipetteScaled(g, 0, qs), 1)
+			b.Logf("qscale=%.2f  %d cycles", qs, r.Cycles)
+		}
+	}
+}
+
+// Control-value trap cost: the exception-style redirect penalty
+// (Sec. IV-A "we reuse the exception logic").
+func BenchmarkAblationTrapPenalty(b *testing.B) {
+	g := ablGraph()
+	for i := 0; i < b.N; i++ {
+		for _, pen := range []uint64{4, 16, 64} {
+			r := ablRun(b, func(c *sim.Config) { c.Core.TrapPenalty = pen },
+				bench.BFSPipette(g, 0, 4, true), 1)
+			b.Logf("trap=%d cycles/redirect: %d total cycles", pen, r.Cycles)
+		}
+	}
+}
+
+// NoC latency sensitivity of cross-core decoupling (Sec. IV-C connectors).
+func BenchmarkAblationNoCLatency(b *testing.B) {
+	g := ablGraph()
+	for i := 0; i < b.N; i++ {
+		for _, lat := range []uint64{4, 12, 48} {
+			r := ablRun(b, func(c *sim.Config) { c.NoCLatency = lat },
+				bench.BFSStreaming(g, 0), 4)
+			b.Logf("noc=%d: %d cycles", lat, r.Cycles)
+		}
+	}
+}
+
+// Stream prefetcher: the paper assumes sequential fringe accesses are
+// "trivially handled by a stream prefetcher".
+func BenchmarkAblationPrefetcher(b *testing.B) {
+	g := ablGraph()
+	for i := 0; i < b.N; i++ {
+		with := ablRun(b, nil, bench.BFSSerial(g, 0), 1)
+		without := ablRun(b, func(c *sim.Config) { c.Cache.StreamPrefetch = false },
+			bench.BFSSerial(g, 0), 1)
+		b.Logf("prefetch on=%d cycles, off=%d cycles", with.Cycles, without.Cycles)
+		b.ReportMetric(float64(without.Cycles)/float64(with.Cycles), "pf-speedup")
+	}
+}
+
+// RA issue rate: loads started per cycle per reference accelerator.
+func BenchmarkAblationRAIssueRate(b *testing.B) {
+	g := ablGraph()
+	for i := 0; i < b.N; i++ {
+		// BFSPipette uses IssuePerCycle=2 internally; compare against the
+		// no-RA pipeline to bound the RA contribution.
+		ra := ablRun(b, nil, bench.BFSPipette(g, 0, 4, true), 1)
+		noRA := ablRun(b, nil, bench.BFSPipette(g, 0, 4, false), 1)
+		b.Logf("with RAs=%d cycles, without=%d cycles", ra.Cycles, noRA.Cycles)
+		b.ReportMetric(float64(noRA.Cycles)/float64(ra.Cycles), "ra-speedup")
+	}
+}

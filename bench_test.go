@@ -1,0 +1,48 @@
+package pipette
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"pipette/internal/harness"
+)
+
+// Each benchmark regenerates one of the paper's tables or figures (the full
+// evaluation matrix is computed once and cached across benchmarks, so the
+// first figure benchmark pays for the shared runs). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Set PIPETTE_BENCH_VERBOSE=1 to print the reproduced tables.
+func benchOut() io.Writer {
+	if os.Getenv("PIPETTE_BENCH_VERBOSE") != "" {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+func runExp(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := harness.Run(name, benchOut(), harness.Default()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig02BFS(b *testing.B)        { runExp(b, "fig2") }
+func BenchmarkFig09Summary(b *testing.B)    { runExp(b, "fig9") }
+func BenchmarkFig10Instr(b *testing.B)      { runExp(b, "fig10") }
+func BenchmarkFig11CPI(b *testing.B)        { runExp(b, "fig11") }
+func BenchmarkFig12Energy(b *testing.B)     { runExp(b, "fig12") }
+func BenchmarkFig13PerInput(b *testing.B)   { runExp(b, "fig13") }
+func BenchmarkFig14PRF(b *testing.B)        { runExp(b, "fig14") }
+func BenchmarkFig15Stages(b *testing.B)     { runExp(b, "fig15") }
+func BenchmarkFig16RA(b *testing.B)         { runExp(b, "fig16") }
+func BenchmarkFig17Multicore(b *testing.B)  { runExp(b, "fig17") }
+func BenchmarkTable02ISA(b *testing.B)      { runExp(b, "table2") }
+func BenchmarkTable03Storage(b *testing.B)  { runExp(b, "table3") }
+func BenchmarkTable04System(b *testing.B)   { runExp(b, "table4") }
+func BenchmarkTable05Graphs(b *testing.B)   { runExp(b, "table5") }
+func BenchmarkTable06Matrices(b *testing.B) { runExp(b, "table6") }

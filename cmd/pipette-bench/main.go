@@ -1,0 +1,51 @@
+// Command pipette-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pipette-bench -exp fig2          # one experiment
+//	pipette-bench -exp all           # everything (writes EXPERIMENTS-style output)
+//	pipette-bench -list              # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pipette/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment name (figN/tableN) or 'all'")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	cacheScale := flag.Int("cache-scale", 0, "override cache downscale factor")
+	graphScale := flag.Int("graph-scale", 0, "override graph input scale")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(harness.Names(), "\n"))
+		return
+	}
+	cfg := harness.Default()
+	if *cacheScale > 0 {
+		cfg.CacheScale = *cacheScale
+	}
+	if *graphScale > 0 {
+		cfg.GraphScale = *graphScale
+	}
+
+	names := harness.Names()
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	}
+	for _, n := range names {
+		start := time.Now()
+		if err := harness.Run(n, os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s took %.1fs)\n\n", n, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,110 @@
+// Command pipette-dis disassembles the benchmark kernels (or a textual .s
+// file) to show exactly what runs on the simulated core — queue bindings,
+// handler PCs, and the instruction stream.
+//
+// Usage:
+//
+//	pipette-dis -app bfs -variant pipette     # all stage programs of a kernel
+//	pipette-dis -file kernel.s                # assemble + dump a .s file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pipette/internal/bench"
+	"pipette/internal/graph"
+	"pipette/internal/isa"
+	"pipette/internal/sim"
+	"pipette/internal/sparse"
+)
+
+func main() {
+	app := flag.String("app", "", "bfs | cc | prd | radii | spmm | silo")
+	variant := flag.String("variant", "pipette", "serial | data-parallel | pipette | pipette-nora")
+	file := flag.String("file", "", "assemble and dump a textual .s program")
+	flag.Parse()
+
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		p, err := isa.ParseAsm(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(p.Disassemble())
+		return
+	}
+	if *app == "" {
+		fmt.Fprintln(os.Stderr, "need -app or -file")
+		os.Exit(2)
+	}
+
+	// Build the workload into a throwaway system with a program-capturing
+	// hook, then dump every loaded program.
+	b, cores, err := pick(*app, *variant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Cores = cores
+	s := sim.New(cfg)
+	var progs []*isa.Program
+	for _, c := range s.Cores {
+		c.LoadHook = func(tid int, p *isa.Program) { progs = append(progs, p) }
+	}
+	b(s)
+	for _, p := range progs {
+		fmt.Print(p.Disassemble())
+		fmt.Println()
+	}
+}
+
+func pick(app, variant string) (bench.Builder, int, error) {
+	cores := 1
+	if variant == bench.VStreaming {
+		cores = 4
+	}
+	g := graph.Road(16, 16, 1)
+	m := sparse.Random("dis", 20, 3, 1)
+	sel := func(serial, dp, pip, nora bench.Builder) (bench.Builder, int, error) {
+		switch variant {
+		case bench.VSerial:
+			return serial, cores, nil
+		case bench.VDataParallel:
+			return dp, cores, nil
+		case bench.VPipette:
+			return pip, cores, nil
+		case bench.VPipetteNoRA:
+			return nora, cores, nil
+		}
+		return nil, 0, fmt.Errorf("variant %q not supported here", variant)
+	}
+	switch app {
+	case "bfs":
+		return sel(bench.BFSSerial(g, 0), bench.BFSDataParallel(g, 0, 4),
+			bench.BFSPipette(g, 0, 4, true), bench.BFSPipette(g, 0, 4, false))
+	case "cc":
+		return sel(bench.CCSerial(g), bench.CCDataParallel(g, 4),
+			bench.CCPipette(g, true), bench.CCPipette(g, false))
+	case "prd":
+		return sel(bench.PRDSerial(g, 2), bench.PRDDataParallel(g, 2, 4),
+			bench.PRDPipette(g, 2, true), bench.PRDPipette(g, 2, false))
+	case "radii":
+		return sel(bench.RadiiSerial(g), bench.RadiiDataParallel(g, 4),
+			bench.RadiiPipette(g, true), bench.RadiiPipette(g, false))
+	case "spmm":
+		return sel(bench.SpMMSerial(m, m), bench.SpMMDataParallel(m, m, 4),
+			bench.SpMMPipette(m, m, true), bench.SpMMPipette(m, m, false))
+	case "silo":
+		return sel(bench.SiloSerial(100, 20), bench.SiloDataParallel(100, 20, 4),
+			bench.SiloPipette(100, 20, true), bench.SiloPipette(100, 20, false))
+	}
+	return nil, 0, fmt.Errorf("unknown app %q", app)
+}

@@ -1,0 +1,170 @@
+// Command pipette-sim runs a single benchmark variant on the simulated
+// system and prints a detailed report: cycles, IPC, CPI stack, queue and RA
+// statistics, cache behaviour, and the energy breakdown.
+//
+// Usage:
+//
+//	pipette-sim -app bfs -variant pipette -input Rd
+//	pipette-sim -app spmm -variant data-parallel -input Cg
+//	pipette-sim -app silo -variant serial
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pipette/internal/bench"
+	"pipette/internal/cache"
+	"pipette/internal/energy"
+	"pipette/internal/graph"
+	"pipette/internal/sim"
+	"pipette/internal/sparse"
+)
+
+func main() {
+	app := flag.String("app", "bfs", "bfs | cc | prd | radii | spmm | silo")
+	variant := flag.String("variant", "pipette", "serial | data-parallel | pipette | pipette-nora | streaming")
+	input := flag.String("input", "Rd", "graph label (Co/Dy/Fs/Sk/Rd) or matrix label (Am/Co/Cg/Cs/Rm/Pc)")
+	cacheScale := flag.Int("cache-scale", 8, "cache downscale factor")
+	prdIters := flag.Int("prd-iters", 4, "PageRank-Delta iterations")
+	trace := flag.Int("trace", 0, "print the first N committed instructions per core")
+	flag.Parse()
+
+	b, cores, err := build(*app, *variant, *input, *prdIters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Cores = cores
+	cfg.Cache = cache.DefaultConfig().Scale(*cacheScale)
+	cfg.WatchdogCycles = 10_000_000
+	s := sim.New(cfg)
+	if *trace > 0 {
+		for ci, c := range s.Cores {
+			left := *trace
+			ci := ci
+			c.TraceFn = func(cycle uint64, thread, pc int, text string) {
+				if left <= 0 {
+					return
+				}
+				left--
+				fmt.Printf("trace c%d t%d @%-8d pc=%-4d %s\n", ci, thread, cycle, pc, text)
+			}
+		}
+	}
+	r, err := bench.Run(s, b)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "run failed: %v\n%s", err, s.DebugState())
+		os.Exit(1)
+	}
+	report(r)
+}
+
+func build(app, variant, input string, prdIters int) (bench.Builder, int, error) {
+	cores := 1
+	if variant == bench.VStreaming {
+		cores = 4
+	}
+	var g *graph.Graph
+	for _, in := range graph.Inputs(1) {
+		if in.Label == input {
+			g = in.G
+		}
+	}
+	var m *sparse.Matrix
+	for _, in := range sparse.Inputs(1) {
+		if in.Label == input {
+			m = in.M
+		}
+	}
+	pick := func(serial, dp, pip, nora, str bench.Builder) (bench.Builder, int, error) {
+		switch variant {
+		case bench.VSerial:
+			return serial, cores, nil
+		case bench.VDataParallel:
+			return dp, cores, nil
+		case bench.VPipette:
+			return pip, cores, nil
+		case bench.VPipetteNoRA:
+			return nora, cores, nil
+		case bench.VStreaming:
+			return str, cores, nil
+		}
+		return nil, 0, fmt.Errorf("unknown variant %q", variant)
+	}
+	switch app {
+	case "bfs":
+		if g == nil {
+			return nil, 0, fmt.Errorf("unknown graph %q", input)
+		}
+		return pick(bench.BFSSerial(g, 0), bench.BFSDataParallel(g, 0, 4),
+			bench.BFSPipette(g, 0, 4, true), bench.BFSPipette(g, 0, 4, false), bench.BFSStreaming(g, 0))
+	case "cc":
+		if g == nil {
+			return nil, 0, fmt.Errorf("unknown graph %q", input)
+		}
+		return pick(bench.CCSerial(g), bench.CCDataParallel(g, 4),
+			bench.CCPipette(g, true), bench.CCPipette(g, false), bench.CCStreaming(g))
+	case "prd":
+		if g == nil {
+			return nil, 0, fmt.Errorf("unknown graph %q", input)
+		}
+		return pick(bench.PRDSerial(g, prdIters), bench.PRDDataParallel(g, prdIters, 4),
+			bench.PRDPipette(g, prdIters, true), bench.PRDPipette(g, prdIters, false),
+			bench.PRDStreaming(g, prdIters))
+	case "radii":
+		if g == nil {
+			return nil, 0, fmt.Errorf("unknown graph %q", input)
+		}
+		return pick(bench.RadiiSerial(g), bench.RadiiDataParallel(g, 4),
+			bench.RadiiPipette(g, true), bench.RadiiPipette(g, false), bench.RadiiStreaming(g))
+	case "spmm":
+		if m == nil {
+			return nil, 0, fmt.Errorf("unknown matrix %q", input)
+		}
+		return pick(bench.SpMMSerial(m, m), bench.SpMMDataParallel(m, m, 4),
+			bench.SpMMPipette(m, m, true), bench.SpMMPipette(m, m, false), bench.SpMMStreaming(m, m))
+	case "silo":
+		const k, q = 4000, 600
+		return pick(bench.SiloSerial(k, q), bench.SiloDataParallel(k, q, 4),
+			bench.SiloPipette(k, q, true), bench.SiloPipette(k, q, false), bench.SiloStreaming(k, q))
+	}
+	return nil, 0, fmt.Errorf("unknown app %q", app)
+}
+
+func report(r sim.Result) {
+	fmt.Printf("cycles           %d\n", r.Cycles)
+	fmt.Printf("instructions     %d\n", r.Committed)
+	fmt.Printf("IPC              %.3f\n", r.IPC())
+	for i, cs := range r.CoreStats {
+		tot := float64(cs.CPI.Total())
+		if tot == 0 {
+			tot = 1
+		}
+		fmt.Printf("core %d: commit=%d uops=%d ipc=%.2f branches=%d (%.1f%% mispred) cvtraps=%d enqtraps=%d skips=%d (%d discarded)\n",
+			i, cs.Committed, cs.Uops, float64(cs.Committed)/float64(cs.Cycles),
+			cs.Branches, 100*float64(cs.Mispredicts)/float64(maxU(cs.Branches, 1)),
+			cs.CVTraps, cs.EnqTraps, cs.SkipOps, cs.SkipDiscard)
+		fmt.Printf("        cpi-stack: issue=%.2f backend=%.2f queue=%.2f front=%.2f\n",
+			float64(cs.CPI.Issue)/tot, float64(cs.CPI.Backend)/tot,
+			float64(cs.CPI.Queue)/tot, float64(cs.CPI.Front)/tot)
+		fmt.Printf("        enq=%d deq=%d rf-reads=%d rf-writes=%d qrm-regs(mean/peak)=%.1f/%d\n",
+			cs.Enqueues, cs.Dequeues, cs.RegReads, cs.RegWrites,
+			cs.MeanMappedRegs(), cs.QueueOccupancyMax)
+	}
+	c := r.CacheStats
+	fmt.Printf("cache: L1=%d L2=%d L3=%d DRAM=%d prefetch=%d wb=%d inval=%d\n",
+		c.L1Hits, c.L2Hits, c.L3Hits, c.DRAMAccesses, c.Prefetches, c.Writebacks, c.Invalidations)
+	e := energy.Compute(energy.DefaultParams(), r.CoreStats, r.CacheStats, r.Cycles)
+	fmt.Printf("energy (pJ): core=%.3g cache=%.3g dram=%.3g static=%.3g total=%.3g\n",
+		e.CoreDyn, e.CacheDyn, e.DRAMDyn, e.Static, e.Total())
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package pipette_test
+
+import (
+	"fmt"
+	"log"
+
+	"pipette"
+)
+
+// Running a paper benchmark: Pipette BFS on a road-network graph, validated
+// against the reference implementation automatically.
+func Example() {
+	g := pipette.RoadGraph(24, 24, 42)
+	sys := pipette.NewSystem(pipette.DefaultConfig())
+	r, err := pipette.Run(sys, pipette.BFSPipette(g, 0, 4, true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Committed > 0, r.Cycles > 0)
+	// Output: true true
+}
+
+// Building a custom two-stage pipeline with a control-value terminator: the
+// producer streams values and a Done marker; the consumer's dequeue handler
+// fires on the marker.
+func ExampleNewProgram() {
+	sys := pipette.NewSystem(pipette.DefaultConfig())
+	res := sys.Mem.AllocWords(1)
+
+	p := pipette.NewProgram("producer")
+	p.MapQ(20, 0, pipette.QueueIn)
+	p.MovI(1, 0)
+	p.Label("loop")
+	p.AddI(1, 1, 1)
+	p.Mov(20, 1) // writing a mapped register enqueues
+	p.BneI(1, 100, "loop")
+	p.EnqCI(0, 0) // control value: done
+	p.Halt()
+
+	c := pipette.NewProgram("consumer")
+	c.MapQ(21, 0, pipette.QueueOut)
+	c.OnDeqCV("done")
+	c.MovI(1, 0)
+	c.Label("loop")
+	c.Add(1, 1, 21) // reading a mapped register dequeues
+	c.Jmp("loop")
+	c.Label("done")
+	c.MovU(2, res)
+	c.St8(2, 0, 1)
+	c.Halt()
+
+	sys.Cores[0].Load(0, p.MustLink())
+	sys.Cores[0].Load(1, c.MustLink())
+	if _, err := sys.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sys.Mem.Read64(res))
+	// Output: 5050
+}
+
+// Assembling a kernel from text (the examples/asm-pipeline workflow).
+func ExampleParseAsm() {
+	prog, err := pipette.ParseAsm(`
+.name demo
+.set r1 6
+loop:
+  addi r2, r2, 7
+  subi r1, r1, 1
+  bnei r1, 0, loop
+  halt
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := pipette.NewSystem(pipette.DefaultConfig())
+	sys.Cores[0].Load(0, prog)
+	r, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(prog.Name, r.Committed)
+	// Output: demo 19
+}
+
+// Regenerating one of the paper's tables.
+func ExampleRunExperiment() {
+	err := pipette.RunExperiment("table3", discard{})
+	fmt.Println(err)
+	// Output: <nil>
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,15 @@
+; Consumer: sum the squares of everything in queue 1 until the Done control
+; value arrives, then store the total at the address in r9.
+; (Queue 1 is the output of an indirect squaring RA fed by queue 0.)
+.name consumer
+.map r11 q1 out
+.ondeq done
+
+loop:
+  mov r2, r11         ; implicit dequeue (traps to `done` on the CV)
+  add r1, r1, r2
+  jmp loop
+
+done:
+  st8 r9, 0, r1
+  halt

@@ -1,0 +1,11 @@
+; Producer: stream the numbers 1..N into queue 0, then a Done control value.
+; r1 = counter, r2 = N (set by the host), r10 = queue 0 input.
+.name producer
+.map r10 q0 in
+
+loop:
+  addi r1, r1, 1
+  mov  r10, r1        ; implicit enqueue
+  bne  r1, r2, loop
+  enqc q0, 0          ; Done
+  halt

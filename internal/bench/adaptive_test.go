@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"testing"
+
+	"pipette/internal/sparse"
+)
+
+func TestSpMMAdaptiveChoosesDPForSmallSparse(t *testing.T) {
+	a := sparse.Random("small", 60, 4, 1)
+	_, choice := SpMMAdaptive(a, a, 1<<20)
+	if choice != VDataParallel {
+		t.Fatalf("small sparse input chose %s", choice)
+	}
+}
+
+func TestSpMMAdaptiveChoosesPipetteForLargeOrDense(t *testing.T) {
+	dense := sparse.Banded("dense", 100, 20, 2)
+	if _, choice := SpMMAdaptive(dense, dense, 1<<20); choice != VPipette {
+		t.Fatalf("dense input chose %s", choice)
+	}
+	big := sparse.Random("big", 500, 6, 3)
+	if _, choice := SpMMAdaptive(big, big, 1<<14); choice != VPipette {
+		t.Fatalf("big input with a small cache chose %s", choice)
+	}
+}
+
+func TestSpMMAdaptiveRuns(t *testing.T) {
+	a := sparse.Random("t", 50, 4, 4)
+	b, _ := SpMMAdaptive(a, a, 1<<20)
+	runBench(t, 1, b)
+}

@@ -1,0 +1,73 @@
+// Package bench contains the six applications of the paper's evaluation
+// (Sec. V-B) — BFS, Connected Components, PageRank-Delta, Radii, SpMM and
+// Silo — each as ISA program builders in serial, data-parallel, and Pipette
+// variants (the latter with and without reference accelerators), plus the
+// streaming and multicore BFS placements of Figs. 2 and 17.
+//
+// Every builder lays its data out in the system's simulated memory, loads
+// the programs, and returns a check function that validates the simulated
+// results against the reference implementations in internal/graph,
+// internal/sparse and internal/btree.
+package bench
+
+import (
+	"fmt"
+
+	"pipette/internal/sim"
+)
+
+// CheckFn validates a finished run's memory against a reference result.
+type CheckFn func() error
+
+// Variant names used across the harness.
+const (
+	VSerial       = "serial"
+	VDataParallel = "data-parallel"
+	VPipette      = "pipette"      // with RAs (the paper's default)
+	VPipetteNoRA  = "pipette-nora" // RAs disabled (Fig. 16)
+	VStreaming    = "streaming"    // one stage per single-threaded core
+)
+
+// Builder constructs a workload inside a prepared system.
+type Builder func(s *sim.System) CheckFn
+
+// Run builds w inside s, runs to completion, validates, and returns the
+// result.
+func Run(s *sim.System, w Builder) (sim.Result, error) {
+	check := w(s)
+	r, err := s.Run()
+	if err != nil {
+		return r, err
+	}
+	if err := check(); err != nil {
+		return r, fmt.Errorf("result check failed: %w", err)
+	}
+	return r, nil
+}
+
+// Queue ids used by the pipelined kernels. Pipelines use a small, fixed
+// naming scheme so RA wiring stays readable.
+const (
+	qVtx   uint8 = 0 // vertices into the offsets stage/RA
+	qRange uint8 = 1 // (start,end) pairs
+	qNgh   uint8 = 2 // neighbor stream
+	qDupA  uint8 = 3 // neighbor copy toward the data-fetch stage/RA
+	qDupB  uint8 = 4 // neighbor copy toward the update stage
+	qData  uint8 = 5 // fetched data values
+	qFeed  uint8 = 6 // end-of-level feedback to the head stage
+	qAux   uint8 = 7 // app-specific second data stream
+)
+
+// Control-value meanings for the fringe pipelines: EOL delimits a level,
+// Done tears the pipeline down.
+const (
+	cvDone = 0
+	cvEOL  = 1
+)
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"fmt"
+
+	"pipette/internal/graph"
+	"pipette/internal/isa"
+	"pipette/internal/mem"
+	"pipette/internal/sim"
+)
+
+// bfsLayout is the shared memory image for all BFS variants.
+type bfsLayout struct {
+	g       graph.Layout
+	dist    uint64 // N words, Unreached-initialized except dist[src]=0
+	fringeA uint64 // N words; fringeA[0]=src
+	fringeB uint64 // N words
+	cells   uint64 // shared coordination cells (data-parallel variants)
+	n       int
+	src     int
+}
+
+// Coordination cell offsets (bytes from l.cells).
+const (
+	cellNextCnt = 0
+	cellArrive  = 8
+	cellRelease = 16
+	cellCurCnt  = 24
+	cellCurPtr  = 32
+	cellNextPtr = 40
+	cellCurDist = 48
+	cellGlobal  = 56 // multicore Pipette: global next-fringe count
+	cellsWords  = 16
+)
+
+func layoutBFS(m *mem.Memory, g *graph.Graph, src int) bfsLayout {
+	l := bfsLayout{
+		g:       g.WriteTo(m),
+		dist:    m.AllocWords(uint64(g.N)),
+		fringeA: m.AllocWords(uint64(g.N)),
+		fringeB: m.AllocWords(uint64(g.N)),
+		cells:   m.AllocWords(cellsWords),
+		n:       g.N,
+		src:     src,
+	}
+	for v := 0; v < g.N; v++ {
+		m.Write64(l.dist+uint64(v)*8, graph.Unreached)
+	}
+	m.Write64(l.dist+uint64(src)*8, 0)
+	m.Write64(l.fringeA, uint64(src))
+	m.Write64(l.cells+cellCurCnt, 1)
+	m.Write64(l.cells+cellCurPtr, l.fringeA)
+	m.Write64(l.cells+cellNextPtr, l.fringeB)
+	m.Write64(l.cells+cellCurDist, 1)
+	return l
+}
+
+// checkBFS compares simulated distances with the reference.
+func checkBFS(s *sim.System, l bfsLayout, g *graph.Graph) CheckFn {
+	return func() error {
+		want := graph.BFS(g, l.src)
+		for v := 0; v < g.N; v++ {
+			got := s.Mem.Read64(l.dist + uint64(v)*8)
+			if got != want[v] {
+				return fmt.Errorf("bfs: dist[%d] = %d, want %d", v, got, want[v])
+			}
+		}
+		return nil
+	}
+}
+
+// BFSSerial builds the serial PBFS-style kernel of Fig. 1(a) on core 0,
+// thread 0.
+func BFSSerial(g *graph.Graph, src int) Builder {
+	return func(s *sim.System) CheckFn {
+		l := layoutBFS(s.Mem, g, src)
+		s.Cores[0].Load(0, bfsSerialProg(l))
+		return checkBFS(s, l, g)
+	}
+}
+
+func bfsSerialProg(l bfsLayout) *isa.Program {
+	const (
+		rOff   isa.Reg = 1
+		rNgh   isa.Reg = 2
+		rDist  isa.Reg = 3
+		rCur   isa.Reg = 4
+		rNext  isa.Reg = 5
+		rCnt   isa.Reg = 6
+		rNCnt  isa.Reg = 7
+		rLvl   isa.Reg = 8
+		rI     isa.Reg = 9
+		rV     isa.Reg = 10
+		rStart isa.Reg = 11
+		rEnd   isa.Reg = 12
+		rN     isa.Reg = 13
+		rD     isa.Reg = 14
+		rT     isa.Reg = 15
+		rInf   isa.Reg = 16
+		rT2    isa.Reg = 17
+	)
+	a := isa.NewAssembler("bfs-serial")
+	a.SetReg(rOff, l.g.OffsetsAddr)
+	a.SetReg(rNgh, l.g.NeighborsAddr)
+	a.SetReg(rDist, l.dist)
+	a.SetReg(rCur, l.fringeA)
+	a.SetReg(rNext, l.fringeB)
+	a.SetReg(rCnt, 1)
+	a.SetReg(rNCnt, 0)
+	a.SetReg(rLvl, 1)
+	a.SetReg(rInf, graph.Unreached)
+
+	a.Label("level")
+	a.MovI(rI, 0)
+	a.Label("vloop")
+	a.Bgeu(rI, rCnt, "eol")
+	a.ShlI(rT, rI, 3)
+	a.Add(rT, rT, rCur)
+	a.Ld8(rV, rT, 0) // v = cur[i]
+	a.ShlI(rT, rV, 3)
+	a.Add(rT, rT, rOff)
+	a.Ld8(rStart, rT, 0)
+	a.Ld8(rEnd, rT, 8)
+	a.Label("eloop")
+	a.Bgeu(rStart, rEnd, "vend")
+	a.ShlI(rT, rStart, 3)
+	a.Add(rT, rT, rNgh)
+	a.Ld8(rN, rT, 0) // ngh
+	a.ShlI(rT, rN, 3)
+	a.Add(rT, rT, rDist)
+	a.Ld8(rD, rT, 0) // d = dist[ngh]
+	a.Bne(rD, rInf, "skip")
+	a.St8(rT, 0, rLvl) // dist[ngh] = curDist
+	a.ShlI(rT2, rNCnt, 3)
+	a.Add(rT2, rT2, rNext)
+	a.St8(rT2, 0, rN) // next[nextCnt] = ngh
+	a.AddI(rNCnt, rNCnt, 1)
+	a.Label("skip")
+	a.AddI(rStart, rStart, 1)
+	a.Jmp("eloop")
+	a.Label("vend")
+	a.AddI(rI, rI, 1)
+	a.Jmp("vloop")
+	a.Label("eol")
+	a.BeqI(rNCnt, 0, "done")
+	a.Xor(rCur, rCur, rNext) // swap fringes
+	a.Xor(rNext, rCur, rNext)
+	a.Xor(rCur, rCur, rNext)
+	a.Mov(rCnt, rNCnt)
+	a.MovI(rNCnt, 0)
+	a.AddI(rLvl, rLvl, 1)
+	a.Jmp("level")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+// BFSDataParallel builds the level-synchronous data-parallel kernel on
+// nThreads hardware threads spread across the system's cores (4 per core):
+// static fringe partitioning, CAS on distances, fetch-add next-fringe
+// allocation, and a sense-free monotonic barrier.
+func BFSDataParallel(g *graph.Graph, src, nThreads int) Builder {
+	return func(s *sim.System) CheckFn {
+		l := layoutBFS(s.Mem, g, src)
+		for t := 0; t < nThreads; t++ {
+			core := t / 4
+			hw := t % 4
+			s.Cores[core].Load(hw, bfsDPProg(l, t, nThreads))
+		}
+		return checkBFS(s, l, g)
+	}
+}
+
+func bfsDPProg(l bfsLayout, tid, nThreads int) *isa.Program {
+	const (
+		rOff   isa.Reg = 1
+		rNgh   isa.Reg = 2
+		rDist  isa.Reg = 3
+		rCells isa.Reg = 4
+		rInf   isa.Reg = 5
+		rTid   isa.Reg = 6
+		rT     isa.Reg = 7 // thread count
+		rLvl   isa.Reg = 8 // completed barriers
+		rCnt   isa.Reg = 9
+		rCur   isa.Reg = 10
+		rDst   isa.Reg = 11 // current distance
+		rLo    isa.Reg = 12
+		rHi    isa.Reg = 13
+		rI     isa.Reg = 14
+		rV     isa.Reg = 15
+		rStart isa.Reg = 16
+		rEnd   isa.Reg = 17
+		rN     isa.Reg = 18
+		rAddr  isa.Reg = 19
+		rOld   isa.Reg = 20
+		rIdx   isa.Reg = 21
+		rNext  isa.Reg = 22
+		rTmp   isa.Reg = 23
+		rOne   isa.Reg = 24
+		rTmp2  isa.Reg = 25
+	)
+	a := isa.NewAssembler(fmt.Sprintf("bfs-dp-%d", tid))
+	a.SetReg(rOff, l.g.OffsetsAddr)
+	a.SetReg(rNgh, l.g.NeighborsAddr)
+	a.SetReg(rDist, l.dist)
+	a.SetReg(rCells, l.cells)
+	a.SetReg(rInf, graph.Unreached)
+	a.SetReg(rTid, uint64(tid))
+	a.SetReg(rT, uint64(nThreads))
+	a.SetReg(rLvl, 0)
+	a.SetReg(rOne, 1)
+
+	a.Label("level")
+	a.Ld8(rCnt, rCells, cellCurCnt)
+	a.Ld8(rCur, rCells, cellCurPtr)
+	a.Ld8(rDst, rCells, cellCurDist)
+	// lo = tid*cnt/T ; hi = (tid+1)*cnt/T
+	a.Mul(rLo, rTid, rCnt)
+	a.Div(rLo, rLo, rT)
+	a.AddI(rHi, rTid, 1)
+	a.Mul(rHi, rHi, rCnt)
+	a.Div(rHi, rHi, rT)
+	a.Mov(rI, rLo)
+	a.Label("vloop")
+	a.Bgeu(rI, rHi, "arrive")
+	a.ShlI(rAddr, rI, 3)
+	a.Add(rAddr, rAddr, rCur)
+	a.Ld8(rV, rAddr, 0)
+	a.ShlI(rAddr, rV, 3)
+	a.Add(rAddr, rAddr, rOff)
+	a.Ld8(rStart, rAddr, 0)
+	a.Ld8(rEnd, rAddr, 8)
+	a.Label("eloop")
+	a.Bgeu(rStart, rEnd, "vend")
+	a.ShlI(rAddr, rStart, 3)
+	a.Add(rAddr, rAddr, rNgh)
+	a.Ld8(rN, rAddr, 0)
+	// Claim via CAS(dist[ngh], Unreached -> curDist).
+	a.ShlI(rAddr, rN, 3)
+	a.Add(rAddr, rAddr, rDist)
+	a.Ld8(rOld, rAddr, 0) // cheap pre-check avoids most CAS traffic
+	a.Bne(rOld, rInf, "skip")
+	a.Cas(rOld, rAddr, rInf, rDst)
+	a.Bne(rOld, rInf, "skip")
+	a.AddI(rTmp, rCells, cellNextCnt)
+	a.FetchAdd(rIdx, rTmp, rOne)
+	a.Ld8(rNext, rCells, cellNextPtr)
+	a.ShlI(rTmp, rIdx, 3)
+	a.Add(rTmp, rTmp, rNext)
+	a.St8(rTmp, 0, rN)
+	a.Label("skip")
+	a.AddI(rStart, rStart, 1)
+	a.Jmp("eloop")
+	a.Label("vend")
+	a.AddI(rI, rI, 1)
+	a.Jmp("vloop")
+
+	a.Label("arrive")
+	a.AddI(rTmp, rCells, cellArrive)
+	a.FetchAdd(rOld, rTmp, rOne)
+	a.AddI(rLvl, rLvl, 1)
+	a.Mul(rTmp, rT, rLvl)
+	a.AddI(rOld, rOld, 1)
+	a.Bne(rOld, rTmp, "wait") // not the last arriver
+	// Last thread: swap fringe pointers, publish counts, bump distance.
+	a.Ld8(rTmp, rCells, cellCurPtr)
+	a.Ld8(rOld, rCells, cellNextPtr)
+	a.St8(rCells, cellCurPtr, rOld)
+	a.St8(rCells, cellNextPtr, rTmp)
+	a.Ld8(rTmp, rCells, cellNextCnt)
+	a.St8(rCells, cellCurCnt, rTmp)
+	a.St8(rCells, cellNextCnt, isa.R0)
+	a.Ld8(rTmp, rCells, cellCurDist)
+	a.AddI(rTmp, rTmp, 1)
+	a.St8(rCells, cellCurDist, rTmp)
+	a.AddI(rTmp2, rCells, cellRelease)
+	a.FetchAdd(rOld, rTmp2, rOne)
+	a.Label("wait")
+	a.Ld8(rTmp, rCells, cellRelease)
+	a.Bltu(rTmp, rLvl, "wait")
+	a.Ld8(rCnt, rCells, cellCurCnt)
+	a.BneI(rCnt, 0, "level")
+	a.Halt()
+	return a.MustLink()
+}

@@ -1,0 +1,324 @@
+package bench
+
+import (
+	"fmt"
+
+	"pipette/internal/graph"
+	"pipette/internal/isa"
+	"pipette/internal/mem"
+	"pipette/internal/ra"
+	"pipette/internal/sim"
+)
+
+// BFSStreaming builds the streaming-multicore baseline of Fig. 2: the same
+// Pipette pipeline, but with each stage on its own single-threaded core and
+// queues joined by connectors. Stage placement:
+//
+//	core0: fringe walk + offsets RA + neighbors RA
+//	core1: duplicate stage
+//	core2: distances RA
+//	core3: update stage
+//
+// Requires a 4-core system.
+func BFSStreaming(g *graph.Graph, src int) Builder {
+	return func(s *sim.System) CheckFn {
+		if len(s.Cores) < 4 {
+			panic("bfs streaming needs 4 cores")
+		}
+		l := layoutBFS(s.Mem, g, src)
+		caps := map[uint8]int{qVtx: 16, qRange: 16, qNgh: 28, qDupA: 28, qDupB: 20, qData: 28, qFeed: 4}
+		for i := 0; i < 4; i++ {
+			s.Cores[i].SetQueueCaps(caps)
+		}
+		ra.New(s.Cores[0], ra.Config{Mode: ra.IndirectPair, In: qVtx, Out: qRange, Base: l.g.OffsetsAddr, IssuePerCycle: 2})
+		ra.New(s.Cores[0], ra.Config{Mode: ra.Scan, In: qRange, Out: qNgh, Base: l.g.NeighborsAddr, IssuePerCycle: 2})
+		ra.New(s.Cores[2], ra.Config{Mode: ra.Indirect, In: qDupA, Out: qData, Base: l.dist, IssuePerCycle: 2})
+
+		s.Cores[0].Load(0, bfsHeadProg(l, true))
+		s.Cores[1].Load(0, bfsDupProg(l))
+		s.Cores[3].Load(0, bfsUpdateProg(l, true))
+
+		s.Connect(0, qNgh, 1, qNgh)   // neighbor stream to the dup core
+		s.Connect(1, qDupA, 2, qDupA) // dup -> distance RA core
+		s.Connect(1, qDupB, 3, qDupB) // dup -> update core
+		s.Connect(2, qData, 3, qData) // fetched distances -> update core
+		s.Connect(3, qFeed, 0, qFeed) // level feedback -> head core
+		return checkBFS(s, l, g)
+	}
+}
+
+// Multicore Pipette BFS (Fig. 17): all stages replicated on every core,
+// vertices owned in contiguous per-core blocks, neighbors routed to their
+// owner's update stage over cross-core queues — no shared-memory
+// synchronization on distances.
+
+// Queue ids for the multicore layout (4 + 2C queues per core).
+func mcQVtx() uint8        { return 0 }
+func mcQRange() uint8      { return 1 }
+func mcQNgh() uint8        { return 2 }
+func mcQFeed() uint8       { return 3 }
+func mcQOut(i int) uint8   { return uint8(4 + i) }
+func mcQIn(c, i int) uint8 { return uint8(4 + c + i) }
+
+// mcLayout extends the BFS layout with per-core fringes. Vertices are owned
+// in contiguous blocks (owner = v >> ownerShift, clamped) rather than
+// round-robin, so each core's distance lines are private — modulo ownership
+// would false-share every line between all cores.
+type mcLayout struct {
+	bfsLayout
+	curFringe  []uint64 // per-core fringe buffer A
+	nextFringe []uint64 // per-core fringe buffer B
+	cores      int
+	ownerShift int
+}
+
+func (l *mcLayout) owner(v int) int {
+	o := v >> l.ownerShift
+	if o >= l.cores {
+		o = l.cores - 1
+	}
+	return o
+}
+
+func layoutBFSMC(m *mem.Memory, g *graph.Graph, src, cores int) mcLayout {
+	l := mcLayout{bfsLayout: layoutBFS(m, g, src), cores: cores}
+	shift := 0
+	for cores<<shift < g.N {
+		shift++
+	}
+	l.ownerShift = shift
+	for c := 0; c < cores; c++ {
+		l.curFringe = append(l.curFringe, m.AllocWords(uint64(g.N)))
+		l.nextFringe = append(l.nextFringe, m.AllocWords(uint64(g.N)))
+	}
+	// Seed the source into its owner's fringe.
+	m.Write64(l.curFringe[l.owner(src)], uint64(src))
+	return l
+}
+
+// BFSMulticore builds the Fig. 17 Pipette multicore BFS on C cores (C a
+// power of two; the system must have at least C cores). For C > 4 the core
+// configuration needs NumQueues >= 4+2C; the harness provides it.
+func BFSMulticore(g *graph.Graph, src, cores int) Builder {
+	return func(s *sim.System) CheckFn {
+		if len(s.Cores) < cores {
+			panic("bfs multicore: not enough cores")
+		}
+		if cores&(cores-1) != 0 {
+			panic("bfs multicore: cores must be a power of two")
+		}
+		l := layoutBFSMC(s.Mem, g, src, cores)
+		caps := map[uint8]int{mcQVtx(): 12, mcQRange(): 12, mcQNgh(): 20, mcQFeed(): 4}
+		perRoute := 8
+		if cores > 4 {
+			perRoute = 3
+		}
+		for i := 0; i < cores; i++ {
+			caps[mcQOut(i)] = perRoute
+			caps[mcQIn(cores, i)] = perRoute
+		}
+		for c := 0; c < cores; c++ {
+			s.Cores[c].SetQueueCaps(caps)
+			ra.New(s.Cores[c], ra.Config{Mode: ra.IndirectPair, In: mcQVtx(), Out: mcQRange(), Base: l.g.OffsetsAddr, IssuePerCycle: 2})
+			ra.New(s.Cores[c], ra.Config{Mode: ra.Scan, In: mcQRange(), Out: mcQNgh(), Base: l.g.NeighborsAddr, IssuePerCycle: 2})
+			s.Cores[c].Load(0, bfsMCHeadProg(l, c))
+			s.Cores[c].Load(1, bfsMCRouteProg(l, c))
+			s.Cores[c].Load(2, bfsMCUpdateProg(l, c))
+		}
+		for src := 0; src < cores; src++ {
+			for dst := 0; dst < cores; dst++ {
+				s.Connect(src, mcQOut(dst), dst, mcQIn(cores, src))
+			}
+		}
+		return checkBFS(s, l.bfsLayout, g)
+	}
+}
+
+// bfsMCHeadProg walks core c's own fringe slice and drives level control.
+// Feedback carries (globalTotal, localCount).
+func bfsMCHeadProg(l mcLayout, c int) *isa.Program {
+	const (
+		rCur isa.Reg = 4
+		rCnt isa.Reg = 6
+		rI   isa.Reg = 9
+		rT   isa.Reg = 15
+		rG   isa.Reg = 18
+	)
+	a := isa.NewAssembler(fmt.Sprintf("bfs-mc-head-%d", c))
+	a.MapQ(mq0, mcQVtx(), isa.QueueIn)
+	a.MapQ(mq3, mcQFeed(), isa.QueueOut)
+	a.SetReg(rCur, l.curFringe[c])
+	cnt := uint64(0)
+	if l.owner(l.src) == c {
+		cnt = 1
+	}
+	a.SetReg(rCnt, cnt)
+
+	a.Label("level")
+	a.MovI(rI, 0)
+	a.Label("vloop")
+	a.Bgeu(rI, rCnt, "eol")
+	a.ShlI(rT, rI, 3)
+	a.Add(rT, rT, rCur)
+	a.Ld8(mq0, rT, 0)
+	a.AddI(rI, rI, 1)
+	a.Jmp("vloop")
+	a.Label("eol")
+	a.EnqCI(mcQVtx(), cvEOL)
+	a.Mov(rG, mq3)   // global next-fringe total
+	a.Mov(rCnt, mq3) // this core's next count
+	a.BeqI(rG, 0, "done")
+	a.MovU(rT, l.curFringe[c]^l.nextFringe[c])
+	a.Xor(rCur, rCur, rT)
+	a.Jmp("level")
+	a.Label("done")
+	a.EnqCI(mcQVtx(), cvDone)
+	a.Halt()
+	return a.MustLink()
+}
+
+// bfsMCRouteProg routes each neighbor to its owner core's queue using a
+// Jr-based jump table (two instructions per destination block).
+func bfsMCRouteProg(l mcLayout, c int) *isa.Program {
+	// Output queue registers are r1..rC; scratch lives above r16 so the
+	// 16-core layout does not collide.
+	const (
+		rN   isa.Reg = 17
+		rO   isa.Reg = 18
+		rT   isa.Reg = 19
+		rB   isa.Reg = 20
+		rCVi isa.Reg = 21
+	)
+	outReg := func(i int) isa.Reg { return isa.Reg(1 + i) }
+
+	a := isa.NewAssembler(fmt.Sprintf("bfs-mc-route-%d", c))
+	a.MapQ(mq0, mcQNgh(), isa.QueueOut)
+	for i := 0; i < l.cores; i++ {
+		a.MapQ(outReg(i), mcQOut(i), isa.QueueIn)
+	}
+	a.OnDeqCV("cv")
+	a.LabelAddr(rB, "table")
+
+	a.Label("loop")
+	a.Mov(rN, mq0) // neighbor (CV traps here)
+	// Block ownership: owner = min(ngh >> shift, C-1).
+	a.ShrI(rO, rN, int64(l.ownerShift))
+	a.MovI(rT, int64(l.cores-1))
+	a.Min(rO, rO, rT)
+	a.ShlI(rT, rO, 1) // 2 instructions per table block
+	a.Add(rT, rT, rB)
+	a.Jr(rT)
+	a.Label("table")
+	for i := 0; i < l.cores; i++ {
+		a.Mov(outReg(i), rN)
+		a.Jmp("loop")
+	}
+	a.Label("cv")
+	a.Mov(rCVi, isa.RHCV)
+	for i := 0; i < l.cores; i++ {
+		a.EnqC(mcQOut(i), rCVi) // broadcast the delimiter to every owner
+	}
+	a.BeqI(rCVi, cvDone, "done")
+	a.Jmp("loop")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+// bfsMCUpdateProg merges the C incoming neighbor streams with qpoll, updates
+// owned distances without atomics, and coordinates levels through a global
+// barrier (arrive/release/global cells shared with the other update threads).
+func bfsMCUpdateProg(l mcLayout, c int) *isa.Program {
+	// Input queue registers are r1..rC; everything else sits above r16.
+	// "Unreached" is tested as d+1 == 0 to save a constant register.
+	const (
+		rN     isa.Reg = 17
+		rD     isa.Reg = 18
+		rT     isa.Reg = 19
+		rDist  isa.Reg = 20
+		rNext  isa.Reg = 21
+		rNCnt  isa.Reg = 22
+		rLvl   isa.Reg = 23
+		rOne   isa.Reg = 24
+		rBar   isa.Reg = 25 // completed barriers
+		rT2    isa.Reg = 26
+		rEol   isa.Reg = 27
+		rCells isa.Reg = 28
+	)
+	inReg := func(i int) isa.Reg { return isa.Reg(1 + i) }
+
+	a := isa.NewAssembler(fmt.Sprintf("bfs-mc-update-%d", c))
+	for i := 0; i < l.cores; i++ {
+		a.MapQ(inReg(i), mcQIn(l.cores, i), isa.QueueOut)
+	}
+	a.MapQ(mq3, mcQFeed(), isa.QueueIn)
+	a.OnDeqCV("cv")
+	a.SetReg(rDist, l.dist)
+	a.SetReg(rNext, l.nextFringe[c])
+	a.SetReg(rNCnt, 0)
+	a.SetReg(rLvl, 1)
+	a.SetReg(rCells, l.cells)
+	a.SetReg(rOne, 1)
+	a.SetReg(rEol, 0)
+	a.SetReg(rBar, 0)
+
+	a.Label("merge")
+	for i := 0; i < l.cores; i++ {
+		blk := fmt.Sprintf("s%d", i)
+		a.QPoll(rT, mcQIn(l.cores, i))
+		a.BeqI(rT, 0, blk)
+		a.Mov(rN, inReg(i)) // may trap on a CV
+		a.Jmp("have")
+		a.Label(blk)
+	}
+	a.Jmp("merge") // nothing available; poll again
+
+	a.Label("have")
+	a.ShlI(rT, rN, 3)
+	a.Add(rT, rT, rDist)
+	a.Ld8(rD, rT, 0)
+	a.AddI(rD, rD, 1) // Unreached is all-ones: reached iff d+1 != 0
+	a.BneI(rD, 0, "merge")
+	a.St8(rT, 0, rLvl) // sole owner: no atomics needed
+	a.ShlI(rT2, rNCnt, 3)
+	a.Add(rT2, rT2, rNext)
+	a.St8(rT2, 0, rN)
+	a.AddI(rNCnt, rNCnt, 1)
+	a.Jmp("merge")
+
+	a.Label("cv")
+	a.AddI(rEol, rEol, 1)
+	a.BneI(rEol, int64(l.cores), "merge") // wait for all senders' delimiters
+	a.BeqI(isa.RHCV, cvDone, "done")
+	// Level end: contribute to the global count and barrier.
+	a.MovI(rEol, 0)
+	a.AddI(rT, rCells, cellGlobal)
+	a.FetchAdd(rD, rT, rNCnt)
+	a.AddI(rT, rCells, cellArrive)
+	a.FetchAdd(rD, rT, rOne)
+	a.AddI(rBar, rBar, 1)
+	a.MovI(rT2, int64(l.cores))
+	a.Mul(rT2, rT2, rBar)
+	a.AddI(rD, rD, 1)
+	a.Bne(rD, rT2, "wait")
+	// Last arriver: publish and reset the global count.
+	a.Ld8(rT, rCells, cellGlobal)
+	a.St8(rCells, cellCurCnt, rT) // reuse cellCurCnt as the published total
+	a.St8(rCells, cellGlobal, isa.R0)
+	a.AddI(rT2, rCells, cellRelease)
+	a.FetchAdd(rD, rT2, rOne)
+	a.Label("wait")
+	a.Ld8(rT, rCells, cellRelease)
+	a.Bltu(rT, rBar, "wait")
+	a.Ld8(rT, rCells, cellCurCnt) // global total
+	a.Mov(mq3, rT)
+	a.Mov(mq3, rNCnt) // this core's next count
+	a.MovI(rNCnt, 0)
+	a.AddI(rLvl, rLvl, 1)
+	a.MovU(rT, l.curFringe[c]^l.nextFringe[c])
+	a.Xor(rNext, rNext, rT)
+	a.Jmp("merge")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}

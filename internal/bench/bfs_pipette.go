@@ -1,0 +1,464 @@
+package bench
+
+import (
+	"pipette/internal/graph"
+	"pipette/internal/isa"
+	"pipette/internal/ra"
+	"pipette/internal/sim"
+)
+
+// Mapped-register conventions for pipeline stages: queue endpoints live in
+// r26..r29 so they never collide with scratch registers.
+const (
+	mq0 isa.Reg = 26
+	mq1 isa.Reg = 27
+	mq2 isa.Reg = 28
+	mq3 isa.Reg = 29
+)
+
+// BFSPipette builds the Pipette BFS pipeline on one 4-thread core.
+// stages selects the decoupling depth (2, 3 or 4, Fig. 15); useRA offloads
+// producer loads to reference accelerators. The paper's default BFS
+// ("Pipette") is stages=4, useRA=true.
+func BFSPipette(g *graph.Graph, src, stages int, useRA bool) Builder {
+	return bfsPipette(g, src, stages, useRA, 1.0)
+}
+
+// BFSPipetteScaled is BFSPipette (4 stages, RAs) with queue capacities
+// scaled by qscale, used by the Fig. 14 PRF sweep: larger PRFs allow deeper
+// queues and thus more decoupling.
+func BFSPipetteScaled(g *graph.Graph, src int, qscale float64) Builder {
+	return bfsPipette(g, src, 4, true, qscale)
+}
+
+func bfsPipette(g *graph.Graph, src, stages int, useRA bool, qscale float64) Builder {
+	return func(s *sim.System) CheckFn {
+		l := layoutBFS(s.Mem, g, src)
+		c := s.Cores[0]
+		// Size queues like the paper (up to 32 entries), spending the QRM
+		// budget on the latency-critical streams: deep queues buy MLP on
+		// the indirection chain, shallow ones suffice for control.
+		caps := map[uint8]int{
+			qVtx: 16, qRange: 16, qNgh: 28, qDupA: 28, qDupB: 20, qData: 28, qFeed: 4,
+		}
+		if qscale != 1.0 {
+			for k, v := range caps {
+				n := int(float64(v) * qscale)
+				if n < 2 {
+					n = 2
+				}
+				caps[k] = n
+			}
+		}
+		c.SetQueueCaps(caps)
+		switch {
+		case useRA && stages >= 4:
+			// T0 fringe walk -> RA0(offsets pair) -> RA1(neighbors scan)
+			// -> T1 dup -> {RA2(distances), T2 update}.
+			ra.New(c, ra.Config{Mode: ra.IndirectPair, In: qVtx, Out: qRange, Base: l.g.OffsetsAddr, IssuePerCycle: 2})
+			ra.New(c, ra.Config{Mode: ra.Scan, In: qRange, Out: qNgh, Base: l.g.NeighborsAddr, IssuePerCycle: 2})
+			ra.New(c, ra.Config{Mode: ra.Indirect, In: qDupA, Out: qData, Base: l.dist, IssuePerCycle: 2})
+			c.Load(0, bfsHeadProg(l, true))
+			c.Load(1, bfsDupProg(l))
+			c.Load(2, bfsUpdateProg(l, true))
+		case useRA: // 2t+RA: the Fig. 15 pitfall configuration
+			ra.New(c, ra.Config{Mode: ra.IndirectPair, In: qVtx, Out: qRange, Base: l.g.OffsetsAddr, IssuePerCycle: 2})
+			ra.New(c, ra.Config{Mode: ra.Scan, In: qRange, Out: qNgh, Base: l.g.NeighborsAddr, IssuePerCycle: 2})
+			ra.New(c, ra.Config{Mode: ra.Indirect, In: qDupA, Out: qData, Base: l.dist, IssuePerCycle: 2})
+			c.Load(0, bfsHeadProg(l, true))
+			c.Load(1, bfsCoupledUpdateProg(l))
+		case stages >= 4:
+			c.Load(0, bfsHeadProg(l, false))
+			c.Load(1, bfsEnumProg(l, true))
+			c.Load(2, bfsFetchProg(l))
+			c.Load(3, bfsUpdateProg(l, true))
+		case stages == 3:
+			c.Load(0, bfsHeadProg(l, false))
+			c.Load(1, bfsEnumProg(l, false))
+			c.Load(2, bfsFetchUpdateProg(l))
+		default: // 2 stages
+			c.Load(0, bfsHeadEnumProg(l))
+			c.Load(1, bfsFetchUpdateProg(l))
+		}
+		return checkBFS(s, l, g)
+	}
+}
+
+// bfsHeadProg is the "process current fringe" stage. With useRA it enqueues
+// vertex ids into qVtx (an IndirectPair RA fetches offsets); without, it
+// loads offsets itself and enqueues (start,end) pairs into qRange. It owns
+// level control: end-of-level CV, feedback dequeue, termination CV.
+func bfsHeadProg(l bfsLayout, useRA bool) *isa.Program {
+	const (
+		rOff isa.Reg = 1
+		rCur isa.Reg = 4
+		rCnt isa.Reg = 6
+		rI   isa.Reg = 9
+		rT   isa.Reg = 15
+	)
+	outQ := qRange
+	if useRA {
+		outQ = qVtx
+	}
+	a := isa.NewAssembler("bfs-head")
+	a.MapQ(mq0, outQ, isa.QueueIn)
+	a.MapQ(mq3, qFeed, isa.QueueOut)
+	a.SetReg(rOff, l.g.OffsetsAddr)
+	a.SetReg(rCur, l.fringeA)
+	a.SetReg(rCnt, 1)
+
+	a.Label("level")
+	a.MovI(rI, 0)
+	a.Label("vloop")
+	a.Bgeu(rI, rCnt, "eol")
+	a.ShlI(rT, rI, 3)
+	a.Add(rT, rT, rCur)
+	if useRA {
+		a.Ld8(mq0, rT, 0) // enqueue v straight from the fringe load
+	} else {
+		a.Ld8(rT, rT, 0) // v
+		a.ShlI(rT, rT, 3)
+		a.Add(rT, rT, rOff)
+		a.Ld8(mq0, rT, 0) // enqueue start
+		a.Ld8(mq0, rT, 8) // enqueue end
+	}
+	a.AddI(rI, rI, 1)
+	a.Jmp("vloop")
+	a.Label("eol")
+	a.EnqCI(outQ, cvEOL)
+	a.Mov(rCnt, mq3) // blocks until the update stage reports the next level
+	a.BeqI(rCnt, 0, "done")
+	a.MovU(rT, l.fringeA^l.fringeB)
+	a.Xor(rCur, rCur, rT) // swap fringe buffers
+	a.Jmp("level")
+	a.Label("done")
+	a.EnqCI(outQ, cvDone)
+	a.Halt()
+	return a.MustLink()
+}
+
+// bfsHeadEnumProg merges the head and enumerate stages (2-stage pipeline):
+// fringe walk + offsets + neighbor loads, enqueueing neighbors into qNgh.
+func bfsHeadEnumProg(l bfsLayout) *isa.Program {
+	const (
+		rOff   isa.Reg = 1
+		rNgh   isa.Reg = 2
+		rCur   isa.Reg = 4
+		rCnt   isa.Reg = 6
+		rI     isa.Reg = 9
+		rStart isa.Reg = 11
+		rEnd   isa.Reg = 12
+		rT     isa.Reg = 15
+	)
+	a := isa.NewAssembler("bfs-head-enum")
+	a.MapQ(mq0, qNgh, isa.QueueIn)
+	a.MapQ(mq3, qFeed, isa.QueueOut)
+	a.SetReg(rOff, l.g.OffsetsAddr)
+	a.SetReg(rNgh, l.g.NeighborsAddr)
+	a.SetReg(rCur, l.fringeA)
+	a.SetReg(rCnt, 1)
+
+	a.Label("level")
+	a.MovI(rI, 0)
+	a.Label("vloop")
+	a.Bgeu(rI, rCnt, "eol")
+	a.ShlI(rT, rI, 3)
+	a.Add(rT, rT, rCur)
+	a.Ld8(rT, rT, 0)
+	a.ShlI(rT, rT, 3)
+	a.Add(rT, rT, rOff)
+	a.Ld8(rStart, rT, 0)
+	a.Ld8(rEnd, rT, 8)
+	a.Label("eloop")
+	a.Bgeu(rStart, rEnd, "vend")
+	a.ShlI(rT, rStart, 3)
+	a.Add(rT, rT, rNgh)
+	a.Ld8(mq0, rT, 0) // enqueue neighbor
+	a.AddI(rStart, rStart, 1)
+	a.Jmp("eloop")
+	a.Label("vend")
+	a.AddI(rI, rI, 1)
+	a.Jmp("vloop")
+	a.Label("eol")
+	a.EnqCI(qNgh, cvEOL)
+	a.Mov(rCnt, mq3)
+	a.BeqI(rCnt, 0, "done")
+	a.MovU(rT, l.fringeA^l.fringeB)
+	a.Xor(rCur, rCur, rT)
+	a.Jmp("level")
+	a.Label("done")
+	a.EnqCI(qNgh, cvDone)
+	a.Halt()
+	return a.MustLink()
+}
+
+// bfsEnumProg is the "enumerate neighbors" stage: (start,end) pairs in,
+// neighbor ids out. With dup=true it feeds both the fetch stage (qDupA) and
+// the update stage (qDupB); otherwise only qNgh.
+func bfsEnumProg(l bfsLayout, dup bool) *isa.Program {
+	const (
+		rNgh   isa.Reg = 2
+		rStart isa.Reg = 11
+		rEnd   isa.Reg = 12
+		rT     isa.Reg = 15
+		rV     isa.Reg = 16
+	)
+	a := isa.NewAssembler("bfs-enum")
+	a.MapQ(mq0, qRange, isa.QueueOut)
+	if dup {
+		a.MapQ(mq1, qDupA, isa.QueueIn)
+		a.MapQ(mq2, qDupB, isa.QueueIn)
+	} else {
+		a.MapQ(mq1, qNgh, isa.QueueIn)
+	}
+	a.OnDeqCV("cv")
+	a.SetReg(rNgh, l.g.NeighborsAddr)
+
+	a.Label("loop")
+	a.Mov(rStart, mq0)
+	a.Mov(rEnd, mq0)
+	a.Label("escan")
+	a.Bgeu(rStart, rEnd, "loop")
+	a.ShlI(rT, rStart, 3)
+	a.Add(rT, rT, rNgh)
+	if dup {
+		a.Ld8(rV, rT, 0)
+		a.Mov(mq1, rV)
+		a.Mov(mq2, rV)
+	} else {
+		a.Ld8(mq1, rT, 0)
+	}
+	a.AddI(rStart, rStart, 1)
+	a.Jmp("escan")
+	a.Label("cv")
+	if dup {
+		a.EnqC(qDupA, isa.RHCV)
+		a.EnqC(qDupB, isa.RHCV)
+	} else {
+		a.EnqC(qNgh, isa.RHCV)
+	}
+	a.BeqI(isa.RHCV, cvDone, "done")
+	a.Jmp("loop")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+// bfsDupProg is the duplication stage used when RAs implement the offsets
+// and neighbor stages: it fans each neighbor id out to the distance RA
+// (qDupA) and the update stage (qDupB).
+func bfsDupProg(l bfsLayout) *isa.Program {
+	const rV isa.Reg = 16
+	a := isa.NewAssembler("bfs-dup")
+	a.MapQ(mq0, qNgh, isa.QueueOut)
+	a.MapQ(mq1, qDupA, isa.QueueIn)
+	a.MapQ(mq2, qDupB, isa.QueueIn)
+	a.OnDeqCV("cv")
+	a.Label("loop")
+	a.Mov(rV, mq0)
+	a.Mov(mq1, rV)
+	a.Mov(mq2, rV)
+	a.Jmp("loop")
+	a.Label("cv")
+	a.EnqC(qDupA, isa.RHCV)
+	a.EnqC(qDupB, isa.RHCV)
+	a.BeqI(isa.RHCV, cvDone, "done")
+	a.Jmp("loop")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+// bfsFetchProg is the "fetch distances" stage of the 4-stage thread-only
+// pipeline: neighbor ids in (qDupA), distance values out (qData).
+func bfsFetchProg(l bfsLayout) *isa.Program {
+	const (
+		rDist isa.Reg = 3
+		rT    isa.Reg = 15
+	)
+	a := isa.NewAssembler("bfs-fetch")
+	a.MapQ(mq0, qDupA, isa.QueueOut)
+	a.MapQ(mq1, qData, isa.QueueIn)
+	a.OnDeqCV("cv")
+	a.SetReg(rDist, l.dist)
+	a.Label("loop")
+	a.ShlI(rT, mq0, 3) // dequeue neighbor id
+	a.Add(rT, rT, rDist)
+	a.Ld8(mq1, rT, 0) // load enqueues the distance
+	a.Jmp("loop")
+	a.Label("cv")
+	a.EnqC(qData, isa.RHCV)
+	a.BeqI(isa.RHCV, cvDone, "done")
+	a.Jmp("loop")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+// bfsUpdateProg is the "update data" stage: consumes (neighbor, distance)
+// pairs from qDupB and qData, re-checks stale distances (the Sec. III-C
+// race), writes distances and the next fringe, and drives level feedback.
+// recheck is true in decoupled configurations where the fetched distance can
+// be stale.
+func bfsUpdateProg(l bfsLayout, recheck bool) *isa.Program {
+	const (
+		rDist isa.Reg = 3
+		rNext isa.Reg = 5
+		rNCnt isa.Reg = 7
+		rLvl  isa.Reg = 8
+		rN    isa.Reg = 13
+		rD    isa.Reg = 14
+		rT    isa.Reg = 15
+		rInf  isa.Reg = 16
+		rT2   isa.Reg = 17
+	)
+	a := isa.NewAssembler("bfs-update")
+	a.MapQ(mq0, qDupB, isa.QueueOut) // neighbor ids
+	a.MapQ(mq1, qData, isa.QueueOut) // fetched distances
+	a.MapQ(mq3, qFeed, isa.QueueIn)  // feedback to the head stage
+	a.OnDeqCV("cv")
+	a.SetReg(rDist, l.dist)
+	a.SetReg(rNext, l.fringeB)
+	a.SetReg(rNCnt, 0)
+	a.SetReg(rLvl, 1)
+	a.SetReg(rInf, graph.Unreached)
+
+	a.Label("loop")
+	a.Mov(rN, mq0) // neighbor (CV traps here)
+	a.Mov(rD, mq1) // fetched distance
+	a.Bne(rD, rInf, "loop")
+	a.ShlI(rT, rN, 3)
+	a.Add(rT, rT, rDist)
+	if recheck {
+		a.Ld8(rD, rT, 0) // fresh check; hits L1
+		a.Bne(rD, rInf, "loop")
+	}
+	a.St8(rT, 0, rLvl)
+	a.ShlI(rT2, rNCnt, 3)
+	a.Add(rT2, rT2, rNext)
+	a.St8(rT2, 0, rN)
+	a.AddI(rNCnt, rNCnt, 1)
+	a.Jmp("loop")
+
+	a.Label("cv")
+	a.SkipC(rT, qData) // consume the matching CV in the data queue
+	a.BeqI(isa.RHCV, cvDone, "done")
+	a.Mov(mq3, rNCnt) // report next-level size to the head stage
+	a.MovI(rNCnt, 0)
+	a.AddI(rLvl, rLvl, 1)
+	a.MovU(rT, l.fringeA^l.fringeB)
+	a.Xor(rNext, rNext, rT)
+	a.Jmp("loop")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+// bfsFetchUpdateProg merges fetch and update (2- and 3-stage pipelines): it
+// loads distances itself, so no staleness re-check is needed.
+func bfsFetchUpdateProg(l bfsLayout) *isa.Program {
+	const (
+		rDist isa.Reg = 3
+		rNext isa.Reg = 5
+		rNCnt isa.Reg = 7
+		rLvl  isa.Reg = 8
+		rN    isa.Reg = 13
+		rD    isa.Reg = 14
+		rT    isa.Reg = 15
+		rInf  isa.Reg = 16
+		rT2   isa.Reg = 17
+	)
+	a := isa.NewAssembler("bfs-fetch-update")
+	a.MapQ(mq0, qNgh, isa.QueueOut)
+	a.MapQ(mq3, qFeed, isa.QueueIn)
+	a.OnDeqCV("cv")
+	a.SetReg(rDist, l.dist)
+	a.SetReg(rNext, l.fringeB)
+	a.SetReg(rNCnt, 0)
+	a.SetReg(rLvl, 1)
+	a.SetReg(rInf, graph.Unreached)
+
+	a.Label("loop")
+	a.Mov(rN, mq0)
+	a.ShlI(rT, rN, 3)
+	a.Add(rT, rT, rDist)
+	a.Ld8(rD, rT, 0)
+	a.Bne(rD, rInf, "loop")
+	a.St8(rT, 0, rLvl)
+	a.ShlI(rT2, rNCnt, 3)
+	a.Add(rT2, rT2, rNext)
+	a.St8(rT2, 0, rN)
+	a.AddI(rNCnt, rNCnt, 1)
+	a.Jmp("loop")
+
+	a.Label("cv")
+	a.BeqI(isa.RHCV, cvDone, "done")
+	a.Mov(mq3, rNCnt)
+	a.MovI(rNCnt, 0)
+	a.AddI(rLvl, rLvl, 1)
+	a.MovU(rT, l.fringeA^l.fringeB)
+	a.Xor(rNext, rNext, rT)
+	a.Jmp("loop")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+// bfsCoupledUpdateProg is the Fig. 15 "2t+RA" pitfall stage: it feeds the
+// distance RA and consumes its result inside the same loop iteration, so the
+// RA's load latency is barely hidden, and the staleness re-check cost cannot
+// be overlapped.
+func bfsCoupledUpdateProg(l bfsLayout) *isa.Program {
+	const (
+		rDist isa.Reg = 3
+		rNext isa.Reg = 5
+		rNCnt isa.Reg = 7
+		rLvl  isa.Reg = 8
+		rN    isa.Reg = 13
+		rD    isa.Reg = 14
+		rT    isa.Reg = 15
+		rInf  isa.Reg = 16
+		rT2   isa.Reg = 17
+	)
+	a := isa.NewAssembler("bfs-coupled-update")
+	a.MapQ(mq0, qNgh, isa.QueueOut)  // from the neighbors RA
+	a.MapQ(mq1, qDupA, isa.QueueIn)  // to the distance RA
+	a.MapQ(mq2, qData, isa.QueueOut) // from the distance RA
+	a.MapQ(mq3, qFeed, isa.QueueIn)
+	a.OnDeqCV("cv")
+	a.SetReg(rDist, l.dist)
+	a.SetReg(rNext, l.fringeB)
+	a.SetReg(rNCnt, 0)
+	a.SetReg(rLvl, 1)
+	a.SetReg(rInf, graph.Unreached)
+
+	a.Label("loop")
+	a.Mov(rN, mq0) // neighbor from RA1
+	a.Mov(mq1, rN) // ask RA2 for its distance
+	a.Mov(rD, mq2) // ... and wait for it in the same iteration
+	a.Bne(rD, rInf, "loop")
+	a.ShlI(rT, rN, 3)
+	a.Add(rT, rT, rDist)
+	a.Ld8(rD, rT, 0) // stale-guard re-check
+	a.Bne(rD, rInf, "loop")
+	a.St8(rT, 0, rLvl)
+	a.ShlI(rT2, rNCnt, 3)
+	a.Add(rT2, rT2, rNext)
+	a.St8(rT2, 0, rN)
+	a.AddI(rNCnt, rNCnt, 1)
+	a.Jmp("loop")
+
+	a.Label("cv")
+	a.EnqC(qDupA, isa.RHCV) // keep the RA stream aligned
+	a.SkipC(rT, qData)      // consume the forwarded CV
+	a.BeqI(isa.RHCV, cvDone, "done")
+	a.Mov(mq3, rNCnt)
+	a.MovI(rNCnt, 0)
+	a.AddI(rLvl, rLvl, 1)
+	a.MovU(rT, l.fringeA^l.fringeB)
+	a.Xor(rNext, rNext, rT)
+	a.Jmp("loop")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"testing"
+
+	"pipette/internal/graph"
+	"pipette/internal/sim"
+)
+
+func testGraph() *graph.Graph { return graph.Road(24, 24, 42) }
+
+func runBench(t *testing.T, cores int, b Builder) sim.Result {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Cores = cores
+	cfg.WatchdogCycles = 500_000
+	s := sim.New(cfg)
+	r, err := Run(s, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestBFSSerial(t *testing.T) {
+	r := runBench(t, 1, BFSSerial(testGraph(), 0))
+	if r.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+}
+
+func TestBFSDataParallel(t *testing.T) {
+	runBench(t, 1, BFSDataParallel(testGraph(), 0, 4))
+}
+
+func TestBFSDataParallelMulticore(t *testing.T) {
+	runBench(t, 2, BFSDataParallel(testGraph(), 0, 8))
+}
+
+func TestBFSPipette4StageRA(t *testing.T) {
+	runBench(t, 1, BFSPipette(testGraph(), 0, 4, true))
+}
+
+func TestBFSPipette4StageNoRA(t *testing.T) {
+	runBench(t, 1, BFSPipette(testGraph(), 0, 4, false))
+}
+
+func TestBFSPipette3Stage(t *testing.T) {
+	runBench(t, 1, BFSPipette(testGraph(), 0, 3, false))
+}
+
+func TestBFSPipette2Stage(t *testing.T) {
+	runBench(t, 1, BFSPipette(testGraph(), 0, 2, false))
+}
+
+func TestBFSPipette2StageRA(t *testing.T) {
+	runBench(t, 1, BFSPipette(testGraph(), 0, 2, true))
+}
+
+// The headline claim (Fig. 2): Pipette BFS beats both serial and 4-thread
+// data-parallel BFS on the same core, with higher IPC than serial.
+func TestBFSPipetteBeatsDataParallel(t *testing.T) {
+	g := graph.Road(40, 40, 7)
+	serial := runBench(t, 1, BFSSerial(g, 0))
+	dp := runBench(t, 1, BFSDataParallel(g, 0, 4))
+	pip := runBench(t, 1, BFSPipette(g, 0, 4, true))
+	t.Logf("serial=%d dp=%d pipette=%d cycles; IPC %.2f / %.2f / %.2f",
+		serial.Cycles, dp.Cycles, pip.Cycles, serial.IPC(), dp.IPC(), pip.IPC())
+	if pip.Cycles >= dp.Cycles {
+		t.Errorf("Pipette (%d cycles) not faster than data-parallel (%d)", pip.Cycles, dp.Cycles)
+	}
+	if pip.Cycles >= serial.Cycles {
+		t.Errorf("Pipette (%d cycles) not faster than serial (%d)", pip.Cycles, serial.Cycles)
+	}
+}
+
+// More stages decouple more (Fig. 15): 4-stage should beat 2-stage without
+// RAs.
+func TestBFSStageScaling(t *testing.T) {
+	g := graph.Road(40, 40, 7)
+	two := runBench(t, 1, BFSPipette(g, 0, 2, false))
+	four := runBench(t, 1, BFSPipette(g, 0, 4, false))
+	t.Logf("2t=%d 4t=%d cycles", two.Cycles, four.Cycles)
+	if four.Cycles >= two.Cycles {
+		t.Errorf("4-stage (%d) not faster than 2-stage (%d)", four.Cycles, two.Cycles)
+	}
+}
+
+func TestBFSStreaming(t *testing.T) {
+	runBench(t, 4, BFSStreaming(testGraph(), 0))
+}
+
+func TestBFSMulticore4(t *testing.T) {
+	runBench(t, 4, BFSMulticore(testGraph(), 0, 4))
+}
+
+func TestBFSMulticore16(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 16
+	cfg.Core.NumQueues = 36
+	cfg.Core.PhysRegs = 280
+	cfg.WatchdogCycles = 1_000_000
+	s := sim.New(cfg)
+	if _, err := Run(s, BFSMulticore(testGraph(), 0, 16)); err != nil {
+		t.Fatal(err)
+	}
+}

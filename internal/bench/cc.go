@@ -1,0 +1,616 @@
+package bench
+
+import (
+	"fmt"
+
+	"pipette/internal/graph"
+	"pipette/internal/isa"
+	"pipette/internal/mem"
+	"pipette/internal/sim"
+)
+
+// Connected components via repeated breadth-first searches (Sec. V-B: "CC
+// uses multiple invocations of BFS to discover graph connectivity"): sweep
+// vertices in order; every still-unlabeled vertex seeds a BFS that labels
+// its whole component with the seed's id. The per-component searches reuse
+// the BFS pipeline structure, including its end-of-level feedback.
+//
+// Converged labels equal the minimum vertex id of each component (seeds are
+// visited in ascending order), which is what the reference graph.CC checks.
+
+type ccLayout struct {
+	g       graph.Layout
+	labels  uint64 // component id per vertex; Unreached until labeled
+	fringeA uint64
+	fringeB uint64
+	cells   uint64
+	n       int
+}
+
+func layoutCC(m *mem.Memory, g *graph.Graph) ccLayout {
+	l := ccLayout{
+		g:       g.WriteTo(m),
+		labels:  m.AllocWords(uint64(g.N)),
+		fringeA: m.AllocWords(uint64(g.N)),
+		fringeB: m.AllocWords(uint64(g.N)),
+		cells:   m.AllocWords(cellsWords),
+		n:       g.N,
+	}
+	for v := 0; v < g.N; v++ {
+		m.Write64(l.labels+uint64(v)*8, graph.Unreached)
+	}
+	m.Write64(l.cells+cellCurPtr, l.fringeA)
+	m.Write64(l.cells+cellNextPtr, l.fringeB)
+	return l
+}
+
+func checkCC(s *sim.System, l ccLayout, g *graph.Graph) CheckFn {
+	return func() error {
+		want := graph.CC(g)
+		for v := 0; v < g.N; v++ {
+			if got := s.Mem.Read64(l.labels + uint64(v)*8); got != want[v] {
+				return fmt.Errorf("cc: label[%d] = %d, want %d", v, got, want[v])
+			}
+		}
+		return nil
+	}
+}
+
+// CCSerial builds the serial BFS-sweep kernel.
+func CCSerial(g *graph.Graph) Builder {
+	return func(s *sim.System) CheckFn {
+		l := layoutCC(s.Mem, g)
+		s.Cores[0].Load(0, ccSerialProg(l))
+		return checkCC(s, l, g)
+	}
+}
+
+func ccSerialProg(l ccLayout) *isa.Program {
+	const (
+		rOff   isa.Reg = 1
+		rNgh   isa.Reg = 2
+		rLab   isa.Reg = 3
+		rCur   isa.Reg = 4
+		rNext  isa.Reg = 5
+		rCnt   isa.Reg = 6
+		rNCnt  isa.Reg = 7
+		rComp  isa.Reg = 8 // current component id (the seed)
+		rI     isa.Reg = 9
+		rV     isa.Reg = 10
+		rStart isa.Reg = 11
+		rEnd   isa.Reg = 12
+		rN     isa.Reg = 13
+		rLu    isa.Reg = 14
+		rT     isa.Reg = 15
+		rInf   isa.Reg = 16
+		rT2    isa.Reg = 17
+		rSeed  isa.Reg = 18 // vertex sweep cursor
+	)
+	a := isa.NewAssembler("cc-serial")
+	a.SetReg(rOff, l.g.OffsetsAddr)
+	a.SetReg(rNgh, l.g.NeighborsAddr)
+	a.SetReg(rLab, l.labels)
+	a.SetReg(rCur, l.fringeA)
+	a.SetReg(rNext, l.fringeB)
+	a.SetReg(rInf, graph.Unreached)
+	a.SetReg(rSeed, 0)
+
+	// Seed sweep: find the next unlabeled vertex.
+	a.Label("sweep")
+	a.BeqI(rSeed, int64(l.n), "alldone")
+	a.ShlI(rT, rSeed, 3)
+	a.Add(rT, rT, rLab)
+	a.Ld8(rLu, rT, 0)
+	a.Beq(rLu, rInf, "newcomp")
+	a.AddI(rSeed, rSeed, 1)
+	a.Jmp("sweep")
+	a.Label("newcomp")
+	a.Mov(rComp, rSeed)
+	a.St8(rT, 0, rComp) // label[seed] = seed
+	a.St8(rCur, 0, rSeed)
+	a.MovI(rCnt, 1)
+	a.MovI(rNCnt, 0)
+
+	a.Label("level")
+	a.MovI(rI, 0)
+	a.Label("vloop")
+	a.Bgeu(rI, rCnt, "eol")
+	a.ShlI(rT, rI, 3)
+	a.Add(rT, rT, rCur)
+	a.Ld8(rV, rT, 0)
+	a.ShlI(rT, rV, 3)
+	a.Add(rT, rT, rOff)
+	a.Ld8(rStart, rT, 0)
+	a.Ld8(rEnd, rT, 8)
+	a.Label("eloop")
+	a.Bgeu(rStart, rEnd, "vend")
+	a.ShlI(rT, rStart, 3)
+	a.Add(rT, rT, rNgh)
+	a.Ld8(rN, rT, 0)
+	a.ShlI(rT, rN, 3)
+	a.Add(rT, rT, rLab)
+	a.Ld8(rLu, rT, 0)
+	a.Bne(rLu, rInf, "skip")
+	a.St8(rT, 0, rComp)
+	a.ShlI(rT2, rNCnt, 3)
+	a.Add(rT2, rT2, rNext)
+	a.St8(rT2, 0, rN)
+	a.AddI(rNCnt, rNCnt, 1)
+	a.Label("skip")
+	a.AddI(rStart, rStart, 1)
+	a.Jmp("eloop")
+	a.Label("vend")
+	a.AddI(rI, rI, 1)
+	a.Jmp("vloop")
+	a.Label("eol")
+	a.BeqI(rNCnt, 0, "compdone")
+	a.Xor(rCur, rCur, rNext)
+	a.Xor(rNext, rCur, rNext)
+	a.Xor(rCur, rCur, rNext)
+	a.Mov(rCnt, rNCnt)
+	a.MovI(rNCnt, 0)
+	a.Jmp("level")
+	a.Label("compdone")
+	a.AddI(rSeed, rSeed, 1)
+	a.Jmp("sweep")
+	a.Label("alldone")
+	a.Halt()
+	return a.MustLink()
+}
+
+// CCDataParallel builds the data-parallel version: the vertex sweep is
+// serialized (components must be seeded in ascending order for minimum
+// labels), but each component's BFS runs level-parallel across threads with
+// CAS-claimed labels and a shared barrier — the Ligra-style parallel
+// pattern.
+func CCDataParallel(g *graph.Graph, nThreads int) Builder {
+	return func(s *sim.System) CheckFn {
+		l := layoutCC(s.Mem, g)
+		for t := 0; t < nThreads; t++ {
+			s.Cores[t/4].Load(t%4, ccDPProg(l, t, nThreads))
+		}
+		return checkCC(s, l, g)
+	}
+}
+
+func ccDPProg(l ccLayout, tid, nThreads int) *isa.Program {
+	const (
+		rOff   isa.Reg = 1
+		rNgh   isa.Reg = 2
+		rLab   isa.Reg = 3
+		rCells isa.Reg = 4
+		rInf   isa.Reg = 5
+		rTid   isa.Reg = 6
+		rT     isa.Reg = 7
+		rBar   isa.Reg = 8
+		rCnt   isa.Reg = 9
+		rCur   isa.Reg = 10
+		rComp  isa.Reg = 11
+		rLo    isa.Reg = 12
+		rHi    isa.Reg = 13
+		rI     isa.Reg = 14
+		rV     isa.Reg = 15
+		rStart isa.Reg = 16
+		rEnd   isa.Reg = 17
+		rN     isa.Reg = 18
+		rAddr  isa.Reg = 19
+		rOld   isa.Reg = 20
+		rIdx   isa.Reg = 21
+		rNext  isa.Reg = 22
+		rTmp   isa.Reg = 23
+		rOne   isa.Reg = 24
+		rSeed  isa.Reg = 25
+	)
+	a := isa.NewAssembler(fmt.Sprintf("cc-dp-%d", tid))
+	a.SetReg(rOff, l.g.OffsetsAddr)
+	a.SetReg(rNgh, l.g.NeighborsAddr)
+	a.SetReg(rLab, l.labels)
+	a.SetReg(rCells, l.cells)
+	a.SetReg(rInf, graph.Unreached)
+	a.SetReg(rTid, uint64(tid))
+	a.SetReg(rOne, 1)
+	a.SetReg(rBar, 0)
+	a.SetReg(rSeed, 0)
+
+	barrier := func(tag string, lastWork func()) {
+		a.AddI(rTmp, rCells, cellArrive)
+		a.FetchAdd(rOld, rTmp, rOne)
+		a.AddI(rBar, rBar, 1)
+		a.MovI(rTmp, int64(nThreads))
+		a.Mul(rTmp, rTmp, rBar)
+		a.AddI(rOld, rOld, 1)
+		a.Bne(rOld, rTmp, tag+"wait")
+		if lastWork != nil {
+			lastWork()
+		}
+		a.AddI(rTmp, rCells, cellRelease)
+		a.FetchAdd(rOld, rTmp, rOne)
+		a.Label(tag + "wait")
+		a.Ld8(rTmp, rCells, cellRelease)
+		a.Bltu(rTmp, rBar, tag+"wait")
+	}
+
+	// Thread 0 owns the seed sweep; all threads join each component's BFS.
+	a.Label("sweep")
+	if tid == 0 {
+		a.Label("scan")
+		a.BeqI(rSeed, int64(l.n), "announce")
+		a.ShlI(rT, rSeed, 3)
+		a.Add(rT, rT, rLab)
+		a.Ld8(rOld, rT, 0)
+		a.Beq(rOld, rInf, "announce")
+		a.AddI(rSeed, rSeed, 1)
+		a.Jmp("scan")
+		a.Label("announce")
+		// Publish the next seed (or n to terminate), set up the fringe.
+		a.St8(rCells, cellCurDist, rSeed)
+		a.BeqI(rSeed, int64(l.n), "announced")
+		a.ShlI(rT, rSeed, 3)
+		a.Add(rT, rT, rLab)
+		a.St8(rT, 0, rSeed) // label[seed] = seed
+		a.Ld8(rT, rCells, cellCurPtr)
+		a.St8(rT, 0, rSeed)
+		a.MovI(rTmp, 1)
+		a.St8(rCells, cellCurCnt, rTmp)
+		a.St8(rCells, cellNextCnt, isa.R0)
+		a.Label("announced")
+	}
+	barrier("b0", nil)
+	a.Ld8(rComp, rCells, cellCurDist) // the seed id doubles as component id
+	a.BeqI(rComp, int64(l.n), "alldone")
+
+	a.Label("level")
+	a.Ld8(rCnt, rCells, cellCurCnt)
+	a.Ld8(rCur, rCells, cellCurPtr)
+	a.Mul(rLo, rTid, rCnt)
+	a.MovI(rT, int64(nThreads))
+	a.Div(rLo, rLo, rT)
+	a.AddI(rHi, rTid, 1)
+	a.Mul(rHi, rHi, rCnt)
+	a.Div(rHi, rHi, rT)
+	a.Mov(rI, rLo)
+	a.Label("vloop")
+	a.Bgeu(rI, rHi, "arrive")
+	a.ShlI(rAddr, rI, 3)
+	a.Add(rAddr, rAddr, rCur)
+	a.Ld8(rV, rAddr, 0)
+	a.ShlI(rAddr, rV, 3)
+	a.Add(rAddr, rAddr, rOff)
+	a.Ld8(rStart, rAddr, 0)
+	a.Ld8(rEnd, rAddr, 8)
+	a.Label("eloop")
+	a.Bgeu(rStart, rEnd, "vend")
+	a.ShlI(rAddr, rStart, 3)
+	a.Add(rAddr, rAddr, rNgh)
+	a.Ld8(rN, rAddr, 0)
+	a.ShlI(rAddr, rN, 3)
+	a.Add(rAddr, rAddr, rLab)
+	a.Ld8(rOld, rAddr, 0)
+	a.Bne(rOld, rInf, "skip")
+	a.Cas(rOld, rAddr, rInf, rComp)
+	a.Bne(rOld, rInf, "skip")
+	a.AddI(rTmp, rCells, cellNextCnt)
+	a.FetchAdd(rIdx, rTmp, rOne)
+	a.Ld8(rNext, rCells, cellNextPtr)
+	a.ShlI(rTmp, rIdx, 3)
+	a.Add(rTmp, rTmp, rNext)
+	a.St8(rTmp, 0, rN)
+	a.Label("skip")
+	a.AddI(rStart, rStart, 1)
+	a.Jmp("eloop")
+	a.Label("vend")
+	a.AddI(rI, rI, 1)
+	a.Jmp("vloop")
+
+	a.Label("arrive")
+	barrier("b1", func() {
+		a.Ld8(rTmp, rCells, cellCurPtr)
+		a.Ld8(rOld, rCells, cellNextPtr)
+		a.St8(rCells, cellCurPtr, rOld)
+		a.St8(rCells, cellNextPtr, rTmp)
+		a.Ld8(rTmp, rCells, cellNextCnt)
+		a.St8(rCells, cellCurCnt, rTmp)
+		a.St8(rCells, cellNextCnt, isa.R0)
+	})
+	a.Ld8(rCnt, rCells, cellCurCnt)
+	a.BneI(rCnt, 0, "level")
+	if tid == 0 {
+		a.AddI(rSeed, rSeed, 1)
+	}
+	a.Jmp("sweep")
+	a.Label("alldone")
+	a.Halt()
+	return a.MustLink()
+}
+
+// The CC Pipette pipeline is the BFS pipeline with a component id instead
+// of a distance: head (seed sweep + fringe walk) -> offsets RA -> neighbors
+// RA -> dup -> {labels RA, update}. The stages below adapt the BFS programs
+// to the sweep-and-label structure.
+
+// ccHeadProg walks the current fringe like the BFS head, and additionally
+// owns the seed sweep: when a component finishes (feedback count 0), it
+// scans for the next unlabeled vertex and starts a new search there.
+func ccHeadProg(l ccLayout, useRA bool) *isa.Program {
+	const (
+		rOff  isa.Reg = 1
+		rLab  isa.Reg = 3
+		rCur  isa.Reg = 4
+		rCnt  isa.Reg = 6
+		rI    isa.Reg = 9
+		rT    isa.Reg = 15
+		rInf  isa.Reg = 16
+		rSeed isa.Reg = 17
+		rLu   isa.Reg = 18
+		rFlip isa.Reg = 19
+	)
+	outQ := qVtx
+	if !useRA {
+		outQ = qRange
+	}
+	a := isa.NewAssembler("cc-head")
+	a.MapQ(mq0, outQ, isa.QueueIn)
+	a.MapQ(mq3, qFeed, isa.QueueOut)
+	a.SetReg(rOff, l.g.OffsetsAddr)
+	a.SetReg(rLab, l.labels)
+	a.SetReg(rCur, l.fringeA)
+	a.SetReg(rInf, graph.Unreached)
+	a.SetReg(rSeed, 0)
+	a.SetReg(rFlip, l.fringeA^l.fringeB)
+
+	a.Label("sweep")
+	a.BeqI(rSeed, int64(l.n), "alldone")
+	a.ShlI(rT, rSeed, 3)
+	a.Add(rT, rT, rLab)
+	a.Ld8(rLu, rT, 0)
+	a.Beq(rLu, rInf, "newcomp")
+	a.AddI(rSeed, rSeed, 1)
+	a.Jmp("sweep")
+	a.Label("newcomp")
+	// Announce the new component to the update stage with a control value
+	// carrying the seed, then walk its one-vertex fringe. The update stage
+	// labels the seed itself (single-writer discipline on labels).
+	a.EnqCI(outQ, cvEOL) // value 1 = new-component delimiter follows protocol below
+	a.St8(rCur, 0, rSeed)
+	a.MovI(rCnt, 1)
+
+	a.Label("level")
+	a.MovI(rI, 0)
+	a.Label("vloop")
+	a.Bgeu(rI, rCnt, "eol")
+	a.ShlI(rT, rI, 3)
+	a.Add(rT, rT, rCur)
+	if useRA {
+		a.Ld8(mq0, rT, 0)
+	} else {
+		a.Ld8(rT, rT, 0)
+		a.ShlI(rT, rT, 3)
+		a.Add(rT, rT, rOff)
+		a.Ld8(mq0, rT, 0)
+		a.Ld8(mq0, rT, 8)
+	}
+	a.AddI(rI, rI, 1)
+	a.Jmp("vloop")
+	a.Label("eol")
+	a.EnqCI(outQ, cvEOL)
+	a.Mov(rCnt, mq3) // next-level size from the update stage
+	a.BeqI(rCnt, 0, "compdone")
+	a.Xor(rCur, rCur, rFlip)
+	a.Jmp("level")
+	a.Label("compdone")
+	a.AddI(rSeed, rSeed, 1)
+	a.Jmp("sweep")
+	a.Label("alldone")
+	a.EnqCI(outQ, cvDone)
+	a.Halt()
+	return a.MustLink()
+}
+
+// ccUpdateProg is the BFS update stage writing component ids: unlabeled
+// neighbors get the current component and join the next fringe. The head
+// announces each new component with an extra delimiter before the seed's
+// fringe; the handler tracks the seed sweep in lockstep (rSeed advances on
+// every component-done just as in the head).
+func ccUpdateProg(l ccLayout) *isa.Program {
+	const (
+		rLab  isa.Reg = 3
+		rNext isa.Reg = 5
+		rNCnt isa.Reg = 7
+		rComp isa.Reg = 8
+		rN    isa.Reg = 13
+		rD    isa.Reg = 14
+		rT    isa.Reg = 15
+		rInf  isa.Reg = 16
+		rT2   isa.Reg = 17
+		rSeed isa.Reg = 18
+		rLvl0 isa.Reg = 19 // 1 while expecting the new-component delimiter
+		rFlip isa.Reg = 20
+	)
+	a := isa.NewAssembler("cc-update")
+	a.MapQ(mq0, qDupB, isa.QueueOut)
+	a.MapQ(mq1, qData, isa.QueueOut)
+	a.MapQ(mq3, qFeed, isa.QueueIn)
+	a.OnDeqCV("cv")
+	a.SetReg(rLab, l.labels)
+	a.SetReg(rNext, l.fringeB)
+	a.SetReg(rNCnt, 0)
+	a.SetReg(rInf, graph.Unreached)
+	a.SetReg(rSeed, 0)
+	a.SetReg(rLvl0, 1) // the first CV announces component 0's seed
+	a.SetReg(rFlip, l.fringeA^l.fringeB)
+
+	a.Label("loop")
+	a.Mov(rN, mq0) // neighbor (CV traps here)
+	a.Mov(rD, mq1) // fetched label[ngh] (possibly stale)
+	a.Bne(rD, rInf, "loop")
+	a.ShlI(rT, rN, 3)
+	a.Add(rT, rT, rLab)
+	a.Ld8(rD, rT, 0) // fresh re-check
+	a.Bne(rD, rInf, "loop")
+	a.St8(rT, 0, rComp)
+	a.ShlI(rT2, rNCnt, 3)
+	a.Add(rT2, rT2, rNext)
+	a.St8(rT2, 0, rN)
+	a.AddI(rNCnt, rNCnt, 1)
+	a.Jmp("loop")
+
+	a.Label("cv")
+	a.SkipC(rT, qData)
+	a.BeqI(isa.RHCV, cvDone, "done")
+	a.BeqI(rLvl0, 1, "newcomp")
+	// End of a level: report the next-level size. Flip the fringe buffer
+	// only when the search continues (the head flips under the same
+	// condition, keeping the two threads on opposite buffers).
+	a.Mov(mq3, rNCnt)
+	a.BeqI(rNCnt, 0, "complast")
+	a.MovI(rNCnt, 0)
+	a.Xor(rNext, rNext, rFlip)
+	a.Jmp("loop")
+	a.Label("complast")
+	a.MovI(rLvl0, 1) // the next delimiter announces a new component
+	a.Jmp("loop")
+	a.Label("newcomp")
+	// Advance the seed cursor exactly like the head: find the next
+	// unlabeled vertex and label it as its own component.
+	a.Label("scan")
+	a.ShlI(rT, rSeed, 3)
+	a.Add(rT, rT, rLab)
+	a.Ld8(rD, rT, 0)
+	a.Beq(rD, rInf, "claim")
+	a.AddI(rSeed, rSeed, 1)
+	a.Jmp("scan")
+	a.Label("claim")
+	a.Mov(rComp, rSeed)
+	a.St8(rT, 0, rComp)
+	a.MovI(rLvl0, 0)
+	a.MovI(rNCnt, 0)
+	a.Jmp("loop")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+func ccPipeline(s *sim.System, g *graph.Graph, useRA bool) (pipeSpec, ccLayout) {
+	l := layoutCC(s.Mem, g)
+	p := pipeSpec{queues: map[uint8]int{
+		qVtx: 16, qRange: 16, qNgh: 28, qDupA: 28, qDupB: 20, qData: 28, qFeed: 4,
+	}}
+	head := ccHeadProg(l, useRA)
+	update := ccUpdateProg(l)
+	if useRA {
+		p.stages = []*isa.Program{head, bfsDupProgQ(), update}
+		p.ras = raList(
+			raPair(qVtx, qRange, l.g.OffsetsAddr),
+			raScan(qRange, qNgh, l.g.NeighborsAddr),
+			raInd(qDupA, qData, l.labels),
+		)
+	} else {
+		p.stages = []*isa.Program{head, ccEnumProg(l), ccFetchProg(l), update}
+	}
+	return p, l
+}
+
+// bfsDupProgQ is the BFS duplication stage on the bfs queue ids (shared by
+// the CC pipeline, which uses the same topology).
+func bfsDupProgQ() *isa.Program {
+	const rV isa.Reg = 16
+	a := isa.NewAssembler("cc-dup")
+	a.MapQ(mq0, qNgh, isa.QueueOut)
+	a.MapQ(mq1, qDupA, isa.QueueIn)
+	a.MapQ(mq2, qDupB, isa.QueueIn)
+	a.OnDeqCV("cv")
+	a.Label("loop")
+	a.Mov(rV, mq0)
+	a.Mov(mq1, rV)
+	a.Mov(mq2, rV)
+	a.Jmp("loop")
+	a.Label("cv")
+	a.EnqC(qDupA, isa.RHCV)
+	a.EnqC(qDupB, isa.RHCV)
+	a.BeqI(isa.RHCV, cvDone, "done")
+	a.Jmp("loop")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+// ccEnumProg is the thread version of the enumerate stage for the no-RA CC
+// pipeline: (start,end) in, neighbors fanned out to fetch and update.
+func ccEnumProg(l ccLayout) *isa.Program {
+	const (
+		rNgh   isa.Reg = 2
+		rStart isa.Reg = 11
+		rEnd   isa.Reg = 12
+		rT     isa.Reg = 15
+		rV     isa.Reg = 16
+	)
+	a := isa.NewAssembler("cc-enum")
+	a.MapQ(mq0, qRange, isa.QueueOut)
+	a.MapQ(mq1, qDupA, isa.QueueIn)
+	a.MapQ(mq2, qDupB, isa.QueueIn)
+	a.OnDeqCV("cv")
+	a.SetReg(rNgh, l.g.NeighborsAddr)
+	a.Label("loop")
+	a.Mov(rStart, mq0)
+	a.Mov(rEnd, mq0)
+	a.Label("escan")
+	a.Bgeu(rStart, rEnd, "loop")
+	a.ShlI(rT, rStart, 3)
+	a.Add(rT, rT, rNgh)
+	a.Ld8(rV, rT, 0)
+	a.Mov(mq1, rV)
+	a.Mov(mq2, rV)
+	a.AddI(rStart, rStart, 1)
+	a.Jmp("escan")
+	a.Label("cv")
+	a.EnqC(qDupA, isa.RHCV)
+	a.EnqC(qDupB, isa.RHCV)
+	a.BeqI(isa.RHCV, cvDone, "done")
+	a.Jmp("loop")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+// ccFetchProg fetches label[ngh] for the no-RA pipeline.
+func ccFetchProg(l ccLayout) *isa.Program {
+	const (
+		rLab isa.Reg = 3
+		rT   isa.Reg = 15
+	)
+	a := isa.NewAssembler("cc-fetch")
+	a.MapQ(mq0, qDupA, isa.QueueOut)
+	a.MapQ(mq1, qData, isa.QueueIn)
+	a.OnDeqCV("cv")
+	a.SetReg(rLab, l.labels)
+	a.Label("loop")
+	a.ShlI(rT, mq0, 3)
+	a.Add(rT, rT, rLab)
+	a.Ld8(mq1, rT, 0)
+	a.Jmp("loop")
+	a.Label("cv")
+	a.EnqC(qData, isa.RHCV)
+	a.BeqI(isa.RHCV, cvDone, "done")
+	a.Jmp("loop")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+// CCPipette builds Pipette CC on a single core.
+func CCPipette(g *graph.Graph, useRA bool) Builder {
+	return func(s *sim.System) CheckFn {
+		p, l := ccPipeline(s, g, useRA)
+		p.placeSingleCore(s, 0)
+		return checkCC(s, l, g)
+	}
+}
+
+// CCStreaming places each CC stage on its own core.
+func CCStreaming(g *graph.Graph) Builder {
+	return func(s *sim.System) CheckFn {
+		p, l := ccPipeline(s, g, true)
+		p.placeStreaming(s)
+		return checkCC(s, l, g)
+	}
+}

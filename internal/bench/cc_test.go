@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"testing"
+
+	"pipette/internal/graph"
+)
+
+func ccGraph() *graph.Graph { return graph.Collaboration(600, 5) }
+
+func TestCCSerial(t *testing.T) {
+	runBench(t, 1, CCSerial(ccGraph()))
+}
+
+func TestCCDataParallel(t *testing.T) {
+	runBench(t, 1, CCDataParallel(ccGraph(), 4))
+}
+
+func TestCCPipetteRA(t *testing.T) {
+	runBench(t, 1, CCPipette(ccGraph(), true))
+}
+
+func TestCCPipetteNoRA(t *testing.T) {
+	runBench(t, 1, CCPipette(ccGraph(), false))
+}
+
+func TestCCStreaming(t *testing.T) {
+	runBench(t, 4, CCStreaming(ccGraph()))
+}
+
+func TestCCDisconnectedComponents(t *testing.T) {
+	// Two components exercise non-trivial label propagation.
+	g := graph.FromEdges("two", 8, [][2]int{
+		{1, 2}, {2, 1}, {2, 3}, {3, 2}, {0, 1}, {1, 0},
+		{4, 5}, {5, 4}, {6, 7}, {7, 6}, {5, 6}, {6, 5},
+	})
+	runBench(t, 1, CCPipette(g, true))
+}

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"pipette/internal/isa"
+)
+
+// Shared stage builders for the fringe-structured graph kernels (CC, PRD,
+// Radii). Their pipelines all look like BFS's (Sec. V-B: "the pipelines for
+// these algorithms resemble the pipeline for BFS"), but carry a per-vertex
+// value (source label / share / visit mask) alongside the neighbor stream:
+//
+//	head: v -> {offsets RA, value RA}        (qFA, qFB)
+//	expand: (start,end)+value -> scan RA input (qScanIn) + per-edge value (qRep)
+//	dup: ngh -> {data RA input, update stage} (qDupX, qDupY)
+//	update: app-specific
+//
+// Queue ids for this family.
+const (
+	fqV0    uint8 = 0  // v -> offsets RA
+	fqV1    uint8 = 1  // v -> per-vertex-value RA (or thread loads)
+	fqRange uint8 = 2  // (start,end)
+	fqVal   uint8 = 3  // per-vertex value
+	fqScan  uint8 = 4  // (start,end) into the neighbors scan RA
+	fqNgh   uint8 = 5  // neighbor stream
+	fqDupA  uint8 = 6  // ngh -> per-neighbor-data RA
+	fqDupB  uint8 = 7  // ngh -> update stage
+	fqData  uint8 = 8  // fetched per-neighbor data
+	fqRep   uint8 = 9  // per-edge replicated vertex value
+	fqFeed  uint8 = 10 // feedback to head
+)
+
+// fringeQueueCaps is the QRM budget split for this family (sums to 120 of
+// the 148 mappable registers; deep queues on the indirection chain).
+func fringeQueueCaps() map[uint8]int {
+	return map[uint8]int{
+		fqV0: 8, fqV1: 8, fqRange: 8, fqVal: 8, fqScan: 8,
+		fqNgh: 16, fqDupA: 16, fqDupB: 12, fqData: 16, fqRep: 16, fqFeed: 4,
+	}
+}
+
+// fringeHeadProg walks the current fringe and feeds vertex ids to the two
+// head RAs (offsets and per-vertex value). It owns level control. When
+// useRA is false it instead loads offsets and the per-vertex value itself
+// (valBase) and enqueues into fqRange/fqVal directly.
+//
+// maxRounds caps the number of levels (0 = unlimited); PRD uses it.
+func fringeHeadProg(name string, fringeA, fringeB uint64, cnt0 uint64,
+	offsetsBase, valBase uint64, useRA bool, maxRounds int64) *isa.Program {
+	const (
+		rCur isa.Reg = 4
+		rCnt isa.Reg = 6
+		rI   isa.Reg = 9
+		rT   isa.Reg = 15
+		rV   isa.Reg = 16
+		rRnd isa.Reg = 17
+		rOff isa.Reg = 18
+		rVB  isa.Reg = 19
+	)
+	qa, qb := fqV0, fqV1
+	if !useRA {
+		qa, qb = fqRange, fqVal
+	}
+	a := isa.NewAssembler(name)
+	a.MapQ(mq0, qa, isa.QueueIn)
+	a.MapQ(mq1, qb, isa.QueueIn)
+	a.MapQ(mq3, fqFeed, isa.QueueOut)
+	a.SetReg(rCur, fringeA)
+	a.SetReg(rCnt, cnt0)
+	a.SetReg(rRnd, 0)
+	a.SetReg(rOff, offsetsBase)
+	a.SetReg(rVB, valBase)
+
+	a.Label("level")
+	a.MovI(rI, 0)
+	a.Label("vloop")
+	a.Bgeu(rI, rCnt, "eol")
+	a.ShlI(rT, rI, 3)
+	a.Add(rT, rT, rCur)
+	if useRA {
+		a.Ld8(rV, rT, 0)
+		a.Mov(mq0, rV) // to the offsets RA
+		a.Mov(mq1, rV) // to the value RA
+	} else {
+		a.Ld8(rV, rT, 0)
+		a.ShlI(rT, rV, 3)
+		a.Add(rT, rT, rOff)
+		a.Ld8(mq0, rT, 0) // enqueue start
+		a.Ld8(mq0, rT, 8) // enqueue end
+		a.ShlI(rT, rV, 3)
+		a.Add(rT, rT, rVB)
+		a.Ld8(mq1, rT, 0) // enqueue the per-vertex value
+	}
+	a.AddI(rI, rI, 1)
+	a.Jmp("vloop")
+	a.Label("eol")
+	a.EnqCI(qa, cvEOL)
+	a.EnqCI(qb, cvEOL)
+	a.AddI(rRnd, rRnd, 1)
+	a.Mov(rCnt, mq3)
+	a.BeqI(rCnt, 0, "done")
+	if maxRounds > 0 {
+		a.BeqI(rRnd, maxRounds, "done")
+	}
+	a.MovU(rT, fringeA^fringeB)
+	a.Xor(rCur, rCur, rT)
+	a.Jmp("level")
+	a.Label("done")
+	a.EnqCI(qa, cvDone)
+	a.EnqCI(qb, cvDone)
+	a.Halt()
+	return a.MustLink()
+}
+
+// expandHook lets apps transform the per-vertex value before replication:
+// it receives (value reg, start reg, end reg, scratch regs) and must leave
+// the replicated value in rVal.
+type expandHook func(a *isa.Assembler, rVal, rStart, rEnd, rS1, rS2 isa.Reg)
+
+// fringeExpandProg consumes (start,end) pairs and the per-vertex value,
+// feeds the neighbors scan RA, and replicates the (possibly transformed)
+// value once per edge. When useRA is false it loads neighbors itself and
+// fans them out to fqDupA/fqDupB directly (no dup stage needed).
+func fringeExpandProg(name string, neighborsBase uint64, hook expandHook, useRA bool) *isa.Program {
+	const (
+		rS   isa.Reg = 11
+		rE   isa.Reg = 12
+		rVal isa.Reg = 13
+		rT   isa.Reg = 15
+		rT2  isa.Reg = 17
+		rNB  isa.Reg = 18
+		rN   isa.Reg = 19
+	)
+	a := isa.NewAssembler(name)
+	a.MapQ(mq0, fqRange, isa.QueueOut)
+	a.MapQ(mq1, fqVal, isa.QueueOut)
+	a.MapQ(mq2, fqRep, isa.QueueIn)
+	if useRA {
+		a.MapQ(mq3, fqScan, isa.QueueIn)
+	} else {
+		a.MapQ(mq3, fqDupA, isa.QueueIn)
+		a.MapQ(25, fqDupB, isa.QueueIn)
+		a.SetReg(rNB, neighborsBase)
+	}
+	a.OnDeqCV("cv")
+
+	a.Label("loop")
+	a.Mov(rS, mq0)
+	a.Mov(rE, mq0)
+	a.Mov(rVal, mq1)
+	if hook != nil {
+		hook(a, rVal, rS, rE, rT, rT2)
+	}
+	if useRA {
+		a.Mov(mq3, rS)
+		a.Mov(mq3, rE)
+	}
+	a.Label("rep")
+	a.Bgeu(rS, rE, "loop")
+	if !useRA {
+		a.ShlI(rT, rS, 3)
+		a.Add(rT, rT, rNB)
+		a.Ld8(rN, rT, 0)
+		a.Mov(mq3, rN)
+		a.Mov(25, rN)
+	}
+	a.Mov(mq2, rVal)
+	a.AddI(rS, rS, 1)
+	a.Jmp("rep")
+
+	a.Label("cv")
+	a.SkipC(rT, fqVal) // consume the matching CV on the value queue
+	if useRA {
+		a.EnqC(fqScan, isa.RHCV)
+	} else {
+		a.EnqC(fqDupA, isa.RHCV)
+		a.EnqC(fqDupB, isa.RHCV)
+	}
+	a.EnqC(fqRep, isa.RHCV)
+	a.BeqI(isa.RHCV, cvDone, "done")
+	a.Jmp("loop")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+// fringeDupProg fans the neighbor stream out to the data RA and the update
+// stage (used only in the RA configuration).
+func fringeDupProg(name string) *isa.Program {
+	const rV isa.Reg = 16
+	a := isa.NewAssembler(name)
+	a.MapQ(mq0, fqNgh, isa.QueueOut)
+	a.MapQ(mq1, fqDupA, isa.QueueIn)
+	a.MapQ(mq2, fqDupB, isa.QueueIn)
+	a.OnDeqCV("cv")
+	a.Label("loop")
+	a.Mov(rV, mq0)
+	a.Mov(mq1, rV)
+	a.Mov(mq2, rV)
+	a.Jmp("loop")
+	a.Label("cv")
+	a.EnqC(fqDupA, isa.RHCV)
+	a.EnqC(fqDupB, isa.RHCV)
+	a.BeqI(isa.RHCV, cvDone, "done")
+	a.Jmp("loop")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+// fringeFetchProg is the thread version of the per-neighbor data fetch (the
+// no-RA configuration): ids in on fqDupA, data[id] out on fqData. The
+// expand stage already fans ids out to fqDupB, so this stage only converts
+// ids to values.
+func fringeFetchProg(name string, dataBase uint64) *isa.Program {
+	const rT isa.Reg = 15
+	a := isa.NewAssembler(name)
+	a.MapQ(mq0, fqDupA, isa.QueueOut)
+	a.MapQ(mq1, fqData, isa.QueueIn)
+	a.OnDeqCV("cv")
+	const rB isa.Reg = 18
+	a.SetReg(rB, dataBase)
+	a.Label("loop")
+	a.ShlI(rT, mq0, 3)
+	a.Add(rT, rT, rB)
+	a.Ld8(mq1, rT, 0)
+	a.Jmp("loop")
+	a.Label("cv")
+	a.EnqC(fqData, isa.RHCV)
+	a.BeqI(isa.RHCV, cvDone, "done")
+	a.Jmp("loop")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+
+	"pipette/internal/isa"
+	"pipette/internal/ra"
+	"pipette/internal/sim"
+)
+
+// pipeSpec declares a Pipette pipeline abstractly — stage programs, RA
+// configurations and queue capacities — so the same kernel can be placed on
+// one SMT core (time-multiplexed stages, the Pipette configuration) or
+// spread one stage per core (the streaming-multicore baseline), with
+// connectors inserted automatically for queues that cross cores.
+type pipeSpec struct {
+	queues map[uint8]int // queue id -> capacity
+	stages []*isa.Program
+	ras    []ra.Config
+}
+
+// queueProducerConsumer derives, for every queue, which stage or RA
+// produces and consumes it, from program bindings and RA configs.
+func (p *pipeSpec) endpoints() (prod, cons map[uint8]int) {
+	// Values are stage indexes; RAs are folded into the stage they are
+	// chained from (see placeRA).
+	prod = map[uint8]int{}
+	cons = map[uint8]int{}
+	for si, prog := range p.stages {
+		for _, b := range prog.Bindings {
+			if b.Dir == isa.QueueIn {
+				prod[b.Q] = si
+			} else {
+				cons[b.Q] = si
+			}
+		}
+	}
+	// Resolve RA chains: an RA lives with the producer of its input.
+	for resolved := true; resolved; {
+		resolved = false
+		for _, rc := range p.ras {
+			if ps, ok := prod[rc.In]; ok {
+				if _, done := prod[rc.Out]; !done {
+					prod[rc.Out] = ps
+					resolved = true
+				}
+				if _, done := cons[rc.In]; !done {
+					cons[rc.In] = ps
+					resolved = true
+				}
+			}
+		}
+	}
+	return prod, cons
+}
+
+// place loads the pipeline onto the system. coreOf maps stage index to core;
+// within a core, stages occupy successive hardware threads. Queues whose
+// producer and consumer stages land on different cores get connectors.
+func (p *pipeSpec) place(s *sim.System, coreOf func(stage int) int) {
+	prod, cons := p.endpoints()
+
+	coreFor := func(stage int, ok bool) int {
+		if !ok {
+			return coreOf(0)
+		}
+		return coreOf(stage)
+	}
+
+	usedCores := map[int]bool{}
+	for si := range p.stages {
+		usedCores[coreOf(si)] = true
+	}
+	for c := range usedCores {
+		s.Cores[c].SetQueueCaps(p.queues)
+	}
+	// Also configure cores that host only RAs.
+	for _, rc := range p.ras {
+		ps, ok := prod[rc.In]
+		c := coreFor(ps, ok)
+		if !usedCores[c] {
+			s.Cores[c].SetQueueCaps(p.queues)
+			usedCores[c] = true
+		}
+	}
+
+	hw := map[int]int{} // next free hardware thread per core
+	for si, prog := range p.stages {
+		c := coreOf(si)
+		s.Cores[c].Load(hw[c], prog)
+		hw[c]++
+	}
+	for _, rc := range p.ras {
+		ps, ok := prod[rc.In]
+		ra.New(s.Cores[coreFor(ps, ok)], rc)
+	}
+	for q := range p.queues {
+		ps, pok := prod[q]
+		cs, cok := cons[q]
+		if !pok || !cok {
+			continue
+		}
+		pc, cc := coreOf(ps), coreOf(cs)
+		if pc != cc {
+			s.Connect(pc, q, cc, q)
+		}
+	}
+	if err := p.validate(); err != nil {
+		panic(err)
+	}
+}
+
+// placeSingleCore puts every stage on core (the Pipette configuration).
+func (p *pipeSpec) placeSingleCore(s *sim.System, core int) {
+	p.place(s, func(int) int { return core })
+}
+
+// placeStreaming puts stage i on core i (the streaming-multicore baseline).
+func (p *pipeSpec) placeStreaming(s *sim.System) {
+	if len(s.Cores) < len(p.stages) {
+		panic(fmt.Sprintf("streaming placement needs %d cores", len(p.stages)))
+	}
+	p.place(s, func(stage int) int { return stage })
+}
+
+func (p *pipeSpec) validate() error {
+	if len(p.stages) == 0 {
+		return fmt.Errorf("pipeline has no stages")
+	}
+	for _, rc := range p.ras {
+		if _, ok := p.queues[rc.In]; !ok {
+			return fmt.Errorf("RA input queue %d has no capacity entry", rc.In)
+		}
+		if _, ok := p.queues[rc.Out]; !ok {
+			return fmt.Errorf("RA output queue %d has no capacity entry", rc.Out)
+		}
+	}
+	return nil
+}
+
+// Short RA constructors for pipeline specs.
+func raList(cs ...ra.Config) []ra.Config { return cs }
+
+func raPair(in, out uint8, base uint64) ra.Config {
+	return ra.Config{Mode: ra.IndirectPair, In: in, Out: out, Base: base, IssuePerCycle: 2}
+}
+
+func raInd(in, out uint8, base uint64) ra.Config {
+	return ra.Config{Mode: ra.Indirect, In: in, Out: out, Base: base, IssuePerCycle: 2}
+}
+
+func raScan(in, out uint8, base uint64) ra.Config {
+	return ra.Config{Mode: ra.Scan, In: in, Out: out, Base: base, IssuePerCycle: 2}
+}

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"testing"
+
+	"pipette/internal/isa"
+	"pipette/internal/sim"
+)
+
+// tinyStage builds a one-shot producer or consumer for placement tests.
+func tinyProducer(q uint8, n int64) *isa.Program {
+	a := isa.NewAssembler("prod")
+	a.MapQ(20, q, isa.QueueIn)
+	a.MovI(1, 0)
+	a.Label("loop")
+	a.AddI(1, 1, 1)
+	a.Mov(20, 1)
+	a.BneI(1, n, "loop")
+	a.Halt()
+	return a.MustLink()
+}
+
+func tinyConsumer(q uint8, n int64, res uint64) *isa.Program {
+	a := isa.NewAssembler("cons")
+	a.MapQ(20, q, isa.QueueOut)
+	a.MovI(1, 0)
+	a.MovI(2, 0)
+	a.Label("loop")
+	a.Add(1, 1, 20)
+	a.AddI(2, 2, 1)
+	a.BneI(2, n, "loop")
+	a.MovU(3, res)
+	a.St8(3, 0, 1)
+	a.Halt()
+	return a.MustLink()
+}
+
+// The endpoints derivation must identify producers and consumers from
+// bindings, including through RA chains.
+func TestPipeSpecEndpoints(t *testing.T) {
+	p := pipeSpec{
+		queues: map[uint8]int{0: 4, 1: 4, 2: 4},
+		stages: []*isa.Program{tinyProducer(0, 1), tinyConsumer(2, 1, 0x20000)},
+		ras:    raList(raInd(0, 1, 0), raInd(1, 2, 0)),
+	}
+	prod, cons := p.endpoints()
+	if prod[0] != 0 {
+		t.Fatalf("q0 producer = %v", prod[0])
+	}
+	if cons[2] != 1 {
+		t.Fatalf("q2 consumer = %v", cons[2])
+	}
+	// RA-chained queues inherit the chain head's stage.
+	if prod[1] != 0 || prod[2] != 0 {
+		t.Fatalf("RA chain producers = %v", prod)
+	}
+}
+
+// Single-core placement puts stages on successive hardware threads; the
+// pipeline must run and produce the right sum.
+func TestPipeSpecSingleCore(t *testing.T) {
+	s := sim.New(sim.DefaultConfig())
+	res := s.Mem.AllocWords(1)
+	table := s.Mem.AllocWords(64)
+	for i := uint64(0); i < 64; i++ {
+		s.Mem.Write64(table+i*8, i*2)
+	}
+	p := pipeSpec{
+		queues: map[uint8]int{0: 4, 1: 4},
+		stages: []*isa.Program{tinyProducer(0, 32), tinyConsumer(1, 32, res)},
+		ras:    raList(raInd(0, 1, table)),
+	}
+	p.placeSingleCore(s, 0)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(0)
+	for i := uint64(1); i <= 32; i++ {
+		want += i * 2
+	}
+	if got := s.Mem.Read64(res); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+// Streaming placement spans cores and must insert a connector for the
+// cross-core queue automatically.
+func TestPipeSpecStreamingInsertsConnectors(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 2
+	s := sim.New(cfg)
+	res := s.Mem.AllocWords(1)
+	p := pipeSpec{
+		queues: map[uint8]int{0: 8},
+		stages: []*isa.Program{tinyProducer(0, 50), tinyConsumer(0, 50, res)},
+	}
+	p.placeStreaming(s)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Mem.Read64(res); got != 50*51/2 {
+		t.Fatalf("sum = %d", got)
+	}
+}
+
+func TestPipeSpecStreamingNeedsCores(t *testing.T) {
+	s := sim.New(sim.DefaultConfig()) // 1 core
+	p := pipeSpec{
+		queues: map[uint8]int{0: 8},
+		stages: []*isa.Program{tinyProducer(0, 1), tinyConsumer(0, 1, 0x20000)},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for too few cores")
+		}
+	}()
+	p.placeStreaming(s)
+}
+
+func TestPipeSpecValidate(t *testing.T) {
+	p := pipeSpec{
+		queues: map[uint8]int{0: 8}, // RA output queue 1 missing
+		stages: []*isa.Program{tinyProducer(0, 1)},
+		ras:    raList(raInd(0, 1, 0)),
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for missing queue capacity")
+		}
+	}()
+	s := sim.New(sim.DefaultConfig())
+	p.placeSingleCore(s, 0)
+}

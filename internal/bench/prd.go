@@ -1,0 +1,484 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"pipette/internal/graph"
+	"pipette/internal/isa"
+	"pipette/internal/mem"
+	"pipette/internal/sim"
+)
+
+// PageRank-Delta (Ligra-style, Sec. V-B): each iteration scatters
+// damping*delta[v]/deg(v) from fringe vertices to their neighbors' accum
+// slots, then a dense pass converts accumulators into new deltas, updates
+// ranks, and builds the next fringe from vertices whose delta exceeds eps.
+
+const (
+	prdDamping = 0.85
+	prdEps     = 1e-7
+)
+
+type prdLayout struct {
+	g       graph.Layout
+	delta   uint64
+	accum   uint64
+	rank    uint64
+	fringeA uint64
+	fringeB uint64
+	cells   uint64
+	n       int
+	iters   int
+}
+
+func layoutPRD(m *mem.Memory, g *graph.Graph, iters int) prdLayout {
+	l := prdLayout{
+		g:       g.WriteTo(m),
+		delta:   m.AllocWords(uint64(g.N)),
+		accum:   m.AllocWords(uint64(g.N)),
+		rank:    m.AllocWords(uint64(g.N)),
+		fringeA: m.AllocWords(uint64(g.N)),
+		fringeB: m.AllocWords(uint64(g.N)),
+		cells:   m.AllocWords(cellsWords),
+		n:       g.N,
+		iters:   iters,
+	}
+	base := (1 - prdDamping) / float64(g.N)
+	for v := 0; v < g.N; v++ {
+		m.Write64(l.delta+uint64(v)*8, isa.F2U(base))
+		m.Write64(l.rank+uint64(v)*8, isa.F2U(base))
+		m.Write64(l.fringeA+uint64(v)*8, uint64(v))
+	}
+	m.Write64(l.cells+cellCurCnt, uint64(g.N))
+	m.Write64(l.cells+cellCurPtr, l.fringeA)
+	m.Write64(l.cells+cellNextPtr, l.fringeB)
+	return l
+}
+
+func checkPRD(s *sim.System, l prdLayout, g *graph.Graph, relTol float64) CheckFn {
+	return func() error {
+		want := graph.PageRankDelta(g, l.iters, prdEps)
+		for v := 0; v < g.N; v++ {
+			got := isa.U2F(s.Mem.Read64(l.rank + uint64(v)*8))
+			if math.Abs(got-want[v]) > relTol*math.Abs(want[v])+1e-12 {
+				return fmt.Errorf("prd: rank[%d] = %g, want %g", v, got, want[v])
+			}
+		}
+		return nil
+	}
+}
+
+// PRDSerial builds the serial kernel.
+func PRDSerial(g *graph.Graph, iters int) Builder {
+	return func(s *sim.System) CheckFn {
+		l := layoutPRD(s.Mem, g, iters)
+		s.Cores[0].Load(0, prdSerialProg(l))
+		return checkPRD(s, l, g, 1e-12)
+	}
+}
+
+// prdDensePass emits the shared dense phase over [lo,hi): delta=accum,
+// accum=0, and push u with rank update when delta > eps. Registers rLo/rHi
+// bound the range; rNext/rNCnt receive pushes (nextCnt via nextCntTo hook:
+// direct register or fetch-add cell). Used by serial and Pipette (full
+// range) code.
+func prdDensePass(a *isa.Assembler, l prdLayout, rLo, rHi, rU, rT, rAcc, rEps, rT2, rNext, rNCnt isa.Reg) {
+	a.Mov(rU, rLo)
+	a.Label("dense")
+	a.Bgeu(rU, rHi, "denseend")
+	a.ShlI(rT, rU, 3)
+	a.MovU(rT2, l.accum)
+	a.Add(rT, rT, rT2)
+	a.Ld8(rAcc, rT, 0)
+	a.St8(rT, 0, isa.R0) // accum = 0
+	a.ShlI(rT, rU, 3)
+	a.MovU(rT2, l.delta)
+	a.Add(rT, rT, rT2)
+	a.St8(rT, 0, rAcc) // delta = accum
+	a.FLt(rT2, rEps, rAcc)
+	a.BeqI(rT2, 0, "densenext") // delta <= eps
+	a.ShlI(rT, rU, 3)
+	a.MovU(rT2, l.rank)
+	a.Add(rT, rT, rT2)
+	a.Ld8(rT2, rT, 0)
+	a.FAdd(rT2, rT2, rAcc)
+	a.St8(rT, 0, rT2) // rank += delta
+	a.ShlI(rT, rNCnt, 3)
+	a.Add(rT, rT, rNext)
+	a.St8(rT, 0, rU)
+	a.AddI(rNCnt, rNCnt, 1)
+	a.Label("densenext")
+	a.AddI(rU, rU, 1)
+	a.Jmp("dense")
+	a.Label("denseend")
+}
+
+func prdSerialProg(l prdLayout) *isa.Program {
+	const (
+		rOff   isa.Reg = 1
+		rNgh   isa.Reg = 2
+		rDel   isa.Reg = 3
+		rCur   isa.Reg = 4
+		rNext  isa.Reg = 5
+		rCnt   isa.Reg = 6
+		rNCnt  isa.Reg = 7
+		rIter  isa.Reg = 8
+		rI     isa.Reg = 9
+		rV     isa.Reg = 10
+		rStart isa.Reg = 11
+		rEnd   isa.Reg = 12
+		rN     isa.Reg = 13
+		rShare isa.Reg = 14
+		rT     isa.Reg = 15
+		rAcc   isa.Reg = 16
+		rT2    isa.Reg = 17
+		rDmp   isa.Reg = 18
+		rEps   isa.Reg = 19
+		rU     isa.Reg = 20
+		rABase isa.Reg = 21
+		rHi    isa.Reg = 22
+	)
+	a := isa.NewAssembler("prd-serial")
+	a.SetReg(rOff, l.g.OffsetsAddr)
+	a.SetReg(rNgh, l.g.NeighborsAddr)
+	a.SetReg(rDel, l.delta)
+	a.SetReg(rABase, l.accum)
+	a.SetReg(rCur, l.fringeA)
+	a.SetReg(rNext, l.fringeB)
+	a.SetReg(rCnt, uint64(l.n))
+	a.SetReg(rNCnt, 0)
+	a.SetReg(rIter, 0)
+	a.SetReg(rDmp, isa.F2U(prdDamping))
+	a.SetReg(rEps, isa.F2U(prdEps))
+
+	a.Label("iter")
+	a.MovI(rI, 0)
+	a.Label("vloop")
+	a.Bgeu(rI, rCnt, "scatterend")
+	a.ShlI(rT, rI, 3)
+	a.Add(rT, rT, rCur)
+	a.Ld8(rV, rT, 0)
+	a.ShlI(rT, rV, 3)
+	a.Add(rT2, rT, rDel)
+	a.Ld8(rShare, rT2, 0) // delta[v]
+	a.Add(rT, rT, rOff)
+	a.Ld8(rStart, rT, 0)
+	a.Ld8(rEnd, rT, 8)
+	a.Bgeu(rStart, rEnd, "vend") // zero degree
+	// share = damping*delta/deg
+	a.FMul(rShare, rShare, rDmp)
+	a.Sub(rT2, rEnd, rStart)
+	a.IToF(rT2, rT2)
+	a.FDiv(rShare, rShare, rT2)
+	a.Label("eloop")
+	a.Bgeu(rStart, rEnd, "vend")
+	a.ShlI(rT, rStart, 3)
+	a.Add(rT, rT, rNgh)
+	a.Ld8(rN, rT, 0)
+	a.ShlI(rT, rN, 3)
+	a.Add(rT, rT, rABase)
+	a.Ld8(rAcc, rT, 0)
+	a.FAdd(rAcc, rAcc, rShare)
+	a.St8(rT, 0, rAcc)
+	a.AddI(rStart, rStart, 1)
+	a.Jmp("eloop")
+	a.Label("vend")
+	a.AddI(rI, rI, 1)
+	a.Jmp("vloop")
+	a.Label("scatterend")
+	a.MovI(rT, 0)
+	a.MovU(rHi, uint64(l.n))
+	prdDensePass(a, l, isa.R0, rHi, rU, rT, rAcc, rEps, rT2, rNext, rNCnt)
+	a.AddI(rIter, rIter, 1)
+	a.BeqI(rNCnt, 0, "done")
+	a.BeqI(rIter, int64(l.iters), "done")
+	a.Xor(rCur, rCur, rNext)
+	a.Xor(rNext, rCur, rNext)
+	a.Xor(rCur, rCur, rNext)
+	a.Mov(rCnt, rNCnt)
+	a.MovI(rNCnt, 0)
+	a.Jmp("iter")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+// PRDDataParallel builds the 4-thread version: CAS-loop float accumulation
+// in the scatter phase, partitioned dense phase, two barriers per iteration.
+func PRDDataParallel(g *graph.Graph, iters, nThreads int) Builder {
+	return func(s *sim.System) CheckFn {
+		l := layoutPRD(s.Mem, g, iters)
+		for t := 0; t < nThreads; t++ {
+			s.Cores[t/4].Load(t%4, prdDPProg(l, t, nThreads))
+		}
+		// Parallel float accumulation reorders additions.
+		return checkPRD(s, l, g, 1e-9)
+	}
+}
+
+func prdDPProg(l prdLayout, tid, nThreads int) *isa.Program {
+	const (
+		rOff   isa.Reg = 1
+		rNgh   isa.Reg = 2
+		rDel   isa.Reg = 3
+		rCells isa.Reg = 4
+		rABase isa.Reg = 5
+		rTid   isa.Reg = 6
+		rT     isa.Reg = 7
+		rBar   isa.Reg = 8
+		rCnt   isa.Reg = 9
+		rCur   isa.Reg = 10
+		rLo    isa.Reg = 11
+		rHi    isa.Reg = 12
+		rI     isa.Reg = 13
+		rV     isa.Reg = 14
+		rStart isa.Reg = 15
+		rEnd   isa.Reg = 16
+		rN     isa.Reg = 17
+		rShare isa.Reg = 18
+		rAddr  isa.Reg = 19
+		rOld   isa.Reg = 20
+		rNew   isa.Reg = 21
+		rTmp   isa.Reg = 22
+		rOne   isa.Reg = 23
+		rDmp   isa.Reg = 24
+		rEps   isa.Reg = 25
+		rIter  isa.Reg = 26
+		rNxt   isa.Reg = 27
+		rU     isa.Reg = 28
+	)
+	a := isa.NewAssembler(fmt.Sprintf("prd-dp-%d", tid))
+	a.SetReg(rOff, l.g.OffsetsAddr)
+	a.SetReg(rNgh, l.g.NeighborsAddr)
+	a.SetReg(rDel, l.delta)
+	a.SetReg(rABase, l.accum)
+	a.SetReg(rCells, l.cells)
+	a.SetReg(rTid, uint64(tid))
+	a.SetReg(rOne, 1)
+	a.SetReg(rBar, 0)
+	a.SetReg(rIter, 0)
+	a.SetReg(rDmp, isa.F2U(prdDamping))
+	a.SetReg(rEps, isa.F2U(prdEps))
+
+	barrier := func(tag string, lastWork func()) {
+		a.AddI(rTmp, rCells, cellArrive)
+		a.FetchAdd(rOld, rTmp, rOne)
+		a.AddI(rBar, rBar, 1)
+		a.MovI(rTmp, int64(nThreads))
+		a.Mul(rTmp, rTmp, rBar)
+		a.AddI(rOld, rOld, 1)
+		a.Bne(rOld, rTmp, tag+"wait")
+		if lastWork != nil {
+			lastWork()
+		}
+		a.AddI(rTmp, rCells, cellRelease)
+		a.FetchAdd(rOld, rTmp, rOne)
+		a.Label(tag + "wait")
+		a.Ld8(rTmp, rCells, cellRelease)
+		a.Bltu(rTmp, rBar, tag+"wait")
+	}
+
+	a.Label("iter")
+	a.Ld8(rCnt, rCells, cellCurCnt)
+	a.Ld8(rCur, rCells, cellCurPtr)
+	a.Mul(rLo, rTid, rCnt)
+	a.MovI(rT, int64(nThreads))
+	a.Div(rLo, rLo, rT)
+	a.AddI(rHi, rTid, 1)
+	a.Mul(rHi, rHi, rCnt)
+	a.Div(rHi, rHi, rT)
+	a.Mov(rI, rLo)
+	a.Label("vloop")
+	a.Bgeu(rI, rHi, "scatterdone")
+	a.ShlI(rAddr, rI, 3)
+	a.Add(rAddr, rAddr, rCur)
+	a.Ld8(rV, rAddr, 0)
+	a.ShlI(rAddr, rV, 3)
+	a.Add(rTmp, rAddr, rDel)
+	a.Ld8(rShare, rTmp, 0)
+	a.Add(rAddr, rAddr, rOff)
+	a.Ld8(rStart, rAddr, 0)
+	a.Ld8(rEnd, rAddr, 8)
+	a.Bgeu(rStart, rEnd, "vend")
+	a.FMul(rShare, rShare, rDmp)
+	a.Sub(rTmp, rEnd, rStart)
+	a.IToF(rTmp, rTmp)
+	a.FDiv(rShare, rShare, rTmp)
+	a.Label("eloop")
+	a.Bgeu(rStart, rEnd, "vend")
+	a.ShlI(rAddr, rStart, 3)
+	a.Add(rAddr, rAddr, rNgh)
+	a.Ld8(rN, rAddr, 0)
+	a.ShlI(rAddr, rN, 3)
+	a.Add(rAddr, rAddr, rABase)
+	a.Label("retry")
+	a.Ld8(rOld, rAddr, 0)
+	a.FAdd(rNew, rOld, rShare)
+	a.Cas(rTmp, rAddr, rOld, rNew)
+	a.Bne(rTmp, rOld, "retry")
+	a.AddI(rStart, rStart, 1)
+	a.Jmp("eloop")
+	a.Label("vend")
+	a.AddI(rI, rI, 1)
+	a.Jmp("vloop")
+	a.Label("scatterdone")
+
+	barrier("b1", nil) // all accumulation visible before the dense pass
+
+	// Dense pass over this thread's static vertex slice.
+	lo := uint64(tid) * uint64(l.n) / uint64(nThreads)
+	hi := uint64(tid+1) * uint64(l.n) / uint64(nThreads)
+	a.MovU(rU, lo)
+	a.MovU(rHi, hi)
+	a.Label("dense")
+	a.Bgeu(rU, rHi, "densedone")
+	a.ShlI(rAddr, rU, 3)
+	a.Add(rAddr, rAddr, rABase)
+	a.Ld8(rOld, rAddr, 0) // accum
+	a.St8(rAddr, 0, isa.R0)
+	a.ShlI(rAddr, rU, 3)
+	a.Add(rAddr, rAddr, rDel)
+	a.St8(rAddr, 0, rOld)
+	a.FLt(rTmp, rEps, rOld)
+	a.BeqI(rTmp, 0, "densenext")
+	a.ShlI(rAddr, rU, 3)
+	a.MovU(rTmp, l.rank)
+	a.Add(rAddr, rAddr, rTmp)
+	a.Ld8(rTmp, rAddr, 0)
+	a.FAdd(rTmp, rTmp, rOld)
+	a.St8(rAddr, 0, rTmp)
+	a.AddI(rTmp, rCells, cellNextCnt)
+	a.FetchAdd(rNew, rTmp, rOne)
+	a.Ld8(rNxt, rCells, cellNextPtr)
+	a.ShlI(rTmp, rNew, 3)
+	a.Add(rTmp, rTmp, rNxt)
+	a.St8(rTmp, 0, rU)
+	a.Label("densenext")
+	a.AddI(rU, rU, 1)
+	a.Jmp("dense")
+	a.Label("densedone")
+
+	barrier("b2", func() {
+		a.Ld8(rTmp, rCells, cellCurPtr)
+		a.Ld8(rOld, rCells, cellNextPtr)
+		a.St8(rCells, cellCurPtr, rOld)
+		a.St8(rCells, cellNextPtr, rTmp)
+		a.Ld8(rTmp, rCells, cellNextCnt)
+		a.St8(rCells, cellCurCnt, rTmp)
+		a.St8(rCells, cellNextCnt, isa.R0)
+	})
+
+	a.AddI(rIter, rIter, 1)
+	a.Ld8(rCnt, rCells, cellCurCnt)
+	a.BeqI(rCnt, 0, "done")
+	a.BneI(rIter, int64(l.iters), "iter")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+// prdUpdateProg is the Pipette update/accumulate stage. The fetched accum
+// value only warms the cache line (decoupled fetches can be stale, Sec.
+// III-C); the stage re-loads and accumulates locally, then runs the dense
+// pass at end of iteration.
+func prdUpdateProg(l prdLayout) *isa.Program {
+	const (
+		rABase isa.Reg = 3
+		rNext  isa.Reg = 5
+		rNCnt  isa.Reg = 7
+		rN     isa.Reg = 13
+		rShare isa.Reg = 14
+		rT     isa.Reg = 15
+		rAcc   isa.Reg = 16
+		rT2    isa.Reg = 17
+		rEps   isa.Reg = 18
+		rU     isa.Reg = 20
+		rHi    isa.Reg = 21
+	)
+	a := isa.NewAssembler("prd-update")
+	a.MapQ(mq0, fqDupB, isa.QueueOut) // neighbor ids
+	a.MapQ(mq1, fqData, isa.QueueOut) // fetched accum (warmth only)
+	a.MapQ(mq2, fqRep, isa.QueueOut)  // replicated share
+	a.MapQ(mq3, fqFeed, isa.QueueIn)
+	a.OnDeqCV("cv")
+	a.SetReg(rABase, l.accum)
+	a.SetReg(rNext, l.fringeB)
+	a.SetReg(rNCnt, 0)
+	a.SetReg(rEps, isa.F2U(prdEps))
+
+	a.Label("loop")
+	a.Mov(rN, mq0)
+	a.Mov(rT2, mq1) // discard: the RA load warmed the line
+	a.Mov(rShare, mq2)
+	a.ShlI(rT, rN, 3)
+	a.Add(rT, rT, rABase)
+	a.Ld8(rAcc, rT, 0) // fresh value, L1 hit
+	a.FAdd(rAcc, rAcc, rShare)
+	a.St8(rT, 0, rAcc)
+	a.Jmp("loop")
+
+	a.Label("cv")
+	a.SkipC(rT, fqData)
+	a.SkipC(rT, fqRep)
+	a.BeqI(isa.RHCV, cvDone, "done")
+	a.MovU(rHi, uint64(l.n))
+	prdDensePass(a, l, isa.R0, rHi, rU, rT, rAcc, rEps, rT2, rNext, rNCnt)
+	a.Mov(mq3, rNCnt)
+	a.MovI(rNCnt, 0)
+	a.MovU(rT, l.fringeA^l.fringeB)
+	a.Xor(rNext, rNext, rT)
+	a.Jmp("loop")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+func prdPipeline(s *sim.System, g *graph.Graph, iters int, useRA bool) (pipeSpec, prdLayout) {
+	l := layoutPRD(s.Mem, g, iters)
+	p := pipeSpec{queues: fringeQueueCaps()}
+	// The expand hook turns delta[v] into share = damping*delta/deg.
+	hook := func(a *isa.Assembler, rVal, rStart, rEnd, rS1, rS2 isa.Reg) {
+		a.Bgeu(rStart, rEnd, "zdeg") // avoid 0/0 for isolated vertices
+		a.MovU(rS1, isa.F2U(prdDamping))
+		a.FMul(rVal, rVal, rS1)
+		a.Sub(rS1, rEnd, rStart)
+		a.IToF(rS1, rS1)
+		a.FDiv(rVal, rVal, rS1)
+		a.Label("zdeg")
+	}
+	head := fringeHeadProg("prd-head", l.fringeA, l.fringeB, uint64(l.n),
+		l.g.OffsetsAddr, l.delta, useRA, int64(iters))
+	expand := fringeExpandProg("prd-expand", l.g.NeighborsAddr, hook, useRA)
+	update := prdUpdateProg(l)
+	if useRA {
+		p.stages = []*isa.Program{head, expand, fringeDupProg("prd-dup"), update}
+		p.ras = raList(
+			raPair(fqV0, fqRange, l.g.OffsetsAddr),
+			raInd(fqV1, fqVal, l.delta),
+			raScan(fqScan, fqNgh, l.g.NeighborsAddr),
+			raInd(fqDupA, fqData, l.accum),
+		)
+	} else {
+		p.stages = []*isa.Program{head, expand, fringeFetchProg("prd-fetch", l.accum), update}
+	}
+	return p, l
+}
+
+// PRDPipette builds Pipette PageRank-Delta on one core.
+func PRDPipette(g *graph.Graph, iters int, useRA bool) Builder {
+	return func(s *sim.System) CheckFn {
+		p, l := prdPipeline(s, g, iters, useRA)
+		p.placeSingleCore(s, 0)
+		return checkPRD(s, l, g, 1e-12)
+	}
+}
+
+// PRDStreaming places each stage on its own core.
+func PRDStreaming(g *graph.Graph, iters int) Builder {
+	return func(s *sim.System) CheckFn {
+		p, l := prdPipeline(s, g, iters, true)
+		p.placeStreaming(s)
+		return checkPRD(s, l, g, 1e-12)
+	}
+}

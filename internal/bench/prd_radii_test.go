@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"testing"
+
+	"pipette/internal/graph"
+)
+
+func prdGraph() *graph.Graph { return graph.PowerLaw(500, 4, 3) }
+
+func TestPRDSerial(t *testing.T) {
+	runBench(t, 1, PRDSerial(prdGraph(), 6))
+}
+
+func TestPRDDataParallel(t *testing.T) {
+	runBench(t, 1, PRDDataParallel(prdGraph(), 6, 4))
+}
+
+func TestPRDPipetteRA(t *testing.T) {
+	runBench(t, 1, PRDPipette(prdGraph(), 6, true))
+}
+
+func TestPRDPipetteNoRA(t *testing.T) {
+	runBench(t, 1, PRDPipette(prdGraph(), 6, false))
+}
+
+func TestPRDStreaming(t *testing.T) {
+	runBench(t, 4, PRDStreaming(prdGraph(), 6))
+}
+
+func radiiGraph() *graph.Graph { return graph.Uniform(500, 3, 9) }
+
+func TestRadiiSerial(t *testing.T) {
+	runBench(t, 1, RadiiSerial(radiiGraph()))
+}
+
+func TestRadiiDataParallel(t *testing.T) {
+	runBench(t, 1, RadiiDataParallel(radiiGraph(), 4))
+}
+
+func TestRadiiPipetteRA(t *testing.T) {
+	runBench(t, 1, RadiiPipette(radiiGraph(), true))
+}
+
+func TestRadiiPipetteNoRA(t *testing.T) {
+	runBench(t, 1, RadiiPipette(radiiGraph(), false))
+}
+
+func TestRadiiStreaming(t *testing.T) {
+	runBench(t, 4, RadiiStreaming(radiiGraph()))
+}

@@ -1,0 +1,507 @@
+package bench
+
+import (
+	"fmt"
+
+	"pipette/internal/graph"
+	"pipette/internal/isa"
+	"pipette/internal/mem"
+	"pipette/internal/sim"
+)
+
+// Radii estimation (Ligra-style, Sec. V-B): up to 64 simultaneous BFS waves
+// tracked as bit masks. Per edge: add = visited[v] &^ visited[ngh]; if any
+// new bits, they are OR-ed into next[ngh], radii[ngh] is set to the round,
+// and ngh joins the next fringe (deduplicated by round-tagged flags). At end
+// of round, visited[u] = next[u] for fringe vertices.
+
+const (
+	radiiSeed  = 1234
+	radiiWaves = 8 // simultaneous BFS waves (<=64); kept small to bound simulation time
+)
+
+type radiiLayout struct {
+	g       graph.Layout
+	visited uint64
+	next    uint64
+	radii   uint64
+	flags   uint64
+	fringeA uint64
+	fringeB uint64
+	cells   uint64
+	n       int
+	cnt0    int
+}
+
+func layoutRadii(m *mem.Memory, g *graph.Graph) radiiLayout {
+	visited, fringe := graph.RadiiSetup(g, radiiSeed, radiiWaves)
+	l := radiiLayout{
+		g:       g.WriteTo(m),
+		visited: m.AllocWords(uint64(g.N)),
+		next:    m.AllocWords(uint64(g.N)),
+		radii:   m.AllocWords(uint64(g.N)),
+		flags:   m.AllocWords(uint64(g.N)),
+		fringeA: m.AllocWords(uint64(g.N)),
+		fringeB: m.AllocWords(uint64(g.N)),
+		cells:   m.AllocWords(cellsWords),
+		n:       g.N,
+		cnt0:    len(fringe),
+	}
+	m.WriteWords(l.visited, visited)
+	m.WriteWords(l.next, visited)
+	for i, v := range fringe {
+		m.Write64(l.fringeA+uint64(i)*8, uint64(v))
+	}
+	m.Write64(l.cells+cellCurCnt, uint64(len(fringe)))
+	m.Write64(l.cells+cellCurPtr, l.fringeA)
+	m.Write64(l.cells+cellNextPtr, l.fringeB)
+	m.Write64(l.cells+cellCurDist, 1)
+	return l
+}
+
+func checkRadii(s *sim.System, l radiiLayout, g *graph.Graph) CheckFn {
+	return func() error {
+		want := graph.Radii(g, radiiSeed, radiiWaves)
+		for v := 0; v < g.N; v++ {
+			if got := s.Mem.Read64(l.radii + uint64(v)*8); got != want[v] {
+				return fmt.Errorf("radii: radii[%d] = %d, want %d", v, got, want[v])
+			}
+		}
+		return nil
+	}
+}
+
+// RadiiSerial builds the serial kernel.
+func RadiiSerial(g *graph.Graph) Builder {
+	return func(s *sim.System) CheckFn {
+		l := layoutRadii(s.Mem, g)
+		s.Cores[0].Load(0, radiiSerialProg(l))
+		return checkRadii(s, l, g)
+	}
+}
+
+func radiiSerialProg(l radiiLayout) *isa.Program {
+	const (
+		rOff   isa.Reg = 1
+		rNgh   isa.Reg = 2
+		rVis   isa.Reg = 3
+		rCur   isa.Reg = 4
+		rNext  isa.Reg = 5
+		rCnt   isa.Reg = 6
+		rNCnt  isa.Reg = 7
+		rRnd   isa.Reg = 8
+		rI     isa.Reg = 9
+		rV     isa.Reg = 10
+		rStart isa.Reg = 11
+		rEnd   isa.Reg = 12
+		rN     isa.Reg = 13
+		rVu    isa.Reg = 14
+		rT     isa.Reg = 15
+		rVv    isa.Reg = 16
+		rT2    isa.Reg = 17
+		rFlg   isa.Reg = 18
+		rF     isa.Reg = 19
+		rNxt   isa.Reg = 20
+		rAdd   isa.Reg = 21
+		rRad   isa.Reg = 22
+		rU     isa.Reg = 23
+	)
+	a := isa.NewAssembler("radii-serial")
+	a.SetReg(rOff, l.g.OffsetsAddr)
+	a.SetReg(rNgh, l.g.NeighborsAddr)
+	a.SetReg(rVis, l.visited)
+	a.SetReg(rNxt, l.next)
+	a.SetReg(rRad, l.radii)
+	a.SetReg(rFlg, l.flags)
+	a.SetReg(rCur, l.fringeA)
+	a.SetReg(rNext, l.fringeB)
+	a.SetReg(rCnt, uint64(l.cnt0))
+	a.SetReg(rNCnt, 0)
+	a.SetReg(rRnd, 1)
+
+	a.Label("round")
+	a.MovI(rI, 0)
+	a.Label("vloop")
+	a.Bgeu(rI, rCnt, "eor")
+	a.ShlI(rT, rI, 3)
+	a.Add(rT, rT, rCur)
+	a.Ld8(rV, rT, 0)
+	a.ShlI(rT, rV, 3)
+	a.Add(rT2, rT, rVis)
+	a.Ld8(rVv, rT2, 0) // visited[v]
+	a.Add(rT, rT, rOff)
+	a.Ld8(rStart, rT, 0)
+	a.Ld8(rEnd, rT, 8)
+	a.Label("eloop")
+	a.Bgeu(rStart, rEnd, "vend")
+	a.ShlI(rT, rStart, 3)
+	a.Add(rT, rT, rNgh)
+	a.Ld8(rN, rT, 0)
+	a.ShlI(rT, rN, 3)
+	a.Add(rT, rT, rVis)
+	a.Ld8(rVu, rT, 0) // visited[ngh]
+	// add = vv &^ vu  == vv & ~vu == vv ^ (vv & vu)
+	a.And(rAdd, rVv, rVu)
+	a.Xor(rAdd, rVv, rAdd)
+	a.BeqI(rAdd, 0, "skip")
+	a.ShlI(rT, rN, 3)
+	a.Add(rT, rT, rNxt)
+	a.Ld8(rT2, rT, 0)
+	a.Or(rT2, rT2, rAdd)
+	a.St8(rT, 0, rT2) // next[ngh] |= add
+	a.ShlI(rT, rN, 3)
+	a.Add(rT, rT, rRad)
+	a.St8(rT, 0, rRnd) // radii[ngh] = round
+	a.ShlI(rT, rN, 3)
+	a.Add(rT, rT, rFlg)
+	a.Ld8(rF, rT, 0)
+	a.Beq(rF, rRnd, "skip")
+	a.St8(rT, 0, rRnd)
+	a.ShlI(rT2, rNCnt, 3)
+	a.Add(rT2, rT2, rNext)
+	a.St8(rT2, 0, rN)
+	a.AddI(rNCnt, rNCnt, 1)
+	a.Label("skip")
+	a.AddI(rStart, rStart, 1)
+	a.Jmp("eloop")
+	a.Label("vend")
+	a.AddI(rI, rI, 1)
+	a.Jmp("vloop")
+	a.Label("eor")
+	// visited[u] = next[u] for fringe vertices.
+	a.MovI(rI, 0)
+	a.Label("copy")
+	a.Bgeu(rI, rNCnt, "copyend")
+	a.ShlI(rT, rI, 3)
+	a.Add(rT, rT, rNext)
+	a.Ld8(rU, rT, 0)
+	a.ShlI(rT, rU, 3)
+	a.Add(rT2, rT, rNxt)
+	a.Ld8(rVu, rT2, 0)
+	a.Add(rT, rT, rVis)
+	a.St8(rT, 0, rVu)
+	a.AddI(rI, rI, 1)
+	a.Jmp("copy")
+	a.Label("copyend")
+	a.BeqI(rNCnt, 0, "done")
+	a.Xor(rCur, rCur, rNext)
+	a.Xor(rNext, rCur, rNext)
+	a.Xor(rCur, rCur, rNext)
+	a.Mov(rCnt, rNCnt)
+	a.MovI(rNCnt, 0)
+	a.AddI(rRnd, rRnd, 1)
+	a.Jmp("round")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+// RadiiDataParallel builds the 4-thread version: fetch-or on next masks,
+// CAS-claimed push flags, partitioned visited-copy phase, two barriers per
+// round.
+func RadiiDataParallel(g *graph.Graph, nThreads int) Builder {
+	return func(s *sim.System) CheckFn {
+		l := layoutRadii(s.Mem, g)
+		for t := 0; t < nThreads; t++ {
+			s.Cores[t/4].Load(t%4, radiiDPProg(l, t, nThreads))
+		}
+		return checkRadii(s, l, g)
+	}
+}
+
+func radiiDPProg(l radiiLayout, tid, nThreads int) *isa.Program {
+	const (
+		rOff   isa.Reg = 1
+		rNgh   isa.Reg = 2
+		rVis   isa.Reg = 3
+		rCells isa.Reg = 4
+		rFlg   isa.Reg = 5
+		rTid   isa.Reg = 6
+		rT     isa.Reg = 7
+		rBar   isa.Reg = 8
+		rCnt   isa.Reg = 9
+		rCur   isa.Reg = 10
+		rRnd   isa.Reg = 11
+		rLo    isa.Reg = 12
+		rHi    isa.Reg = 13
+		rI     isa.Reg = 14
+		rV     isa.Reg = 15
+		rStart isa.Reg = 16
+		rEnd   isa.Reg = 17
+		rN     isa.Reg = 18
+		rAddr  isa.Reg = 19
+		rOld   isa.Reg = 20
+		rIdx   isa.Reg = 21
+		rNext  isa.Reg = 22
+		rTmp   isa.Reg = 23
+		rOne   isa.Reg = 24
+		rVv    isa.Reg = 25
+		rVu    isa.Reg = 26
+		rAdd   isa.Reg = 27
+		rNxt   isa.Reg = 28
+	)
+	a := isa.NewAssembler(fmt.Sprintf("radii-dp-%d", tid))
+	a.SetReg(rOff, l.g.OffsetsAddr)
+	a.SetReg(rNgh, l.g.NeighborsAddr)
+	a.SetReg(rVis, l.visited)
+	a.SetReg(rNxt, l.next)
+	a.SetReg(rFlg, l.flags)
+	a.SetReg(rCells, l.cells)
+	a.SetReg(rTid, uint64(tid))
+	a.SetReg(rOne, 1)
+	a.SetReg(rBar, 0)
+
+	barrier := func(tag string, lastWork func()) {
+		a.AddI(rTmp, rCells, cellArrive)
+		a.FetchAdd(rOld, rTmp, rOne)
+		a.AddI(rBar, rBar, 1)
+		a.MovI(rTmp, int64(nThreads))
+		a.Mul(rTmp, rTmp, rBar)
+		a.AddI(rOld, rOld, 1)
+		a.Bne(rOld, rTmp, tag+"wait")
+		if lastWork != nil {
+			lastWork()
+		}
+		a.AddI(rTmp, rCells, cellRelease)
+		a.FetchAdd(rOld, rTmp, rOne)
+		a.Label(tag + "wait")
+		a.Ld8(rTmp, rCells, cellRelease)
+		a.Bltu(rTmp, rBar, tag+"wait")
+	}
+
+	a.Label("round")
+	a.Ld8(rCnt, rCells, cellCurCnt)
+	a.Ld8(rCur, rCells, cellCurPtr)
+	a.Ld8(rRnd, rCells, cellCurDist)
+	a.Mul(rLo, rTid, rCnt)
+	a.MovI(rT, int64(nThreads))
+	a.Div(rLo, rLo, rT)
+	a.AddI(rHi, rTid, 1)
+	a.Mul(rHi, rHi, rCnt)
+	a.Div(rHi, rHi, rT)
+	a.Mov(rI, rLo)
+	a.Label("vloop")
+	a.Bgeu(rI, rHi, "scatterdone")
+	a.ShlI(rAddr, rI, 3)
+	a.Add(rAddr, rAddr, rCur)
+	a.Ld8(rV, rAddr, 0)
+	a.ShlI(rAddr, rV, 3)
+	a.Add(rTmp, rAddr, rVis)
+	a.Ld8(rVv, rTmp, 0)
+	a.Add(rAddr, rAddr, rOff)
+	a.Ld8(rStart, rAddr, 0)
+	a.Ld8(rEnd, rAddr, 8)
+	a.Label("eloop")
+	a.Bgeu(rStart, rEnd, "vend")
+	a.ShlI(rAddr, rStart, 3)
+	a.Add(rAddr, rAddr, rNgh)
+	a.Ld8(rN, rAddr, 0)
+	a.ShlI(rAddr, rN, 3)
+	a.Add(rAddr, rAddr, rVis)
+	a.Ld8(rVu, rAddr, 0)
+	a.And(rAdd, rVv, rVu)
+	a.Xor(rAdd, rVv, rAdd)
+	a.BeqI(rAdd, 0, "skip")
+	a.ShlI(rAddr, rN, 3)
+	a.Add(rAddr, rAddr, rNxt)
+	a.FetchOr(rOld, rAddr, rAdd)
+	a.ShlI(rAddr, rN, 3)
+	a.MovU(rTmp, l.radii)
+	a.Add(rAddr, rAddr, rTmp)
+	a.St8(rAddr, 0, rRnd)
+	a.ShlI(rAddr, rN, 3)
+	a.Add(rAddr, rAddr, rFlg)
+	a.Label("claim")
+	a.Ld8(rTmp, rAddr, 0)
+	a.Beq(rTmp, rRnd, "skip")
+	a.Cas(rOld, rAddr, rTmp, rRnd)
+	a.Bne(rOld, rTmp, "claim")
+	a.AddI(rTmp, rCells, cellNextCnt)
+	a.FetchAdd(rIdx, rTmp, rOne)
+	a.Ld8(rNext, rCells, cellNextPtr)
+	a.ShlI(rTmp, rIdx, 3)
+	a.Add(rTmp, rTmp, rNext)
+	a.St8(rTmp, 0, rN)
+	a.Label("skip")
+	a.AddI(rStart, rStart, 1)
+	a.Jmp("eloop")
+	a.Label("vend")
+	a.AddI(rI, rI, 1)
+	a.Jmp("vloop")
+	a.Label("scatterdone")
+
+	barrier("b1", nil)
+
+	// Copy phase over this thread's slice of the next fringe.
+	a.Ld8(rCnt, rCells, cellNextCnt)
+	a.Ld8(rNext, rCells, cellNextPtr)
+	a.Mul(rLo, rTid, rCnt)
+	a.MovI(rT, int64(nThreads))
+	a.Div(rLo, rLo, rT)
+	a.AddI(rHi, rTid, 1)
+	a.Mul(rHi, rHi, rCnt)
+	a.Div(rHi, rHi, rT)
+	a.Mov(rI, rLo)
+	a.Label("copy")
+	a.Bgeu(rI, rHi, "copydone")
+	a.ShlI(rAddr, rI, 3)
+	a.Add(rAddr, rAddr, rNext)
+	a.Ld8(rV, rAddr, 0)
+	a.ShlI(rAddr, rV, 3)
+	a.Add(rTmp, rAddr, rNxt)
+	a.Ld8(rVu, rTmp, 0)
+	a.Add(rAddr, rAddr, rVis)
+	a.St8(rAddr, 0, rVu)
+	a.AddI(rI, rI, 1)
+	a.Jmp("copy")
+	a.Label("copydone")
+
+	barrier("b2", func() {
+		a.Ld8(rTmp, rCells, cellCurPtr)
+		a.Ld8(rOld, rCells, cellNextPtr)
+		a.St8(rCells, cellCurPtr, rOld)
+		a.St8(rCells, cellNextPtr, rTmp)
+		a.Ld8(rTmp, rCells, cellNextCnt)
+		a.St8(rCells, cellCurCnt, rTmp)
+		a.St8(rCells, cellNextCnt, isa.R0)
+		a.Ld8(rTmp, rCells, cellCurDist)
+		a.AddI(rTmp, rTmp, 1)
+		a.St8(rCells, cellCurDist, rTmp)
+	})
+
+	a.Ld8(rCnt, rCells, cellCurCnt)
+	a.BneI(rCnt, 0, "round")
+	a.Halt()
+	return a.MustLink()
+}
+
+// radiiUpdateProg is the Pipette update stage. visited[] is read-only
+// during a round, so the RA-fetched visited[ngh] is used directly (no
+// staleness); next/radii/flags are written only by this stage.
+func radiiUpdateProg(l radiiLayout) *isa.Program {
+	const (
+		rNxt  isa.Reg = 3
+		rNext isa.Reg = 5
+		rNCnt isa.Reg = 7
+		rRnd  isa.Reg = 8
+		rN    isa.Reg = 13
+		rVu   isa.Reg = 14
+		rT    isa.Reg = 15
+		rVv   isa.Reg = 16
+		rT2   isa.Reg = 17
+		rFlg  isa.Reg = 18
+		rF    isa.Reg = 19
+		rAdd  isa.Reg = 20
+		rRad  isa.Reg = 21
+		rVis  isa.Reg = 22
+		rU    isa.Reg = 23
+		rI    isa.Reg = 24
+	)
+	a := isa.NewAssembler("radii-update")
+	a.MapQ(mq0, fqDupB, isa.QueueOut) // ngh
+	a.MapQ(mq1, fqData, isa.QueueOut) // visited[ngh]
+	a.MapQ(mq2, fqRep, isa.QueueOut)  // visited[v]
+	a.MapQ(mq3, fqFeed, isa.QueueIn)
+	a.OnDeqCV("cv")
+	a.SetReg(rNxt, l.next)
+	a.SetReg(rVis, l.visited)
+	a.SetReg(rRad, l.radii)
+	a.SetReg(rFlg, l.flags)
+	a.SetReg(rNext, l.fringeB)
+	a.SetReg(rNCnt, 0)
+	a.SetReg(rRnd, 1)
+
+	a.Label("loop")
+	a.Mov(rN, mq0)
+	a.Mov(rVu, mq1)
+	a.Mov(rVv, mq2)
+	a.And(rAdd, rVv, rVu)
+	a.Xor(rAdd, rVv, rAdd)
+	a.BeqI(rAdd, 0, "loop")
+	a.ShlI(rT, rN, 3)
+	a.Add(rT, rT, rNxt)
+	a.Ld8(rT2, rT, 0)
+	a.Or(rT2, rT2, rAdd)
+	a.St8(rT, 0, rT2)
+	a.ShlI(rT, rN, 3)
+	a.Add(rT, rT, rRad)
+	a.St8(rT, 0, rRnd)
+	a.ShlI(rT, rN, 3)
+	a.Add(rT, rT, rFlg)
+	a.Ld8(rF, rT, 0)
+	a.Beq(rF, rRnd, "loop")
+	a.St8(rT, 0, rRnd)
+	a.ShlI(rT2, rNCnt, 3)
+	a.Add(rT2, rT2, rNext)
+	a.St8(rT2, 0, rN)
+	a.AddI(rNCnt, rNCnt, 1)
+	a.Jmp("loop")
+
+	a.Label("cv")
+	a.SkipC(rT, fqData)
+	a.SkipC(rT, fqRep)
+	a.BeqI(isa.RHCV, cvDone, "done")
+	// Copy visited = next over the new fringe.
+	a.MovI(rI, 0)
+	a.Label("copy")
+	a.Bgeu(rI, rNCnt, "copyend")
+	a.ShlI(rT, rI, 3)
+	a.Add(rT, rT, rNext)
+	a.Ld8(rU, rT, 0)
+	a.ShlI(rT, rU, 3)
+	a.Add(rT2, rT, rNxt)
+	a.Ld8(rVu, rT2, 0)
+	a.Add(rT, rT, rVis)
+	a.St8(rT, 0, rVu)
+	a.AddI(rI, rI, 1)
+	a.Jmp("copy")
+	a.Label("copyend")
+	a.Mov(mq3, rNCnt)
+	a.MovI(rNCnt, 0)
+	a.AddI(rRnd, rRnd, 1)
+	a.MovU(rT, l.fringeA^l.fringeB)
+	a.Xor(rNext, rNext, rT)
+	a.Jmp("loop")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+func radiiPipeline(s *sim.System, g *graph.Graph, useRA bool) (pipeSpec, radiiLayout) {
+	l := layoutRadii(s.Mem, g)
+	p := pipeSpec{queues: fringeQueueCaps()}
+	head := fringeHeadProg("radii-head", l.fringeA, l.fringeB, uint64(l.cnt0),
+		l.g.OffsetsAddr, l.visited, useRA, 0)
+	expand := fringeExpandProg("radii-expand", l.g.NeighborsAddr, nil, useRA)
+	update := radiiUpdateProg(l)
+	if useRA {
+		p.stages = []*isa.Program{head, expand, fringeDupProg("radii-dup"), update}
+		p.ras = raList(
+			raPair(fqV0, fqRange, l.g.OffsetsAddr),
+			raInd(fqV1, fqVal, l.visited),
+			raScan(fqScan, fqNgh, l.g.NeighborsAddr),
+			raInd(fqDupA, fqData, l.visited),
+		)
+	} else {
+		p.stages = []*isa.Program{head, expand, fringeFetchProg("radii-fetch", l.visited), update}
+	}
+	return p, l
+}
+
+// RadiiPipette builds Pipette Radii on one core.
+func RadiiPipette(g *graph.Graph, useRA bool) Builder {
+	return func(s *sim.System) CheckFn {
+		p, l := radiiPipeline(s, g, useRA)
+		p.placeSingleCore(s, 0)
+		return checkRadii(s, l, g)
+	}
+}
+
+// RadiiStreaming places each stage on its own core.
+func RadiiStreaming(g *graph.Graph) Builder {
+	return func(s *sim.System) CheckFn {
+		p, l := radiiPipeline(s, g, true)
+		p.placeStreaming(s)
+		return checkRadii(s, l, g)
+	}
+}

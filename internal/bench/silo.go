@@ -1,0 +1,410 @@
+package bench
+
+import (
+	"fmt"
+
+	"pipette/internal/btree"
+	"pipette/internal/isa"
+	"pipette/internal/mem"
+	"pipette/internal/sim"
+	"pipette/internal/ycsb"
+)
+
+// Silo (Sec. V-B, Fig. 8): YCSB-C read-only lookups against a B+tree index.
+// The Pipette version pipelines multiple tree traversals: a generator thread
+// streams queries to lookup threads; each lookup thread keeps several
+// traversals in flight by splitting each tree level into a request phase
+// (ask the node-scan RA for the node's words, recycle the query into its own
+// bounded queue) and a consume phase (dequeue the node words, pick the
+// child or finish). The recycle queue is the bounded feedback cycle of
+// Fig. 8 — at most one re-enqueue per dequeued element.
+//
+// Queries are packed as (qid << 32 | key); results land in results[qid].
+
+// Queue id layout: lookup thread t owns a block of 4 queues.
+func slQNew(t int) uint8  { return uint8(4 * t) }
+func slQRec(t int) uint8  { return uint8(4*t + 1) }
+func slQRng(t int) uint8  { return uint8(4*t + 2) } // word ranges into the scan RA
+func slQNode(t int) uint8 { return uint8(4*t + 3) } // node words from the scan RA
+
+const (
+	siloLookups   = 3
+	siloMaxPend   = 6
+	siloNodeWords = 1 + 2*btree.Fanout // header + keys + children
+)
+
+type siloLayout struct {
+	tree    *btree.Tree
+	queries uint64 // packed qid<<32|key
+	results uint64
+	nq      int
+	keys    []uint64
+	vals    map[uint64]uint64
+}
+
+func layoutSilo(m *mem.Memory, nKeys, nQueries int) siloLayout {
+	keys := make([]uint64, nKeys)
+	vals := make([]uint64, nKeys)
+	for i := range keys {
+		keys[i] = uint64(i)*7 + 3 // sparse keyspace so misses are possible
+		vals[i] = uint64(i)*13 + 1
+	}
+	tree := btree.Build(m, keys, vals)
+	gen := ycsb.NewGenerator(uint64(nKeys), 99)
+	l := siloLayout{
+		tree:    tree,
+		queries: m.AllocWords(uint64(nQueries)),
+		results: m.AllocWords(uint64(nQueries)),
+		nq:      nQueries,
+		vals:    map[uint64]uint64{},
+	}
+	for i := range keys {
+		l.vals[keys[i]] = vals[i]
+	}
+	for q := 0; q < nQueries; q++ {
+		key := keys[gen.Next()]
+		if q%5 == 4 {
+			key++ // an absent key (keyspace is 7i+3): exercises the miss path
+		}
+		l.keys = append(l.keys, key)
+		m.Write64(l.queries+uint64(q)*8, uint64(q)<<32|key)
+	}
+	return l
+}
+
+func checkSilo(s *sim.System, l siloLayout) CheckFn {
+	return func() error {
+		for q := 0; q < l.nq; q++ {
+			want := l.vals[l.keys[q]]
+			if got := s.Mem.Read64(l.results + uint64(q)*8); got != want {
+				return fmt.Errorf("silo: result[%d] = %d, want %d (key %d)", q, got, want, l.keys[q])
+			}
+		}
+		return nil
+	}
+}
+
+// SiloSerial runs all queries on one thread.
+func SiloSerial(nKeys, nQueries int) Builder {
+	return func(s *sim.System) CheckFn {
+		l := layoutSilo(s.Mem, nKeys, nQueries)
+		s.Cores[0].Load(0, siloWalkProg(l, 0, 1, nil))
+		return checkSilo(s, l)
+	}
+}
+
+// SiloDataParallel partitions queries statically across nThreads threads.
+func SiloDataParallel(nKeys, nQueries, nThreads int) Builder {
+	return func(s *sim.System) CheckFn {
+		l := layoutSilo(s.Mem, nKeys, nQueries)
+		for t := 0; t < nThreads; t++ {
+			s.Cores[t/4].Load(t%4, siloWalkProg(l, t, nThreads, nil))
+		}
+		return checkSilo(s, l)
+	}
+}
+
+// emitWalk writes the synchronous traversal for the query in rPk, storing
+// the result. Labels are prefixed so the body can be emitted per call site.
+func emitWalk(a *isa.Assembler, l siloLayout, pfx string, next string) {
+	const (
+		rKey  isa.Reg = 5
+		rQid  isa.Reg = 6
+		rNode isa.Reg = 7
+		rHdr  isa.Reg = 8
+		rNK   isa.Reg = 9
+		rLeaf isa.Reg = 10
+		rI    isa.Reg = 11
+		rKi   isa.Reg = 12
+		rRB   isa.Reg = 4
+		rT    isa.Reg = 15
+		rSlot isa.Reg = 16
+		rPk   isa.Reg = 17
+	)
+	lbl := func(s string) string { return pfx + s }
+	a.AndI(rKey, rPk, 0xFFFFFFFF)
+	a.ShrI(rQid, rPk, 32)
+	a.MovU(rNode, l.tree.Root)
+	a.Label(lbl("walk"))
+	a.Ld8(rHdr, rNode, 0)
+	a.AndI(rNK, rHdr, 0xFFFFFFFF)
+	a.ShrI(rLeaf, rHdr, 32)
+	a.MovI(rSlot, 0)
+	a.MovI(rI, 0)
+	a.Label(lbl("scan"))
+	a.Bgeu(rI, rNK, lbl("scandone"))
+	a.ShlI(rT, rI, 3)
+	a.Add(rT, rT, rNode)
+	a.Ld8(rKi, rT, 8) // keys start at word 1
+	a.Bltu(rKey, rKi, lbl("scandone"))
+	a.AddI(rSlot, rSlot, 1)
+	a.AddI(rI, rI, 1)
+	a.Jmp(lbl("scan"))
+	a.Label(lbl("scandone"))
+	a.BneI(rLeaf, 0, lbl("leaf"))
+	a.BneI(rSlot, 0, lbl("haveslot"))
+	a.MovI(rSlot, 1)
+	a.Label(lbl("haveslot"))
+	a.AddI(rT, rSlot, btree.Fanout) // children start at word 1+Fanout
+	a.ShlI(rT, rT, 3)
+	a.Add(rT, rT, rNode)
+	a.Ld8(rNode, rT, 0)
+	a.Jmp(lbl("walk"))
+	a.Label(lbl("leaf"))
+	a.BeqI(rSlot, 0, lbl("miss"))
+	a.ShlI(rT, rSlot, 3)
+	a.Add(rT, rT, rNode)
+	a.Ld8(rKi, rT, 0) // keys[slot-1] is word slot
+	a.Bne(rKi, rKey, lbl("miss"))
+	a.AddI(rT, rSlot, btree.Fanout)
+	a.ShlI(rT, rT, 3)
+	a.Add(rT, rT, rNode)
+	a.Ld8(rT, rT, 0) // value
+	a.Jmp(lbl("store"))
+	a.Label(lbl("miss"))
+	a.MovI(rT, 0)
+	a.Label(lbl("store"))
+	a.ShlI(rKi, rQid, 3)
+	a.Add(rKi, rKi, rRB)
+	a.St8(rKi, 0, rT)
+	a.Jmp(next)
+}
+
+// rWalkPk is the register emitWalk expects the packed query in.
+const rWalkPk isa.Reg = 17
+
+// rWalkRB is the register emitWalk expects the results base in.
+const rWalkRB isa.Reg = 4
+
+// siloWalkProg walks queries [tid*nq/T, (tid+1)*nq/T) synchronously. If
+// newQ is non-nil the queries come from a queue instead (Pipette no-RA
+// lookup stage): it dequeues packed queries until the Done CV.
+func siloWalkProg(l siloLayout, tid, nThreads int, newQ *uint8) *isa.Program {
+	const (
+		rQ  isa.Reg = 1
+		rHi isa.Reg = 2
+		rQB isa.Reg = 3
+		rT  isa.Reg = 15
+	)
+	name := fmt.Sprintf("silo-walk-%d", tid)
+	a := isa.NewAssembler(name)
+	a.SetReg(rWalkRB, l.results)
+	if newQ != nil {
+		a.MapQ(mq0, *newQ, isa.QueueOut)
+		a.OnDeqCV("fin")
+		a.Label("qloop")
+		a.Mov(rWalkPk, mq0) // traps on Done
+		emitWalk(a, l, "w", "qloop")
+		a.Label("fin")
+		a.Halt()
+		return a.MustLink()
+	}
+	a.SetReg(rQB, l.queries)
+	lo := uint64(tid) * uint64(l.nq) / uint64(nThreads)
+	hi := uint64(tid+1) * uint64(l.nq) / uint64(nThreads)
+	a.SetReg(rQ, lo)
+	a.SetReg(rHi, hi)
+	a.Label("qloop")
+	a.Bgeu(rQ, rHi, "fin")
+	a.ShlI(rT, rQ, 3)
+	a.Add(rT, rT, rQB)
+	a.Ld8(rWalkPk, rT, 0)
+	a.AddI(rQ, rQ, 1)
+	emitWalk(a, l, "w", "qloop")
+	a.Label("fin")
+	a.Halt()
+	return a.MustLink()
+}
+
+// siloGenProg streams queries round-robin to the lookup threads and
+// terminates each with a Done CV.
+func siloGenProg(l siloLayout, nLookups int) *isa.Program {
+	const (
+		rQ  isa.Reg = 1
+		rN  isa.Reg = 2
+		rQB isa.Reg = 3
+		rT  isa.Reg = 15
+	)
+	a := isa.NewAssembler("silo-gen")
+	for t := 0; t < nLookups; t++ {
+		a.MapQ(isa.Reg(20+t), slQNew(t), isa.QueueIn)
+	}
+	a.SetReg(rQB, l.queries)
+	a.SetReg(rQ, 0)
+	a.SetReg(rN, uint64(l.nq))
+	a.Label("loop")
+	a.Bgeu(rQ, rN, "done")
+	for t := 0; t < nLookups; t++ {
+		skip := fmt.Sprintf("s%d", t)
+		a.Bgeu(rQ, rN, skip)
+		a.ShlI(rT, rQ, 3)
+		a.Add(rT, rT, rQB)
+		a.Ld8(isa.Reg(20+t), rT, 0)
+		a.AddI(rQ, rQ, 1)
+		a.Label(skip)
+	}
+	a.Jmp("loop")
+	a.Label("done")
+	for t := 0; t < nLookups; t++ {
+		a.EnqCI(slQNew(t), cvDone)
+	}
+	a.Halt()
+	return a.MustLink()
+}
+
+// siloLookupRAProg is the pipelined lookup stage with a node-scan RA: each
+// tree level is a request phase (ask the RA for the node's header and keys,
+// recycle the query and node address through the thread's own bounded
+// queue) and a consume phase (dequeue the node words, FIFO-aligned with the
+// recycle queue, and pick the child or finish). The child pointer itself is
+// loaded by the thread — the RA's fetch has just warmed the line — so up to
+// siloMaxPend traversals overlap their node fetches.
+func siloLookupRAProg(l siloLayout, t int) *isa.Program {
+	const (
+		rRB   isa.Reg = 4
+		rKey  isa.Reg = 5
+		rQid  isa.Reg = 6
+		rNode isa.Reg = 7
+		rHdr  isa.Reg = 8
+		rLeaf isa.Reg = 10
+		rKi   isa.Reg = 12
+		rT    isa.Reg = 15
+		rSlot isa.Reg = 16
+		rPk   isa.Reg = 17
+		rPend isa.Reg = 18
+		rDone isa.Reg = 19
+		rKL   isa.Reg = 21 // last key <= key (leaf hit test)
+	)
+	const (
+		mNode isa.Reg = 23 // node words in
+		mRng  isa.Reg = 24 // ranges out
+		mRecI isa.Reg = 25 // recycle enqueue
+		mNew  isa.Reg = 26 // new queries in
+		mRecO isa.Reg = 27 // recycle dequeue
+	)
+	a := isa.NewAssembler(fmt.Sprintf("silo-lookup-ra-%d", t))
+	a.MapQ(mNew, slQNew(t), isa.QueueOut)
+	a.MapQ(mRecO, slQRec(t), isa.QueueOut)
+	a.MapQ(mRecI, slQRec(t), isa.QueueIn)
+	a.MapQ(mRng, slQRng(t), isa.QueueIn)
+	a.MapQ(mNode, slQNode(t), isa.QueueOut)
+	a.OnDeqCV("gendone")
+	a.SetReg(rRB, l.results)
+	a.SetReg(rPend, 0)
+	a.SetReg(rDone, 0)
+
+	a.Label("sched")
+	a.BneI(rDone, 0, "drain")
+	a.BltuI(rPend, siloMaxPend, "take")
+	a.Jmp("consume")
+	a.Label("drain")
+	a.BneI(rPend, 0, "consume")
+	a.Halt()
+
+	a.Label("take")
+	a.Mov(rPk, mNew) // traps to "gendone" on the generator's Done CV
+	a.MovU(rNode, l.tree.Root)
+	a.AddI(rPend, rPend, 1)
+	a.Jmp("request")
+
+	// Request phase: ask the RA for the node's header+keys words and park
+	// (query, node) in the recycle queue.
+	a.Label("request")
+	a.ShrI(rT, rNode, 3)
+	a.Mov(mRng, rT)
+	a.AddI(rT, rT, 1+btree.Fanout)
+	a.Mov(mRng, rT)
+	a.Mov(mRecI, rPk)
+	a.Mov(mRecI, rNode)
+	a.Jmp("sched")
+
+	// Consume phase: the oldest pending traversal's node words are next in
+	// the node queue (same FIFO order as the recycle queue).
+	a.Label("consume")
+	a.Mov(rPk, mRecO)
+	a.Mov(rNode, mRecO)
+	a.AndI(rKey, rPk, 0xFFFFFFFF)
+	a.Mov(rHdr, mNode)
+	a.ShrI(rLeaf, rHdr, 32)
+	a.MovI(rSlot, 0)
+	a.MovI(rKL, 0)
+	// Unused key slots are padded with +inf, so no nkeys check is needed.
+	for i := 0; i < btree.Fanout; i++ {
+		ski := fmt.Sprintf("k%d", i)
+		a.Mov(rKi, mNode)
+		a.Bltu(rKey, rKi, ski)
+		a.AddI(rSlot, rSlot, 1)
+		a.Mov(rKL, rKi)
+		a.Label(ski)
+	}
+	// Child/value word: children[max(slot-1,0)] at word 1+Fanout+slot-1 ==
+	// word Fanout+slot (or children[0] when slot==0). The RA just pulled
+	// the node's first lines into L1, so this load is cheap.
+	a.BneI(rSlot, 0, "haveslot")
+	a.MovI(rSlot, 1)
+	a.MovU(rKL, ^uint64(0)) // slot was 0: no key (including 0) can match below
+	a.Label("haveslot")
+	a.AddI(rT, rSlot, btree.Fanout)
+	a.ShlI(rT, rT, 3)
+	a.Add(rT, rT, rNode)
+	a.Ld8(rT, rT, 0)
+	a.BneI(rLeaf, 0, "leaf")
+	a.Mov(rNode, rT)
+	a.Jmp("request")
+
+	a.Label("leaf")
+	a.Beq(rKL, rKey, "store")
+	a.MovI(rT, 0) // miss
+	a.Label("store")
+	a.ShrI(rQid, rPk, 32)
+	a.ShlI(rKi, rQid, 3)
+	a.Add(rKi, rKi, rRB)
+	a.St8(rKi, 0, rT)
+	a.SubI(rPend, rPend, 1)
+	a.Jmp("sched")
+
+	a.Label("gendone")
+	a.MovI(rDone, 1)
+	a.Jmp("sched")
+	return a.MustLink()
+}
+
+// siloPipeline assembles the generator plus siloLookups lookup stages.
+func siloPipeline(s *sim.System, nKeys, nQueries int, useRA bool) (pipeSpec, siloLayout) {
+	l := layoutSilo(s.Mem, nKeys, nQueries)
+	p := pipeSpec{queues: map[uint8]int{}}
+	p.stages = append(p.stages, siloGenProg(l, siloLookups))
+	for t := 0; t < siloLookups; t++ {
+		p.queues[slQNew(t)] = 6
+		if useRA {
+			p.queues[slQRec(t)] = 2 * siloMaxPend
+			p.queues[slQRng(t)] = 2 * siloMaxPend
+			p.queues[slQNode(t)] = 2 * (1 + btree.Fanout)
+			p.stages = append(p.stages, siloLookupRAProg(l, t))
+			p.ras = append(p.ras, raScan(slQRng(t), slQNode(t), 0))
+		} else {
+			q := slQNew(t)
+			p.stages = append(p.stages, siloWalkProg(l, 100+t, 1, &q))
+		}
+	}
+	return p, l
+}
+
+// SiloPipette builds the Fig. 8 pipeline on one core (generator + 3 lookup
+// threads).
+func SiloPipette(nKeys, nQueries int, useRA bool) Builder {
+	return func(s *sim.System) CheckFn {
+		p, l := siloPipeline(s, nKeys, nQueries, useRA)
+		p.placeSingleCore(s, 0)
+		return checkSilo(s, l)
+	}
+}
+
+// SiloStreaming places the generator and each lookup stage on its own core.
+func SiloStreaming(nKeys, nQueries int) Builder {
+	return func(s *sim.System) CheckFn {
+		p, l := siloPipeline(s, nKeys, nQueries, true)
+		p.placeStreaming(s)
+		return checkSilo(s, l)
+	}
+}

@@ -1,0 +1,487 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"pipette/internal/isa"
+	"pipette/internal/mem"
+	"pipette/internal/sim"
+	"pipette/internal/sparse"
+)
+
+// Inner-product SpMM (Figs. 4 and 5): for every (row i of A, column j of B)
+// pair, merge-intersect the sparsity patterns and accumulate matching
+// products. Control values delimit each row/column segment; skip_to_ctrl
+// lets the merge stage discard the rest of a segment early, and (in the
+// thread-streamed variant) fires the producer's enqueue control handler to
+// abandon streaming — the exact Fig. 5 interplay.
+//
+// Stream entries pack (position << 32 | coordinate) so one queue carries
+// both the merge key and the value index.
+
+// Queue ids.
+const (
+	sqRowsIn uint8 = 0 // (start,end) ranges into the A scan RA
+	sqRows   uint8 = 1 // packed A entries
+	sqColsIn uint8 = 2 // (start,end) ranges into the B scan RA
+	sqCols   uint8 = 3 // packed B entries
+	sqPA     uint8 = 4 // matched A positions
+	sqPB     uint8 = 5 // matched B positions
+	sqVA     uint8 = 6 // fetched A values
+	sqVB     uint8 = 7 // fetched B values
+)
+
+type spmmLayout struct {
+	a, b    sparse.Layout
+	packedA uint64 // pos<<32|col per A nonzero
+	packedB uint64 // pos<<32|row per B nonzero
+	nnzCell uint64
+	sumCell uint64
+	n       int
+}
+
+func layoutSpMM(m *mem.Memory, a, b *sparse.Matrix) spmmLayout {
+	l := spmmLayout{
+		a: a.WriteTo(m), b: b.WriteTo(m),
+		packedA: m.AllocWords(uint64(maxi(a.NNZ(), 1))),
+		packedB: m.AllocWords(uint64(maxi(b.NNZ(), 1))),
+		nnzCell: m.AllocWords(1),
+		sumCell: m.AllocWords(1),
+		n:       a.N,
+	}
+	for p, c := range a.Cols {
+		m.Write64(l.packedA+uint64(p)*8, uint64(p)<<32|c)
+	}
+	for p, r := range b.Rows {
+		m.Write64(l.packedB+uint64(p)*8, uint64(p)<<32|r)
+	}
+	return l
+}
+
+func checkSpMM(s *sim.System, l spmmLayout, a, b *sparse.Matrix, relTol float64) CheckFn {
+	return func() error {
+		wantNNZ, wantSum := sparse.SpMMInner(a, b)
+		gotNNZ := s.Mem.Read64(l.nnzCell)
+		gotSum := isa.U2F(s.Mem.Read64(l.sumCell))
+		if gotNNZ != uint64(wantNNZ) {
+			return fmt.Errorf("spmm: nnz = %d, want %d", gotNNZ, wantNNZ)
+		}
+		if math.Abs(gotSum-wantSum) > relTol*math.Abs(wantSum)+1e-12 {
+			return fmt.Errorf("spmm: sum = %g, want %g", gotSum, wantSum)
+		}
+		return nil
+	}
+}
+
+// SpMMSerial builds the serial merge-intersect kernel.
+func SpMMSerial(a, b *sparse.Matrix) Builder {
+	return func(s *sim.System) CheckFn {
+		l := layoutSpMM(s.Mem, a, b)
+		s.Cores[0].Load(0, spmmSerialProg(l, 0, 1, true))
+		return checkSpMM(s, l, a, b, 1e-12)
+	}
+}
+
+// SpMMDataParallel partitions rows of A across threads; each thread runs the
+// serial kernel over its slice and atomically merges its counts.
+func SpMMDataParallel(a, b *sparse.Matrix, nThreads int) Builder {
+	return func(s *sim.System) CheckFn {
+		l := layoutSpMM(s.Mem, a, b)
+		for t := 0; t < nThreads; t++ {
+			s.Cores[t/4].Load(t%4, spmmSerialProg(l, t, nThreads, false))
+		}
+		return checkSpMM(s, l, a, b, 1e-9)
+	}
+}
+
+// spmmSerialProg computes dot products for rows [tid*n/T, (tid+1)*n/T). If
+// exclusive, results are stored directly; otherwise merged with atomics.
+func spmmSerialProg(l spmmLayout, tid, nThreads int, exclusive bool) *isa.Program {
+	const (
+		rRowP isa.Reg = 1
+		rColP isa.Reg = 2
+		rACol isa.Reg = 3
+		rBRow isa.Reg = 4
+		rAVal isa.Reg = 5
+		rBVal isa.Reg = 6
+		rI    isa.Reg = 7
+		rJ    isa.Reg = 8
+		rP    isa.Reg = 9
+		rQ    isa.Reg = 10
+		rRE   isa.Reg = 11
+		rCE   isa.Reg = 12
+		rCA   isa.Reg = 13
+		rCB   isa.Reg = 14
+		rT    isa.Reg = 15
+		rAcc  isa.Reg = 16
+		rHit  isa.Reg = 17
+		rNNZ  isa.Reg = 18
+		rSum  isa.Reg = 19
+		rT2   isa.Reg = 20
+		rHi   isa.Reg = 21
+		rRS   isa.Reg = 22
+	)
+	a := isa.NewAssembler(fmt.Sprintf("spmm-%d", tid))
+	a.SetReg(rRowP, l.a.RowPtrAddr)
+	a.SetReg(rColP, l.b.ColPtrAddr)
+	a.SetReg(rACol, l.a.ColsAddr)
+	a.SetReg(rBRow, l.b.RowsAddr)
+	a.SetReg(rAVal, l.a.ValsAddr)
+	a.SetReg(rBVal, l.b.CValsAddr)
+	a.SetReg(rNNZ, 0)
+	a.SetReg(rSum, isa.F2U(0))
+	lo := uint64(tid) * uint64(l.n) / uint64(nThreads)
+	hi := uint64(tid+1) * uint64(l.n) / uint64(nThreads)
+	a.SetReg(rI, lo)
+	a.SetReg(rHi, hi)
+
+	a.Label("rowloop")
+	a.Bgeu(rI, rHi, "finish")
+	a.ShlI(rT, rI, 3)
+	a.Add(rT, rT, rRowP)
+	a.Ld8(rRS, rT, 0)
+	a.Ld8(rRE, rT, 8)
+	a.MovI(rJ, 0)
+	a.Label("colloop")
+	a.BeqI(rJ, int64(l.n), "rowend")
+	a.ShlI(rT, rJ, 3)
+	a.Add(rT, rT, rColP)
+	a.Ld8(rQ, rT, 0)
+	a.Ld8(rCE, rT, 8)
+	a.Mov(rP, rRS)
+	a.MovU(rAcc, isa.F2U(0))
+	a.MovI(rHit, 0)
+	a.Label("merge")
+	a.Bgeu(rP, rRE, "dotend")
+	a.Bgeu(rQ, rCE, "dotend")
+	a.ShlI(rT, rP, 3)
+	a.Add(rT, rT, rACol)
+	a.Ld8(rCA, rT, 0)
+	a.ShlI(rT, rQ, 3)
+	a.Add(rT, rT, rBRow)
+	a.Ld8(rCB, rT, 0)
+	a.Bltu(rCA, rCB, "advA")
+	a.Bltu(rCB, rCA, "advB")
+	// Match: acc += A.vals[p] * B.cvals[q].
+	a.ShlI(rT, rP, 3)
+	a.Add(rT, rT, rAVal)
+	a.Ld8(rT, rT, 0)
+	a.ShlI(rT2, rQ, 3)
+	a.Add(rT2, rT2, rBVal)
+	a.Ld8(rT2, rT2, 0)
+	a.FMul(rT, rT, rT2)
+	a.FAdd(rAcc, rAcc, rT)
+	a.MovI(rHit, 1)
+	a.AddI(rP, rP, 1)
+	a.AddI(rQ, rQ, 1)
+	a.Jmp("merge")
+	a.Label("advA")
+	a.AddI(rP, rP, 1)
+	a.Jmp("merge")
+	a.Label("advB")
+	a.AddI(rQ, rQ, 1)
+	a.Jmp("merge")
+	a.Label("dotend")
+	a.BeqI(rHit, 0, "colnext")
+	a.AddI(rNNZ, rNNZ, 1)
+	a.FAdd(rSum, rSum, rAcc)
+	a.Label("colnext")
+	a.AddI(rJ, rJ, 1)
+	a.Jmp("colloop")
+	a.Label("rowend")
+	a.AddI(rI, rI, 1)
+	a.Jmp("rowloop")
+
+	a.Label("finish")
+	if exclusive {
+		a.MovU(rT, l.nnzCell)
+		a.St8(rT, 0, rNNZ)
+		a.MovU(rT, l.sumCell)
+		a.St8(rT, 0, rSum)
+	} else {
+		a.MovU(rT, l.nnzCell)
+		a.FetchAdd(rT2, rT, rNNZ)
+		// Float merge via CAS loop.
+		a.MovU(rT, l.sumCell)
+		a.Label("mergeF")
+		a.Ld8(rT2, rT, 0)
+		a.FAdd(rAcc, rT2, rSum)
+		a.Cas(rHit, rT, rT2, rAcc)
+		a.Bne(rHit, rT2, "mergeF")
+	}
+	a.Halt()
+	return a.MustLink()
+}
+
+// spmmStreamProg streams the non-zeros of rows (of A) or columns (of B),
+// one segment per (i,j) pair in lexicographic order. With useRA it only
+// enqueues (start,end) ranges into a scan RA over the packed array and
+// emits CVs between segments; without, it streams the packed entries itself
+// and honors enqueue-handler aborts (Fig. 5).
+func spmmStreamProg(name string, ptrAddr, packedAddr uint64, n int, isRows bool, useRA bool) *isa.Program {
+	const (
+		rPtr isa.Reg = 1
+		rPk  isa.Reg = 2
+		rI   isa.Reg = 7
+		rJ   isa.Reg = 8
+		rP   isa.Reg = 9
+		rE   isa.Reg = 10
+		rT   isa.Reg = 15
+		rSeg isa.Reg = 16 // index whose range is streamed (i for rows, j for cols)
+	)
+	outQ := sqRows
+	inQ := sqRowsIn
+	if !isRows {
+		outQ = sqCols
+		inQ = sqColsIn
+	}
+	dataQ := inQ // where ranges or data go
+	if !useRA {
+		dataQ = outQ
+	}
+	a := isa.NewAssembler(name)
+	a.MapQ(mq0, dataQ, isa.QueueIn)
+	if !useRA {
+		a.OnEnqCV("abort")
+	}
+	a.SetReg(rPtr, ptrAddr)
+	a.SetReg(rPk, packedAddr)
+	a.SetReg(rI, 0)
+
+	a.Label("iloop")
+	a.BeqI(rI, int64(n), "alldone")
+	a.MovI(rJ, 0)
+	a.Label("jloop")
+	a.BeqI(rJ, int64(n), "iend")
+	if isRows {
+		a.Mov(rSeg, rI)
+	} else {
+		a.Mov(rSeg, rJ)
+	}
+	a.ShlI(rT, rSeg, 3)
+	a.Add(rT, rT, rPtr)
+	a.Ld8(rP, rT, 0)
+	a.Ld8(rE, rT, 8)
+	if useRA {
+		a.Mov(mq0, rP)
+		a.Mov(mq0, rE)
+	} else {
+		a.Label("stream")
+		a.Bgeu(rP, rE, "segend")
+		a.ShlI(rT, rP, 3)
+		a.Add(rT, rT, rPk)
+		a.Ld8(mq0, rT, 0) // enqueue packed entry (may trap to "abort")
+		a.AddI(rP, rP, 1)
+		a.Jmp("stream")
+		a.Label("segend")
+	}
+	a.EnqCI(dataQ, cvEOL) // segment delimiter (forwarded by the scan RA)
+	a.Label("segnext")
+	a.AddI(rJ, rJ, 1)
+	a.Jmp("jloop")
+	a.Label("iend")
+	a.AddI(rI, rI, 1)
+	a.Jmp("iloop")
+	a.Label("alldone")
+	a.EnqCI(dataQ, cvDone)
+	a.Halt()
+	if !useRA {
+		// Enqueue control handler: the consumer skipped this segment;
+		// emit its delimiter and move on (Fig. 5).
+		a.Label("abort")
+		a.EnqCI(dataQ, cvEOL)
+		a.Jmp("segnext")
+	}
+	return a.MustLink()
+}
+
+// spmmMergeProg is the merge-intersect stage: consumes packed A and B
+// entries, advances the smaller coordinate, and emits matched positions.
+// A segment delimiter on either stream skips the other stream to its
+// delimiter and closes the dot product.
+func spmmMergeProg() *isa.Program {
+	const (
+		rA  isa.Reg = 11
+		rB  isa.Reg = 12
+		rCA isa.Reg = 13
+		rCB isa.Reg = 14
+		rT  isa.Reg = 15
+	)
+	a := isa.NewAssembler("spmm-merge")
+	a.MapQ(mq0, sqRows, isa.QueueOut)
+	a.MapQ(mq1, sqCols, isa.QueueOut)
+	a.MapQ(mq2, sqPA, isa.QueueIn)
+	a.MapQ(mq3, sqPB, isa.QueueIn)
+	a.OnDeqCV("cv")
+
+	a.Label("start")
+	a.Mov(rA, mq0) // traps at segment end
+	a.Mov(rB, mq1)
+	a.Label("step")
+	a.AndI(rCA, rA, 0xFFFFFFFF)
+	a.AndI(rCB, rB, 0xFFFFFFFF)
+	a.Bltu(rCA, rCB, "advA")
+	a.Bltu(rCB, rCA, "advB")
+	a.ShrI(rT, rA, 32)
+	a.Mov(mq2, rT) // matched A position
+	a.ShrI(rT, rB, 32)
+	a.Mov(mq3, rT) // matched B position
+	a.Mov(rA, mq0)
+	a.Mov(rB, mq1)
+	a.Jmp("step")
+	a.Label("advA")
+	a.Mov(rA, mq0)
+	a.Jmp("step")
+	a.Label("advB")
+	a.Mov(rB, mq1)
+	a.Jmp("step")
+
+	a.Label("cv")
+	// One stream ended its segment; discard the rest of the other
+	// (skip_to_ctrl — in the thread-streamed variant this can fire the
+	// producer's enqueue handler, Fig. 5).
+	a.BeqI(isa.RHQ, int64(sqRows), "skipB")
+	a.SkipC(rT, sqRows)
+	a.Jmp("closed")
+	a.Label("skipB")
+	a.SkipC(rT, sqCols)
+	a.Label("closed")
+	a.EnqC(sqPA, isa.RHCV) // close the dot product downstream
+	a.EnqC(sqPB, isa.RHCV)
+	a.BeqI(isa.RHCV, cvDone, "done")
+	a.Jmp("start")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+// spmmAccProg fetches matched values (via RAs or its own loads) and
+// accumulates dot products, counting non-empty results and the checksum.
+func spmmAccProg(l spmmLayout, useRA bool) *isa.Program {
+	const (
+		rVA  isa.Reg = 11
+		rVB  isa.Reg = 12
+		rAcc isa.Reg = 13
+		rHit isa.Reg = 14
+		rT   isa.Reg = 15
+		rNNZ isa.Reg = 16
+		rSum isa.Reg = 17
+		rAV  isa.Reg = 18
+		rBV  isa.Reg = 19
+		rT2  isa.Reg = 20
+	)
+	a := isa.NewAssembler("spmm-acc")
+	if useRA {
+		a.MapQ(mq0, sqVA, isa.QueueOut)
+		a.MapQ(mq1, sqVB, isa.QueueOut)
+	} else {
+		a.MapQ(mq0, sqPA, isa.QueueOut)
+		a.MapQ(mq1, sqPB, isa.QueueOut)
+		a.SetReg(rAV, l.a.ValsAddr)
+		a.SetReg(rBV, l.b.CValsAddr)
+	}
+	a.OnDeqCV("cv")
+	a.SetReg(rNNZ, 0)
+	a.SetReg(rSum, isa.F2U(0))
+	a.SetReg(rAcc, isa.F2U(0))
+	a.SetReg(rHit, 0)
+
+	a.Label("loop")
+	if useRA {
+		a.Mov(rVA, mq0) // fetched A value
+		a.Mov(rVB, mq1)
+	} else {
+		a.ShlI(rT, mq0, 3)
+		a.Add(rT, rT, rAV)
+		a.Ld8(rVA, rT, 0)
+		a.ShlI(rT, mq1, 3)
+		a.Add(rT, rT, rBV)
+		a.Ld8(rVB, rT, 0)
+	}
+	a.FMul(rT, rVA, rVB)
+	a.FAdd(rAcc, rAcc, rT)
+	a.MovI(rHit, 1)
+	a.Jmp("loop")
+
+	a.Label("cv")
+	q2 := sqVB
+	if !useRA {
+		q2 = sqPB
+	}
+	a.SkipC(rT, q2)
+	a.BeqI(rHit, 0, "empty")
+	a.AddI(rNNZ, rNNZ, 1)
+	a.FAdd(rSum, rSum, rAcc)
+	a.Label("empty")
+	a.MovU(rAcc, isa.F2U(0))
+	a.MovI(rHit, 0)
+	a.BeqI(isa.RHCV, cvDone, "done")
+	a.Jmp("loop")
+	a.Label("done")
+	a.MovU(rT, l.nnzCell)
+	a.St8(rT, 0, rNNZ)
+	a.MovU(rT, l.sumCell)
+	a.St8(rT, 0, rSum)
+	a.Halt()
+	return a.MustLink()
+}
+
+func spmmPipeline(s *sim.System, ma, mb *sparse.Matrix, useRA bool) (pipeSpec, spmmLayout) {
+	l := layoutSpMM(s.Mem, ma, mb)
+	p := pipeSpec{}
+	rows := spmmStreamProg("spmm-rows", l.a.RowPtrAddr, l.packedA, l.n, true, useRA)
+	cols := spmmStreamProg("spmm-cols", l.b.ColPtrAddr, l.packedB, l.n, false, useRA)
+	merge := spmmMergeProg()
+	acc := spmmAccProg(l, useRA)
+	p.stages = []*isa.Program{rows, cols, merge, acc}
+	if useRA {
+		p.queues = map[uint8]int{
+			sqRowsIn: 8, sqRows: 24, sqColsIn: 8, sqCols: 24,
+			sqPA: 16, sqPB: 16, sqVA: 16, sqVB: 16,
+		}
+		p.ras = raList(
+			raScan(sqRowsIn, sqRows, l.packedA),
+			raScan(sqColsIn, sqCols, l.packedB),
+			raInd(sqPA, sqVA, l.a.ValsAddr),
+			raInd(sqPB, sqVB, l.b.CValsAddr),
+		)
+	} else {
+		p.queues = map[uint8]int{sqRows: 28, sqCols: 28, sqPA: 20, sqPB: 20}
+	}
+	return p, l
+}
+
+// SpMMPipette builds the Fig. 4 pipeline on one core.
+func SpMMPipette(ma, mb *sparse.Matrix, useRA bool) Builder {
+	return func(s *sim.System) CheckFn {
+		p, l := spmmPipeline(s, ma, mb, useRA)
+		p.placeSingleCore(s, 0)
+		return checkSpMM(s, l, ma, mb, 1e-12)
+	}
+}
+
+// SpMMStreaming places each stage on its own core.
+func SpMMStreaming(ma, mb *sparse.Matrix) Builder {
+	return func(s *sim.System) CheckFn {
+		p, l := spmmPipeline(s, ma, mb, true)
+		p.placeStreaming(s)
+		return checkSpMM(s, l, ma, mb, 1e-12)
+	}
+}
+
+// SpMMAdaptive implements the adaptive scheme the paper sketches in Sec.
+// VI-D: on inputs where control values would dominate (few non-zeros per
+// row/column) and the working set fits on chip, data parallelism wins
+// slightly, so the adaptive version picks the data-parallel kernel there and
+// the Pipette pipeline everywhere else. It returns the builder and the name
+// of the chosen variant.
+func SpMMAdaptive(a, b *sparse.Matrix, cacheBytes int) (Builder, string) {
+	// Footprint of the structures the merge streams touch.
+	footprint := 8 * (2*(a.N+1) + 3*a.NNZ() + 3*b.NNZ())
+	avg := (a.AvgNNZPerRow() + b.AvgNNZPerRow()) / 2
+	if avg < 10 && footprint <= cacheBytes {
+		return SpMMDataParallel(a, b, 4), VDataParallel
+	}
+	return SpMMPipette(a, b, true), VPipette
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"testing"
+
+	"pipette/internal/sparse"
+)
+
+func spmmMats() (*sparse.Matrix, *sparse.Matrix) {
+	return sparse.Random("a", 60, 5, 31), sparse.Random("b", 60, 5, 32)
+}
+
+func TestSpMMSerial(t *testing.T) {
+	a, b := spmmMats()
+	runBench(t, 1, SpMMSerial(a, b))
+}
+
+func TestSpMMDataParallel(t *testing.T) {
+	a, b := spmmMats()
+	runBench(t, 1, SpMMDataParallel(a, b, 4))
+}
+
+func TestSpMMPipetteRA(t *testing.T) {
+	a, b := spmmMats()
+	runBench(t, 1, SpMMPipette(a, b, true))
+}
+
+func TestSpMMPipetteNoRA(t *testing.T) {
+	a, b := spmmMats()
+	runBench(t, 1, SpMMPipette(a, b, false))
+}
+
+func TestSpMMStreaming(t *testing.T) {
+	a, b := spmmMats()
+	runBench(t, 4, SpMMStreaming(a, b))
+}
+
+// skip_to_ctrl early termination (Fig. 5): long rows of A against short
+// columns of B should fire the enqueue control handler in the no-RA variant.
+func TestSpMMSkipFiresEnqHandler(t *testing.T) {
+	a := sparse.Banded("wide", 40, 20, 33) // dense rows
+	b := sparse.Random("thin", 40, 2, 34)  // sparse columns
+	r := runBench(t, 1, SpMMPipette(a, b, false))
+	found := false
+	for _, cs := range r.CoreStats {
+		if cs.EnqTraps > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected enqueue-handler traps from skip_to_ctrl (Fig. 5)")
+	}
+	if r.CoreStats[0].SkipOps == 0 {
+		t.Error("expected skip_to_ctrl operations")
+	}
+}
+
+func TestSiloSerial(t *testing.T) {
+	runBench(t, 1, SiloSerial(800, 150))
+}
+
+func TestSiloDataParallel(t *testing.T) {
+	runBench(t, 1, SiloDataParallel(800, 150, 4))
+}
+
+func TestSiloPipetteRA(t *testing.T) {
+	runBench(t, 1, SiloPipette(800, 150, true))
+}
+
+func TestSiloPipetteNoRA(t *testing.T) {
+	runBench(t, 1, SiloPipette(800, 150, false))
+}
+
+func TestSiloStreaming(t *testing.T) {
+	runBench(t, 4, SiloStreaming(800, 150))
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"pipette/internal/isa"
+	"pipette/internal/sim"
+)
+
+// Randomized pipeline torture: build chains of 2-4 relay stages with random
+// queue capacities and element counts, where each stage applies a known
+// transform, and check the end-to-end result. Exercises queue backpressure,
+// commit-gated dequeues and multi-thread scheduling under many shapes.
+func TestPipelineTorture(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 12; trial++ {
+		stages := 2 + r.Intn(3)  // 2..4 threads
+		n := 20 + r.Intn(180)    // elements
+		addend := r.Int63n(1000) // per-stage transform
+		caps := map[uint8]int{}
+		for q := 0; q < stages-1; q++ {
+			caps[uint8(q)] = 2 + r.Intn(14)
+		}
+
+		s := sim.New(sim.DefaultConfig())
+		s.Cores[0].SetQueueCaps(caps)
+		res := s.Mem.AllocWords(1)
+
+		// Head: enqueue 1..n into q0.
+		head := isa.NewAssembler("head")
+		head.MapQ(20, 0, isa.QueueIn)
+		head.MovI(1, 0)
+		head.Label("loop")
+		head.AddI(1, 1, 1)
+		head.Mov(20, 1)
+		head.BneI(1, int64(n), "loop")
+		head.Halt()
+		s.Cores[0].Load(0, head.MustLink())
+
+		// Middle relays: out = in + addend.
+		for st := 1; st < stages-1; st++ {
+			a := isa.NewAssembler("relay")
+			a.MapQ(20, uint8(st-1), isa.QueueOut)
+			a.MapQ(21, uint8(st), isa.QueueIn)
+			a.MovI(2, 0)
+			a.Label("loop")
+			a.AddI(21, 20, addend) // dequeue, add, enqueue in one instruction
+			a.AddI(2, 2, 1)
+			a.BneI(2, int64(n), "loop")
+			a.Halt()
+			s.Cores[0].Load(st, a.MustLink())
+		}
+
+		// Tail: sum everything.
+		tail := isa.NewAssembler("tail")
+		tail.MapQ(20, uint8(stages-2), isa.QueueOut)
+		tail.MovI(1, 0)
+		tail.MovI(2, 0)
+		tail.Label("loop")
+		tail.Add(1, 1, 20)
+		tail.AddI(2, 2, 1)
+		tail.BneI(2, int64(n), "loop")
+		tail.MovU(3, res)
+		tail.St8(3, 0, 1)
+		tail.Halt()
+		s.Cores[0].Load(stages-1, tail.MustLink())
+
+		if _, err := s.Run(); err != nil {
+			t.Fatalf("trial %d (stages=%d n=%d caps=%v): %v", trial, stages, n, caps, err)
+		}
+		want := uint64(n) * uint64(n+1) / 2
+		want += uint64(stages-2) * uint64(addend) * uint64(n)
+		if got := s.Mem.Read64(res); got != want {
+			t.Fatalf("trial %d (stages=%d n=%d addend=%d): sum=%d want=%d",
+				trial, stages, n, addend, got, want)
+		}
+	}
+}
+
+// Torture with control values: random batch boundaries must always reach the
+// consumer in order and carry the right ids.
+func TestControlValueTorture(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		batches := 2 + r.Intn(6)
+		per := 1 + r.Intn(20)
+		capQ := 2 + r.Intn(20)
+
+		s := sim.New(sim.DefaultConfig())
+		s.Cores[0].SetQueueCaps(map[uint8]int{0: capQ})
+		sums := s.Mem.AllocWords(uint64(batches))
+
+		p := isa.NewAssembler("prod")
+		p.MapQ(20, 0, isa.QueueIn)
+		p.MovI(1, 0) // batch
+		p.Label("batch")
+		p.MovI(2, 0)
+		p.Label("elem")
+		p.AddI(2, 2, 1)
+		p.Mov(20, 2)
+		p.BneI(2, int64(per), "elem")
+		p.EnqC(0, 1) // delimiter carries the batch id
+		p.AddI(1, 1, 1)
+		p.BneI(1, int64(batches), "batch")
+		p.EnqCI(0, int64(batches)) // terminator
+		p.Halt()
+
+		c := isa.NewAssembler("cons")
+		c.MapQ(20, 0, isa.QueueOut)
+		c.OnDeqCV("cv")
+		c.MovU(5, sums)
+		c.MovI(1, 0)
+		c.Label("loop")
+		c.Add(1, 1, 20)
+		c.Jmp("loop")
+		c.Label("cv")
+		c.BeqI(isa.RHCV, int64(batches), "done")
+		c.ShlI(6, isa.RHCV, 3)
+		c.Add(6, 6, 5)
+		c.St8(6, 0, 1) // sums[batch] = running sum
+		c.MovI(1, 0)
+		c.Jmp("loop")
+		c.Label("done")
+		c.Halt()
+
+		s.Cores[0].Load(0, p.MustLink())
+		s.Cores[0].Load(1, c.MustLink())
+		if _, err := s.Run(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := uint64(per) * uint64(per+1) / 2
+		for b := 0; b < batches; b++ {
+			if got := s.Mem.Read64(sums + uint64(b)*8); got != want {
+				t.Fatalf("trial %d: batch %d sum=%d want=%d", trial, b, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package btree implements the high-radix B+tree index that dominates Silo's
+// YCSB-C lookups (Sec. V-B, Fig. 8). The tree is laid out directly in
+// simulated memory so that both the reference Go implementation and the
+// simulated ISA kernels traverse the same bytes.
+//
+// Node layout (all 8-byte words):
+//
+//	word 0:            nkeys | (isLeaf << 32)
+//	words 1..F:        keys
+//	words F+1..2F:     children (internal) or values (leaf)
+package btree
+
+import (
+	"sort"
+
+	"pipette/internal/mem"
+)
+
+// Fanout is the number of keys per node. 8 keys × 8 B = 64 B of keys — one
+// cache line, plus the header and child lines, matching the "cache-friendly
+// high-radix" trees in Silo.
+const Fanout = 8
+
+// NodeWords is the allocation size of one node in 8-byte words.
+const NodeWords = 2 + 2*Fanout
+
+// Tree is a B+tree image in simulated memory.
+type Tree struct {
+	Root   uint64 // node address
+	Height int    // levels, 1 = root is a leaf
+	mem    *mem.Memory
+	nodes  int
+}
+
+// Build constructs a tree over sorted unique keys with values[i] attached to
+// keys[i], bulk-loading bottom-up so leaves are packed.
+func Build(m *mem.Memory, keys, values []uint64) *Tree {
+	if len(keys) != len(values) {
+		panic("btree: keys/values length mismatch")
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		panic("btree: keys not sorted")
+	}
+	t := &Tree{mem: m}
+
+	type nodeRef struct {
+		addr   uint64
+		minKey uint64
+	}
+
+	alloc := func(isLeaf bool, ks, vs []uint64) nodeRef {
+		addr := m.AllocWords(NodeWords)
+		hdr := uint64(len(ks))
+		if isLeaf {
+			hdr |= 1 << 32
+		}
+		m.Write64(addr, hdr)
+		for i, k := range ks {
+			m.Write64(addr+uint64(1+i)*8, k)
+		}
+		// Pad unused key slots with +inf so branch-free scans that ignore
+		// nkeys never count them.
+		for i := len(ks); i < Fanout; i++ {
+			m.Write64(addr+uint64(1+i)*8, ^uint64(0))
+		}
+		for i, v := range vs {
+			m.Write64(addr+uint64(1+Fanout+i)*8, v)
+		}
+		t.nodes++
+		return nodeRef{addr, ks[0]}
+	}
+
+	// Leaves.
+	var level []nodeRef
+	for i := 0; i < len(keys); i += Fanout {
+		j := i + Fanout
+		if j > len(keys) {
+			j = len(keys)
+		}
+		level = append(level, alloc(true, keys[i:j], values[i:j]))
+	}
+	if len(level) == 0 {
+		level = append(level, alloc(true, []uint64{0}, []uint64{0}))
+	}
+	t.Height = 1
+	// Internal levels.
+	for len(level) > 1 {
+		var up []nodeRef
+		for i := 0; i < len(level); i += Fanout {
+			j := i + Fanout
+			if j > len(level) {
+				j = len(level)
+			}
+			ks := make([]uint64, 0, j-i)
+			vs := make([]uint64, 0, j-i)
+			for _, ch := range level[i:j] {
+				ks = append(ks, ch.minKey)
+				vs = append(vs, ch.addr)
+			}
+			up = append(up, alloc(false, ks, vs))
+		}
+		level = up
+		t.Height++
+	}
+	t.Root = level[0].addr
+	return t
+}
+
+// Nodes returns how many nodes the tree allocated.
+func (t *Tree) Nodes() int { return t.nodes }
+
+// Lookup is the reference traversal: returns the value for key and whether
+// it was found. The simulated kernels implement exactly this walk.
+func (t *Tree) Lookup(key uint64) (uint64, bool) {
+	addr := t.Root
+	for {
+		hdr := t.mem.Read64(addr)
+		nkeys := int(hdr & 0xFFFFFFFF)
+		isLeaf := hdr>>32 != 0
+		// Find rightmost slot with keys[slot] <= key (slots are sorted).
+		slot := -1
+		for i := 0; i < nkeys; i++ {
+			if t.mem.Read64(addr+uint64(1+i)*8) <= key {
+				slot = i
+			} else {
+				break
+			}
+		}
+		if isLeaf {
+			if slot >= 0 && t.mem.Read64(addr+uint64(1+slot)*8) == key {
+				return t.mem.Read64(addr + uint64(1+Fanout+slot)*8), true
+			}
+			return 0, false
+		}
+		if slot < 0 {
+			slot = 0
+		}
+		addr = t.mem.Read64(addr + uint64(1+Fanout+slot)*8)
+	}
+}

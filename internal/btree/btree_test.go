@@ -1,0 +1,113 @@
+package btree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pipette/internal/mem"
+)
+
+func buildSeq(t *testing.T, n int) (*Tree, *mem.Memory) {
+	t.Helper()
+	m := mem.New()
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i * 3) // sparse keyspace to test misses
+		vals[i] = uint64(i*3) + 1000
+	}
+	return Build(m, keys, vals), m
+}
+
+func TestLookupAllPresent(t *testing.T) {
+	tr, _ := buildSeq(t, 500)
+	for i := 0; i < 500; i++ {
+		k := uint64(i * 3)
+		v, ok := tr.Lookup(k)
+		if !ok || v != k+1000 {
+			t.Fatalf("lookup(%d) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestLookupMisses(t *testing.T) {
+	tr, _ := buildSeq(t, 500)
+	for _, k := range []uint64{1, 2, 4, 100000} {
+		if _, ok := tr.Lookup(k); ok {
+			t.Fatalf("lookup(%d) should miss", k)
+		}
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	small, _ := buildSeq(t, 5)
+	if small.Height != 1 {
+		t.Fatalf("5 keys: height %d", small.Height)
+	}
+	big, _ := buildSeq(t, 4000)
+	if big.Height < 3 || big.Height > 6 {
+		t.Fatalf("4000 keys: height %d", big.Height)
+	}
+	if big.Nodes() < 500 {
+		t.Fatalf("4000 keys: nodes %d", big.Nodes())
+	}
+}
+
+func TestSingleKey(t *testing.T) {
+	m := mem.New()
+	tr := Build(m, []uint64{42}, []uint64{7})
+	if v, ok := tr.Lookup(42); !ok || v != 7 {
+		t.Fatalf("got %d,%v", v, ok)
+	}
+	if _, ok := tr.Lookup(41); ok {
+		t.Fatal("41 should miss")
+	}
+}
+
+// Property: every inserted key resolves to its value, for random key sets.
+func TestLookupProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		seen := map[uint64]bool{}
+		var keys []uint64
+		for _, r := range raw {
+			k := uint64(r)
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		if len(keys) == 0 {
+			return true
+		}
+		// Build requires sorted keys.
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+		vals := make([]uint64, len(keys))
+		for i, k := range keys {
+			vals[i] = k ^ 0xDEAD
+		}
+		tr := Build(mem.New(), keys, vals)
+		for i, k := range keys {
+			v, ok := tr.Lookup(k)
+			if !ok || v != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnsortedKeysPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Build(mem.New(), []uint64{5, 3}, []uint64{1, 2})
+}

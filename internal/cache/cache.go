@@ -1,0 +1,430 @@
+// Package cache models the timing of the memory hierarchy: per-core L1D and
+// L2, a shared L3, MSHR-limited miss-level parallelism, a stream prefetcher,
+// and a bandwidth-limited DRAM channel. Functional data lives in
+// internal/mem and is always coherent; this package computes completion
+// times and maintains a presence directory so that writes invalidate remote
+// private copies (enough coherence for the data-parallel baselines).
+package cache
+
+// Config sizes the hierarchy. All latencies are in core cycles and are
+// cumulative per level (an L2 hit costs L1Lat+L2Lat).
+type Config struct {
+	LineBytes int
+
+	L1Sets, L1Ways int
+	L1Lat          uint64
+
+	L2Sets, L2Ways int
+	L2Lat          uint64
+
+	L3Sets, L3Ways int
+	L3Lat          uint64
+
+	DRAMLat           uint64 // latency of a row access
+	DRAMCyclesPerLine uint64 // channel occupancy per line (bandwidth)
+
+	MSHRs int // outstanding misses per core
+
+	// CoherencePenalty is added to a write that invalidates copies in
+	// other cores' private caches (the read-for-ownership round trip).
+	// Contended shared lines — data-parallel barriers, atomics — pay it;
+	// queue-based communication does not touch shared lines and avoids it.
+	CoherencePenalty uint64
+
+	StreamPrefetch bool
+	PrefetchDegree int
+}
+
+// DefaultConfig mirrors Table IV scaled for this simulator: 32 KB 8-way L1D,
+// 256 KB 8-way L2, 2 MB/core 16-way shared L3, ~50 GB/s-class DRAM channel.
+func DefaultConfig() Config {
+	return Config{
+		LineBytes: 64,
+		L1Sets:    64, L1Ways: 8, L1Lat: 4, // 32 KB
+		L2Sets: 512, L2Ways: 8, L2Lat: 10, // 256 KB
+		L3Sets: 2048, L3Ways: 16, L3Lat: 32, // 2 MB
+		DRAMLat: 180, DRAMCyclesPerLine: 10,
+		MSHRs:            16,
+		CoherencePenalty: 36,
+		StreamPrefetch:   true,
+		PrefetchDegree:   4,
+	}
+}
+
+// Scale returns a copy of c with all cache capacities divided by f (sets
+// shrink; ways stay). Used to keep scaled-down inputs in the paper's
+// "working set ≫ LLC" regime.
+func (c Config) Scale(f int) Config {
+	if f <= 1 {
+		return c
+	}
+	div := func(n int) int {
+		n /= f
+		if n < 2 {
+			n = 2
+		}
+		return n
+	}
+	c.L1Sets = div(c.L1Sets)
+	c.L2Sets = div(c.L2Sets)
+	c.L3Sets = div(c.L3Sets)
+	return c
+}
+
+// Stats counts hierarchy events; used by the energy model and reports.
+type Stats struct {
+	L1Hits, L2Hits, L3Hits, DRAMAccesses uint64
+	Writebacks                           uint64
+	Prefetches                           uint64
+	Invalidations                        uint64
+}
+
+// Level identifies where an access was satisfied.
+type Level uint8
+
+// Access service levels.
+const (
+	LvlL1 Level = iota
+	LvlL2
+	LvlL3
+	LvlDRAM
+)
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	use   uint64
+}
+
+type array struct {
+	sets, ways int
+	lines      []line // sets*ways
+	tick       uint64
+}
+
+func newArray(sets, ways int) *array {
+	return &array{sets: sets, ways: ways, lines: make([]line, sets*ways)}
+}
+
+func (a *array) set(lineAddr uint64) []line {
+	s := int(lineAddr) & (a.sets - 1)
+	return a.lines[s*a.ways : (s+1)*a.ways]
+}
+
+// lookup returns whether lineAddr hits, updating LRU on hit.
+func (a *array) lookup(lineAddr uint64, write bool) bool {
+	a.tick++
+	for i := range a.set(lineAddr) {
+		l := &a.set(lineAddr)[i]
+		if l.valid && l.tag == lineAddr {
+			l.use = a.tick
+			if write {
+				l.dirty = true
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// install brings lineAddr in, evicting LRU if needed. It returns the evicted
+// line address and whether it was valid and dirty.
+func (a *array) install(lineAddr uint64, write bool) (evicted uint64, hadValid, wasDirty bool) {
+	a.tick++
+	set := a.set(lineAddr)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].use < set[victim].use {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	evicted, hadValid, wasDirty = v.tag, v.valid, v.valid && v.dirty
+	*v = line{tag: lineAddr, valid: true, dirty: write, use: a.tick}
+	return evicted, hadValid, wasDirty
+}
+
+// invalidate drops lineAddr if present; reports whether it was present.
+func (a *array) invalidate(lineAddr uint64) bool {
+	for i := range a.set(lineAddr) {
+		l := &a.set(lineAddr)[i]
+		if l.valid && l.tag == lineAddr {
+			l.valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// present reports presence without touching LRU state.
+func (a *array) present(lineAddr uint64) bool {
+	for i := range a.set(lineAddr) {
+		l := &a.set(lineAddr)[i]
+		if l.valid && l.tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+const numStreams = 8
+
+type stream struct {
+	lastLine uint64
+	conf     int
+	valid    bool
+}
+
+// Hierarchy is the whole-system memory model: one Port per core plus the
+// shared L3 and DRAM channel.
+type Hierarchy struct {
+	cfg       Config
+	lineShift uint
+	l3        *array
+	dramFree  uint64 // next cycle the DRAM channel is free
+	ports     []*Port
+	presence  map[uint64]uint32 // line -> bitmask of cores caching it
+	Stats     Stats
+}
+
+// New builds a hierarchy with nCores private L1/L2 pairs.
+func New(cfg Config, nCores int) *Hierarchy {
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	h := &Hierarchy{
+		cfg:       cfg,
+		lineShift: shift,
+		l3:        newArray(cfg.L3Sets, cfg.L3Ways),
+		presence:  map[uint64]uint32{},
+	}
+	for i := 0; i < nCores; i++ {
+		h.ports = append(h.ports, &Port{
+			h:  h,
+			id: i,
+			l1: newArray(cfg.L1Sets, cfg.L1Ways),
+			l2: newArray(cfg.L2Sets, cfg.L2Ways),
+		})
+	}
+	return h
+}
+
+// Port returns core i's private port.
+func (h *Hierarchy) Port(i int) *Port { return h.ports[i] }
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Port is a core's private L1D+L2 slice of the hierarchy.
+type Port struct {
+	h       *Hierarchy
+	id      int
+	l1, l2  *array
+	mshr    []uint64 // completion cycles of outstanding misses
+	streams [numStreams]stream
+	nextStr int
+}
+
+func (p *Port) lineOf(addr uint64) uint64 { return addr >> p.h.lineShift }
+
+// pruneMSHR drops completed entries and returns the earliest completion time
+// if the MSHRs are full (0 otherwise).
+func (p *Port) pruneMSHR(now uint64) uint64 {
+	out := p.mshr[:0]
+	var earliest uint64
+	for _, t := range p.mshr {
+		if t > now {
+			out = append(out, t)
+			if earliest == 0 || t < earliest {
+				earliest = t
+			}
+		}
+	}
+	p.mshr = out
+	if len(p.mshr) >= p.h.cfg.MSHRs {
+		return earliest
+	}
+	return 0
+}
+
+func (p *Port) markPresent(lineAddr uint64) { p.h.presence[lineAddr] |= 1 << uint(p.id) }
+
+func (p *Port) markAbsent(lineAddr uint64) {
+	if m, ok := p.h.presence[lineAddr]; ok {
+		m &^= 1 << uint(p.id)
+		if m == 0 {
+			delete(p.h.presence, lineAddr)
+		} else {
+			p.h.presence[lineAddr] = m
+		}
+	}
+}
+
+// installPrivate brings a line into this core's L2 and L1, maintaining the
+// presence directory and counting writebacks.
+func (p *Port) installPrivate(lineAddr uint64, write bool) {
+	if ev, had, dirty := p.l2.install(lineAddr, write); had {
+		if dirty {
+			p.h.Stats.Writebacks++
+		}
+		if !p.l1.present(ev) {
+			p.markAbsent(ev)
+		}
+		p.l1.invalidate(ev) // keep inclusive: L1 ⊆ L2
+		p.markAbsent(ev)
+	}
+	if ev, had, dirty := p.l1.install(lineAddr, write); had {
+		if dirty {
+			p.h.Stats.Writebacks++
+		}
+		if !p.l2.present(ev) {
+			p.markAbsent(ev)
+		}
+	}
+	p.markPresent(lineAddr)
+}
+
+// invalidateRemote drops the line from every other core's private caches and
+// reports whether any remote copy existed (the writer then pays the
+// read-for-ownership penalty).
+func (p *Port) invalidateRemote(lineAddr uint64) bool {
+	mask, ok := p.h.presence[lineAddr]
+	if !ok {
+		return false
+	}
+	any := false
+	for i, q := range p.h.ports {
+		if i == p.id || mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		in1 := q.l1.invalidate(lineAddr)
+		in2 := q.l2.invalidate(lineAddr)
+		if in1 || in2 {
+			p.h.Stats.Invalidations++
+			any = true
+		}
+		q.markAbsent(lineAddr)
+	}
+	return any
+}
+
+// Access simulates a data access issued at cycle `now` and returns its
+// completion cycle and the level that served it. Writes (and atomics, which
+// the core issues as write=true) invalidate remote private copies.
+func (p *Port) Access(now uint64, addr uint64, write bool) (done uint64, lvl Level) {
+	cfg := &p.h.cfg
+	la := p.lineOf(addr)
+	var coherence uint64
+	if write && p.invalidateRemote(la) {
+		coherence = cfg.CoherencePenalty
+	}
+	if p.h.cfg.StreamPrefetch {
+		p.trainPrefetch(la)
+	}
+	if p.l1.lookup(la, write) {
+		p.h.Stats.L1Hits++
+		return now + cfg.L1Lat + coherence, LvlL1
+	}
+	if p.l2.lookup(la, write) {
+		p.h.Stats.L2Hits++
+		p.installL1Only(la, write)
+		return now + cfg.L1Lat + cfg.L2Lat + coherence, LvlL2
+	}
+	// Miss in private caches: take an MSHR.
+	start := now
+	if full := p.pruneMSHR(now); full != 0 {
+		start = full
+	}
+	if p.h.l3.lookup(la, false) {
+		p.h.Stats.L3Hits++
+		p.installPrivate(la, write)
+		done = start + cfg.L1Lat + cfg.L2Lat + cfg.L3Lat + coherence
+		p.mshr = append(p.mshr, done)
+		return done, LvlL3
+	}
+	// DRAM. Respect channel bandwidth.
+	p.h.Stats.DRAMAccesses++
+	reqAt := start + cfg.L1Lat + cfg.L2Lat + cfg.L3Lat
+	dramStart := reqAt
+	if p.h.dramFree > dramStart {
+		dramStart = p.h.dramFree
+	}
+	p.h.dramFree = dramStart + cfg.DRAMCyclesPerLine
+	done = dramStart + cfg.DRAMLat
+	p.installL3(la)
+	p.installPrivate(la, write)
+	p.mshr = append(p.mshr, done)
+	return done, LvlDRAM
+}
+
+func (p *Port) installL1Only(lineAddr uint64, write bool) {
+	if ev, had, dirty := p.l1.install(lineAddr, write); had {
+		if dirty {
+			p.h.Stats.Writebacks++
+		}
+		if !p.l2.present(ev) {
+			p.markAbsent(ev)
+		}
+	}
+	p.markPresent(lineAddr)
+}
+
+func (p *Port) installL3(lineAddr uint64) {
+	if _, had, dirty := p.h.l3.install(lineAddr, false); had && dirty {
+		p.h.Stats.Writebacks++
+	}
+}
+
+// trainPrefetch detects ascending unit-stride line streams and installs the
+// next PrefetchDegree lines into L2 and L3, charging DRAM bandwidth but not
+// demand latency (an idealized but standard stream prefetcher; the paper
+// notes sequential fringe accesses are "trivially handled" by one).
+func (p *Port) trainPrefetch(la uint64) {
+	for i := range p.streams {
+		s := &p.streams[i]
+		if !s.valid {
+			continue
+		}
+		if la == s.lastLine {
+			return // same line, no retrain
+		}
+		if la == s.lastLine+1 {
+			s.lastLine = la
+			if s.conf < 4 {
+				s.conf++
+			}
+			if s.conf >= 2 {
+				for k := 1; k <= p.h.cfg.PrefetchDegree; k++ {
+					nl := la + uint64(k)
+					if p.l2.present(nl) {
+						continue
+					}
+					p.h.Stats.Prefetches++
+					if !p.h.l3.lookup(nl, false) {
+						p.h.dramFree += p.h.cfg.DRAMCyclesPerLine
+						p.installL3(nl)
+					}
+					if ev, had, dirty := p.l2.install(nl, false); had {
+						if dirty {
+							p.h.Stats.Writebacks++
+						}
+						p.l1.invalidate(ev)
+						p.markAbsent(ev)
+					}
+					p.markPresent(nl)
+				}
+			}
+			return
+		}
+	}
+	// New stream.
+	s := &p.streams[p.nextStr]
+	p.nextStr = (p.nextStr + 1) % numStreams
+	*s = stream{lastLine: la, conf: 0, valid: true}
+}

@@ -1,0 +1,91 @@
+package cache
+
+import "testing"
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	cfg := smallCfg()
+	cfg.L1Sets, cfg.L1Ways = 1, 1
+	cfg.L2Sets, cfg.L2Ways = 1, 1
+	cfg.L3Sets, cfg.L3Ways = 1, 1
+	h := New(cfg, 1)
+	p := h.Port(0)
+	now, _ := p.Access(0, 0, true) // dirty line 0
+	p.Access(now, 64, false)       // evicts dirty line 0 everywhere
+	if h.Stats.Writebacks == 0 {
+		t.Fatal("dirty eviction produced no writeback")
+	}
+}
+
+func TestAtomicCountsAsWriteForCoherence(t *testing.T) {
+	h := New(smallCfg(), 2)
+	a, b := h.Port(0), h.Port(1)
+	d, _ := a.Access(0, 0x8000, false)
+	b.Access(d, 0x8000, true) // RMW on the other core
+	_, lvl := a.Access(d+500, 0x8000, false)
+	if lvl == LvlL1 || lvl == LvlL2 {
+		t.Fatalf("stale private copy survived a remote RMW: %v", lvl)
+	}
+}
+
+func TestPrefetcherIgnoresRandomPattern(t *testing.T) {
+	cfg := DefaultConfig()
+	h := New(cfg, 1)
+	p := h.Port(0)
+	// Pseudo-random line addresses: no ascending unit stride.
+	addr := uint64(12345)
+	now := uint64(0)
+	for i := 0; i < 200; i++ {
+		addr = addr*6364136223846793005 + 1442695040888963407
+		d, _ := p.Access(now, (addr%100000)*64, false)
+		now = d
+	}
+	if h.Stats.Prefetches > 20 {
+		t.Fatalf("prefetcher fired %d times on a random stream", h.Stats.Prefetches)
+	}
+}
+
+func TestMultipleStreamsTrackedIndependently(t *testing.T) {
+	cfg := DefaultConfig()
+	h := New(cfg, 1)
+	p := h.Port(0)
+	now := uint64(0)
+	// Interleave two ascending streams far apart.
+	for i := uint64(0); i < 32; i++ {
+		d, _ := p.Access(now, i*64, false)
+		now = d
+		d, _ = p.Access(now, 1<<20|i*64, false)
+		now = d
+	}
+	if h.Stats.Prefetches == 0 {
+		t.Fatal("interleaved streams defeated the stream table")
+	}
+}
+
+func TestSharedL3AcrossCores(t *testing.T) {
+	h := New(smallCfg(), 2)
+	a, b := h.Port(0), h.Port(1)
+	d, _ := a.Access(0, 0xA000, false) // core 0 brings it into L3
+	_, lvl := b.Access(d, 0xA000, false)
+	if lvl != LvlL3 {
+		t.Fatalf("core 1 should hit shared L3, got %v", lvl)
+	}
+}
+
+func TestInclusiveL2EvictionDropsL1(t *testing.T) {
+	cfg := smallCfg()
+	cfg.L1Sets, cfg.L1Ways = 1, 4 // L1 could hold 4 lines of one set...
+	cfg.L2Sets, cfg.L2Ways = 1, 2 // ...but L2 holds only 2: inclusivity forces L1 drops
+	h := New(cfg, 1)
+	p := h.Port(0)
+	now := uint64(0)
+	for i := uint64(0); i < 3; i++ {
+		d, _ := p.Access(now, i*64, false)
+		now = d
+	}
+	// Line 0 was evicted from L2, so inclusivity must have dropped it from
+	// L1 too: the re-access cannot be an L1 hit.
+	_, lvl := p.Access(now, 0, false)
+	if lvl == LvlL1 {
+		t.Fatal("L1 retained a line its L2 evicted (inclusion violated)")
+	}
+}

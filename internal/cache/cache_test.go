@@ -1,0 +1,177 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallCfg() Config {
+	c := DefaultConfig()
+	c.StreamPrefetch = false
+	return c
+}
+
+func TestL1HitAfterMiss(t *testing.T) {
+	h := New(smallCfg(), 1)
+	p := h.Port(0)
+	done1, lvl1 := p.Access(0, 0x1000, false)
+	if lvl1 != LvlDRAM {
+		t.Fatalf("first access level = %v, want DRAM", lvl1)
+	}
+	if done1 < h.cfg.DRAMLat {
+		t.Fatalf("DRAM access too fast: %d", done1)
+	}
+	done2, lvl2 := p.Access(done1, 0x1000, false)
+	if lvl2 != LvlL1 {
+		t.Fatalf("second access level = %v, want L1", lvl2)
+	}
+	if done2 != done1+h.cfg.L1Lat {
+		t.Fatalf("L1 hit latency = %d, want %d", done2-done1, h.cfg.L1Lat)
+	}
+}
+
+func TestSameLineIsOneMiss(t *testing.T) {
+	h := New(smallCfg(), 1)
+	p := h.Port(0)
+	p.Access(0, 0x2000, false)
+	_, lvl := p.Access(1000, 0x2000+32, false) // same 64B line
+	if lvl != LvlL1 {
+		t.Fatalf("same-line access = %v, want L1 hit", lvl)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	cfg := smallCfg()
+	cfg.L1Sets, cfg.L1Ways = 1, 2
+	cfg.L2Sets, cfg.L2Ways = 1, 2
+	cfg.L3Sets, cfg.L3Ways = 1, 2
+	h := New(cfg, 1)
+	p := h.Port(0)
+	now := uint64(0)
+	addr := func(i int) uint64 { return uint64(i) * 64 }
+	for i := 0; i < 3; i++ { // 3 distinct lines through 2-way caches
+		d, _ := p.Access(now, addr(i), false)
+		now = d
+	}
+	// line 0 must have been evicted everywhere (LRU, all levels 2-way).
+	_, lvl := p.Access(now, addr(0), false)
+	if lvl != LvlDRAM {
+		t.Fatalf("evicted line served at %v, want DRAM", lvl)
+	}
+}
+
+func TestMSHRLimitsMLP(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MSHRs = 2
+	cfg.DRAMCyclesPerLine = 0
+	h := New(cfg, 1)
+	p := h.Port(0)
+	d1, _ := p.Access(0, 64*100, false)
+	d2, _ := p.Access(0, 64*200, false)
+	d3, _ := p.Access(0, 64*300, false) // must wait for an MSHR
+	if d2 < d1 {
+		t.Fatalf("parallel misses out of order: %d < %d", d2, d1)
+	}
+	if d3 <= d2 {
+		t.Fatalf("third miss should be serialized by MSHRs: d3=%d d2=%d", d3, d2)
+	}
+}
+
+func TestDRAMBandwidthSerializes(t *testing.T) {
+	cfg := smallCfg()
+	cfg.DRAMCyclesPerLine = 50
+	h := New(cfg, 1)
+	p := h.Port(0)
+	d1, _ := p.Access(0, 64*1000, false)
+	d2, _ := p.Access(0, 64*2000, false)
+	if d2 != d1+50 {
+		t.Fatalf("bandwidth not applied: d1=%d d2=%d", d1, d2)
+	}
+}
+
+func TestRemoteInvalidation(t *testing.T) {
+	h := New(smallCfg(), 2)
+	a, b := h.Port(0), h.Port(1)
+	d, _ := a.Access(0, 0x4000, false)
+	_, lvl := a.Access(d, 0x4000, false)
+	if lvl != LvlL1 {
+		t.Fatalf("warmup failed: %v", lvl)
+	}
+	b.Access(d, 0x4000, true) // remote write invalidates core 0's copy
+	if h.Stats.Invalidations == 0 {
+		t.Fatal("no invalidation counted")
+	}
+	_, lvl = a.Access(d+1000, 0x4000, false)
+	if lvl == LvlL1 || lvl == LvlL2 {
+		t.Fatalf("core 0 still hit privately after remote write: %v", lvl)
+	}
+}
+
+func TestStreamPrefetchHidesSequentialMisses(t *testing.T) {
+	cfg := DefaultConfig() // prefetch on
+	h := New(cfg, 1)
+	p := h.Port(0)
+	now := uint64(0)
+	var dramWith uint64
+	for i := 0; i < 64; i++ {
+		d, _ := p.Access(now, uint64(i)*64, false)
+		now = d
+	}
+	dramWith = h.Stats.DRAMAccesses
+	// Without prefetch every line misses to DRAM.
+	cfg2 := smallCfg()
+	h2 := New(cfg2, 1)
+	p2 := h2.Port(0)
+	now = 0
+	for i := 0; i < 64; i++ {
+		d, _ := p2.Access(now, uint64(i)*64, false)
+		now = d
+	}
+	if dramWith >= h2.Stats.DRAMAccesses {
+		t.Fatalf("prefetcher did not reduce demand DRAM accesses: %d vs %d", dramWith, h2.Stats.DRAMAccesses)
+	}
+	if h.Stats.Prefetches == 0 {
+		t.Fatal("no prefetches issued")
+	}
+}
+
+func TestScaleConfig(t *testing.T) {
+	c := DefaultConfig().Scale(8)
+	if c.L3Sets != 256 || c.L1Sets != 8 {
+		t.Fatalf("scale wrong: %+v", c)
+	}
+	if DefaultConfig().Scale(1).L3Sets != 2048 {
+		t.Fatal("scale(1) must be identity")
+	}
+	// Scaling never produces fewer than 2 sets.
+	c = DefaultConfig().Scale(1 << 20)
+	if c.L1Sets < 2 || c.L2Sets < 2 || c.L3Sets < 2 {
+		t.Fatalf("over-scaled: %+v", c)
+	}
+}
+
+// Property: completion time is always at least the L1 latency after issue,
+// and monotone in issue time for the same address.
+func TestAccessLatencyProperty(t *testing.T) {
+	h := New(smallCfg(), 1)
+	p := h.Port(0)
+	f := func(addr uint64, w bool) bool {
+		addr &= 0xFFFFFF
+		d, _ := p.Access(0, addr, w)
+		return d >= h.cfg.L1Lat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hits at higher levels are never slower than the level below.
+func TestLevelOrderingProperty(t *testing.T) {
+	h := New(smallCfg(), 1)
+	p := h.Port(0)
+	dMiss, _ := p.Access(0, 0x9000, false)
+	dHit, _ := p.Access(dMiss, 0x9000, false)
+	if dHit-dMiss >= dMiss {
+		t.Fatalf("L1 hit (%d) not faster than DRAM miss (%d)", dHit-dMiss, dMiss)
+	}
+}

@@ -1,0 +1,86 @@
+// Package connector implements cross-core queues (Sec. IV-C): a simple FSM
+// on the producer core that streams committed values from a local queue to a
+// queue on a consumer core over the on-chip network, with credit-based flow
+// control (the free slots of the receiving queue are the credits — a value
+// is sent only when a receive slot is reserved, so the receiver's state is
+// strictly bounded by its capacity).
+//
+// skip_to_ctrl interacts across cores by propagating the consumer queue's
+// skip-pending flag back to the producer queue, so the producer's next data
+// enqueue traps to its enqueue control handler exactly as in the
+// single-core case.
+package connector
+
+import (
+	"pipette/internal/core"
+	"pipette/internal/queue"
+)
+
+// Stats counts connector traffic.
+type Stats struct {
+	Sent        uint64
+	CVsSent     uint64
+	CreditStall uint64 // cycles blocked with data ready but no receive slot
+}
+
+// Connector streams srcQ on the producer core into dstQ on the consumer.
+type Connector struct {
+	src     *core.Core
+	dst     *core.Core
+	srcQ    *queue.Queue
+	dstQ    *queue.Queue
+	latency uint64 // on-chip network latency in cycles
+	width   int    // values per cycle
+
+	Stats Stats
+}
+
+// New wires a connector; latency is the NoC hop delay, width the values
+// forwarded per cycle.
+func New(src *core.Core, srcQ uint8, dst *core.Core, dstQ uint8, latency uint64, width int) *Connector {
+	if width <= 0 {
+		width = 1
+	}
+	return &Connector{
+		src: src, dst: dst,
+		srcQ: src.QRM().Q(srcQ), dstQ: dst.QRM().Q(dstQ),
+		latency: latency, width: width,
+	}
+}
+
+// Tick forwards up to width committed values this cycle.
+func (c *Connector) Tick(now uint64) {
+	// Propagate a blocked skip_to_ctrl on the consumer side back to the
+	// producer queue, unless a CV is already on the way.
+	if c.dstQ.SkipPending && !c.srcQ.SkipPending {
+		if _, _, ok := c.srcQ.SkipScan(); !ok {
+			c.srcQ.SkipPending = true
+		}
+	}
+	for i := 0; i < c.width; i++ {
+		if !c.srcQ.CanDeq() || c.srcQ.Head().ReadyAt > now {
+			return
+		}
+		if !c.dstQ.CanEnq() {
+			c.Stats.CreditStall++
+			return
+		}
+		phys, ok := c.dst.AllocPhys()
+		if !ok {
+			return
+		}
+		e := *c.srcQ.Deq()
+		c.src.FreePhys(int32(c.srcQ.CommitDeq()))
+		seq := c.dstQ.Enq(e.Val, e.Ctrl, int(phys))
+		c.dstQ.MarkReady(seq, now+c.latency)
+		c.Stats.Sent++
+		if e.Ctrl {
+			c.Stats.CVsSent++
+		}
+	}
+}
+
+// Drained reports whether the connector has nothing left to forward.
+// In-flight values already occupy receiver slots, so source emptiness is
+// sufficient.
+func (c *Connector) Drained() bool { return !c.srcQ.CanDeq() }

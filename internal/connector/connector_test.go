@@ -1,0 +1,105 @@
+package connector
+
+import (
+	"testing"
+
+	"pipette/internal/cache"
+	"pipette/internal/core"
+	"pipette/internal/mem"
+)
+
+func twoCores(t *testing.T) (*core.Core, *core.Core) {
+	t.Helper()
+	m := mem.New()
+	h := cache.New(cache.DefaultConfig(), 2)
+	return core.New(0, core.DefaultConfig(), m, h.Port(0)),
+		core.New(1, core.DefaultConfig(), m, h.Port(1))
+}
+
+func feed(t *testing.T, c *core.Core, q uint8, val uint64, ctrl bool, ready uint64) {
+	t.Helper()
+	phys, ok := c.AllocPhys()
+	if !ok {
+		t.Fatal("no phys")
+	}
+	qq := c.QRM().Q(q)
+	seq := qq.Enq(val, ctrl, int(phys))
+	qq.MarkReady(seq, ready)
+}
+
+func TestForwardsInOrderWithLatency(t *testing.T) {
+	a, b := twoCores(t)
+	conn := New(a, 0, b, 2, 10, 1)
+	feed(t, a, 0, 11, false, 0)
+	feed(t, a, 0, 22, true, 0)
+	conn.Tick(1)
+	conn.Tick(2)
+	dst := b.QRM().Q(2)
+	if dst.Occupancy() != 2 {
+		t.Fatalf("occupancy %d", dst.Occupancy())
+	}
+	e1 := dst.Deq()
+	if e1.Val != 11 || e1.Ctrl || e1.ReadyAt != 11 {
+		t.Fatalf("first = %+v", e1)
+	}
+	e2 := dst.Deq()
+	if e2.Val != 22 || !e2.Ctrl || e2.ReadyAt != 12 {
+		t.Fatalf("second = %+v (CV must pass through with latency)", e2)
+	}
+	if conn.Stats.Sent != 2 || conn.Stats.CVsSent != 1 {
+		t.Fatalf("stats %+v", conn.Stats)
+	}
+}
+
+func TestUncommittedValuesWait(t *testing.T) {
+	a, b := twoCores(t)
+	conn := New(a, 0, b, 2, 1, 1)
+	feed(t, a, 0, 5, false, 100) // producer commits at cycle 100
+	conn.Tick(50)
+	if b.QRM().Q(2).Occupancy() != 0 {
+		t.Fatal("forwarded a speculative value")
+	}
+	conn.Tick(101)
+	if b.QRM().Q(2).Occupancy() != 1 {
+		t.Fatal("committed value not forwarded")
+	}
+}
+
+func TestCreditBackpressure(t *testing.T) {
+	a, b := twoCores(t)
+	b.SetQueueCaps(map[uint8]int{2: 1})
+	conn := New(a, 0, b, 2, 1, 4)
+	for i := uint64(0); i < 3; i++ {
+		feed(t, a, 0, i, false, 0)
+	}
+	conn.Tick(1)
+	if got := b.QRM().Q(2).Occupancy(); got != 1 {
+		t.Fatalf("receiver holds %d, want 1 (credit limit)", got)
+	}
+	if conn.Stats.CreditStall == 0 {
+		t.Fatal("no credit stall recorded")
+	}
+	if conn.Drained() {
+		t.Fatal("source still has entries")
+	}
+}
+
+func TestSkipPendingPropagates(t *testing.T) {
+	a, b := twoCores(t)
+	conn := New(a, 0, b, 2, 1, 1)
+	b.QRM().Q(2).SkipPending = true
+	conn.Tick(1)
+	if !a.QRM().Q(0).SkipPending {
+		t.Fatal("skip-pending not propagated to the producer queue")
+	}
+	// With a CV already buffered at the source, propagation must not arm
+	// the producer trap (the CV is on its way).
+	a2, b2 := twoCores(t)
+	conn2 := New(a2, 0, b2, 2, 1, 1)
+	feed(t, a2, 0, 9, true, 0)
+	b2.QRM().Q(2).SkipPending = true
+	conn2.Tick(1)
+	if a2.QRM().Q(0).SkipPending {
+		t.Fatal("skip-pending armed despite a buffered CV")
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import "pipette/internal/isa"
+
+// resolved reports whether the µop has finished executing by cycle now.
+func (u *uop) resolved(now uint64) bool {
+	return u.state == uopIssued && u.doneAt <= now
+}
+
+// ready reports whether all register and queue-entry sources are available.
+func (c *Core) ready(u *uop, now uint64) bool {
+	for i := 0; i < u.nsrc; i++ {
+		if r := u.src[i]; r >= 0 && c.regReady[r] > now {
+			return false
+		}
+	}
+	for i := 0; i < u.nqsrc; i++ {
+		at := u.qsrc[i].e.ReadyAt
+		if c.cfg.SpeculativeDequeue {
+			at = u.qsrc[i].e.SpecAt
+		}
+		if at > now {
+			return false
+		}
+	}
+	return true
+}
+
+// issue wakes up and selects up to IssueWidth ready µops, oldest first
+// (c.iq is age-ordered by construction), respecting load/store ports.
+func (c *Core) issue() int {
+	issued, loads, stores := 0, 0, 0
+	w := 0
+	for r := 0; r < len(c.iq); r++ {
+		u := c.iq[r]
+		keep := func() { c.iq[w] = u; w++ }
+		if issued >= c.cfg.IssueWidth || !c.ready(u, c.now) {
+			keep()
+			continue
+		}
+		if u.isLoad && loads >= c.cfg.LoadPorts {
+			keep()
+			continue
+		}
+		if u.isStore && !u.isLoad && stores >= c.cfg.StorePorts {
+			keep()
+			continue
+		}
+		switch {
+		case u.isLoad: // includes atomics
+			loads++
+			done, _ := c.port.Access(c.now, u.addr, u.isAtom)
+			if u.isAtom {
+				done += c.cfg.AtomicExtraLat
+			}
+			u.doneAt = done
+		case u.isStore:
+			stores++
+			u.doneAt = c.now + 1 // leaves the SQ; memory written back at commit
+		default:
+			var lat uint64
+			switch u.op.Class() {
+			case isa.ClassMul:
+				lat = c.cfg.IntMulLat
+			case isa.ClassDiv:
+				lat = c.cfg.IntDivLat
+			case isa.ClassFPAdd, isa.ClassFPMul:
+				lat = c.cfg.FPLat
+			case isa.ClassFPDiv:
+				lat = c.cfg.FPDivLat
+			default:
+				lat = 1
+			}
+			u.doneAt = c.now + lat
+		}
+		u.state = uopIssued
+		if u.dst >= 0 {
+			c.regReady[u.dst] = u.doneAt
+		}
+		issued++
+		c.stats.Uops++
+		c.stats.RegReads += uint64(u.nsrc)
+		if u.dst >= 0 {
+			c.stats.RegWrites++
+		}
+	}
+	c.iq = c.iq[:w]
+	return issued
+}
+
+// commit retires µops in order per thread, up to CommitWidth in total,
+// starting from a rotating thread to share commit bandwidth fairly.
+func (c *Core) commit() {
+	budget := c.cfg.CommitWidth
+	n := len(c.threads)
+	start := int(c.now) % n
+	for k := 0; k < n && budget > 0; k++ {
+		tid := (start + k) % n
+		t := c.threads[tid]
+		rob := c.rob[tid]
+		for budget > 0 && len(rob) > 0 {
+			u := rob[0]
+			if !u.resolved(c.now) {
+				break
+			}
+			if u.isStore && !u.isAtom {
+				c.port.Access(c.now, u.addr, true) // write-back; commit does not wait
+			}
+			if u.oldDst >= 0 {
+				c.FreePhys(u.oldDst)
+			}
+			if u.enqQ != nil {
+				if c.cfg.SpeculativeDequeue {
+					u.enqQ.MarkReadyIfLive(u.enqSeq, c.now+1)
+				} else {
+					u.enqQ.MarkReady(u.enqSeq, c.now+1)
+				}
+			}
+			if u.deqQ != nil {
+				for i := 0; i < u.deqN; i++ {
+					c.FreePhys(int32(u.deqQ.CommitDeq()))
+				}
+			}
+			if u.isHalt {
+				t.done = true
+			}
+			if !u.synth {
+				c.stats.Committed++
+				c.stats.PerThread[tid]++
+				if c.TraceFn != nil && u.inst != nil {
+					c.TraceFn(c.now, tid, u.pc, u.inst.String())
+				}
+			}
+			t.inflight--
+			t.robUsed--
+			if u.isLoad {
+				t.lqUsed--
+			}
+			if u.isStore {
+				t.sqUsed--
+			}
+			rob = rob[1:]
+			budget--
+			// Recycle the µop. A mispredicted branch may still be the
+			// thread's frontend block: resolve it here first.
+			if t.blockedOn == u {
+				t.blockedUntil = u.doneAt + c.cfg.MispredictPenalty
+				t.blockedOn = nil
+			}
+			c.uopPool = append(c.uopPool, u)
+		}
+		c.rob[tid] = rob
+	}
+}
+
+// allocUop takes a µop from the recycling pool (or allocates), reset to the
+// default waiting state with no destinations.
+func (c *Core) allocUop(tid int, op isa.Op) *uop {
+	var u *uop
+	if n := len(c.uopPool); n > 0 {
+		u = c.uopPool[n-1]
+		c.uopPool = c.uopPool[:n-1]
+		*u = uop{}
+	} else {
+		u = &uop{}
+	}
+	u.thread = tid
+	u.op = op
+	u.seqNo = c.nextSeq()
+	u.dst, u.oldDst = -1, -1
+	return u
+}

@@ -1,0 +1,35 @@
+package core
+
+// bpred is a gshare direction predictor. Targets are always available at
+// rename in this model (the functional frontend computes them), so only
+// direction mispredictions cost cycles; indirect jumps (Jr) model a
+// return-address stack and are treated as predicted.
+type bpred struct {
+	table []uint8 // 2-bit counters
+	mask  uint64
+}
+
+func newBpred(bits int) *bpred {
+	return &bpred{table: make([]uint8, 1<<bits), mask: (1 << bits) - 1}
+}
+
+func (b *bpred) index(pc int, hist uint64) uint64 {
+	return (uint64(pc) ^ hist) & b.mask
+}
+
+// predict returns the predicted direction for the branch at pc.
+func (b *bpred) predict(pc int, hist uint64) bool {
+	return b.table[b.index(pc, hist)] >= 2
+}
+
+// update trains the counter with the actual direction.
+func (b *bpred) update(pc int, hist uint64, taken bool) {
+	i := b.index(pc, hist)
+	if taken {
+		if b.table[i] < 3 {
+			b.table[i]++
+		}
+	} else if b.table[i] > 0 {
+		b.table[i]--
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import "testing"
+
+func TestBpredLearnsBias(t *testing.T) {
+	b := newBpred(10)
+	for i := 0; i < 8; i++ {
+		b.update(100, 0, true)
+	}
+	if !b.predict(100, 0) {
+		t.Fatal("did not learn an always-taken branch")
+	}
+	for i := 0; i < 8; i++ {
+		b.update(100, 0, false)
+	}
+	if b.predict(100, 0) {
+		t.Fatal("did not unlearn")
+	}
+}
+
+func TestBpredHysteresis(t *testing.T) {
+	b := newBpred(10)
+	b.update(5, 0, true)
+	b.update(5, 0, true)
+	b.update(5, 0, true) // saturated at 3
+	b.update(5, 0, false)
+	if !b.predict(5, 0) {
+		t.Fatal("one not-taken flipped a saturated counter")
+	}
+}
+
+func TestBpredHistoryDisambiguates(t *testing.T) {
+	b := newBpred(10)
+	// Same PC, alternating outcome correlated with 1-bit history.
+	for i := 0; i < 50; i++ {
+		b.update(7, 0, true)
+		b.update(7, 1, false)
+	}
+	if !b.predict(7, 0) || b.predict(7, 1) {
+		t.Fatal("history not separating contexts")
+	}
+}
+
+func TestBpredCountersStayInRange(t *testing.T) {
+	b := newBpred(4)
+	for i := 0; i < 100; i++ {
+		b.update(i, uint64(i), i%3 == 0)
+	}
+	for _, c := range b.table {
+		if c > 3 {
+			t.Fatalf("counter out of range: %d", c)
+		}
+	}
+}

@@ -1,0 +1,479 @@
+// Package core implements the cycle-level timing model of a 4-thread SMT
+// out-of-order core with the Pipette extensions (Secs. III and IV of the
+// paper): register-mapped queues held in the physical register file,
+// control-value traps to user-level handlers, skip_to_ctrl, and hooks for
+// reference accelerators and cross-core connectors.
+//
+// The model is execution-driven with functional execution at rename: each
+// thread's architectural state advances in program order as instructions are
+// renamed, while the backend (issue queue, ROB, load/store queues, memory
+// hierarchy) computes timing only. Branch mispredictions and control-value
+// traps stall the frontend for the resolution latency instead of fetching
+// wrong-path instructions (see DESIGN.md §4).
+package core
+
+import (
+	"fmt"
+
+	"pipette/internal/cache"
+	"pipette/internal/isa"
+	"pipette/internal/mem"
+	"pipette/internal/queue"
+)
+
+// Config sizes one core (Table IV, Skylake-like, scaled to 4 SMT threads).
+type Config struct {
+	Threads      int // hardware thread contexts
+	FetchWidth   int // frontend width (instructions renamed per cycle)
+	IssueWidth   int // µops issued per cycle
+	CommitWidth  int // µops committed per cycle
+	ROBPerThread int // reorder-buffer partition per thread
+	IQSize       int // issue-queue entries (shared)
+	LQPerThread  int // load-queue entries per thread
+	SQPerThread  int // store-queue entries per thread
+	PhysRegs     int // physical register file entries
+
+	NumQueues       int // Pipette queues per core
+	DefaultQueueCap int // entries per queue unless overridden
+
+	MispredictPenalty uint64 // frontend refill after a mispredicted branch resolves
+	TrapPenalty       uint64 // redirect cost of a control-value / enqueue-handler trap
+
+	IntMulLat, IntDivLat uint64
+	FPLat, FPDivLat      uint64
+	AtomicExtraLat       uint64
+
+	LoadPorts, StorePorts int
+
+	BPredBits int // gshare history/table width
+
+	// SpeculativeDequeue enables the more aggressive variant of Sec. IV-A
+	// in which dequeues may consume still-speculative enqueued values
+	// (values that exist in the QRM but whose enqueue has not committed).
+	// The paper found it "barely improved performance (about 1%)"; the
+	// default is the simple committed-values-only design.
+	SpeculativeDequeue bool
+
+	// Priority selects the SMT fetch/rename policy. The paper uses ICOUNT
+	// and leaves producer-prioritizing policies to future work; both are
+	// implemented here (see the ablation benchmarks).
+	Priority PriorityPolicy
+}
+
+// PriorityPolicy selects how rename bandwidth is shared between threads.
+type PriorityPolicy uint8
+
+// SMT thread-priority policies.
+const (
+	PriorityICOUNT     PriorityPolicy = iota // fewest in-flight µops first (default)
+	PriorityProducers                        // static: lower thread ids (pipeline producers) first
+	PriorityRoundRobin                       // rotate the lead thread every cycle
+)
+
+// DefaultConfig returns the paper's core configuration: 6-wide OOO, 224-entry
+// ROB (56/thread), 212-entry PRF, 16 queues.
+func DefaultConfig() Config {
+	return Config{
+		Threads:      4,
+		FetchWidth:   6,
+		IssueWidth:   6,
+		CommitWidth:  6,
+		ROBPerThread: 56,
+		IQSize:       96,
+		LQPerThread:  18,
+		SQPerThread:  14,
+		PhysRegs:     212,
+
+		NumQueues:       16,
+		DefaultQueueCap: 16,
+
+		MispredictPenalty: 14,
+		TrapPenalty:       16,
+
+		IntMulLat: 3, IntDivLat: 20,
+		FPLat: 4, FPDivLat: 14,
+		AtomicExtraLat: 8,
+
+		LoadPorts: 2, StorePorts: 1,
+
+		BPredBits: 12,
+	}
+}
+
+// StallReason classifies why a thread could not rename this cycle.
+type StallReason uint8
+
+// Rename stall reasons, grouped for the CPI stack (Fig. 11): queue-ish
+// reasons map to "queue stalls", resource reasons to "backend", redirects to
+// "frontend/other".
+const (
+	StallNone StallReason = iota
+	StallHalted
+	StallQueueEmpty
+	StallQueueFull
+	StallSkipWait // skip_to_ctrl waiting for a control value
+	StallPRF
+	StallROB
+	StallIQ
+	StallLSQ
+	StallRedirect // mispredict resolution or trap redirect
+)
+
+// CPIStack accumulates the cycle breakdown of Fig. 11.
+type CPIStack struct {
+	Issue   uint64 // cycles with at least one µop issued
+	Backend uint64 // stalled on memory/ROB/IQ/PRF
+	Queue   uint64 // all active threads blocked on queue conditions
+	Front   uint64 // frontend redirects and other stalls
+}
+
+// Total returns the sum of all cycle categories.
+func (s CPIStack) Total() uint64 { return s.Issue + s.Backend + s.Queue + s.Front }
+
+// Stats aggregates per-core counters.
+type Stats struct {
+	Cycles      uint64
+	Committed   uint64 // instructions committed (architectural)
+	Uops        uint64 // µops issued
+	Branches    uint64
+	Mispredicts uint64
+	CVTraps     uint64 // dequeue-handler redirects
+	EnqTraps    uint64 // enqueue-handler redirects
+	SkipOps     uint64
+	SkipDiscard uint64 // data values discarded by skip_to_ctrl
+	Enqueues    uint64
+	Dequeues    uint64
+	RegReads    uint64
+	RegWrites   uint64
+	CPI         CPIStack
+	PerThread   []uint64 // committed per thread
+
+	// QueueOccupancySum accumulates, per cycle, the number of live QRM
+	// entries (physical registers held by queues); divide by Cycles for
+	// the mean mapped-register count (the Sec. IV-D utilization argument).
+	QueueOccupancySum uint64
+	// QueueOccupancyMax is the peak number of mapped registers.
+	QueueOccupancyMax uint64
+}
+
+// MeanMappedRegs returns the average number of physical registers the QRM
+// held over the run.
+func (s Stats) MeanMappedRegs() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.QueueOccupancySum) / float64(s.Cycles)
+}
+
+type qref struct {
+	q *queue.Queue
+	e *queue.Entry
+}
+
+type uopState uint8
+
+const (
+	uopWaiting uopState = iota
+	uopIssued
+	uopDone
+)
+
+type uop struct {
+	thread  int
+	op      isa.Op
+	pc      int       // fetch PC (tracing)
+	inst    *isa.Inst // nil for synthetic µops
+	seqNo   uint64    // global age
+	src     [3]int32
+	nsrc    int
+	qsrc    [2]qref // queue entries whose readiness gates issue
+	nqsrc   int
+	dst     int32 // allocated phys reg, -1 none
+	oldDst  int32 // previous mapping to free at commit, -1 none
+	enqQ    *queue.Queue
+	enqSeq  uint64
+	deqQ    *queue.Queue // queue whose entries this uop consumed
+	deqN    int          // how many entries (skip_to_ctrl consumes several)
+	isLoad  bool
+	isStore bool
+	isAtom  bool
+	addr    uint64
+	mispred bool
+	synth   bool // hardware-injected (CV trap delivery); not an architectural instruction
+	isHalt  bool
+	state   uopState
+	doneAt  uint64
+}
+
+type thread struct {
+	id     int
+	prog   *isa.Program
+	pc     int
+	regs   [isa.NumArchRegs]uint64 // functional state, advanced at rename
+	rmap   [isa.NumArchRegs]int32  // arch -> phys; -1 means "never renamed"
+	active bool
+	halted bool // halt renamed; no more fetch
+	done   bool // halt committed
+
+	inflight int // renamed, not committed (ICOUNT)
+	robUsed  int
+	lqUsed   int
+	sqUsed   int
+
+	blockedUntil uint64 // frontend resumes at this cycle
+	blockedOn    *uop   // unresolved mispredicted branch
+	stall        StallReason
+
+	hist uint64 // branch history for gshare
+
+	// Queue-register bindings, resolved from prog.Bindings at load.
+	inQ  [isa.NumArchRegs]*queue.Queue // writes enqueue here
+	outQ [isa.NumArchRegs]*queue.Queue // reads dequeue from here
+}
+
+// Unit is extra hardware ticked by the core each cycle (reference
+// accelerators; connectors are ticked by the system since they span cores).
+type Unit interface {
+	Tick(now uint64)
+	Drained() bool
+}
+
+// Core is one simulated core.
+type Core struct {
+	id      int
+	cfg     Config
+	mem     *mem.Memory
+	port    *cache.Port
+	qrm     *queue.QRM
+	threads []*thread
+
+	freelist []int32
+	regReady []uint64 // phys -> cycle value is ready
+
+	iq       []*uop
+	rob      [][]*uop // per-thread FIFO
+	uopPool  []*uop
+	orderBuf []*thread
+	seqNo    uint64
+	now      uint64
+	stats    Stats
+	units    []Unit
+	bpred    *bpred
+
+	// TraceFn, when set, is called for every committed architectural
+	// instruction with (cycle, thread, pc, disassembly). Used by
+	// pipette-sim -trace and tests; nil in normal runs.
+	TraceFn func(cycle uint64, thread, pc int, text string)
+
+	// LoadHook, when set, observes every program loaded onto this core
+	// (cmd/pipette-dis uses it to dump kernels without running them).
+	LoadHook func(tid int, p *isa.Program)
+}
+
+// New builds a core wired to a memory port. Queue capacities default to
+// cfg.DefaultQueueCap; override with SetQueueCaps before loading programs.
+func New(id int, cfg Config, m *mem.Memory, port *cache.Port) *Core {
+	c := &Core{
+		id:    id,
+		cfg:   cfg,
+		mem:   m,
+		port:  port,
+		qrm:   queue.NewQRM(cfg.NumQueues, cfg.DefaultQueueCap),
+		bpred: newBpred(cfg.BPredBits),
+	}
+	for i := 0; i < cfg.PhysRegs; i++ {
+		c.freelist = append(c.freelist, int32(i))
+	}
+	c.regReady = make([]uint64, cfg.PhysRegs)
+	c.threads = make([]*thread, cfg.Threads)
+	c.rob = make([][]*uop, cfg.Threads)
+	for i := range c.threads {
+		c.threads[i] = &thread{id: i}
+		for r := range c.threads[i].rmap {
+			c.threads[i].rmap[r] = -1
+		}
+	}
+	c.stats.PerThread = make([]uint64, cfg.Threads)
+	return c
+}
+
+// SetQueueCaps reconfigures per-queue capacities (the OS chunking of Fig. 7).
+// Must be called before any program runs.
+func (c *Core) SetQueueCaps(caps map[uint8]int) {
+	sizes := make([]int, c.cfg.NumQueues)
+	for i := range sizes {
+		sizes[i] = c.cfg.DefaultQueueCap
+	}
+	for q, n := range caps {
+		sizes[q] = n
+	}
+	c.qrm = queue.NewQRMSized(sizes)
+}
+
+// Load installs a program on hardware thread tid.
+func (c *Core) Load(tid int, p *isa.Program) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if c.LoadHook != nil {
+		c.LoadHook(tid, p)
+	}
+	t := c.threads[tid]
+	t.prog = p
+	t.active = true
+	t.pc = 0
+	for r, v := range p.InitRegs {
+		t.regs[r] = v
+	}
+	for _, b := range p.Bindings {
+		if b.Dir == isa.QueueIn {
+			t.inQ[b.Reg] = c.qrm.Q(b.Q)
+		} else {
+			t.outQ[b.Reg] = c.qrm.Q(b.Q)
+		}
+	}
+}
+
+// AddUnit attaches a hardware unit (e.g. an RA) ticked every cycle.
+func (c *Core) AddUnit(u Unit) { c.units = append(c.units, u) }
+
+// QRM exposes the core's queue register map (for RAs and connectors).
+func (c *Core) QRM() *queue.QRM { return c.qrm }
+
+// MemPort exposes the core's cache port.
+func (c *Core) MemPort() *cache.Port { return c.port }
+
+// Mem exposes functional memory.
+func (c *Core) Mem() *mem.Memory { return c.mem }
+
+// Now returns the current cycle.
+func (c *Core) Now() uint64 { return c.now }
+
+// Stats returns a snapshot of the core's counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// AllocPhys takes a register from the freelist (for RAs and connectors,
+// which "manipulate the QRM like ordinary threads").
+func (c *Core) AllocPhys() (int32, bool) {
+	if len(c.freelist) == 0 {
+		return -1, false
+	}
+	r := c.freelist[len(c.freelist)-1]
+	c.freelist = c.freelist[:len(c.freelist)-1]
+	return r, true
+}
+
+// FreePhys returns a register to the freelist.
+func (c *Core) FreePhys(r int32) {
+	if r >= 0 {
+		c.freelist = append(c.freelist, r)
+	}
+}
+
+// Done reports whether all loaded threads have committed their halt and all
+// attached units have drained.
+func (c *Core) Done() bool {
+	for _, t := range c.threads {
+		if t.active && !t.done {
+			return false
+		}
+	}
+	for _, u := range c.units {
+		if !u.Drained() {
+			return false
+		}
+	}
+	return true
+}
+
+// Committed returns total committed instructions.
+func (c *Core) Committed() uint64 { return c.stats.Committed }
+
+// Cycle advances the core one clock edge: commit, issue, rename, units.
+func (c *Core) Cycle() {
+	c.now++
+	c.stats.Cycles++
+	c.commit()
+	issued := c.issue()
+	c.rename()
+	for _, u := range c.units {
+		u.Tick(c.now)
+	}
+	c.classify(issued)
+	occ := uint64(c.qrm.MappedRegisters())
+	c.stats.QueueOccupancySum += occ
+	if occ > c.stats.QueueOccupancyMax {
+		c.stats.QueueOccupancyMax = occ
+	}
+}
+
+// classify attributes this cycle to a CPI-stack bucket (Fig. 11).
+func (c *Core) classify(issued int) {
+	if issued > 0 {
+		c.stats.CPI.Issue++
+		return
+	}
+	anyActive := false
+	anyBackend, anyQueue, anyFront := false, false, false
+	for _, t := range c.threads {
+		if !t.active || t.done {
+			continue
+		}
+		anyActive = true
+		switch t.stall {
+		case StallQueueEmpty, StallQueueFull, StallSkipWait:
+			anyQueue = true
+		case StallRedirect:
+			anyFront = true
+		default:
+			anyBackend = true
+		}
+	}
+	if !anyActive {
+		return
+	}
+	// µops in flight waiting on memory dominate: backend.
+	if len(c.iq) > 0 || anyBackend {
+		c.stats.CPI.Backend++
+		return
+	}
+	if anyQueue {
+		c.stats.CPI.Queue++
+		return
+	}
+	if anyFront {
+		c.stats.CPI.Front++
+		return
+	}
+	c.stats.CPI.Backend++
+}
+
+// String summarizes the core state for logs.
+func (c *Core) String() string {
+	return fmt.Sprintf("core%d cyc=%d commit=%d", c.id, c.now, c.stats.Committed)
+}
+
+// DebugState renders per-thread and per-queue state for deadlock reports.
+func (c *Core) DebugState() string {
+	s := fmt.Sprintf("core %d @%d:\n", c.id, c.now)
+	for _, t := range c.threads {
+		if !t.active {
+			continue
+		}
+		name := ""
+		if t.prog != nil {
+			name = t.prog.Name
+		}
+		s += fmt.Sprintf("  t%d %-20s pc=%-4d stall=%d halted=%v done=%v inflight=%d rob=%d\n",
+			t.id, name, t.pc, t.stall, t.halted, t.done, t.inflight, t.robUsed)
+	}
+	for _, q := range c.qrm.Queues {
+		if q.Occupancy() == 0 && !q.SkipPending {
+			continue
+		}
+		s += fmt.Sprintf("  q%d cap=%d occ=%d pendDeq=%d skipPending=%v\n",
+			q.ID, q.Cap, q.Occupancy(), q.PendingDeq(), q.SkipPending)
+	}
+	s += fmt.Sprintf("  freelist=%d iq=%d\n", len(c.freelist), len(c.iq))
+	return s
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"testing"
+
+	"pipette/internal/isa"
+)
+
+// Floating point flows through rename, issue and commit with the right
+// latencies and results.
+func TestFloatPipeline(t *testing.T) {
+	c, m := newTestCore(t)
+	res := m.AllocWords(2)
+	a := isa.NewAssembler("fp")
+	a.MovU(1, isa.F2U(1.5))
+	a.MovU(2, isa.F2U(2.0))
+	a.FMul(3, 1, 2) // 3.0
+	a.FAdd(3, 3, 1) // 4.5
+	a.FDiv(4, 3, 2) // 2.25
+	a.FSub(4, 4, 1) // 0.75
+	a.MovU(5, res)
+	a.St8(5, 0, 3)
+	a.St8(5, 8, 4)
+	a.Halt()
+	c.Load(0, a.MustLink())
+	run(t, c, 100000)
+	if got := isa.U2F(m.Read64(res)); got != 4.5 {
+		t.Fatalf("fp chain = %v", got)
+	}
+	if got := isa.U2F(m.Read64(res + 8)); got != 0.75 {
+		t.Fatalf("fp chain 2 = %v", got)
+	}
+}
+
+// Jump tables through Jr: computed dispatch must follow the right block.
+func TestJumpTable(t *testing.T) {
+	c, m := newTestCore(t)
+	res := m.AllocWords(4)
+	a := isa.NewAssembler("jt")
+	a.MovU(9, res)
+	a.MovI(1, 0) // selector
+	a.Label("loop")
+	a.LabelAddr(2, "table")
+	a.ShlI(3, 1, 1) // 2 instructions per block
+	a.Add(2, 2, 3)
+	a.Jr(2)
+	a.Label("table")
+	for i := 0; i < 4; i++ {
+		a.MovI(4, int64(100+i))
+		a.Jmp("store")
+	}
+	a.Label("store")
+	a.ShlI(5, 1, 3)
+	a.Add(5, 5, 9)
+	a.St8(5, 0, 4)
+	a.AddI(1, 1, 1)
+	a.BneI(1, 4, "loop")
+	a.Halt()
+	c.Load(0, a.MustLink())
+	run(t, c, 100000)
+	for i := uint64(0); i < 4; i++ {
+		if got := m.Read64(res + i*8); got != 100+i {
+			t.Fatalf("table[%d] = %d", i, got)
+		}
+	}
+}
+
+// QPoll returns the speculative occupancy without blocking or consuming.
+func TestQPoll(t *testing.T) {
+	c, m := newTestCore(t)
+	res := m.AllocWords(2)
+
+	p := isa.NewAssembler("prod")
+	p.MapQ(10, 2, isa.QueueIn)
+	p.MovI(1, 5)
+	p.Mov(10, 1)
+	p.Mov(10, 1)
+	p.Halt()
+
+	q := isa.NewAssembler("cons")
+	q.MapQ(10, 2, isa.QueueOut)
+	q.MovU(3, res)
+	// Wait for both values to arrive, then poll.
+	q.Label("wait")
+	q.QPoll(1, 2)
+	q.BneI(1, 2, "wait")
+	q.St8(3, 0, 1) // occupancy 2
+	q.Mov(2, 10)   // consume one
+	q.QPoll(1, 2)
+	q.St8(3, 8, 1) // occupancy 1
+	q.Mov(2, 10)   // drain
+	q.Halt()
+
+	c.Load(0, p.MustLink())
+	c.Load(1, q.MustLink())
+	run(t, c, 1000000)
+	if m.Read64(res) != 2 || m.Read64(res+8) != 1 {
+		t.Fatalf("qpoll = %d, %d", m.Read64(res), m.Read64(res+8))
+	}
+}
+
+// A thread hammering loads must be throttled by its load queue, not
+// deadlock, and another thread's ALU work must keep committing.
+func TestLSQPressure(t *testing.T) {
+	c, m := newTestCore(t)
+	arr := m.AllocWords(4096)
+	res := m.AllocWords(1)
+
+	lo := isa.NewAssembler("loads")
+	lo.MovU(1, arr)
+	lo.MovI(2, 2048)
+	lo.Label("loop")
+	lo.Ld8(3, 1, 0)
+	lo.Ld8(4, 1, 8)
+	lo.Ld8(5, 1, 16)
+	lo.AddI(1, 1, 24)
+	lo.SubI(2, 2, 3)
+	lo.Bge(2, 0, "loop")
+	lo.Halt()
+
+	alu := isa.NewAssembler("alu")
+	alu.MovI(1, 3000)
+	alu.MovI(2, 0)
+	alu.Label("loop")
+	alu.Add(2, 2, 1)
+	alu.SubI(1, 1, 1)
+	alu.BneI(1, 0, "loop")
+	alu.MovU(3, res)
+	alu.St8(3, 0, 2)
+	alu.Halt()
+
+	c.Load(0, lo.MustLink())
+	c.Load(1, alu.MustLink())
+	run(t, c, 5_000_000)
+	if got := m.Read64(res); got != 3000*3001/2 {
+		t.Fatalf("alu sum = %d", got)
+	}
+}
+
+// Peek on a control value traps like a dequeue would.
+func TestPeekTrapsOnCV(t *testing.T) {
+	c, m := newTestCore(t)
+	res := m.AllocWords(1)
+
+	p := isa.NewAssembler("prod")
+	p.MapQ(10, 0, isa.QueueIn)
+	p.EnqCI(0, 31)
+	p.Halt()
+
+	q := isa.NewAssembler("cons")
+	q.MapQ(10, 0, isa.QueueOut)
+	q.OnDeqCV("h")
+	q.Peek(1, 0) // CV at head: trap
+	q.Halt()
+	q.Label("h")
+	q.MovU(2, res)
+	q.St8(2, 0, isa.RHCV)
+	q.Halt()
+
+	c.Load(0, p.MustLink())
+	c.Load(1, q.MustLink())
+	run(t, c, 100000)
+	if got := m.Read64(res); got != 31 {
+		t.Fatalf("peek trap CV = %d", got)
+	}
+	if c.stats.CVTraps != 1 {
+		t.Fatalf("traps = %d", c.stats.CVTraps)
+	}
+}
+
+// Narrow loads and stores (1/2/4 bytes) zero-extend and write correctly.
+func TestNarrowMemoryOps(t *testing.T) {
+	c, m := newTestCore(t)
+	buf := m.AllocWords(2)
+	m.Write64(buf, 0x1122334455667788)
+	res := m.AllocWords(3)
+	b := isa.NewAssembler("narrow")
+	b.MovU(1, buf)
+	b.MovU(2, res)
+	b.Ld4(3, 1, 0) // 0x55667788
+	b.St8(2, 0, 3)
+	b.Ld4(4, 1, 4) // 0x11223344
+	b.St8(2, 8, 4)
+	b.MovI(5, 0xAB)
+	b.St4(1, 8, 5)
+	b.Ld8(6, 1, 8)
+	b.St8(2, 16, 6)
+	b.Halt()
+	c.Load(0, b.MustLink())
+	run(t, c, 100000)
+	if m.Read64(res) != 0x55667788 {
+		t.Fatalf("ld4 low = %#x", m.Read64(res))
+	}
+	if m.Read64(res+8) != 0x11223344 {
+		t.Fatalf("ld4 high = %#x", m.Read64(res+8))
+	}
+	if m.Read64(res+16) != 0xAB {
+		t.Fatalf("st4 = %#x", m.Read64(res+16))
+	}
+}
+
+// ROB partitioning: a thread stalled on a full queue must not consume the
+// whole core — an independent thread finishes promptly.
+func TestBlockedThreadDoesNotStarveOthers(t *testing.T) {
+	c, m := newTestCore(t)
+	res := m.AllocWords(1)
+
+	// Blocked forever on an empty queue (no producer). The watchdog in
+	// run() only fires on *no* commits, so the worker's commits keep the
+	// run alive until it halts; then we stop manually.
+	blocked := isa.NewAssembler("blocked")
+	blocked.MapQ(10, 0, isa.QueueOut)
+	blocked.Mov(1, 10)
+	blocked.Halt()
+
+	work := isa.NewAssembler("work")
+	work.MovI(1, 1000)
+	work.MovI(2, 0)
+	work.Label("loop")
+	work.Add(2, 2, 1)
+	work.SubI(1, 1, 1)
+	work.BneI(1, 0, "loop")
+	work.MovU(3, res)
+	work.St8(3, 0, 2)
+	work.Halt()
+
+	c.Load(0, blocked.MustLink())
+	c.Load(1, work.MustLink())
+	for i := 0; i < 200000 && m.Read64(res) == 0; i++ {
+		c.Cycle()
+	}
+	if got := m.Read64(res); got != 1000*1001/2 {
+		t.Fatalf("worker did not finish alongside a blocked thread: %d", got)
+	}
+}
+
+// Queue occupancy statistics: a decoupled producer/consumer pair must show
+// nonzero mean mapped registers, bounded by the configured capacities.
+func TestQueueOccupancyStats(t *testing.T) {
+	c, m := newTestCore(t)
+	c.SetQueueCaps(map[uint8]int{0: 8})
+	res := m.AllocWords(1)
+	const N = 300
+
+	p := isa.NewAssembler("prod")
+	p.MapQ(10, 0, isa.QueueIn)
+	p.MovI(1, 0)
+	p.Label("loop")
+	p.AddI(1, 1, 1)
+	p.Mov(10, 1)
+	p.BneI(1, N, "loop")
+	p.Halt()
+
+	q := isa.NewAssembler("cons")
+	q.MapQ(10, 0, isa.QueueOut)
+	buf := m.AllocWords(1)
+	q.MovI(1, 0)
+	q.MovI(2, 0)
+	q.MovU(5, buf)
+	q.Label("loop")
+	q.Mov(3, 10)
+	q.St8(5, 0, 3) // slow consumer: store+load per element
+	q.Ld8(3, 5, 0)
+	q.Add(1, 1, 3)
+	q.AddI(2, 2, 1)
+	q.BneI(2, N, "loop")
+	q.MovU(3, res)
+	q.St8(3, 0, 1)
+	q.Halt()
+
+	c.Load(0, p.MustLink())
+	c.Load(1, q.MustLink())
+	run(t, c, 2_000_000)
+	s := c.Stats()
+	if s.MeanMappedRegs() <= 0 {
+		t.Fatal("no queue occupancy recorded")
+	}
+	if s.QueueOccupancyMax > 8 {
+		t.Fatalf("occupancy %d exceeded capacity 8", s.QueueOccupancyMax)
+	}
+	t.Logf("mean mapped regs %.2f, peak %d", s.MeanMappedRegs(), s.QueueOccupancyMax)
+}

@@ -1,0 +1,600 @@
+package core
+
+import (
+	"testing"
+
+	"pipette/internal/cache"
+	"pipette/internal/isa"
+	"pipette/internal/mem"
+)
+
+// newTestCore builds a 1-core system around fresh memory.
+func newTestCore(t *testing.T) (*Core, *mem.Memory) {
+	t.Helper()
+	m := mem.New()
+	h := cache.New(cache.DefaultConfig(), 1)
+	return New(0, DefaultConfig(), m, h.Port(0)), m
+}
+
+// run cycles the core until done, failing the test on watchdog timeout.
+func run(t *testing.T, c *Core, maxCycles uint64) {
+	t.Helper()
+	lastCommit, lastAt := uint64(0), uint64(0)
+	for !c.Done() {
+		c.Cycle()
+		if c.stats.Committed != lastCommit {
+			lastCommit, lastAt = c.stats.Committed, c.now
+		}
+		if c.now-lastAt > 100000 {
+			t.Fatalf("deadlock: no commit since cycle %d (committed %d)", lastAt, lastCommit)
+		}
+		if c.now > maxCycles {
+			t.Fatalf("timeout after %d cycles (committed %d)", c.now, c.stats.Committed)
+		}
+	}
+}
+
+func TestSerialALULoop(t *testing.T) {
+	c, m := newTestCore(t)
+	res := m.AllocWords(1)
+	a := isa.NewAssembler("sum")
+	a.MovI(1, 0)   // sum
+	a.MovI(2, 100) // counter
+	a.Label("loop")
+	a.Add(1, 1, 2)
+	a.SubI(2, 2, 1)
+	a.BneI(2, 0, "loop")
+	a.MovU(3, res)
+	a.St8(3, 0, 1)
+	a.Halt()
+	c.Load(0, a.MustLink())
+	run(t, c, 100000)
+	if got := m.Read64(res); got != 5050 {
+		t.Fatalf("sum = %d, want 5050", got)
+	}
+	if c.stats.Committed < 300 {
+		t.Fatalf("committed = %d", c.stats.Committed)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	c, m := newTestCore(t)
+	src := m.AllocWords(8)
+	dst := m.AllocWords(8)
+	for i := uint64(0); i < 8; i++ {
+		m.Write64(src+i*8, i*i)
+	}
+	a := isa.NewAssembler("copy")
+	a.MovU(1, src)
+	a.MovU(2, dst)
+	a.MovI(3, 8)
+	a.Label("loop")
+	a.Ld8(4, 1, 0)
+	a.St8(2, 0, 4)
+	a.AddI(1, 1, 8)
+	a.AddI(2, 2, 8)
+	a.SubI(3, 3, 1)
+	a.BneI(3, 0, "loop")
+	a.Halt()
+	c.Load(0, a.MustLink())
+	run(t, c, 100000)
+	for i := uint64(0); i < 8; i++ {
+		if got := m.Read64(dst + i*8); got != i*i {
+			t.Fatalf("dst[%d] = %d, want %d", i, got, i*i)
+		}
+	}
+}
+
+// Two threads exchange values over a queue: thread 0 enqueues 1..N, thread 1
+// sums dequeues and stores the total.
+func TestProducerConsumerQueue(t *testing.T) {
+	c, m := newTestCore(t)
+	res := m.AllocWords(1)
+	const N = 500
+
+	p := isa.NewAssembler("prod")
+	p.MapQ(10, 0, isa.QueueIn)
+	p.MovI(1, 0)
+	p.Label("loop")
+	p.AddI(1, 1, 1)
+	p.Mov(10, 1) // enqueue i
+	p.BneI(1, N, "loop")
+	p.Halt()
+
+	q := isa.NewAssembler("cons")
+	q.MapQ(10, 0, isa.QueueOut)
+	q.MovI(1, 0) // sum
+	q.MovI(2, 0) // count
+	q.Label("loop")
+	q.Add(1, 1, 10) // dequeue and add
+	q.AddI(2, 2, 1)
+	q.BneI(2, N, "loop")
+	q.MovU(3, res)
+	q.St8(3, 0, 1)
+	q.Halt()
+
+	c.Load(0, p.MustLink())
+	c.Load(1, q.MustLink())
+	run(t, c, 1000000)
+	want := uint64(N * (N + 1) / 2)
+	if got := m.Read64(res); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	if c.stats.Enqueues < N || c.stats.Dequeues < N {
+		t.Fatalf("queue traffic: enq=%d deq=%d", c.stats.Enqueues, c.stats.Dequeues)
+	}
+}
+
+// A control value redirects the consumer to its dequeue handler, which
+// receives the CV in RHCV and the queue id in RHQ.
+func TestControlValueTrap(t *testing.T) {
+	c, m := newTestCore(t)
+	res := m.AllocWords(2)
+
+	p := isa.NewAssembler("prod")
+	p.MapQ(10, 3, isa.QueueIn)
+	p.MovI(1, 7)
+	p.Mov(10, 1)   // data 7
+	p.EnqCI(3, 99) // control value 99
+	p.MovI(1, 5)
+	p.Mov(10, 1) // data 5 after CV
+	p.Halt()
+
+	q := isa.NewAssembler("cons")
+	q.MapQ(10, 3, isa.QueueOut)
+	q.OnDeqCV("handler")
+	q.MovU(5, res)
+	q.MovI(1, 0)
+	q.Label("loop")
+	q.Add(1, 1, 10) // dequeues: first 7, then traps on CV, then 5
+	q.Jmp("loop")
+	q.Label("handler")
+	// Store CV and queue id, then consume remaining data value and halt.
+	q.St8(5, 0, isa.RHCV)
+	q.St8(5, 8, isa.RHQ)
+	q.Add(1, 1, 10) // dequeue the 5
+	q.MovU(6, res+16)
+	q.St8(6, 0, 1)
+	q.Halt()
+
+	// res+16 holds final sum.
+	_ = m.AllocWords(1)
+
+	c.Load(0, p.MustLink())
+	c.Load(1, q.MustLink())
+	run(t, c, 1000000)
+	if got := m.Read64(res); got != 99 {
+		t.Fatalf("RHCV = %d, want 99", got)
+	}
+	if got := m.Read64(res + 8); got != 3 {
+		t.Fatalf("RHQ = %d, want 3", got)
+	}
+	if got := m.Read64(res + 16); got != 12 {
+		t.Fatalf("sum = %d, want 12", got)
+	}
+	if c.stats.CVTraps != 1 {
+		t.Fatalf("CV traps = %d, want 1", c.stats.CVTraps)
+	}
+}
+
+// skip_to_ctrl discards buffered data; when no CV is present, the producer's
+// next enqueue traps to its enqueue handler, which enqueues a CV.
+func TestSkipToCtrlWithEnqHandler(t *testing.T) {
+	c, m := newTestCore(t)
+	res := m.AllocWords(1)
+
+	// Producer enqueues data forever until its enqueue handler fires, then
+	// enqueues CV 42 and halts.
+	p := isa.NewAssembler("prod")
+	p.MapQ(10, 1, isa.QueueIn)
+	p.OnEnqCV("eh")
+	p.MovI(1, 1)
+	p.Label("loop")
+	p.Mov(10, 1)
+	p.Jmp("loop")
+	p.Label("eh")
+	p.EnqCI(1, 42)
+	p.Halt()
+
+	// Consumer dequeues 3 values, then skips to the next CV.
+	q := isa.NewAssembler("cons")
+	q.MapQ(10, 1, isa.QueueOut)
+	q.MovI(1, 0)
+	q.Add(1, 1, 10)
+	q.Add(1, 1, 10)
+	q.Add(1, 1, 10)
+	q.SkipC(2, 1) // r2 <- 42
+	q.MovU(3, res)
+	q.St8(3, 0, 2)
+	q.Halt()
+
+	c.Load(0, p.MustLink())
+	c.Load(1, q.MustLink())
+	run(t, c, 1000000)
+	if got := m.Read64(res); got != 42 {
+		t.Fatalf("skipc result = %d, want 42", got)
+	}
+	if c.stats.EnqTraps != 1 {
+		t.Fatalf("enqueue traps = %d, want 1", c.stats.EnqTraps)
+	}
+	if c.stats.SkipOps != 1 {
+		t.Fatalf("skip ops = %d", c.stats.SkipOps)
+	}
+}
+
+// Peek reads the head without consuming it.
+func TestPeek(t *testing.T) {
+	c, m := newTestCore(t)
+	res := m.AllocWords(2)
+
+	p := isa.NewAssembler("prod")
+	p.MapQ(10, 0, isa.QueueIn)
+	p.MovI(1, 77)
+	p.Mov(10, 1)
+	p.Halt()
+
+	q := isa.NewAssembler("cons")
+	q.MapQ(10, 0, isa.QueueOut)
+	q.Peek(1, 0) // 77, not consumed
+	q.Mov(2, 10) // dequeue 77
+	q.MovU(3, res)
+	q.St8(3, 0, 1)
+	q.St8(3, 8, 2)
+	q.Halt()
+
+	c.Load(0, p.MustLink())
+	c.Load(1, q.MustLink())
+	run(t, c, 1000000)
+	if m.Read64(res) != 77 || m.Read64(res+8) != 77 {
+		t.Fatalf("peek/deq = %d/%d", m.Read64(res), m.Read64(res+8))
+	}
+}
+
+// Queue backpressure: a fast producer into a slow consumer must block on the
+// full queue rather than overrun it; all values still arrive in order.
+func TestQueueBackpressure(t *testing.T) {
+	c, m := newTestCore(t)
+	c.SetQueueCaps(map[uint8]int{0: 4})
+	res := m.AllocWords(1)
+	const N = 200
+
+	p := isa.NewAssembler("prod")
+	p.MapQ(10, 0, isa.QueueIn)
+	p.MovI(1, 0)
+	p.Label("loop")
+	p.AddI(1, 1, 1)
+	p.Mov(10, 1)
+	p.BneI(1, N, "loop")
+	p.Halt()
+
+	q := isa.NewAssembler("cons")
+	q.MapQ(10, 0, isa.QueueOut)
+	buf := m.AllocWords(1)
+	q.MovI(1, 0)
+	q.MovI(4, 0)
+	q.MovU(5, buf)
+	q.Label("loop")
+	q.Mov(2, 10)
+	// Slow the consumer: dependent load chain per element.
+	q.St8(5, 0, 2)
+	q.Ld8(6, 5, 0)
+	q.Add(1, 1, 6)
+	q.AddI(4, 4, 1)
+	q.BneI(4, N, "loop")
+	q.MovU(3, res)
+	q.St8(3, 0, 1)
+	q.Halt()
+
+	c.Load(0, p.MustLink())
+	c.Load(1, q.MustLink())
+	run(t, c, 2000000)
+	want := uint64(N * (N + 1) / 2)
+	if got := m.Read64(res); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+// Atomics: four data-parallel threads increment a shared counter.
+func TestAtomicFetchAdd(t *testing.T) {
+	c, m := newTestCore(t)
+	ctr := m.AllocWords(1)
+	const perThread = 50
+	for tid := 0; tid < 4; tid++ {
+		a := isa.NewAssembler("adder")
+		a.MovU(1, ctr)
+		a.MovI(2, perThread)
+		a.MovI(4, 1)
+		a.Label("loop")
+		a.FetchAdd(3, 1, 4)
+		a.SubI(2, 2, 1)
+		a.BneI(2, 0, "loop")
+		a.Halt()
+		c.Load(tid, a.MustLink())
+	}
+	run(t, c, 1000000)
+	if got := m.Read64(ctr); got != 4*perThread {
+		t.Fatalf("counter = %d, want %d", got, 4*perThread)
+	}
+}
+
+// CAS loop: threads contend to set a flag exactly once each.
+func TestCasLoop(t *testing.T) {
+	c, m := newTestCore(t)
+	cell := m.AllocWords(1)
+	res := m.AllocWords(1)
+	a := isa.NewAssembler("cas")
+	a.MovU(1, cell)
+	a.MovI(2, 0)   // expected
+	a.MovI(3, 123) // new value
+	a.Cas(4, 1, 2, 3)
+	a.MovU(5, res)
+	a.St8(5, 0, 4) // old value observed (0)
+	a.Halt()
+	c.Load(0, a.MustLink())
+	run(t, c, 100000)
+	if m.Read64(cell) != 123 {
+		t.Fatalf("cell = %d", m.Read64(cell))
+	}
+	if m.Read64(res) != 0 {
+		t.Fatalf("old = %d", m.Read64(res))
+	}
+}
+
+// Branch mispredictions on data-dependent branches must show up in stats.
+func TestBranchMispredictCounted(t *testing.T) {
+	c, m := newTestCore(t)
+	// Pseudo-random branch pattern via xorshift.
+	arr := m.AllocWords(1)
+	a := isa.NewAssembler("br")
+	a.MovI(1, 88172645463325252) // xorshift state
+	a.MovI(2, 400)               // iterations
+	a.MovI(3, 0)                 // taken count
+	a.MovU(6, arr)
+	a.Label("loop")
+	a.ShlI(4, 1, 13)
+	a.Xor(1, 1, 4)
+	a.ShrI(4, 1, 7)
+	a.Xor(1, 1, 4)
+	a.ShlI(4, 1, 17)
+	a.Xor(1, 1, 4)
+	a.AndI(5, 1, 1)
+	a.BeqI(5, 0, "skip")
+	a.AddI(3, 3, 1)
+	a.Label("skip")
+	a.SubI(2, 2, 1)
+	a.BneI(2, 0, "loop")
+	a.St8(6, 0, 3)
+	a.Halt()
+	c.Load(0, a.MustLink())
+	run(t, c, 1000000)
+	if c.stats.Mispredicts < 50 {
+		t.Fatalf("mispredicts = %d, want many on random branches", c.stats.Mispredicts)
+	}
+	if c.stats.Branches == 0 || c.stats.Mispredicts >= c.stats.Branches {
+		t.Fatalf("branches=%d mispredicts=%d", c.stats.Branches, c.stats.Mispredicts)
+	}
+}
+
+// The CPI stack must account for every cycle.
+func TestCPIStackComplete(t *testing.T) {
+	c, m := newTestCore(t)
+	res := m.AllocWords(1)
+	a := isa.NewAssembler("t")
+	a.MovI(1, 1000)
+	a.Label("loop")
+	a.SubI(1, 1, 1)
+	a.BneI(1, 0, "loop")
+	a.MovU(2, res)
+	a.St8(2, 0, 1)
+	a.Halt()
+	c.Load(0, a.MustLink())
+	run(t, c, 100000)
+	s := c.Stats()
+	if s.CPI.Total() > s.Cycles {
+		t.Fatalf("CPI stack %d > cycles %d", s.CPI.Total(), s.Cycles)
+	}
+	if s.CPI.Issue == 0 {
+		t.Fatal("no issue cycles recorded")
+	}
+}
+
+// SMT: two independent memory-bound threads on one core should beat one
+// thread running both workloads back to back (latency hiding).
+func TestSMTHidesLatency(t *testing.T) {
+	mkChase := func(m *mem.Memory, n int, seed uint64) *isa.Program {
+		// Pointer chase over a shuffled ring.
+		ring := m.AllocWords(uint64(n))
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		s := seed
+		for i := n - 1; i > 0; i-- {
+			s = s*6364136223846793005 + 1442695040888963407
+			j := int(s % uint64(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		for i := 0; i < n; i++ {
+			m.Write64(ring+uint64(perm[i])*8, ring+uint64(perm[(i+1)%n])*8)
+		}
+		a := isa.NewAssembler("chase")
+		a.MovU(1, ring+uint64(perm[0])*8)
+		a.MovI(2, int64(n))
+		a.Label("loop")
+		a.Ld8(1, 1, 0)
+		a.SubI(2, 2, 1)
+		a.BneI(2, 0, "loop")
+		a.Halt()
+		return a.MustLink()
+	}
+
+	const n = 3000
+	// One thread.
+	m1 := mem.New()
+	h1 := cache.New(cache.DefaultConfig(), 1)
+	c1 := New(0, DefaultConfig(), m1, h1.Port(0))
+	c1.Load(0, mkChase(m1, n, 1))
+	run(t, c1, 50_000_000)
+	oneThread := c1.Stats().Cycles
+
+	// Four threads, four chases.
+	m4 := mem.New()
+	h4 := cache.New(cache.DefaultConfig(), 1)
+	c4 := New(0, DefaultConfig(), m4, h4.Port(0))
+	for tid := 0; tid < 4; tid++ {
+		c4.Load(tid, mkChase(m4, n, uint64(tid+1)))
+	}
+	run(t, c4, 50_000_000)
+	fourThreads := c4.Stats().Cycles
+
+	// 4x the work should take well under 4x the time.
+	if fourThreads >= 3*oneThread {
+		t.Fatalf("SMT not hiding latency: 1T=%d cycles, 4T(4x work)=%d", oneThread, fourThreads)
+	}
+}
+
+// PRF pressure: shrinking the PRF must not deadlock, only slow things down.
+func TestSmallPRF(t *testing.T) {
+	m := mem.New()
+	h := cache.New(cache.DefaultConfig(), 1)
+	cfg := DefaultConfig()
+	cfg.PhysRegs = 48
+	cfg.DefaultQueueCap = 4
+	c := New(0, cfg, m, h.Port(0))
+	res := m.AllocWords(1)
+	a := isa.NewAssembler("t")
+	a.MovI(1, 500)
+	a.MovI(2, 0)
+	a.Label("loop")
+	a.Add(2, 2, 1)
+	a.SubI(1, 1, 1)
+	a.BneI(1, 0, "loop")
+	a.MovU(3, res)
+	a.St8(3, 0, 2)
+	a.Halt()
+	c.Load(0, a.MustLink())
+	run(t, c, 10_000_000)
+	if got := m.Read64(res); got != 500*501/2 {
+		t.Fatalf("sum = %d", got)
+	}
+}
+
+// The speculative-dequeue variant (Sec. IV-A) must produce identical results
+// and, per the paper, roughly similar performance.
+func TestSpeculativeDequeueVariant(t *testing.T) {
+	build := func(spec bool) (*Core, *mem.Memory, uint64) {
+		m := mem.New()
+		h := cache.New(cache.DefaultConfig(), 1)
+		cfg := DefaultConfig()
+		cfg.SpeculativeDequeue = spec
+		c := New(0, cfg, m, h.Port(0))
+		res := m.AllocWords(1)
+		const N = 400
+
+		p := isa.NewAssembler("prod")
+		p.MapQ(10, 0, isa.QueueIn)
+		p.MovI(1, 0)
+		p.Label("loop")
+		p.AddI(1, 1, 1)
+		p.Mov(10, 1)
+		p.BneI(1, N, "loop")
+		p.Halt()
+
+		q := isa.NewAssembler("cons")
+		q.MapQ(10, 0, isa.QueueOut)
+		q.MovI(1, 0)
+		q.MovI(2, 0)
+		q.Label("loop")
+		q.Add(1, 1, 10)
+		q.AddI(2, 2, 1)
+		q.BneI(2, N, "loop")
+		q.MovU(3, res)
+		q.St8(3, 0, 1)
+		q.Halt()
+
+		c.Load(0, p.MustLink())
+		c.Load(1, q.MustLink())
+		return c, m, res
+	}
+	c1, m1, r1 := build(false)
+	run(t, c1, 1_000_000)
+	c2, m2, r2 := build(true)
+	run(t, c2, 1_000_000)
+	if m1.Read64(r1) != m2.Read64(r2) {
+		t.Fatalf("results differ: %d vs %d", m1.Read64(r1), m2.Read64(r2))
+	}
+	// Speculative consumption can only help or match.
+	if c2.Stats().Cycles > c1.Stats().Cycles+c1.Stats().Cycles/10 {
+		t.Fatalf("speculative variant much slower: %d vs %d", c2.Stats().Cycles, c1.Stats().Cycles)
+	}
+	t.Logf("committed-only=%d cycles, speculative=%d cycles", c1.Stats().Cycles, c2.Stats().Cycles)
+}
+
+// All SMT priority policies must preserve correctness.
+func TestPriorityPolicies(t *testing.T) {
+	for _, pol := range []PriorityPolicy{PriorityICOUNT, PriorityProducers, PriorityRoundRobin} {
+		m := mem.New()
+		h := cache.New(cache.DefaultConfig(), 1)
+		cfg := DefaultConfig()
+		cfg.Priority = pol
+		c := New(0, cfg, m, h.Port(0))
+		ctr := m.AllocWords(1)
+		for tid := 0; tid < 4; tid++ {
+			a := isa.NewAssembler("adder")
+			a.MovU(1, ctr)
+			a.MovI(2, 30)
+			a.MovI(4, 1)
+			a.Label("loop")
+			a.FetchAdd(3, 1, 4)
+			a.SubI(2, 2, 1)
+			a.BneI(2, 0, "loop")
+			a.Halt()
+			c.Load(tid, a.MustLink())
+		}
+		run(t, c, 1_000_000)
+		if got := m.Read64(ctr); got != 120 {
+			t.Fatalf("policy %d: counter = %d", pol, got)
+		}
+	}
+}
+
+// The commit trace hook must see every architectural instruction, in
+// per-thread program order, and no synthetic µops.
+func TestCommitTrace(t *testing.T) {
+	c, m := newTestCore(t)
+	res := m.AllocWords(1)
+	a := isa.NewAssembler("traced")
+	a.MovI(1, 3)
+	a.Label("loop")
+	a.SubI(1, 1, 1)
+	a.BneI(1, 0, "loop")
+	a.MovU(2, res)
+	a.St8(2, 0, 1)
+	a.Halt()
+	c.Load(0, a.MustLink())
+	var pcs []int
+	var lastCycle uint64
+	c.TraceFn = func(cycle uint64, thread, pc int, text string) {
+		if cycle < lastCycle {
+			t.Fatalf("trace cycles not monotone: %d after %d", cycle, lastCycle)
+		}
+		lastCycle = cycle
+		if thread != 0 {
+			t.Fatalf("unexpected thread %d", thread)
+		}
+		if text == "" {
+			t.Fatal("empty disassembly")
+		}
+		pcs = append(pcs, pc)
+	}
+	run(t, c, 100000)
+	want := []int{0, 1, 2, 1, 2, 1, 2, 3, 4, 5}
+	if len(pcs) != len(want) {
+		t.Fatalf("traced %d instructions, want %d: %v", len(pcs), len(want), pcs)
+	}
+	for i := range want {
+		if pcs[i] != want[i] {
+			t.Fatalf("trace[%d] = pc %d, want %d (%v)", i, pcs[i], want[i], pcs)
+		}
+	}
+}

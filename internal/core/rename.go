@@ -1,0 +1,452 @@
+package core
+
+import (
+	"fmt"
+
+	"pipette/internal/isa"
+	"pipette/internal/queue"
+)
+
+// rename is the in-order frontend: it picks threads by ICOUNT, renames up to
+// FetchWidth instructions, executes them functionally, allocates backend
+// resources, and performs the Pipette rename-stage work of Sec. IV-A
+// (queue-entry binding, control-value traps, skip_to_ctrl, enqueue-handler
+// interlocks).
+func (c *Core) rename() {
+	order := c.orderBuf[:0]
+	for _, t := range c.threads {
+		if t.active && !t.halted {
+			t.stall = StallNone
+			order = append(order, t)
+		}
+	}
+	c.orderBuf = order
+	switch c.cfg.Priority {
+	case PriorityICOUNT:
+		// Fewest in-flight µops first (stable insertion sort; the thread
+		// count is tiny and this runs every cycle).
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && order[j].inflight < order[j-1].inflight; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+	case PriorityProducers:
+		// Threads are loaded in pipeline order, so static id order favors
+		// producers (the policy the paper leaves to future work).
+	case PriorityRoundRobin:
+		if len(order) > 1 {
+			r := int(c.now) % len(order)
+			order = append(order[r:], order[:r]...)
+		}
+	}
+
+	budget := c.cfg.FetchWidth
+	for _, t := range order {
+		for budget > 0 && !t.halted {
+			if t.blockedOn != nil {
+				if !t.blockedOn.resolved(c.now) {
+					t.stall = StallRedirect
+					break
+				}
+				t.blockedUntil = t.blockedOn.doneAt + c.cfg.MispredictPenalty
+				t.blockedOn = nil
+			}
+			if c.now < t.blockedUntil {
+				t.stall = StallRedirect
+				break
+			}
+			n, ok := c.renameOne(t)
+			if !ok {
+				break
+			}
+			budget -= n
+		}
+	}
+}
+
+// renameOne renames (and functionally executes) the instruction at t.pc.
+// It returns the number of frontend slots consumed and whether it made
+// progress; on failure t.stall records the reason and no state changes.
+func (c *Core) renameOne(t *thread) (int, bool) {
+	in := &t.prog.Code[t.pc]
+
+	// ---- Phase 1: check everything without mutating state. ----
+
+	if t.robUsed >= c.cfg.ROBPerThread {
+		t.stall = StallROB
+		return 0, false
+	}
+	if len(c.iq) >= c.cfg.IQSize {
+		t.stall = StallIQ
+		return 0, false
+	}
+	if in.Op.IsLoad() && t.lqUsed >= c.cfg.LQPerThread {
+		t.stall = StallLSQ
+		return 0, false
+	}
+	if in.Op.IsStore() && t.sqUsed >= c.cfg.SQPerThread {
+		t.stall = StallLSQ
+		return 0, false
+	}
+
+	// Dequeue sources: every read of an out-mapped register binds the head
+	// entry of its queue. Collect them, checking emptiness and CV traps.
+	var readBuf [3]isa.Reg
+	reads := readBuf[:in.ReadsInto(&readBuf)]
+	type deqSrc struct {
+		reg isa.Reg
+		q   *queue.Queue
+	}
+	var deqBuf [3]deqSrc
+	nDeq := 0
+	for _, r := range reads {
+		if q := t.outQ[r]; q != nil {
+			for i := 0; i < nDeq; i++ {
+				if deqBuf[i].reg == r {
+					panic(fmt.Sprintf("%s pc=%d: queue register r%d read twice in one instruction", t.prog.Name, t.pc, r))
+				}
+			}
+			deqBuf[nDeq] = deqSrc{r, q}
+			nDeq++
+		} else if t.inQ[r] != nil {
+			panic(fmt.Sprintf("%s pc=%d: reads input-mapped register r%d", t.prog.Name, t.pc, r))
+		}
+	}
+	deqs := deqBuf[:nDeq]
+	// Peek also inspects the head of its queue.
+	isPeek := in.Op == isa.OpPeek
+	var peekQ *queue.Queue
+	if isPeek {
+		peekQ = c.qrm.Q(in.Q)
+	}
+
+	// CV trap? The first bound entry (or peeked head) that is a control
+	// value redirects to the dequeue control handler.
+	trapQ := (*queue.Queue)(nil)
+	for _, d := range deqs {
+		if !d.q.CanDeq() {
+			t.stall = StallQueueEmpty
+			return 0, false
+		}
+		if d.q.Head().Ctrl && trapQ == nil {
+			trapQ = d.q
+		}
+	}
+	if isPeek {
+		if !peekQ.CanDeq() {
+			t.stall = StallQueueEmpty
+			return 0, false
+		}
+		if peekQ.Head().Ctrl {
+			trapQ = peekQ
+		}
+	}
+	if trapQ != nil {
+		return c.trapDeqCV(t, trapQ)
+	}
+
+	// skip_to_ctrl: needs a control value somewhere in the queue.
+	var skipN int
+	var skipCV *queue.Entry
+	if in.Op == isa.OpSkipC {
+		q := c.qrm.Q(in.Q)
+		n, cv, ok := q.SkipScan()
+		if !ok {
+			q.SkipPending = true // producer's next data enqueue traps
+			// Discard committed data while blocked so the producer's
+			// control value can always enter a full queue (the data
+			// would be discarded anyway).
+			for {
+				phys, drained := q.DrainOne()
+				if !drained {
+					break
+				}
+				c.FreePhys(int32(phys))
+				c.stats.SkipDiscard++
+			}
+			t.stall = StallSkipWait
+			return 0, false
+		}
+		skipN, skipCV = n, cv
+	}
+
+	// Destination: enqueue (write to in-mapped reg) or ordinary rename.
+	dstReg, writes := in.WritesReg()
+	var enqQ *queue.Queue
+	if writes {
+		if q := t.inQ[dstReg]; q != nil {
+			enqQ = q
+		} else if t.outQ[dstReg] != nil {
+			panic(fmt.Sprintf("%s pc=%d: writes output-mapped register r%d", t.prog.Name, t.pc, dstReg))
+		}
+	}
+	if in.Op == isa.OpEnqC {
+		enqQ = c.qrm.Q(in.Q)
+	}
+	if enqQ != nil {
+		if enqQ.SkipPending && in.Op != isa.OpEnqC {
+			// Data enqueue while the consumer skips: enqueue-handler trap.
+			return c.trapEnq(t)
+		}
+		if !enqQ.CanEnq() {
+			t.stall = StallQueueFull
+			return 0, false
+		}
+	}
+	needPhys := 0
+	if enqQ != nil {
+		needPhys++
+	}
+	if writes && enqQ == nil && in.Op != isa.OpEnqC {
+		needPhys++
+	}
+	if len(c.freelist) < needPhys {
+		t.stall = StallPRF
+		return 0, false
+	}
+
+	// ---- Phase 2: functional execution. ----
+
+	u := c.allocUop(t.id, in.Op)
+	u.pc = t.pc
+	u.inst = in
+
+	// Bind dequeues in read order and resolve source values.
+	var valRegs [3]isa.Reg
+	var valVals [3]uint64
+	nVals := 0
+	for _, d := range deqs {
+		e := d.q.Deq()
+		valRegs[nVals], valVals[nVals] = d.reg, e.Val
+		nVals++
+		if u.nqsrc < len(u.qsrc) {
+			u.qsrc[u.nqsrc] = qref{d.q, e}
+			u.nqsrc++
+		}
+		u.deqQ = d.q
+		u.deqN++
+		c.stats.Dequeues++
+	}
+	srcVal := func(r isa.Reg) uint64 {
+		for i := 0; i < nVals; i++ {
+			if valRegs[i] == r {
+				return valVals[i]
+			}
+		}
+		if r == isa.R0 {
+			return 0
+		}
+		return t.regs[r]
+	}
+	// Timing sources: unmapped arch regs read their current physical
+	// mapping; -1 (never written) is always ready.
+	for _, r := range reads {
+		if t.outQ[r] == nil && t.rmap[r] >= 0 && u.nsrc < len(u.src) {
+			u.src[u.nsrc] = t.rmap[r]
+			u.nsrc++
+		}
+	}
+
+	a := srcVal(in.Ra)
+	b := srcVal(in.Rb)
+	if in.UseImm {
+		b = uint64(in.Imm)
+	}
+
+	var result uint64
+	nextPC := t.pc + 1
+	switch in.Op.Class() {
+	case isa.ClassALU, isa.ClassMul, isa.ClassDiv, isa.ClassFPAdd, isa.ClassFPMul, isa.ClassFPDiv:
+		result = isa.EvalALU(in.Op, a, b)
+	case isa.ClassLoad:
+		u.isLoad = true
+		u.addr = a + uint64(in.Imm)
+		result = c.mem.Read(u.addr, in.Op.MemBytes())
+	case isa.ClassStore:
+		u.isStore = true
+		u.addr = a + uint64(in.Imm)
+		c.mem.Write(u.addr, in.Op.MemBytes(), b)
+	case isa.ClassAtomic:
+		u.isLoad, u.isStore, u.isAtom = true, true, true
+		u.addr = a
+		old := c.mem.Read(u.addr, 8)
+		result = old
+		switch in.Op {
+		case isa.OpCas:
+			if old == b {
+				c.mem.Write(u.addr, 8, srcVal(in.Rc))
+			}
+		case isa.OpFetchAdd:
+			c.mem.Write(u.addr, 8, old+b)
+		case isa.OpFetchMin:
+			if b < old {
+				c.mem.Write(u.addr, 8, b)
+			}
+		case isa.OpFetchOr:
+			c.mem.Write(u.addr, 8, old|b)
+		}
+	case isa.ClassBranch:
+		taken := isa.EvalBranch(in.Op, a, b)
+		target := in.Target
+		if in.Op == isa.OpJr {
+			target = int(a)
+		}
+		if taken {
+			nextPC = target
+		}
+		c.stats.Branches++
+		if in.Op != isa.OpJmp && in.Op != isa.OpJr {
+			pred := c.bpred.predict(t.pc, t.hist)
+			c.bpred.update(t.pc, t.hist, taken)
+			t.hist = t.hist<<1 | b2u(taken)
+			if pred != taken {
+				u.mispred = true
+				c.stats.Mispredicts++
+			}
+		}
+	case isa.ClassQueue:
+		switch in.Op {
+		case isa.OpPeek:
+			e := peekQ.Head()
+			result = e.Val
+			u.qsrc[0] = qref{peekQ, e}
+			u.nqsrc = 1
+		case isa.OpEnqC:
+			result = a
+			if in.UseImm {
+				result = b
+			}
+		case isa.OpSkipC:
+			q := c.qrm.Q(in.Q)
+			result = skipCV.Val
+			u.qsrc[0] = qref{q, skipCV}
+			u.nqsrc = 1
+			u.deqQ = q
+			u.deqN = skipN + 1
+			q.SkipConsume(skipN)
+			c.stats.SkipOps++
+			c.stats.SkipDiscard += uint64(skipN)
+		case isa.OpQPoll:
+			q := c.qrm.Q(in.Q)
+			result = q.SpecTail - q.SpecHead
+		}
+	case isa.ClassHalt:
+		t.halted = true
+		u.isHalt = true
+	}
+
+	// ---- Phase 3: destination allocation / enqueue. ----
+
+	if enqQ != nil {
+		phys, _ := c.AllocPhys()
+		val := result
+		ctrl := in.Op == isa.OpEnqC
+		u.enqQ = enqQ
+		u.enqSeq = enqQ.Enq(val, ctrl, int(phys))
+		// The value exists speculatively from now on; consumable either
+		// immediately (SpeculativeDequeue) or at the producer's commit.
+		enqQ.MarkSpecReady(u.enqSeq, c.now+1)
+		c.stats.Enqueues++
+	} else if writes {
+		phys, _ := c.AllocPhys()
+		u.dst = phys
+		u.oldDst = t.rmap[dstReg]
+		t.rmap[dstReg] = phys
+		c.regReady[phys] = queue.NotReady
+		t.regs[dstReg] = result
+	}
+
+	// ---- Phase 4: dispatch. ----
+
+	t.pc = nextPC
+	t.inflight++
+	t.robUsed++
+	if u.isLoad {
+		t.lqUsed++
+	}
+	if u.isStore {
+		t.sqUsed++
+	}
+	c.rob[t.id] = append(c.rob[t.id], u)
+	c.iq = append(c.iq, u)
+	if u.mispred {
+		t.blockedOn = u
+	}
+	return 1, true
+}
+
+// trapDeqCV consumes the control value at the head of q and redirects t to
+// its dequeue control handler, modeling the exception-style redirect of
+// Sec. IV-A. Two synthetic µops deliver the CV and queue id into RHCV/RHQ.
+func (c *Core) trapDeqCV(t *thread, q *queue.Queue) (int, bool) {
+	if t.prog.DeqHandler < 0 {
+		panic(fmt.Sprintf("%s: control value dequeued with no dequeue handler (queue %d)", t.prog.Name, q.ID))
+	}
+	if t.robUsed+2 > c.cfg.ROBPerThread || len(c.iq)+2 > c.cfg.IQSize {
+		t.stall = StallROB
+		return 0, false
+	}
+	if len(c.freelist) < 2 {
+		t.stall = StallPRF
+		return 0, false
+	}
+	e := q.Deq()
+	c.stats.Dequeues++
+	c.stats.CVTraps++
+
+	// µop 1: RHCV <- CV value (waits for the entry to be committed).
+	p1, _ := c.AllocPhys()
+	u1 := c.allocUop(t.id, isa.OpAdd)
+	u1.dst, u1.oldDst, u1.synth = p1, t.rmap[isa.RHCV], true
+	u1.qsrc[0] = qref{q, e}
+	u1.nqsrc = 1
+	u1.deqQ = q
+	u1.deqN = 1
+	t.rmap[isa.RHCV] = p1
+	c.regReady[p1] = queue.NotReady
+	t.regs[isa.RHCV] = e.Val
+
+	// µop 2: RHQ <- queue id.
+	p2, _ := c.AllocPhys()
+	u2 := c.allocUop(t.id, isa.OpAdd)
+	u2.dst, u2.oldDst, u2.synth = p2, t.rmap[isa.RHQ], true
+	t.rmap[isa.RHQ] = p2
+	c.regReady[p2] = queue.NotReady
+	t.regs[isa.RHQ] = uint64(q.ID)
+
+	for _, u := range []*uop{u1, u2} {
+		t.inflight++
+		t.robUsed++
+		c.rob[t.id] = append(c.rob[t.id], u)
+		c.iq = append(c.iq, u)
+	}
+	t.pc = t.prog.DeqHandler
+	t.blockedUntil = c.now + c.cfg.TrapPenalty
+	t.stall = StallRedirect
+	return 2, true
+}
+
+// trapEnq redirects t to its enqueue control handler because the consumer of
+// the queue it tried to enqueue into is blocked in skip_to_ctrl.
+func (c *Core) trapEnq(t *thread) (int, bool) {
+	if t.prog.EnqHandler < 0 {
+		panic(fmt.Sprintf("%s: enqueue trap with no enqueue handler", t.prog.Name))
+	}
+	c.stats.EnqTraps++
+	t.pc = t.prog.EnqHandler
+	t.blockedUntil = c.now + c.cfg.TrapPenalty
+	t.stall = StallRedirect
+	return 1, true
+}
+
+func (c *Core) nextSeq() uint64 {
+	c.seqNo++
+	return c.seqNo
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

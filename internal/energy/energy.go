@@ -1,0 +1,70 @@
+// Package energy models system energy with per-event costs plus static
+// power, standing in for the paper's McPAT + DDR3L methodology. Absolute
+// joules are not meaningful; the model preserves the relative breakdowns of
+// Fig. 12 (core dynamic vs. static vs. cache vs. DRAM) because every variant
+// is charged from the same event counts.
+package energy
+
+import (
+	"pipette/internal/cache"
+	"pipette/internal/core"
+)
+
+// Params are per-event energies in picojoules and per-cycle static power in
+// picojoules/cycle, loosely calibrated to 22 nm class numbers.
+type Params struct {
+	UopPJ      float64 // decode+schedule+execute a µop
+	RegReadPJ  float64
+	RegWritePJ float64
+	L1PJ       float64
+	L2PJ       float64
+	L3PJ       float64
+	DRAMPJ     float64
+
+	CoreStaticPJ   float64 // per core per cycle
+	UncoreStaticPJ float64 // shared L3 + NoC per cycle
+}
+
+// DefaultParams returns the calibration used throughout the evaluation.
+func DefaultParams() Params {
+	return Params{
+		UopPJ:      22,
+		RegReadPJ:  1.5,
+		RegWritePJ: 2.5,
+		L1PJ:       25,
+		L2PJ:       60,
+		L3PJ:       180,
+		DRAMPJ:     2600,
+
+		CoreStaticPJ:   220,
+		UncoreStaticPJ: 140,
+	}
+}
+
+// Breakdown is the Fig. 12 decomposition, in picojoules.
+type Breakdown struct {
+	CoreDyn  float64 // µops + register file
+	CacheDyn float64 // L1/L2/L3 accesses
+	DRAMDyn  float64
+	Static   float64
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() float64 { return b.CoreDyn + b.CacheDyn + b.DRAMDyn + b.Static }
+
+// Compute charges the run's event counts. cycles is the wall-clock of the
+// run; every instantiated core pays static power for the whole run.
+func Compute(p Params, cores []core.Stats, cs cache.Stats, cycles uint64) Breakdown {
+	var b Breakdown
+	for _, c := range cores {
+		b.CoreDyn += float64(c.Uops)*p.UopPJ +
+			float64(c.RegReads)*p.RegReadPJ +
+			float64(c.RegWrites)*p.RegWritePJ
+	}
+	b.CacheDyn = float64(cs.L1Hits+cs.L2Hits+cs.L3Hits+cs.DRAMAccesses)*p.L1PJ +
+		float64(cs.L2Hits+cs.L3Hits+cs.DRAMAccesses)*p.L2PJ +
+		float64(cs.L3Hits+cs.DRAMAccesses+cs.Prefetches)*p.L3PJ
+	b.DRAMDyn = float64(cs.DRAMAccesses+cs.Prefetches+cs.Writebacks) * p.DRAMPJ
+	b.Static = float64(cycles) * (float64(len(cores))*p.CoreStaticPJ + p.UncoreStaticPJ)
+	return b
+}

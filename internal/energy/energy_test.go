@@ -1,0 +1,47 @@
+package energy
+
+import (
+	"testing"
+
+	"pipette/internal/cache"
+	"pipette/internal/core"
+)
+
+func TestComputeLinearInEvents(t *testing.T) {
+	p := DefaultParams()
+	cs := []core.Stats{{Uops: 100, RegReads: 200, RegWrites: 100}}
+	hs := cache.Stats{L1Hits: 50, L2Hits: 20, L3Hits: 10, DRAMAccesses: 5}
+	b1 := Compute(p, cs, hs, 1000)
+	cs2 := []core.Stats{{Uops: 200, RegReads: 400, RegWrites: 200}}
+	hs2 := cache.Stats{L1Hits: 100, L2Hits: 40, L3Hits: 20, DRAMAccesses: 10}
+	b2 := Compute(p, cs2, hs2, 1000)
+	if b2.CoreDyn != 2*b1.CoreDyn {
+		t.Fatalf("core dyn not linear: %v vs %v", b2.CoreDyn, b1.CoreDyn)
+	}
+	if b2.CacheDyn != 2*b1.CacheDyn || b2.DRAMDyn != 2*b1.DRAMDyn {
+		t.Fatalf("cache/dram not linear")
+	}
+	if b2.Static != b1.Static {
+		t.Fatalf("static must depend on cycles only")
+	}
+}
+
+func TestStaticScalesWithCoresAndCycles(t *testing.T) {
+	p := DefaultParams()
+	one := Compute(p, make([]core.Stats, 1), cache.Stats{}, 1000).Static
+	four := Compute(p, make([]core.Stats, 4), cache.Stats{}, 1000).Static
+	if four <= one {
+		t.Fatal("static energy must grow with core count")
+	}
+	long := Compute(p, make([]core.Stats, 1), cache.Stats{}, 2000).Static
+	if long != 2*one {
+		t.Fatalf("static not linear in cycles: %v vs %v", long, one)
+	}
+}
+
+func TestTotalIsSum(t *testing.T) {
+	b := Breakdown{CoreDyn: 1, CacheDyn: 2, DRAMDyn: 3, Static: 4}
+	if b.Total() != 10 {
+		t.Fatalf("total = %v", b.Total())
+	}
+}

@@ -1,0 +1,348 @@
+// Package graph provides CSR graphs, synthetic generators shaped like the
+// paper's Table V inputs, reference algorithm implementations used to check
+// simulated results, and layout of graph data into simulated memory.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pipette/internal/mem"
+)
+
+// Graph is a directed graph in compressed sparse row format (Fig. 1(c)).
+type Graph struct {
+	Name      string
+	N         int
+	Offsets   []uint64 // len N+1
+	Neighbors []uint64
+}
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.Neighbors) }
+
+// Degree returns vertex v's out-degree.
+func (g *Graph) Degree(v int) int { return int(g.Offsets[v+1] - g.Offsets[v]) }
+
+// Ngh returns the neighbor slice of v.
+func (g *Graph) Ngh(v int) []uint64 { return g.Neighbors[g.Offsets[v]:g.Offsets[v+1]] }
+
+// FromEdges builds a CSR graph from an edge list, deduplicating and sorting
+// adjacency lists.
+func FromEdges(name string, n int, edges [][2]int) *Graph {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n || u == v {
+			continue
+		}
+		adj[u] = append(adj[u], v)
+	}
+	g := &Graph{Name: name, N: n, Offsets: make([]uint64, n+1)}
+	for u := 0; u < n; u++ {
+		sort.Ints(adj[u])
+		prev := -1
+		for _, v := range adj[u] {
+			if v == prev {
+				continue
+			}
+			prev = v
+			g.Neighbors = append(g.Neighbors, uint64(v))
+		}
+		g.Offsets[u+1] = uint64(len(g.Neighbors))
+	}
+	return g
+}
+
+// symmetrize duplicates every edge in both directions before CSR build.
+func symmetrize(edges [][2]int) [][2]int {
+	out := make([][2]int, 0, 2*len(edges))
+	for _, e := range edges {
+		out = append(out, e, [2]int{e[1], e[0]})
+	}
+	return out
+}
+
+// Road generates a road-network-like graph (USA-road class): a w×h grid with
+// occasional diagonal shortcuts — degree ~2-4, huge diameter.
+func Road(w, h int, seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	n := w * h
+	var edges [][2]int
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				edges = append(edges, [2]int{id(x, y), id(x+1, y)})
+			}
+			if y+1 < h {
+				edges = append(edges, [2]int{id(x, y), id(x, y+1)})
+			}
+			if x+1 < w && y+1 < h && r.Intn(10) == 0 {
+				edges = append(edges, [2]int{id(x, y), id(x+1, y+1)})
+			}
+		}
+	}
+	return FromEdges(fmt.Sprintf("road-%d", n), n, symmetrize(edges))
+}
+
+// PowerLaw generates a scale-free graph (as-Skitter class) by preferential
+// attachment: each new vertex attaches k edges biased toward earlier
+// (high-degree) vertices.
+func PowerLaw(n, k int, seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	var targets []int // multiset of endpoints; sampling it ≈ preferential
+	var edges [][2]int
+	for v := 1; v < n; v++ {
+		for e := 0; e < k; e++ {
+			var u int
+			if len(targets) == 0 || r.Intn(4) == 0 {
+				u = r.Intn(v)
+			} else {
+				u = targets[r.Intn(len(targets))]
+			}
+			if u == v {
+				continue
+			}
+			edges = append(edges, [2]int{v, u})
+			targets = append(targets, u, v)
+		}
+	}
+	return FromEdges(fmt.Sprintf("powerlaw-%d", n), n, symmetrize(edges))
+}
+
+// Uniform generates an Erdős–Rényi-style graph with average degree deg
+// (hugetrace class: large, sparse, fairly regular).
+func Uniform(n, deg int, seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	var edges [][2]int
+	for v := 0; v < n; v++ {
+		for e := 0; e < deg; e++ {
+			u := r.Intn(n)
+			if u != v {
+				edges = append(edges, [2]int{v, u})
+			}
+		}
+	}
+	return FromEdges(fmt.Sprintf("uniform-%d", n), n, symmetrize(edges))
+}
+
+// Collaboration generates a clustered small-world graph (coAuthorsDBLP
+// class): vertices join cliques of 3-8, plus sparse random cross links.
+func Collaboration(n int, seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	var edges [][2]int
+	v := 0
+	for v < n {
+		size := 3 + r.Intn(6)
+		if v+size > n {
+			size = n - v
+		}
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				edges = append(edges, [2]int{v + i, v + j})
+			}
+		}
+		// Cross link to an earlier clique member.
+		if v > 0 {
+			edges = append(edges, [2]int{v, r.Intn(v)})
+		}
+		v += size
+	}
+	return FromEdges(fmt.Sprintf("collab-%d", n), n, symmetrize(edges))
+}
+
+// Circuit generates a circuit-simulation-style graph (Freescale class):
+// mostly short local wires with a few long-distance nets.
+func Circuit(n int, seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	var edges [][2]int
+	for v := 0; v < n; v++ {
+		deg := 2 + r.Intn(4)
+		for e := 0; e < deg; e++ {
+			var u int
+			if r.Intn(20) == 0 { // long wire
+				u = r.Intn(n)
+			} else {
+				u = v + 1 + r.Intn(16)
+			}
+			if u >= 0 && u < n && u != v {
+				edges = append(edges, [2]int{v, u})
+			}
+		}
+	}
+	return FromEdges(fmt.Sprintf("circuit-%d", n), n, symmetrize(edges))
+}
+
+// Layout is the simulated-memory image of a graph.
+type Layout struct {
+	OffsetsAddr   uint64 // N+1 8-byte words
+	NeighborsAddr uint64 // M 8-byte words
+}
+
+// WriteTo lays the graph out in simulated memory (8-byte elements; see
+// DESIGN.md: widths are uniform to keep RA configs simple).
+func (g *Graph) WriteTo(m *mem.Memory) Layout {
+	l := Layout{
+		OffsetsAddr:   m.AllocWords(uint64(g.N + 1)),
+		NeighborsAddr: m.AllocWords(uint64(max(g.M(), 1))),
+	}
+	m.WriteWords(l.OffsetsAddr, g.Offsets)
+	m.WriteWords(l.NeighborsAddr, g.Neighbors)
+	return l
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---- Reference algorithms (used to validate simulated results). ----
+
+// Unreached marks vertices not reached by BFS.
+const Unreached = ^uint64(0)
+
+// BFS returns shortest hop distances from src.
+func BFS(g *Graph, src int) []uint64 {
+	dist := make([]uint64, g.N)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[src] = 0
+	fringe := []int{src}
+	for d := uint64(1); len(fringe) > 0; d++ {
+		var next []int
+		for _, v := range fringe {
+			for _, u := range g.Ngh(v) {
+				if dist[u] == Unreached {
+					dist[u] = d
+					next = append(next, int(u))
+				}
+			}
+		}
+		fringe = next
+	}
+	return dist
+}
+
+// CC returns connected-component labels via label propagation (minimum
+// label wins), matching the Ligra-style kernel the benchmarks implement.
+func CC(g *Graph) []uint64 {
+	label := make([]uint64, g.N)
+	for i := range label {
+		label[i] = uint64(i)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for v := 0; v < g.N; v++ {
+			for _, u := range g.Ngh(v) {
+				if label[v] < label[u] {
+					label[u] = label[v]
+					changed = true
+				}
+			}
+		}
+	}
+	return label
+}
+
+// RadiiSetup returns the initial visit masks and fringe for the Radii
+// kernel: up to 64 random sources, each owning one mask bit. Both the
+// reference implementation and the simulated kernels start from this state.
+func RadiiSetup(g *Graph, seed int64, k int) (visited []uint64, fringe []int) {
+	r := rand.New(rand.NewSource(seed))
+	visited = make([]uint64, g.N)
+	if k <= 0 || k > 64 {
+		k = 64
+	}
+	if g.N < k {
+		k = g.N
+	}
+	for i := 0; i < k; i++ {
+		v := r.Intn(g.N)
+		if visited[v]&(1<<uint(i)) == 0 {
+			visited[v] |= 1 << uint(i)
+			fringe = append(fringe, v)
+		}
+	}
+	return visited, fringe
+}
+
+// Radii estimates vertex eccentricities with k simultaneous BFS waves
+// (k <= 64) using 64-bit visit masks (the Ligra Radii kernel). It returns
+// the radii array.
+func Radii(g *Graph, seed int64, k int) []uint64 {
+	visited, fringe := RadiiSetup(g, seed, k)
+	next := make([]uint64, g.N)
+	radii := make([]uint64, g.N)
+	copy(next, visited)
+	for round := uint64(1); len(fringe) > 0; round++ {
+		seen := map[int]bool{}
+		var nf []int
+		for _, v := range fringe {
+			for _, uu := range g.Ngh(v) {
+				u := int(uu)
+				add := visited[v] &^ visited[u]
+				if add != 0 {
+					next[u] |= add
+					radii[u] = round
+					if !seen[u] {
+						seen[u] = true
+						nf = append(nf, u)
+					}
+				}
+			}
+		}
+		for _, u := range nf {
+			visited[u] = next[u]
+		}
+		fringe = nf
+	}
+	return radii
+}
+
+// PageRankDelta runs the delta-based PageRank variant: only vertices whose
+// accumulated delta exceeds eps propagate in each iteration. Returns ranks.
+func PageRankDelta(g *Graph, iters int, eps float64) []float64 {
+	const damping = 0.85
+	n := g.N
+	rank := make([]float64, n)
+	delta := make([]float64, n)
+	accum := make([]float64, n)
+	base := (1 - damping) / float64(n)
+	for i := range rank {
+		rank[i] = base
+		delta[i] = base
+	}
+	fringe := make([]int, n)
+	for i := range fringe {
+		fringe[i] = i
+	}
+	for it := 0; it < iters && len(fringe) > 0; it++ {
+		for i := range accum {
+			accum[i] = 0
+		}
+		for _, v := range fringe {
+			if d := g.Degree(v); d > 0 {
+				share := damping * delta[v] / float64(d)
+				for _, u := range g.Ngh(v) {
+					accum[u] += share
+				}
+			}
+		}
+		var next []int
+		for v := 0; v < n; v++ {
+			delta[v] = accum[v]
+			if delta[v] > eps {
+				rank[v] += delta[v]
+				next = append(next, v)
+			}
+		}
+		fringe = next
+	}
+	return rank
+}

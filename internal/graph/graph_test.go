@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pipette/internal/mem"
+)
+
+func TestFromEdgesCSR(t *testing.T) {
+	// The Fig. 1(b) example-style graph: 0->1, 0->2, 1->2, 2->0.
+	g := FromEdges("t", 3, [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 0}})
+	if g.M() != 4 {
+		t.Fatalf("M = %d", g.M())
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 1 || g.Degree(2) != 1 {
+		t.Fatalf("degrees: %d %d %d", g.Degree(0), g.Degree(1), g.Degree(2))
+	}
+	if n := g.Ngh(0); n[0] != 1 || n[1] != 2 {
+		t.Fatalf("ngh(0) = %v", n)
+	}
+}
+
+func TestFromEdgesDedupAndSelfLoops(t *testing.T) {
+	g := FromEdges("t", 2, [][2]int{{0, 1}, {0, 1}, {0, 0}, {1, 0}})
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2 (dedup, no self loops)", g.M())
+	}
+}
+
+func TestBFSOnGrid(t *testing.T) {
+	g := Road(10, 10, 1)
+	d := BFS(g, 0)
+	if d[0] != 0 {
+		t.Fatal("src distance != 0")
+	}
+	// Opposite corner is reachable within grid manhattan distance.
+	if d[99] == Unreached || d[99] > 18 {
+		t.Fatalf("corner distance = %d", d[99])
+	}
+	// Property: neighbor distances differ by at most 1 when both reached.
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Ngh(v) {
+			if d[v] != Unreached && d[u] != Unreached {
+				dv, du := int64(d[v]), int64(d[u])
+				if dv-du > 1 || du-dv > 1 {
+					t.Fatalf("BFS property violated: d[%d]=%d d[%d]=%d", v, dv, u, du)
+				}
+			}
+		}
+	}
+}
+
+func TestCCLabels(t *testing.T) {
+	// Two disjoint triangles.
+	g := FromEdges("t", 6, symmetrize([][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}}))
+	l := CC(g)
+	if l[0] != l[1] || l[1] != l[2] {
+		t.Fatalf("component 1 split: %v", l)
+	}
+	if l[3] != l[4] || l[4] != l[5] {
+		t.Fatalf("component 2 split: %v", l)
+	}
+	if l[0] == l[3] {
+		t.Fatalf("components merged: %v", l)
+	}
+	if l[0] != 0 || l[3] != 3 {
+		t.Fatalf("min labels: %v", l)
+	}
+}
+
+func TestRadiiReasonable(t *testing.T) {
+	g := Road(20, 20, 2)
+	r := Radii(g, 3, 64)
+	maxR := uint64(0)
+	for _, x := range r {
+		if x > maxR {
+			maxR = x
+		}
+	}
+	if maxR == 0 {
+		t.Fatal("radii all zero")
+	}
+	if maxR > uint64(g.N) {
+		t.Fatalf("radius %d out of range", maxR)
+	}
+}
+
+func TestPageRankDeltaConserves(t *testing.T) {
+	g := PowerLaw(500, 4, 3)
+	r := PageRankDelta(g, 20, 1e-9)
+	sum := 0.0
+	for _, x := range r {
+		if x < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += x
+	}
+	if sum <= 0 || sum > 1.5 {
+		t.Fatalf("rank mass = %f", sum)
+	}
+}
+
+func TestGeneratorsShape(t *testing.T) {
+	for _, in := range Inputs(1) {
+		g := in.G
+		if g.N == 0 || g.M() == 0 {
+			t.Fatalf("%s: empty graph", in.Label)
+		}
+		avg := float64(g.M()) / float64(g.N)
+		if avg < 1 || avg > 40 {
+			t.Fatalf("%s: degenerate avg degree %f", in.Label, avg)
+		}
+		// CSR invariants.
+		if int(g.Offsets[g.N]) != g.M() {
+			t.Fatalf("%s: offsets tail mismatch", in.Label)
+		}
+		for v := 0; v < g.N; v++ {
+			if g.Offsets[v] > g.Offsets[v+1] {
+				t.Fatalf("%s: offsets not monotone at %d", in.Label, v)
+			}
+		}
+		for _, u := range g.Neighbors {
+			if int(u) >= g.N {
+				t.Fatalf("%s: neighbor out of range", in.Label)
+			}
+		}
+	}
+}
+
+func TestPowerLawIsSkewed(t *testing.T) {
+	g := PowerLaw(2000, 4, 7)
+	maxDeg := 0
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(g.M()) / float64(g.N)
+	if float64(maxDeg) < 8*avg {
+		t.Fatalf("not skewed: max %d vs avg %f", maxDeg, avg)
+	}
+}
+
+func TestRoadIsLowDegreeHighDiameter(t *testing.T) {
+	g := Road(50, 50, 4)
+	maxDeg := 0
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg > 8 {
+		t.Fatalf("road max degree %d too high", maxDeg)
+	}
+	d := BFS(g, 0)
+	if d[g.N-1] < 40 {
+		t.Fatalf("diameter too small: %d", d[g.N-1])
+	}
+}
+
+func TestWriteToMemory(t *testing.T) {
+	m := mem.New()
+	g := Collaboration(200, 5)
+	l := g.WriteTo(m)
+	for v := 0; v <= g.N; v++ {
+		if m.Read64(l.OffsetsAddr+uint64(v)*8) != g.Offsets[v] {
+			t.Fatalf("offsets[%d] mismatch", v)
+		}
+	}
+	for i, u := range g.Neighbors {
+		if m.Read64(l.NeighborsAddr+uint64(i)*8) != u {
+			t.Fatalf("neighbors[%d] mismatch", i)
+		}
+	}
+}
+
+// Property: BFS from any vertex of a symmetric graph gives dist 0 only at
+// the source.
+func TestBFSSourceProperty(t *testing.T) {
+	g := Uniform(300, 3, 9)
+	f := func(srcRaw uint16) bool {
+		src := int(srcRaw) % g.N
+		d := BFS(g, src)
+		if d[src] != 0 {
+			return false
+		}
+		zero := 0
+		for _, x := range d {
+			if x == 0 {
+				zero++
+			}
+		}
+		return zero == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

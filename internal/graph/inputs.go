@@ -1,0 +1,26 @@
+package graph
+
+// Input couples a short label (matching Fig. 13's axis) with a generated
+// graph shaped like the corresponding Table V input.
+type Input struct {
+	Label string // Co, Dy, Fs, Sk, Rd
+	Full  string
+	G     *Graph
+}
+
+// Inputs generates the five Table V-shaped graphs. size scales vertex
+// counts; size=1 is the default evaluation scale used in EXPERIMENTS.md
+// (tens of thousands of edges, far larger than the scaled caches).
+func Inputs(size int) []Input {
+	if size <= 0 {
+		size = 1
+	}
+	s := size
+	return []Input{
+		{"Co", "collaboration (coAuthorsDBLP class)", Collaboration(3000*s, 11)},
+		{"Dy", "dynamic simulation (hugetrace class)", Uniform(6000*s, 3, 12)},
+		{"Fs", "circuit simulation (Freescale class)", Circuit(5000*s, 13)},
+		{"Sk", "internet topology (as-Skitter class)", PowerLaw(4000*s, 6, 14)},
+		{"Rd", "road network (USA-road class)", Road(90*s, 90*s, 15)},
+	}
+}

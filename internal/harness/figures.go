@@ -1,0 +1,389 @@
+package harness
+
+import (
+	"io"
+
+	"pipette/internal/bench"
+	"pipette/internal/cache"
+	"pipette/internal/graph"
+	"pipette/internal/sim"
+	"pipette/internal/stats"
+)
+
+// roadInput returns the road-network graph (the input Fig. 2 uses).
+func roadInput(cfg Config) *graph.Graph {
+	ins := graph.Inputs(cfg.GraphScale)
+	return ins[len(ins)-1].G // "Rd"
+}
+
+// Fig2 reproduces Fig. 2: BFS performance and IPC for serial, data-parallel
+// and Pipette on one 4-thread SMT core, plus a 4-core streaming multicore.
+func Fig2(w io.Writer, cfg Config) error {
+	e, err := Evaluate(cfg)
+	if err != nil {
+		return err
+	}
+	serial, _ := e.get("bfs", bench.VSerial, "Rd")
+	t := stats.Table{
+		Title:  "Fig. 2 — BFS on the road graph (speedup over serial, whole-run IPC)",
+		Header: []string{"variant", "cores", "cycles", "speedup", "IPC"},
+	}
+	for _, v := range variants {
+		c, ok := e.get("bfs", v, "Rd")
+		if !ok {
+			continue
+		}
+		t.AddRow(v, c.Cores, c.R.Cycles, stats.Speedup(serial.R.Cycles, c.R.Cycles), c.R.IPC())
+	}
+	_, err = io.WriteString(w, t.String())
+	return err
+}
+
+// speedupOverDP returns gmean-across-inputs speedup of variant v over the
+// data-parallel baseline for app.
+func (e *Eval) speedupOverDP(app, v string) float64 {
+	var xs []float64
+	for _, in := range e.Inputs[app] {
+		dp, _ := e.get(app, bench.VDataParallel, in)
+		c, ok := e.get(app, v, in)
+		if !ok {
+			continue
+		}
+		xs = append(xs, stats.Speedup(dp.R.Cycles, c.R.Cycles))
+	}
+	return stats.Gmean(xs)
+}
+
+// Fig9 reproduces Fig. 9: performance relative to data-parallel (gmean
+// across inputs), and performance per core.
+func Fig9(w io.Writer, cfg Config) error {
+	e, err := Evaluate(cfg)
+	if err != nil {
+		return err
+	}
+	t := stats.Table{
+		Title:  "Fig. 9 — speedup over data-parallel (gmean across inputs) | per-core",
+		Header: []string{"app", "serial", "dp", "pipette", "streaming", "stream/core"},
+	}
+	var pipAll, strAll []float64
+	for _, app := range e.Apps {
+		sp := func(v string) float64 { return e.speedupOverDP(app, v) }
+		pip, str := sp(bench.VPipette), sp(bench.VStreaming)
+		pipAll = append(pipAll, pip)
+		strAll = append(strAll, str)
+		t.AddRow(app, sp(bench.VSerial), 1.0, pip, str, str/4)
+	}
+	t.AddRow("gmean", "", "", stats.Gmean(pipAll), stats.Gmean(strAll), stats.Gmean(strAll)/4)
+	_, err = io.WriteString(w, t.String())
+	return err
+}
+
+// Fig10 reproduces Fig. 10: instructions executed relative to data-parallel
+// (lower is better) and IPC (higher is better).
+func Fig10(w io.Writer, cfg Config) error {
+	e, err := Evaluate(cfg)
+	if err != nil {
+		return err
+	}
+	t := stats.Table{
+		Title:  "Fig. 10 — instructions relative to data-parallel | IPC",
+		Header: []string{"app", "ser instr", "pip instr", "str instr", "ser IPC", "dp IPC", "pip IPC", "str IPC"},
+	}
+	for _, app := range e.Apps {
+		rel := func(v string) float64 {
+			var xs []float64
+			for _, in := range e.Inputs[app] {
+				dp, _ := e.get(app, bench.VDataParallel, in)
+				c, _ := e.get(app, v, in)
+				xs = append(xs, float64(c.R.Committed)/float64(dp.R.Committed))
+			}
+			return stats.Gmean(xs)
+		}
+		ipc := func(v string) float64 {
+			var xs []float64
+			for _, in := range e.Inputs[app] {
+				c, _ := e.get(app, v, in)
+				xs = append(xs, c.R.IPC()/float64(c.Cores))
+			}
+			return stats.Gmean(xs)
+		}
+		t.AddRow(app, rel(bench.VSerial), rel(bench.VPipette), rel(bench.VStreaming),
+			ipc(bench.VSerial), ipc(bench.VDataParallel), ipc(bench.VPipette), ipc(bench.VStreaming))
+	}
+	_, err = io.WriteString(w, t.String())
+	return err
+}
+
+// Fig11 reproduces Fig. 11: CPI stacks (fraction of core cycles spent
+// issuing, on backend stalls, on queue stalls, and on frontend/other).
+func Fig11(w io.Writer, cfg Config) error {
+	e, err := Evaluate(cfg)
+	if err != nil {
+		return err
+	}
+	t := stats.Table{
+		Title:  "Fig. 11 — CPI stacks (fraction of cycles: issue/backend/queue/front)",
+		Header: []string{"app", "variant", "issue", "backend", "queue", "front"},
+	}
+	for _, app := range e.Apps {
+		for _, v := range variants {
+			var issue, backend, queuec, front, total float64
+			for _, in := range e.Inputs[app] {
+				c, ok := e.get(app, v, in)
+				if !ok {
+					continue
+				}
+				for _, cs := range c.R.CoreStats {
+					issue += float64(cs.CPI.Issue)
+					backend += float64(cs.CPI.Backend)
+					queuec += float64(cs.CPI.Queue)
+					front += float64(cs.CPI.Front)
+					total += float64(cs.CPI.Total())
+				}
+			}
+			if total == 0 {
+				continue
+			}
+			t.AddRow(app, v, issue/total, backend/total, queuec/total, front/total)
+		}
+	}
+	_, err = io.WriteString(w, t.String())
+	return err
+}
+
+// Fig12 reproduces Fig. 12: energy relative to data-parallel, broken into
+// core-dynamic, cache, DRAM and static.
+func Fig12(w io.Writer, cfg Config) error {
+	e, err := Evaluate(cfg)
+	if err != nil {
+		return err
+	}
+	t := stats.Table{
+		Title:  "Fig. 12 — energy relative to data-parallel (core dyn | cache | DRAM | static | total)",
+		Header: []string{"app", "variant", "core", "cache", "dram", "static", "total"},
+	}
+	for _, app := range e.Apps {
+		// Normalize by dp's total energy, summed across inputs.
+		var dpTotal float64
+		for _, in := range e.Inputs[app] {
+			c, _ := e.get(app, bench.VDataParallel, in)
+			dpTotal += c.Energy.Total()
+		}
+		for _, v := range variants {
+			var core, cch, dram, static float64
+			for _, in := range e.Inputs[app] {
+				c, ok := e.get(app, v, in)
+				if !ok {
+					continue
+				}
+				core += c.Energy.CoreDyn
+				cch += c.Energy.CacheDyn
+				dram += c.Energy.DRAMDyn
+				static += c.Energy.Static
+			}
+			t.AddRow(app, v, core/dpTotal, cch/dpTotal, dram/dpTotal, static/dpTotal,
+				(core+cch+dram+static)/dpTotal)
+		}
+	}
+	_, err = io.WriteString(w, t.String())
+	return err
+}
+
+// Fig13 reproduces Fig. 13: per-input speedups over data-parallel for every
+// application.
+func Fig13(w io.Writer, cfg Config) error {
+	e, err := Evaluate(cfg)
+	if err != nil {
+		return err
+	}
+	t := stats.Table{
+		Title:  "Fig. 13 — per-input speedup over data-parallel",
+		Header: []string{"app", "input", "serial", "pipette", "streaming"},
+	}
+	for _, app := range e.Apps {
+		for _, in := range e.Inputs[app] {
+			dp, _ := e.get(app, bench.VDataParallel, in)
+			sp := func(v string) float64 {
+				c, _ := e.get(app, v, in)
+				return stats.Speedup(dp.R.Cycles, c.R.Cycles)
+			}
+			t.AddRow(app, in, sp(bench.VSerial), sp(bench.VPipette), sp(bench.VStreaming))
+		}
+	}
+	_, err = io.WriteString(w, t.String())
+	return err
+}
+
+// Fig14 reproduces Fig. 14: sensitivity to physical register file size
+// (180-308 entries); Pipette queue capacities scale proportionally.
+func Fig14(w io.Writer, cfg Config) error {
+	g := roadInput(cfg)
+	t := stats.Table{
+		Title:  "Fig. 14 — PRF sensitivity, BFS road graph (speedup over serial @212)",
+		Header: []string{"PRF", "dp", "pipette"},
+	}
+	base := func(prf int, b bench.Builder) (sim.Result, error) {
+		sc := sim.DefaultConfig()
+		sc.Core.PhysRegs = prf
+		sc.Cache = cache.DefaultConfig().Scale(cfg.CacheScale)
+		sc.WatchdogCycles = cfg.Watchdog
+		s := sim.New(sc)
+		return bench.Run(s, b)
+	}
+	ref, err := base(212, bench.BFSSerial(g, 0))
+	if err != nil {
+		return err
+	}
+	for _, prf := range []int{180, 212, 244, 276, 308} {
+		qscale := float64(prf) / 212
+		dp, err := base(prf, bench.BFSDataParallel(g, 0, 4))
+		if err != nil {
+			return err
+		}
+		pip, err := base(prf, bench.BFSPipetteScaled(g, 0, qscale))
+		if err != nil {
+			return err
+		}
+		t.AddRow(prf, stats.Speedup(ref.Cycles, dp.Cycles), stats.Speedup(ref.Cycles, pip.Cycles))
+	}
+	_, err = io.WriteString(w, t.String())
+	return err
+}
+
+// Fig15 reproduces Fig. 15: effect of the number of stages (2/3/4) and of
+// RAs on BFS decoupling.
+func Fig15(w io.Writer, cfg Config) error {
+	g := roadInput(cfg)
+	run := func(b bench.Builder) (sim.Result, error) {
+		s := cfg.newSystem(1)
+		return bench.Run(s, b)
+	}
+	serial, err := run(bench.BFSSerial(g, 0))
+	if err != nil {
+		return err
+	}
+	t := stats.Table{
+		Title:  "Fig. 15 — BFS stage-count and RA sensitivity (speedup over serial)",
+		Header: []string{"config", "cycles", "speedup"},
+	}
+	cases := []struct {
+		name   string
+		stages int
+		ra     bool
+	}{
+		{"2t", 2, false}, {"3t", 3, false}, {"4t", 4, false},
+		{"2t+RA", 2, true}, {"4t+RA", 4, true},
+	}
+	for _, c := range cases {
+		r, err := run(bench.BFSPipette(g, 0, c.stages, c.ra))
+		if err != nil {
+			return err
+		}
+		t.AddRow(c.name, r.Cycles, stats.Speedup(serial.Cycles, r.Cycles))
+	}
+	_, err = io.WriteString(w, t.String())
+	return err
+}
+
+// Fig16 reproduces Fig. 16: Pipette performance without and with reference
+// accelerators (gmean across inputs, normalized to no-RA).
+func Fig16(w io.Writer, cfg Config) error {
+	e, err := Evaluate(cfg)
+	if err != nil {
+		return err
+	}
+	t := stats.Table{
+		Title:  "Fig. 16 — RA speedup (pipette vs pipette without RAs)",
+		Header: []string{"app", "speedup from RAs"},
+	}
+	var all []float64
+	for _, app := range e.Apps {
+		var xs []float64
+		for _, in := range e.Inputs[app] {
+			nora, _ := e.get(app, bench.VPipetteNoRA, in)
+			ra, _ := e.get(app, bench.VPipette, in)
+			xs = append(xs, stats.Speedup(nora.R.Cycles, ra.R.Cycles))
+		}
+		gm := stats.Gmean(xs)
+		all = append(all, gm)
+		t.AddRow(app, gm)
+	}
+	t.AddRow("gmean", stats.Gmean(all))
+	_, err = io.WriteString(w, t.String())
+	return err
+}
+
+// Fig17 reproduces Fig. 17: multicore BFS — serial, 4-core data-parallel
+// (16 threads), streaming, and the replicated-stage Pipette multicore with
+// cross-core neighbor routing — across all five graphs, plus a 16-core
+// scaling point on the road graph.
+func Fig17(w io.Writer, cfg Config) error {
+	run := func(cores int, prf, nq int, b bench.Builder) (sim.Result, error) {
+		sc := sim.DefaultConfig()
+		sc.Cores = cores
+		if prf > 0 {
+			sc.Core.PhysRegs = prf
+		}
+		if nq > 0 {
+			sc.Core.NumQueues = nq
+		}
+		sc.Cache = cache.DefaultConfig().Scale(cfg.CacheScale)
+		sc.WatchdogCycles = cfg.Watchdog
+		s := sim.New(sc)
+		return bench.Run(s, b)
+	}
+	t := stats.Table{
+		Title:  "Fig. 17 — multicore BFS (speedup over 1-core serial)",
+		Header: []string{"graph", "dp 4c/16t", "streaming 4c", "pipette-mc 4c/12t"},
+	}
+	var dps, strs, mcs []float64
+	for _, in := range graph.Inputs(cfg.GraphScale) {
+		g := in.G
+		serial, err := run(1, 0, 0, bench.BFSSerial(g, 0))
+		if err != nil {
+			return err
+		}
+		dp, err := run(4, 0, 0, bench.BFSDataParallel(g, 0, 16))
+		if err != nil {
+			return err
+		}
+		str, err := run(4, 0, 0, bench.BFSStreaming(g, 0))
+		if err != nil {
+			return err
+		}
+		mc, err := run(4, 0, 0, bench.BFSMulticore(g, 0, 4))
+		if err != nil {
+			return err
+		}
+		sp := func(r sim.Result) float64 { return stats.Speedup(serial.Cycles, r.Cycles) }
+		dps, strs, mcs = append(dps, sp(dp)), append(strs, sp(str)), append(mcs, sp(mc))
+		t.AddRow(in.Label, sp(dp), sp(str), sp(mc))
+	}
+	t.AddRow("gmean", stats.Gmean(dps), stats.Gmean(strs), stats.Gmean(mcs))
+	if _, err := io.WriteString(w, t.String()); err != nil {
+		return err
+	}
+	// 16-core scaling on the road graph (2C cross-core queues per core need
+	// a larger queue file and PRF; DESIGN.md).
+	g := roadInput(cfg)
+	serial, err := run(1, 0, 0, bench.BFSSerial(g, 0))
+	if err != nil {
+		return err
+	}
+	t2 := stats.Table{
+		Title:  "Fig. 17 (cont.) — 16-core scaling, road graph",
+		Header: []string{"config", "cores", "threads", "speedup"},
+	}
+	if dp16, err := run(16, 0, 0, bench.BFSDataParallel(g, 0, 64)); err == nil {
+		t2.AddRow("data-parallel-16c", 16, 64, stats.Speedup(serial.Cycles, dp16.Cycles))
+	} else {
+		return err
+	}
+	if mc16, err := run(16, 280, 36, bench.BFSMulticore(g, 0, 16)); err == nil {
+		t2.AddRow("pipette-multicore-16c", 16, 48, stats.Speedup(serial.Cycles, mc16.Cycles))
+	} else {
+		return err
+	}
+	_, err = io.WriteString(w, t2.String())
+	return err
+}

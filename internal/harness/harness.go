@@ -1,0 +1,309 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (Sec. VI). Experiments run on scaled-down synthetic inputs with
+// proportionally scaled caches (see DESIGN.md §1); EXPERIMENTS.md records
+// paper-vs-measured numbers for each.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"pipette/internal/bench"
+	"pipette/internal/cache"
+	"pipette/internal/energy"
+	"pipette/internal/graph"
+	"pipette/internal/sim"
+	"pipette/internal/sparse"
+)
+
+// Config scopes experiment sizes.
+type Config struct {
+	GraphScale  int // scales Table V-shaped inputs
+	MatrixScale int // scales Table VI-shaped inputs
+	CacheScale  int // divides cache capacities to preserve the paper's regime
+	PRDIters    int
+	SiloKeys    int
+	SiloQueries int
+	Watchdog    uint64
+	AppFilter   string // comma-separated app subset ("" = all six)
+}
+
+// Default is the evaluation-scale configuration used for EXPERIMENTS.md.
+func Default() Config {
+	return Config{
+		GraphScale:  1,
+		MatrixScale: 1,
+		CacheScale:  8,
+		PRDIters:    4,
+		SiloKeys:    20000,
+		SiloQueries: 600,
+		Watchdog:    5_000_000,
+	}
+}
+
+// Tiny returns a fast configuration for tests.
+func Tiny() Config {
+	c := Default()
+	c.GraphScale = 1 // generators already produce small graphs; tests subset apps
+	c.SiloKeys = 800
+	c.SiloQueries = 120
+	return c
+}
+
+// Variant names, in report order.
+var variants = []string{
+	bench.VSerial, bench.VDataParallel, bench.VPipette, bench.VPipetteNoRA, bench.VStreaming,
+}
+
+// Key identifies one run of the evaluation matrix.
+type Key struct {
+	App, Variant, Input string
+}
+
+// Cell is one completed run.
+type Cell struct {
+	R      sim.Result
+	Energy energy.Breakdown
+	Cores  int
+}
+
+// Eval is the evaluation matrix shared by Figs. 9-13 and 16.
+type Eval struct {
+	Cfg    Config
+	Cells  map[Key]Cell
+	Apps   []string
+	Inputs map[string][]string // app -> input labels
+}
+
+func (e *Eval) get(app, variant, input string) (Cell, bool) {
+	c, ok := e.Cells[Key{app, variant, input}]
+	return c, ok
+}
+
+// appRun describes how to build one (variant, input) run.
+type appRun struct {
+	input string
+	build func(variant string) (bench.Builder, int) // returns builder + cores
+}
+
+func (cfg Config) newSystem(cores int) *sim.System {
+	sc := sim.DefaultConfig()
+	sc.Cores = cores
+	sc.Cache = cache.DefaultConfig().Scale(cfg.CacheScale)
+	sc.WatchdogCycles = cfg.Watchdog
+	return sim.New(sc)
+}
+
+// runOne executes a single run and charges energy.
+func (cfg Config) runOne(b bench.Builder, cores int) (Cell, error) {
+	s := cfg.newSystem(cores)
+	r, err := bench.Run(s, b)
+	if err != nil {
+		return Cell{}, err
+	}
+	return Cell{
+		R:      r,
+		Energy: energy.Compute(energy.DefaultParams(), r.CoreStats, r.CacheStats, r.Cycles),
+		Cores:  cores,
+	}, nil
+}
+
+// graphApps builds the per-app run lists for the four graph kernels.
+func (cfg Config) graphApps() map[string][]appRun {
+	apps := map[string][]appRun{}
+	for _, in := range graph.Inputs(cfg.GraphScale) {
+		g := in.G
+		label := in.Label
+		apps["bfs"] = append(apps["bfs"], appRun{label, func(v string) (bench.Builder, int) {
+			switch v {
+			case bench.VSerial:
+				return bench.BFSSerial(g, 0), 1
+			case bench.VDataParallel:
+				return bench.BFSDataParallel(g, 0, 4), 1
+			case bench.VPipette:
+				return bench.BFSPipette(g, 0, 4, true), 1
+			case bench.VPipetteNoRA:
+				return bench.BFSPipette(g, 0, 4, false), 1
+			default:
+				return bench.BFSStreaming(g, 0), 4
+			}
+		}})
+		apps["cc"] = append(apps["cc"], appRun{label, func(v string) (bench.Builder, int) {
+			switch v {
+			case bench.VSerial:
+				return bench.CCSerial(g), 1
+			case bench.VDataParallel:
+				return bench.CCDataParallel(g, 4), 1
+			case bench.VPipette:
+				return bench.CCPipette(g, true), 1
+			case bench.VPipetteNoRA:
+				return bench.CCPipette(g, false), 1
+			default:
+				return bench.CCStreaming(g), 4
+			}
+		}})
+		apps["prd"] = append(apps["prd"], appRun{label, func(v string) (bench.Builder, int) {
+			it := cfg.PRDIters
+			switch v {
+			case bench.VSerial:
+				return bench.PRDSerial(g, it), 1
+			case bench.VDataParallel:
+				return bench.PRDDataParallel(g, it, 4), 1
+			case bench.VPipette:
+				return bench.PRDPipette(g, it, true), 1
+			case bench.VPipetteNoRA:
+				return bench.PRDPipette(g, it, false), 1
+			default:
+				return bench.PRDStreaming(g, it), 4
+			}
+		}})
+		apps["radii"] = append(apps["radii"], appRun{label, func(v string) (bench.Builder, int) {
+			switch v {
+			case bench.VSerial:
+				return bench.RadiiSerial(g), 1
+			case bench.VDataParallel:
+				return bench.RadiiDataParallel(g, 4), 1
+			case bench.VPipette:
+				return bench.RadiiPipette(g, true), 1
+			case bench.VPipetteNoRA:
+				return bench.RadiiPipette(g, false), 1
+			default:
+				return bench.RadiiStreaming(g), 4
+			}
+		}})
+	}
+	return apps
+}
+
+func (cfg Config) spmmApp() []appRun {
+	var runs []appRun
+	for _, in := range sparse.Inputs(cfg.MatrixScale) {
+		m := in.M
+		runs = append(runs, appRun{in.Label, func(v string) (bench.Builder, int) {
+			switch v {
+			case bench.VSerial:
+				return bench.SpMMSerial(m, m), 1
+			case bench.VDataParallel:
+				return bench.SpMMDataParallel(m, m, 4), 1
+			case bench.VPipette:
+				return bench.SpMMPipette(m, m, true), 1
+			case bench.VPipetteNoRA:
+				return bench.SpMMPipette(m, m, false), 1
+			default:
+				return bench.SpMMStreaming(m, m), 4
+			}
+		}})
+	}
+	return runs
+}
+
+func (cfg Config) siloApp() []appRun {
+	k, q := cfg.SiloKeys, cfg.SiloQueries
+	return []appRun{{"ycsbc", func(v string) (bench.Builder, int) {
+		switch v {
+		case bench.VSerial:
+			return bench.SiloSerial(k, q), 1
+		case bench.VDataParallel:
+			return bench.SiloDataParallel(k, q, 4), 1
+		case bench.VPipette:
+			return bench.SiloPipette(k, q, true), 1
+		case bench.VPipetteNoRA:
+			return bench.SiloPipette(k, q, false), 1
+		default:
+			return bench.SiloStreaming(k, q), 4
+		}
+	}}}
+}
+
+func (cfg Config) allApps() (map[string][]appRun, []string) {
+	apps := cfg.graphApps()
+	apps["spmm"] = cfg.spmmApp()
+	apps["silo"] = cfg.siloApp()
+	order := []string{"bfs", "cc", "prd", "radii", "spmm", "silo"}
+	if cfg.AppFilter != "" {
+		keep := map[string]bool{}
+		for _, a := range strings.Split(cfg.AppFilter, ",") {
+			keep[strings.TrimSpace(a)] = true
+		}
+		var filtered []string
+		for _, a := range order {
+			if keep[a] {
+				filtered = append(filtered, a)
+			}
+		}
+		order = filtered
+	}
+	return apps, order
+}
+
+var (
+	evalMu    sync.Mutex
+	evalCache = map[Config]*Eval{}
+)
+
+// Evaluate runs (or returns the cached) full evaluation matrix.
+func Evaluate(cfg Config) (*Eval, error) {
+	evalMu.Lock()
+	defer evalMu.Unlock()
+	if e, ok := evalCache[cfg]; ok {
+		return e, nil
+	}
+	apps, order := cfg.allApps()
+	e := &Eval{Cfg: cfg, Cells: map[Key]Cell{}, Apps: order, Inputs: map[string][]string{}}
+	for _, app := range order {
+		for _, run := range apps[app] {
+			e.Inputs[app] = append(e.Inputs[app], run.input)
+			for _, v := range variants {
+				b, cores := run.build(v)
+				cell, err := cfg.runOne(b, cores)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/%s: %w", app, v, run.input, err)
+				}
+				e.Cells[Key{app, v, run.input}] = cell
+			}
+		}
+	}
+	evalCache[cfg] = e
+	return e, nil
+}
+
+// experiments maps experiment names to runners.
+var experiments = map[string]func(io.Writer, Config) error{
+	"fig2":   Fig2,
+	"fig9":   Fig9,
+	"fig10":  Fig10,
+	"fig11":  Fig11,
+	"fig12":  Fig12,
+	"fig13":  Fig13,
+	"fig14":  Fig14,
+	"fig15":  Fig15,
+	"fig16":  Fig16,
+	"fig17":  Fig17,
+	"table2": Table2,
+	"table3": Table3,
+	"table4": Table4,
+	"table5": Table5,
+	"table6": Table6,
+}
+
+// Names lists all experiment names in order.
+func Names() []string {
+	var ns []string
+	for n := range experiments {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// Run executes the named experiment, writing its report to w.
+func Run(name string, w io.Writer, cfg Config) error {
+	f, ok := experiments[name]
+	if !ok {
+		return fmt.Errorf("harness: unknown experiment %q (have %v)", name, Names())
+	}
+	return f(w, cfg)
+}

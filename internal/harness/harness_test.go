@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinySilo() Config {
+	c := Tiny()
+	c.AppFilter = "silo"
+	return c
+}
+
+func TestTables(t *testing.T) {
+	for _, name := range []string{"table2", "table3", "table4", "table5", "table6"} {
+		var sb strings.Builder
+		if err := Run(name, &sb, Default()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(sb.String(), "==") {
+			t.Fatalf("%s produced no table:\n%s", name, sb.String())
+		}
+	}
+}
+
+func TestTable3MatchesPaper(t *testing.T) {
+	var sb strings.Builder
+	if err := Table3(&sb, Default()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"1844", "2356", "295"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("Table III missing %s:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestEvaluateSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	e, err := Evaluate(tinySilo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Apps) != 1 || e.Apps[0] != "silo" {
+		t.Fatalf("apps = %v", e.Apps)
+	}
+	for _, v := range variants {
+		c, ok := e.get("silo", v, "ycsbc")
+		if !ok {
+			t.Fatalf("missing silo/%s", v)
+		}
+		if c.R.Cycles == 0 || c.R.Committed == 0 {
+			t.Fatalf("silo/%s: empty result", v)
+		}
+	}
+	// Cached: second call must return the identical object.
+	e2, err := Evaluate(tinySilo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 != e {
+		t.Fatal("evaluation matrix not cached")
+	}
+}
+
+func TestFigReportsOnSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := tinySilo()
+	for _, name := range []string{"fig9", "fig10", "fig11", "fig12", "fig13", "fig16"} {
+		var sb strings.Builder
+		if err := Run(name, &sb, cfg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(sb.String(), "silo") {
+			t.Fatalf("%s missing silo row:\n%s", name, sb.String())
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := Run("fig99", nil, Default()); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestNamesComplete(t *testing.T) {
+	ns := Names()
+	if len(ns) != 15 {
+		t.Fatalf("have %d experiments: %v", len(ns), ns)
+	}
+}

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"pipette/internal/graph"
+	"pipette/internal/queue"
+	"pipette/internal/sim"
+	"pipette/internal/sparse"
+	"pipette/internal/stats"
+)
+
+// Table2 prints the Pipette instruction set (Table II).
+func Table2(w io.Writer, _ Config) error {
+	t := stats.Table{
+		Title:  "Table II — the Pipette ISA",
+		Header: []string{"operation", "form", "semantics"},
+	}
+	t.AddRow("enqueue", "write to an input-mapped register", "implicit enqueue of the written value")
+	t.AddRow("dequeue", "read of an output-mapped register", "implicit dequeue; blocks on empty; control values trap to the dequeue handler")
+	t.AddRow("peek", "peek rd, q", "read the head of q without dequeuing")
+	t.AddRow("enq_ctrl", "enqc q, rs", "enqueue rs with the control bit set")
+	t.AddRow("skip_to_ctrl", "skipc rd, q", "discard data until the next control value; blocks and arms the producer's enqueue handler if none")
+	t.AddRow("qpoll", "qpoll rd, q", "non-blocking occupancy check (extension; see DESIGN.md §4.6)")
+	t.AddRow("map/unmap", "privileged", "bind an architectural register to a queue endpoint")
+	t.AddRow("set handlers", "privileged", "register per-thread enqueue/dequeue control handler PCs")
+	_, err := io.WriteString(w, t.String())
+	return err
+}
+
+// Table3 prints the storage-cost model (Table III), which matches the
+// paper's 1844-bit QRM / 2356-bit total exactly.
+func Table3(w io.Writer, _ Config) error {
+	c := queue.ComputeCost(queue.DefaultCostConfig())
+	t := stats.Table{
+		Title:  "Table III — Pipette storage costs",
+		Header: []string{"structure", "bits"},
+	}
+	t.AddRow("QRM entries (148 x (8b phys idx + ctrl bit))", c.QRMEntryBits)
+	t.AddRow("QRM pointers (16 queues x 4 x 8b)", c.QRMPointerBits)
+	t.AddRow("QRM total", c.QRMBits())
+	t.AddRow("handler PCs (4 threads x 2 x 64b)", c.HandlerPCBits)
+	t.AddRow("total", c.TotalBits())
+	t.AddRow("total bytes", c.TotalBytes())
+	_, err := io.WriteString(w, t.String())
+	return err
+}
+
+// Table4 prints the simulated system configuration (Table IV).
+func Table4(w io.Writer, cfg Config) error {
+	sc := sim.DefaultConfig()
+	cc := sc.Core
+	hc := sc.Cache.Scale(cfg.CacheScale)
+	t := stats.Table{
+		Title:  "Table IV — simulated system",
+		Header: []string{"parameter", "value"},
+	}
+	t.AddRow("threads/core", cc.Threads)
+	t.AddRow("issue width", cc.IssueWidth)
+	t.AddRow("ROB (per thread)", cc.ROBPerThread)
+	t.AddRow("issue queue", cc.IQSize)
+	t.AddRow("LQ/SQ per thread", fmt.Sprintf("%d/%d", cc.LQPerThread, cc.SQPerThread))
+	t.AddRow("physical registers", cc.PhysRegs)
+	t.AddRow("queues x default cap", fmt.Sprintf("%d x %d", cc.NumQueues, cc.DefaultQueueCap))
+	t.AddRow("mispredict penalty", cc.MispredictPenalty)
+	t.AddRow("CV trap penalty", cc.TrapPenalty)
+	t.AddRow("L1D", fmt.Sprintf("%d sets x %d ways x %dB, %d cyc", hc.L1Sets, hc.L1Ways, hc.LineBytes, hc.L1Lat))
+	t.AddRow("L2", fmt.Sprintf("%d sets x %d ways, %d cyc", hc.L2Sets, hc.L2Ways, hc.L2Lat))
+	t.AddRow("L3 (shared)", fmt.Sprintf("%d sets x %d ways, %d cyc", hc.L3Sets, hc.L3Ways, hc.L3Lat))
+	t.AddRow("DRAM", fmt.Sprintf("%d cyc + %d cyc/line", hc.DRAMLat, hc.DRAMCyclesPerLine))
+	t.AddRow("MSHRs/core", hc.MSHRs)
+	t.AddRow("NoC hop", sc.NoCLatency)
+	t.AddRow("cache scale (vs Table IV)", fmt.Sprintf("1/%d (inputs scaled to match; DESIGN.md §1)", cfg.CacheScale))
+	_, err := io.WriteString(w, t.String())
+	return err
+}
+
+// Table5 lists the generated graph inputs (Table V shapes).
+func Table5(w io.Writer, cfg Config) error {
+	t := stats.Table{
+		Title:  "Table V — input graphs (synthetic, Table V-shaped)",
+		Header: []string{"label", "class", "vertices", "edges", "avg degree"},
+	}
+	for _, in := range graph.Inputs(cfg.GraphScale) {
+		t.AddRow(in.Label, in.Full, in.G.N, in.G.M(), float64(in.G.M())/float64(in.G.N))
+	}
+	_, err := io.WriteString(w, t.String())
+	return err
+}
+
+// Table6 lists the generated sparse-matrix inputs (Table VI shapes).
+func Table6(w io.Writer, cfg Config) error {
+	t := stats.Table{
+		Title:  "Table VI — input matrices (synthetic, Table VI-shaped)",
+		Header: []string{"label", "class", "n", "nnz", "avg nnz/row"},
+	}
+	for _, in := range sparse.Inputs(cfg.MatrixScale) {
+		t.AddRow(in.Label, in.M.Name, in.M.N, in.M.NNZ(), in.M.AvgNNZPerRow())
+	}
+	_, err := io.WriteString(w, t.String())
+	return err
+}

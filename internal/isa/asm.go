@@ -1,0 +1,318 @@
+package isa
+
+import "fmt"
+
+// Assembler builds a Program instruction by instruction. Branch targets are
+// symbolic labels resolved by Link. Methods panic on misuse (unknown label at
+// link time, double label definition): programs are built by trusted
+// benchmark code, and failing fast during construction beats propagating
+// errors through every emit call.
+type Assembler struct {
+	name     string
+	code     []Inst
+	labels   map[string]int
+	bindings []QueueBinding
+	initRegs map[Reg]uint64
+	deqH     string // label of dequeue control handler
+	enqH     string
+}
+
+// NewAssembler returns an empty assembler for a program with the given name.
+func NewAssembler(name string) *Assembler {
+	return &Assembler{
+		name:     name,
+		labels:   map[string]int{},
+		initRegs: map[Reg]uint64{},
+	}
+}
+
+// Label defines a label at the current position.
+func (a *Assembler) Label(l string) {
+	if _, dup := a.labels[l]; dup {
+		panic(fmt.Sprintf("asm %s: duplicate label %q", a.name, l))
+	}
+	a.labels[l] = len(a.code)
+}
+
+// MapQ binds an architectural register to a queue endpoint (the privileged
+// map operation of Sec. III-C, performed before the thread runs).
+func (a *Assembler) MapQ(r Reg, q uint8, dir QueueDir) {
+	a.bindings = append(a.bindings, QueueBinding{Reg: r, Q: q, Dir: dir})
+}
+
+// SetReg seeds an architectural register's initial value.
+func (a *Assembler) SetReg(r Reg, v uint64) { a.initRegs[r] = v }
+
+// OnDeqCV registers the dequeue control handler entry label.
+func (a *Assembler) OnDeqCV(label string) { a.deqH = label }
+
+// OnEnqCV registers the enqueue control handler entry label.
+func (a *Assembler) OnEnqCV(label string) { a.enqH = label }
+
+func (a *Assembler) emit(i Inst) { a.code = append(a.code, i) }
+
+// --- integer ALU ---
+
+func (a *Assembler) op3(op Op, rd, ra, rb Reg) { a.emit(Inst{Op: op, Rd: rd, Ra: ra, Rb: rb}) }
+func (a *Assembler) opImm(op Op, rd, ra Reg, imm int64) {
+	a.emit(Inst{Op: op, Rd: rd, Ra: ra, Imm: imm, UseImm: true})
+}
+
+// Add emits rd = ra + rb.
+func (a *Assembler) Add(rd, ra, rb Reg) { a.op3(OpAdd, rd, ra, rb) }
+
+// AddI emits rd = ra + imm.
+func (a *Assembler) AddI(rd, ra Reg, imm int64) { a.opImm(OpAdd, rd, ra, imm) }
+
+// Sub emits rd = ra - rb.
+func (a *Assembler) Sub(rd, ra, rb Reg) { a.op3(OpSub, rd, ra, rb) }
+
+// SubI emits rd = ra - imm.
+func (a *Assembler) SubI(rd, ra Reg, imm int64) { a.opImm(OpSub, rd, ra, imm) }
+
+// And emits rd = ra & rb.
+func (a *Assembler) And(rd, ra, rb Reg) { a.op3(OpAnd, rd, ra, rb) }
+
+// AndI emits rd = ra & imm.
+func (a *Assembler) AndI(rd, ra Reg, imm int64) { a.opImm(OpAnd, rd, ra, imm) }
+
+// Or emits rd = ra | rb.
+func (a *Assembler) Or(rd, ra, rb Reg) { a.op3(OpOr, rd, ra, rb) }
+
+// OrI emits rd = ra | imm.
+func (a *Assembler) OrI(rd, ra Reg, imm int64) { a.opImm(OpOr, rd, ra, imm) }
+
+// Xor emits rd = ra ^ rb.
+func (a *Assembler) Xor(rd, ra, rb Reg) { a.op3(OpXor, rd, ra, rb) }
+
+// ShlI emits rd = ra << imm.
+func (a *Assembler) ShlI(rd, ra Reg, imm int64) { a.opImm(OpShl, rd, ra, imm) }
+
+// ShrI emits rd = ra >> imm (logical).
+func (a *Assembler) ShrI(rd, ra Reg, imm int64) { a.opImm(OpShr, rd, ra, imm) }
+
+// Mul emits rd = ra * rb.
+func (a *Assembler) Mul(rd, ra, rb Reg) { a.op3(OpMul, rd, ra, rb) }
+
+// MulI emits rd = ra * imm.
+func (a *Assembler) MulI(rd, ra Reg, imm int64) { a.opImm(OpMul, rd, ra, imm) }
+
+// Div emits rd = ra / rb (unsigned; /0 yields all-ones).
+func (a *Assembler) Div(rd, ra, rb Reg) { a.op3(OpDiv, rd, ra, rb) }
+
+// Sltu emits rd = 1 if ra < rb (unsigned) else 0.
+func (a *Assembler) Sltu(rd, ra, rb Reg) { a.op3(OpSltu, rd, ra, rb) }
+
+// Min emits rd = min(ra, rb) (unsigned).
+func (a *Assembler) Min(rd, ra, rb Reg) { a.op3(OpMin, rd, ra, rb) }
+
+// Max emits rd = max(ra, rb) (unsigned).
+func (a *Assembler) Max(rd, ra, rb Reg) { a.op3(OpMax, rd, ra, rb) }
+
+// Mov copies ra into rd (an add with zero). Writing to a queue-mapped rd
+// makes this the canonical "enqueue a copy" instruction.
+func (a *Assembler) Mov(rd, ra Reg) { a.opImm(OpAdd, rd, ra, 0) }
+
+// MovI loads a 64-bit immediate into rd.
+func (a *Assembler) MovI(rd Reg, imm int64) { a.opImm(OpAdd, rd, R0, imm) }
+
+// MovU loads a 64-bit unsigned immediate (e.g. an address or float bits).
+func (a *Assembler) MovU(rd Reg, imm uint64) { a.opImm(OpAdd, rd, R0, int64(imm)) }
+
+// --- floating point ---
+
+// FAdd emits rd = f(ra) + f(rb).
+func (a *Assembler) FAdd(rd, ra, rb Reg) { a.op3(OpFAdd, rd, ra, rb) }
+
+// FSub emits rd = f(ra) - f(rb).
+func (a *Assembler) FSub(rd, ra, rb Reg) { a.op3(OpFSub, rd, ra, rb) }
+
+// FMul emits rd = f(ra) * f(rb).
+func (a *Assembler) FMul(rd, ra, rb Reg) { a.op3(OpFMul, rd, ra, rb) }
+
+// FDiv emits rd = f(ra) / f(rb).
+func (a *Assembler) FDiv(rd, ra, rb Reg) { a.op3(OpFDiv, rd, ra, rb) }
+
+// FLt emits rd = 1 if f(ra) < f(rb) else 0.
+func (a *Assembler) FLt(rd, ra, rb Reg) { a.op3(OpFLt, rd, ra, rb) }
+
+// FAbs emits rd = |f(ra)|.
+func (a *Assembler) FAbs(rd, ra Reg) { a.emit(Inst{Op: OpFAbs, Rd: rd, Ra: ra}) }
+
+// IToF emits rd = float64(int64(ra)).
+func (a *Assembler) IToF(rd, ra Reg) { a.emit(Inst{Op: OpIToF, Rd: rd, Ra: ra}) }
+
+// --- memory ---
+
+// Ld8 emits rd = mem64[ra+off].
+func (a *Assembler) Ld8(rd, ra Reg, off int64) { a.emit(Inst{Op: OpLd8, Rd: rd, Ra: ra, Imm: off}) }
+
+// Ld4 emits rd = zext(mem32[ra+off]).
+func (a *Assembler) Ld4(rd, ra Reg, off int64) { a.emit(Inst{Op: OpLd4, Rd: rd, Ra: ra, Imm: off}) }
+
+// St8 emits mem64[ra+off] = rb.
+func (a *Assembler) St8(ra Reg, off int64, rb Reg) {
+	a.emit(Inst{Op: OpSt8, Ra: ra, Imm: off, Rb: rb})
+}
+
+// St4 emits mem32[ra+off] = rb.
+func (a *Assembler) St4(ra Reg, off int64, rb Reg) {
+	a.emit(Inst{Op: OpSt4, Ra: ra, Imm: off, Rb: rb})
+}
+
+// Cas compares mem[ra] with expected rb; if equal stores rc. rd gets old value.
+func (a *Assembler) Cas(rd, ra, rb, rc Reg) { a.emit(Inst{Op: OpCas, Rd: rd, Ra: ra, Rb: rb, Rc: rc}) }
+
+// FetchAdd emits an atomic rd = mem[ra]; mem[ra] += rb.
+func (a *Assembler) FetchAdd(rd, ra, rb Reg) {
+	a.emit(Inst{Op: OpFetchAdd, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// FetchMin emits an atomic rd = mem[ra]; mem[ra] = min(mem[ra], rb) (unsigned).
+func (a *Assembler) FetchMin(rd, ra, rb Reg) {
+	a.emit(Inst{Op: OpFetchMin, Rd: rd, Ra: ra, Rb: rb})
+}
+
+// FetchOr emits an atomic rd = mem[ra]; mem[ra] |= rb.
+func (a *Assembler) FetchOr(rd, ra, rb Reg) { a.emit(Inst{Op: OpFetchOr, Rd: rd, Ra: ra, Rb: rb}) }
+
+// --- control flow ---
+
+func (a *Assembler) br(op Op, ra, rb Reg, label string) {
+	a.emit(Inst{Op: op, Ra: ra, Rb: rb, Label: label})
+}
+func (a *Assembler) brI(op Op, ra Reg, imm int64, label string) {
+	a.emit(Inst{Op: op, Ra: ra, Imm: imm, UseImm: true, Label: label})
+}
+
+// Beq branches to l when ra == rb.
+func (a *Assembler) Beq(ra, rb Reg, l string) { a.br(OpBeq, ra, rb, l) }
+
+// BeqI branches to l when ra == imm.
+func (a *Assembler) BeqI(ra Reg, imm int64, l string) { a.brI(OpBeq, ra, imm, l) }
+
+// Bne branches to l when ra != rb.
+func (a *Assembler) Bne(ra, rb Reg, l string) { a.br(OpBne, ra, rb, l) }
+
+// BneI branches to l when ra != imm.
+func (a *Assembler) BneI(ra Reg, imm int64, l string) { a.brI(OpBne, ra, imm, l) }
+
+// Blt branches to l when ra < rb (signed).
+func (a *Assembler) Blt(ra, rb Reg, l string) { a.br(OpBlt, ra, rb, l) }
+
+// Bge branches to l when ra >= rb (signed).
+func (a *Assembler) Bge(ra, rb Reg, l string) { a.br(OpBge, ra, rb, l) }
+
+// Bltu branches to l when ra < rb (unsigned).
+func (a *Assembler) Bltu(ra, rb Reg, l string) { a.br(OpBltu, ra, rb, l) }
+
+// BltuI branches to l when ra < imm (unsigned).
+func (a *Assembler) BltuI(ra Reg, imm int64, l string) { a.brI(OpBltu, ra, imm, l) }
+
+// Bgeu branches to l when ra >= rb (unsigned).
+func (a *Assembler) Bgeu(ra, rb Reg, l string) { a.br(OpBgeu, ra, rb, l) }
+
+// Jmp branches unconditionally to l.
+func (a *Assembler) Jmp(l string) { a.emit(Inst{Op: OpJmp, Label: l}) }
+
+// Jr jumps to the instruction index held in ra.
+func (a *Assembler) Jr(ra Reg) { a.emit(Inst{Op: OpJr, Ra: ra}) }
+
+// LabelAddr emits a MovI of a label's instruction index into rd, for storing
+// return PCs used by Jr. The value is patched at link time.
+func (a *Assembler) LabelAddr(rd Reg, label string) {
+	a.emit(Inst{Op: OpAdd, Rd: rd, Ra: R0, UseImm: true, Label: "&" + label})
+}
+
+// --- Pipette ---
+
+// Peek emits rd = head of queue q without dequeuing (Table II).
+func (a *Assembler) Peek(rd Reg, q uint8) { a.emit(Inst{Op: OpPeek, Rd: rd, Q: q}) }
+
+// EnqC enqueues ra into q with the control bit set (enq_ctrl, Table II).
+func (a *Assembler) EnqC(q uint8, ra Reg) { a.emit(Inst{Op: OpEnqC, Q: q, Ra: ra}) }
+
+// EnqCI enqueues the immediate into q with the control bit set.
+func (a *Assembler) EnqCI(q uint8, imm int64) {
+	// enqc with an immediate control value: materialize via the zero reg.
+	a.emit(Inst{Op: OpEnqC, Q: q, Ra: R0, Imm: imm, UseImm: true})
+}
+
+// SkipC emits skip_to_ctrl: rd = next control value of q, discarding earlier data.
+func (a *Assembler) SkipC(rd Reg, q uint8) { a.emit(Inst{Op: OpSkipC, Rd: rd, Q: q}) }
+
+// QPoll emits rd = current occupancy of q (non-blocking; DESIGN.md extension).
+func (a *Assembler) QPoll(rd Reg, q uint8) { a.emit(Inst{Op: OpQPoll, Rd: rd, Q: q}) }
+
+// Nop emits a no-op.
+func (a *Assembler) Nop() { a.emit(Inst{Op: OpNop}) }
+
+// Halt marks the thread finished.
+func (a *Assembler) Halt() { a.emit(Inst{Op: OpHalt}) }
+
+// Link resolves labels and returns the finished program.
+func (a *Assembler) Link() (*Program, error) {
+	p := &Program{
+		Name:       a.name,
+		Code:       append([]Inst(nil), a.code...),
+		DeqHandler: -1,
+		EnqHandler: -1,
+		Bindings:   append([]QueueBinding(nil), a.bindings...),
+		InitRegs:   a.initRegs,
+	}
+	resolve := func(l string) (int, error) {
+		pc, ok := a.labels[l]
+		if !ok {
+			return 0, fmt.Errorf("asm %s: unknown label %q", a.name, l)
+		}
+		return pc, nil
+	}
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		if in.Label == "" {
+			continue
+		}
+		if in.Label[0] == '&' { // LabelAddr immediate
+			t, err := resolve(in.Label[1:])
+			if err != nil {
+				return nil, err
+			}
+			in.Imm = int64(t)
+			in.Label = ""
+			continue
+		}
+		t, err := resolve(in.Label)
+		if err != nil {
+			return nil, err
+		}
+		in.Target = t
+		in.Label = ""
+	}
+	if a.deqH != "" {
+		t, err := resolve(a.deqH)
+		if err != nil {
+			return nil, err
+		}
+		p.DeqHandler = t
+	}
+	if a.enqH != "" {
+		t, err := resolve(a.enqH)
+		if err != nil {
+			return nil, err
+		}
+		p.EnqHandler = t
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustLink is Link that panics on error, for benchmark builders.
+func (a *Assembler) MustLink() *Program {
+	p, err := a.Link()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,105 @@
+package isa
+
+import "math"
+
+// EvalALU computes the result of a non-memory, non-branch instruction given
+// its operand values. a is the value of Ra; b is the value of Rb or the
+// immediate, already selected by the caller.
+func EvalALU(op Op, a, b uint64) uint64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpShl:
+		return a << (b & 63)
+	case OpShr:
+		return a >> (b & 63)
+	case OpSra:
+		return uint64(int64(a) >> (b & 63))
+	case OpMul:
+		return a * b
+	case OpDiv:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		return a / b
+	case OpSltu:
+		if a < b {
+			return 1
+		}
+		return 0
+	case OpSlt:
+		if int64(a) < int64(b) {
+			return 1
+		}
+		return 0
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpFAdd:
+		return f2u(u2f(a) + u2f(b))
+	case OpFSub:
+		return f2u(u2f(a) - u2f(b))
+	case OpFMul:
+		return f2u(u2f(a) * u2f(b))
+	case OpFDiv:
+		return f2u(u2f(a) / u2f(b))
+	case OpFLt:
+		if u2f(a) < u2f(b) {
+			return 1
+		}
+		return 0
+	case OpFAbs:
+		return f2u(math.Abs(u2f(a)))
+	case OpIToF:
+		return f2u(float64(int64(a)))
+	case OpFToI:
+		return uint64(int64(u2f(a)))
+	}
+	return 0
+}
+
+// EvalBranch reports whether a conditional branch is taken. a is Ra's value,
+// b is Rb's value or the immediate. Unconditional jumps return true.
+func EvalBranch(op Op, a, b uint64) bool {
+	switch op {
+	case OpBeq:
+		return a == b
+	case OpBne:
+		return a != b
+	case OpBlt:
+		return int64(a) < int64(b)
+	case OpBge:
+		return int64(a) >= int64(b)
+	case OpBltu:
+		return a < b
+	case OpBgeu:
+		return a >= b
+	case OpJmp, OpJr:
+		return true
+	}
+	return false
+}
+
+// F2U converts a float64 to its register bit pattern.
+func F2U(f float64) uint64 { return f2u(f) }
+
+// U2F converts a register bit pattern to float64.
+func U2F(u uint64) float64 { return u2f(u) }
+
+func f2u(f float64) uint64 { return math.Float64bits(f) }
+func u2f(u uint64) float64 { return math.Float64frombits(u) }

@@ -1,0 +1,457 @@
+// Package isa defines the RISC-like instruction set simulated by this
+// repository, including the Pipette extensions from the paper: queue-mapped
+// registers with implicit enqueue/dequeue, peek, enq_ctrl, skip_to_ctrl, and
+// control-handler registration. Programs are built with the Assembler and
+// executed by the cycle-level core model in internal/core.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. Each thread has NumArchRegs 64-bit
+// registers. R0 always reads as zero; writes to it are discarded.
+type Reg uint8
+
+// NumArchRegs is the number of architectural integer registers per thread.
+// The paper's cores are x86-64 (16 GPRs + SIMD); we use a flat 32-register
+// file, which is what the "32 architectural registers" per extra SMT thread
+// in Sec. V corresponds to.
+const NumArchRegs = 32
+
+// Register conventions. Only R0, RHCV and RHQ have hardware meaning; the
+// rest are assembler-level conventions.
+const (
+	R0 Reg = 0 // hardwired zero
+
+	// RHCV and RHQ are written by the control-value trap logic before
+	// redirecting to a dequeue control handler: RHCV holds the control
+	// value, RHQ the id of the queue that triggered the handler.
+	RHCV Reg = 30
+	RHQ  Reg = 31
+)
+
+// Op is an opcode.
+type Op uint8
+
+// Opcodes. ALU ops take Rd, Ra and either Rb or an immediate.
+// Loads compute Ra+Imm; stores write Rb (or Imm) to [Ra+Imm... no:
+// stores write the value in Rb to address Ra+Imm.
+const (
+	OpNop Op = iota
+
+	// Integer ALU.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr // logical right shift
+	OpSra // arithmetic right shift
+	OpMul
+	OpDiv  // unsigned; divide by zero yields all-ones, like a trap-free core
+	OpSltu // set if Ra < Rb/Imm, unsigned
+	OpSlt  // set if Ra < Rb/Imm, signed
+	OpMin  // unsigned min
+	OpMax  // unsigned max
+
+	// Floating point. Operands are float64 bit patterns in integer regs.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFLt  // Rd = 1 if f(Ra) < f(Rb) else 0
+	OpFAbs // Rd = |f(Ra)|
+	OpIToF // Rd = float64(int64(Ra))
+	OpFToI // Rd = int64(f(Ra))
+
+	// Memory. Address is Ra+Imm. Loads zero-extend into Rd.
+	OpLd8
+	OpLd4
+	OpLd2
+	OpLd1
+	OpSt8 // mem[Ra+Imm] = Rb
+	OpSt4
+	OpSt2
+	OpSt1
+
+	// Atomics (sequentially consistent RMW at the address in Ra).
+	// Rd receives the old value.
+	OpCas      // if mem==Rb then mem=Imm-reg? see AtomicsNote: CAS uses Rb=expected, Rc encoded in Imm? We use: Rd=old, compare Rb, swap value in Rc.
+	OpFetchAdd // Rd = old; mem += Rb
+	OpFetchMin // Rd = old; mem = min(mem, Rb) (unsigned)
+	OpFetchOr  // Rd = old; mem |= Rb
+
+	// Control flow. Branches compare Ra and Rb (or Imm) and jump to Target.
+	OpBeq
+	OpBne
+	OpBlt  // signed
+	OpBge  // signed
+	OpBltu // unsigned
+	OpBgeu // unsigned
+	OpJmp  // unconditional, to Target
+	OpJr   // indirect jump to address in Ra (used to return from handlers)
+
+	// Pipette queue instructions (Table II). Implicit enqueue/dequeue need
+	// no opcode: they happen when an instruction writes/reads a
+	// queue-mapped register.
+	OpPeek  // Rd = value at head of queue Q without dequeuing
+	OpEnqC  // enqueue Ra into queue Q with the control bit set
+	OpSkipC // Rd = next control value in queue Q, discarding earlier data
+	OpQPoll // Rd = number of committed entries in queue Q (extension; see DESIGN.md §4.6)
+
+	// Thread control.
+	OpHalt // thread is done
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpNop: "nop",
+	OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr", OpSra: "sra", OpMul: "mul", OpDiv: "div",
+	OpSltu: "sltu", OpSlt: "slt", OpMin: "min", OpMax: "max",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpFLt: "flt", OpFAbs: "fabs", OpIToF: "itof", OpFToI: "ftoi",
+	OpLd8: "ld8", OpLd4: "ld4", OpLd2: "ld2", OpLd1: "ld1",
+	OpSt8: "st8", OpSt4: "st4", OpSt2: "st2", OpSt1: "st1",
+	OpCas: "cas", OpFetchAdd: "fetchadd", OpFetchMin: "fetchmin", OpFetchOr: "fetchor",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpBltu: "bltu", OpBgeu: "bgeu", OpJmp: "jmp", OpJr: "jr",
+	OpPeek: "peek", OpEnqC: "enqc", OpSkipC: "skipc", OpQPoll: "qpoll",
+	OpHalt: "halt",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class buckets opcodes by execution resource and latency; the timing model
+// keys functional-unit latency off this.
+type Class uint8
+
+const (
+	ClassNop Class = iota
+	ClassALU
+	ClassMul
+	ClassDiv
+	ClassFPAdd
+	ClassFPMul
+	ClassFPDiv
+	ClassLoad
+	ClassStore
+	ClassAtomic
+	ClassBranch
+	ClassQueue // peek/enqc/skipc/qpoll
+	ClassHalt
+)
+
+// Class returns the execution class of an opcode.
+func (o Op) Class() Class {
+	switch o {
+	case OpNop:
+		return ClassNop
+	case OpMul:
+		return ClassMul
+	case OpDiv:
+		return ClassDiv
+	case OpFAdd, OpFSub, OpFLt, OpFAbs, OpIToF, OpFToI:
+		return ClassFPAdd
+	case OpFMul:
+		return ClassFPMul
+	case OpFDiv:
+		return ClassFPDiv
+	case OpLd8, OpLd4, OpLd2, OpLd1:
+		return ClassLoad
+	case OpSt8, OpSt4, OpSt2, OpSt1:
+		return ClassStore
+	case OpCas, OpFetchAdd, OpFetchMin, OpFetchOr:
+		return ClassAtomic
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu, OpJmp, OpJr:
+		return ClassBranch
+	case OpPeek, OpEnqC, OpSkipC, OpQPoll:
+		return ClassQueue
+	case OpHalt:
+		return ClassHalt
+	default:
+		return ClassALU
+	}
+}
+
+// IsBranch reports whether the op redirects control flow.
+func (o Op) IsBranch() bool { return o.Class() == ClassBranch }
+
+// IsLoad reports whether the op reads memory.
+func (o Op) IsLoad() bool { c := o.Class(); return c == ClassLoad || c == ClassAtomic }
+
+// IsStore reports whether the op writes memory.
+func (o Op) IsStore() bool { c := o.Class(); return c == ClassStore || c == ClassAtomic }
+
+// MemBytes returns the access width of a memory opcode (8 for atomics).
+func (o Op) MemBytes() int {
+	switch o {
+	case OpLd8, OpSt8, OpCas, OpFetchAdd, OpFetchMin, OpFetchOr:
+		return 8
+	case OpLd4, OpSt4:
+		return 4
+	case OpLd2, OpSt2:
+		return 2
+	case OpLd1, OpSt1:
+		return 1
+	}
+	return 0
+}
+
+// Inst is one instruction. The assembler resolves Label into Target.
+//
+// Operand usage by class:
+//   - ALU/FP:  Rd = Ra <op> (Rb | Imm)
+//   - Load:    Rd = mem[Ra + Imm]
+//   - Store:   mem[Ra + Imm] = Rb
+//   - CAS:     Rd = old; if old == Rb { mem[Ra] = Rc }
+//   - other atomics: Rd = old; mem[Ra] = old <op> Rb
+//   - Branch:  if Ra <cmp> (Rb | Imm) then goto Target
+//   - Queue ops use Q; EnqC enqueues Ra.
+type Inst struct {
+	Op     Op
+	Rd     Reg
+	Ra     Reg
+	Rb     Reg
+	Rc     Reg // CAS swap value only
+	Imm    int64
+	UseImm bool
+	Target int    // resolved branch/jump target (instruction index)
+	Q      uint8  // queue id for explicit queue ops
+	Label  string // unresolved branch target; empty once linked
+}
+
+// Reads returns the architectural source registers of i (excluding R0).
+func (i *Inst) Reads() []Reg {
+	var rs []Reg
+	add := func(r Reg) {
+		if r != R0 {
+			rs = append(rs, r)
+		}
+	}
+	switch i.Op.Class() {
+	case ClassALU, ClassMul, ClassDiv, ClassFPAdd, ClassFPMul, ClassFPDiv:
+		add(i.Ra)
+		if !i.UseImm {
+			add(i.Rb)
+		}
+	case ClassLoad:
+		add(i.Ra)
+	case ClassStore:
+		add(i.Ra)
+		add(i.Rb)
+	case ClassAtomic:
+		add(i.Ra)
+		add(i.Rb)
+		if i.Op == OpCas {
+			add(i.Rc)
+		}
+	case ClassBranch:
+		if i.Op == OpJmp {
+			break
+		}
+		add(i.Ra)
+		if i.Op != OpJr && !i.UseImm {
+			add(i.Rb)
+		}
+	case ClassQueue:
+		if i.Op == OpEnqC {
+			add(i.Ra)
+		}
+	}
+	return rs
+}
+
+// WritesReg reports whether i writes an architectural destination register,
+// and which one.
+func (i *Inst) WritesReg() (Reg, bool) {
+	switch i.Op.Class() {
+	case ClassALU, ClassMul, ClassDiv, ClassFPAdd, ClassFPMul, ClassFPDiv, ClassLoad, ClassAtomic:
+		return i.Rd, i.Rd != R0
+	case ClassQueue:
+		if i.Op == OpPeek || i.Op == OpSkipC || i.Op == OpQPoll {
+			return i.Rd, i.Rd != R0
+		}
+	}
+	return R0, false
+}
+
+// String renders the instruction in assembly syntax.
+func (i *Inst) String() string {
+	switch i.Op.Class() {
+	case ClassNop, ClassHalt:
+		return i.Op.String()
+	case ClassBranch:
+		if i.Op == OpJmp {
+			return fmt.Sprintf("jmp %d", i.Target)
+		}
+		if i.Op == OpJr {
+			return fmt.Sprintf("jr r%d", i.Ra)
+		}
+		if i.UseImm {
+			return fmt.Sprintf("%s r%d, %d, ->%d", i.Op, i.Ra, i.Imm, i.Target)
+		}
+		return fmt.Sprintf("%s r%d, r%d, ->%d", i.Op, i.Ra, i.Rb, i.Target)
+	case ClassLoad:
+		return fmt.Sprintf("%s r%d, [r%d+%d]", i.Op, i.Rd, i.Ra, i.Imm)
+	case ClassStore:
+		return fmt.Sprintf("%s [r%d+%d], r%d", i.Op, i.Ra, i.Imm, i.Rb)
+	case ClassAtomic:
+		if i.Op == OpCas {
+			return fmt.Sprintf("cas r%d, [r%d], r%d -> r%d", i.Rd, i.Ra, i.Rc, i.Rb)
+		}
+		return fmt.Sprintf("%s r%d, [r%d], r%d", i.Op, i.Rd, i.Ra, i.Rb)
+	case ClassQueue:
+		switch i.Op {
+		case OpEnqC:
+			if i.UseImm {
+				return fmt.Sprintf("enqc q%d, %d", i.Q, i.Imm)
+			}
+			return fmt.Sprintf("enqc q%d, r%d", i.Q, i.Ra)
+		default:
+			return fmt.Sprintf("%s r%d, q%d", i.Op, i.Rd, i.Q)
+		}
+	}
+	if i.UseImm {
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Ra, i.Imm)
+	}
+	return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Ra, i.Rb)
+}
+
+// QueueDir says whether a mapped register is a queue input (writes enqueue)
+// or output (reads dequeue).
+type QueueDir uint8
+
+const (
+	QueueIn  QueueDir = iota // register writes enqueue to the queue
+	QueueOut                 // register reads dequeue from the queue
+)
+
+// QueueBinding maps one architectural register to a queue endpoint.
+type QueueBinding struct {
+	Reg Reg
+	Q   uint8
+	Dir QueueDir
+}
+
+// Program is a linked instruction sequence for one thread.
+type Program struct {
+	Name string
+	Code []Inst
+	// DeqHandler and EnqHandler are the control-handler entry PCs
+	// (instruction indices), or -1 when not registered. They model the
+	// per-thread control registers of Sec. III-B.
+	DeqHandler int
+	EnqHandler int
+	// Bindings are the thread's queue-register mappings, established by
+	// the (privileged) map operation before the thread runs.
+	Bindings []QueueBinding
+	// InitRegs seeds architectural registers before the first fetch.
+	InitRegs map[Reg]uint64
+}
+
+// BindingFor returns the binding covering register r, if any.
+func (p *Program) BindingFor(r Reg) (QueueBinding, bool) {
+	for _, b := range p.Bindings {
+		if b.Reg == r {
+			return b, true
+		}
+	}
+	return QueueBinding{}, false
+}
+
+// Validate checks structural invariants: resolved branches, in-range targets,
+// handler PCs, and that no register is bound twice.
+func (p *Program) Validate() error {
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		if in.Label != "" {
+			return fmt.Errorf("%s: pc %d: unresolved label %q", p.Name, pc, in.Label)
+		}
+		if in.Op.IsBranch() && in.Op != OpJr {
+			if in.Target < 0 || in.Target >= len(p.Code) {
+				return fmt.Errorf("%s: pc %d: branch target %d out of range", p.Name, pc, in.Target)
+			}
+		}
+	}
+	if p.DeqHandler >= len(p.Code) || p.EnqHandler >= len(p.Code) {
+		return fmt.Errorf("%s: handler PC out of range", p.Name)
+	}
+	seen := map[Reg]bool{}
+	for _, b := range p.Bindings {
+		if seen[b.Reg] {
+			return fmt.Errorf("%s: register r%d bound to multiple queues", p.Name, b.Reg)
+		}
+		seen[b.Reg] = true
+		if b.Reg == R0 {
+			return fmt.Errorf("%s: cannot bind r0", p.Name)
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the program for debugging.
+func (p *Program) Disassemble() string {
+	s := fmt.Sprintf("; program %s (deqh=%d enqh=%d)\n", p.Name, p.DeqHandler, p.EnqHandler)
+	for _, b := range p.Bindings {
+		dir := "in"
+		if b.Dir == QueueOut {
+			dir = "out"
+		}
+		s += fmt.Sprintf("; map r%d -> q%d (%s)\n", b.Reg, b.Q, dir)
+	}
+	for pc := range p.Code {
+		s += fmt.Sprintf("%4d: %s\n", pc, p.Code[pc].String())
+	}
+	return s
+}
+
+// ReadsInto is an allocation-free Reads: it fills buf with the source
+// registers and returns how many there are. The hot rename path uses this.
+func (i *Inst) ReadsInto(buf *[3]Reg) int {
+	n := 0
+	add := func(r Reg) {
+		if r != R0 && n < len(buf) {
+			buf[n] = r
+			n++
+		}
+	}
+	switch i.Op.Class() {
+	case ClassALU, ClassMul, ClassDiv, ClassFPAdd, ClassFPMul, ClassFPDiv:
+		add(i.Ra)
+		if !i.UseImm {
+			add(i.Rb)
+		}
+	case ClassLoad:
+		add(i.Ra)
+	case ClassStore:
+		add(i.Ra)
+		add(i.Rb)
+	case ClassAtomic:
+		add(i.Ra)
+		add(i.Rb)
+		if i.Op == OpCas {
+			add(i.Rc)
+		}
+	case ClassBranch:
+		if i.Op == OpJmp {
+			break
+		}
+		add(i.Ra)
+		if i.Op != OpJr && !i.UseImm {
+			add(i.Rb)
+		}
+	case ClassQueue:
+		if i.Op == OpEnqC {
+			add(i.Ra)
+		}
+	}
+	return n
+}

@@ -1,0 +1,114 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property: ReadsInto agrees with Reads for randomized instructions.
+func TestReadsIntoMatchesReads(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		in := Inst{
+			Op:     Op(r.Intn(int(numOps))),
+			Rd:     Reg(r.Intn(NumArchRegs)),
+			Ra:     Reg(r.Intn(NumArchRegs)),
+			Rb:     Reg(r.Intn(NumArchRegs)),
+			Rc:     Reg(r.Intn(NumArchRegs)),
+			UseImm: r.Intn(2) == 0,
+		}
+		want := in.Reads()
+		var buf [3]Reg
+		n := in.ReadsInto(&buf)
+		if n != len(want) {
+			t.Fatalf("%v: ReadsInto n=%d, Reads=%v", in.Op, n, want)
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("%v: ReadsInto[%d]=%d, want %d", in.Op, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+func TestOpStringsUnique(t *testing.T) {
+	seen := map[string]Op{}
+	for o := Op(0); o < numOps; o++ {
+		s := o.String()
+		if s == "" {
+			t.Fatalf("op %d has empty name", o)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("ops %v and %v share name %q", prev, o, s)
+		}
+		seen[s] = o
+	}
+}
+
+func TestInstStringCoversClasses(t *testing.T) {
+	cases := []Inst{
+		{Op: OpNop},
+		{Op: OpHalt},
+		{Op: OpAdd, Rd: 1, Ra: 2, Rb: 3},
+		{Op: OpAdd, Rd: 1, Ra: 2, Imm: 7, UseImm: true},
+		{Op: OpLd8, Rd: 1, Ra: 2, Imm: 16},
+		{Op: OpSt4, Ra: 2, Rb: 3, Imm: 4},
+		{Op: OpCas, Rd: 1, Ra: 2, Rb: 3, Rc: 4},
+		{Op: OpFetchAdd, Rd: 1, Ra: 2, Rb: 3},
+		{Op: OpBeq, Ra: 1, Rb: 2, Target: 5},
+		{Op: OpBne, Ra: 1, Imm: 3, UseImm: true, Target: 5},
+		{Op: OpJmp, Target: 9},
+		{Op: OpJr, Ra: 4},
+		{Op: OpPeek, Rd: 1, Q: 2},
+		{Op: OpEnqC, Ra: 1, Q: 2},
+		{Op: OpSkipC, Rd: 1, Q: 2},
+		{Op: OpQPoll, Rd: 1, Q: 2},
+	}
+	for _, in := range cases {
+		if in.String() == "" {
+			t.Fatalf("%v: empty String()", in.Op)
+		}
+	}
+}
+
+func TestEvalBranchSignedUnsignedSplit(t *testing.T) {
+	big := ^uint64(0) // -1 signed, max unsigned
+	if !EvalBranch(OpBge, 0, big) {
+		t.Error("0 >= -1 signed")
+	}
+	if EvalBranch(OpBgeu, 0, big) {
+		t.Error("0 >= max unsigned is false")
+	}
+	if !EvalBranch(OpBltu, 0, big) {
+		t.Error("0 < max unsigned")
+	}
+	if EvalBranch(OpBlt, 0, big) {
+		t.Error("0 < -1 signed is false")
+	}
+}
+
+func TestShiftMasking(t *testing.T) {
+	// Shift amounts use only the low 6 bits, like real 64-bit ISAs.
+	if got := EvalALU(OpShl, 1, 64); got != 1 {
+		t.Fatalf("shl by 64 = %d, want 1 (masked to 0)", got)
+	}
+	if got := EvalALU(OpShr, 8, 65); got != 4 {
+		t.Fatalf("shr by 65 = %d, want 4 (masked to 1)", got)
+	}
+}
+
+func TestProgramValidateHandlersOutOfRange(t *testing.T) {
+	p := &Program{Name: "bad", Code: []Inst{{Op: OpHalt}}, DeqHandler: 5, EnqHandler: -1}
+	if err := p.Validate(); err == nil {
+		t.Fatal("want handler range error")
+	}
+}
+
+func TestAssemblerBindR0Rejected(t *testing.T) {
+	a := NewAssembler("t")
+	a.MapQ(R0, 1, QueueIn)
+	a.Halt()
+	if _, err := a.Link(); err == nil {
+		t.Fatal("binding r0 must fail validation")
+	}
+}

@@ -1,0 +1,264 @@
+package isa
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalALUBasic(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint64
+		want uint64
+	}{
+		{OpAdd, 2, 3, 5},
+		{OpSub, 2, 3, ^uint64(0)},
+		{OpAnd, 0b1100, 0b1010, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0b1110},
+		{OpXor, 0b1100, 0b1010, 0b0110},
+		{OpShl, 1, 8, 256},
+		{OpShr, 256, 8, 1},
+		{OpSra, uint64(0xFFFFFFFFFFFFFF00), 4, 0xFFFFFFFFFFFFFFF0},
+		{OpMul, 7, 6, 42},
+		{OpDiv, 42, 6, 7},
+		{OpDiv, 42, 0, ^uint64(0)},
+		{OpSltu, 1, 2, 1},
+		{OpSltu, 2, 1, 0},
+		{OpSlt, uint64(0xFFFFFFFFFFFFFFFF), 0, 1}, // -1 < 0 signed
+		{OpMin, 3, 9, 3},
+		{OpMax, 3, 9, 9},
+	}
+	for _, c := range cases {
+		if got := EvalALU(c.op, c.a, c.b); got != c.want {
+			t.Errorf("%v(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalALUFloat(t *testing.T) {
+	a, b := F2U(1.5), F2U(2.5)
+	if got := U2F(EvalALU(OpFAdd, a, b)); got != 4.0 {
+		t.Errorf("fadd = %v", got)
+	}
+	if got := U2F(EvalALU(OpFMul, a, b)); got != 3.75 {
+		t.Errorf("fmul = %v", got)
+	}
+	if got := EvalALU(OpFLt, a, b); got != 1 {
+		t.Errorf("flt = %v", got)
+	}
+	if got := U2F(EvalALU(OpFAbs, F2U(-2.0), 0)); got != 2.0 {
+		t.Errorf("fabs = %v", got)
+	}
+	if got := EvalALU(OpFToI, F2U(42.9), 0); got != 42 {
+		t.Errorf("ftoi = %v", got)
+	}
+	if got := U2F(EvalALU(OpIToF, 42, 0)); got != 42.0 {
+		t.Errorf("itof = %v", got)
+	}
+}
+
+func TestEvalBranch(t *testing.T) {
+	if !EvalBranch(OpBeq, 5, 5) || EvalBranch(OpBeq, 5, 6) {
+		t.Error("beq wrong")
+	}
+	if !EvalBranch(OpBne, 5, 6) || EvalBranch(OpBne, 5, 5) {
+		t.Error("bne wrong")
+	}
+	if !EvalBranch(OpBlt, uint64(math.MaxUint64), 0) { // -1 < 0 signed
+		t.Error("blt signed wrong")
+	}
+	if EvalBranch(OpBltu, uint64(math.MaxUint64), 0) {
+		t.Error("bltu unsigned wrong")
+	}
+	if !EvalBranch(OpJmp, 0, 0) {
+		t.Error("jmp must be taken")
+	}
+}
+
+// Property: float round-trip through register bits is exact.
+func TestFloatRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return math.IsNaN(U2F(F2U(x)))
+		}
+		return U2F(F2U(x)) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: min/max are commutative and idempotent.
+func TestMinMaxProperties(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return EvalALU(OpMin, a, b) == EvalALU(OpMin, b, a) &&
+			EvalALU(OpMax, a, b) == EvalALU(OpMax, b, a) &&
+			EvalALU(OpMin, a, a) == a &&
+			EvalALU(OpMax, a, a) == a &&
+			EvalALU(OpMin, a, b) <= EvalALU(OpMax, a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssemblerLink(t *testing.T) {
+	a := NewAssembler("t")
+	a.MovI(1, 10)
+	a.Label("loop")
+	a.SubI(1, 1, 1)
+	a.BneI(1, 0, "loop")
+	a.Halt()
+	p, err := a.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 4 {
+		t.Fatalf("len = %d", len(p.Code))
+	}
+	if p.Code[2].Target != 1 {
+		t.Errorf("branch target = %d, want 1", p.Code[2].Target)
+	}
+	if p.Code[2].Label != "" {
+		t.Error("label not cleared")
+	}
+}
+
+func TestAssemblerUnknownLabel(t *testing.T) {
+	a := NewAssembler("t")
+	a.Jmp("nowhere")
+	if _, err := a.Link(); err == nil {
+		t.Fatal("want error for unknown label")
+	}
+}
+
+func TestAssemblerDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on duplicate label")
+		}
+	}()
+	a := NewAssembler("t")
+	a.Label("x")
+	a.Label("x")
+}
+
+func TestLabelAddr(t *testing.T) {
+	a := NewAssembler("t")
+	a.LabelAddr(5, "ret")
+	a.Jr(5)
+	a.Label("ret")
+	a.Halt()
+	p := a.MustLink()
+	if p.Code[0].Imm != 2 {
+		t.Errorf("LabelAddr imm = %d, want 2", p.Code[0].Imm)
+	}
+}
+
+func TestHandlers(t *testing.T) {
+	a := NewAssembler("t")
+	a.OnDeqCV("dh")
+	a.OnEnqCV("eh")
+	a.Halt()
+	a.Label("dh")
+	a.Halt()
+	a.Label("eh")
+	a.Halt()
+	p := a.MustLink()
+	if p.DeqHandler != 1 || p.EnqHandler != 2 {
+		t.Errorf("handlers = %d, %d", p.DeqHandler, p.EnqHandler)
+	}
+}
+
+func TestBindings(t *testing.T) {
+	a := NewAssembler("t")
+	a.MapQ(4, 2, QueueIn)
+	a.MapQ(5, 2, QueueOut)
+	a.Halt()
+	p := a.MustLink()
+	if b, ok := p.BindingFor(4); !ok || b.Q != 2 || b.Dir != QueueIn {
+		t.Errorf("binding r4 = %+v ok=%v", b, ok)
+	}
+	if _, ok := p.BindingFor(6); ok {
+		t.Error("r6 should not be bound")
+	}
+}
+
+func TestDoubleBindingRejected(t *testing.T) {
+	a := NewAssembler("t")
+	a.MapQ(4, 2, QueueIn)
+	a.MapQ(4, 3, QueueOut)
+	a.Halt()
+	if _, err := a.Link(); err == nil {
+		t.Fatal("want error for double binding")
+	}
+}
+
+func TestReadsWrites(t *testing.T) {
+	in := Inst{Op: OpAdd, Rd: 3, Ra: 1, Rb: 2}
+	if got := in.Reads(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("reads = %v", got)
+	}
+	if rd, ok := in.WritesReg(); !ok || rd != 3 {
+		t.Errorf("writes = %v %v", rd, ok)
+	}
+	st := Inst{Op: OpSt8, Ra: 1, Rb: 2}
+	if _, ok := st.WritesReg(); ok {
+		t.Error("store must not write a reg")
+	}
+	br := Inst{Op: OpBeq, Ra: 1, Rb: 2}
+	if got := br.Reads(); len(got) != 2 {
+		t.Errorf("branch reads = %v", got)
+	}
+	cas := Inst{Op: OpCas, Rd: 3, Ra: 1, Rb: 2, Rc: 4}
+	if got := cas.Reads(); len(got) != 3 {
+		t.Errorf("cas reads = %v", got)
+	}
+	// Immediate operand suppresses Rb read.
+	ai := Inst{Op: OpAdd, Rd: 3, Ra: 1, Imm: 7, UseImm: true}
+	if got := ai.Reads(); len(got) != 1 {
+		t.Errorf("addi reads = %v", got)
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	if !OpBeq.IsBranch() || OpAdd.IsBranch() {
+		t.Error("IsBranch wrong")
+	}
+	if !OpLd8.IsLoad() || !OpCas.IsLoad() || OpSt8.IsLoad() {
+		t.Error("IsLoad wrong")
+	}
+	if !OpSt4.IsStore() || !OpFetchAdd.IsStore() || OpLd8.IsStore() {
+		t.Error("IsStore wrong")
+	}
+	if OpLd4.MemBytes() != 4 || OpSt8.MemBytes() != 8 || OpCas.MemBytes() != 8 {
+		t.Error("MemBytes wrong")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	a := NewAssembler("demo")
+	a.MapQ(4, 1, QueueIn)
+	a.MovI(1, 5)
+	a.Ld8(2, 1, 8)
+	a.St8(1, 0, 2)
+	a.EnqC(1, 2)
+	a.Peek(3, 1)
+	a.Halt()
+	p := a.MustLink()
+	d := p.Disassemble()
+	for _, want := range []string{"map r4 -> q1 (in)", "ld8 r2, [r1+8]", "enqc q1, r2", "peek r3, q1", "halt"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestValidateTargetRange(t *testing.T) {
+	p := &Program{Name: "bad", Code: []Inst{{Op: OpJmp, Target: 5}}, DeqHandler: -1, EnqHandler: -1}
+	if err := p.Validate(); err == nil {
+		t.Fatal("want out-of-range target error")
+	}
+}

@@ -1,0 +1,454 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseAsm assembles a textual program. The syntax mirrors the builder API:
+//
+//	; comments run to end of line
+//	.name producer          ; program name
+//	.map r10 q0 in          ; bind r10 as queue 0's input (writes enqueue)
+//	.map r11 q1 out         ; bind r11 as queue 1's output (reads dequeue)
+//	.set r1 4096            ; initial register value (decimal or 0x hex)
+//	.ondeq handler          ; dequeue control handler label
+//	.onenq handler          ; enqueue control handler label
+//
+//	loop:                   ; labels end with a colon
+//	  add  r1, r2, r3       ; three-register ALU
+//	  addi r1, r2, 42       ; "i" suffix = immediate second operand
+//	  ld8  r4, r2, 8        ; rd, base, offset
+//	  st8  r2, 0, r3        ; base, offset, value
+//	  cas  r5, r1, r2, r3   ; rd, addr, expected, new
+//	  beq  r1, r2, loop     ; compare-and-branch to label
+//	  beqi r1, 0, loop
+//	  jmp  loop
+//	  jr   r4
+//	  peek r3, q1
+//	  enqc q0, r2
+//	  skipc r3, q1
+//	  qpoll r3, q1
+//	  halt
+func ParseAsm(src string) (*Program, error) {
+	a := NewAssembler("asm")
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(a, line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+	}
+	return a.Link()
+}
+
+func parseLine(a *Assembler, line string) error {
+	if strings.HasSuffix(line, ":") {
+		label := strings.TrimSuffix(line, ":")
+		if label == "" || strings.ContainsAny(label, " \t") {
+			return fmt.Errorf("bad label %q", line)
+		}
+		a.Label(label)
+		return nil
+	}
+	fields := strings.FieldsFunc(line, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+	op, args := strings.ToLower(fields[0]), fields[1:]
+
+	switch op {
+	case ".name":
+		if len(args) != 1 {
+			return fmt.Errorf(".name wants 1 arg")
+		}
+		a.name = args[0]
+		return nil
+	case ".map":
+		if len(args) != 3 {
+			return fmt.Errorf(".map wants: reg queue in|out")
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		q, err := parseQueue(args[1])
+		if err != nil {
+			return err
+		}
+		switch strings.ToLower(args[2]) {
+		case "in":
+			a.MapQ(r, q, QueueIn)
+		case "out":
+			a.MapQ(r, q, QueueOut)
+		default:
+			return fmt.Errorf("direction %q (want in|out)", args[2])
+		}
+		return nil
+	case ".set":
+		if len(args) != 2 {
+			return fmt.Errorf(".set wants: reg value")
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		a.SetReg(r, uint64(v))
+		return nil
+	case ".ondeq":
+		a.OnDeqCV(args[0])
+		return nil
+	case ".onenq":
+		a.OnEnqCV(args[0])
+		return nil
+	}
+
+	return parseInst(a, op, args)
+}
+
+// aluOps maps mnemonics to opcodes for the regular rd, ra, rb/imm shapes.
+var aluOps = map[string]Op{
+	"add": OpAdd, "sub": OpSub, "and": OpAnd, "or": OpOr, "xor": OpXor,
+	"shl": OpShl, "shr": OpShr, "sra": OpSra, "mul": OpMul, "div": OpDiv,
+	"sltu": OpSltu, "slt": OpSlt, "min": OpMin, "max": OpMax,
+	"fadd": OpFAdd, "fsub": OpFSub, "fmul": OpFMul, "fdiv": OpFDiv, "flt": OpFLt,
+}
+
+var branchOps = map[string]Op{
+	"beq": OpBeq, "bne": OpBne, "blt": OpBlt, "bge": OpBge,
+	"bltu": OpBltu, "bgeu": OpBgeu,
+}
+
+var loadOps = map[string]Op{"ld8": OpLd8, "ld4": OpLd4, "ld2": OpLd2, "ld1": OpLd1}
+var storeOps = map[string]Op{"st8": OpSt8, "st4": OpSt4, "st2": OpSt2, "st1": OpSt1}
+var atomicOps = map[string]Op{"fetchadd": OpFetchAdd, "fetchmin": OpFetchMin, "fetchor": OpFetchOr}
+
+func parseInst(a *Assembler, op string, args []string) error {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	base := strings.TrimSuffix(op, "i")
+	imm := strings.HasSuffix(op, "i")
+
+	if o, ok := aluOps[op]; ok { // register form (exact mnemonic)
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		rb, err := parseReg(args[2])
+		if err != nil {
+			return err
+		}
+		a.emit(Inst{Op: o, Rd: rd, Ra: ra, Rb: rb})
+		return nil
+	}
+	if o, ok := aluOps[base]; ok && imm { // "addi" etc: immediate form
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		v, err := parseImm(args[2])
+		if err != nil {
+			return err
+		}
+		a.emit(Inst{Op: o, Rd: rd, Ra: ra, Imm: v, UseImm: true})
+		return nil
+	}
+
+	if o, ok := branchOps[op]; ok { // register compare
+		if err := need(3); err != nil {
+			return err
+		}
+		ra, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		rb, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		a.emit(Inst{Op: o, Ra: ra, Rb: rb, Label: args[2]})
+		return nil
+	}
+	if o, ok := branchOps[base]; ok && imm { // "beqi" etc: immediate compare
+		if err := need(3); err != nil {
+			return err
+		}
+		ra, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		a.emit(Inst{Op: o, Ra: ra, Imm: v, UseImm: true, Label: args[2]})
+		return nil
+	}
+
+	if o, ok := loadOps[op]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		off, err := parseImm(args[2])
+		if err != nil {
+			return err
+		}
+		a.emit(Inst{Op: o, Rd: rd, Ra: ra, Imm: off})
+		return nil
+	}
+	if o, ok := storeOps[op]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		ra, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		off, err := parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		rb, err := parseReg(args[2])
+		if err != nil {
+			return err
+		}
+		a.emit(Inst{Op: o, Ra: ra, Imm: off, Rb: rb})
+		return nil
+	}
+	if o, ok := atomicOps[op]; ok {
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		rb, err := parseReg(args[2])
+		if err != nil {
+			return err
+		}
+		a.emit(Inst{Op: o, Rd: rd, Ra: ra, Rb: rb})
+		return nil
+	}
+
+	switch op {
+	case "mov":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		a.Mov(rd, ra)
+		return nil
+	case "movi":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		a.MovI(rd, v)
+		return nil
+	case "cas":
+		if err := need(4); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		rb, err := parseReg(args[2])
+		if err != nil {
+			return err
+		}
+		rc, err := parseReg(args[3])
+		if err != nil {
+			return err
+		}
+		a.Cas(rd, ra, rb, rc)
+		return nil
+	case "itof", "ftoi", "fabs":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		ops := map[string]Op{"itof": OpIToF, "ftoi": OpFToI, "fabs": OpFAbs}
+		a.emit(Inst{Op: ops[op], Rd: rd, Ra: ra})
+		return nil
+	case "jmp":
+		if err := need(1); err != nil {
+			return err
+		}
+		a.Jmp(args[0])
+		return nil
+	case "jr":
+		if err := need(1); err != nil {
+			return err
+		}
+		ra, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		a.Jr(ra)
+		return nil
+	case "labeladdr":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		a.LabelAddr(rd, args[1])
+		return nil
+	case "peek", "skipc", "qpoll":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		q, err := parseQueue(args[1])
+		if err != nil {
+			return err
+		}
+		switch op {
+		case "peek":
+			a.Peek(rd, q)
+		case "skipc":
+			a.SkipC(rd, q)
+		default:
+			a.QPoll(rd, q)
+		}
+		return nil
+	case "enqc":
+		if err := need(2); err != nil {
+			return err
+		}
+		q, err := parseQueue(args[0])
+		if err != nil {
+			return err
+		}
+		if r, rerr := parseReg(args[1]); rerr == nil {
+			a.EnqC(q, r)
+			return nil
+		}
+		v, err := parseImm(args[1])
+		if err != nil {
+			return err
+		}
+		a.EnqCI(q, v)
+		return nil
+	case "nop":
+		a.Nop()
+		return nil
+	case "halt":
+		a.Halt()
+		return nil
+	}
+	return fmt.Errorf("unknown mnemonic %q", op)
+}
+
+func parseReg(s string) (Reg, error) {
+	ls := strings.ToLower(s)
+	switch ls {
+	case "rhcv":
+		return RHCV, nil
+	case "rhq":
+		return RHQ, nil
+	}
+	if !strings.HasPrefix(ls, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(ls[1:])
+	if err != nil || n < 0 || n >= NumArchRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseQueue(s string) (uint8, error) {
+	ls := strings.ToLower(s)
+	if !strings.HasPrefix(ls, "q") {
+		return 0, fmt.Errorf("bad queue %q", s)
+	}
+	n, err := strconv.Atoi(ls[1:])
+	if err != nil || n < 0 || n > 255 {
+		return 0, fmt.Errorf("bad queue %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow full-range unsigned (e.g. 0xFFFFFFFFFFFFFFFF).
+		u, uerr := strconv.ParseUint(s, 0, 64)
+		if uerr != nil {
+			return 0, fmt.Errorf("bad immediate %q", s)
+		}
+		return int64(u), nil
+	}
+	return v, nil
+}

@@ -1,0 +1,183 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAsmBasic(t *testing.T) {
+	p, err := ParseAsm(`
+; a counting loop
+.name counter
+.set r1 10
+loop:
+  subi r1, r1, 1    ; decrement
+  bnei r1, 0, loop
+  halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "counter" {
+		t.Fatalf("name = %q", p.Name)
+	}
+	if len(p.Code) != 3 {
+		t.Fatalf("code len = %d", len(p.Code))
+	}
+	if p.Code[0].Op != OpSub || !p.Code[0].UseImm || p.Code[0].Imm != 1 {
+		t.Fatalf("subi parsed as %+v", p.Code[0])
+	}
+	if p.Code[1].Op != OpBne || p.Code[1].Target != 0 {
+		t.Fatalf("bnei parsed as %+v", p.Code[1])
+	}
+	if p.InitRegs[1] != 10 {
+		t.Fatalf("initregs = %v", p.InitRegs)
+	}
+}
+
+func TestParseAsmQueuesAndHandlers(t *testing.T) {
+	p, err := ParseAsm(`
+.map r10 q0 in
+.map r11 q1 out
+.ondeq dh
+.onenq eh
+  mov r10, r11      ; dequeue q1, enqueue q0
+  enqc q0, r3
+  enqc q0, 99
+  peek r4, q1
+  skipc r5, q1
+  qpoll r6, q1
+  halt
+dh:
+  halt
+eh:
+  halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := p.BindingFor(10); !ok || b.Q != 0 || b.Dir != QueueIn {
+		t.Fatalf("binding r10: %+v %v", b, ok)
+	}
+	if b, ok := p.BindingFor(11); !ok || b.Q != 1 || b.Dir != QueueOut {
+		t.Fatalf("binding r11: %+v %v", b, ok)
+	}
+	if p.DeqHandler < 0 || p.EnqHandler < 0 {
+		t.Fatal("handlers not registered")
+	}
+	if p.Code[1].Op != OpEnqC || p.Code[1].Ra != 3 {
+		t.Fatalf("enqc reg form: %+v", p.Code[1])
+	}
+	if p.Code[2].Op != OpEnqC || !p.Code[2].UseImm || p.Code[2].Imm != 99 {
+		t.Fatalf("enqc imm form: %+v", p.Code[2])
+	}
+	for i, want := range map[int]Op{3: OpPeek, 4: OpSkipC, 5: OpQPoll} {
+		if p.Code[i].Op != want {
+			t.Fatalf("code[%d] = %v, want %v", i, p.Code[i].Op, want)
+		}
+	}
+}
+
+func TestParseAsmMemoryAndAtomics(t *testing.T) {
+	p, err := ParseAsm(`
+  ld8 r1, r2, 16
+  st4 r2, 8, r3
+  cas r4, r5, r6, r7
+  fetchadd r1, r2, r3
+  movi r9, 0xFF
+  itof r1, r2
+  labeladdr r3, tgt
+tgt:
+  jr r3
+  jmp tgt
+  halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Op != OpLd8 || p.Code[0].Imm != 16 {
+		t.Fatalf("ld8: %+v", p.Code[0])
+	}
+	if p.Code[1].Op != OpSt4 || p.Code[1].Rb != 3 {
+		t.Fatalf("st4: %+v", p.Code[1])
+	}
+	if p.Code[2].Op != OpCas || p.Code[2].Rc != 7 {
+		t.Fatalf("cas: %+v", p.Code[2])
+	}
+	if p.Code[4].Imm != 0xFF {
+		t.Fatalf("movi hex: %+v", p.Code[4])
+	}
+	if p.Code[6].Op != OpAdd || p.Code[6].Imm != 7 { // labeladdr of tgt (pc 7)
+		t.Fatalf("labeladdr: %+v", p.Code[6])
+	}
+}
+
+func TestParseAsmHandlerRegisters(t *testing.T) {
+	p, err := ParseAsm(`
+  mov r1, rhcv
+  mov r2, rhq
+  halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Ra != RHCV || p.Code[1].Ra != RHQ {
+		t.Fatalf("handler regs: %+v %+v", p.Code[0], p.Code[1])
+	}
+}
+
+func TestParseAsmErrors(t *testing.T) {
+	cases := []string{
+		"frobnicate r1, r2", // unknown mnemonic
+		"add r1, r2",        // arity
+		"add r1, r2, r99",   // bad register
+		"jmp nowhere\nhalt", // unknown label at link
+		"peek r1, x2",       // bad queue
+		"addi r1, r2, zz",   // bad immediate
+		"bad label:",        // label with space
+	}
+	for _, src := range cases {
+		if _, err := ParseAsm(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+// Parsed and builder-built programs are interchangeable: assemble the same
+// loop both ways and compare the linked code.
+func TestParseAsmMatchesBuilder(t *testing.T) {
+	parsed, err := ParseAsm(`
+.set r1 5
+l:
+  addi r2, r2, 3
+  subi r1, r1, 1
+  bnei r1, 0, l
+  halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewAssembler("asm")
+	b.SetReg(1, 5)
+	b.Label("l")
+	b.AddI(2, 2, 3)
+	b.SubI(1, 1, 1)
+	b.BneI(1, 0, "l")
+	b.Halt()
+	built := b.MustLink()
+	if len(parsed.Code) != len(built.Code) {
+		t.Fatalf("lengths differ: %d vs %d", len(parsed.Code), len(built.Code))
+	}
+	for i := range built.Code {
+		if parsed.Code[i] != built.Code[i] {
+			t.Fatalf("inst %d differs: %+v vs %+v", i, parsed.Code[i], built.Code[i])
+		}
+	}
+}
+
+func TestParseAsmLineNumbersInErrors(t *testing.T) {
+	_, err := ParseAsm("halt\nbogus r1\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error lacks line number: %v", err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package mem provides the simulated flat memory shared by all cores, plus a
+// bump allocator that workload builders use to lay out arrays. Addresses are
+// 64-bit; storage grows on demand in fixed-size chunks so sparse layouts stay
+// cheap.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const chunkShift = 20 // 1 MiB chunks
+const chunkSize = 1 << chunkShift
+
+// Memory is byte-addressable simulated DRAM. The zero value is not usable;
+// call New.
+type Memory struct {
+	chunks map[uint64][]byte
+	brk    uint64 // allocator high-water mark
+}
+
+// New returns an empty memory whose allocator starts at a non-zero base so
+// that address 0 can serve as a null pointer.
+func New() *Memory {
+	return &Memory{chunks: map[uint64][]byte{}, brk: 0x10000}
+}
+
+// Alloc reserves n bytes aligned to align (a power of two) and returns the
+// base address. The memory is zeroed.
+func (m *Memory) Alloc(n uint64, align uint64) uint64 {
+	if align == 0 {
+		align = 8
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d not a power of two", align))
+	}
+	base := (m.brk + align - 1) &^ (align - 1)
+	m.brk = base + n
+	return base
+}
+
+// AllocWords reserves n 8-byte words, cache-line (64 B) aligned.
+func (m *Memory) AllocWords(n uint64) uint64 { return m.Alloc(n*8, 64) }
+
+// Brk returns the current allocation high-water mark (the footprint).
+func (m *Memory) Brk() uint64 { return m.brk }
+
+func (m *Memory) chunk(addr uint64) []byte {
+	key := addr >> chunkShift
+	c, ok := m.chunks[key]
+	if !ok {
+		c = make([]byte, chunkSize)
+		m.chunks[key] = c
+	}
+	return c
+}
+
+// span returns the backing bytes for [addr, addr+n), which must not cross a
+// chunk boundary after splitting by the callers below.
+func (m *Memory) span(addr uint64, n int) []byte {
+	off := addr & (chunkSize - 1)
+	if int(off)+n > chunkSize {
+		// Crossing accesses are rare (allocator aligns); handle by
+		// buffering. Callers use ReadBytes/WriteBytes for this path.
+		panic("mem: unaligned access crosses chunk boundary")
+	}
+	return m.chunk(addr)[off : int(off)+n]
+}
+
+// Read reads an n-byte little-endian value (n in 1,2,4,8).
+func (m *Memory) Read(addr uint64, n int) uint64 {
+	if addr&(chunkSize-1)+uint64(n) > chunkSize {
+		var buf [8]byte
+		m.ReadBytes(addr, buf[:n])
+		return leRead(buf[:n])
+	}
+	return leRead(m.span(addr, n))
+}
+
+// Write writes an n-byte little-endian value (n in 1,2,4,8).
+func (m *Memory) Write(addr uint64, n int, v uint64) {
+	if addr&(chunkSize-1)+uint64(n) > chunkSize {
+		var buf [8]byte
+		leWrite(buf[:n], v)
+		m.WriteBytes(addr, buf[:n])
+		return
+	}
+	leWrite(m.span(addr, n), v)
+}
+
+// Read64 reads an 8-byte word.
+func (m *Memory) Read64(addr uint64) uint64 { return m.Read(addr, 8) }
+
+// Write64 writes an 8-byte word.
+func (m *Memory) Write64(addr uint64, v uint64) { m.Write(addr, 8, v) }
+
+// Read32 reads a 4-byte word.
+func (m *Memory) Read32(addr uint64) uint32 { return uint32(m.Read(addr, 4)) }
+
+// Write32 writes a 4-byte word.
+func (m *Memory) Write32(addr uint64, v uint32) { m.Write(addr, 4, uint64(v)) }
+
+// ReadBytes fills p from memory starting at addr.
+func (m *Memory) ReadBytes(addr uint64, p []byte) {
+	for len(p) > 0 {
+		off := addr & (chunkSize - 1)
+		n := chunkSize - int(off)
+		if n > len(p) {
+			n = len(p)
+		}
+		copy(p[:n], m.chunk(addr)[off:int(off)+n])
+		p = p[n:]
+		addr += uint64(n)
+	}
+}
+
+// WriteBytes copies p into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, p []byte) {
+	for len(p) > 0 {
+		off := addr & (chunkSize - 1)
+		n := chunkSize - int(off)
+		if n > len(p) {
+			n = len(p)
+		}
+		copy(m.chunk(addr)[off:int(off)+n], p[:n])
+		p = p[n:]
+		addr += uint64(n)
+	}
+}
+
+// WriteWords writes a slice of 8-byte words starting at addr.
+func (m *Memory) WriteWords(addr uint64, ws []uint64) {
+	for i, w := range ws {
+		m.Write64(addr+uint64(i)*8, w)
+	}
+}
+
+// ReadWords reads n 8-byte words starting at addr.
+func (m *Memory) ReadWords(addr uint64, n int) []uint64 {
+	ws := make([]uint64, n)
+	for i := range ws {
+		ws[i] = m.Read64(addr + uint64(i)*8)
+	}
+	return ws
+}
+
+// WriteWords32 writes a slice of 4-byte words starting at addr.
+func (m *Memory) WriteWords32(addr uint64, ws []uint32) {
+	for i, w := range ws {
+		m.Write32(addr+uint64(i)*4, w)
+	}
+}
+
+func leRead(b []byte) uint64 {
+	switch len(b) {
+	case 1:
+		return uint64(b[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	case 8:
+		return binary.LittleEndian.Uint64(b)
+	}
+	panic(fmt.Sprintf("mem: bad access size %d", len(b)))
+}
+
+func leWrite(b []byte, v uint64) {
+	switch len(b) {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(b, v)
+	default:
+		panic(fmt.Sprintf("mem: bad access size %d", len(b)))
+	}
+}

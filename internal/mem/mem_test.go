@@ -1,0 +1,124 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteWidths(t *testing.T) {
+	m := New()
+	a := m.Alloc(64, 8)
+	m.Write(a, 8, 0x1122334455667788)
+	if got := m.Read(a, 8); got != 0x1122334455667788 {
+		t.Fatalf("read64 = %#x", got)
+	}
+	if got := m.Read(a, 4); got != 0x55667788 {
+		t.Fatalf("read32 low = %#x", got)
+	}
+	if got := m.Read(a+4, 4); got != 0x11223344 {
+		t.Fatalf("read32 high = %#x", got)
+	}
+	if got := m.Read(a, 1); got != 0x88 {
+		t.Fatalf("read8 = %#x", got)
+	}
+	m.Write(a+1, 1, 0xFF)
+	if got := m.Read(a, 8); got != 0x112233445566FF88 {
+		t.Fatalf("byte write = %#x", got)
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	m := New()
+	a := m.Alloc(3, 8)
+	b := m.Alloc(8, 64)
+	if a%8 != 0 {
+		t.Errorf("a=%#x not 8-aligned", a)
+	}
+	if b%64 != 0 {
+		t.Errorf("b=%#x not 64-aligned", b)
+	}
+	if b < a+3 {
+		t.Errorf("allocations overlap: a=%#x b=%#x", a, b)
+	}
+}
+
+func TestAllocBadAlignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New().Alloc(8, 3)
+}
+
+func TestChunkCrossing(t *testing.T) {
+	m := New()
+	addr := uint64(chunkSize) - 3 // crosses the first chunk boundary
+	m.Write(addr, 8, 0xAABBCCDDEEFF0011)
+	if got := m.Read(addr, 8); got != 0xAABBCCDDEEFF0011 {
+		t.Fatalf("cross-chunk = %#x", got)
+	}
+	buf := make([]byte, 100)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	m.WriteBytes(addr-50, buf)
+	out := make([]byte, 100)
+	m.ReadBytes(addr-50, out)
+	for i := range buf {
+		if out[i] != buf[i] {
+			t.Fatalf("byte %d = %d, want %d", i, out[i], buf[i])
+		}
+	}
+}
+
+func TestWords(t *testing.T) {
+	m := New()
+	a := m.AllocWords(4)
+	m.WriteWords(a, []uint64{1, 2, 3, 4})
+	ws := m.ReadWords(a, 4)
+	for i, w := range ws {
+		if w != uint64(i+1) {
+			t.Fatalf("word %d = %d", i, w)
+		}
+	}
+	m.WriteWords32(a, []uint32{9, 8})
+	if m.Read32(a) != 9 || m.Read32(a+4) != 8 {
+		t.Fatal("WriteWords32 wrong")
+	}
+}
+
+// Property: a write followed by a read of the same width and address returns
+// the value truncated to the width.
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New()
+	f := func(addr uint64, v uint64, wsel uint8) bool {
+		n := []int{1, 2, 4, 8}[wsel%4]
+		addr &= 0x3FFFFFF
+		m.Write(addr, n, v)
+		want := v
+		if n < 8 {
+			want = v & ((1 << (8 * uint(n))) - 1)
+		}
+		return m.Read(addr, n) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroInitialized(t *testing.T) {
+	m := New()
+	if m.Read64(0x123456) != 0 {
+		t.Fatal("fresh memory not zero")
+	}
+}
+
+func TestBrkGrows(t *testing.T) {
+	m := New()
+	b0 := m.Brk()
+	m.Alloc(1000, 8)
+	if m.Brk() < b0+1000 {
+		t.Fatal("brk did not grow")
+	}
+}

@@ -1,0 +1,55 @@
+package queue
+
+import "math/bits"
+
+// CostConfig describes a Pipette hardware configuration for the Table III
+// storage-cost model.
+type CostConfig struct {
+	NumQueues    int // physical queues per core
+	TotalEntries int // QRM entries == max mappable physical registers
+	PhysRegs     int // physical register file size (for index width)
+	Threads      int // SMT threads per core
+	PCBits       int // handler PC width
+}
+
+// DefaultCostConfig is the paper's configuration (Sec. IV-D): 16 queues, 148
+// mappable registers, 212-entry PRF, 4 threads, 64-bit PCs.
+func DefaultCostConfig() CostConfig {
+	return CostConfig{NumQueues: 16, TotalEntries: 148, PhysRegs: 212, Threads: 4, PCBits: 64}
+}
+
+// Cost is the storage breakdown of Table III, in bits.
+type Cost struct {
+	QRMEntryBits   int // entries × (phys index + control bit)
+	QRMPointerBits int // queues × 4 pointers × entry-index width
+	HandlerPCBits  int // threads × 2 handlers × PC width
+}
+
+// QRMBits returns the QRM total (paper: 1844 bits).
+func (c Cost) QRMBits() int { return c.QRMEntryBits + c.QRMPointerBits }
+
+// TotalBits returns all Pipette storage (paper: 2356 bits).
+func (c Cost) TotalBits() int { return c.QRMBits() + c.HandlerPCBits }
+
+// TotalBytes rounds TotalBits up to bytes.
+func (c Cost) TotalBytes() int { return (c.TotalBits() + 7) / 8 }
+
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// ComputeCost reproduces the Table III arithmetic: each QRM entry stores a
+// physical-register index plus a control bit; each queue keeps speculative
+// and committed head and tail pointers; each thread keeps two handler PCs.
+func ComputeCost(cfg CostConfig) Cost {
+	physIdx := log2ceil(cfg.PhysRegs)
+	entryIdx := log2ceil(cfg.TotalEntries)
+	return Cost{
+		QRMEntryBits:   cfg.TotalEntries * (physIdx + 1),
+		QRMPointerBits: cfg.NumQueues * 4 * entryIdx,
+		HandlerPCBits:  cfg.Threads * 2 * cfg.PCBits,
+	}
+}

@@ -1,0 +1,280 @@
+// Package queue implements the Queue Register Map (QRM) of Sec. IV-A: the
+// per-core structure that embeds FIFO queues in the physical register file.
+// Each queue is a ring of entries holding a physical-register index plus a
+// control bit, managed with speculative and committed head/tail pointers.
+//
+// The simulator is execution-driven with functional execution at rename
+// (DESIGN.md §4), so entries also carry the enqueued value and the cycle at
+// which the value becomes consumable (the producer's commit, an RA
+// completion, or a connector delivery) — that is how "enqueued values cannot
+// be dequeued until they are non-speculative" is enforced in the timing
+// model.
+package queue
+
+import "fmt"
+
+// NotReady marks an entry whose producer has not committed yet.
+const NotReady = ^uint64(0)
+
+// Entry is one queue slot.
+type Entry struct {
+	Val     uint64
+	Ctrl    bool
+	Phys    int    // physical register index backing this slot
+	ReadyAt uint64 // cycle the value becomes non-speculative; NotReady until then
+	SpecAt  uint64 // cycle the (possibly speculative) value exists; NotReady until then
+	Seq     uint64 // monotonic position in the queue
+}
+
+// Queue is one architecturally visible FIFO. Pointers are monotonic
+// sequence numbers; ring index is seq % Cap.
+//
+// Invariant: CommHead <= SpecHead <= SpecTail and SpecTail-CommHead <= Cap.
+// (CommTail is implied by per-entry ReadyAt, which producers set in FIFO
+// order.)
+type Queue struct {
+	ID  int
+	Cap int
+
+	ring []Entry
+
+	SpecHead uint64 // next entry a dequeue will bind
+	SpecTail uint64 // next slot an enqueue will fill
+	CommHead uint64 // next entry whose dequeue will commit (frees the slot)
+
+	// SkipPending is set while a skip_to_ctrl is blocked waiting for a
+	// control value; the producer's next data enqueue must trap to its
+	// enqueue control handler (Sec. III-B).
+	SkipPending bool
+}
+
+// DrainOne discards the head entry of the queue, freeing its slot
+// immediately, and returns the physical register to release. It requires
+// that no bound dequeues are pending (so commit order is preserved) and
+// that the entry's value is already committed by the producer. A blocked
+// skip_to_ctrl uses this to guarantee the producer's control value can
+// always enter a full queue (deadlock freedom; see DESIGN.md).
+func (q *Queue) DrainOne() (phys int, ok bool) {
+	if q.PendingDeq() != 0 || !q.CanDeq() || q.Head().Ctrl || q.Head().ReadyAt == NotReady {
+		return 0, false
+	}
+	q.Deq()
+	return q.CommitDeq(), true
+}
+
+// NewQueue returns an empty queue with the given capacity.
+func NewQueue(id, capacity int) *Queue {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("queue %d: capacity %d", id, capacity))
+	}
+	return &Queue{ID: id, Cap: capacity, ring: make([]Entry, capacity)}
+}
+
+func (q *Queue) at(seq uint64) *Entry { return &q.ring[seq%uint64(q.Cap)] }
+
+// CanEnq reports whether the ring has a free slot (paper: enqueues to a full
+// queue block; the slot frees when the consumer's dequeue commits).
+func (q *Queue) CanEnq() bool { return q.SpecTail-q.CommHead < uint64(q.Cap) }
+
+// Enq fills the next slot speculatively and returns its sequence number.
+// The value is not consumable until MarkReady is called.
+func (q *Queue) Enq(val uint64, ctrl bool, phys int) uint64 {
+	if !q.CanEnq() {
+		panic(fmt.Sprintf("queue %d: enqueue to full queue", q.ID))
+	}
+	seq := q.SpecTail
+	*q.at(seq) = Entry{Val: val, Ctrl: ctrl, Phys: phys, ReadyAt: NotReady, SpecAt: NotReady, Seq: seq}
+	q.SpecTail++
+	if ctrl {
+		q.SkipPending = false
+	}
+	return seq
+}
+
+// MarkReady records that entry seq's value is non-speculatively consumable
+// from cycle c (producer committed / RA load completed / connector
+// delivered). SpecAt is set too if the value was never marked speculative.
+func (q *Queue) MarkReady(seq uint64, c uint64) {
+	e := q.at(seq)
+	if e.Seq != seq {
+		panic(fmt.Sprintf("queue %d: MarkReady(%d) on recycled slot (seq %d)", q.ID, seq, e.Seq))
+	}
+	e.ReadyAt = c
+	if e.SpecAt == NotReady {
+		e.SpecAt = c
+	}
+}
+
+// MarkReadyIfLive is MarkReady for the speculative-dequeue variant: when
+// consumers may run ahead of producer commits, the slot can already have
+// been consumed, committed, and recycled by the time the producer commits —
+// in that case there is nothing left to mark.
+func (q *Queue) MarkReadyIfLive(seq uint64, c uint64) {
+	if seq < q.CommHead {
+		return // consumed and freed before the producer committed
+	}
+	q.MarkReady(seq, c)
+}
+
+// MarkSpecReady records that entry seq's value exists speculatively from
+// cycle c (the producer renamed the enqueue but has not committed it). Used
+// by the speculative-dequeue variant of Sec. IV-A.
+func (q *Queue) MarkSpecReady(seq uint64, c uint64) {
+	e := q.at(seq)
+	if e.Seq != seq {
+		panic(fmt.Sprintf("queue %d: MarkSpecReady(%d) on recycled slot (seq %d)", q.ID, seq, e.Seq))
+	}
+	e.SpecAt = c
+}
+
+// CanDeq reports whether a (speculative) entry exists to bind.
+func (q *Queue) CanDeq() bool { return q.SpecHead < q.SpecTail }
+
+// Head returns the entry a dequeue or peek would bind. Call only when
+// CanDeq.
+func (q *Queue) Head() *Entry {
+	if !q.CanDeq() {
+		panic(fmt.Sprintf("queue %d: head of empty queue", q.ID))
+	}
+	return q.at(q.SpecHead)
+}
+
+// Deq binds and consumes the head entry speculatively (rename-time).
+func (q *Queue) Deq() *Entry {
+	e := q.Head()
+	q.SpecHead++
+	return e
+}
+
+// CommitDeq retires the oldest bound dequeue, freeing its slot, and returns
+// the physical register to give back to the freelist.
+func (q *Queue) CommitDeq() int {
+	if q.CommHead >= q.SpecHead {
+		panic(fmt.Sprintf("queue %d: CommitDeq with no bound dequeue", q.ID))
+	}
+	phys := q.at(q.CommHead).Phys
+	q.CommHead++
+	return phys
+}
+
+// SkipScan searches [SpecHead, SpecTail) for a control entry. It returns the
+// number of data entries preceding it and the entry itself, or ok=false if
+// the queue holds no control value.
+func (q *Queue) SkipScan() (nData int, cv *Entry, ok bool) {
+	for s := q.SpecHead; s < q.SpecTail; s++ {
+		if e := q.at(s); e.Ctrl {
+			return int(s - q.SpecHead), e, true
+		}
+	}
+	return 0, nil, false
+}
+
+// SkipConsume consumes nData data entries plus the control entry after them
+// (the effect of a successful skip_to_ctrl at rename).
+func (q *Queue) SkipConsume(nData int) {
+	q.SpecHead += uint64(nData) + 1
+	if q.SpecHead > q.SpecTail {
+		panic(fmt.Sprintf("queue %d: SkipConsume(%d) past tail", q.ID, nData))
+	}
+}
+
+// Occupancy returns the number of live slots (speculative tail to committed
+// head), i.e. the capacity in use.
+func (q *Queue) Occupancy() int { return int(q.SpecTail - q.CommHead) }
+
+// PendingDeq returns how many bound-but-uncommitted dequeues exist.
+func (q *Queue) PendingDeq() int { return int(q.SpecHead - q.CommHead) }
+
+// QRM is the per-core queue register map.
+type QRM struct {
+	Queues []*Queue
+	// TotalEntries is the sum of capacities — the number of physical
+	// registers the QRM may map (148 in the paper's configuration).
+	TotalEntries int
+}
+
+// NewQRM configures numQueues queues of capPer entries each.
+func NewQRM(numQueues, capPer int) *QRM {
+	m := &QRM{}
+	for i := 0; i < numQueues; i++ {
+		m.Queues = append(m.Queues, NewQueue(i, capPer))
+	}
+	m.TotalEntries = numQueues * capPer
+	return m
+}
+
+// NewQRMSized configures queues with explicit per-queue capacities (the
+// OS-configurable chunking of Fig. 7).
+func NewQRMSized(caps []int) *QRM {
+	m := &QRM{}
+	for i, c := range caps {
+		m.Queues = append(m.Queues, NewQueue(i, c))
+		m.TotalEntries += c
+	}
+	return m
+}
+
+// Q returns queue id, panicking on out-of-range ids (program bug).
+func (m *QRM) Q(id uint8) *Queue {
+	if int(id) >= len(m.Queues) {
+		panic(fmt.Sprintf("qrm: queue %d not configured (have %d)", id, len(m.Queues)))
+	}
+	return m.Queues[id]
+}
+
+// MappedRegisters returns how many physical registers the QRM currently
+// holds (live entries across all queues).
+func (m *QRM) MappedRegisters() int {
+	n := 0
+	for _, q := range m.Queues {
+		n += q.Occupancy()
+	}
+	return n
+}
+
+// SavedEntry is one architectural queue value, as drained for a context
+// switch (Sec. III-C: queues are architectural state the OS saves and
+// restores with normal Pipette instructions).
+type SavedEntry struct {
+	Val  uint64
+	Ctrl bool
+}
+
+// Save drains the committed architectural contents of the queue. It
+// requires a quiesced queue: no bound-but-uncommitted dequeues and no
+// speculative enqueues (the OS deschedules the producer and consumer
+// first). The freed physical registers are returned for the caller to
+// release.
+func (q *Queue) Save() (state []SavedEntry, phys []int) {
+	if q.PendingDeq() != 0 {
+		panic(fmt.Sprintf("queue %d: Save with bound dequeues in flight", q.ID))
+	}
+	for q.CanDeq() {
+		e := q.Head()
+		if e.ReadyAt == NotReady {
+			panic(fmt.Sprintf("queue %d: Save with speculative entries", q.ID))
+		}
+		state = append(state, SavedEntry{Val: e.Val, Ctrl: e.Ctrl})
+		q.Deq()
+		phys = append(phys, q.CommitDeq())
+	}
+	return state, phys
+}
+
+// Restore refills a drained queue from saved state. allocPhys supplies one
+// physical register per entry (from the destination core's freelist); values
+// are immediately committed, as after an OS refill.
+func (q *Queue) Restore(state []SavedEntry, allocPhys func() (int, bool)) error {
+	for _, se := range state {
+		if !q.CanEnq() {
+			return fmt.Errorf("queue %d: restore overflow (cap %d)", q.ID, q.Cap)
+		}
+		p, ok := allocPhys()
+		if !ok {
+			return fmt.Errorf("queue %d: out of physical registers during restore", q.ID)
+		}
+		seq := q.Enq(se.Val, se.Ctrl, p)
+		q.MarkReady(seq, 0)
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewQueue(0, 4)
+	for i := 0; i < 4; i++ {
+		seq := q.Enq(uint64(i*10), false, i)
+		q.MarkReady(seq, uint64(i))
+	}
+	if q.CanEnq() {
+		t.Fatal("queue should be full")
+	}
+	for i := 0; i < 4; i++ {
+		e := q.Deq()
+		if e.Val != uint64(i*10) || e.Phys != i {
+			t.Fatalf("deq %d = %+v", i, e)
+		}
+	}
+	if q.CanDeq() {
+		t.Fatal("queue should be spec-empty")
+	}
+	// Slots free only at dequeue commit.
+	if q.CanEnq() {
+		t.Fatal("slots must stay occupied until CommitDeq")
+	}
+	for i := 0; i < 4; i++ {
+		if phys := q.CommitDeq(); phys != i {
+			t.Fatalf("freed phys = %d, want %d", phys, i)
+		}
+	}
+	if !q.CanEnq() {
+		t.Fatal("queue should have space after commits")
+	}
+}
+
+func TestReadiness(t *testing.T) {
+	q := NewQueue(0, 4)
+	seq := q.Enq(7, false, 3)
+	if q.Head().ReadyAt != NotReady {
+		t.Fatal("entry ready before MarkReady")
+	}
+	q.MarkReady(seq, 42)
+	if q.Head().ReadyAt != 42 {
+		t.Fatal("ReadyAt not recorded")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := NewQueue(0, 2)
+	for round := 0; round < 10; round++ {
+		s := q.Enq(uint64(round), false, round)
+		q.MarkReady(s, 0)
+		e := q.Deq()
+		if e.Val != uint64(round) {
+			t.Fatalf("round %d: val %d", round, e.Val)
+		}
+		q.CommitDeq()
+	}
+	if q.SpecHead != 10 || q.CommHead != 10 || q.SpecTail != 10 {
+		t.Fatalf("pointers: %d %d %d", q.SpecHead, q.CommHead, q.SpecTail)
+	}
+}
+
+func TestControlBitAndSkipScan(t *testing.T) {
+	q := NewQueue(0, 8)
+	q.Enq(1, false, 0)
+	q.Enq(2, false, 1)
+	q.Enq(99, true, 2) // control value
+	q.Enq(3, false, 3)
+	n, cv, ok := q.SkipScan()
+	if !ok || n != 2 || cv.Val != 99 {
+		t.Fatalf("SkipScan = %d %v %v", n, cv, ok)
+	}
+	q.SkipConsume(n)
+	// Next visible entry is the post-CV data value.
+	if e := q.Head(); e.Val != 3 {
+		t.Fatalf("after skip, head = %+v", e)
+	}
+	// The three consumed slots commit in order.
+	for i := 0; i < 3; i++ {
+		if phys := q.CommitDeq(); phys != i {
+			t.Fatalf("freed %d, want %d", phys, i)
+		}
+	}
+}
+
+func TestSkipScanNoCV(t *testing.T) {
+	q := NewQueue(0, 8)
+	q.Enq(1, false, 0)
+	if _, _, ok := q.SkipScan(); ok {
+		t.Fatal("found CV in data-only queue")
+	}
+	q.SkipPending = true
+	// Enqueuing a control value clears the pending skip.
+	q.Enq(5, true, 1)
+	if q.SkipPending {
+		t.Fatal("SkipPending not cleared by control enqueue")
+	}
+}
+
+func TestEnqFullPanics(t *testing.T) {
+	q := NewQueue(0, 1)
+	q.Enq(1, false, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	q.Enq(2, false, 1)
+}
+
+func TestDeqEmptyPanics(t *testing.T) {
+	q := NewQueue(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	q.Deq()
+}
+
+func TestQRMMappedRegisters(t *testing.T) {
+	m := NewQRM(4, 8)
+	if m.TotalEntries != 32 {
+		t.Fatalf("TotalEntries = %d", m.TotalEntries)
+	}
+	m.Q(0).Enq(1, false, 0)
+	m.Q(2).Enq(2, false, 1)
+	m.Q(2).Enq(3, false, 2)
+	if got := m.MappedRegisters(); got != 3 {
+		t.Fatalf("MappedRegisters = %d", got)
+	}
+	m.Q(2).Deq()
+	if got := m.MappedRegisters(); got != 3 {
+		t.Fatalf("dequeue must not unmap until commit: %d", got)
+	}
+	m.Q(2).CommitDeq()
+	if got := m.MappedRegisters(); got != 2 {
+		t.Fatalf("after commit: %d", got)
+	}
+}
+
+func TestQRMSized(t *testing.T) {
+	m := NewQRMSized([]int{4, 8, 16})
+	if m.TotalEntries != 28 || m.Q(1).Cap != 8 {
+		t.Fatalf("sized QRM wrong: %d", m.TotalEntries)
+	}
+}
+
+// Table III: the paper reports 1844 bits for the QRM and 2356 bits total
+// (295 bytes) for 16 queues, 148 mappable registers, a 212-entry PRF and 4
+// threads.
+func TestTable3Cost(t *testing.T) {
+	c := ComputeCost(DefaultCostConfig())
+	if c.QRMEntryBits != 148*9 {
+		t.Errorf("entry bits = %d, want %d", c.QRMEntryBits, 148*9)
+	}
+	if c.QRMPointerBits != 16*4*8 {
+		t.Errorf("pointer bits = %d, want %d", c.QRMPointerBits, 512)
+	}
+	if c.QRMBits() != 1844 {
+		t.Errorf("QRM bits = %d, want 1844 (Table III)", c.QRMBits())
+	}
+	if c.HandlerPCBits != 512 {
+		t.Errorf("handler bits = %d, want 512", c.HandlerPCBits)
+	}
+	if c.TotalBits() != 2356 {
+		t.Errorf("total = %d, want 2356 (Table III)", c.TotalBits())
+	}
+	if c.TotalBytes() != 295 {
+		t.Errorf("total bytes = %d, want 295", c.TotalBytes())
+	}
+}
+
+// Property: occupancy never exceeds capacity, and pointers stay ordered, for
+// any interleaving of enqueues and dequeue-commits.
+func TestPointerInvariants(t *testing.T) {
+	f := func(ops []bool) bool {
+		q := NewQueue(0, 4)
+		for _, enq := range ops {
+			if enq {
+				if q.CanEnq() {
+					q.MarkReady(q.Enq(0, false, 0), 0)
+				}
+			} else {
+				if q.CanDeq() {
+					q.Deq()
+				}
+				if q.PendingDeq() > 0 {
+					q.CommitDeq()
+				}
+			}
+			if q.Occupancy() > q.Cap || q.Occupancy() < 0 {
+				return false
+			}
+			if q.CommHead > q.SpecHead || q.SpecHead > q.SpecTail {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Queue contents are architectural state: a save/restore round trip across
+// a simulated context switch preserves FIFO order and control bits.
+func TestSaveRestore(t *testing.T) {
+	q := NewQueue(0, 8)
+	vals := []struct {
+		v    uint64
+		ctrl bool
+	}{{1, false}, {2, true}, {3, false}}
+	for i, x := range vals {
+		q.MarkReady(q.Enq(x.v, x.ctrl, i), 0)
+	}
+	state, phys := q.Save()
+	if len(state) != 3 || len(phys) != 3 {
+		t.Fatalf("saved %d entries, %d regs", len(state), len(phys))
+	}
+	if q.Occupancy() != 0 {
+		t.Fatal("queue not drained by Save")
+	}
+	q2 := NewQueue(0, 8)
+	next := 100
+	if err := q2.Restore(state, func() (int, bool) { next++; return next, true }); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range vals {
+		e := q2.Deq()
+		if e.Val != want.v || e.Ctrl != want.ctrl {
+			t.Fatalf("restored %+v, want %+v", e, want)
+		}
+		q2.CommitDeq()
+	}
+}
+
+func TestSaveWithPendingDeqPanics(t *testing.T) {
+	q := NewQueue(0, 4)
+	q.MarkReady(q.Enq(1, false, 0), 0)
+	q.Deq() // bound but not committed
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	q.Save()
+}
+
+func TestRestoreOverflow(t *testing.T) {
+	q := NewQueue(0, 2)
+	state := []SavedEntry{{1, false}, {2, false}, {3, false}}
+	n := 0
+	err := q.Restore(state, func() (int, bool) { n++; return n, true })
+	if err == nil {
+		t.Fatal("want overflow error")
+	}
+}
+
+func TestMarkReadyIfLiveOnRecycledSlot(t *testing.T) {
+	q := NewQueue(0, 1)
+	seq := q.Enq(1, false, 0)
+	q.MarkSpecReady(seq, 0)
+	q.Deq()
+	q.CommitDeq()              // slot freed before producer "commit"
+	q.MarkReadyIfLive(seq, 5)  // must not panic
+	seq2 := q.Enq(2, false, 1) // slot recycled
+	q.MarkReadyIfLive(seq, 9)  // stale mark: ignored
+	if q.Head().ReadyAt != NotReady {
+		t.Fatal("stale MarkReadyIfLive corrupted the recycled entry")
+	}
+	q.MarkReady(seq2, 3)
+	if q.Head().ReadyAt != 3 {
+		t.Fatal("fresh MarkReady failed")
+	}
+}

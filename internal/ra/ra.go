@@ -1,0 +1,229 @@
+// Package ra implements reference accelerators (Sec. IV-B): small
+// configurable units that stream indices from an input queue, perform
+// indirect loads against a configured array, and enqueue results to an
+// output queue. RAs consume only committed entries (they run
+// non-speculatively), use the core's cache port for loads, allocate queue
+// storage from the core's physical register freelist "like ordinary
+// threads", and bound their outstanding loads with a completion buffer.
+//
+// Control values are forwarded from input to output in FIFO order so that
+// delimiters (e.g. BFS end-of-level) flow through accelerated stages
+// (DESIGN.md §4.5).
+package ra
+
+import (
+	"fmt"
+
+	"pipette/internal/core"
+	"pipette/internal/queue"
+)
+
+// Mode selects the access pattern.
+type Mode uint8
+
+// RA access modes. Indirect fetches A[i] per input index i. IndirectPair
+// fetches A[i] and A[i+1] (the offsets pattern in BFS: start and end).
+// Scan consumes input pairs (start, end) and fetches A[start:end].
+const (
+	Indirect Mode = iota
+	IndirectPair
+	Scan
+)
+
+// String names the access mode.
+func (m Mode) String() string {
+	switch m {
+	case Indirect:
+		return "indirect"
+	case IndirectPair:
+		return "indirect-pair"
+	case Scan:
+		return "scan"
+	}
+	return "?"
+}
+
+// Config programs one RA (set once before the program runs, Sec. IV-B).
+type Config struct {
+	Mode      Mode
+	In, Out   uint8  // queue ids on the host core
+	Base      uint64 // array base address A
+	ElemBytes int    // element size S (4 or 8)
+
+	CompletionBuffer int // outstanding loads (32 in the paper's RTL)
+	IssuePerCycle    int // loads started per cycle
+}
+
+// Stats counts RA activity.
+type Stats struct {
+	Loads       uint64
+	CVForwarded uint64
+	InputsTaken uint64
+}
+
+// RA is one reference accelerator attached to a core.
+type RA struct {
+	c   *core.Core
+	cfg Config
+	in  *queue.Queue
+	out *queue.Queue
+
+	outstanding []uint64 // completion times of in-flight loads
+
+	havePending bool // scan: holding a start value awaiting its end
+	pendingVal  uint64
+
+	scanActive bool
+	scanCur    uint64
+	scanEnd    uint64
+
+	Stats Stats
+}
+
+// New attaches an RA to c and registers it to be ticked every core cycle.
+func New(c *core.Core, cfg Config) *RA {
+	if cfg.CompletionBuffer == 0 {
+		cfg.CompletionBuffer = 32
+	}
+	if cfg.IssuePerCycle == 0 {
+		cfg.IssuePerCycle = 1
+	}
+	if cfg.ElemBytes == 0 {
+		cfg.ElemBytes = 8
+	}
+	r := &RA{c: c, cfg: cfg, in: c.QRM().Q(cfg.In), out: c.QRM().Q(cfg.Out)}
+	c.AddUnit(r)
+	return r
+}
+
+// Drained reports that the RA holds no buffered or in-flight work and its
+// input queue is empty.
+func (r *RA) Drained() bool {
+	return len(r.outstanding) == 0 && !r.scanActive && !r.havePending && !r.in.CanDeq()
+}
+
+func (r *RA) pruneOutstanding(now uint64) {
+	w := 0
+	for _, t := range r.outstanding {
+		if t > now {
+			r.outstanding[w] = t
+			w++
+		}
+	}
+	r.outstanding = r.outstanding[:w]
+}
+
+// emit issues one load of element idx and enqueues the result; returns false
+// if output space, registers, or completion-buffer slots are unavailable.
+func (r *RA) emit(now uint64, idx uint64) bool {
+	if !r.out.CanEnq() || len(r.outstanding) >= r.cfg.CompletionBuffer {
+		return false
+	}
+	phys, ok := r.c.AllocPhys()
+	if !ok {
+		return false
+	}
+	addr := r.cfg.Base + idx*uint64(r.cfg.ElemBytes)
+	val := r.c.Mem().Read(addr, r.cfg.ElemBytes)
+	done, _ := r.c.MemPort().Access(now, addr, false)
+	seq := r.out.Enq(val, false, int(phys))
+	r.out.MarkReady(seq, done)
+	r.outstanding = append(r.outstanding, done)
+	r.Stats.Loads++
+	return true
+}
+
+// forwardCV moves a control value from input to output unchanged.
+func (r *RA) forwardCV(now uint64, v uint64) bool {
+	if !r.out.CanEnq() {
+		return false
+	}
+	phys, ok := r.c.AllocPhys()
+	if !ok {
+		return false
+	}
+	seq := r.out.Enq(v, true, int(phys))
+	r.out.MarkReady(seq, now+1)
+	r.Stats.CVForwarded++
+	return true
+}
+
+// takeInput consumes the committed head entry of the input queue, freeing
+// its register immediately (the RA is its own non-speculative consumer).
+func (r *RA) takeInput() queue.Entry {
+	e := *r.in.Deq()
+	r.c.FreePhys(int32(r.in.CommitDeq()))
+	r.Stats.InputsTaken++
+	return e
+}
+
+// inputReady reports whether a committed entry is available.
+func (r *RA) inputReady(now uint64) bool {
+	return r.in.CanDeq() && r.in.Head().ReadyAt <= now
+}
+
+// Tick advances the RA one cycle.
+func (r *RA) Tick(now uint64) {
+	r.pruneOutstanding(now)
+	for budget := r.cfg.IssuePerCycle; budget > 0; budget-- {
+		if r.scanActive {
+			if r.scanCur >= r.scanEnd {
+				r.scanActive = false
+				continue
+			}
+			if !r.emit(now, r.scanCur) {
+				return
+			}
+			r.scanCur++
+			continue
+		}
+		if !r.inputReady(now) {
+			return
+		}
+		head := r.in.Head()
+		if head.Ctrl {
+			if r.havePending {
+				panic(fmt.Sprintf("ra: control value splits a scan pair (queue %d)", r.cfg.In))
+			}
+			if !r.forwardCV(now, head.Val) {
+				return
+			}
+			r.takeInput()
+			continue
+		}
+		switch r.cfg.Mode {
+		case Indirect:
+			if !r.emit(now, head.Val) {
+				return
+			}
+			r.takeInput()
+		case IndirectPair:
+			// Needs room for two results.
+			if r.out.Occupancy()+2 > r.out.Cap || len(r.outstanding)+2 > r.cfg.CompletionBuffer {
+				return
+			}
+			idx := head.Val
+			if !r.emit(now, idx) {
+				return
+			}
+			if !r.emit(now, idx+1) {
+				// First emit succeeded; capacity was pre-checked, so
+				// only register exhaustion lands here. Retry next
+				// cycle would double-fetch; treat as fatal sizing bug.
+				panic("ra: register starvation mid-pair; increase PRF or shrink queues")
+			}
+			r.takeInput()
+		case Scan:
+			if !r.havePending {
+				r.pendingVal = head.Val
+				r.havePending = true
+				r.takeInput()
+				continue
+			}
+			start, end := r.pendingVal, head.Val
+			r.havePending = false
+			r.takeInput()
+			r.scanActive, r.scanCur, r.scanEnd = true, start, end
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package ra
+
+import (
+	"testing"
+
+	"pipette/internal/cache"
+	"pipette/internal/core"
+	"pipette/internal/mem"
+	"pipette/internal/queue"
+)
+
+// newHost builds a bare core whose queues the RA can be driven against
+// directly (no threads).
+func newHost(t *testing.T) (*core.Core, *mem.Memory) {
+	t.Helper()
+	m := mem.New()
+	h := cache.New(cache.DefaultConfig(), 1)
+	return core.New(0, core.DefaultConfig(), m, h.Port(0)), m
+}
+
+// feed enqueues a committed value into queue q of core c.
+func feed(t *testing.T, c *core.Core, q *queue.Queue, val uint64, ctrl bool) {
+	t.Helper()
+	phys, ok := c.AllocPhys()
+	if !ok {
+		t.Fatal("no phys reg")
+	}
+	seq := q.Enq(val, ctrl, int(phys))
+	q.MarkReady(seq, 0)
+}
+
+func drain(c *core.Core, q *queue.Queue, now uint64) []queue.Entry {
+	var out []queue.Entry
+	for q.CanDeq() && q.Head().ReadyAt <= now {
+		e := *q.Deq()
+		c.FreePhys(int32(q.CommitDeq()))
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestIndirectUnit(t *testing.T) {
+	c, m := newHost(t)
+	table := m.AllocWords(8)
+	for i := uint64(0); i < 8; i++ {
+		m.Write64(table+i*8, 100+i)
+	}
+	r := New(c, Config{Mode: Indirect, In: 0, Out: 1, Base: table, ElemBytes: 8})
+	in, out := c.QRM().Q(0), c.QRM().Q(1)
+	feed(t, c, in, 3, false)
+	feed(t, c, in, 5, false)
+	for now := uint64(1); now < 2000; now++ {
+		r.Tick(now)
+	}
+	got := drain(c, out, 3000)
+	if len(got) != 2 || got[0].Val != 103 || got[1].Val != 105 {
+		t.Fatalf("got %+v", got)
+	}
+	if !r.Drained() {
+		t.Fatal("RA should be drained")
+	}
+}
+
+func TestScanEmptyRange(t *testing.T) {
+	c, m := newHost(t)
+	table := m.AllocWords(8)
+	r := New(c, Config{Mode: Scan, In: 0, Out: 1, Base: table, ElemBytes: 8})
+	in, out := c.QRM().Q(0), c.QRM().Q(1)
+	feed(t, c, in, 4, false) // start
+	feed(t, c, in, 4, false) // end == start: empty
+	feed(t, c, in, 9, true)  // CV after the empty range
+	for now := uint64(1); now < 2000; now++ {
+		r.Tick(now)
+	}
+	got := drain(c, out, 3000)
+	if len(got) != 1 || !got[0].Ctrl || got[0].Val != 9 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestCompletionBufferBoundsMLP(t *testing.T) {
+	c, m := newHost(t)
+	table := m.AllocWords(256)
+	r := New(c, Config{Mode: Indirect, In: 0, Out: 1, Base: table, ElemBytes: 8,
+		CompletionBuffer: 2, IssuePerCycle: 4})
+	in := c.QRM().Q(0)
+	for i := uint64(0); i < 8; i++ {
+		feed(t, c, in, i*64, false) // distinct lines -> long misses
+	}
+	r.Tick(1)
+	if got := r.Stats.Loads; got > 2 {
+		t.Fatalf("issued %d loads in one tick with a 2-entry completion buffer", got)
+	}
+}
+
+func TestOutputCapacityThrottles(t *testing.T) {
+	c, m := newHost(t)
+	c.SetQueueCaps(map[uint8]int{1: 2})
+	table := m.AllocWords(64)
+	r := New(c, Config{Mode: Indirect, In: 0, Out: 1, Base: table, ElemBytes: 8, IssuePerCycle: 4})
+	in := c.QRM().Q(0)
+	for i := uint64(0); i < 6; i++ {
+		feed(t, c, in, i, false)
+	}
+	for now := uint64(1); now < 1000; now++ {
+		r.Tick(now)
+	}
+	if out := c.QRM().Q(1); out.Occupancy() != 2 {
+		t.Fatalf("output occupancy %d, want 2 (capacity)", out.Occupancy())
+	}
+	if r.Drained() {
+		t.Fatal("RA cannot be drained with input pending")
+	}
+}
+
+func TestCVSplittingScanPairPanics(t *testing.T) {
+	c, m := newHost(t)
+	table := m.AllocWords(8)
+	r := New(c, Config{Mode: Scan, In: 0, Out: 1, Base: table, ElemBytes: 8})
+	in := c.QRM().Q(0)
+	feed(t, c, in, 0, false) // start of a pair...
+	feed(t, c, in, 7, true)  // ...interrupted by a CV: program bug
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	for now := uint64(1); now < 10; now++ {
+		r.Tick(now)
+	}
+}
+
+func TestElemBytes4(t *testing.T) {
+	c, m := newHost(t)
+	base := m.Alloc(64, 64)
+	m.Write32(base+4*3, 0xABCD)
+	r := New(c, Config{Mode: Indirect, In: 0, Out: 1, Base: base, ElemBytes: 4})
+	in, out := c.QRM().Q(0), c.QRM().Q(1)
+	feed(t, c, in, 3, false)
+	for now := uint64(1); now < 2000; now++ {
+		r.Tick(now)
+	}
+	got := drain(c, out, 3000)
+	if len(got) != 1 || got[0].Val != 0xABCD {
+		t.Fatalf("got %+v", got)
+	}
+}

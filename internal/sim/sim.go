@@ -1,0 +1,157 @@
+// Package sim assembles full systems: N Pipette cores sharing a memory
+// hierarchy and functional memory, plus cross-core connectors. It provides
+// the deterministic run loop (single goroutine, cycle-by-cycle) with a
+// deadlock watchdog, and collects the statistics the experiment harness
+// turns into the paper's figures.
+package sim
+
+import (
+	"fmt"
+
+	"pipette/internal/cache"
+	"pipette/internal/connector"
+	"pipette/internal/core"
+	"pipette/internal/mem"
+)
+
+// Config describes a system.
+type Config struct {
+	Cores          int
+	Core           core.Config
+	Cache          cache.Config
+	NoCLatency     uint64 // connector hop latency
+	WatchdogCycles uint64 // fail if no instruction commits for this long
+	MaxCycles      uint64 // hard simulation cap (0 = unlimited)
+}
+
+// DefaultConfig returns the paper's 1-core system (Table IV).
+func DefaultConfig() Config {
+	return Config{
+		Cores:          1,
+		Core:           core.DefaultConfig(),
+		Cache:          cache.DefaultConfig(),
+		NoCLatency:     12,
+		WatchdogCycles: 2_000_000,
+	}
+}
+
+// System is a runnable simulated machine.
+type System struct {
+	cfg   Config
+	Mem   *mem.Memory
+	Hier  *cache.Hierarchy
+	Cores []*core.Core
+	conns []*connector.Connector
+}
+
+// New builds the system; workloads then lay out data in s.Mem and load
+// programs onto s.Cores before calling Run.
+func New(cfg Config) *System {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	s := &System{cfg: cfg, Mem: mem.New()}
+	s.Hier = cache.New(cfg.Cache, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		s.Cores = append(s.Cores, core.New(i, cfg.Core, s.Mem, s.Hier.Port(i)))
+	}
+	return s
+}
+
+// Connect wires queue srcQ on core src to queue dstQ on core dst.
+func (s *System) Connect(src int, srcQ uint8, dst int, dstQ uint8) *connector.Connector {
+	c := connector.New(s.Cores[src], srcQ, s.Cores[dst], dstQ, s.cfg.NoCLatency, 1)
+	s.conns = append(s.conns, c)
+	return c
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Cycles     uint64
+	Committed  uint64
+	CoreStats  []core.Stats
+	CacheStats cache.Stats
+}
+
+// IPC returns whole-system committed instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}
+
+// CoreIPC returns core i's IPC.
+func (r Result) CoreIPC(i int) float64 {
+	s := r.CoreStats[i]
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+func (s *System) done() bool {
+	for _, c := range s.Cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	for _, c := range s.conns {
+		if !c.Drained() {
+			return false
+		}
+	}
+	return true
+}
+
+// Run simulates until all threads halt and all units drain. It returns an
+// error on deadlock (watchdog) or when MaxCycles is exceeded.
+func (s *System) Run() (Result, error) {
+	var cycles, lastCommit, lastProgress uint64
+	watchdog := s.cfg.WatchdogCycles
+	if watchdog == 0 {
+		watchdog = 2_000_000
+	}
+	for !s.done() {
+		cycles++
+		for _, c := range s.Cores {
+			c.Cycle()
+		}
+		for _, c := range s.conns {
+			c.Tick(cycles)
+		}
+		total := uint64(0)
+		for _, c := range s.Cores {
+			total += c.Committed()
+		}
+		if total != lastCommit {
+			lastCommit, lastProgress = total, cycles
+		}
+		if cycles-lastProgress > watchdog {
+			return s.result(cycles), fmt.Errorf("sim: deadlock — no commit since cycle %d (%d committed)", lastProgress, lastCommit)
+		}
+		if s.cfg.MaxCycles > 0 && cycles > s.cfg.MaxCycles {
+			return s.result(cycles), fmt.Errorf("sim: exceeded MaxCycles=%d", s.cfg.MaxCycles)
+		}
+	}
+	return s.result(cycles), nil
+}
+
+func (s *System) result(cycles uint64) Result {
+	r := Result{Cycles: cycles, CacheStats: s.Hier.Stats}
+	for _, c := range s.Cores {
+		st := c.Stats()
+		r.CoreStats = append(r.CoreStats, st)
+		r.Committed += st.Committed
+	}
+	return r
+}
+
+// DebugState renders all cores' state (used in deadlock reports).
+func (s *System) DebugState() string {
+	out := ""
+	for _, c := range s.Cores {
+		out += c.DebugState()
+	}
+	return out
+}

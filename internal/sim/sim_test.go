@@ -1,0 +1,358 @@
+package sim_test
+
+import (
+	"testing"
+
+	"pipette/internal/energy"
+	"pipette/internal/isa"
+	"pipette/internal/ra"
+	"pipette/internal/sim"
+)
+
+// Producer sends indices 0..N-1; an indirect RA fetches table[i]; consumer
+// sums the fetched values.
+func TestRAIndirect(t *testing.T) {
+	s := sim.New(sim.DefaultConfig())
+	const N = 300
+	table := s.Mem.AllocWords(N)
+	var want uint64
+	for i := uint64(0); i < N; i++ {
+		s.Mem.Write64(table+i*8, i*3+1)
+		want += i*3 + 1
+	}
+	res := s.Mem.AllocWords(1)
+
+	p := isa.NewAssembler("prod")
+	p.MapQ(10, 0, isa.QueueIn)
+	p.MovI(1, 0)
+	p.Label("loop")
+	p.Mov(10, 1)
+	p.AddI(1, 1, 1)
+	p.BneI(1, N, "loop")
+	p.Halt()
+
+	c := isa.NewAssembler("cons")
+	c.MapQ(10, 1, isa.QueueOut)
+	c.MovI(1, 0)
+	c.MovI(2, 0)
+	c.Label("loop")
+	c.Add(1, 1, 10)
+	c.AddI(2, 2, 1)
+	c.BneI(2, N, "loop")
+	c.MovU(3, res)
+	c.St8(3, 0, 1)
+	c.Halt()
+
+	unit := ra.New(s.Cores[0], ra.Config{Mode: ra.Indirect, In: 0, Out: 1, Base: table, ElemBytes: 8})
+	s.Cores[0].Load(0, p.MustLink())
+	s.Cores[0].Load(1, c.MustLink())
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Mem.Read64(res); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	if unit.Stats.Loads != N {
+		t.Fatalf("RA loads = %d, want %d", unit.Stats.Loads, N)
+	}
+}
+
+// Scan RA: producer sends (start,end) pairs; RA emits table[start:end].
+func TestRAScan(t *testing.T) {
+	s := sim.New(sim.DefaultConfig())
+	const N = 64
+	table := s.Mem.AllocWords(N)
+	for i := uint64(0); i < N; i++ {
+		s.Mem.Write64(table+i*8, i)
+	}
+	res := s.Mem.AllocWords(1)
+
+	// Ranges: [0,5), [5,5) empty, [5,20), [20,64)  => sum 0..63.
+	ranges := []uint64{0, 5, 5, 5, 5, 20, 20, 64}
+	p := isa.NewAssembler("prod")
+	p.MapQ(10, 0, isa.QueueIn)
+	for _, v := range ranges {
+		p.MovU(1, v)
+		p.Mov(10, 1)
+	}
+	p.Halt()
+
+	c := isa.NewAssembler("cons")
+	c.MapQ(10, 1, isa.QueueOut)
+	c.MovI(1, 0)
+	c.MovI(2, 0)
+	c.Label("loop")
+	c.Add(1, 1, 10)
+	c.AddI(2, 2, 1)
+	c.BneI(2, N, "loop")
+	c.MovU(3, res)
+	c.St8(3, 0, 1)
+	c.Halt()
+
+	ra.New(s.Cores[0], ra.Config{Mode: ra.Scan, In: 0, Out: 1, Base: table, ElemBytes: 8})
+	s.Cores[0].Load(0, p.MustLink())
+	s.Cores[0].Load(1, c.MustLink())
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Mem.Read64(res), uint64(N*(N-1)/2); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+// IndirectPair RA: index v yields table[v] and table[v+1] (the BFS offsets
+// pattern).
+func TestRAIndirectPair(t *testing.T) {
+	s := sim.New(sim.DefaultConfig())
+	table := s.Mem.AllocWords(10)
+	for i := uint64(0); i < 10; i++ {
+		s.Mem.Write64(table+i*8, 100+i)
+	}
+	res := s.Mem.AllocWords(2)
+
+	p := isa.NewAssembler("prod")
+	p.MapQ(10, 0, isa.QueueIn)
+	p.MovI(1, 4)
+	p.Mov(10, 1) // index 4 -> outputs 104, 105
+	p.Halt()
+
+	c := isa.NewAssembler("cons")
+	c.MapQ(10, 1, isa.QueueOut)
+	c.Mov(1, 10)
+	c.Mov(2, 10)
+	c.MovU(3, res)
+	c.St8(3, 0, 1)
+	c.St8(3, 8, 2)
+	c.Halt()
+
+	ra.New(s.Cores[0], ra.Config{Mode: ra.IndirectPair, In: 0, Out: 1, Base: table, ElemBytes: 8})
+	s.Cores[0].Load(0, p.MustLink())
+	s.Cores[0].Load(1, c.MustLink())
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Mem.Read64(res) != 104 || s.Mem.Read64(res+8) != 105 {
+		t.Fatalf("pair = %d,%d", s.Mem.Read64(res), s.Mem.Read64(res+8))
+	}
+}
+
+// Control values pass through RAs in order relative to the data stream.
+func TestRACVPassthrough(t *testing.T) {
+	s := sim.New(sim.DefaultConfig())
+	table := s.Mem.AllocWords(4)
+	s.Mem.Write64(table, 11)
+	s.Mem.Write64(table+8, 22)
+	res := s.Mem.AllocWords(3)
+
+	p := isa.NewAssembler("prod")
+	p.MapQ(10, 0, isa.QueueIn)
+	p.MovI(1, 0)
+	p.Mov(10, 1)  // index 0 -> 11
+	p.EnqCI(0, 7) // CV 7
+	p.MovI(1, 1)
+	p.Mov(10, 1) // index 1 -> 22
+	p.Halt()
+
+	c := isa.NewAssembler("cons")
+	c.MapQ(10, 1, isa.QueueOut)
+	c.OnDeqCV("h")
+	c.MovU(3, res)
+	c.Mov(1, 10) // 11
+	c.St8(3, 0, 1)
+	c.Label("again")
+	c.Mov(1, 10) // traps on CV, handler consumes, then 22
+	c.St8(3, 16, 1)
+	c.Halt()
+	c.Label("h")
+	c.St8(3, 8, isa.RHCV)
+	c.Jmp("again")
+
+	ra.New(s.Cores[0], ra.Config{Mode: ra.Indirect, In: 0, Out: 1, Base: table, ElemBytes: 8})
+	s.Cores[0].Load(0, p.MustLink())
+	s.Cores[0].Load(1, c.MustLink())
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Mem.Read64(res) != 11 || s.Mem.Read64(res+8) != 7 || s.Mem.Read64(res+16) != 22 {
+		t.Fatalf("got %d,%d,%d want 11,7,22",
+			s.Mem.Read64(res), s.Mem.Read64(res+8), s.Mem.Read64(res+16))
+	}
+}
+
+// Cross-core connector: producer on core 0, consumer on core 1.
+func TestConnectorCrossCore(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 2
+	s := sim.New(cfg)
+	res := s.Mem.AllocWords(1)
+	const N = 200
+
+	p := isa.NewAssembler("prod")
+	p.MapQ(10, 0, isa.QueueIn)
+	p.MovI(1, 0)
+	p.Label("loop")
+	p.AddI(1, 1, 1)
+	p.Mov(10, 1)
+	p.BneI(1, N, "loop")
+	p.Halt()
+
+	c := isa.NewAssembler("cons")
+	c.MapQ(10, 2, isa.QueueOut)
+	c.MovI(1, 0)
+	c.MovI(2, 0)
+	c.Label("loop")
+	c.Add(1, 1, 10)
+	c.AddI(2, 2, 1)
+	c.BneI(2, N, "loop")
+	c.MovU(3, res)
+	c.St8(3, 0, 1)
+	c.Halt()
+
+	conn := s.Connect(0, 0, 1, 2)
+	s.Cores[0].Load(0, p.MustLink())
+	s.Cores[1].Load(0, c.MustLink())
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Mem.Read64(res), uint64(N*(N+1)/2); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	if conn.Stats.Sent != N {
+		t.Fatalf("connector sent = %d, want %d", conn.Stats.Sent, N)
+	}
+}
+
+// A genuinely deadlocked program (both threads dequeue first) must trip the
+// watchdog instead of hanging.
+func TestWatchdogCatchesDeadlock(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.WatchdogCycles = 5000
+	s := sim.New(cfg)
+
+	a := isa.NewAssembler("a")
+	a.MapQ(10, 0, isa.QueueOut) // dequeue from q0
+	a.MapQ(11, 1, isa.QueueIn)  // enqueue to q1
+	a.Mov(11, 10)
+	a.Halt()
+
+	b := isa.NewAssembler("b")
+	b.MapQ(10, 1, isa.QueueOut)
+	b.MapQ(11, 0, isa.QueueIn)
+	b.Mov(11, 10)
+	b.Halt()
+
+	s.Cores[0].Load(0, a.MustLink())
+	s.Cores[0].Load(1, b.MustLink())
+	if _, err := s.Run(); err == nil {
+		t.Fatal("watchdog did not fire on deadlock")
+	}
+}
+
+func TestEnergyBreakdown(t *testing.T) {
+	s := sim.New(sim.DefaultConfig())
+	res := s.Mem.AllocWords(1)
+	arr := s.Mem.AllocWords(4096)
+	a := isa.NewAssembler("t")
+	a.MovU(1, arr)
+	a.MovI(2, 4096)
+	a.MovI(3, 0)
+	a.Label("loop")
+	a.Ld8(4, 1, 0)
+	a.Add(3, 3, 4)
+	a.AddI(1, 1, 8)
+	a.SubI(2, 2, 1)
+	a.BneI(2, 0, "loop")
+	a.MovU(5, res)
+	a.St8(5, 0, 3)
+	a.Halt()
+	s.Cores[0].Load(0, a.MustLink())
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := energy.Compute(energy.DefaultParams(), r.CoreStats, r.CacheStats, r.Cycles)
+	if b.CoreDyn <= 0 || b.Static <= 0 || b.Total() <= 0 {
+		t.Fatalf("degenerate breakdown: %+v", b)
+	}
+	if b.DRAMDyn <= 0 {
+		t.Fatalf("streaming workload should touch DRAM: %+v", b)
+	}
+	if r.IPC() <= 0 || r.IPC() > float64(6) {
+		t.Fatalf("IPC out of range: %f", r.IPC())
+	}
+}
+
+// A three-core relay: values hop core0 -> core1 -> core2 through two
+// connectors, with a transform at the middle core.
+func TestConnectorRelayChain(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 3
+	s := sim.New(cfg)
+	res := s.Mem.AllocWords(1)
+	const N = 100
+
+	p := isa.NewAssembler("head")
+	p.MapQ(10, 0, isa.QueueIn)
+	p.MovI(1, 0)
+	p.Label("loop")
+	p.AddI(1, 1, 1)
+	p.Mov(10, 1)
+	p.BneI(1, N, "loop")
+	p.Halt()
+
+	mid := isa.NewAssembler("mid")
+	mid.MapQ(10, 1, isa.QueueOut)
+	mid.MapQ(11, 2, isa.QueueIn)
+	mid.MovI(2, 0)
+	mid.Label("loop")
+	mid.ShlI(1, 10, 1) // double each value
+	mid.Mov(11, 1)
+	mid.AddI(2, 2, 1)
+	mid.BneI(2, N, "loop")
+	mid.Halt()
+
+	tail := isa.NewAssembler("tail")
+	tail.MapQ(10, 3, isa.QueueOut)
+	tail.MovI(1, 0)
+	tail.MovI(2, 0)
+	tail.Label("loop")
+	tail.Add(1, 1, 10)
+	tail.AddI(2, 2, 1)
+	tail.BneI(2, N, "loop")
+	tail.MovU(3, res)
+	tail.St8(3, 0, 1)
+	tail.Halt()
+
+	s.Connect(0, 0, 1, 1)
+	s.Connect(1, 2, 2, 3)
+	s.Cores[0].Load(0, p.MustLink())
+	s.Cores[1].Load(0, mid.MustLink())
+	s.Cores[2].Load(0, tail.MustLink())
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Mem.Read64(res), uint64(N*(N+1)); got != want {
+		t.Fatalf("relay sum = %d, want %d", got, want)
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	s := sim.New(sim.DefaultConfig())
+	a := isa.NewAssembler("t")
+	a.MovI(1, 10)
+	a.Label("l")
+	a.SubI(1, 1, 1)
+	a.BneI(1, 0, "l")
+	a.Halt()
+	s.Cores[0].Load(0, a.MustLink())
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CoreIPC(0) <= 0 {
+		t.Fatal("CoreIPC zero")
+	}
+	if r.IPC() <= 0 || r.Committed == 0 {
+		t.Fatal("empty result")
+	}
+}

@@ -1,0 +1,215 @@
+// Package sparse provides sparse matrices in CSR/CSC form, synthetic
+// generators shaped like the paper's Table VI inputs, a reference
+// inner-product SpMM, and layout into simulated memory.
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pipette/internal/isa"
+	"pipette/internal/mem"
+)
+
+// Matrix is a square sparse matrix. CSR and CSC views are both materialized
+// because inner-product SpMM streams rows of A against columns of B.
+type Matrix struct {
+	Name string
+	N    int
+
+	// CSR
+	RowPtr []uint64 // N+1
+	Cols   []uint64
+	Vals   []float64
+
+	// CSC
+	ColPtr []uint64 // N+1
+	Rows   []uint64
+	CVals  []float64
+}
+
+// NNZ returns the number of stored non-zeros.
+func (m *Matrix) NNZ() int { return len(m.Cols) }
+
+// AvgNNZPerRow returns the Table VI metric.
+func (m *Matrix) AvgNNZPerRow() float64 { return float64(m.NNZ()) / float64(m.N) }
+
+type triplet struct {
+	r, c int
+	v    float64
+}
+
+func fromTriplets(name string, n int, ts []triplet) *Matrix {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].r != ts[j].r {
+			return ts[i].r < ts[j].r
+		}
+		return ts[i].c < ts[j].c
+	})
+	// Deduplicate (last wins).
+	w := 0
+	for i := 0; i < len(ts); i++ {
+		if w > 0 && ts[w-1].r == ts[i].r && ts[w-1].c == ts[i].c {
+			ts[w-1] = ts[i]
+			continue
+		}
+		ts[w] = ts[i]
+		w++
+	}
+	ts = ts[:w]
+
+	m := &Matrix{Name: name, N: n, RowPtr: make([]uint64, n+1), ColPtr: make([]uint64, n+1)}
+	for _, t := range ts {
+		m.Cols = append(m.Cols, uint64(t.c))
+		m.Vals = append(m.Vals, t.v)
+		m.RowPtr[t.r+1]++
+	}
+	for i := 0; i < n; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	// CSC.
+	sort.SliceStable(ts, func(i, j int) bool {
+		if ts[i].c != ts[j].c {
+			return ts[i].c < ts[j].c
+		}
+		return ts[i].r < ts[j].r
+	})
+	for _, t := range ts {
+		m.Rows = append(m.Rows, uint64(t.r))
+		m.CVals = append(m.CVals, t.v)
+		m.ColPtr[t.c+1]++
+	}
+	for i := 0; i < n; i++ {
+		m.ColPtr[i+1] += m.ColPtr[i]
+	}
+	return m
+}
+
+// Random generates an n×n matrix with ~avgNNZ non-zeros per row, uniformly
+// placed. Values are small positive reals.
+func Random(name string, n, avgNNZ int, seed int64) *Matrix {
+	r := rand.New(rand.NewSource(seed))
+	var ts []triplet
+	for i := 0; i < n; i++ {
+		k := avgNNZ/2 + r.Intn(avgNNZ+1)
+		for e := 0; e < k; e++ {
+			ts = append(ts, triplet{i, r.Intn(n), 0.5 + r.Float64()})
+		}
+	}
+	return fromTriplets(name, n, ts)
+}
+
+// Banded generates a structural-mechanics-style matrix: dense bands around
+// the diagonal (pct5/rma10 class, high nnz/row).
+func Banded(name string, n, band int, seed int64) *Matrix {
+	r := rand.New(rand.NewSource(seed))
+	var ts []triplet
+	for i := 0; i < n; i++ {
+		for d := -band; d <= band; d++ {
+			j := i + d
+			if j < 0 || j >= n || r.Intn(3) == 0 {
+				continue
+			}
+			ts = append(ts, triplet{i, j, 0.5 + r.Float64()})
+		}
+	}
+	return fromTriplets(name, n, ts)
+}
+
+// Input couples a Fig. 13(e)-style label with a generated matrix.
+type Input struct {
+	Label string
+	M     *Matrix
+}
+
+// Inputs generates the six Table VI-shaped matrices (labels follow the
+// domain classes; avg nnz/row ascends as in the table).
+func Inputs(size int) []Input {
+	if size <= 0 {
+		size = 1
+	}
+	s := size
+	return []Input{
+		{"Am", Random("amazon-class", 420*s, 8, 21)},
+		{"Co", Random("condmat-class", 400*s, 8, 22)},
+		{"Cg", Random("cage-class", 360*s, 16, 23)},
+		{"Cs", Random("cubes-class", 340*s, 16, 24)},
+		{"Rm", Banded("rma10-class", 200*s, 20, 25)},
+		{"Pc", Banded("pct20-class", 210*s, 24, 26)},
+	}
+}
+
+// Layout is the simulated-memory image of a matrix. Column indices and
+// values are stored as 8-byte words (float64 bit patterns for values).
+type Layout struct {
+	RowPtrAddr, ColsAddr, ValsAddr  uint64 // CSR
+	ColPtrAddr, RowsAddr, CValsAddr uint64 // CSC
+}
+
+// WriteTo lays the matrix out in simulated memory.
+func (m *Matrix) WriteTo(mm *mem.Memory) Layout {
+	l := Layout{
+		RowPtrAddr: mm.AllocWords(uint64(m.N + 1)),
+		ColsAddr:   mm.AllocWords(uint64(maxi(m.NNZ(), 1))),
+		ValsAddr:   mm.AllocWords(uint64(maxi(m.NNZ(), 1))),
+		ColPtrAddr: mm.AllocWords(uint64(m.N + 1)),
+		RowsAddr:   mm.AllocWords(uint64(maxi(m.NNZ(), 1))),
+		CValsAddr:  mm.AllocWords(uint64(maxi(m.NNZ(), 1))),
+	}
+	mm.WriteWords(l.RowPtrAddr, m.RowPtr)
+	mm.WriteWords(l.ColsAddr, m.Cols)
+	mm.WriteWords(l.ColPtrAddr, m.ColPtr)
+	mm.WriteWords(l.RowsAddr, m.Rows)
+	for i, v := range m.Vals {
+		mm.Write64(l.ValsAddr+uint64(i)*8, isa.F2U(v))
+	}
+	for i, v := range m.CVals {
+		mm.Write64(l.CValsAddr+uint64(i)*8, isa.F2U(v))
+	}
+	return l
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SpMMInner computes C = A·B by inner products (the paper's Fig. 4 kernel):
+// for each row i of A and column j of B, intersect their sparsity patterns
+// and accumulate. It returns the total number of non-zero dot products and
+// the sum of all result values (the checksums the simulated kernel is
+// validated against).
+func SpMMInner(a, b *Matrix) (nnz int, sum float64) {
+	if a.N != b.N {
+		panic(fmt.Sprintf("sparse: dimension mismatch %d vs %d", a.N, b.N))
+	}
+	for i := 0; i < a.N; i++ {
+		rs, re := a.RowPtr[i], a.RowPtr[i+1]
+		for j := 0; j < b.N; j++ {
+			cs, ce := b.ColPtr[j], b.ColPtr[j+1]
+			acc, hit := 0.0, false
+			p, q := rs, cs
+			for p < re && q < ce {
+				switch {
+				case a.Cols[p] < b.Rows[q]:
+					p++
+				case a.Cols[p] > b.Rows[q]:
+					q++
+				default:
+					acc += a.Vals[p] * b.CVals[q]
+					hit = true
+					p++
+					q++
+				}
+			}
+			if hit {
+				nnz++
+				sum += acc
+			}
+		}
+	}
+	return nnz, sum
+}

@@ -1,0 +1,134 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"pipette/internal/isa"
+	"pipette/internal/mem"
+)
+
+func TestCSRCSCConsistent(t *testing.T) {
+	m := Random("t", 50, 5, 1)
+	if int(m.RowPtr[m.N]) != m.NNZ() || int(m.ColPtr[m.N]) != m.NNZ() {
+		t.Fatalf("ptr tails: %d %d vs %d", m.RowPtr[m.N], m.ColPtr[m.N], m.NNZ())
+	}
+	// Rebuild a dense map from both views and compare.
+	csr := map[[2]uint64]float64{}
+	for i := 0; i < m.N; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			csr[[2]uint64{uint64(i), m.Cols[p]}] = m.Vals[p]
+		}
+	}
+	for j := 0; j < m.N; j++ {
+		for p := m.ColPtr[j]; p < m.ColPtr[j+1]; p++ {
+			k := [2]uint64{m.Rows[p], uint64(j)}
+			v, ok := csr[k]
+			if !ok || v != m.CVals[p] {
+				t.Fatalf("CSC entry %v missing/mismatched in CSR", k)
+			}
+			delete(csr, k)
+		}
+	}
+	if len(csr) != 0 {
+		t.Fatalf("%d CSR entries missing from CSC", len(csr))
+	}
+}
+
+func TestRowsSorted(t *testing.T) {
+	m := Banded("t", 80, 10, 2)
+	for i := 0; i < m.N; i++ {
+		for p := m.RowPtr[i] + 1; p < m.RowPtr[i+1]; p++ {
+			if m.Cols[p-1] >= m.Cols[p] {
+				t.Fatalf("row %d not strictly sorted", i)
+			}
+		}
+	}
+	for j := 0; j < m.N; j++ {
+		for p := m.ColPtr[j] + 1; p < m.ColPtr[j+1]; p++ {
+			if m.Rows[p-1] >= m.Rows[p] {
+				t.Fatalf("col %d not strictly sorted", j)
+			}
+		}
+	}
+}
+
+// SpMMInner against a brute-force dense reference.
+func TestSpMMInnerVsDense(t *testing.T) {
+	a := Random("a", 30, 4, 3)
+	b := Random("b", 30, 4, 4)
+	nnz, sum := SpMMInner(a, b)
+
+	dense := func(m *Matrix) [][]float64 {
+		d := make([][]float64, m.N)
+		for i := range d {
+			d[i] = make([]float64, m.N)
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				d[i][m.Cols[p]] = m.Vals[p]
+			}
+		}
+		return d
+	}
+	da, db := dense(a), dense(b)
+	wantNNZ, wantSum := 0, 0.0
+	for i := 0; i < a.N; i++ {
+		for j := 0; j < b.N; j++ {
+			acc, hit := 0.0, false
+			for k := 0; k < a.N; k++ {
+				if da[i][k] != 0 && db[k][j] != 0 {
+					acc += da[i][k] * db[k][j]
+					hit = true
+				}
+			}
+			if hit {
+				wantNNZ++
+				wantSum += acc
+			}
+		}
+	}
+	if nnz != wantNNZ {
+		t.Fatalf("nnz = %d, want %d", nnz, wantNNZ)
+	}
+	if math.Abs(sum-wantSum) > 1e-9*math.Abs(wantSum) {
+		t.Fatalf("sum = %f, want %f", sum, wantSum)
+	}
+}
+
+func TestInputsShapes(t *testing.T) {
+	ins := Inputs(1)
+	if len(ins) != 6 {
+		t.Fatalf("want 6 inputs, got %d", len(ins))
+	}
+	prev := 0.0
+	for i, in := range ins {
+		avg := in.M.AvgNNZPerRow()
+		if avg <= 1 {
+			t.Fatalf("%s: degenerate nnz/row %f", in.Label, avg)
+		}
+		// Table VI orders inputs by ascending nnz/row class; allow slack
+		// within the two class groups.
+		if i >= 4 && avg < 2*prev {
+			// banded inputs must be clearly denser than random ones
+		}
+		prev = avg
+	}
+	if ins[4].M.AvgNNZPerRow() < 2*ins[0].M.AvgNNZPerRow() {
+		t.Fatal("banded inputs should be much denser than random ones")
+	}
+}
+
+func TestWriteToMemoryFloats(t *testing.T) {
+	mm := mem.New()
+	m := Random("t", 20, 3, 5)
+	l := m.WriteTo(mm)
+	for i, v := range m.Vals {
+		if got := isa.U2F(mm.Read64(l.ValsAddr + uint64(i)*8)); got != v {
+			t.Fatalf("vals[%d] = %v, want %v", i, got, v)
+		}
+	}
+	for i, r := range m.Rows {
+		if mm.Read64(l.RowsAddr+uint64(i)*8) != r {
+			t.Fatalf("rows[%d] mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGmean(t *testing.T) {
+	if g := Gmean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("gmean(2,8) = %v", g)
+	}
+	if g := Gmean([]float64{5}); g != 5 {
+		t.Fatalf("gmean(5) = %v", g)
+	}
+	if g := Gmean(nil); g != 0 {
+		t.Fatalf("gmean(nil) = %v", g)
+	}
+}
+
+func TestGmeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Gmean([]float64{1, 0})
+}
+
+// Property: gmean lies between min and max.
+func TestGmeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var xs []float64
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			x := float64(r) + 1
+			xs = append(xs, x)
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := Gmean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(200, 100); s != 2 {
+		t.Fatalf("speedup = %v", s)
+	}
+	if s := Speedup(100, 0); s != 0 {
+		t.Fatalf("speedup div0 = %v", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "demo", Header: []string{"name", "value"}}
+	tb.AddRow("x", 1.5)
+	tb.AddRow("longer-name", 42)
+	s := tb.String()
+	for _, want := range []string{"== demo ==", "name", "1.50", "longer-name", "42"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines", len(lines))
+	}
+}

@@ -1,0 +1,67 @@
+// Package ycsb generates YCSB-C workloads: read-only key lookups with a
+// zipfian popularity distribution, as used for the Silo evaluation
+// (Sec. V-B). The zipfian sampler follows the standard YCSB/Gray et al.
+// rejection-free construction.
+package ycsb
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ZipfTheta is YCSB's default skew.
+const ZipfTheta = 0.99
+
+// Generator produces keys in [0, N) with zipfian skew.
+type Generator struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	r     *rand.Rand
+}
+
+// NewGenerator builds a zipfian generator over n items.
+func NewGenerator(n uint64, seed int64) *Generator {
+	g := &Generator{n: n, theta: ZipfTheta, r: rand.New(rand.NewSource(seed))}
+	g.zetan = zeta(n, g.theta)
+	g.alpha = 1 / (1 - g.theta)
+	zeta2 := zeta(2, g.theta)
+	g.eta = (1 - math.Pow(2/float64(n), 1-g.theta)) / (1 - zeta2/g.zetan)
+	return g
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next zipfian-distributed item index in [0, n).
+func (g *Generator) Next() uint64 {
+	u := g.r.Float64()
+	uz := u * g.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, g.theta) {
+		return 1
+	}
+	idx := uint64(float64(g.n) * math.Pow(g.eta*u-g.eta+1, g.alpha))
+	if idx >= g.n {
+		idx = g.n - 1
+	}
+	return idx
+}
+
+// Keys returns count zipfian-sampled key indices.
+func (g *Generator) Keys(count int) []uint64 {
+	out := make([]uint64, count)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package ycsb
+
+import "testing"
+
+func TestRange(t *testing.T) {
+	g := NewGenerator(1000, 1)
+	for i := 0; i < 10000; i++ {
+		if k := g.Next(); k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	const n = 1000
+	g := NewGenerator(n, 2)
+	counts := make([]int, n)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[g.Next()]++
+	}
+	// Item 0 should be far hotter than the median item.
+	if counts[0] < draws/50 {
+		t.Fatalf("head not hot: %d/%d", counts[0], draws)
+	}
+	tail := 0
+	for i := n / 2; i < n; i++ {
+		tail += counts[i]
+	}
+	if tail > draws/3 {
+		t.Fatalf("tail too hot for zipf(0.99): %d/%d", tail, draws)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewGenerator(500, 7).Keys(100)
+	b := NewGenerator(500, 7).Keys(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same sequence")
+		}
+	}
+	c := NewGenerator(500, 8).Keys(100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical sequence")
+	}
+}

@@ -1,0 +1,172 @@
+// Package pipette is a from-scratch reproduction of "Pipette: Improving
+// Core Utilization on Irregular Applications through Intra-Core Pipeline
+// Parallelism" (Nguyen & Sanchez, MICRO 2020).
+//
+// It provides:
+//
+//   - A cycle-level simulator of multithreaded out-of-order cores extended
+//     with the Pipette ISA: architecturally visible inter-thread FIFO queues
+//     implemented in the physical register file, register-mapped implicit
+//     enqueue/dequeue, control values with user-level enqueue/dequeue
+//     handlers, skip_to_ctrl, reference accelerators, and cross-core
+//     connectors (NewSystem, Config).
+//   - An assembler for the simulated ISA so new pipeline-parallel kernels
+//     can be written against the public API (NewProgram).
+//   - The paper's six benchmarks (BFS, CC, PageRank-Delta, Radii, SpMM,
+//     Silo) in serial, data-parallel, Pipette, and streaming variants
+//     (the bench sub-API re-exported here), and
+//   - The experiment harness that regenerates every figure and table of the
+//     paper's evaluation (RunExperiment; see EXPERIMENTS.md).
+//
+// # Quickstart
+//
+//	cfg := pipette.DefaultConfig()
+//	sys := pipette.NewSystem(cfg)
+//	g := pipette.RoadGraph(90, 90, 1)
+//	result, err := pipette.Run(sys, pipette.BFSPipette(g, 0, 4, true))
+//	fmt.Printf("cycles=%d IPC=%.2f\n", result.Cycles, result.IPC())
+package pipette
+
+import (
+	"io"
+
+	"pipette/internal/bench"
+	"pipette/internal/graph"
+	"pipette/internal/harness"
+	"pipette/internal/isa"
+	"pipette/internal/ra"
+	"pipette/internal/sim"
+	"pipette/internal/sparse"
+)
+
+// Config describes a simulated system (cores, SMT threads, memory
+// hierarchy, Pipette queue configuration). See sim.Config for fields.
+type Config = sim.Config
+
+// System is a runnable simulated machine.
+type System = sim.System
+
+// Result summarizes a completed simulation.
+type Result = sim.Result
+
+// Builder constructs a workload inside a prepared system.
+type Builder = bench.Builder
+
+// Program is a linked instruction sequence for one hardware thread.
+type Program = isa.Program
+
+// Assembler builds programs in the simulated ISA, including the Pipette
+// queue instructions.
+type Assembler = isa.Assembler
+
+// RAConfig programs a reference accelerator (Sec. IV-B).
+type RAConfig = ra.Config
+
+// Reg names an architectural register (r0 is hardwired zero; RHCV/RHQ
+// receive the control value and queue id inside dequeue handlers).
+type Reg = isa.Reg
+
+// Handler registers.
+const (
+	RHCV = isa.RHCV
+	RHQ  = isa.RHQ
+)
+
+// Queue binding directions for Assembler.MapQ: writes to an In-mapped
+// register enqueue; reads of an Out-mapped register dequeue.
+const (
+	QueueIn  = isa.QueueIn
+	QueueOut = isa.QueueOut
+)
+
+// RA access modes.
+const (
+	RAIndirect     = ra.Indirect
+	RAIndirectPair = ra.IndirectPair
+	RAScan         = ra.Scan
+)
+
+// Graph is a CSR graph (Fig. 1(c)).
+type Graph = graph.Graph
+
+// Matrix is a square sparse matrix with CSR and CSC views.
+type Matrix = sparse.Matrix
+
+// DefaultConfig returns the paper's Table IV system: one 4-thread SMT
+// 6-wide OOO core with a 212-entry PRF and 16 Pipette queues.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// NewSystem builds a system; lay out data in sys.Mem and load programs on
+// sys.Cores, or use a benchmark Builder with Run.
+func NewSystem(cfg Config) *System { return sim.New(cfg) }
+
+// NewProgram returns an assembler for a new thread program.
+func NewProgram(name string) *Assembler { return isa.NewAssembler(name) }
+
+// NewRA attaches a reference accelerator to a core.
+var NewRA = ra.New
+
+// Run builds the workload in the system, simulates to completion, and
+// validates results against the reference implementation.
+var Run = bench.Run
+
+// Benchmark builders (see internal/bench for details).
+var (
+	BFSSerial       = bench.BFSSerial
+	BFSDataParallel = bench.BFSDataParallel
+	BFSPipette      = bench.BFSPipette
+	BFSStreaming    = bench.BFSStreaming
+	BFSMulticore    = bench.BFSMulticore
+
+	CCSerial       = bench.CCSerial
+	CCDataParallel = bench.CCDataParallel
+	CCPipette      = bench.CCPipette
+	CCStreaming    = bench.CCStreaming
+
+	PRDSerial       = bench.PRDSerial
+	PRDDataParallel = bench.PRDDataParallel
+	PRDPipette      = bench.PRDPipette
+	PRDStreaming    = bench.PRDStreaming
+
+	RadiiSerial       = bench.RadiiSerial
+	RadiiDataParallel = bench.RadiiDataParallel
+	RadiiPipette      = bench.RadiiPipette
+	RadiiStreaming    = bench.RadiiStreaming
+
+	SpMMSerial       = bench.SpMMSerial
+	SpMMDataParallel = bench.SpMMDataParallel
+	SpMMPipette      = bench.SpMMPipette
+	SpMMStreaming    = bench.SpMMStreaming
+
+	SiloSerial       = bench.SiloSerial
+	SiloDataParallel = bench.SiloDataParallel
+	SiloPipette      = bench.SiloPipette
+	SiloStreaming    = bench.SiloStreaming
+)
+
+// Graph generators shaped like the paper's Table V inputs.
+var (
+	RoadGraph          = graph.Road
+	PowerLawGraph      = graph.PowerLaw
+	UniformGraph       = graph.Uniform
+	CollaborationGraph = graph.Collaboration
+	CircuitGraph       = graph.Circuit
+)
+
+// Sparse matrix generators shaped like Table VI.
+var (
+	RandomMatrix = sparse.Random
+	BandedMatrix = sparse.Banded
+)
+
+// RunExperiment regenerates one of the paper's tables or figures by name
+// ("fig2", "fig9", ..., "table3"; ExperimentNames lists them) and writes the
+// report to w.
+func RunExperiment(name string, w io.Writer) error { return harness.Run(name, w, harness.Default()) }
+
+// ExperimentNames lists the experiments RunExperiment accepts.
+func ExperimentNames() []string { return harness.Names() }
+
+// ParseAsm assembles a textual thread program (see internal/isa.ParseAsm
+// for the syntax; examples/asm-pipeline uses it with embedded .s files).
+var ParseAsm = isa.ParseAsm

@@ -1,0 +1,88 @@
+package pipette_test
+
+import (
+	"strings"
+	"testing"
+
+	"pipette"
+)
+
+// TestQuickstartFlow exercises the public API end to end, as the README's
+// quickstart does.
+func TestQuickstartFlow(t *testing.T) {
+	g := pipette.RoadGraph(24, 24, 42)
+	cfg := pipette.DefaultConfig()
+	sys := pipette.NewSystem(cfg)
+	r, err := pipette.Run(sys, pipette.BFSPipette(g, 0, 4, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles == 0 || r.IPC() <= 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+}
+
+// TestCustomProgramAPI builds a small Pipette pipeline directly against the
+// public API: producer -> indirect RA -> consumer with a CV terminator.
+func TestCustomProgramAPI(t *testing.T) {
+	sys := pipette.NewSystem(pipette.DefaultConfig())
+	const n = 64
+	table := sys.Mem.AllocWords(n)
+	var want uint64
+	for i := uint64(0); i < n; i++ {
+		sys.Mem.Write64(table+i*8, i*7)
+		want += i * 7
+	}
+	res := sys.Mem.AllocWords(1)
+
+	p := pipette.NewProgram("producer")
+	p.MapQ(26, 0, pipette.QueueIn)
+	p.MovI(1, 0)
+	p.Label("loop")
+	p.Mov(26, 1)
+	p.AddI(1, 1, 1)
+	p.BneI(1, n, "loop")
+	p.EnqCI(0, 0)
+	p.Halt()
+
+	c := pipette.NewProgram("consumer")
+	c.MapQ(27, 1, pipette.QueueOut)
+	c.OnDeqCV("done")
+	c.MovI(1, 0)
+	c.Label("loop")
+	c.Add(1, 1, 27)
+	c.Jmp("loop")
+	c.Label("done")
+	c.MovU(2, res)
+	c.St8(2, 0, 1)
+	c.Halt()
+
+	core := sys.Cores[0]
+	core.Load(0, p.MustLink())
+	core.Load(1, c.MustLink())
+	pipette.NewRA(core, pipette.RAConfig{Mode: pipette.RAIndirect, In: 0, Out: 1, Base: table})
+
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Mem.Read64(res); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestExperimentNames(t *testing.T) {
+	names := pipette.ExperimentNames()
+	if len(names) == 0 {
+		t.Fatal("no experiments")
+	}
+	var sb strings.Builder
+	if err := pipette.RunExperiment("table3", &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "2356") {
+		t.Fatalf("table3 output wrong:\n%s", sb.String())
+	}
+	if err := pipette.RunExperiment("nope", &sb); err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+}
