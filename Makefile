@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test race smoke bench ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Smoke: one full pipette run emitting every telemetry artifact, validated
+# against the schemas (report consistency, trace coverage of >= 3 component
+# types, metrics CSV shape).
+smoke:
+	./scripts/ci.sh smoke
+
+bench:
+	$(GO) test -bench=TelemetryOverhead -benchtime=2x -run ^$$ .
+
+ci:
+	./scripts/ci.sh
+
+clean:
+	rm -rf build

@@ -5,12 +5,16 @@
 //	pipette-bench -exp fig2          # one experiment
 //	pipette-bench -exp all           # everything (writes EXPERIMENTS-style output)
 //	pipette-bench -list              # list experiment names
+//	pipette-bench -report-out runs.json   # machine-readable evaluation matrix
+//	pipette-bench -exp fig9 -cpuprofile cpu.out   # profile the simulator itself
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -22,12 +26,29 @@ func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	cacheScale := flag.Int("cache-scale", 0, "override cache downscale factor")
 	graphScale := flag.Int("graph-scale", 0, "override graph input scale")
+	reportOut := flag.String("report-out", "", "write the evaluation matrix as a run-set JSON file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(harness.Names(), "\n"))
 		return
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	cfg := harness.Default()
 	if *cacheScale > 0 {
 		cfg.CacheScale = *cacheScale
@@ -44,8 +65,46 @@ func main() {
 		start := time.Now()
 		if err := harness.Run(n, os.Stdout, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Printf("(%s took %.1fs)\n\n", n, time.Since(start).Seconds())
 	}
+
+	if *reportOut != "" {
+		f, err := os.Create(*reportOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := harness.WriteRunSet(f, cfg, *exp); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+}
+
+// exit stops the CPU profile (deferred handlers do not run through
+// os.Exit) before terminating.
+func exit(code int) {
+	pprof.StopCPUProfile()
+	os.Exit(code)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	exit(1)
 }

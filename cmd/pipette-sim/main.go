@@ -1,10 +1,14 @@
 // Command pipette-sim runs a single benchmark variant on the simulated
-// system and prints a detailed report: cycles, IPC, CPI stack, queue and RA
-// statistics, cache behaviour, and the energy breakdown.
+// system and reports results: a human-readable summary (cycles, IPC, CPI
+// stack, queue and RA statistics, cache behaviour, energy breakdown) or a
+// machine-readable JSON run report, plus optional telemetry artifacts — a
+// Chrome trace-event file (open in ui.perfetto.dev) and a sampled
+// time-series metrics file (see docs/TELEMETRY.md).
 //
 // Usage:
 //
 //	pipette-sim -app bfs -variant pipette -input Rd
+//	pipette-sim -app bfs -variant pipette -json -trace-out trace.json -metrics-out metrics.csv
 //	pipette-sim -app spmm -variant data-parallel -input Cg
 //	pipette-sim -app silo -variant serial
 package main
@@ -13,13 +17,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"pipette/internal/bench"
 	"pipette/internal/cache"
+	"pipette/internal/core"
 	"pipette/internal/energy"
 	"pipette/internal/graph"
 	"pipette/internal/sim"
 	"pipette/internal/sparse"
+	"pipette/internal/telemetry"
 )
 
 func main() {
@@ -29,6 +36,11 @@ func main() {
 	cacheScale := flag.Int("cache-scale", 8, "cache downscale factor")
 	prdIters := flag.Int("prd-iters", 4, "PageRank-Delta iterations")
 	trace := flag.Int("trace", 0, "print the first N committed instructions per core")
+	jsonOut := flag.Bool("json", false, "emit the run report as JSON on stdout")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (ui.perfetto.dev)")
+	traceBuf := flag.Int("trace-buf", 0, "trace ring capacity in events (default 262144)")
+	metricsOut := flag.String("metrics-out", "", "write sampled time-series metrics (.csv, or .json)")
+	metricsInterval := flag.Uint64("metrics-interval", 0, "sampling period in cycles (default 1024)")
 	flag.Parse()
 
 	b, cores, err := build(*app, *variant, *input, *prdIters)
@@ -41,6 +53,12 @@ func main() {
 	cfg.Cache = cache.DefaultConfig().Scale(*cacheScale)
 	cfg.WatchdogCycles = 10_000_000
 	s := sim.New(cfg)
+	if *traceOut != "" {
+		s.EnableTracing(*traceBuf)
+	}
+	if *metricsOut != "" || *jsonOut {
+		s.EnableSampling(*metricsInterval)
+	}
 	if *trace > 0 {
 		for ci, c := range s.Cores {
 			left := *trace
@@ -54,12 +72,66 @@ func main() {
 			}
 		}
 	}
-	r, err := bench.Run(s, b)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "run failed: %v\n%s", err, s.DebugState())
+	r, runErr := bench.Run(s, b)
+
+	// Telemetry artifacts are written even when the run failed — a trace
+	// of a deadlock is exactly when you want one.
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, func(f *os.File) error {
+			return telemetry.WriteChromeTrace(f, s.Tracer(), s.Sampler())
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, func(f *os.File) error {
+			if strings.HasSuffix(*metricsOut, ".json") {
+				return s.Sampler().WriteJSON(f)
+			}
+			return s.Sampler().WriteCSV(f, core.StallNames())
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		rep := r.Report()
+		rep.App, rep.Variant, rep.Input = *app, *variant, *input
+		if runErr != nil {
+			rep.Error = runErr.Error()
+		} else {
+			rep.Energy = energy.Compute(energy.DefaultParams(), r.CoreStats, r.CacheStats, r.Cycles).Report()
+		}
+		rep.Telemetry = telemetry.TelemetrySummary(s.Tracer(), s.Sampler(), core.StallNames())
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if runErr != nil {
+			fmt.Fprintf(os.Stderr, "run failed: %v\n", runErr)
+			os.Exit(1)
+		}
+		return
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "run failed: %v\n", runErr)
 		os.Exit(1)
 	}
 	report(r)
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
 }
 
 func build(app, variant, input string, prdIters int) (bench.Builder, int, error) {

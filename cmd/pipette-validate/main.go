@@ -1,0 +1,155 @@
+// Command pipette-validate checks telemetry artifacts against their
+// schemas: run reports and run sets (pipette.report/v1, pipette.runset/v1),
+// metrics series (pipette.metrics/v1 JSON or the CSV sink), and Chrome
+// trace-event files. CI's smoke run gates on it.
+//
+// Usage:
+//
+//	pipette-sim -app bfs -variant pipette -json > report.json
+//	pipette-validate report.json
+//	pipette-validate -min-trace-cats 3 trace.json metrics.csv report.json
+//
+// File types are sniffed: .csv files are validated as metrics CSV, JSON
+// files by their schema field (or a traceEvents key for Chrome traces).
+// Exits non-zero on the first invalid artifact.
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pipette/internal/telemetry"
+)
+
+func main() {
+	minCats := flag.Int("min-trace-cats", 0, "require at least this many component types in traces")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pipette-validate [-min-trace-cats N] file...")
+		os.Exit(2)
+	}
+	ok := true
+	for _, path := range flag.Args() {
+		if err := validate(path, *minCats); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", path, err)
+			ok = false
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func validate(path string, minCats int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		return validateCSV(path, data)
+	}
+	// Sniff the JSON shape.
+	var probe struct {
+		Schema      string          `json:"schema"`
+		TraceEvents json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	switch {
+	case probe.Schema == telemetry.ReportSchema:
+		r, err := telemetry.ValidateReport(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok   %s: report %s/%s/%s cycles=%d ipc=%.3f\n",
+			path, r.App, r.Variant, r.Input, r.Cycles, r.IPC)
+	case probe.Schema == telemetry.RunSetSchema:
+		rs, err := telemetry.ValidateRunSet(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok   %s: run set with %d runs\n", path, len(rs.Runs))
+	case probe.Schema == telemetry.MetricsSchema:
+		interval, samples, err := telemetry.ReadMetricsJSON(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok   %s: metrics, %d samples @ %d cycles\n", path, len(samples), interval)
+	case probe.TraceEvents != nil:
+		n, cats, err := telemetry.ValidateChromeTrace(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		if len(cats) < minCats {
+			return fmt.Errorf("trace covers %d component types (%s), need >= %d",
+				len(cats), strings.Join(sortedKeys(cats), ","), minCats)
+		}
+		fmt.Printf("ok   %s: chrome trace, %d events from %d component types (%s)\n",
+			path, n, len(cats), strings.Join(sortedKeys(cats), ","))
+	default:
+		return fmt.Errorf("unrecognized schema %q", probe.Schema)
+	}
+	return nil
+}
+
+// validateCSV checks the metrics CSV sink: a header starting with the
+// whole-system columns, rectangular rows, and monotonically increasing
+// cycle numbers.
+func validateCSV(path string, data []byte) error {
+	rd := csv.NewReader(bytes.NewReader(data))
+	rows, err := rd.ReadAll() // enforces rectangularity
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("empty file")
+	}
+	header := rows[0]
+	for i, want := range []string{"cycle", "committed", "ipc", "mpki"} {
+		if i >= len(header) || header[i] != want {
+			return fmt.Errorf("column %d = %q, want %q", i, header[i], want)
+		}
+	}
+	hasOcc, hasStall := false, false
+	for _, h := range header {
+		if strings.Contains(h, "_q") && strings.HasSuffix(h, "_occ") {
+			hasOcc = true
+		}
+		if strings.HasSuffix(h, "_stall") {
+			hasStall = true
+		}
+	}
+	if !hasOcc || !hasStall {
+		return fmt.Errorf("header lacks per-queue occupancy and/or stall-reason columns")
+	}
+	last := int64(-1)
+	for i, row := range rows[1:] {
+		cyc, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("row %d: bad cycle %q", i+1, row[0])
+		}
+		if cyc <= last {
+			return fmt.Errorf("row %d: cycle %d not increasing (prev %d)", i+1, cyc, last)
+		}
+		last = cyc
+	}
+	fmt.Printf("ok   %s: metrics CSV, %d samples, %d columns\n", path, len(rows)-1, len(header))
+	return nil
+}
+
+func sortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

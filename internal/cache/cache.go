@@ -6,6 +6,8 @@
 // private copies (enough coherence for the data-parallel baselines).
 package cache
 
+import "pipette/internal/telemetry"
+
 // Config sizes the hierarchy. All latencies are in core cycles and are
 // cumulative per level (an L2 hit costs L1Lat+L2Lat).
 type Config struct {
@@ -190,7 +192,15 @@ type Hierarchy struct {
 	ports     []*Port
 	presence  map[uint64]uint32 // line -> bitmask of cores caching it
 	Stats     Stats
+
+	// trace, when non-nil, receives an event for every L1 miss with the
+	// level that served it; nil costs one pointer check per miss.
+	trace *telemetry.Tracer
 }
+
+// SetTracer attaches (or detaches, with nil) an event tracer; Access emits
+// EvCacheMiss events through it.
+func (h *Hierarchy) SetTracer(tr *telemetry.Tracer) { h.trace = tr }
 
 // New builds a hierarchy with nCores private L1/L2 pairs.
 func New(cfg Config, nCores int) *Hierarchy {
@@ -334,7 +344,11 @@ func (p *Port) Access(now uint64, addr uint64, write bool) (done uint64, lvl Lev
 	if p.l2.lookup(la, write) {
 		p.h.Stats.L2Hits++
 		p.installL1Only(la, write)
-		return now + cfg.L1Lat + cfg.L2Lat + coherence, LvlL2
+		done = now + cfg.L1Lat + cfg.L2Lat + coherence
+		if p.h.trace != nil {
+			p.h.trace.Emit(telemetry.EvCacheMiss, int16(p.id), telemetry.UnitCache, uint64(LvlL2), done)
+		}
+		return done, LvlL2
 	}
 	// Miss in private caches: take an MSHR.
 	start := now
@@ -346,6 +360,9 @@ func (p *Port) Access(now uint64, addr uint64, write bool) (done uint64, lvl Lev
 		p.installPrivate(la, write)
 		done = start + cfg.L1Lat + cfg.L2Lat + cfg.L3Lat + coherence
 		p.mshr = append(p.mshr, done)
+		if p.h.trace != nil {
+			p.h.trace.Emit(telemetry.EvCacheMiss, int16(p.id), telemetry.UnitCache, uint64(LvlL3), done)
+		}
 		return done, LvlL3
 	}
 	// DRAM. Respect channel bandwidth.
@@ -360,6 +377,9 @@ func (p *Port) Access(now uint64, addr uint64, write bool) (done uint64, lvl Lev
 	p.installL3(la)
 	p.installPrivate(la, write)
 	p.mshr = append(p.mshr, done)
+	if p.h.trace != nil {
+		p.h.trace.Emit(telemetry.EvCacheMiss, int16(p.id), telemetry.UnitCache, uint64(LvlDRAM), done)
+	}
 	return done, LvlDRAM
 }
 

@@ -14,6 +14,7 @@ package connector
 import (
 	"pipette/internal/core"
 	"pipette/internal/queue"
+	"pipette/internal/telemetry"
 )
 
 // Stats counts connector traffic.
@@ -76,6 +77,10 @@ func (c *Connector) Tick(now uint64) {
 		c.Stats.Sent++
 		if e.Ctrl {
 			c.Stats.CVsSent++
+		}
+		if tr := c.src.Tracer(); tr != nil {
+			tr.Emit(telemetry.EvConnSend, int16(c.src.ID()), telemetry.UnitConnector,
+				uint64(c.dst.ID())<<8|uint64(c.dstQ.ID), e.Val)
 		}
 	}
 }

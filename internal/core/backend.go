@@ -1,6 +1,9 @@
 package core
 
-import "pipette/internal/isa"
+import (
+	"pipette/internal/isa"
+	"pipette/internal/telemetry"
+)
 
 // resolved reports whether the µop has finished executing by cycle now.
 func (u *uop) resolved(now uint64) bool {
@@ -146,6 +149,9 @@ func (c *Core) commit() {
 			if t.blockedOn == u {
 				t.blockedUntil = u.doneAt + c.cfg.MispredictPenalty
 				t.blockedOn = nil
+				if c.trace != nil {
+					c.trace.Emit(telemetry.EvRedirect, int16(c.id), int16(tid), 0, t.blockedUntil)
+				}
 			}
 			c.uopPool = append(c.uopPool, u)
 		}

@@ -19,6 +19,7 @@ import (
 	"pipette/internal/isa"
 	"pipette/internal/mem"
 	"pipette/internal/queue"
+	"pipette/internal/telemetry"
 )
 
 // Config sizes one core (Table IV, Skylake-like, scaled to 4 SMT threads).
@@ -117,7 +118,25 @@ const (
 	StallIQ
 	StallLSQ
 	StallRedirect // mispredict resolution or trap redirect
+	numStallReasons
 )
+
+var stallNames = [numStallReasons]string{
+	"none", "halted", "queue-empty", "queue-full", "skip-wait",
+	"prf", "rob", "iq", "lsq", "redirect",
+}
+
+// String names the stall reason.
+func (s StallReason) String() string {
+	if int(s) < len(stallNames) {
+		return stallNames[s]
+	}
+	return fmt.Sprintf("stall%d", uint8(s))
+}
+
+// StallNames returns the reason names indexed by StallReason value, for
+// telemetry sinks.
+func StallNames() []string { return stallNames[:] }
 
 // CPIStack accumulates the cycle breakdown of Fig. 11.
 type CPIStack struct {
@@ -260,6 +279,11 @@ type Core struct {
 	units    []Unit
 	bpred    *bpred
 
+	// trace, when non-nil, receives pipeline events (traps, redirects;
+	// queue activity is emitted by the QRM itself). Attach with
+	// AttachTracer; hot paths only pay the nil check when disabled.
+	trace *telemetry.Tracer
+
 	// TraceFn, when set, is called for every committed architectural
 	// instruction with (cycle, thread, pc, disassembly). Used by
 	// pipette-sim -trace and tests; nil in normal runs.
@@ -308,6 +332,44 @@ func (c *Core) SetQueueCaps(caps map[uint8]int) {
 		sizes[q] = n
 	}
 	c.qrm = queue.NewQRMSized(sizes)
+	if c.trace != nil {
+		c.qrm.SetTracer(c.trace, c.id)
+	}
+}
+
+// AttachTracer wires an event tracer into the core and its QRM (workload
+// builders may later replace the QRM via SetQueueCaps; the tracer follows).
+func (c *Core) AttachTracer(tr *telemetry.Tracer) {
+	c.trace = tr
+	c.qrm.SetTracer(tr, c.id)
+}
+
+// Tracer returns the attached tracer (nil when tracing is disabled); RAs
+// and connectors emit their events through it.
+func (c *Core) Tracer() *telemetry.Tracer { return c.trace }
+
+// ID returns the core's index in the system.
+func (c *Core) ID() int { return c.id }
+
+// Sample captures the core's instantaneous occupancy state for the
+// telemetry time series.
+func (c *Core) Sample() telemetry.CoreSample {
+	cs := telemetry.CoreSample{
+		Committed:  c.stats.Committed,
+		MappedRegs: c.qrm.MappedRegisters(),
+		IQLen:      len(c.iq),
+		QueueOcc:   make([]int, len(c.qrm.Queues)),
+		Stall:      make([]uint8, len(c.threads)),
+		ROBUsed:    make([]int, len(c.threads)),
+	}
+	for i, q := range c.qrm.Queues {
+		cs.QueueOcc[i] = q.Occupancy()
+	}
+	for i, t := range c.threads {
+		cs.Stall[i] = uint8(t.stall)
+		cs.ROBUsed[i] = t.robUsed
+	}
+	return cs
 }
 
 // Load installs a program on hardware thread tid.
@@ -393,6 +455,9 @@ func (c *Core) Committed() uint64 { return c.stats.Committed }
 func (c *Core) Cycle() {
 	c.now++
 	c.stats.Cycles++
+	if c.trace != nil {
+		c.trace.Cycle = c.now // tracer clock; emitters don't thread `now`
+	}
 	c.commit()
 	issued := c.issue()
 	c.rename()
@@ -464,7 +529,7 @@ func (c *Core) DebugState() string {
 		if t.prog != nil {
 			name = t.prog.Name
 		}
-		s += fmt.Sprintf("  t%d %-20s pc=%-4d stall=%d halted=%v done=%v inflight=%d rob=%d\n",
+		s += fmt.Sprintf("  t%d %-20s pc=%-4d stall=%v halted=%v done=%v inflight=%d rob=%d\n",
 			t.id, name, t.pc, t.stall, t.halted, t.done, t.inflight, t.robUsed)
 	}
 	for _, q := range c.qrm.Queues {

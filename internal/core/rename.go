@@ -5,6 +5,7 @@ import (
 
 	"pipette/internal/isa"
 	"pipette/internal/queue"
+	"pipette/internal/telemetry"
 )
 
 // rename is the in-order frontend: it picks threads by ICOUNT, renames up to
@@ -50,6 +51,9 @@ func (c *Core) rename() {
 				}
 				t.blockedUntil = t.blockedOn.doneAt + c.cfg.MispredictPenalty
 				t.blockedOn = nil
+				if c.trace != nil {
+					c.trace.Emit(telemetry.EvRedirect, int16(c.id), int16(t.id), 0, t.blockedUntil)
+				}
 			}
 			if c.now < t.blockedUntil {
 				t.stall = StallRedirect
@@ -326,6 +330,9 @@ func (c *Core) renameOne(t *thread) (int, bool) {
 			q.SkipConsume(skipN)
 			c.stats.SkipOps++
 			c.stats.SkipDiscard += uint64(skipN)
+			if c.trace != nil {
+				c.trace.Emit(telemetry.EvSkip, int16(c.id), int16(t.id), uint64(q.ID), uint64(skipN))
+			}
 		case isa.OpQPoll:
 			q := c.qrm.Q(in.Q)
 			result = q.SpecTail - q.SpecHead
@@ -393,6 +400,9 @@ func (c *Core) trapDeqCV(t *thread, q *queue.Queue) (int, bool) {
 	e := q.Deq()
 	c.stats.Dequeues++
 	c.stats.CVTraps++
+	if c.trace != nil {
+		c.trace.Emit(telemetry.EvCVTrap, int16(c.id), int16(t.id), uint64(q.ID), e.Val)
+	}
 
 	// µop 1: RHCV <- CV value (waits for the entry to be committed).
 	p1, _ := c.AllocPhys()
@@ -433,6 +443,9 @@ func (c *Core) trapEnq(t *thread) (int, bool) {
 		panic(fmt.Sprintf("%s: enqueue trap with no enqueue handler", t.prog.Name))
 	}
 	c.stats.EnqTraps++
+	if c.trace != nil {
+		c.trace.Emit(telemetry.EvEnqTrap, int16(c.id), int16(t.id), 0, 0)
+	}
 	t.pc = t.prog.EnqHandler
 	t.blockedUntil = c.now + c.cfg.TrapPenalty
 	t.stall = StallRedirect

@@ -8,6 +8,7 @@ package energy
 import (
 	"pipette/internal/cache"
 	"pipette/internal/core"
+	"pipette/internal/telemetry"
 )
 
 // Params are per-event energies in picojoules and per-cycle static power in
@@ -51,6 +52,14 @@ type Breakdown struct {
 
 // Total returns the sum of all components.
 func (b Breakdown) Total() float64 { return b.CoreDyn + b.CacheDyn + b.DRAMDyn + b.Static }
+
+// Report converts the breakdown into the run-report schema.
+func (b Breakdown) Report() *telemetry.EnergyReport {
+	return &telemetry.EnergyReport{
+		CoreDyn: b.CoreDyn, CacheDyn: b.CacheDyn, DRAMDyn: b.DRAMDyn,
+		Static: b.Static, Total: b.Total(),
+	}
+}
 
 // Compute charges the run's event counts. cycles is the wall-clock of the
 // run; every instantiated core pays static power for the whole run.

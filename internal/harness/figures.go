@@ -39,9 +39,20 @@ func Fig2(w io.Writer, cfg Config) error {
 	return err
 }
 
+// gmean wraps stats.Gmean for inline table assembly: the first failure is
+// captured in *err (later calls keep it) and 0 is returned, so callers
+// check once after building all rows.
+func gmean(xs []float64, err *error) float64 {
+	v, e := stats.Gmean(xs)
+	if e != nil && *err == nil {
+		*err = e
+	}
+	return v
+}
+
 // speedupOverDP returns gmean-across-inputs speedup of variant v over the
 // data-parallel baseline for app.
-func (e *Eval) speedupOverDP(app, v string) float64 {
+func (e *Eval) speedupOverDP(app, v string, err *error) float64 {
 	var xs []float64
 	for _, in := range e.Inputs[app] {
 		dp, _ := e.get(app, bench.VDataParallel, in)
@@ -51,7 +62,7 @@ func (e *Eval) speedupOverDP(app, v string) float64 {
 		}
 		xs = append(xs, stats.Speedup(dp.R.Cycles, c.R.Cycles))
 	}
-	return stats.Gmean(xs)
+	return gmean(xs, err)
 }
 
 // Fig9 reproduces Fig. 9: performance relative to data-parallel (gmean
@@ -66,14 +77,19 @@ func Fig9(w io.Writer, cfg Config) error {
 		Header: []string{"app", "serial", "dp", "pipette", "streaming", "stream/core"},
 	}
 	var pipAll, strAll []float64
+	var gerr error
 	for _, app := range e.Apps {
-		sp := func(v string) float64 { return e.speedupOverDP(app, v) }
+		sp := func(v string) float64 { return e.speedupOverDP(app, v, &gerr) }
 		pip, str := sp(bench.VPipette), sp(bench.VStreaming)
 		pipAll = append(pipAll, pip)
 		strAll = append(strAll, str)
 		t.AddRow(app, sp(bench.VSerial), 1.0, pip, str, str/4)
 	}
-	t.AddRow("gmean", "", "", stats.Gmean(pipAll), stats.Gmean(strAll), stats.Gmean(strAll)/4)
+	strGm := gmean(strAll, &gerr)
+	t.AddRow("gmean", "", "", gmean(pipAll, &gerr), strGm, strGm/4)
+	if gerr != nil {
+		return gerr
+	}
 	_, err = io.WriteString(w, t.String())
 	return err
 }
@@ -89,6 +105,7 @@ func Fig10(w io.Writer, cfg Config) error {
 		Title:  "Fig. 10 — instructions relative to data-parallel | IPC",
 		Header: []string{"app", "ser instr", "pip instr", "str instr", "ser IPC", "dp IPC", "pip IPC", "str IPC"},
 	}
+	var gerr error
 	for _, app := range e.Apps {
 		rel := func(v string) float64 {
 			var xs []float64
@@ -97,7 +114,7 @@ func Fig10(w io.Writer, cfg Config) error {
 				c, _ := e.get(app, v, in)
 				xs = append(xs, float64(c.R.Committed)/float64(dp.R.Committed))
 			}
-			return stats.Gmean(xs)
+			return gmean(xs, &gerr)
 		}
 		ipc := func(v string) float64 {
 			var xs []float64
@@ -105,10 +122,13 @@ func Fig10(w io.Writer, cfg Config) error {
 				c, _ := e.get(app, v, in)
 				xs = append(xs, c.R.IPC()/float64(c.Cores))
 			}
-			return stats.Gmean(xs)
+			return gmean(xs, &gerr)
 		}
 		t.AddRow(app, rel(bench.VSerial), rel(bench.VPipette), rel(bench.VStreaming),
 			ipc(bench.VSerial), ipc(bench.VDataParallel), ipc(bench.VPipette), ipc(bench.VStreaming))
+	}
+	if gerr != nil {
+		return gerr
 	}
 	_, err = io.WriteString(w, t.String())
 	return err
@@ -297,6 +317,7 @@ func Fig16(w io.Writer, cfg Config) error {
 		Header: []string{"app", "speedup from RAs"},
 	}
 	var all []float64
+	var gerr error
 	for _, app := range e.Apps {
 		var xs []float64
 		for _, in := range e.Inputs[app] {
@@ -304,11 +325,14 @@ func Fig16(w io.Writer, cfg Config) error {
 			ra, _ := e.get(app, bench.VPipette, in)
 			xs = append(xs, stats.Speedup(nora.R.Cycles, ra.R.Cycles))
 		}
-		gm := stats.Gmean(xs)
+		gm := gmean(xs, &gerr)
 		all = append(all, gm)
 		t.AddRow(app, gm)
 	}
-	t.AddRow("gmean", stats.Gmean(all))
+	t.AddRow("gmean", gmean(all, &gerr))
+	if gerr != nil {
+		return gerr
+	}
 	_, err = io.WriteString(w, t.String())
 	return err
 }
@@ -359,7 +383,11 @@ func Fig17(w io.Writer, cfg Config) error {
 		dps, strs, mcs = append(dps, sp(dp)), append(strs, sp(str)), append(mcs, sp(mc))
 		t.AddRow(in.Label, sp(dp), sp(str), sp(mc))
 	}
-	t.AddRow("gmean", stats.Gmean(dps), stats.Gmean(strs), stats.Gmean(mcs))
+	var gerr error
+	t.AddRow("gmean", gmean(dps, &gerr), gmean(strs, &gerr), gmean(mcs, &gerr))
+	if gerr != nil {
+		return gerr
+	}
 	if _, err := io.WriteString(w, t.String()); err != nil {
 		return err
 	}

@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"io"
+
+	"pipette/internal/telemetry"
+)
+
+// Reports runs (or reuses) the full evaluation matrix and converts every
+// cell into the canonical run-report schema, in deterministic
+// app/input/variant order. pipette-bench's -report-out and the BENCH_*
+// trajectory tooling consume this, so figures and machine-readable output
+// derive from the same runs.
+func Reports(cfg Config) ([]telemetry.Report, error) {
+	e, err := Evaluate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []telemetry.Report
+	for _, app := range e.Apps {
+		for _, in := range e.Inputs[app] {
+			for _, v := range variants {
+				cell, ok := e.get(app, v, in)
+				if !ok {
+					continue
+				}
+				rep := cell.R.Report()
+				rep.App, rep.Variant, rep.Input = app, v, in
+				rep.Energy = cell.Energy.Report()
+				out = append(out, rep)
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteRunSet emits the evaluation matrix as a pipette.runset/v1 JSON
+// document.
+func WriteRunSet(w io.Writer, cfg Config, label string) error {
+	runs, err := Reports(cfg)
+	if err != nil {
+		return err
+	}
+	return telemetry.RunSet{Schema: telemetry.RunSetSchema, Label: label, Runs: runs}.WriteJSON(w)
+}

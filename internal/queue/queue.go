@@ -11,7 +11,11 @@
 // model.
 package queue
 
-import "fmt"
+import (
+	"fmt"
+
+	"pipette/internal/telemetry"
+)
 
 // NotReady marks an entry whose producer has not committed yet.
 const NotReady = ^uint64(0)
@@ -46,6 +50,12 @@ type Queue struct {
 	// control value; the producer's next data enqueue must trap to its
 	// enqueue control handler (Sec. III-B).
 	SkipPending bool
+
+	// trace, when non-nil, receives an event for every enqueue and
+	// dequeue regardless of who performs it (thread, RA, or connector).
+	// The nil check is the only cost on the disabled path.
+	trace     *telemetry.Tracer
+	traceCore int16
 }
 
 // DrainOne discards the head entry of the queue, freeing its slot
@@ -87,6 +97,9 @@ func (q *Queue) Enq(val uint64, ctrl bool, phys int) uint64 {
 	q.SpecTail++
 	if ctrl {
 		q.SkipPending = false
+	}
+	if q.trace != nil {
+		q.trace.Emit(telemetry.EvEnqueue, q.traceCore, telemetry.UnitQueue, uint64(q.ID), val)
 	}
 	return seq
 }
@@ -143,6 +156,9 @@ func (q *Queue) Head() *Entry {
 func (q *Queue) Deq() *Entry {
 	e := q.Head()
 	q.SpecHead++
+	if q.trace != nil {
+		q.trace.Emit(telemetry.EvDequeue, q.traceCore, telemetry.UnitQueue, uint64(q.ID), e.Val)
+	}
 	return e
 }
 
@@ -220,6 +236,15 @@ func (m *QRM) Q(id uint8) *Queue {
 		panic(fmt.Sprintf("qrm: queue %d not configured (have %d)", id, len(m.Queues)))
 	}
 	return m.Queues[id]
+}
+
+// SetTracer attaches (or detaches, with nil) an event tracer to every
+// queue; coreID tags the emitted events with the owning core.
+func (m *QRM) SetTracer(tr *telemetry.Tracer, coreID int) {
+	for _, q := range m.Queues {
+		q.trace = tr
+		q.traceCore = int16(coreID)
+	}
 }
 
 // MappedRegisters returns how many physical registers the QRM currently

@@ -16,6 +16,7 @@ import (
 
 	"pipette/internal/core"
 	"pipette/internal/queue"
+	"pipette/internal/telemetry"
 )
 
 // Mode selects the access pattern.
@@ -130,6 +131,9 @@ func (r *RA) emit(now uint64, idx uint64) bool {
 	r.out.MarkReady(seq, done)
 	r.outstanding = append(r.outstanding, done)
 	r.Stats.Loads++
+	if tr := r.c.Tracer(); tr != nil {
+		tr.Emit(telemetry.EvRALoad, int16(r.c.ID()), telemetry.UnitRA, addr, done)
+	}
 	return true
 }
 
@@ -145,6 +149,9 @@ func (r *RA) forwardCV(now uint64, v uint64) bool {
 	seq := r.out.Enq(v, true, int(phys))
 	r.out.MarkReady(seq, now+1)
 	r.Stats.CVForwarded++
+	if tr := r.c.Tracer(); tr != nil {
+		tr.Emit(telemetry.EvRACV, int16(r.c.ID()), telemetry.UnitRA, uint64(r.cfg.Out), v)
+	}
 	return true
 }
 

@@ -12,6 +12,7 @@ import (
 	"pipette/internal/connector"
 	"pipette/internal/core"
 	"pipette/internal/mem"
+	"pipette/internal/telemetry"
 )
 
 // Config describes a system.
@@ -42,6 +43,52 @@ type System struct {
 	Hier  *cache.Hierarchy
 	Cores []*core.Core
 	conns []*connector.Connector
+
+	tracer  *telemetry.Tracer
+	sampler *telemetry.Sampler
+}
+
+// EnableTracing attaches an event tracer to every component (cores, QRMs,
+// cache hierarchy; RAs and connectors pick it up through their host cores)
+// and returns it. bufCap sizes the ring buffer (<= 0 selects the default).
+// Call before loading workloads so builder-created units see it.
+func (s *System) EnableTracing(bufCap int) *telemetry.Tracer {
+	s.tracer = telemetry.NewTracer(bufCap)
+	for _, c := range s.Cores {
+		c.AttachTracer(s.tracer)
+	}
+	s.Hier.SetTracer(s.tracer)
+	return s.tracer
+}
+
+// EnableSampling attaches a metrics sampler with the given cycle interval
+// (0 selects the default) and returns it. Run appends one sample every
+// interval cycles.
+func (s *System) EnableSampling(interval uint64) *telemetry.Sampler {
+	s.sampler = telemetry.NewSampler(interval)
+	return s.sampler
+}
+
+// Tracer returns the attached tracer (nil when tracing is disabled).
+func (s *System) Tracer() *telemetry.Tracer { return s.tracer }
+
+// Sampler returns the attached sampler (nil when sampling is disabled).
+func (s *System) Sampler() *telemetry.Sampler { return s.sampler }
+
+// sample appends one telemetry sample at the given cycle.
+func (s *System) sample(cycle uint64) {
+	sm := telemetry.Sample{Cycle: cycle}
+	for _, c := range s.Cores {
+		cs := c.Sample()
+		sm.Committed += cs.Committed
+		sm.Cores = append(sm.Cores, cs)
+	}
+	hs := s.Hier.Stats
+	sm.Cache = telemetry.CacheSample{
+		L1Hits: hs.L1Hits, L2Hits: hs.L2Hits, L3Hits: hs.L3Hits,
+		DRAM: hs.DRAMAccesses, Prefetches: hs.Prefetches,
+	}
+	s.sampler.Append(sm)
 }
 
 // New builds the system; workloads then lay out data in s.Mem and load
@@ -90,6 +137,61 @@ func (r Result) CoreIPC(i int) float64 {
 	return float64(s.Committed) / float64(s.Cycles)
 }
 
+// Report converts the result into the canonical run-report schema. Callers
+// fill in workload metadata (App/Variant/Input), energy and the telemetry
+// summary before emitting it.
+func (r Result) Report() telemetry.Report {
+	rep := telemetry.Report{
+		Schema:    telemetry.ReportSchema,
+		Cores:     len(r.CoreStats),
+		Cycles:    r.Cycles,
+		Committed: r.Committed,
+		IPC:       r.IPC(),
+	}
+	for i, cs := range r.CoreStats {
+		tot := float64(cs.CPI.Total())
+		if tot == 0 {
+			tot = 1
+		}
+		rep.CoreStats = append(rep.CoreStats, telemetry.CoreReport{
+			Committed:   cs.Committed,
+			Uops:        cs.Uops,
+			IPC:         r.CoreIPC(i),
+			Branches:    cs.Branches,
+			Mispredicts: cs.Mispredicts,
+			CVTraps:     cs.CVTraps,
+			EnqTraps:    cs.EnqTraps,
+			SkipOps:     cs.SkipOps,
+			SkipDiscard: cs.SkipDiscard,
+			Enqueues:    cs.Enqueues,
+			Dequeues:    cs.Dequeues,
+			RegReads:    cs.RegReads,
+			RegWrites:   cs.RegWrites,
+			CPI: telemetry.CPIReport{
+				Issue:   float64(cs.CPI.Issue) / tot,
+				Backend: float64(cs.CPI.Backend) / tot,
+				Queue:   float64(cs.CPI.Queue) / tot,
+				Front:   float64(cs.CPI.Front) / tot,
+			},
+			MeanMappedRegs: cs.MeanMappedRegs(),
+			PeakMappedRegs: cs.QueueOccupancyMax,
+			PerThread:      cs.PerThread,
+		})
+	}
+	c := r.CacheStats
+	mpki := 0.0
+	if r.Committed > 0 {
+		mpki = 1000 * float64(c.DRAMAccesses) / float64(r.Committed)
+	}
+	rep.Cache = telemetry.CacheReport{
+		L1Hits: c.L1Hits, L2Hits: c.L2Hits, L3Hits: c.L3Hits,
+		DRAMAccesses: c.DRAMAccesses, Prefetches: c.Prefetches,
+		Writebacks: c.Writebacks, Invalidations: c.Invalidations,
+		MPKI: mpki,
+	}
+	return rep
+}
+
 func (s *System) done() bool {
 	for _, c := range s.Cores {
 		if !c.Done() {
@@ -105,12 +207,18 @@ func (s *System) done() bool {
 }
 
 // Run simulates until all threads halt and all units drain. It returns an
-// error on deadlock (watchdog) or when MaxCycles is exceeded.
+// error on deadlock (watchdog) or when MaxCycles is exceeded; the deadlock
+// error carries the full DebugState, including the last telemetry snapshot
+// (one is taken at the point of failure even when sampling is disabled).
 func (s *System) Run() (Result, error) {
 	var cycles, lastCommit, lastProgress uint64
 	watchdog := s.cfg.WatchdogCycles
 	if watchdog == 0 {
 		watchdog = 2_000_000
+	}
+	var sampleEvery uint64
+	if s.sampler != nil {
+		sampleEvery = s.sampler.Interval
 	}
 	for !s.done() {
 		cycles++
@@ -120,6 +228,9 @@ func (s *System) Run() (Result, error) {
 		for _, c := range s.conns {
 			c.Tick(cycles)
 		}
+		if sampleEvery != 0 && cycles%sampleEvery == 0 {
+			s.sample(cycles)
+		}
 		total := uint64(0)
 		for _, c := range s.Cores {
 			total += c.Committed()
@@ -128,13 +239,27 @@ func (s *System) Run() (Result, error) {
 			lastCommit, lastProgress = total, cycles
 		}
 		if cycles-lastProgress > watchdog {
-			return s.result(cycles), fmt.Errorf("sim: deadlock — no commit since cycle %d (%d committed)", lastProgress, lastCommit)
+			s.snapshotNow(cycles)
+			return s.result(cycles), fmt.Errorf("sim: deadlock — no commit since cycle %d (%d committed)\n%s", lastProgress, lastCommit, s.DebugState())
 		}
 		if s.cfg.MaxCycles > 0 && cycles > s.cfg.MaxCycles {
+			s.snapshotNow(cycles)
 			return s.result(cycles), fmt.Errorf("sim: exceeded MaxCycles=%d", s.cfg.MaxCycles)
 		}
 	}
+	if sampleEvery != 0 && cycles%sampleEvery != 0 {
+		s.sample(cycles) // final partial-interval sample so the series covers the whole run
+	}
 	return s.result(cycles), nil
+}
+
+// snapshotNow forces a telemetry sample at the point of failure so error
+// reports include queue occupancies and stall reasons.
+func (s *System) snapshotNow(cycles uint64) {
+	if s.sampler == nil {
+		s.sampler = telemetry.NewSampler(0)
+	}
+	s.sample(cycles)
 }
 
 func (s *System) result(cycles uint64) Result {
@@ -147,11 +272,18 @@ func (s *System) result(cycles uint64) Result {
 	return r
 }
 
-// DebugState renders all cores' state (used in deadlock reports).
+// DebugState renders all cores' state plus, when sampling is (or was, via a
+// watchdog snapshot) enabled, the last telemetry sample — queue occupancies
+// and per-thread stall reasons. Used in deadlock reports.
 func (s *System) DebugState() string {
 	out := ""
 	for _, c := range s.Cores {
 		out += c.DebugState()
+	}
+	if s.sampler != nil {
+		if last, ok := s.sampler.Last(); ok {
+			out += telemetry.FormatSnapshot(last, core.StallNames())
+		}
 	}
 	return out
 }

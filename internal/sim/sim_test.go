@@ -1,12 +1,15 @@
 package sim_test
 
 import (
+	"strings"
 	"testing"
 
+	"pipette/internal/core"
 	"pipette/internal/energy"
 	"pipette/internal/isa"
 	"pipette/internal/ra"
 	"pipette/internal/sim"
+	"pipette/internal/telemetry"
 )
 
 // Producer sends indices 0..N-1; an indirect RA fetches table[i]; consumer
@@ -243,8 +246,52 @@ func TestWatchdogCatchesDeadlock(t *testing.T) {
 
 	s.Cores[0].Load(0, a.MustLink())
 	s.Cores[0].Load(1, b.MustLink())
-	if _, err := s.Run(); err == nil {
+	_, err := s.Run()
+	if err == nil {
 		t.Fatal("watchdog did not fire on deadlock")
+	}
+	// The error must carry the last telemetry snapshot (forced at failure
+	// time even though sampling was never enabled) so deadlock reports show
+	// queue occupancies and per-thread stall reasons.
+	for _, want := range []string{"deadlock", "telemetry snapshot", "stall=queue-empty"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("deadlock error missing %q:\n%v", want, err)
+		}
+	}
+}
+
+// A run that ends by exhausting MaxCycles also reports the final snapshot,
+// and an explicitly-enabled sampler records the series.
+func TestSamplingSeries(t *testing.T) {
+	s := sim.New(sim.DefaultConfig())
+	s.EnableTracing(0)
+	s.EnableSampling(64)
+	a := isa.NewAssembler("t")
+	a.MovI(1, 2000)
+	a.Label("l")
+	a.SubI(1, 1, 1)
+	a.BneI(1, 0, "l")
+	a.Halt()
+	s.Cores[0].Load(0, a.MustLink())
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.Sampler().Samples()); n < 10 {
+		t.Fatalf("got %d samples for a %d-cycle run at interval 64", n, r.Cycles)
+	}
+	last, _ := s.Sampler().Last()
+	if last.Committed != r.Committed {
+		t.Fatalf("final sample committed=%d, result=%d", last.Committed, r.Committed)
+	}
+	rep := r.Report()
+	rep.Telemetry = telemetry.TelemetrySummary(s.Tracer(), s.Sampler(), core.StallNames())
+	var b strings.Builder
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := telemetry.ValidateReport(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("Result.Report does not validate: %v", err)
 	}
 }
 

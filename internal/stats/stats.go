@@ -9,20 +9,22 @@ import (
 	"strings"
 )
 
-// Gmean returns the geometric mean of xs (0 for empty input; panics on
-// non-positive values, which indicate a broken measurement).
-func Gmean(xs []float64) float64 {
+// Gmean returns the geometric mean of xs (0 for empty input). A
+// non-positive value indicates a broken measurement — a zero-cycle run or
+// a negative speedup — and yields an error rather than a silently wrong
+// mean.
+func Gmean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		return 0
+		return 0, nil
 	}
 	sum := 0.0
 	for _, x := range xs {
 		if x <= 0 {
-			panic(fmt.Sprintf("stats: gmean of non-positive value %v", x))
+			return 0, fmt.Errorf("stats: gmean of non-positive value %v", x)
 		}
 		sum += math.Log(x)
 	}
-	return math.Exp(sum / float64(len(xs)))
+	return math.Exp(sum / float64(len(xs))), nil
 }
 
 // Speedup returns base/x — how many times faster x is than base when both

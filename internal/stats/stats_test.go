@@ -8,24 +8,27 @@ import (
 )
 
 func TestGmean(t *testing.T) {
-	if g := Gmean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
-		t.Fatalf("gmean(2,8) = %v", g)
+	if g, err := Gmean([]float64{2, 8}); err != nil || math.Abs(g-4) > 1e-12 {
+		t.Fatalf("gmean(2,8) = %v, %v", g, err)
 	}
-	if g := Gmean([]float64{5}); g != 5 {
-		t.Fatalf("gmean(5) = %v", g)
+	if g, err := Gmean([]float64{5}); err != nil || g != 5 {
+		t.Fatalf("gmean(5) = %v, %v", g, err)
 	}
-	if g := Gmean(nil); g != 0 {
-		t.Fatalf("gmean(nil) = %v", g)
+	if g, err := Gmean(nil); err != nil || g != 0 {
+		t.Fatalf("gmean(nil) = %v, %v", g, err)
 	}
 }
 
-func TestGmeanPanicsOnNonPositive(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("want panic")
+func TestGmeanErrorsOnNonPositive(t *testing.T) {
+	for _, xs := range [][]float64{{1, 0}, {-2}, {3, 4, -1, 5}} {
+		g, err := Gmean(xs)
+		if err == nil {
+			t.Errorf("Gmean(%v) = %v, want error", xs, g)
 		}
-	}()
-	Gmean([]float64{1, 0})
+		if g != 0 {
+			t.Errorf("Gmean(%v) = %v with error, want 0", xs, g)
+		}
+	}
 }
 
 // Property: gmean lies between min and max.
@@ -41,8 +44,8 @@ func TestGmeanBounds(t *testing.T) {
 		if len(xs) == 0 {
 			return true
 		}
-		g := Gmean(xs)
-		return g >= lo-1e-9 && g <= hi+1e-9
+		g, err := Gmean(xs)
+		return err == nil && g >= lo-1e-9 && g <= hi+1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -71,5 +74,69 @@ func TestTableRendering(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(s), "\n")
 	if len(lines) != 5 { // title, header, separator, 2 rows
 		t.Fatalf("got %d lines", len(lines))
+	}
+}
+
+// Rows wider than the header must grow the table rather than truncate, and
+// rows narrower than the widest row pad with empty cells.
+func TestTableRaggedRows(t *testing.T) {
+	tb := Table{Header: []string{"a"}}
+	tb.AddRow("only")
+	tb.AddRow("x", "y", "z")
+	s := tb.String()
+	for _, want := range []string{"only", "x", "y", "z"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	// Every rendered line is padded to the same full width.
+	for i, l := range lines[1:] {
+		if len(l) != len(lines[0]) {
+			t.Errorf("line %d width %d != header width %d:\n%s", i+1, len(l), len(lines[0]), s)
+		}
+	}
+}
+
+func TestTableEmptyHeader(t *testing.T) {
+	tb := Table{}
+	tb.AddRow("cell-1", "cell-2")
+	s := tb.String()
+	if !strings.Contains(s, "cell-1") || !strings.Contains(s, "cell-2") {
+		t.Fatalf("cells missing:\n%s", s)
+	}
+	if strings.Contains(s, "==") {
+		t.Fatalf("unexpected title banner:\n%s", s)
+	}
+}
+
+// Columns align: each cell starts at the same rune offset on every line.
+func TestTableWidthAlignment(t *testing.T) {
+	tb := Table{Header: []string{"col", "c"}}
+	tb.AddRow("tiny", "very-wide-cell")
+	tb.AddRow("a-much-longer-cell", "x")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// Column 1 is padded to the widest cell (18 chars) + 2 spaces.
+	wantOff := len("a-much-longer-cell") + 2
+	for _, pair := range []struct{ line, cell string }{
+		{lines[0], "c"},
+		{lines[2], "very-wide-cell"},
+		{lines[3], "x"},
+	} {
+		if got := strings.Index(pair.line, pair.cell); got != wantOff {
+			// "c" also prefixes "col"; find it at the offset explicitly.
+			if pair.line[wantOff:wantOff+len(pair.cell)] != pair.cell {
+				t.Errorf("cell %q at offset %d, want %d: %q", pair.cell, got, wantOff, pair.line)
+			}
+		}
+	}
+	for i, l := range lines[1:] {
+		if len(l) != len(lines[0]) {
+			t.Errorf("line %d width %d != %d:\n%s", i+1, len(l), len(lines[0]), s)
+		}
 	}
 }

@@ -1,0 +1,175 @@
+// Chrome trace-event / Perfetto export: the tracer's events become instant
+// (or duration) events and the sampler's series become counter tracks, so a
+// whole multi-core run can be opened in ui.perfetto.dev or
+// chrome://tracing. Format reference: the Trace Event Format doc ("JSON
+// Object Format" flavor, traceEvents array).
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one trace-event record. ts is in microseconds by
+// convention; we map 1 simulated cycle -> 1 us so cycle numbers read
+// directly in the UI timeline.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  *uint64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeTid flattens a (core, unit) pair into a stable tid: hardware
+// threads keep small ids, special units get a high band per kind.
+func chromeTid(unit int16) int {
+	if unit >= 0 {
+		return int(unit)
+	}
+	return 100 - int(unit) // qrm=101, ra=102, connector=103, cache=104
+}
+
+// eventArgs renders kind-specific payloads with meaningful names.
+func eventArgs(e Event) map[string]any {
+	switch e.Kind {
+	case EvEnqueue, EvDequeue:
+		return map[string]any{"queue": e.A, "value": e.B}
+	case EvCVTrap:
+		return map[string]any{"queue": e.A, "cv": e.B}
+	case EvEnqTrap:
+		return map[string]any{"queue": e.A}
+	case EvSkip:
+		return map[string]any{"queue": e.A, "skipped": e.B}
+	case EvRedirect:
+		cause := "mispredict"
+		if e.A == 1 {
+			cause = "trap"
+		}
+		return map[string]any{"cause": cause, "resume": e.B}
+	case EvRALoad:
+		return map[string]any{"addr": e.A, "done": e.B}
+	case EvRACV:
+		return map[string]any{"queue": e.A, "cv": e.B}
+	case EvConnSend:
+		return map[string]any{"dst_core": e.A >> 8, "dst_queue": e.A & 0xff, "value": e.B}
+	case EvCacheMiss:
+		lvl := [...]string{"L1", "L2", "L3", "DRAM"}
+		name := "?"
+		if e.A < uint64(len(lvl)) {
+			name = lvl[e.A]
+		}
+		return map[string]any{"level": name, "done": e.B}
+	}
+	return nil
+}
+
+// WriteChromeTrace renders the tracer's events (and, when sm is non-nil,
+// the sampler's occupancy/IPC series as counter tracks) as a Chrome
+// trace-event JSON document. Either argument may be nil.
+func WriteChromeTrace(w io.Writer, tr *Tracer, sm *Sampler) error {
+	t := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+
+	named := map[[2]int]bool{}
+	nameTrack := func(core int, unit int16) {
+		tid := chromeTid(unit)
+		key := [2]int{core, tid}
+		if named[key] {
+			return
+		}
+		named[key] = true
+		label := UnitName(unit)
+		if unit >= 0 {
+			label = fmt.Sprintf("thread %d", unit)
+		}
+		t.TraceEvents = append(t.TraceEvents,
+			chromeEvent{Name: "process_name", Ph: "M", Pid: core, Tid: tid,
+				Args: map[string]any{"name": fmt.Sprintf("core %d", core)}},
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: core, Tid: tid,
+				Args: map[string]any{"name": label}})
+	}
+
+	if tr != nil {
+		for _, e := range tr.Events() {
+			nameTrack(int(e.Core), e.Unit)
+			ce := chromeEvent{
+				Name: e.Kind.String(),
+				Ph:   "i",
+				S:    "t",
+				Ts:   e.Cycle,
+				Pid:  int(e.Core),
+				Tid:  chromeTid(e.Unit),
+				Cat:  UnitName(e.Unit),
+				Args: eventArgs(e),
+			}
+			// Events that know their completion cycle render as duration
+			// slices so latency is visible on the timeline.
+			if (e.Kind == EvRALoad || e.Kind == EvCacheMiss) && e.B > e.Cycle {
+				d := e.B - e.Cycle
+				ce.Ph, ce.S, ce.Dur = "X", "", &d
+			}
+			t.TraceEvents = append(t.TraceEvents, ce)
+		}
+	}
+
+	if sm != nil {
+		for _, s := range sm.Samples() {
+			t.TraceEvents = append(t.TraceEvents, chromeEvent{
+				Name: "committed", Ph: "C", Ts: s.Cycle, Pid: 0, Tid: 0,
+				Args: map[string]any{"instructions": s.Committed},
+			})
+			for ci, c := range s.Cores {
+				occ := map[string]any{}
+				for qi, o := range c.QueueOcc {
+					occ[fmt.Sprintf("q%d", qi)] = o
+				}
+				t.TraceEvents = append(t.TraceEvents,
+					chromeEvent{Name: "queue occupancy", Ph: "C", Ts: s.Cycle, Pid: ci, Tid: 0, Args: occ},
+					chromeEvent{Name: "qrm mapped regs", Ph: "C", Ts: s.Cycle, Pid: ci, Tid: 0,
+						Args: map[string]any{"regs": c.MappedRegs}})
+			}
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// ValidateChromeTrace parses a trace document and performs basic sanity
+// checks: it must decode, hold at least one non-metadata event, and every
+// event needs a name and phase. It returns the number of non-metadata
+// events and the set of categories seen (component types).
+func ValidateChromeTrace(r io.Reader) (events int, cats map[string]int, err error) {
+	var t chromeTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&t); err != nil {
+		return 0, nil, fmt.Errorf("telemetry: bad chrome trace: %w", err)
+	}
+	cats = map[string]int{}
+	for _, e := range t.TraceEvents {
+		if e.Name == "" || e.Ph == "" {
+			return 0, nil, fmt.Errorf("telemetry: trace event missing name/ph: %+v", e)
+		}
+		if e.Ph == "M" {
+			continue
+		}
+		events++
+		if e.Cat != "" {
+			cats[e.Cat]++
+		}
+	}
+	if events == 0 {
+		return 0, nil, fmt.Errorf("telemetry: trace holds no events")
+	}
+	return events, cats, nil
+}

@@ -1,0 +1,231 @@
+// Sampling metrics collector: the simulation loop appends one Sample every
+// Interval cycles; sinks render the series as CSV or JSON. Samples carry
+// cumulative counters so sinks can derive both instantaneous occupancies and
+// per-interval rates (interval IPC, MPKI).
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CoreSample is one core's state at a sample point.
+type CoreSample struct {
+	Committed  uint64  `json:"committed"`   // cumulative instructions committed
+	MappedRegs int     `json:"mapped_regs"` // physical registers held by the QRM
+	IQLen      int     `json:"iq_len"`      // issue-queue entries in flight
+	QueueOcc   []int   `json:"queue_occ"`   // per-queue live entries
+	Stall      []uint8 `json:"stall"`       // per-thread StallReason (instantaneous)
+	ROBUsed    []int   `json:"rob_used"`    // per-thread ROB entries
+}
+
+// CacheSample is the hierarchy's cumulative counters at a sample point.
+type CacheSample struct {
+	L1Hits     uint64 `json:"l1_hits"`
+	L2Hits     uint64 `json:"l2_hits"`
+	L3Hits     uint64 `json:"l3_hits"`
+	DRAM       uint64 `json:"dram"`
+	Prefetches uint64 `json:"prefetches"`
+}
+
+// Sample is one point of the run's time series.
+type Sample struct {
+	Cycle     uint64       `json:"cycle"`
+	Committed uint64       `json:"committed"` // cumulative, all cores
+	Cores     []CoreSample `json:"cores"`
+	Cache     CacheSample  `json:"cache"`
+}
+
+// Sampler accumulates the time series plus a per-thread stall-reason
+// histogram (each sample tick increments the bucket of the thread's current
+// stall reason, approximating the time distribution at Interval resolution).
+type Sampler struct {
+	Interval uint64 // cycles between samples
+
+	samples []Sample
+	// hist[core][thread][reason] counts sample ticks.
+	hist [][][]uint64
+}
+
+// DefaultSampleInterval is the default sampling period in cycles.
+const DefaultSampleInterval = 1024
+
+// NewSampler builds a sampler with the given period (<= 0 selects
+// DefaultSampleInterval).
+func NewSampler(interval uint64) *Sampler {
+	if interval == 0 {
+		interval = DefaultSampleInterval
+	}
+	return &Sampler{Interval: interval}
+}
+
+// Append records one sample and updates the stall histogram.
+func (s *Sampler) Append(sm Sample) {
+	s.samples = append(s.samples, sm)
+	for ci, c := range sm.Cores {
+		for ci >= len(s.hist) {
+			s.hist = append(s.hist, nil)
+		}
+		for ti, r := range c.Stall {
+			for ti >= len(s.hist[ci]) {
+				s.hist[ci] = append(s.hist[ci], nil)
+			}
+			for int(r) >= len(s.hist[ci][ti]) {
+				s.hist[ci][ti] = append(s.hist[ci][ti], 0)
+			}
+			s.hist[ci][ti][r]++
+		}
+	}
+}
+
+// Samples returns the recorded series.
+func (s *Sampler) Samples() []Sample { return s.samples }
+
+// Last returns the most recent sample.
+func (s *Sampler) Last() (Sample, bool) {
+	if len(s.samples) == 0 {
+		return Sample{}, false
+	}
+	return s.samples[len(s.samples)-1], true
+}
+
+// StallHist returns [core][thread][reason] counts of sample ticks.
+func (s *Sampler) StallHist() [][][]uint64 { return s.hist }
+
+// stallName renders reason r using names (indices follow core.StallReason).
+func stallName(names []string, r uint8) string {
+	if int(r) < len(names) {
+		return names[r]
+	}
+	return fmt.Sprintf("stall%d", r)
+}
+
+// WriteCSV renders the series as CSV: one row per sample with whole-system
+// columns (interval IPC, MPKI = DRAM accesses per kilo-instruction in the
+// interval) followed by per-core occupancy, per-queue occupancy and
+// per-thread stall-reason columns. stallNames maps core.StallReason values
+// to column values (pass core.StallNames()).
+func (s *Sampler) WriteCSV(w io.Writer, stallNames []string) error {
+	var b strings.Builder
+	cols := []string{"cycle", "committed", "ipc", "mpki",
+		"l1_hits", "l2_hits", "l3_hits", "dram", "prefetches"}
+	if len(s.samples) > 0 {
+		for ci, c := range s.samples[0].Cores {
+			cols = append(cols,
+				fmt.Sprintf("c%d_committed", ci),
+				fmt.Sprintf("c%d_mapped_regs", ci),
+				fmt.Sprintf("c%d_iq", ci))
+			for qi := range c.QueueOcc {
+				cols = append(cols, fmt.Sprintf("c%d_q%d_occ", ci, qi))
+			}
+			for ti := range c.Stall {
+				cols = append(cols,
+					fmt.Sprintf("c%d_t%d_stall", ci, ti),
+					fmt.Sprintf("c%d_t%d_rob", ci, ti))
+			}
+		}
+	}
+	b.WriteString(strings.Join(cols, ","))
+	b.WriteByte('\n')
+
+	var prev Sample
+	for i, sm := range s.samples {
+		dCycle := sm.Cycle - prev.Cycle
+		dCommit := sm.Committed - prev.Committed
+		dDRAM := sm.Cache.DRAM - prev.Cache.DRAM
+		ipc, mpki := 0.0, 0.0
+		if dCycle > 0 {
+			ipc = float64(dCommit) / float64(dCycle)
+		}
+		if dCommit > 0 {
+			mpki = 1000 * float64(dDRAM) / float64(dCommit)
+		}
+		fmt.Fprintf(&b, "%d,%d,%.4f,%.3f,%d,%d,%d,%d,%d",
+			sm.Cycle, sm.Committed, ipc, mpki,
+			sm.Cache.L1Hits, sm.Cache.L2Hits, sm.Cache.L3Hits,
+			sm.Cache.DRAM, sm.Cache.Prefetches)
+		for _, c := range sm.Cores {
+			fmt.Fprintf(&b, ",%d,%d,%d", c.Committed, c.MappedRegs, c.IQLen)
+			for _, occ := range c.QueueOcc {
+				fmt.Fprintf(&b, ",%d", occ)
+			}
+			for ti, r := range c.Stall {
+				rob := 0
+				if ti < len(c.ROBUsed) {
+					rob = c.ROBUsed[ti]
+				}
+				fmt.Fprintf(&b, ",%s,%d", stallName(stallNames, r), rob)
+			}
+		}
+		b.WriteByte('\n')
+		prev = s.samples[i]
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// metricsJSON is the JSON sink envelope.
+type metricsJSON struct {
+	Schema   string   `json:"schema"`
+	Interval uint64   `json:"interval"`
+	Samples  []Sample `json:"samples"`
+}
+
+// MetricsSchema identifies the JSON metrics envelope.
+const MetricsSchema = "pipette.metrics/v1"
+
+// WriteJSON renders the series as a JSON document.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	samples := s.samples
+	if samples == nil {
+		samples = []Sample{}
+	}
+	return enc.Encode(metricsJSON{Schema: MetricsSchema, Interval: s.Interval, Samples: samples})
+}
+
+// ReadMetricsJSON parses a document written by WriteJSON (round-trip tests
+// and external tooling).
+func ReadMetricsJSON(r io.Reader) (interval uint64, samples []Sample, err error) {
+	var m metricsJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return 0, nil, err
+	}
+	if m.Schema != MetricsSchema {
+		return 0, nil, fmt.Errorf("telemetry: metrics schema %q, want %q", m.Schema, MetricsSchema)
+	}
+	return m.Interval, m.Samples, nil
+}
+
+// FormatSnapshot renders one sample for human consumption (deadlock
+// reports): per-core committed counts, queue occupancies and per-thread
+// stall reasons.
+func FormatSnapshot(sm Sample, stallNames []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "telemetry snapshot @%d: committed=%d\n", sm.Cycle, sm.Committed)
+	for ci, c := range sm.Cores {
+		fmt.Fprintf(&b, "  core %d: committed=%d mapped-regs=%d iq=%d\n", ci, c.Committed, c.MappedRegs, c.IQLen)
+		occ := ""
+		for qi, o := range c.QueueOcc {
+			if o > 0 {
+				occ += fmt.Sprintf(" q%d=%d", qi, o)
+			}
+		}
+		if occ != "" {
+			fmt.Fprintf(&b, "    queue-occ:%s\n", occ)
+		}
+		for ti, r := range c.Stall {
+			rob := 0
+			if ti < len(c.ROBUsed) {
+				rob = c.ROBUsed[ti]
+			}
+			fmt.Fprintf(&b, "    t%d stall=%s rob=%d\n", ti, stallName(stallNames, r), rob)
+		}
+	}
+	return b.String()
+}

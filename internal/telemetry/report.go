@@ -1,0 +1,234 @@
+// The canonical machine-readable run report. One schema is shared by
+// cmd/pipette-sim (-json), cmd/pipette-bench (-report-out) and the
+// experiment harness, so benchmark trajectories and EXPERIMENTS.md tables
+// derive from the same data.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Schema identifiers embedded in emitted documents.
+const (
+	ReportSchema = "pipette.report/v1"
+	RunSetSchema = "pipette.runset/v1"
+)
+
+// CPIReport is the Fig. 11 cycle breakdown as fractions of total cycles.
+type CPIReport struct {
+	Issue   float64 `json:"issue"`
+	Backend float64 `json:"backend"`
+	Queue   float64 `json:"queue"`
+	Front   float64 `json:"front"`
+}
+
+// CoreReport is one core's end-of-run counters.
+type CoreReport struct {
+	Committed      uint64    `json:"committed"`
+	Uops           uint64    `json:"uops"`
+	IPC            float64   `json:"ipc"`
+	Branches       uint64    `json:"branches"`
+	Mispredicts    uint64    `json:"mispredicts"`
+	CVTraps        uint64    `json:"cv_traps"`
+	EnqTraps       uint64    `json:"enq_traps"`
+	SkipOps        uint64    `json:"skip_ops"`
+	SkipDiscard    uint64    `json:"skip_discard"`
+	Enqueues       uint64    `json:"enqueues"`
+	Dequeues       uint64    `json:"dequeues"`
+	RegReads       uint64    `json:"reg_reads"`
+	RegWrites      uint64    `json:"reg_writes"`
+	CPI            CPIReport `json:"cpi_stack"`
+	MeanMappedRegs float64   `json:"mean_mapped_regs"`
+	PeakMappedRegs uint64    `json:"peak_mapped_regs"`
+	PerThread      []uint64  `json:"per_thread_committed"`
+}
+
+// CacheReport is the hierarchy's end-of-run counters plus MPKI (DRAM
+// accesses per kilo-instruction).
+type CacheReport struct {
+	L1Hits        uint64  `json:"l1_hits"`
+	L2Hits        uint64  `json:"l2_hits"`
+	L3Hits        uint64  `json:"l3_hits"`
+	DRAMAccesses  uint64  `json:"dram_accesses"`
+	Prefetches    uint64  `json:"prefetches"`
+	Writebacks    uint64  `json:"writebacks"`
+	Invalidations uint64  `json:"invalidations"`
+	MPKI          float64 `json:"mpki"`
+}
+
+// EnergyReport is the Fig. 12 energy decomposition in picojoules.
+type EnergyReport struct {
+	CoreDyn  float64 `json:"core_dyn"`
+	CacheDyn float64 `json:"cache_dyn"`
+	DRAMDyn  float64 `json:"dram_dyn"`
+	Static   float64 `json:"static"`
+	Total    float64 `json:"total"`
+}
+
+// ThreadStallHist is one thread's sampled stall-reason distribution.
+type ThreadStallHist struct {
+	Core   int               `json:"core"`
+	Thread int               `json:"thread"`
+	Ticks  map[string]uint64 `json:"ticks"` // reason name -> sample ticks
+}
+
+// TelemetryReport summarizes what the tracer and sampler captured.
+type TelemetryReport struct {
+	Events         uint64            `json:"events"`
+	DroppedEvents  uint64            `json:"dropped_events"`
+	Samples        int               `json:"samples"`
+	SampleInterval uint64            `json:"sample_interval"`
+	StallHist      []ThreadStallHist `json:"stall_hist,omitempty"`
+}
+
+// Report is the canonical run report.
+type Report struct {
+	Schema    string           `json:"schema"`
+	App       string           `json:"app,omitempty"`
+	Variant   string           `json:"variant,omitempty"`
+	Input     string           `json:"input,omitempty"`
+	Cores     int              `json:"cores"`
+	Cycles    uint64           `json:"cycles"`
+	Committed uint64           `json:"committed"`
+	IPC       float64          `json:"ipc"`
+	CoreStats []CoreReport     `json:"core_stats"`
+	Cache     CacheReport      `json:"cache"`
+	Energy    *EnergyReport    `json:"energy,omitempty"`
+	Telemetry *TelemetryReport `json:"telemetry,omitempty"`
+	Error     string           `json:"error,omitempty"`
+}
+
+// RunSet is a collection of reports (one per benchmark cell), the shape
+// pipette-bench emits.
+type RunSet struct {
+	Schema string   `json:"schema"`
+	Label  string   `json:"label,omitempty"` // e.g. experiment names
+	Runs   []Report `json:"runs"`
+}
+
+// TelemetrySummary builds the telemetry section from a tracer and/or
+// sampler (either may be nil). stallNames maps core.StallReason values to
+// histogram keys.
+func TelemetrySummary(tr *Tracer, sm *Sampler, stallNames []string) *TelemetryReport {
+	if tr == nil && sm == nil {
+		return nil
+	}
+	t := &TelemetryReport{}
+	if tr != nil {
+		t.Events = tr.Total()
+		t.DroppedEvents = tr.Dropped()
+	}
+	if sm != nil {
+		t.Samples = len(sm.Samples())
+		t.SampleInterval = sm.Interval
+		for ci, threads := range sm.StallHist() {
+			for ti, reasons := range threads {
+				h := ThreadStallHist{Core: ci, Thread: ti, Ticks: map[string]uint64{}}
+				for r, n := range reasons {
+					if n > 0 {
+						h.Ticks[stallName(stallNames, uint8(r))] = n
+					}
+				}
+				t.StallHist = append(t.StallHist, h)
+			}
+		}
+	}
+	return t
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	if r.Schema == "" {
+		r.Schema = ReportSchema
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// WriteJSON renders the run set as indented JSON.
+func (rs RunSet) WriteJSON(w io.Writer) error {
+	if rs.Schema == "" {
+		rs.Schema = RunSetSchema
+	}
+	if rs.Runs == nil {
+		rs.Runs = []Report{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(rs)
+}
+
+// validate applies the semantic checks shared by single reports and run
+// sets.
+func (r Report) validate() error {
+	if r.Schema != ReportSchema {
+		return fmt.Errorf("schema %q, want %q", r.Schema, ReportSchema)
+	}
+	if r.Cores <= 0 {
+		return fmt.Errorf("cores = %d", r.Cores)
+	}
+	if len(r.CoreStats) != r.Cores {
+		return fmt.Errorf("core_stats has %d entries for %d cores", len(r.CoreStats), r.Cores)
+	}
+	if r.Error == "" {
+		if r.Cycles == 0 {
+			return fmt.Errorf("successful run with cycles = 0")
+		}
+		if r.Committed == 0 {
+			return fmt.Errorf("successful run with committed = 0")
+		}
+	}
+	var sum uint64
+	for i, c := range r.CoreStats {
+		sum += c.Committed
+		st := c.CPI
+		if f := st.Issue + st.Backend + st.Queue + st.Front; f < 0 || f > 1.0001 {
+			return fmt.Errorf("core %d: CPI-stack fractions sum to %f", i, f)
+		}
+	}
+	if sum != r.Committed {
+		return fmt.Errorf("per-core committed sums to %d, report says %d", sum, r.Committed)
+	}
+	if r.IPC < 0 {
+		return fmt.Errorf("ipc = %f", r.IPC)
+	}
+	return nil
+}
+
+// ValidateReport parses and checks one report document: known schema,
+// structurally well-formed (unknown fields rejected), and internally
+// consistent. CI's smoke run gates on it.
+func ValidateReport(rd io.Reader) (Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return r, fmt.Errorf("telemetry: bad report: %w", err)
+	}
+	if err := r.validate(); err != nil {
+		return r, fmt.Errorf("telemetry: invalid report: %w", err)
+	}
+	return r, nil
+}
+
+// ValidateRunSet parses and checks a run-set document.
+func ValidateRunSet(rd io.Reader) (RunSet, error) {
+	var rs RunSet
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rs); err != nil {
+		return rs, fmt.Errorf("telemetry: bad run set: %w", err)
+	}
+	if rs.Schema != RunSetSchema {
+		return rs, fmt.Errorf("telemetry: run-set schema %q, want %q", rs.Schema, RunSetSchema)
+	}
+	for i, r := range rs.Runs {
+		if err := r.validate(); err != nil {
+			return rs, fmt.Errorf("telemetry: invalid run %d (%s/%s/%s): %w", i, r.App, r.Variant, r.Input, err)
+		}
+	}
+	return rs, nil
+}

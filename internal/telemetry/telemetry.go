@@ -1,0 +1,145 @@
+// Package telemetry is the observability substrate of the simulator: a
+// zero-cost-when-disabled event tracer (exported as Chrome trace-event JSON
+// so whole runs open in ui.perfetto.dev), a cycle-sampling metrics collector
+// with CSV/JSON sinks, and the canonical machine-readable run report emitted
+// by cmd/pipette-sim, cmd/pipette-bench and the experiment harness.
+//
+// The package is a dependency leaf: it imports nothing from the simulator so
+// that every modeled component (core, queue, ra, connector, cache, sim) can
+// hold a concrete *Tracer pointer and emit events through direct,
+// interface-free calls guarded by a nil check. With no tracer attached the
+// hot paths pay only that nil check (see BenchmarkTelemetryOverhead).
+package telemetry
+
+// Kind classifies one traced pipeline event.
+type Kind uint8
+
+// Event kinds. A and B are kind-specific payloads (documented per kind).
+const (
+	EvNone      Kind = iota
+	EvEnqueue        // queue enqueue: A=queue id, B=value
+	EvDequeue        // queue dequeue: A=queue id, B=value
+	EvCVTrap         // control-value dequeue trap: A=queue id, B=CV value
+	EvEnqTrap        // enqueue-handler trap: A=queue id
+	EvSkip           // skip_to_ctrl consumed a CV: A=queue id, B=data entries skipped
+	EvRedirect       // frontend redirect: A=0 mispredict / 1 trap, B=resume cycle
+	EvRALoad         // RA indirect load issued: A=address, B=completion cycle
+	EvRACV           // RA forwarded a control value: A=output queue id, B=value
+	EvConnSend       // connector hop: A=dst core<<8|dst queue, B=value
+	EvCacheMiss      // L1 miss: A=level that served it (1=L2,2=L3,3=DRAM), B=completion cycle
+	numKinds
+)
+
+// String names the event kind (also the Chrome trace event name).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "?"
+}
+
+var kindNames = [...]string{
+	"none", "enqueue", "dequeue", "cv-trap", "enq-trap", "skip",
+	"redirect", "ra-load", "ra-cv", "conn-send", "cache-miss",
+}
+
+// Units identify the non-thread hardware that emits events; hardware thread
+// events use the thread id (>= 0) directly.
+const (
+	UnitQueue     = -1 // QRM-level queue activity
+	UnitRA        = -2 // reference accelerator
+	UnitConnector = -3 // cross-core connector
+	UnitCache     = -4 // cache port
+)
+
+// UnitName renders a unit id for reports and trace metadata.
+func UnitName(u int16) string {
+	switch u {
+	case UnitQueue:
+		return "qrm"
+	case UnitRA:
+		return "ra"
+	case UnitConnector:
+		return "connector"
+	case UnitCache:
+		return "cache"
+	}
+	return "thread"
+}
+
+// Event is one fixed-size trace record.
+type Event struct {
+	Cycle uint64
+	A, B  uint64
+	Kind  Kind
+	Core  int16
+	Unit  int16 // hardware thread id, or a Unit* constant
+}
+
+// Tracer records events into a fixed-capacity ring buffer. It is written by
+// the single simulation goroutine; Emit never allocates and the buffer wraps
+// (oldest events are dropped) so arbitrarily long runs stay bounded.
+//
+// Cycle is the tracer's clock: the simulation loop (sim.Run, or Core.Cycle
+// for cores driven standalone) stores the current cycle there once per
+// cycle, so emitters do not need to thread `now` through every call site.
+type Tracer struct {
+	Cycle uint64 // current cycle, maintained by the simulation loop
+
+	buf  []Event
+	mask uint64
+	n    uint64 // total events ever emitted
+}
+
+// DefaultTraceCap is the default ring capacity (events).
+const DefaultTraceCap = 1 << 18
+
+// NewTracer builds a tracer whose ring holds at least capacity events
+// (rounded up to a power of two; <= 0 selects DefaultTraceCap).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &Tracer{buf: make([]Event, c), mask: uint64(c - 1)}
+}
+
+// Emit records one event at the tracer's current cycle.
+func (t *Tracer) Emit(kind Kind, core, unit int16, a, b uint64) {
+	t.buf[t.n&t.mask] = Event{Cycle: t.Cycle, A: a, B: b, Kind: kind, Core: core, Unit: unit}
+	t.n++
+}
+
+// Len returns the number of events currently held (<= ring capacity).
+func (t *Tracer) Len() int {
+	if t.n < uint64(len(t.buf)) {
+		return int(t.n)
+	}
+	return len(t.buf)
+}
+
+// Total returns the number of events ever emitted.
+func (t *Tracer) Total() uint64 { return t.n }
+
+// Dropped returns how many events the ring overwrote.
+func (t *Tracer) Dropped() uint64 {
+	if t.n < uint64(len(t.buf)) {
+		return 0
+	}
+	return t.n - uint64(len(t.buf))
+}
+
+// Events returns the retained events, oldest first. The slice is freshly
+// allocated; call once at end of run.
+func (t *Tracer) Events() []Event {
+	n := uint64(t.Len())
+	out := make([]Event, n)
+	start := t.n - n
+	for i := uint64(0); i < n; i++ {
+		out[i] = t.buf[(start+i)&t.mask]
+	}
+	return out
+}

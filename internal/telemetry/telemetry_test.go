@@ -1,0 +1,304 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixture builds a small deterministic tracer + sampler covering every
+// event kind and two samples.
+func fixture() (*Tracer, *Sampler) {
+	tr := NewTracer(64)
+	tr.Cycle = 10
+	tr.Emit(EvEnqueue, 0, UnitQueue, 2, 77)
+	tr.Emit(EvDequeue, 0, UnitQueue, 2, 77)
+	tr.Cycle = 12
+	tr.Emit(EvCVTrap, 0, UnitQueue, 2, 0xFFFF)
+	tr.Emit(EvEnqTrap, 0, UnitQueue, 3, 0)
+	tr.Emit(EvSkip, 0, UnitQueue, 2, 5)
+	tr.Cycle = 20
+	tr.Emit(EvRedirect, 0, 1, 0, 24)
+	tr.Emit(EvRALoad, 0, UnitRA, 0x1000, 46) // duration event: 26 cycles
+	tr.Emit(EvRACV, 0, UnitRA, 4, 0xFFFF)
+	tr.Cycle = 21
+	tr.Emit(EvConnSend, 0, UnitConnector, 1<<8|5, 99)
+	tr.Emit(EvCacheMiss, 1, UnitCache, 3, 260) // DRAM, done at 260
+
+	sm := NewSampler(16)
+	sm.Append(Sample{
+		Cycle: 16, Committed: 10,
+		Cores: []CoreSample{{
+			Committed: 10, MappedRegs: 4, IQLen: 2,
+			QueueOcc: []int{3, 0}, Stall: []uint8{0, 2}, ROBUsed: []int{8, 1},
+		}},
+		Cache: CacheSample{L1Hits: 5, DRAM: 1},
+	})
+	sm.Append(Sample{
+		Cycle: 32, Committed: 42,
+		Cores: []CoreSample{{
+			Committed: 42, MappedRegs: 6, IQLen: 0,
+			QueueOcc: []int{1, 2}, Stall: []uint8{2, 0}, ROBUsed: []int{0, 3},
+		}},
+		Cache: CacheSample{L1Hits: 20, L2Hits: 3, DRAM: 2},
+	})
+	return tr, sm
+}
+
+var testStallNames = []string{"none", "halted", "queue-empty"}
+
+// golden compares got against testdata/<name>, rewriting it under -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(3) // rounds up to 4
+	for i := 0; i < 10; i++ {
+		tr.Cycle = uint64(i)
+		tr.Emit(EvEnqueue, 0, UnitQueue, uint64(i), 0)
+	}
+	if tr.Total() != 10 || tr.Len() != 4 || tr.Dropped() != 6 {
+		t.Fatalf("total=%d len=%d dropped=%d", tr.Total(), tr.Len(), tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(6 + i); e.A != want || e.Cycle != want {
+			t.Errorf("event %d: A=%d cycle=%d, want %d (oldest-first)", i, e.A, e.Cycle, want)
+		}
+	}
+}
+
+func TestKindAndUnitNames(t *testing.T) {
+	if int(numKinds) != len(kindNames) {
+		t.Fatalf("numKinds=%d, kindNames has %d", numKinds, len(kindNames))
+	}
+	if EvCacheMiss.String() != "cache-miss" || Kind(200).String() != "?" {
+		t.Fatal("Kind.String broken")
+	}
+	for u, want := range map[int16]string{
+		UnitQueue: "qrm", UnitRA: "ra", UnitConnector: "connector",
+		UnitCache: "cache", 0: "thread", 3: "thread",
+	} {
+		if got := UnitName(u); got != want {
+			t.Errorf("UnitName(%d) = %q, want %q", u, got, want)
+		}
+	}
+}
+
+func TestStallHist(t *testing.T) {
+	_, sm := fixture()
+	h := sm.StallHist()
+	if len(h) != 1 || len(h[0]) != 2 {
+		t.Fatalf("hist shape %v", h)
+	}
+	// Thread 0 saw reasons {0, 2}; thread 1 saw {2, 0}.
+	if h[0][0][0] != 1 || h[0][0][2] != 1 || h[0][1][0] != 1 || h[0][1][2] != 1 {
+		t.Fatalf("hist counts %v", h)
+	}
+}
+
+func TestMetricsCSVGolden(t *testing.T) {
+	_, sm := fixture()
+	var b bytes.Buffer
+	if err := sm.WriteCSV(&b, testStallNames); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "metrics.csv", b.Bytes())
+}
+
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	_, sm := fixture()
+	var b bytes.Buffer
+	if err := sm.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "metrics.json", b.Bytes())
+
+	interval, samples, err := ReadMetricsJSON(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interval != 16 || len(samples) != 2 {
+		t.Fatalf("interval=%d samples=%d", interval, len(samples))
+	}
+	if samples[1].Cores[0].QueueOcc[1] != 2 || samples[1].Cache.L2Hits != 3 {
+		t.Fatalf("round-trip lost data: %+v", samples[1])
+	}
+	// Unknown fields are rejected.
+	if _, _, err := ReadMetricsJSON(strings.NewReader(
+		`{"schema":"pipette.metrics/v1","interval":1,"samples":[],"bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	// Wrong schema is rejected.
+	if _, _, err := ReadMetricsJSON(strings.NewReader(
+		`{"schema":"pipette.metrics/v999","interval":1,"samples":[]}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	tr, sm := fixture()
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, tr, sm); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "trace.json", b.Bytes())
+
+	n, cats, err := ValidateChromeTrace(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 instant/duration events + 2 samples * (1 committed + 2 core counters).
+	if n != 16 {
+		t.Fatalf("got %d events", n)
+	}
+	for _, c := range []string{"qrm", "ra", "connector", "cache", "thread"} {
+		if cats[c] == 0 {
+			t.Errorf("category %q missing from %v", c, cats)
+		}
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	for name, doc := range map[string]string{
+		"not json":  `{`,
+		"no events": `{"traceEvents":[]}`,
+		"bad event": `{"traceEvents":[{"ph":"i"}]}`,
+	} {
+		if _, _, err := ValidateChromeTrace(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// goodReport is a minimal internally-consistent report.
+func goodReport() Report {
+	return Report{
+		Schema: ReportSchema, App: "bfs", Variant: "pipette", Input: "Rd",
+		Cores: 1, Cycles: 100, Committed: 50, IPC: 0.5,
+		CoreStats: []CoreReport{{Committed: 50, IPC: 0.5,
+			CPI: CPIReport{Issue: 0.5, Backend: 0.3, Queue: 0.1, Front: 0.1}}},
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	tr, sm := fixture()
+	r := goodReport()
+	r.Telemetry = TelemetrySummary(tr, sm, testStallNames)
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "report.json", b.Bytes())
+
+	got, err := ValidateReport(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Telemetry == nil || got.Telemetry.Events != 10 || len(got.Telemetry.StallHist) != 2 {
+		t.Fatalf("telemetry section lost: %+v", got.Telemetry)
+	}
+}
+
+func TestValidateReportRejects(t *testing.T) {
+	cases := map[string]func(*Report){
+		"wrong schema":  func(r *Report) { r.Schema = "bogus" },
+		"zero cores":    func(r *Report) { r.Cores = 0 },
+		"core mismatch": func(r *Report) { r.Cores = 2 },
+		"zero cycles":   func(r *Report) { r.Cycles = 0 },
+		"commit sum":    func(r *Report) { r.CoreStats[0].Committed = 1 },
+		"cpi fractions": func(r *Report) { r.CoreStats[0].CPI.Issue = 2 },
+		"negative ipc":  func(r *Report) { r.IPC = -1 },
+	}
+	for name, mutate := range cases {
+		r := goodReport()
+		mutate(&r)
+		var b bytes.Buffer
+		if err := r.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ValidateReport(&b); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// A failed run may legitimately have zero cycles.
+	r := goodReport()
+	r.Cycles, r.Committed, r.CoreStats[0].Committed = 0, 0, 0
+	r.Error = "sim: deadlock"
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateReport(&b); err != nil {
+		t.Errorf("failed-run report rejected: %v", err)
+	}
+	// Unknown fields are rejected.
+	if _, err := ValidateReport(strings.NewReader(`{"schema":"pipette.report/v1","bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestRunSetRoundTrip(t *testing.T) {
+	rs := RunSet{Schema: RunSetSchema, Label: "all", Runs: []Report{goodReport(), goodReport()}}
+	var b bytes.Buffer
+	if err := rs.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ValidateRunSet(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Runs) != 2 || got.Label != "all" {
+		t.Fatalf("round-trip lost data: %+v", got)
+	}
+	// A bad member report fails the whole set.
+	rs.Runs[1].Committed = 999
+	b.Reset()
+	if err := rs.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateRunSet(&b); err == nil {
+		t.Fatal("inconsistent member accepted")
+	}
+}
+
+func TestFormatSnapshot(t *testing.T) {
+	_, sm := fixture()
+	last, ok := sm.Last()
+	if !ok {
+		t.Fatal("no samples")
+	}
+	s := FormatSnapshot(last, testStallNames)
+	for _, want := range []string{"@32", "committed=42", "q0=1 q1=2", "t0 stall=queue-empty", "t1 stall=none rob=3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	// Out-of-range reasons fall back to a numeric name.
+	s = FormatSnapshot(Sample{Cores: []CoreSample{{Stall: []uint8{9}}}}, testStallNames)
+	if !strings.Contains(s, "stall=stall9") {
+		t.Errorf("missing fallback name in:\n%s", s)
+	}
+}

@@ -1,0 +1,35 @@
+#!/bin/sh
+# CI gate: vet + build + race tests + a telemetry smoke run whose artifacts
+# must validate against the schemas. `scripts/ci.sh smoke` runs only the
+# smoke stage.
+set -eu
+
+cd "$(dirname "$0")/.."
+out=build/smoke
+mkdir -p "$out"
+
+smoke() {
+	echo "== smoke: pipette-sim bfs/pipette with telemetry =="
+	go build -o "$out/pipette-sim" ./cmd/pipette-sim
+	go build -o "$out/pipette-validate" ./cmd/pipette-validate
+	"$out/pipette-sim" -app bfs -variant pipette -json \
+		-trace-out "$out/trace.json" -metrics-out "$out/metrics.csv" \
+		>"$out/report.json"
+	"$out/pipette-validate" -min-trace-cats 3 \
+		"$out/report.json" "$out/trace.json" "$out/metrics.csv"
+	echo "smoke OK"
+}
+
+if [ "${1:-}" = "smoke" ]; then
+	smoke
+	exit 0
+fi
+
+echo "== go vet =="
+go vet ./...
+echo "== go build =="
+go build ./...
+echo "== go test -race =="
+go test -race ./...
+smoke
+echo "CI OK"

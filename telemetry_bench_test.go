@@ -1,0 +1,87 @@
+package pipette
+
+import (
+	"io"
+	"testing"
+
+	"pipette/internal/bench"
+	"pipette/internal/cache"
+	"pipette/internal/core"
+	"pipette/internal/sim"
+	"pipette/internal/telemetry"
+)
+
+// Telemetry overhead benchmarks. ISSUE acceptance: the disabled path (a nil
+// check on every hook) must cost < 2% of cycle time vs. the pre-telemetry
+// seed. Run with
+//
+//	go test -bench=TelemetryOverhead -benchtime=5x -run '^$'
+//
+// and compare the off/tracing/sampling wall times directly.
+
+func telemetryRun(b *testing.B, enable func(*sim.System)) {
+	b.Helper()
+	g := ablGraph()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig()
+		cfg.Cache = cache.DefaultConfig().Scale(8)
+		cfg.WatchdogCycles = 5_000_000
+		s := sim.New(cfg)
+		if enable != nil {
+			enable(s)
+		}
+		if _, err := bench.Run(s, bench.BFSPipette(g, 0, 4, true)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTelemetryOverheadOff is the baseline: hooks present, tracer nil.
+func BenchmarkTelemetryOverheadOff(b *testing.B) {
+	telemetryRun(b, nil)
+}
+
+// BenchmarkTelemetryOverheadTracing measures the fully-enabled tracer
+// (every queue/trap/RA/connector/cache event into the ring).
+func BenchmarkTelemetryOverheadTracing(b *testing.B) {
+	telemetryRun(b, func(s *sim.System) { s.EnableTracing(0) })
+}
+
+// BenchmarkTelemetryOverheadSampling measures sampling alone (one sample
+// per 1,024 cycles).
+func BenchmarkTelemetryOverheadSampling(b *testing.B) {
+	telemetryRun(b, func(s *sim.System) { s.EnableSampling(0) })
+}
+
+// BenchmarkTelemetryOverheadFull enables both layers at once, bounding the
+// in-simulation cost of the whole observability stack.
+func BenchmarkTelemetryOverheadFull(b *testing.B) {
+	telemetryRun(b, func(s *sim.System) {
+		s.EnableTracing(0)
+		s.EnableSampling(0)
+	})
+}
+
+// BenchmarkTelemetryExport measures the end-of-run sink cost alone
+// (Chrome-trace JSON of a full ring + metrics CSV); it is paid once per
+// run, never per cycle, and dominates the fully-enabled path.
+func BenchmarkTelemetryExport(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.Cache = cache.DefaultConfig().Scale(8)
+	cfg.WatchdogCycles = 5_000_000
+	s := sim.New(cfg)
+	s.EnableTracing(0)
+	s.EnableSampling(0)
+	if _, err := bench.Run(s, bench.BFSPipette(ablGraph(), 0, 4, true)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := telemetry.WriteChromeTrace(io.Discard, s.Tracer(), s.Sampler()); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Sampler().WriteCSV(io.Discard, core.StallNames()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
