@@ -1,11 +1,15 @@
 GO ?= go
 
-.PHONY: all build vet test race smoke bench ci clean
+.PHONY: all build lint vet test race smoke sweep-smoke bench benchguard rebaseline ci clean
 
 all: build
 
 build:
 	$(GO) build ./...
+
+# Lint: gofmt cleanliness + go vet (CI's first stage).
+lint:
+	./scripts/ci.sh lint
 
 vet:
 	$(GO) vet ./...
@@ -22,11 +26,30 @@ race:
 smoke:
 	./scripts/ci.sh smoke
 
+# Sweep smoke: both shards of a sharded tiny evaluation sweep through a
+# shared result cache, plus a warm all-hits re-run, run sets validated.
+sweep-smoke:
+	./scripts/ci.sh sweep-smoke
+
 bench:
 	$(GO) test -bench=TelemetryOverhead -benchtime=2x -run ^$$ .
+	$(GO) test -bench=SweepThroughput -benchtime=2x -run ^$$ ./internal/harness
+
+# Benchmark regression guard: fails if TelemetryOverheadOff or
+# SweepThroughput exceed the thresholds in build/baselines/.
+benchguard:
+	./scripts/benchguard.sh
+
+# Rewrite the benchmark thresholds at 4x currently measured (commit the
+# result; see docs/SWEEP.md).
+rebaseline:
+	./scripts/benchguard.sh -update
 
 ci:
 	./scripts/ci.sh
 
+# Removes generated artifacts but keeps the checked-in benchmark baselines
+# under build/baselines/.
 clean:
-	rm -rf build
+	rm -rf build/smoke build/sweepcache
+	rm -f cpu.out mem.out

@@ -5,8 +5,16 @@
 //	pipette-bench -exp fig2          # one experiment
 //	pipette-bench -exp all           # everything (writes EXPERIMENTS-style output)
 //	pipette-bench -list              # list experiment names
+//	pipette-bench -jobs 8            # parallel evaluation sweep (output is byte-identical)
+//	pipette-bench -sweep -shard 0/2  # run half of the evaluation matrix, no reports
 //	pipette-bench -report-out runs.json   # machine-readable evaluation matrix
 //	pipette-bench -exp fig9 -cpuprofile cpu.out   # profile the simulator itself
+//
+// The evaluation matrix runs on a bounded worker pool (-jobs, default
+// GOMAXPROCS); results are keyed by cell, so figure/table output does not
+// depend on the worker count. Completed cells are cached on disk under
+// -sweep-cache (content-hashed by configuration; delete the directory or
+// pass -sweep-cache "" to force recomputation). See docs/SWEEP.md.
 package main
 
 import (
@@ -26,9 +34,18 @@ func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	cacheScale := flag.Int("cache-scale", 0, "override cache downscale factor")
 	graphScale := flag.Int("graph-scale", 0, "override graph input scale")
+	apps := flag.String("apps", "", "comma-separated app subset (bfs,cc,prd,radii,spmm,silo; \"\" = all)")
+	tiny := flag.Bool("tiny", false, "use the fast test-scale configuration (CI smoke)")
 	reportOut := flag.String("report-out", "", "write the evaluation matrix as a run-set JSON file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+
+	jobs := flag.Int("jobs", 0, "evaluation sweep workers (0 = GOMAXPROCS)")
+	shardSpec := flag.String("shard", "", "run only shard i/m of the evaluation matrix, e.g. 0/2 (implies -sweep)")
+	sweepOnly := flag.Bool("sweep", false, "run the evaluation sweep only; no figure/table reports")
+	failFast := flag.Bool("fail-fast", false, "abort the sweep on the first failed cell")
+	sweepCache := flag.String("sweep-cache", "build/sweepcache", "on-disk sweep result cache directory (\"\" disables)")
+	quiet := flag.Bool("quiet", false, "suppress live per-cell sweep progress on stderr")
 	flag.Parse()
 
 	if *list {
@@ -50,37 +67,58 @@ func main() {
 	}
 
 	cfg := harness.Default()
+	if *tiny {
+		cfg = harness.Tiny()
+	}
 	if *cacheScale > 0 {
 		cfg.CacheScale = *cacheScale
 	}
 	if *graphScale > 0 {
 		cfg.GraphScale = *graphScale
 	}
-
-	names := harness.Names()
-	if *exp != "all" {
-		names = strings.Split(*exp, ",")
-	}
-	for _, n := range names {
-		start := time.Now()
-		if err := harness.Run(n, os.Stdout, cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
-			exit(1)
-		}
-		fmt.Printf("(%s took %.1fs)\n\n", n, time.Since(start).Seconds())
+	if *apps != "" {
+		cfg.AppFilter = *apps
 	}
 
-	if *reportOut != "" {
-		f, err := os.Create(*reportOut)
-		if err != nil {
-			fatal(err)
+	opts := harness.SweepOptions{Jobs: *jobs, FailFast: *failFast, CacheDir: *sweepCache}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+	if *shardSpec != "" {
+		var ok bool
+		opts.Shard, opts.Shards, ok = parseShard(*shardSpec)
+		if !ok {
+			fatal(fmt.Errorf("bad -shard %q: want i/m with 0 <= i < m, e.g. 0/2", *shardSpec))
 		}
-		if err := harness.WriteRunSet(f, cfg, *exp); err != nil {
-			f.Close()
-			fatal(err)
+		*sweepOnly = true
+	}
+	harness.SetSweepOptions(opts)
+
+	if *sweepOnly {
+		runSweep(cfg, opts, *reportOut, *exp)
+	} else {
+		names := harness.Names()
+		if *exp != "all" {
+			names = strings.Split(*exp, ",")
 		}
-		if err := f.Close(); err != nil {
-			fatal(err)
+		for _, n := range names {
+			start := time.Now()
+			if err := harness.Run(n, os.Stdout, cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
+				exit(1)
+			}
+			fmt.Println()
+			// Timing goes to stderr: stdout stays byte-identical across
+			// runs, worker counts and cache states.
+			fmt.Fprintf(os.Stderr, "(%s took %.1fs)\n", n, time.Since(start).Seconds())
+		}
+
+		if *reportOut != "" {
+			if err := writeRunSet(*reportOut, func(f *os.File) error {
+				return harness.WriteRunSet(f, cfg, *exp)
+			}); err != nil {
+				fatal(err)
+			}
 		}
 	}
 
@@ -95,6 +133,58 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// runSweep executes the evaluation matrix (or one shard of it) without
+// rendering figures: CI's sharded smoke and cache-warming runs use this.
+// Exits non-zero if any cell failed.
+func runSweep(cfg harness.Config, opts harness.SweepOptions, reportOut, label string) {
+	e, err := harness.Sweep(cfg, opts)
+	if err != nil {
+		fatal(err)
+	}
+	st := e.Sweep
+	fmt.Printf("sweep: shard %d/%d, %d cells, jobs=%d: %d computed, %d cached, %d failed (%.1fs)\n",
+		st.Shard, st.Shards, st.Cells, st.Jobs,
+		st.CacheMisses, st.CacheHits, len(st.Failures), st.Wall.Seconds())
+	for _, f := range st.Failures {
+		fmt.Fprintf(os.Stderr, "FAILED %s\n", f)
+	}
+	if reportOut != "" {
+		if err := writeRunSet(reportOut, func(f *os.File) error {
+			return e.WriteRunSet(f, label)
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if len(st.Failures) > 0 {
+		exit(1)
+	}
+}
+
+// parseShard parses "i/m" shard specs.
+func parseShard(s string) (shard, shards int, ok bool) {
+	var i, m int
+	if n, err := fmt.Sscanf(s, "%d/%d", &i, &m); err != nil || n != 2 {
+		return 0, 0, false
+	}
+	if i < 0 || m < 1 || i >= m {
+		return 0, 0, false
+	}
+	return i, m, true
+}
+
+// writeRunSet creates path and streams a run set into it.
+func writeRunSet(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // exit stops the CPU profile (deferred handlers do not run through

@@ -7,9 +7,9 @@ package harness
 import (
 	"fmt"
 	"io"
+	"reflect"
 	"sort"
 	"strings"
-	"sync"
 
 	"pipette/internal/bench"
 	"pipette/internal/cache"
@@ -63,19 +63,50 @@ type Key struct {
 	App, Variant, Input string
 }
 
-// Cell is one completed run.
+// Cell is one completed run. WallSeconds and FromCache describe how the
+// cell was obtained, not what it computed: every simulated field is
+// deterministic, so equality checks between sweeps must ignore them (see
+// Eval.SameResults).
 type Cell struct {
 	R      sim.Result
 	Energy energy.Breakdown
 	Cores  int
+
+	WallSeconds float64 `json:"wall_seconds,omitempty"` // simulation wall-clock
+	FromCache   bool    `json:"-"`                      // satisfied from the disk cache
 }
 
-// Eval is the evaluation matrix shared by Figs. 9-13 and 16.
+// Eval is the evaluation matrix shared by Figs. 9-13 and 16. Sweep holds
+// the execution stats of the sweep that produced it (nil only for
+// hand-built matrices in tests).
 type Eval struct {
 	Cfg    Config
 	Cells  map[Key]Cell
 	Apps   []string
 	Inputs map[string][]string // app -> input labels
+	Sweep  *SweepStats
+}
+
+// SameResults reports whether two matrices hold identical simulated
+// results for identical cell sets, ignoring provenance (wall time, cache
+// hits). This is the determinism contract: any -jobs / cache setting must
+// produce SameResults matrices.
+func (e *Eval) SameResults(o *Eval) bool {
+	if len(e.Cells) != len(o.Cells) {
+		return false
+	}
+	for k, c := range e.Cells {
+		oc, ok := o.Cells[k]
+		if !ok {
+			return false
+		}
+		c.WallSeconds, oc.WallSeconds = 0, 0
+		c.FromCache, oc.FromCache = false, false
+		if !reflect.DeepEqual(c, oc) {
+			return false
+		}
+	}
+	return true
 }
 
 func (e *Eval) get(app, variant, input string) (Cell, bool) {
@@ -89,12 +120,19 @@ type appRun struct {
 	build func(variant string) (bench.Builder, int) // returns builder + cores
 }
 
-func (cfg Config) newSystem(cores int) *sim.System {
+// simConfig is the exact system configuration a cell runs under; the
+// sweep cache hashes it, so every knob that reaches the simulator must
+// flow through here.
+func (cfg Config) simConfig(cores int) sim.Config {
 	sc := sim.DefaultConfig()
 	sc.Cores = cores
 	sc.Cache = cache.DefaultConfig().Scale(cfg.CacheScale)
 	sc.WatchdogCycles = cfg.Watchdog
-	return sim.New(sc)
+	return sc
+}
+
+func (cfg Config) newSystem(cores int) *sim.System {
+	return sim.New(cfg.simConfig(cores))
 }
 
 // runOne executes a single run and charges energy.
@@ -237,37 +275,6 @@ func (cfg Config) allApps() (map[string][]appRun, []string) {
 		order = filtered
 	}
 	return apps, order
-}
-
-var (
-	evalMu    sync.Mutex
-	evalCache = map[Config]*Eval{}
-)
-
-// Evaluate runs (or returns the cached) full evaluation matrix.
-func Evaluate(cfg Config) (*Eval, error) {
-	evalMu.Lock()
-	defer evalMu.Unlock()
-	if e, ok := evalCache[cfg]; ok {
-		return e, nil
-	}
-	apps, order := cfg.allApps()
-	e := &Eval{Cfg: cfg, Cells: map[Key]Cell{}, Apps: order, Inputs: map[string][]string{}}
-	for _, app := range order {
-		for _, run := range apps[app] {
-			e.Inputs[app] = append(e.Inputs[app], run.input)
-			for _, v := range variants {
-				b, cores := run.build(v)
-				cell, err := cfg.runOne(b, cores)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s/%s: %w", app, v, run.input, err)
-				}
-				e.Cells[Key{app, v, run.input}] = cell
-			}
-		}
-	}
-	evalCache[cfg] = e
-	return e, nil
 }
 
 // experiments maps experiment names to runners.

@@ -6,16 +6,10 @@ import (
 	"pipette/internal/telemetry"
 )
 
-// Reports runs (or reuses) the full evaluation matrix and converts every
-// cell into the canonical run-report schema, in deterministic
-// app/input/variant order. pipette-bench's -report-out and the BENCH_*
-// trajectory tooling consume this, so figures and machine-readable output
-// derive from the same runs.
-func Reports(cfg Config) ([]telemetry.Report, error) {
-	e, err := Evaluate(cfg)
-	if err != nil {
-		return nil, err
-	}
+// Reports converts every cell of the matrix into the canonical run-report
+// schema, in deterministic app/input/variant order. Sharded matrices
+// simply omit the cells they never ran.
+func (e *Eval) Reports() []telemetry.Report {
 	var out []telemetry.Report
 	for _, app := range e.Apps {
 		for _, in := range e.Inputs[app] {
@@ -27,19 +21,46 @@ func Reports(cfg Config) ([]telemetry.Report, error) {
 				rep := cell.R.Report()
 				rep.App, rep.Variant, rep.Input = app, v, in
 				rep.Energy = cell.Energy.Report()
+				rep.WallSeconds = cell.WallSeconds
+				rep.FromCache = cell.FromCache
 				out = append(out, rep)
 			}
 		}
 	}
-	return out, nil
+	return out
 }
 
-// WriteRunSet emits the evaluation matrix as a pipette.runset/v1 JSON
-// document.
+// Reports runs (or reuses) the full evaluation matrix and converts every
+// cell into the canonical run-report schema. pipette-bench's -report-out
+// and the BENCH_* trajectory tooling consume this, so figures and
+// machine-readable output derive from the same runs.
+func Reports(cfg Config) ([]telemetry.Report, error) {
+	e, err := Evaluate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Reports(), nil
+}
+
+// WriteRunSet emits the matrix as a pipette.runset/v1 JSON document,
+// including the sweep-execution section (jobs, shard, cache hits,
+// per-cell wall times ride on the individual runs).
+func (e *Eval) WriteRunSet(w io.Writer, label string) error {
+	rs := telemetry.RunSet{
+		Schema: telemetry.RunSetSchema,
+		Label:  label,
+		Runs:   e.Reports(),
+		Sweep:  e.Sweep.Report(),
+	}
+	return rs.WriteJSON(w)
+}
+
+// WriteRunSet emits the full evaluation matrix as a pipette.runset/v1
+// JSON document.
 func WriteRunSet(w io.Writer, cfg Config, label string) error {
-	runs, err := Reports(cfg)
+	e, err := Evaluate(cfg)
 	if err != nil {
 		return err
 	}
-	return telemetry.RunSet{Schema: telemetry.RunSetSchema, Label: label, Runs: runs}.WriteJSON(w)
+	return e.WriteRunSet(w, label)
 }

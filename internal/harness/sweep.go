@@ -1,0 +1,284 @@
+// The parallel sweep engine: enumerates the full (app, variant, input)
+// evaluation matrix up front, dispatches cells to a bounded worker pool,
+// and reassembles results keyed by cell identity so the produced Eval is
+// bit-identical at any worker count. Each cell builds its own sim.System
+// and the input generators are deterministic, so cells are independent;
+// the engine adds per-cell failure isolation, i/m sharding for CI, live
+// progress, per-cell wall-clock timing, and a content-hashed on-disk
+// result cache (see docs/SWEEP.md).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pipette/internal/bench"
+	"pipette/internal/telemetry"
+)
+
+// SweepOptions controls how the evaluation matrix is executed. The zero
+// value runs every cell with GOMAXPROCS workers, no disk cache, no
+// progress output, and full-sweep failure isolation.
+type SweepOptions struct {
+	Jobs     int       // worker-pool size; <= 0 selects GOMAXPROCS
+	FailFast bool      // stop dispatching new cells after the first failure
+	Shard    int       // this shard's index in [0, Shards)
+	Shards   int       // total shards; <= 1 runs the whole matrix
+	CacheDir string    // on-disk result cache directory; "" disables
+	Progress io.Writer // live per-cell completion lines; nil disables
+}
+
+// CellFailure reports one failed cell with its identity, so a bad cell
+// does not abort the rest of the sweep.
+type CellFailure struct {
+	Key Key
+	Err error
+}
+
+func (f CellFailure) String() string {
+	return fmt.Sprintf("%s/%s/%s: %v", f.Key.App, f.Key.Variant, f.Key.Input, f.Err)
+}
+
+// SweepStats summarizes one sweep execution. Unlike Eval.Cells it is not
+// deterministic (wall times vary run to run).
+type SweepStats struct {
+	Jobs, Shard, Shards    int
+	Cells                  int // cells assigned to this shard
+	CacheHits, CacheMisses int
+	Failures               []CellFailure
+	Wall                   time.Duration
+}
+
+// Report converts the stats into the run-set telemetry schema.
+func (st *SweepStats) Report() *telemetry.SweepReport {
+	if st == nil {
+		return nil
+	}
+	r := &telemetry.SweepReport{
+		Jobs: st.Jobs, Shard: st.Shard, Shards: st.Shards, Cells: st.Cells,
+		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses,
+		WallSeconds: st.Wall.Seconds(),
+	}
+	for _, f := range st.Failures {
+		r.Failures = append(r.Failures, telemetry.SweepFailure{
+			App: f.Key.App, Variant: f.Key.Variant, Input: f.Key.Input, Error: f.Err.Error(),
+		})
+	}
+	return r
+}
+
+// cellSpec is one enumerated cell. idx is the cell's position in the
+// canonical enumeration order (app report order, then input, then
+// variant); sharding partitions on it so the split is stable for a given
+// Config no matter how many shards run.
+type cellSpec struct {
+	idx   int
+	key   Key
+	build func(variant string) (bench.Builder, int)
+}
+
+// cellSpecs enumerates the matrix in canonical order alongside the app
+// order and per-app input labels.
+func (cfg Config) cellSpecs() ([]cellSpec, []string, map[string][]string) {
+	apps, order := cfg.allApps()
+	var specs []cellSpec
+	inputs := map[string][]string{}
+	for _, app := range order {
+		for _, run := range apps[app] {
+			inputs[app] = append(inputs[app], run.input)
+			for _, v := range variants {
+				specs = append(specs, cellSpec{
+					idx:   len(specs),
+					key:   Key{App: app, Variant: v, Input: run.input},
+					build: run.build,
+				})
+			}
+		}
+	}
+	return specs, order, inputs
+}
+
+// sweepTestHook, when non-nil, can veto a cell before it runs. Tests use
+// it to inject per-cell failures deterministically.
+var sweepTestHook func(Key) error
+
+// Sweep executes the evaluation matrix (or one shard of it) under opts
+// and returns the keyed result matrix. Cell failures do not abort the
+// sweep (unless opts.FailFast): they are collected in Eval.Sweep.Failures
+// sorted in canonical cell order. The returned error is reserved for
+// sweep-level problems (bad shard spec).
+func Sweep(cfg Config, opts SweepOptions) (*Eval, error) {
+	start := time.Now()
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	shards := opts.Shards
+	if shards <= 1 {
+		shards = 1
+	}
+	if opts.Shard < 0 || opts.Shard >= shards {
+		return nil, fmt.Errorf("harness: shard %d/%d out of range", opts.Shard, shards)
+	}
+
+	specs, order, inputs := cfg.cellSpecs()
+	var mine []cellSpec
+	for _, sp := range specs {
+		if sp.idx%shards == opts.Shard {
+			mine = append(mine, sp)
+		}
+	}
+
+	e := &Eval{Cfg: cfg, Cells: make(map[Key]Cell, len(mine)), Apps: order, Inputs: inputs}
+	st := &SweepStats{Jobs: jobs, Shard: opts.Shard, Shards: shards, Cells: len(mine)}
+	e.Sweep = st
+	dc := newDiskCache(opts.CacheDir)
+	failIdx := map[Key]int{}
+
+	var (
+		mu   sync.Mutex // guards e.Cells, st, failIdx, Progress writes
+		wg   sync.WaitGroup
+		stop atomic.Bool
+		done atomic.Int64
+		work = make(chan cellSpec)
+	)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sp := range work {
+				if stop.Load() {
+					continue
+				}
+				cell, hit, err := cfg.runCell(sp, dc)
+				n := done.Add(1)
+				mu.Lock()
+				if err != nil {
+					failIdx[sp.key] = sp.idx
+					st.Failures = append(st.Failures, CellFailure{Key: sp.key, Err: err})
+					if opts.FailFast {
+						stop.Store(true)
+					}
+				} else {
+					e.Cells[sp.key] = cell
+					if hit {
+						st.CacheHits++
+					} else {
+						st.CacheMisses++
+					}
+				}
+				if opts.Progress != nil {
+					suffix := ""
+					switch {
+					case err != nil:
+						suffix = fmt.Sprintf("  FAILED: %v", err)
+					case hit:
+						suffix = "  (cached)"
+					}
+					fmt.Fprintf(opts.Progress, "[%d/%d] %s/%s/%s  %.2fs%s\n",
+						n, len(mine), sp.key.App, sp.key.Variant, sp.key.Input,
+						cell.WallSeconds, suffix)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, sp := range mine {
+		work <- sp
+	}
+	close(work)
+	wg.Wait()
+
+	// Failures were appended in completion order; re-sort into canonical
+	// cell order so reports are deterministic.
+	sort.Slice(st.Failures, func(i, j int) bool {
+		return failIdx[st.Failures[i].Key] < failIdx[st.Failures[j].Key]
+	})
+	st.Wall = time.Since(start)
+	return e, nil
+}
+
+// runCell executes one cell: disk-cache probe, simulate on miss, store.
+func (cfg Config) runCell(sp cellSpec, dc *diskCache) (Cell, bool, error) {
+	if sweepTestHook != nil {
+		if err := sweepTestHook(sp.key); err != nil {
+			return Cell{}, false, err
+		}
+	}
+	b, cores := sp.build(sp.key.Variant)
+	hash := cfg.cellHash(sp.key, cores)
+	if cell, ok := dc.load(hash); ok {
+		cell.FromCache = true
+		return cell, true, nil
+	}
+	start := time.Now()
+	cell, err := cfg.runOne(b, cores)
+	if err != nil {
+		return Cell{}, false, err
+	}
+	cell.WallSeconds = time.Since(start).Seconds()
+	dc.store(hash, cell)
+	return cell, false, nil
+}
+
+// memoEntry computes one Config's matrix exactly once; distinct Configs
+// evaluate concurrently (the old package-global evalMu serialized every
+// caller for the whole sweep).
+type memoEntry struct {
+	once sync.Once
+	e    *Eval
+	err  error
+}
+
+var (
+	memoMu sync.Mutex // guards the map only, never held across a sweep
+	memo   = map[Config]*memoEntry{}
+
+	defaultOpts atomic.Pointer[SweepOptions]
+)
+
+// SetSweepOptions sets the process-wide options Evaluate (and therefore
+// every figure/table driver) uses. Shard settings are ignored there: the
+// figure path always needs the full matrix.
+func SetSweepOptions(o SweepOptions) { defaultOpts.Store(&o) }
+
+// Evaluate runs (or returns the memoized) full evaluation matrix. Any
+// failed cell turns into an error here — figures and tables need every
+// cell.
+func Evaluate(cfg Config) (*Eval, error) {
+	memoMu.Lock()
+	ent, ok := memo[cfg]
+	if !ok {
+		ent = &memoEntry{}
+		memo[cfg] = ent
+	}
+	memoMu.Unlock()
+	ent.once.Do(func() {
+		opts := SweepOptions{}
+		if o := defaultOpts.Load(); o != nil {
+			opts = *o
+		}
+		opts.Shard, opts.Shards = 0, 1
+		ent.e, ent.err = Sweep(cfg, opts)
+		if ent.err == nil && len(ent.e.Sweep.Failures) > 0 {
+			fs := ent.e.Sweep.Failures
+			ent.err = fmt.Errorf("%d cell(s) failed, first: %s", len(fs), fs[0])
+		}
+	})
+	if ent.err != nil {
+		// Don't memoize failures: a later call may run under different
+		// sweep options (e.g. a repaired cache dir).
+		memoMu.Lock()
+		if memo[cfg] == ent {
+			delete(memo, cfg)
+		}
+		memoMu.Unlock()
+		return nil, ent.err
+	}
+	return ent.e, nil
+}

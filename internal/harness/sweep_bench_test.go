@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+)
+
+// sweepBenchConfig is a small but non-trivial slice of the matrix (silo's
+// five variants) so the benchmark measures engine + simulator throughput,
+// not input generation.
+func sweepBenchConfig() Config {
+	cfg := Tiny()
+	cfg.AppFilter = "silo"
+	return cfg
+}
+
+// BenchmarkSweepThroughput measures a full (uncached) sweep at the
+// default worker count. CI's regression guard compares its ns/op against
+// build/baselines/bench_thresholds.txt.
+func BenchmarkSweepThroughput(b *testing.B) {
+	cfg := sweepBenchConfig()
+	for i := 0; i < b.N; i++ {
+		e, err := Sweep(cfg, SweepOptions{Jobs: runtime.GOMAXPROCS(0)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(e.Sweep.Failures) > 0 {
+			b.Fatalf("failures: %+v", e.Sweep.Failures)
+		}
+	}
+}
+
+// BenchmarkSweepThroughputSerial is the -jobs 1 reference point; the gap
+// between the two is the worker pool's speedup on this machine.
+func BenchmarkSweepThroughputSerial(b *testing.B) {
+	cfg := sweepBenchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(cfg, SweepOptions{Jobs: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSweepDeterminism is the engine's core contract: any worker count
+// produces the identical keyed result matrix.
+func TestSweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := tinySilo()
+	e1, err := Sweep(cfg, SweepOptions{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e8, err := Sweep(cfg, SweepOptions{Jobs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e1.Cells) != len(variants) {
+		t.Fatalf("have %d cells, want %d", len(e1.Cells), len(variants))
+	}
+	if !e1.SameResults(e8) {
+		t.Fatal("-jobs 1 and -jobs 8 produced different matrices")
+	}
+	if e8.Sweep.CacheMisses != len(e8.Cells) || e8.Sweep.CacheHits != 0 {
+		t.Fatalf("uncached sweep stats: %+v", e8.Sweep)
+	}
+}
+
+// TestSweepFailureIsolation injects a failure into exactly one cell and
+// checks the rest of the sweep completes, with the failure reported by
+// identity.
+func TestSweepFailureIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	bad := Key{App: "silo", Variant: "pipette", Input: "ycsbc"}
+	sweepTestHook = func(k Key) error {
+		if k == bad {
+			return errors.New("injected cell failure")
+		}
+		return nil
+	}
+	defer func() { sweepTestHook = nil }()
+
+	// A config no other test evaluates, so Evaluate below cannot hit a
+	// previously memoized (successful) matrix.
+	cfg := tinySilo()
+	cfg.SiloQueries += 3
+
+	e, err := Sweep(cfg, SweepOptions{Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Sweep.Failures) != 1 || e.Sweep.Failures[0].Key != bad {
+		t.Fatalf("failures = %+v", e.Sweep.Failures)
+	}
+	if !strings.Contains(e.Sweep.Failures[0].String(), "silo/pipette/ycsbc") {
+		t.Fatalf("failure not identified by cell: %s", e.Sweep.Failures[0])
+	}
+	if len(e.Cells) != len(variants)-1 {
+		t.Fatalf("have %d cells, want %d", len(e.Cells), len(variants)-1)
+	}
+	if _, ok := e.Cells[bad]; ok {
+		t.Fatal("failed cell present in matrix")
+	}
+	// The figure path must refuse a partial matrix.
+	if _, err := Evaluate(cfg); err == nil || !strings.Contains(err.Error(), "silo/pipette/ycsbc") {
+		t.Fatalf("Evaluate error = %v, want the failed cell's identity", err)
+	}
+}
+
+// TestSweepFailFast stops dispatching after the first failure under a
+// single worker, so later cells never run.
+func TestSweepFailFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	first := true
+	sweepTestHook = func(Key) error {
+		if first {
+			first = false
+			return errors.New("boom")
+		}
+		return nil
+	}
+	defer func() { sweepTestHook = nil }()
+
+	e, err := Sweep(tinySilo(), SweepOptions{Jobs: 1, FailFast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Sweep.Failures) != 1 {
+		t.Fatalf("failures = %+v", e.Sweep.Failures)
+	}
+	if len(e.Cells) != 0 {
+		t.Fatalf("fail-fast still ran %d cells", len(e.Cells))
+	}
+}
+
+// TestShardPartition checks, over the full Default matrix enumeration,
+// that shards are disjoint and their union is complete, for several shard
+// counts — without simulating anything.
+func TestShardPartition(t *testing.T) {
+	specs, _, _ := Default().cellSpecs()
+	if len(specs) == 0 {
+		t.Fatal("no cells enumerated")
+	}
+	for _, m := range []int{1, 2, 3, 7} {
+		seen := map[Key]int{}
+		for shard := 0; shard < m; shard++ {
+			for _, sp := range specs {
+				if sp.idx%m == shard {
+					seen[sp.key]++
+				}
+			}
+		}
+		if len(seen) != len(specs) {
+			t.Fatalf("m=%d: union has %d cells, want %d", m, len(seen), len(specs))
+		}
+		for k, n := range seen {
+			if n != 1 {
+				t.Fatalf("m=%d: cell %v assigned to %d shards", m, k, n)
+			}
+		}
+	}
+}
+
+// TestShardSweep runs both halves of a 2-way shard and checks they cover
+// the matrix without overlap, matching an unsharded sweep.
+func TestShardSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := tinySilo()
+	full, err := Sweep(cfg, SweepOptions{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := &Eval{Cells: map[Key]Cell{}}
+	for shard := 0; shard < 2; shard++ {
+		e, err := Sweep(cfg, SweepOptions{Jobs: 2, Shard: shard, Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, c := range e.Cells {
+			if _, dup := merged.Cells[k]; dup {
+				t.Fatalf("cell %v ran in both shards", k)
+			}
+			merged.Cells[k] = c
+		}
+	}
+	if !full.SameResults(merged) {
+		t.Fatal("merged shards differ from the unsharded sweep")
+	}
+}
+
+// TestSweepBadShard rejects out-of-range shard specs.
+func TestSweepBadShard(t *testing.T) {
+	if _, err := Sweep(tinySilo(), SweepOptions{Shard: 2, Shards: 2}); err == nil {
+		t.Fatal("want error for shard 2/2")
+	}
+}
+
+// TestSweepCache exercises the disk cache: cold run misses, warm run hits
+// with identical results, config change invalidates.
+func TestSweepCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	dir := t.TempDir()
+	cfg := tinySilo()
+
+	cold, err := Sweep(cfg, SweepOptions{Jobs: 2, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Sweep.CacheMisses != len(cold.Cells) || cold.Sweep.CacheHits != 0 {
+		t.Fatalf("cold stats: %+v", cold.Sweep)
+	}
+
+	warm, err := Sweep(cfg, SweepOptions{Jobs: 2, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Sweep.CacheHits != len(warm.Cells) || warm.Sweep.CacheMisses != 0 {
+		t.Fatalf("warm stats: %+v", warm.Sweep)
+	}
+	if !cold.SameResults(warm) {
+		t.Fatal("cache replay changed the matrix")
+	}
+	for k, c := range warm.Cells {
+		if !c.FromCache {
+			t.Fatalf("cell %v not marked FromCache on a warm sweep", k)
+		}
+	}
+
+	// A result-affecting config change must miss every entry.
+	changed := cfg
+	changed.SiloQueries += 7
+	inv, err := Sweep(changed, SweepOptions{Jobs: 2, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Sweep.CacheHits != 0 || inv.Sweep.CacheMisses != len(inv.Cells) {
+		t.Fatalf("config change did not invalidate: %+v", inv.Sweep)
+	}
+	if cold.SameResults(inv) {
+		t.Fatal("changed config produced an identical matrix")
+	}
+}
+
+// TestSweepCacheCorruptEntry treats unreadable entries as misses.
+func TestSweepCacheCorruptEntry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	dir := t.TempDir()
+	cfg := tinySilo()
+	if _, err := Sweep(cfg, SweepOptions{Jobs: 1, CacheDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("cache dir: %v entries, err %v", len(ents), err)
+	}
+	for _, ent := range ents {
+		if err := os.WriteFile(filepath.Join(dir, ent.Name()), []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := Sweep(cfg, SweepOptions{Jobs: 1, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Sweep.CacheHits != 0 || e.Sweep.CacheMisses != len(e.Cells) {
+		t.Fatalf("corrupt entries served as hits: %+v", e.Sweep)
+	}
+}
+
+// TestCellHashSensitivity: the hash must react to every result-affecting
+// knob and ignore cell-selection-only ones.
+func TestCellHashSensitivity(t *testing.T) {
+	k := Key{App: "silo", Variant: "pipette", Input: "ycsbc"}
+	base := Tiny()
+	h := base.cellHash(k, 1)
+	mutations := map[string]Config{}
+	for name, mut := range map[string]func(*Config){
+		"CacheScale":  func(c *Config) { c.CacheScale++ },
+		"Watchdog":    func(c *Config) { c.Watchdog++ },
+		"GraphScale":  func(c *Config) { c.GraphScale++ },
+		"MatrixScale": func(c *Config) { c.MatrixScale++ },
+		"PRDIters":    func(c *Config) { c.PRDIters++ },
+		"SiloKeys":    func(c *Config) { c.SiloKeys++ },
+		"SiloQueries": func(c *Config) { c.SiloQueries++ },
+	} {
+		c := base
+		mut(&c)
+		mutations[name] = c
+	}
+	for name, c := range mutations {
+		if c.cellHash(k, 1) == h {
+			t.Errorf("%s change did not change the cell hash", name)
+		}
+	}
+	if base.cellHash(k, 4) == h {
+		t.Error("core-count change did not change the cell hash")
+	}
+	if base.cellHash(Key{App: "silo", Variant: "serial", Input: "ycsbc"}, 1) == h {
+		t.Error("variant change did not change the cell hash")
+	}
+	filtered := base
+	filtered.AppFilter = "silo"
+	if filtered.cellHash(k, 1) != h {
+		t.Error("AppFilter changed the cell hash (it only selects cells)")
+	}
+}
+
+// TestSweepRunSet: a sharded sweep's run set must carry the sweep section
+// and validate against the schema.
+func TestSweepRunSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	e, err := Sweep(tinySilo(), SweepOptions{Jobs: 2, Shard: 1, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := e.WriteRunSet(&sb, "shard-smoke"); err != nil {
+		t.Fatal(err)
+	}
+	doc := sb.String()
+	for _, want := range []string{`"sweep"`, `"shard": 1`, `"shards": 2`, `"wall_seconds"`} {
+		if !strings.Contains(doc, want) {
+			t.Fatalf("run set missing %s:\n%s", want, doc)
+		}
+	}
+}
+
+// TestSweepProgress: the progress stream reports one line per cell.
+func TestSweepProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	var sb strings.Builder
+	e, err := Sweep(tinySilo(), SweepOptions{Jobs: 2, Progress: &sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(sb.String(), "\n")
+	if lines != len(e.Cells) {
+		t.Fatalf("progress printed %d lines for %d cells:\n%s", lines, len(e.Cells), sb.String())
+	}
+	if !strings.Contains(sb.String(), fmt.Sprintf("/%d] silo/", len(e.Cells))) {
+		t.Fatalf("progress lines malformed:\n%s", sb.String())
+	}
+}

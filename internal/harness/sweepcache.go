@@ -1,0 +1,133 @@
+// The sweep engine's content-hashed on-disk result cache. A cell's key is
+// the SHA-256 of everything that determines its result: the schema
+// version, the cell identity, the exact sim.Config the cell runs under,
+// and the builder-relevant Config knobs. Simulation is deterministic, so
+// a hit can be substituted for a run without changing any figure or
+// table. Bump sweepCacheVersion whenever simulator or builder semantics
+// change in a result-affecting way.
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"pipette/internal/sim"
+)
+
+// sweepCacheVersion names the cached-cell schema. It participates in
+// every cell hash, so bumping it invalidates the whole cache.
+const sweepCacheVersion = "pipette.sweepcell/v1"
+
+// cellIdentity is the canonical hash input for one cell. Only fields that
+// can change the cell's simulated result belong here — AppFilter, for
+// example, selects which cells exist but never alters one, so it is
+// deliberately absent.
+type cellIdentity struct {
+	Version string
+	Key     Key
+	Cores   int
+	Sim     sim.Config
+	// Builder-parameter knobs from Config (input generators are seeded
+	// deterministically from these).
+	GraphScale, MatrixScale int
+	PRDIters                int
+	SiloKeys, SiloQueries   int
+}
+
+// cellHash returns the hex SHA-256 of the cell's identity. JSON encoding
+// of a fixed struct (no maps) is deterministic.
+func (cfg Config) cellHash(k Key, cores int) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	// Encoding a struct of value fields to a hash never fails.
+	_ = enc.Encode(cellIdentity{
+		Version:     sweepCacheVersion,
+		Key:         k,
+		Cores:       cores,
+		Sim:         cfg.simConfig(cores),
+		GraphScale:  cfg.GraphScale,
+		MatrixScale: cfg.MatrixScale,
+		PRDIters:    cfg.PRDIters,
+		SiloKeys:    cfg.SiloKeys,
+		SiloQueries: cfg.SiloQueries,
+	})
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheEntry is the stored document.
+type cacheEntry struct {
+	Schema string `json:"schema"`
+	Cell   Cell   `json:"cell"`
+}
+
+// diskCache stores one JSON file per cell hash. All methods are safe for
+// concurrent use (distinct cells touch distinct files; identical cells
+// write identical content via an atomic rename). A nil receiver disables
+// caching, so callers need no nil checks at every site.
+type diskCache struct {
+	dir string
+}
+
+func newDiskCache(dir string) *diskCache {
+	if dir == "" {
+		return nil
+	}
+	return &diskCache{dir: dir}
+}
+
+func (dc *diskCache) path(hash string) string {
+	return filepath.Join(dc.dir, hash+".json")
+}
+
+// load returns the cached cell for hash, if present and well-formed.
+// Corrupt or version-skewed entries are treated as misses.
+func (dc *diskCache) load(hash string) (Cell, bool) {
+	if dc == nil {
+		return Cell{}, false
+	}
+	data, err := os.ReadFile(dc.path(hash))
+	if err != nil {
+		return Cell{}, false
+	}
+	var ent cacheEntry
+	if err := json.Unmarshal(data, &ent); err != nil || ent.Schema != sweepCacheVersion {
+		return Cell{}, false
+	}
+	return ent.Cell, true
+}
+
+// store writes the cell under hash, best-effort: a cache write failure
+// must never fail the sweep. The temp-file + rename keeps concurrent
+// shard runs sharing a directory from ever observing a torn entry.
+func (dc *diskCache) store(hash string, cell Cell) {
+	if dc == nil {
+		return
+	}
+	cell.FromCache = false // stored entries are always "computed"
+	data, err := json.Marshal(cacheEntry{Schema: sweepCacheVersion, Cell: cell})
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(dc.dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dc.dir, hash+".tmp*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), dc.path(hash)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

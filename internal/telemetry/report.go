@@ -98,14 +98,70 @@ type Report struct {
 	Energy    *EnergyReport    `json:"energy,omitempty"`
 	Telemetry *TelemetryReport `json:"telemetry,omitempty"`
 	Error     string           `json:"error,omitempty"`
+
+	// Sweep-execution provenance: how long the cell's simulation took and
+	// whether it was replayed from the sweep result cache. Neither field
+	// affects (or is derived from) the simulated result.
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	FromCache   bool    `json:"from_cache,omitempty"`
+}
+
+// SweepFailure records one evaluation cell that failed, keyed by its
+// identity so a partial sweep stays diagnosable.
+type SweepFailure struct {
+	App     string `json:"app"`
+	Variant string `json:"variant"`
+	Input   string `json:"input"`
+	Error   string `json:"error"`
+}
+
+// SweepReport describes how a run set was produced by the parallel sweep
+// engine: worker count, shard assignment, cache effectiveness, total wall
+// time, and any isolated per-cell failures.
+type SweepReport struct {
+	Jobs        int            `json:"jobs"`
+	Shard       int            `json:"shard"`
+	Shards      int            `json:"shards"`
+	Cells       int            `json:"cells"`
+	CacheHits   int            `json:"cache_hits"`
+	CacheMisses int            `json:"cache_misses"`
+	WallSeconds float64        `json:"wall_seconds"`
+	Failures    []SweepFailure `json:"failures,omitempty"`
+}
+
+// validate checks the sweep section's internal consistency.
+func (s *SweepReport) validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.Jobs < 1 {
+		return fmt.Errorf("sweep jobs = %d", s.Jobs)
+	}
+	if s.Shards < 1 || s.Shard < 0 || s.Shard >= s.Shards {
+		return fmt.Errorf("sweep shard %d/%d out of range", s.Shard, s.Shards)
+	}
+	if s.CacheHits < 0 || s.CacheMisses < 0 || s.Cells < 0 {
+		return fmt.Errorf("sweep counts negative (cells %d, hits %d, misses %d)",
+			s.Cells, s.CacheHits, s.CacheMisses)
+	}
+	// Fail-fast sweeps may skip cells, so completed + failed can fall
+	// short of the shard's cell count but never exceed it.
+	if done := s.CacheHits + s.CacheMisses + len(s.Failures); done > s.Cells {
+		return fmt.Errorf("sweep completed %d cells of %d", done, s.Cells)
+	}
+	if s.WallSeconds < 0 {
+		return fmt.Errorf("sweep wall_seconds = %f", s.WallSeconds)
+	}
+	return nil
 }
 
 // RunSet is a collection of reports (one per benchmark cell), the shape
 // pipette-bench emits.
 type RunSet struct {
-	Schema string   `json:"schema"`
-	Label  string   `json:"label,omitempty"` // e.g. experiment names
-	Runs   []Report `json:"runs"`
+	Schema string       `json:"schema"`
+	Label  string       `json:"label,omitempty"` // e.g. experiment names
+	Runs   []Report     `json:"runs"`
+	Sweep  *SweepReport `json:"sweep,omitempty"` // how the sweep executed
 }
 
 // TelemetrySummary builds the telemetry section from a tracer and/or
@@ -195,6 +251,9 @@ func (r Report) validate() error {
 	if r.IPC < 0 {
 		return fmt.Errorf("ipc = %f", r.IPC)
 	}
+	if r.WallSeconds < 0 {
+		return fmt.Errorf("wall_seconds = %f", r.WallSeconds)
+	}
 	return nil
 }
 
@@ -224,6 +283,9 @@ func ValidateRunSet(rd io.Reader) (RunSet, error) {
 	}
 	if rs.Schema != RunSetSchema {
 		return rs, fmt.Errorf("telemetry: run-set schema %q, want %q", rs.Schema, RunSetSchema)
+	}
+	if err := rs.Sweep.validate(); err != nil {
+		return rs, fmt.Errorf("telemetry: invalid run set: %w", err)
 	}
 	for i, r := range rs.Runs {
 		if err := r.validate(); err != nil {

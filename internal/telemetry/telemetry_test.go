@@ -231,6 +231,7 @@ func TestValidateReportRejects(t *testing.T) {
 		"commit sum":    func(r *Report) { r.CoreStats[0].Committed = 1 },
 		"cpi fractions": func(r *Report) { r.CoreStats[0].CPI.Issue = 2 },
 		"negative ipc":  func(r *Report) { r.IPC = -1 },
+		"negative wall": func(r *Report) { r.WallSeconds = -0.5 },
 	}
 	for name, mutate := range cases {
 		r := goodReport()
@@ -281,6 +282,48 @@ func TestRunSetRoundTrip(t *testing.T) {
 	}
 	if _, err := ValidateRunSet(&b); err == nil {
 		t.Fatal("inconsistent member accepted")
+	}
+}
+
+func TestRunSetSweepSection(t *testing.T) {
+	run := goodReport()
+	run.WallSeconds, run.FromCache = 0.25, true
+	rs := RunSet{Schema: RunSetSchema, Runs: []Report{run},
+		Sweep: &SweepReport{Jobs: 4, Shard: 1, Shards: 2, Cells: 3, CacheHits: 1, CacheMisses: 1,
+			WallSeconds: 1.5,
+			Failures:    []SweepFailure{{App: "bfs", Variant: "pipette", Input: "Rd", Error: "boom"}}}}
+	var b bytes.Buffer
+	if err := rs.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ValidateRunSet(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sweep == nil || got.Sweep.Jobs != 4 || len(got.Sweep.Failures) != 1 ||
+		!got.Runs[0].FromCache || got.Runs[0].WallSeconds != 0.25 {
+		t.Fatalf("sweep section lost: %+v", got)
+	}
+
+	bad := map[string]func(*SweepReport){
+		"zero jobs":     func(s *SweepReport) { s.Jobs = 0 },
+		"shard range":   func(s *SweepReport) { s.Shard = 2 },
+		"zero shards":   func(s *SweepReport) { s.Shards = 0 },
+		"overcount":     func(s *SweepReport) { s.Cells = 1 },
+		"negative wall": func(s *SweepReport) { s.WallSeconds = -1 },
+		"negative hits": func(s *SweepReport) { s.CacheHits = -1; s.Cells = 99 },
+	}
+	for name, mutate := range bad {
+		rs := RunSet{Schema: RunSetSchema, Runs: []Report{goodReport()},
+			Sweep: &SweepReport{Jobs: 4, Shard: 1, Shards: 2, Cells: 3, CacheHits: 1, CacheMisses: 1, WallSeconds: 1}}
+		mutate(rs.Sweep)
+		var b bytes.Buffer
+		if err := rs.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ValidateRunSet(&b); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
 	}
 }
 

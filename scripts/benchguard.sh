@@ -1,0 +1,57 @@
+#!/bin/sh
+# Benchmark-regression guard. Runs the telemetry-overhead benchmark (the
+# disabled-telemetry hot path) and the sweep-throughput benchmark, then
+# fails if any ns/op exceeds its ceiling in
+# build/baselines/bench_thresholds.txt.
+#
+# Thresholds are deliberately loose (4x a measured run) so shared-runner
+# noise cannot trip them: a trip means a real, large regression. To
+# re-baseline after an intentional performance change:
+#
+#	scripts/benchguard.sh -update   # rewrites thresholds at 4x measured
+#
+# and commit the updated build/baselines/bench_thresholds.txt.
+set -eu
+
+cd "$(dirname "$0")/.."
+base=build/baselines/bench_thresholds.txt
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+{
+	go test -bench='TelemetryOverheadOff' -benchtime=2x -run '^$' .
+	go test -bench='SweepThroughput$' -benchtime=2x -run '^$' ./internal/harness
+} | tee /dev/stderr | awk '/^Benchmark/ { sub(/-[0-9]+$/, "", $1); print $1, $3 }' >"$tmp"
+
+if [ "${1:-}" = "-update" ]; then
+	mkdir -p build/baselines
+	{
+		echo "# Benchmark-regression thresholds: max allowed ns/op per benchmark."
+		echo "# Loose ceilings (4x measured) so runner noise cannot trip them."
+		echo "# Regenerate with scripts/benchguard.sh -update; see docs/SWEEP.md."
+		awk '{ printf "%s %d\n", $1, $2 * 4 }' "$tmp"
+	} >"$base"
+	echo "benchguard: thresholds rewritten:"
+	cat "$base"
+	exit 0
+fi
+
+if [ ! -f "$base" ]; then
+	echo "benchguard: missing $base (run scripts/benchguard.sh -update)" >&2
+	exit 1
+fi
+
+fail=0
+while read -r name ns; do
+	limit=$(awk -v n="$name" '$1 == n { print $2 }' "$base")
+	if [ -z "$limit" ]; then
+		echo "benchguard: no threshold for $name (run scripts/benchguard.sh -update)" >&2
+		fail=1
+	elif [ "$(awk -v a="$ns" -v b="$limit" 'BEGIN { print (a > b) ? 1 : 0 }')" = 1 ]; then
+		echo "benchguard: FAIL $name: $ns ns/op exceeds threshold $limit" >&2
+		fail=1
+	else
+		echo "benchguard: ok $name ($ns ns/op <= $limit)"
+	fi
+done <"$tmp"
+exit "$fail"

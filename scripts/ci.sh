@@ -1,12 +1,27 @@
 #!/bin/sh
-# CI gate: vet + build + race tests + a telemetry smoke run whose artifacts
-# must validate against the schemas. `scripts/ci.sh smoke` runs only the
-# smoke stage.
+# CI gate: lint (gofmt + vet) + build + race tests + a telemetry smoke run
+# whose artifacts must validate against the schemas + a sharded sweep
+# smoke exercising the parallel evaluation engine + the benchmark
+# regression guard. Individual stages run via:
+#
+#	scripts/ci.sh lint | smoke | sweep-smoke | bench
 set -eu
 
 cd "$(dirname "$0")/.."
 out=build/smoke
 mkdir -p "$out"
+
+lint() {
+	echo "== gofmt =="
+	bad=$(gofmt -l .)
+	if [ -n "$bad" ]; then
+		echo "gofmt needed on:" >&2
+		echo "$bad" >&2
+		exit 1
+	fi
+	echo "== go vet =="
+	go vet ./...
+}
 
 smoke() {
 	echo "== smoke: pipette-sim bfs/pipette with telemetry =="
@@ -20,16 +35,56 @@ smoke() {
 	echo "smoke OK"
 }
 
-if [ "${1:-}" = "smoke" ]; then
+# Sweep smoke: both halves of a sharded tiny sweep through a shared result
+# cache, then a warm full re-run that must be served entirely from the
+# cache; every emitted run set must validate against pipette.runset/v1.
+sweep_smoke() {
+	echo "== sweep smoke: sharded parallel evaluation =="
+	go build -o "$out/pipette-bench" ./cmd/pipette-bench
+	go build -o "$out/pipette-validate" ./cmd/pipette-validate
+	cachedir="$out/sweepcache"
+	rm -rf "$cachedir"
+	"$out/pipette-bench" -sweep -tiny -apps silo,spmm -jobs 2 -quiet \
+		-shard 0/2 -sweep-cache "$cachedir" -report-out "$out/shard0.json"
+	"$out/pipette-bench" -sweep -tiny -apps silo,spmm -jobs 2 -quiet \
+		-shard 1/2 -sweep-cache "$cachedir" -report-out "$out/shard1.json"
+	"$out/pipette-bench" -sweep -tiny -apps silo,spmm -jobs 2 -quiet \
+		-sweep-cache "$cachedir" -report-out "$out/warm.json" |
+		tee "$out/warm.txt"
+	grep -q " 0 computed," "$out/warm.txt" || {
+		echo "sweep smoke: warm run recomputed cells" >&2
+		exit 1
+	}
+	"$out/pipette-validate" "$out/shard0.json" "$out/shard1.json" "$out/warm.json"
+	echo "sweep smoke OK"
+}
+
+case "${1:-}" in
+lint)
+	lint
+	exit 0
+	;;
+smoke)
 	smoke
 	exit 0
-fi
+	;;
+sweep-smoke)
+	sweep_smoke
+	exit 0
+	;;
+bench)
+	./scripts/benchguard.sh
+	exit 0
+	;;
+esac
 
-echo "== go vet =="
-go vet ./...
+lint
 echo "== go build =="
 go build ./...
 echo "== go test -race =="
 go test -race ./...
 smoke
+sweep_smoke
+echo "== benchmark regression guard =="
+./scripts/benchguard.sh
 echo "CI OK"
