@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet test race smoke sweep-smoke bench benchguard rebaseline ci clean
+.PHONY: all build lint vet test race smoke sweep-smoke diverge-smoke bench benchguard rebaseline ci clean
 
 all: build
 
@@ -30,6 +30,12 @@ smoke:
 # shared result cache, plus a warm all-hits re-run, run sets validated.
 sweep-smoke:
 	./scripts/ci.sh sweep-smoke
+
+# Checkpoint/diverge smoke: resume a checkpointed run (stdout must be
+# byte-identical to the uninterrupted run) and bisect a config divergence
+# with pipette-diverge (see docs/CHECKPOINT.md).
+diverge-smoke:
+	./scripts/ci.sh diverge-smoke
 
 bench:
 	$(GO) test -bench=TelemetryOverhead -benchtime=2x -run ^$$ .

@@ -35,6 +35,7 @@ func main() {
 	cacheScale := flag.Int("cache-scale", 0, "override cache downscale factor")
 	graphScale := flag.Int("graph-scale", 0, "override graph input scale")
 	apps := flag.String("apps", "", "comma-separated app subset (bfs,cc,prd,radii,spmm,silo; \"\" = all)")
+	seed := flag.Int64("seed", 0, "override the base RNG seed for synthetic inputs (0 = default)")
 	tiny := flag.Bool("tiny", false, "use the fast test-scale configuration (CI smoke)")
 	reportOut := flag.String("report-out", "", "write the evaluation matrix as a run-set JSON file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
@@ -45,6 +46,7 @@ func main() {
 	sweepOnly := flag.Bool("sweep", false, "run the evaluation sweep only; no figure/table reports")
 	failFast := flag.Bool("fail-fast", false, "abort the sweep on the first failed cell")
 	sweepCache := flag.String("sweep-cache", "build/sweepcache", "on-disk sweep result cache directory (\"\" disables)")
+	warmup := flag.Bool("warmup", false, "fork each cell from a shared warm-cache snapshot (see docs/SWEEP.md)")
 	quiet := flag.Bool("quiet", false, "suppress live per-cell sweep progress on stderr")
 	flag.Parse()
 
@@ -79,8 +81,11 @@ func main() {
 	if *apps != "" {
 		cfg.AppFilter = *apps
 	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
 
-	opts := harness.SweepOptions{Jobs: *jobs, FailFast: *failFast, CacheDir: *sweepCache}
+	opts := harness.SweepOptions{Jobs: *jobs, FailFast: *failFast, CacheDir: *sweepCache, Warmup: *warmup}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
@@ -147,6 +152,10 @@ func runSweep(cfg harness.Config, opts harness.SweepOptions, reportOut, label st
 	fmt.Printf("sweep: shard %d/%d, %d cells, jobs=%d: %d computed, %d cached, %d failed (%.1fs)\n",
 		st.Shard, st.Shards, st.Cells, st.Jobs,
 		st.CacheMisses, st.CacheHits, len(st.Failures), st.Wall.Seconds())
+	if w := st.Warmup; w.Built > 0 || w.Reused > 0 {
+		fmt.Printf("warmup: %d snapshots built (%d cycles), %d cell reuses; roi cycles %d\n",
+			w.Built, w.Cycles, w.Reused, st.SimCycles)
+	}
 	for _, f := range st.Failures {
 		fmt.Fprintf(os.Stderr, "FAILED %s\n", f)
 	}

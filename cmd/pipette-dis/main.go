@@ -103,8 +103,8 @@ func pick(app, variant string) (bench.Builder, int, error) {
 		return sel(bench.SpMMSerial(m, m), bench.SpMMDataParallel(m, m, 4),
 			bench.SpMMPipette(m, m, true), bench.SpMMPipette(m, m, false))
 	case "silo":
-		return sel(bench.SiloSerial(100, 20), bench.SiloDataParallel(100, 20, 4),
-			bench.SiloPipette(100, 20, true), bench.SiloPipette(100, 20, false))
+		return sel(bench.SiloSerial(100, 20, 99), bench.SiloDataParallel(100, 20, 4, 99),
+			bench.SiloPipette(100, 20, true, 99), bench.SiloPipette(100, 20, false, 99))
 	}
 	return nil, 0, fmt.Errorf("unknown app %q", app)
 }

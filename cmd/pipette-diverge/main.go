@@ -1,0 +1,303 @@
+// Command pipette-diverge pinpoints where two configurations of the
+// simulated machine first diverge. It restores one snapshot into two
+// systems whose configurations may differ in timing-only knobs (loose
+// restore; see docs/CHECKPOINT.md), runs them in lockstep, and binary
+// -searches for the first cycle at which their state hashes differ. It then
+// prints structured field-by-field diffs of the two machines at that cycle:
+// the debug-dump view and the complete machine state (which also covers
+// micro-architectural fields the debug dump omits).
+//
+// Usage:
+//
+//	pipette-sim -app cc -variant pipette -checkpoint-every 50000 -checkpoint-out cc.snap
+//	pipette-diverge -snapshot cc.snap -b Cache.DRAMLat=200
+//	pipette-diverge -snapshot cc.snap -a NoCLatency=8 -b NoCLatency=16 -granularity 4096
+//
+// Override specs are comma-separated dotted field paths into sim.Config
+// (e.g. "Cache.DRAMLat=200,NoCLatency=16"). With no overrides the two
+// sides are identical and the tool verifies they never diverge.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"pipette/internal/bench"
+	"pipette/internal/checkpoint"
+	"pipette/internal/sim"
+)
+
+func main() {
+	snapPath := flag.String("snapshot", "", "pipette.snapshot/v1 file to fork both sides from (required)")
+	overA := flag.String("a", "", "side A config overrides: comma-separated Field.Path=value")
+	overB := flag.String("b", "", "side B config overrides: comma-separated Field.Path=value")
+	granularity := flag.Uint64("granularity", 1024, "lockstep scan interval in cycles before bisecting")
+	maxCycles := flag.Uint64("max-cycles", 0, "stop scanning this many cycles past the snapshot (0 = run to completion)")
+	diffLimit := flag.Int("diff-limit", 64, "maximum differing fields to print")
+	flag.Parse()
+	if *snapPath == "" {
+		fmt.Fprintln(os.Stderr, "pipette-diverge: -snapshot is required")
+		os.Exit(2)
+	}
+	if *granularity == 0 {
+		*granularity = 1
+	}
+
+	meta, err := readMeta(*snapPath)
+	if err != nil {
+		fatal(err)
+	}
+	wl := meta.Workload
+	if wl.App == "" || wl.Variant == "" {
+		fatal(fmt.Errorf("%s records no workload metadata; re-save it with pipette-sim -checkpoint-every", *snapPath))
+	}
+	var baseCfg sim.Config
+	if err := json.Unmarshal(meta.Config, &baseCfg); err != nil {
+		fatal(fmt.Errorf("decoding snapshot config: %w", err))
+	}
+
+	sideA, err := newSide(*snapPath, baseCfg, wl, *overA)
+	if err != nil {
+		fatal(fmt.Errorf("side A: %w", err))
+	}
+	sideB, err := newSide(*snapPath, baseCfg, wl, *overB)
+	if err != nil {
+		fatal(fmt.Errorf("side B: %w", err))
+	}
+	start := sideA.Now()
+	fmt.Printf("forked %s/%s/%s at cycle %d\n", wl.App, wl.Variant, wl.Input, start)
+	fmt.Printf("  A: %s\n  B: %s\n", describe(*overA), describe(*overB))
+
+	// Phase 1 — lockstep scan at -granularity until the hashes part ways.
+	lo := start // highest cycle where the sides are known hash-equal
+	for {
+		target := lo + *granularity
+		if err := stepBoth(sideA, sideB, target); err != nil {
+			fatal(err)
+		}
+		ha, hb := mustHash(sideA), mustHash(sideB)
+		if ha != hb {
+			break
+		}
+		if sideA.Done() && sideB.Done() {
+			fmt.Printf("no divergence: both sides completed at cycle %d with identical state (hash %s)\n",
+				sideA.Now(), ha)
+			return
+		}
+		if *maxCycles > 0 && target-start >= *maxCycles {
+			fmt.Printf("no divergence within %d cycles (scanned to cycle %d, hash %s)\n",
+				*maxCycles, target, ha)
+			return
+		}
+		lo = target
+	}
+
+	// Phase 2 — bisect: fresh fork, rerun to lo, then advance one cycle at
+	// a time until the hashes first differ. Simulation is deterministic, so
+	// the rerun reproduces the scan exactly.
+	sideA, err = newSide(*snapPath, baseCfg, wl, *overA)
+	if err != nil {
+		fatal(err)
+	}
+	sideB, err = newSide(*snapPath, baseCfg, wl, *overB)
+	if err != nil {
+		fatal(err)
+	}
+	if err := stepBoth(sideA, sideB, lo); err != nil {
+		fatal(err)
+	}
+	if ha, hb := mustHash(sideA), mustHash(sideB); ha != hb {
+		fatal(fmt.Errorf("non-deterministic rerun: sides differ at cycle %d on the second pass", lo))
+	}
+	for {
+		next := maxU(sideA.Now(), sideB.Now()) + 1
+		if err := stepBoth(sideA, sideB, next); err != nil {
+			fatal(err)
+		}
+		ha, hb := mustHash(sideA), mustHash(sideB)
+		if ha != hb {
+			fmt.Printf("first divergence at cycle %d (%d cycles after the fork)\n", next, next-start)
+			fmt.Printf("  state hash A: %s\n  state hash B: %s\n", ha, hb)
+			printDiff(sideA, sideB, *diffLimit)
+			return
+		}
+		if sideA.Done() && sideB.Done() {
+			fatal(fmt.Errorf("divergence vanished on rerun at cycle %d — simulation is not deterministic", next))
+		}
+	}
+}
+
+// newSide builds one side: config overrides applied, workload rebuilt,
+// snapshot loosely restored.
+func newSide(snapPath string, base sim.Config, wl checkpoint.Workload, overrides string) (*sim.System, error) {
+	cfg := base
+	if err := applyOverrides(&cfg, overrides); err != nil {
+		return nil, err
+	}
+	prdIters := wl.PRDIters
+	if prdIters <= 0 {
+		prdIters = 4
+	}
+	seed := wl.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	b, _, err := bench.Lookup(wl.App, wl.Variant, wl.Input, prdIters, seed)
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New(cfg)
+	b(s)
+	f, err := os.Open(snapPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := s.RestoreLoose(f); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// stepBoth advances both sides to the same absolute cycle. RunUntil
+// treats the bound as "not an error", so watchdog/MaxCycles failures are
+// the only errors surfaced here.
+func stepBoth(a, b *sim.System, target uint64) error {
+	if _, err := a.RunUntil(target); err != nil {
+		return fmt.Errorf("side A: %w", err)
+	}
+	if _, err := b.RunUntil(target); err != nil {
+		return fmt.Errorf("side B: %w", err)
+	}
+	return nil
+}
+
+func mustHash(s *sim.System) string {
+	h, err := s.StateHash()
+	if err != nil {
+		fatal(err)
+	}
+	return h
+}
+
+// printDiff renders two structured diffs: the debug-dump view (the
+// fields a human watches — PCs, stalls, queue occupancies) and the full
+// machine-state view, which sees everything StateHash hashes. Early
+// divergences often live only in micro-architectural state (an in-flight
+// µop's completion timestamp, a cache way's LRU order) that the debug
+// dump deliberately omits, so both views are printed.
+func printDiff(a, b *sim.System, limit int) {
+	da, db := a.DebugState(), b.DebugState()
+	da.Telemetry, db.Telemetry = "", "" // formatted text, not machine state
+	dbg, err := checkpoint.DiffJSON(da, db)
+	if err != nil {
+		fatal(err)
+	}
+	printLimited("debug-dump diff", dbg, limit)
+	full, err := sim.DiffStates(a, b)
+	if err != nil {
+		fatal(err)
+	}
+	printLimited("machine-state diff", full, limit)
+}
+
+func printLimited(title string, lines []string, limit int) {
+	fmt.Printf("%s (A vs B, %d fields):\n", title, len(lines))
+	if len(lines) == 0 {
+		fmt.Println("  (none)")
+		return
+	}
+	for i, l := range lines {
+		if i >= limit {
+			fmt.Printf("  ... %d more\n", len(lines)-limit)
+			break
+		}
+		fmt.Printf("  %s\n", l)
+	}
+}
+
+// applyOverrides sets comma-separated Field.Path=value entries on cfg via
+// reflection. Integer, unsigned and bool fields are supported.
+func applyOverrides(cfg *sim.Config, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		eq := strings.IndexByte(kv, '=')
+		if eq <= 0 {
+			return fmt.Errorf("bad override %q: want Field.Path=value", kv)
+		}
+		pathStr, valStr := kv[:eq], kv[eq+1:]
+		v := reflect.ValueOf(cfg).Elem()
+		for _, field := range strings.Split(pathStr, ".") {
+			if v.Kind() != reflect.Struct {
+				return fmt.Errorf("override %q: %q is not a struct field path", kv, pathStr)
+			}
+			v = v.FieldByName(field)
+			if !v.IsValid() {
+				return fmt.Errorf("override %q: no field %q in sim.Config", kv, field)
+			}
+		}
+		switch v.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			n, err := strconv.ParseInt(valStr, 0, 64)
+			if err != nil {
+				return fmt.Errorf("override %q: %w", kv, err)
+			}
+			v.SetInt(n)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			n, err := strconv.ParseUint(valStr, 0, 64)
+			if err != nil {
+				return fmt.Errorf("override %q: %w", kv, err)
+			}
+			v.SetUint(n)
+		case reflect.Bool:
+			b, err := strconv.ParseBool(valStr)
+			if err != nil {
+				return fmt.Errorf("override %q: %w", kv, err)
+			}
+			v.SetBool(b)
+		default:
+			return fmt.Errorf("override %q: unsupported field kind %s", kv, v.Kind())
+		}
+	}
+	return nil
+}
+
+func describe(spec string) string {
+	if spec == "" {
+		return "(base config)"
+	}
+	return spec
+}
+
+func readMeta(path string) (checkpoint.Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return checkpoint.Meta{}, err
+	}
+	defer f.Close()
+	meta, _, err := checkpoint.Read(f)
+	return meta, err
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pipette-diverge:", err)
+	os.Exit(1)
+}

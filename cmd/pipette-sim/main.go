@@ -5,12 +5,20 @@
 // Chrome trace-event file (open in ui.perfetto.dev) and a sampled
 // time-series metrics file (see docs/TELEMETRY.md).
 //
+// Long runs can checkpoint periodically and resume after a crash (see
+// docs/CHECKPOINT.md): -checkpoint-every writes a pipette.snapshot/v1 file
+// atomically every N cycles, and -resume rebuilds the recorded workload,
+// restores the snapshot, and continues — producing output identical to the
+// uninterrupted run.
+//
 // Usage:
 //
 //	pipette-sim -app bfs -variant pipette -input Rd
 //	pipette-sim -app bfs -variant pipette -json -trace-out trace.json -metrics-out metrics.csv
 //	pipette-sim -app spmm -variant data-parallel -input Cg
 //	pipette-sim -app silo -variant serial
+//	pipette-sim -app cc -variant streaming -checkpoint-every 50000 -checkpoint-out cc.snap
+//	pipette-sim -resume cc.snap
 package main
 
 import (
@@ -21,11 +29,10 @@ import (
 
 	"pipette/internal/bench"
 	"pipette/internal/cache"
+	"pipette/internal/checkpoint"
 	"pipette/internal/core"
 	"pipette/internal/energy"
-	"pipette/internal/graph"
 	"pipette/internal/sim"
-	"pipette/internal/sparse"
 	"pipette/internal/telemetry"
 )
 
@@ -35,15 +42,48 @@ func main() {
 	input := flag.String("input", "Rd", "graph label (Co/Dy/Fs/Sk/Rd) or matrix label (Am/Co/Cg/Cs/Rm/Pc)")
 	cacheScale := flag.Int("cache-scale", 8, "cache downscale factor")
 	prdIters := flag.Int("prd-iters", 4, "PageRank-Delta iterations")
+	seed := flag.Int64("seed", 1, "base RNG seed for synthetic inputs")
 	trace := flag.Int("trace", 0, "print the first N committed instructions per core")
 	jsonOut := flag.Bool("json", false, "emit the run report as JSON on stdout")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (ui.perfetto.dev)")
 	traceBuf := flag.Int("trace-buf", 0, "trace ring capacity in events (default 262144)")
 	metricsOut := flag.String("metrics-out", "", "write sampled time-series metrics (.csv, or .json)")
 	metricsInterval := flag.Uint64("metrics-interval", 0, "sampling period in cycles (default 1024)")
+	ckptEvery := flag.Uint64("checkpoint-every", 0, "write a snapshot every N simulated cycles (0 disables)")
+	ckptOut := flag.String("checkpoint-out", "pipette.snap", "snapshot file for -checkpoint-every")
+	resume := flag.String("resume", "", "resume from a snapshot file (workload flags come from its metadata)")
 	flag.Parse()
 
-	b, cores, err := build(*app, *variant, *input, *prdIters)
+	// A resumed run rebuilds the exact workload recorded in the snapshot;
+	// command-line workload flags are superseded by its metadata.
+	var resumeMeta checkpoint.Meta
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		resumeMeta, _, err = checkpoint.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		wl := resumeMeta.Workload
+		if wl.App == "" || wl.Variant == "" {
+			fatal(fmt.Errorf("%s records no workload metadata; it cannot be resumed by pipette-sim", *resume))
+		}
+		*app, *variant, *input = wl.App, wl.Variant, wl.Input
+		if wl.Seed != 0 {
+			*seed = wl.Seed
+		}
+		if wl.PRDIters > 0 {
+			*prdIters = wl.PRDIters
+		}
+		if wl.CacheScale > 0 {
+			*cacheScale = wl.CacheScale
+		}
+	}
+
+	b, cores, err := bench.Lookup(*app, *variant, *input, *prdIters, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -72,7 +112,33 @@ func main() {
 			}
 		}
 	}
-	r, runErr := bench.Run(s, b)
+
+	// Builder first (programs, queues, units), then restore overwrites the
+	// dynamic state — the checkpoint restore contract.
+	check := b(s)
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		_, err = s.Restore(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("resuming %s: %w", *resume, err))
+		}
+		fmt.Fprintf(os.Stderr, "resumed %s/%s/%s at cycle %d\n", *app, *variant, *input, s.Now())
+	}
+
+	wl := checkpoint.Workload{
+		App: *app, Variant: *variant, Input: *input,
+		Seed: *seed, CacheScale: *cacheScale, PRDIters: *prdIters,
+	}
+	r, runErr := runWithCheckpoints(s, *ckptEvery, *ckptOut, wl)
+	if runErr == nil {
+		if err := check(); err != nil {
+			runErr = fmt.Errorf("result check failed: %w", err)
+		}
+	}
 
 	// Telemetry artifacts are written even when the run failed — a trace
 	// of a deadlock is exactly when you want one.
@@ -99,6 +165,7 @@ func main() {
 	if *jsonOut {
 		rep := r.Report()
 		rep.App, rep.Variant, rep.Input = *app, *variant, *input
+		rep.Seed = *seed
 		if runErr != nil {
 			rep.Error = runErr.Error()
 		} else {
@@ -122,6 +189,57 @@ func main() {
 	report(r)
 }
 
+// runWithCheckpoints drives the simulation, atomically rewriting the
+// snapshot file every `every` cycles (0 = plain run). Snapshot writes never
+// perturb simulated state, so the run is cycle-identical with or without
+// checkpointing.
+func runWithCheckpoints(s *sim.System, every uint64, path string, wl checkpoint.Workload) (sim.Result, error) {
+	if every == 0 {
+		return s.Run()
+	}
+	for {
+		r, err := s.RunUntil(s.Now() + every)
+		if err != nil || s.Done() {
+			return r, err
+		}
+		if err := saveSnapshot(s, path, wl); err != nil {
+			return r, fmt.Errorf("checkpointing at cycle %d: %w", s.Now(), err)
+		}
+		fmt.Fprintf(os.Stderr, "checkpoint: cycle %d -> %s\n", s.Now(), path)
+	}
+}
+
+// saveSnapshot writes the snapshot via temp file + rename so a crash
+// mid-write never destroys the previous good checkpoint.
+func saveSnapshot(s *sim.System, path string, wl checkpoint.Workload) error {
+	tmp, err := os.CreateTemp(fileDir(path), ".snap*")
+	if err != nil {
+		return err
+	}
+	if err := s.Save(tmp, wl); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func fileDir(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i > 0 {
+		return path[:i]
+	}
+	return "."
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
 func writeFile(path string, write func(*os.File) error) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -132,78 +250,6 @@ func writeFile(path string, write func(*os.File) error) error {
 		return fmt.Errorf("%s: %w", path, err)
 	}
 	return f.Close()
-}
-
-func build(app, variant, input string, prdIters int) (bench.Builder, int, error) {
-	cores := 1
-	if variant == bench.VStreaming {
-		cores = 4
-	}
-	var g *graph.Graph
-	for _, in := range graph.Inputs(1) {
-		if in.Label == input {
-			g = in.G
-		}
-	}
-	var m *sparse.Matrix
-	for _, in := range sparse.Inputs(1) {
-		if in.Label == input {
-			m = in.M
-		}
-	}
-	pick := func(serial, dp, pip, nora, str bench.Builder) (bench.Builder, int, error) {
-		switch variant {
-		case bench.VSerial:
-			return serial, cores, nil
-		case bench.VDataParallel:
-			return dp, cores, nil
-		case bench.VPipette:
-			return pip, cores, nil
-		case bench.VPipetteNoRA:
-			return nora, cores, nil
-		case bench.VStreaming:
-			return str, cores, nil
-		}
-		return nil, 0, fmt.Errorf("unknown variant %q", variant)
-	}
-	switch app {
-	case "bfs":
-		if g == nil {
-			return nil, 0, fmt.Errorf("unknown graph %q", input)
-		}
-		return pick(bench.BFSSerial(g, 0), bench.BFSDataParallel(g, 0, 4),
-			bench.BFSPipette(g, 0, 4, true), bench.BFSPipette(g, 0, 4, false), bench.BFSStreaming(g, 0))
-	case "cc":
-		if g == nil {
-			return nil, 0, fmt.Errorf("unknown graph %q", input)
-		}
-		return pick(bench.CCSerial(g), bench.CCDataParallel(g, 4),
-			bench.CCPipette(g, true), bench.CCPipette(g, false), bench.CCStreaming(g))
-	case "prd":
-		if g == nil {
-			return nil, 0, fmt.Errorf("unknown graph %q", input)
-		}
-		return pick(bench.PRDSerial(g, prdIters), bench.PRDDataParallel(g, prdIters, 4),
-			bench.PRDPipette(g, prdIters, true), bench.PRDPipette(g, prdIters, false),
-			bench.PRDStreaming(g, prdIters))
-	case "radii":
-		if g == nil {
-			return nil, 0, fmt.Errorf("unknown graph %q", input)
-		}
-		return pick(bench.RadiiSerial(g), bench.RadiiDataParallel(g, 4),
-			bench.RadiiPipette(g, true), bench.RadiiPipette(g, false), bench.RadiiStreaming(g))
-	case "spmm":
-		if m == nil {
-			return nil, 0, fmt.Errorf("unknown matrix %q", input)
-		}
-		return pick(bench.SpMMSerial(m, m), bench.SpMMDataParallel(m, m, 4),
-			bench.SpMMPipette(m, m, true), bench.SpMMPipette(m, m, false), bench.SpMMStreaming(m, m))
-	case "silo":
-		const k, q = 4000, 600
-		return pick(bench.SiloSerial(k, q), bench.SiloDataParallel(k, q, 4),
-			bench.SiloPipette(k, q, true), bench.SiloPipette(k, q, false), bench.SiloStreaming(k, q))
-	}
-	return nil, 0, fmt.Errorf("unknown app %q", app)
 }
 
 func report(r sim.Result) {

@@ -28,9 +28,9 @@ func main() {
 	}
 
 	fmt.Printf("B+tree with %d keys; %d zipfian (YCSB-C) lookups\n\n", keys, queries)
-	serial := run("serial", pipette.SiloSerial(keys, queries))
-	dp := run("data-parallel", pipette.SiloDataParallel(keys, queries, 4))
-	pip := run("pipette", pipette.SiloPipette(keys, queries, true))
+	serial := run("serial", pipette.SiloSerial(keys, queries, 99))
+	dp := run("data-parallel", pipette.SiloDataParallel(keys, queries, 4, 99))
+	pip := run("pipette", pipette.SiloPipette(keys, queries, true, 99))
 
 	fmt.Printf("\nPipette: %.2fx over serial, %.2fx over data-parallel\n",
 		float64(serial.Cycles)/float64(pip.Cycles),

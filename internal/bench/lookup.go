@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+
+	"pipette/internal/graph"
+	"pipette/internal/sparse"
+)
+
+// Lookup resolves an (app, variant, input) triple — the naming used by the
+// CLI tools and checkpoint workload metadata — to a builder and core count.
+// Inputs are generated from the base seed exactly as the harness does, so a
+// snapshot that records these five values can be rebuilt bit-identically by
+// a later process (pipette-sim -resume, pipette-diverge).
+func Lookup(app, variant, input string, prdIters int, seed int64) (Builder, int, error) {
+	cores := 1
+	if variant == VStreaming {
+		cores = 4
+	}
+	var g *graph.Graph
+	for _, in := range graph.Inputs(1, seed) {
+		if in.Label == input {
+			g = in.G
+		}
+	}
+	var m *sparse.Matrix
+	for _, in := range sparse.Inputs(1, seed) {
+		if in.Label == input {
+			m = in.M
+		}
+	}
+	pick := func(serial, dp, pip, nora, str Builder) (Builder, int, error) {
+		switch variant {
+		case VSerial:
+			return serial, cores, nil
+		case VDataParallel:
+			return dp, cores, nil
+		case VPipette:
+			return pip, cores, nil
+		case VPipetteNoRA:
+			return nora, cores, nil
+		case VStreaming:
+			return str, cores, nil
+		}
+		return nil, 0, fmt.Errorf("unknown variant %q", variant)
+	}
+	switch app {
+	case "bfs":
+		if g == nil {
+			return nil, 0, fmt.Errorf("unknown graph %q", input)
+		}
+		return pick(BFSSerial(g, 0), BFSDataParallel(g, 0, 4),
+			BFSPipette(g, 0, 4, true), BFSPipette(g, 0, 4, false), BFSStreaming(g, 0))
+	case "cc":
+		if g == nil {
+			return nil, 0, fmt.Errorf("unknown graph %q", input)
+		}
+		return pick(CCSerial(g), CCDataParallel(g, 4),
+			CCPipette(g, true), CCPipette(g, false), CCStreaming(g))
+	case "prd":
+		if g == nil {
+			return nil, 0, fmt.Errorf("unknown graph %q", input)
+		}
+		return pick(PRDSerial(g, prdIters), PRDDataParallel(g, prdIters, 4),
+			PRDPipette(g, prdIters, true), PRDPipette(g, prdIters, false),
+			PRDStreaming(g, prdIters))
+	case "radii":
+		if g == nil {
+			return nil, 0, fmt.Errorf("unknown graph %q", input)
+		}
+		return pick(RadiiSerial(g), RadiiDataParallel(g, 4),
+			RadiiPipette(g, true), RadiiPipette(g, false), RadiiStreaming(g))
+	case "spmm":
+		if m == nil {
+			return nil, 0, fmt.Errorf("unknown matrix %q", input)
+		}
+		return pick(SpMMSerial(m, m), SpMMDataParallel(m, m, 4),
+			SpMMPipette(m, m, true), SpMMPipette(m, m, false), SpMMStreaming(m, m))
+	case "silo":
+		const k, q = 4000, 600
+		ys := seed + 98 // derived YCSB generator seed (seed 1 -> historical 99)
+		return pick(SiloSerial(k, q, ys), SiloDataParallel(k, q, 4, ys),
+			SiloPipette(k, q, true, ys), SiloPipette(k, q, false, ys), SiloStreaming(k, q, ys))
+	}
+	return nil, 0, fmt.Errorf("unknown app %q", app)
+}

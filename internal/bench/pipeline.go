@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 
 	"pipette/internal/isa"
 	"pipette/internal/ra"
@@ -94,7 +95,16 @@ func (p *pipeSpec) place(s *sim.System, coreOf func(stage int) int) {
 		ps, ok := prod[rc.In]
 		ra.New(s.Cores[coreFor(ps, ok)], rc)
 	}
+	// Sorted queue order: connector creation order is machine state
+	// (Tick order, per-connector stats), so it must not depend on map
+	// iteration — snapshot StateHash equality relies on this.
+	qids := make([]int, 0, len(p.queues))
 	for q := range p.queues {
+		qids = append(qids, int(q))
+	}
+	sort.Ints(qids)
+	for _, qi := range qids {
+		q := uint8(qi)
 		ps, pok := prod[q]
 		cs, cok := cons[q]
 		if !pok || !cok {

@@ -42,7 +42,7 @@ type siloLayout struct {
 	vals    map[uint64]uint64
 }
 
-func layoutSilo(m *mem.Memory, nKeys, nQueries int) siloLayout {
+func layoutSilo(m *mem.Memory, nKeys, nQueries int, seed int64) siloLayout {
 	keys := make([]uint64, nKeys)
 	vals := make([]uint64, nKeys)
 	for i := range keys {
@@ -50,7 +50,7 @@ func layoutSilo(m *mem.Memory, nKeys, nQueries int) siloLayout {
 		vals[i] = uint64(i)*13 + 1
 	}
 	tree := btree.Build(m, keys, vals)
-	gen := ycsb.NewGenerator(uint64(nKeys), 99)
+	gen := ycsb.NewGenerator(uint64(nKeys), seed)
 	l := siloLayout{
 		tree:    tree,
 		queries: m.AllocWords(uint64(nQueries)),
@@ -84,19 +84,21 @@ func checkSilo(s *sim.System, l siloLayout) CheckFn {
 	}
 }
 
-// SiloSerial runs all queries on one thread.
-func SiloSerial(nKeys, nQueries int) Builder {
+// SiloSerial runs all queries on one thread. seed drives the YCSB query
+// generator (99 is the historical default; the harness derives it from the
+// run's base seed).
+func SiloSerial(nKeys, nQueries int, seed int64) Builder {
 	return func(s *sim.System) CheckFn {
-		l := layoutSilo(s.Mem, nKeys, nQueries)
+		l := layoutSilo(s.Mem, nKeys, nQueries, seed)
 		s.Cores[0].Load(0, siloWalkProg(l, 0, 1, nil))
 		return checkSilo(s, l)
 	}
 }
 
 // SiloDataParallel partitions queries statically across nThreads threads.
-func SiloDataParallel(nKeys, nQueries, nThreads int) Builder {
+func SiloDataParallel(nKeys, nQueries, nThreads int, seed int64) Builder {
 	return func(s *sim.System) CheckFn {
-		l := layoutSilo(s.Mem, nKeys, nQueries)
+		l := layoutSilo(s.Mem, nKeys, nQueries, seed)
 		for t := 0; t < nThreads; t++ {
 			s.Cores[t/4].Load(t%4, siloWalkProg(l, t, nThreads, nil))
 		}
@@ -370,8 +372,8 @@ func siloLookupRAProg(l siloLayout, t int) *isa.Program {
 }
 
 // siloPipeline assembles the generator plus siloLookups lookup stages.
-func siloPipeline(s *sim.System, nKeys, nQueries int, useRA bool) (pipeSpec, siloLayout) {
-	l := layoutSilo(s.Mem, nKeys, nQueries)
+func siloPipeline(s *sim.System, nKeys, nQueries int, useRA bool, seed int64) (pipeSpec, siloLayout) {
+	l := layoutSilo(s.Mem, nKeys, nQueries, seed)
 	p := pipeSpec{queues: map[uint8]int{}}
 	p.stages = append(p.stages, siloGenProg(l, siloLookups))
 	for t := 0; t < siloLookups; t++ {
@@ -392,18 +394,18 @@ func siloPipeline(s *sim.System, nKeys, nQueries int, useRA bool) (pipeSpec, sil
 
 // SiloPipette builds the Fig. 8 pipeline on one core (generator + 3 lookup
 // threads).
-func SiloPipette(nKeys, nQueries int, useRA bool) Builder {
+func SiloPipette(nKeys, nQueries int, useRA bool, seed int64) Builder {
 	return func(s *sim.System) CheckFn {
-		p, l := siloPipeline(s, nKeys, nQueries, useRA)
+		p, l := siloPipeline(s, nKeys, nQueries, useRA, seed)
 		p.placeSingleCore(s, 0)
 		return checkSilo(s, l)
 	}
 }
 
 // SiloStreaming places the generator and each lookup stage on its own core.
-func SiloStreaming(nKeys, nQueries int) Builder {
+func SiloStreaming(nKeys, nQueries int, seed int64) Builder {
 	return func(s *sim.System) CheckFn {
-		p, l := siloPipeline(s, nKeys, nQueries, true)
+		p, l := siloPipeline(s, nKeys, nQueries, true, seed)
 		p.placeStreaming(s)
 		return checkSilo(s, l)
 	}

@@ -56,21 +56,21 @@ func TestSpMMSkipFiresEnqHandler(t *testing.T) {
 }
 
 func TestSiloSerial(t *testing.T) {
-	runBench(t, 1, SiloSerial(800, 150))
+	runBench(t, 1, SiloSerial(800, 150, 99))
 }
 
 func TestSiloDataParallel(t *testing.T) {
-	runBench(t, 1, SiloDataParallel(800, 150, 4))
+	runBench(t, 1, SiloDataParallel(800, 150, 4, 99))
 }
 
 func TestSiloPipetteRA(t *testing.T) {
-	runBench(t, 1, SiloPipette(800, 150, true))
+	runBench(t, 1, SiloPipette(800, 150, true, 99))
 }
 
 func TestSiloPipetteNoRA(t *testing.T) {
-	runBench(t, 1, SiloPipette(800, 150, false))
+	runBench(t, 1, SiloPipette(800, 150, false, 99))
 }
 
 func TestSiloStreaming(t *testing.T) {
-	runBench(t, 4, SiloStreaming(800, 150))
+	runBench(t, 4, SiloStreaming(800, 150, 99))
 }

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"pipette/internal/isa"
+	"pipette/internal/mem"
+	"pipette/internal/sim"
+)
+
+// CacheWarmup returns a touch-kernel builder: every core runs a
+// single-threaded loop that issues one load per 64-byte line across
+// [mem.AllocBase, footprint). Nothing is written, so the snapshot's memory
+// image stays empty (reads of untouched memory are canonically zero), but
+// the sweep populates cache tags, prefetcher and DRAM state for the address
+// range a subsequent workload builder will allocate its data into.
+//
+// The fork-after-warmup sweep (docs/SWEEP.md) runs this once per
+// (app, input, cores) cell group, calls System.PrepareFork, snapshots, and
+// restores the snapshot under each variant instead of starting cold.
+func CacheWarmup(footprint uint64) Builder {
+	return func(s *sim.System) CheckFn {
+		for _, c := range s.Cores {
+			c.Load(0, warmupProg(footprint))
+		}
+		return func() error { return nil }
+	}
+}
+
+// warmupProg sweeps lines in descending address order: the caches keep the
+// most-recently-touched lines, and the structures workloads allocate first
+// (graph offsets, row pointers, index upper levels) are the hottest, so the
+// sweep must end at the low addresses for the warm residue to be useful.
+func warmupProg(footprint uint64) *isa.Program {
+	const (
+		rAddr isa.Reg = 1
+		rBase isa.Reg = 2
+		rT    isa.Reg = 3
+	)
+	lines := (footprint - min64(footprint, mem.AllocBase)) / 64
+	a := isa.NewAssembler("cache-warmup")
+	a.SetReg(rAddr, mem.AllocBase+lines*64)
+	a.SetReg(rBase, mem.AllocBase)
+	a.Label("loop")
+	a.Bgeu(rBase, rAddr, "done") // base >= addr: range exhausted
+	a.SubI(rAddr, rAddr, 64)
+	a.Ld8(rT, rAddr, 0)
+	a.Jmp("loop")
+	a.Label("done")
+	a.Halt()
+	return a.MustLink()
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LineState is one cache line's tag state.
+type LineState struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+	Use   uint64
+}
+
+// ArrayState is one set-associative array's full tag store plus its LRU
+// tick counter.
+type ArrayState struct {
+	Sets, Ways int
+	Lines      []LineState
+	Tick       uint64
+}
+
+// StreamState is one prefetch stream detector.
+type StreamState struct {
+	LastLine uint64
+	Conf     int
+	Valid    bool
+}
+
+// PortState is one core's private slice of the hierarchy.
+type PortState struct {
+	L1, L2  ArrayState
+	MSHR    []uint64
+	Streams []StreamState
+	NextStr int
+}
+
+// PresenceEntry is one presence-directory row (sorted by Line in State so
+// the serialized form is canonical despite the in-memory map).
+type PresenceEntry struct {
+	Line uint64
+	Mask uint32
+}
+
+// State is the serializable dynamic state of the whole hierarchy.
+type State struct {
+	L3       ArrayState
+	DRAMFree uint64
+	Presence []PresenceEntry
+	Stats    Stats
+	Ports    []PortState
+}
+
+func saveArray(a *array) ArrayState {
+	st := ArrayState{Sets: a.sets, Ways: a.ways, Tick: a.tick}
+	st.Lines = make([]LineState, len(a.lines))
+	for i, l := range a.lines {
+		st.Lines[i] = LineState{Tag: l.tag, Valid: l.valid, Dirty: l.dirty, Use: l.use}
+	}
+	return st
+}
+
+func restoreArray(a *array, st ArrayState) error {
+	if st.Sets != a.sets || st.Ways != a.ways || len(st.Lines) != len(a.lines) {
+		return fmt.Errorf("cache: array geometry mismatch: have %dx%d, snapshot %dx%d",
+			a.sets, a.ways, st.Sets, st.Ways)
+	}
+	a.tick = st.Tick
+	for i, l := range st.Lines {
+		a.lines[i] = line{tag: l.Tag, valid: l.Valid, dirty: l.Dirty, use: l.Use}
+	}
+	return nil
+}
+
+// SaveState captures the hierarchy's dynamic state in canonical form.
+func (h *Hierarchy) SaveState() State {
+	st := State{
+		L3:       saveArray(h.l3),
+		DRAMFree: h.dramFree,
+		Stats:    h.Stats,
+	}
+	for line, mask := range h.presence {
+		st.Presence = append(st.Presence, PresenceEntry{Line: line, Mask: mask})
+	}
+	sort.Slice(st.Presence, func(i, j int) bool { return st.Presence[i].Line < st.Presence[j].Line })
+	for _, p := range h.ports {
+		ps := PortState{
+			L1:      saveArray(p.l1),
+			L2:      saveArray(p.l2),
+			MSHR:    append([]uint64(nil), p.mshr...),
+			NextStr: p.nextStr,
+		}
+		for _, s := range p.streams {
+			ps.Streams = append(ps.Streams, StreamState{LastLine: s.lastLine, Conf: s.conf, Valid: s.valid})
+		}
+		st.Ports = append(st.Ports, ps)
+	}
+	return st
+}
+
+// RestoreState overwrites the hierarchy's dynamic state from st. The
+// hierarchy must have been built with the same geometry and core count.
+func (h *Hierarchy) RestoreState(st State) error {
+	if len(st.Ports) != len(h.ports) {
+		return fmt.Errorf("cache: snapshot has %d ports, hierarchy has %d", len(st.Ports), len(h.ports))
+	}
+	if err := restoreArray(h.l3, st.L3); err != nil {
+		return fmt.Errorf("L3: %w", err)
+	}
+	h.dramFree = st.DRAMFree
+	h.Stats = st.Stats
+	h.presence = make(map[uint64]uint32, len(st.Presence))
+	for _, e := range st.Presence {
+		h.presence[e.Line] = e.Mask
+	}
+	for i, ps := range st.Ports {
+		p := h.ports[i]
+		if err := restoreArray(p.l1, ps.L1); err != nil {
+			return fmt.Errorf("port %d L1: %w", i, err)
+		}
+		if err := restoreArray(p.l2, ps.L2); err != nil {
+			return fmt.Errorf("port %d L2: %w", i, err)
+		}
+		p.mshr = append(p.mshr[:0], ps.MSHR...)
+		if len(ps.Streams) != numStreams {
+			return fmt.Errorf("port %d: snapshot has %d prefetch streams, want %d", i, len(ps.Streams), numStreams)
+		}
+		for j, s := range ps.Streams {
+			p.streams[j] = stream{lastLine: s.LastLine, conf: s.Conf, valid: s.Valid}
+		}
+		p.nextStr = ps.NextStr
+	}
+	return nil
+}
+
+// ResetStats zeroes the event counters without touching timing state.
+// Fork-after-warmup calls this at the ROI boundary so a cell's Result
+// covers only its own region of interest.
+func (h *Hierarchy) ResetStats() { h.Stats = Stats{} }

@@ -1,0 +1,141 @@
+// Package checkpoint defines the pipette.snapshot/v1 container: a small
+// versioned binary envelope holding a JSON metadata header and an opaque,
+// integrity-hashed machine-state payload. The payload encoding itself (gob
+// over the component State structs) belongs to internal/sim; this package
+// only frames, hashes and validates, so it has no simulator dependencies
+// and tools can inspect snapshots without constructing a system.
+//
+// Layout:
+//
+//	8 bytes  magic "PIPSNAP1"
+//	uvarint  metadata length, then that many bytes of JSON (Meta)
+//	uvarint  payload length, then that many bytes of payload
+//
+// Meta.StateHash is the hex SHA-256 of the payload; Read recomputes and
+// rejects mismatches, so torn or corrupted snapshot files fail loudly
+// instead of restoring garbage.
+package checkpoint
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Schema names the snapshot format. It participates in sweep cache keys so
+// stale warmup snapshots can never be replayed across a format change.
+const Schema = "pipette.snapshot/v1"
+
+var magic = [8]byte{'P', 'I', 'P', 'S', 'N', 'A', 'P', '1'}
+
+// maxSection bounds header and payload sizes read back from disk (a
+// corrupted length prefix must not trigger a huge allocation).
+const maxSection = 1 << 32
+
+// Workload records how to rebuild the program side of a snapshot: the
+// restore contract is that structural state (programs, units, connectors)
+// is reconstructed by re-running the same deterministic builder, and these
+// fields name that builder. Zero values mean "not recorded" (e.g. harness
+// warmup snapshots, which are only ever restored by the harness itself).
+type Workload struct {
+	App        string `json:"app,omitempty"`
+	Variant    string `json:"variant,omitempty"`
+	Input      string `json:"input,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+	CacheScale int    `json:"cache_scale,omitempty"`
+	PRDIters   int    `json:"prd_iters,omitempty"`
+}
+
+// Meta is the snapshot header.
+type Meta struct {
+	Schema    string          `json:"schema"`
+	Cycle     uint64          `json:"cycle"`
+	StateHash string          `json:"state_hash"`
+	Config    json.RawMessage `json:"config,omitempty"` // sim.Config as JSON
+	Workload  Workload        `json:"workload,omitempty"`
+}
+
+// HashPayload returns the hex SHA-256 of a snapshot payload — the same
+// value stored in Meta.StateHash and returned by sim.System.StateHash.
+func HashPayload(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// Write frames meta and payload into w. It fills meta.Schema and
+// meta.StateHash (any caller-provided values are overwritten — the hash is
+// not an input).
+func Write(w io.Writer, meta Meta, payload []byte) error {
+	meta.Schema = Schema
+	meta.StateHash = HashPayload(payload)
+	hdr, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding metadata: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, section := range [][]byte{hdr, payload} {
+		n := binary.PutUvarint(lenBuf[:], uint64(len(section)))
+		if _, err := bw.Write(lenBuf[:n]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(section); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a snapshot container, verifying the magic, schema and
+// payload integrity hash.
+func Read(r io.Reader) (Meta, []byte, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return Meta{}, nil, fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if m != magic {
+		return Meta{}, nil, fmt.Errorf("checkpoint: bad magic %q (not a %s file)", m[:], Schema)
+	}
+	hdr, err := readSection(br, "metadata")
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	var meta Meta
+	if err := json.Unmarshal(hdr, &meta); err != nil {
+		return Meta{}, nil, fmt.Errorf("checkpoint: decoding metadata: %w", err)
+	}
+	if meta.Schema != Schema {
+		return Meta{}, nil, fmt.Errorf("checkpoint: snapshot schema %q, this build reads %q", meta.Schema, Schema)
+	}
+	payload, err := readSection(br, "payload")
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	if got := HashPayload(payload); got != meta.StateHash {
+		return Meta{}, nil, fmt.Errorf("checkpoint: payload hash %s does not match recorded %s (corrupt snapshot)", got, meta.StateHash)
+	}
+	return meta, payload, nil
+}
+
+func readSection(br *bufio.Reader, what string) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading %s length: %w", what, err)
+	}
+	if n > maxSection {
+		return nil, fmt.Errorf("checkpoint: %s length %d exceeds limit", what, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading %s: %w", what, err)
+	}
+	return buf, nil
+}

@@ -1,0 +1,99 @@
+// Determinism golden test: two independent processes given the same base
+// seed must reach bit-identical final machine state. StateHash covers every
+// serialized field (registers, queues, caches, memory, stats), so this is a
+// much stronger check than comparing Results — it is the property the
+// checkpoint subsystem, the sweep cache and pipette-diverge all rest on.
+package checkpoint_test
+
+import (
+	"testing"
+
+	"pipette/internal/bench"
+	"pipette/internal/graph"
+	"pipette/internal/sim"
+	"pipette/internal/sparse"
+)
+
+// detCase builds a workload from a base seed the way the harness does:
+// inputs come from the seeded generators, silo from the derived YCSB seed.
+type detCase struct {
+	name  string
+	cores int
+	build func(seed int64) bench.Builder
+}
+
+func determinismCases() []detCase {
+	return []detCase{
+		{"bfs-pipette", 1, func(seed int64) bench.Builder {
+			g := graph.Inputs(1, seed)[4].G // "Rd", the road network
+			return bench.BFSPipette(g, 0, 4, true)
+		}},
+		{"cc-streaming", 4, func(seed int64) bench.Builder {
+			g := graph.Inputs(1, seed)[0].G // "Co"
+			return bench.CCStreaming(g)
+		}},
+		{"spmm-serial", 1, func(seed int64) bench.Builder {
+			ins := sparse.Inputs(1, seed)
+			return bench.SpMMSerial(ins[0].M, ins[0].M)
+		}},
+		{"silo-pipette", 1, func(seed int64) bench.Builder {
+			return bench.SiloPipette(300, 60, true, seed+98)
+		}},
+	}
+}
+
+func TestSameSeedSameStateHash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-run determinism check")
+	}
+	for _, tc := range determinismCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() (*sim.System, string) {
+				s := sim.New(testConfig(tc.cores))
+				if _, err := bench.Run(s, tc.build(1)); err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				return s, mustHash(t, s)
+			}
+			_, h1 := run()
+			_, h2 := run()
+			if h1 != h2 {
+				t.Errorf("same seed, different final StateHash:\n  run1 %s\n  run2 %s", h1, h2)
+			}
+		})
+	}
+}
+
+// TestSeedReachesGenerators: a different base seed must actually change the
+// generated inputs — guards against a seed parameter that is plumbed but
+// ignored somewhere along the chain.
+func TestSeedReachesGenerators(t *testing.T) {
+	g1 := graph.Inputs(1, 1)[0].G
+	g2 := graph.Inputs(1, 2)[0].G
+	if g1.M() == g2.M() {
+		// Edge counts can collide; compare adjacency of a few vertices too.
+		same := true
+		for v := 0; v < 10 && v < g1.N && v < g2.N; v++ {
+			a, b := g1.Ngh(v), g2.Ngh(v)
+			if len(a) != len(b) {
+				same = false
+				break
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Error("graph.Inputs ignores the seed: seeds 1 and 2 generated identical graphs")
+		}
+	}
+	m1 := sparse.Inputs(1, 1)[0].M
+	m2 := sparse.Inputs(1, 2)[0].M
+	if m1.NNZ() == m2.NNZ() {
+		t.Error("sparse.Inputs likely ignores the seed: seeds 1 and 2 generated same-nnz matrices")
+	}
+}

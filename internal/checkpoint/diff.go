@@ -1,0 +1,134 @@
+package checkpoint
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// DiffJSON marshals two values to JSON and walks them in parallel,
+// returning sorted "path: a != b" lines for every differing leaf.
+// pipette-diverge uses it both on debug dumps and on full decoded machine
+// states. Long leaf values (memory chunks, opaque unit blobs) are
+// truncated so one differing byte array cannot flood the report.
+func DiffJSON(a, b any) ([]string, error) {
+	ja, err := json.Marshal(a)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: diff lhs: %w", err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: diff rhs: %w", err)
+	}
+	var va, vb any
+	if err := json.Unmarshal(ja, &va); err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(jb, &vb); err != nil {
+		return nil, err
+	}
+	var out []string
+	diffWalk("", va, vb, &out)
+	sort.Strings(out)
+	return out, nil
+}
+
+func diffWalk(path string, a, b any, out *[]string) {
+	switch av := a.(type) {
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok {
+			leaf(path, a, b, out)
+			return
+		}
+		keys := map[string]bool{}
+		for k := range av {
+			keys[k] = true
+		}
+		for k := range bv {
+			keys[k] = true
+		}
+		for k := range keys {
+			diffWalk(joinPath(path, k), av[k], bv[k], out)
+		}
+	case []any:
+		bv, ok := b.([]any)
+		if !ok {
+			leaf(path, a, b, out)
+			return
+		}
+		n := len(av)
+		if len(bv) > n {
+			n = len(bv)
+		}
+		for i := 0; i < n; i++ {
+			var ea, eb any
+			if i < len(av) {
+				ea = av[i]
+			}
+			if i < len(bv) {
+				eb = bv[i]
+			}
+			diffWalk(fmt.Sprintf("%s[%d]", path, i), ea, eb, out)
+		}
+	default:
+		if reflect.DeepEqual(a, b) {
+			return
+		}
+		// []byte fields marshal as base64; unit states are JSON inside
+		// (core.SaveUnitState). When both sides decode, recurse so the
+		// diff names the differing field instead of two opaque blobs.
+		if sa, ok := a.(string); ok {
+			if sb, ok := b.(string); ok {
+				ea, oka := expandBlob(sa)
+				eb, okb := expandBlob(sb)
+				if oka && okb {
+					diffWalk(path, ea, eb, out)
+					return
+				}
+			}
+		}
+		leaf(path, a, b, out)
+	}
+}
+
+// expandBlob decodes a base64 string holding a JSON document, as produced
+// when a JSON-encoded []byte field is itself marshalled to JSON.
+func expandBlob(s string) (any, bool) {
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil || len(raw) == 0 || (raw[0] != '{' && raw[0] != '[') {
+		return nil, false
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+func leaf(path string, a, b any, out *[]string) {
+	*out = append(*out, fmt.Sprintf("%s: %s != %s", path, render(a), render(b)))
+}
+
+// render formats a leaf value, truncating anything long (base64 byte
+// arrays and similar blobs).
+func render(v any) string {
+	s := fmt.Sprintf("%v", v)
+	if v == nil {
+		s = "<absent>"
+	}
+	const max = 48
+	if len(s) > max {
+		return fmt.Sprintf("%s... (%d bytes)", s[:max], len(s))
+	}
+	return s
+}
+
+func joinPath(path, key string) string {
+	if path == "" {
+		return key
+	}
+	return path + "." + key
+}

@@ -1,0 +1,72 @@
+package checkpoint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffJSON(t *testing.T) {
+	type inner struct {
+		ReadyAt uint64
+		Blob    []byte
+	}
+	type state struct {
+		Cycle uint64
+		Cores []inner
+	}
+	a := state{Cycle: 10, Cores: []inner{{ReadyAt: 5, Blob: []byte(`{"Outstanding":[7,9]}`)}}}
+	b := state{Cycle: 10, Cores: []inner{{ReadyAt: 6, Blob: []byte(`{"Outstanding":[7,12]}`)}}}
+	lines, err := DiffJSON(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"Cores[0].Blob.Outstanding[1]: 9 != 12",
+		"Cores[0].ReadyAt: 5 != 6",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines %v, want %d", len(lines), lines, len(want))
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+
+	same, err := DiffJSON(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(same) != 0 {
+		t.Errorf("identical values diffed: %v", same)
+	}
+}
+
+func TestDiffJSONShapeMismatch(t *testing.T) {
+	a := map[string]any{"X": []int{1, 2}, "Gone": 1}
+	b := map[string]any{"X": []int{1}, "New": true}
+	lines, err := DiffJSON(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, frag := range []string{"X[1]: 2 != <absent>", "Gone: 1 != <absent>", "New: <absent> != true"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("diff %q missing %q", joined, frag)
+		}
+	}
+}
+
+func TestDiffJSONTruncatesLongLeaves(t *testing.T) {
+	long := strings.Repeat("x", 400)
+	lines, err := DiffJSON(map[string]string{"Blob": long}, map[string]string{"Blob": "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("got %v", lines)
+	}
+	if len(lines[0]) > 160 || !strings.Contains(lines[0], "(400 bytes)") {
+		t.Errorf("long leaf not truncated: %q", lines[0])
+	}
+}

@@ -1,0 +1,214 @@
+// Round-trip fidelity golden test: for every benchmark app, across the
+// variant shapes (serial, pipette+RA, streaming with connectors, multi
+// -iteration), save a snapshot mid-run, restore
+// it into a freshly built system — as a separate process would — and run to
+// completion. Result, run report and final StateHash must be identical to
+// the uninterrupted run.
+package checkpoint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"pipette/internal/bench"
+	"pipette/internal/checkpoint"
+	"pipette/internal/graph"
+	"pipette/internal/sim"
+	"pipette/internal/sparse"
+)
+
+func testConfig(cores int) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = cores
+	cfg.Cache = cfg.Cache.Scale(8)
+	cfg.WatchdogCycles = 200_000
+	return cfg
+}
+
+type rtCase struct {
+	name  string
+	cores int
+	build func() bench.Builder // fresh builder per system, same inputs
+}
+
+func roundTripCases() []rtCase {
+	g := graph.PowerLaw(200, 4, 42)
+	ma := sparse.Random("a", 48, 4, 7)
+	mb := sparse.Random("b", 48, 4, 8)
+	return []rtCase{
+		{"bfs-serial", 1, func() bench.Builder { return bench.BFSSerial(g, 0) }},
+		{"bfs-pipette-ra", 1, func() bench.Builder { return bench.BFSPipette(g, 0, 4, true) }},
+		{"cc-streaming", 4, func() bench.Builder { return bench.CCStreaming(g) }},
+		{"prd-pipette", 1, func() bench.Builder { return bench.PRDPipette(g, 2, true) }},
+		{"radii-data-parallel", 1, func() bench.Builder { return bench.RadiiDataParallel(g, 4) }},
+		{"spmm-pipette", 1, func() bench.Builder { return bench.SpMMPipette(ma, mb, true) }},
+		{"silo-pipette", 1, func() bench.Builder { return bench.SiloPipette(300, 60, true, 99) }},
+	}
+}
+
+func mustHash(t *testing.T, s *sim.System) string {
+	t.Helper()
+	h, err := s.StateHash()
+	if err != nil {
+		t.Fatalf("StateHash: %v", err)
+	}
+	return h
+}
+
+func TestRoundTripFidelity(t *testing.T) {
+	for _, tc := range roundTripCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			// Uninterrupted reference run.
+			ref := sim.New(testConfig(tc.cores))
+			refRes, err := bench.Run(ref, tc.build())
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			refHash := mustHash(t, ref)
+			if refRes.Cycles < 10 {
+				t.Fatalf("reference run too short (%d cycles) to checkpoint mid-run", refRes.Cycles)
+			}
+
+			// Interrupted run: save at the midpoint.
+			half := refRes.Cycles / 2
+			s2 := sim.New(testConfig(tc.cores))
+			tc.build()(s2)
+			if _, err := s2.RunUntil(half); err != nil {
+				t.Fatalf("run to cycle %d: %v", half, err)
+			}
+			if s2.Done() {
+				t.Fatalf("workload finished before midpoint cycle %d", half)
+			}
+			var snap bytes.Buffer
+			if err := s2.Save(&snap, checkpoint.Workload{App: tc.name}); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+
+			// Fresh process: rebuild the same workload, restore, finish.
+			s3 := sim.New(testConfig(tc.cores))
+			check := tc.build()(s3)
+			if _, err := s3.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			res3, err := s3.Run()
+			if err != nil {
+				t.Fatalf("resumed run: %v", err)
+			}
+			if err := check(); err != nil {
+				t.Fatalf("resumed result check: %v", err)
+			}
+			if !reflect.DeepEqual(refRes, res3) {
+				t.Errorf("Result differs between uninterrupted and resumed runs:\nref: %+v\ngot: %+v", refRes, res3)
+			}
+			refRep, _ := json.Marshal(refRes.Report())
+			gotRep, _ := json.Marshal(res3.Report())
+			if !bytes.Equal(refRep, gotRep) {
+				t.Errorf("run report differs:\nref: %s\ngot: %s", refRep, gotRep)
+			}
+			if gotHash := mustHash(t, s3); gotHash != refHash {
+				t.Errorf("final StateHash differs: ref %s, resumed %s", refHash, gotHash)
+			}
+		})
+	}
+}
+
+// TestSaveRestoreIdentity: restoring a snapshot immediately reproduces the
+// exact saved state (hash equality at the save point, not just at the end).
+func TestSaveRestoreIdentity(t *testing.T) {
+	tc := roundTripCases()[1] // bfs-pipette-ra: queues, RA unit state in flight
+	s := sim.New(testConfig(tc.cores))
+	tc.build()(s)
+	if _, err := s.RunUntil(2000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var snap bytes.Buffer
+	if err := s.Save(&snap, checkpoint.Workload{}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	savedHash := mustHash(t, s)
+
+	s2 := sim.New(testConfig(tc.cores))
+	tc.build()(s2)
+	meta, err := s2.Restore(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if meta.StateHash != savedHash {
+		t.Errorf("meta.StateHash %s != StateHash() at save point %s", meta.StateHash, savedHash)
+	}
+	if got := mustHash(t, s2); got != savedHash {
+		t.Errorf("restored StateHash %s != saved %s", got, savedHash)
+	}
+	if s2.Now() != s.Now() {
+		t.Errorf("restored cycle %d != saved %d", s2.Now(), s.Now())
+	}
+}
+
+// TestContainerIntegrity: corrupting any payload byte must be detected.
+func TestContainerIntegrity(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("not really machine state, but hashed all the same")
+	if err := checkpoint.Write(&buf, checkpoint.Meta{Cycle: 7}, payload); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	meta, got, err := checkpoint.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if meta.Schema != checkpoint.Schema || meta.Cycle != 7 || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip mangled container: %+v", meta)
+	}
+	// Flip one payload byte (the last byte of the file is payload).
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[len(bad)-1] ^= 0xff
+	if _, _, err := checkpoint.Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("Read accepted corrupted payload")
+	}
+	// Truncations fail too.
+	if _, _, err := checkpoint.Read(bytes.NewReader(bad[:len(bad)/2])); err == nil {
+		t.Fatal("Read accepted truncated container")
+	}
+	// Wrong magic.
+	if _, _, err := checkpoint.Read(bytes.NewReader([]byte("GARBAGE!"))); err == nil {
+		t.Fatal("Read accepted bad magic")
+	}
+}
+
+// TestStrictRestoreRejectsConfigMismatch: a snapshot must not restore into
+// a differently configured system via the strict path.
+func TestStrictRestoreRejectsConfigMismatch(t *testing.T) {
+	tc := roundTripCases()[0]
+	s := sim.New(testConfig(1))
+	tc.build()(s)
+	if _, err := s.RunUntil(500); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var snap bytes.Buffer
+	if err := s.Save(&snap, checkpoint.Workload{}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	cfg := testConfig(1)
+	cfg.Cache.DRAMLat += 10 // timing-only change: strict must still reject
+	s2 := sim.New(cfg)
+	tc.build()(s2)
+	if _, err := s2.Restore(bytes.NewReader(snap.Bytes())); err == nil {
+		t.Fatal("strict Restore accepted a config mismatch")
+	}
+	// The loose path accepts timing-only differences.
+	s3 := sim.New(cfg)
+	tc.build()(s3)
+	if _, err := s3.RestoreLoose(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatalf("RestoreLoose rejected a timing-only difference: %v", err)
+	}
+	// But not shape differences.
+	shape := testConfig(1)
+	shape.Core.PhysRegs += 8
+	s4 := sim.New(shape)
+	tc.build()(s4)
+	if _, err := s4.RestoreLoose(bytes.NewReader(snap.Bytes())); err == nil {
+		t.Fatal("RestoreLoose accepted a shape difference")
+	}
+}

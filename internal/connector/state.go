@@ -1,0 +1,18 @@
+package connector
+
+// State is the connector's serializable dynamic state. A connector buffers
+// nothing itself — in-flight values already occupy receiver queue slots —
+// so only the traffic counters need saving; wiring is structural and is
+// re-created by the workload builder before restore.
+type State struct {
+	Stats Stats
+}
+
+// SaveState captures the connector's counters.
+func (c *Connector) SaveState() State { return State{Stats: c.Stats} }
+
+// RestoreState overwrites the connector's counters.
+func (c *Connector) RestoreState(st State) { c.Stats = st.Stats }
+
+// ResetStats zeroes the traffic counters (fork-after-warmup ROI boundary).
+func (c *Connector) ResetStats() { c.Stats = Stats{} }

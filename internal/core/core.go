@@ -383,6 +383,7 @@ func (c *Core) Load(tid int, p *isa.Program) {
 	t := c.threads[tid]
 	t.prog = p
 	t.active = true
+	t.halted, t.done = false, false
 	t.pc = 0
 	for r, v := range p.InitRegs {
 		t.regs[r] = v
@@ -519,26 +520,5 @@ func (c *Core) String() string {
 }
 
 // DebugState renders per-thread and per-queue state for deadlock reports.
-func (c *Core) DebugState() string {
-	s := fmt.Sprintf("core %d @%d:\n", c.id, c.now)
-	for _, t := range c.threads {
-		if !t.active {
-			continue
-		}
-		name := ""
-		if t.prog != nil {
-			name = t.prog.Name
-		}
-		s += fmt.Sprintf("  t%d %-20s pc=%-4d stall=%v halted=%v done=%v inflight=%d rob=%d\n",
-			t.id, name, t.pc, t.stall, t.halted, t.done, t.inflight, t.robUsed)
-	}
-	for _, q := range c.qrm.Queues {
-		if q.Occupancy() == 0 && !q.SkipPending {
-			continue
-		}
-		s += fmt.Sprintf("  q%d cap=%d occ=%d pendDeq=%d skipPending=%v\n",
-			q.ID, q.Cap, q.Occupancy(), q.PendingDeq(), q.SkipPending)
-	}
-	s += fmt.Sprintf("  freelist=%d iq=%d\n", len(c.freelist), len(c.iq))
-	return s
-}
+// See DebugSnapshot for the structured form.
+func (c *Core) DebugState() string { return c.DebugSnapshot().String() }

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ThreadDebug is one hardware thread's state in a debug dump.
+type ThreadDebug struct {
+	ID       int    `json:"id"`
+	Program  string `json:"program"`
+	PC       int    `json:"pc"`
+	Stall    string `json:"stall"`
+	Halted   bool   `json:"halted"`
+	Done     bool   `json:"done"`
+	Inflight int    `json:"inflight"`
+	ROBUsed  int    `json:"rob_used"`
+}
+
+// QueueDebug is one Pipette queue's state in a debug dump.
+type QueueDebug struct {
+	ID          int    `json:"id"`
+	Cap         int    `json:"cap"`
+	Occupancy   int    `json:"occupancy"`
+	PendingDeq  int    `json:"pending_deq"`
+	SkipPending bool   `json:"skip_pending"`
+	SpecHead    uint64 `json:"spec_head"`
+	SpecTail    uint64 `json:"spec_tail"`
+	CommHead    uint64 `json:"comm_head"`
+}
+
+// CoreDebug is one core's state in a debug dump: active threads, non-empty
+// queues, and backend occupancy. Produced by DebugSnapshot; rendered by
+// String for deadlock reports and diffed field-by-field by pipette-diverge.
+type CoreDebug struct {
+	ID        int           `json:"id"`
+	Cycle     uint64        `json:"cycle"`
+	Committed uint64        `json:"committed"`
+	Threads   []ThreadDebug `json:"threads"`
+	Queues    []QueueDebug  `json:"queues"`
+	Freelist  int           `json:"freelist"`
+	IQLen     int           `json:"iq_len"`
+}
+
+// DebugSnapshot captures per-thread and per-queue state for deadlock
+// reports and divergence dumps. Inactive threads and empty queues are
+// omitted, matching what the rendered report shows.
+func (c *Core) DebugSnapshot() CoreDebug {
+	d := CoreDebug{
+		ID:        c.id,
+		Cycle:     c.now,
+		Committed: c.stats.Committed,
+		Freelist:  len(c.freelist),
+		IQLen:     len(c.iq),
+	}
+	for _, t := range c.threads {
+		if !t.active {
+			continue
+		}
+		name := ""
+		if t.prog != nil {
+			name = t.prog.Name
+		}
+		d.Threads = append(d.Threads, ThreadDebug{
+			ID: t.id, Program: name, PC: t.pc, Stall: t.stall.String(),
+			Halted: t.halted, Done: t.done, Inflight: t.inflight, ROBUsed: t.robUsed,
+		})
+	}
+	for _, q := range c.qrm.Queues {
+		if q.Occupancy() == 0 && !q.SkipPending {
+			continue
+		}
+		d.Queues = append(d.Queues, QueueDebug{
+			ID: q.ID, Cap: q.Cap, Occupancy: q.Occupancy(), PendingDeq: q.PendingDeq(),
+			SkipPending: q.SkipPending, SpecHead: q.SpecHead, SpecTail: q.SpecTail, CommHead: q.CommHead,
+		})
+	}
+	return d
+}
+
+// String renders the dump in the traditional deadlock-report layout.
+func (d CoreDebug) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core %d @%d:\n", d.ID, d.Cycle)
+	for _, t := range d.Threads {
+		fmt.Fprintf(&b, "  t%d %-20s pc=%-4d stall=%v halted=%v done=%v inflight=%d rob=%d\n",
+			t.ID, t.Program, t.PC, t.Stall, t.Halted, t.Done, t.Inflight, t.ROBUsed)
+	}
+	for _, q := range d.Queues {
+		fmt.Fprintf(&b, "  q%d cap=%d occ=%d pendDeq=%d skipPending=%v\n",
+			q.ID, q.Cap, q.Occupancy, q.PendingDeq, q.SkipPending)
+	}
+	fmt.Fprintf(&b, "  freelist=%d iq=%d\n", d.Freelist, d.IQLen)
+	return b.String()
+}

@@ -1,0 +1,342 @@
+// Checkpoint support: the core's dynamic state as plain serializable data.
+//
+// The snapshot contract (docs/CHECKPOINT.md) is that *structural* state —
+// loaded programs, queue capacities, attached units, bindings — is
+// reconstructed by re-running the same workload builder on an identically
+// configured system before RestoreState is called. The snapshot itself holds
+// only *dynamic* state. Pointer-linked structures are encoded as indices:
+// in-flight µops name their instruction by (thread, pc), queue entries by
+// (queue id, sequence number), and other µops by global age (seqNo).
+package core
+
+import (
+	"fmt"
+
+	"pipette/internal/isa"
+	"pipette/internal/queue"
+)
+
+// CheckpointableUnit is a Unit whose dynamic state can be captured. Units
+// are serialized opaquely, in AddUnit order; the restore contract requires
+// the builder to attach the same units in the same order.
+type CheckpointableUnit interface {
+	Unit
+	SaveUnitState() ([]byte, error)
+	RestoreUnitState([]byte) error
+}
+
+// QRefState names one bound queue entry: queue id and entry sequence
+// number. Q is -1 for unused slots.
+type QRefState struct {
+	Q   int32
+	Seq uint64
+}
+
+// UopState is one in-flight µop with every pointer replaced by an index.
+type UopState struct {
+	Thread  int
+	Op      isa.Op
+	PC      int
+	HasInst bool // false for synthetic (trap-injected) µops
+	SeqNo   uint64
+	Src     [3]int32
+	NSrc    int
+	QSrc    [2]QRefState
+	NQSrc   int
+	Dst     int32
+	OldDst  int32
+	EnqQ    int32 // queue id, -1 none
+	EnqSeq  uint64
+	DeqQ    int32 // queue id, -1 none
+	DeqN    int
+	IsLoad  bool
+	IsStore bool
+	IsAtom  bool
+	Addr    uint64
+	Mispred bool
+	Synth   bool
+	IsHalt  bool
+	State   uint8
+	DoneAt  uint64
+}
+
+// ThreadState is one hardware thread's dynamic state. The program itself is
+// structural (reloaded by the builder); Active records whether one was
+// loaded so restore can cross-check.
+type ThreadState struct {
+	Active       bool
+	PC           int
+	Regs         [isa.NumArchRegs]uint64
+	RMap         [isa.NumArchRegs]int32
+	Halted       bool
+	Done         bool
+	Inflight     int
+	ROBUsed      int
+	LQUsed       int
+	SQUsed       int
+	BlockedUntil uint64
+	BlockedOnSeq uint64 // seqNo of the unresolved branch; 0 = none (seqNos start at 1)
+	Stall        uint8
+	Hist         uint64
+}
+
+// State is the complete dynamic state of one core.
+type State struct {
+	ID       int
+	Now      uint64
+	SeqNo    uint64
+	Freelist []int32
+	RegReady []uint64
+	Threads  []ThreadState
+	ROB      [][]UopState // per thread, oldest first
+	IQ       []uint64     // seqNos of unissued µops, age order (subset of ROB)
+	Queues   []queue.State
+	Bpred    []uint8
+	Stats    Stats
+	Units    [][]byte // opaque per-unit state, AddUnit order
+}
+
+func qid(q *queue.Queue) int32 {
+	if q == nil {
+		return -1
+	}
+	return int32(q.ID)
+}
+
+func saveUop(u *uop) UopState {
+	us := UopState{
+		Thread: u.thread, Op: u.op, PC: u.pc, HasInst: u.inst != nil,
+		SeqNo: u.seqNo, Src: u.src, NSrc: u.nsrc, NQSrc: u.nqsrc,
+		Dst: u.dst, OldDst: u.oldDst,
+		EnqQ: qid(u.enqQ), EnqSeq: u.enqSeq, DeqQ: qid(u.deqQ), DeqN: u.deqN,
+		IsLoad: u.isLoad, IsStore: u.isStore, IsAtom: u.isAtom, Addr: u.addr,
+		Mispred: u.mispred, Synth: u.synth, IsHalt: u.isHalt,
+		State: uint8(u.state), DoneAt: u.doneAt,
+	}
+	for i := range us.QSrc {
+		us.QSrc[i].Q = -1
+	}
+	for i := 0; i < u.nqsrc; i++ {
+		us.QSrc[i] = QRefState{Q: int32(u.qsrc[i].q.ID), Seq: u.qsrc[i].e.Seq}
+	}
+	return us
+}
+
+// SaveState captures the core's dynamic state.
+func (c *Core) SaveState() (State, error) {
+	st := State{
+		ID:       c.id,
+		Now:      c.now,
+		SeqNo:    c.seqNo,
+		Freelist: append([]int32(nil), c.freelist...),
+		RegReady: append([]uint64(nil), c.regReady...),
+		Bpred:    append([]uint8(nil), c.bpred.table...),
+		Stats:    c.stats,
+	}
+	st.Stats.PerThread = append([]uint64(nil), c.stats.PerThread...)
+	for _, t := range c.threads {
+		ts := ThreadState{
+			Active: t.active, PC: t.pc, Regs: t.regs, RMap: t.rmap,
+			Halted: t.halted, Done: t.done,
+			Inflight: t.inflight, ROBUsed: t.robUsed, LQUsed: t.lqUsed, SQUsed: t.sqUsed,
+			BlockedUntil: t.blockedUntil, Stall: uint8(t.stall), Hist: t.hist,
+		}
+		if t.blockedOn != nil {
+			ts.BlockedOnSeq = t.blockedOn.seqNo
+		}
+		st.Threads = append(st.Threads, ts)
+	}
+	st.ROB = make([][]UopState, len(c.rob))
+	for tid, rob := range c.rob {
+		for _, u := range rob {
+			st.ROB[tid] = append(st.ROB[tid], saveUop(u))
+		}
+	}
+	for _, u := range c.iq {
+		st.IQ = append(st.IQ, u.seqNo)
+	}
+	for _, q := range c.qrm.Queues {
+		st.Queues = append(st.Queues, q.SaveState())
+	}
+	for i, unit := range c.units {
+		cu, ok := unit.(CheckpointableUnit)
+		if !ok {
+			return State{}, fmt.Errorf("core %d: unit %d (%T) is not checkpointable", c.id, i, unit)
+		}
+		b, err := cu.SaveUnitState()
+		if err != nil {
+			return State{}, fmt.Errorf("core %d: unit %d: %w", c.id, i, err)
+		}
+		st.Units = append(st.Units, b)
+	}
+	return st, nil
+}
+
+// restoreUop rebuilds one in-flight µop. Queue state must already be
+// restored (EntryAt resolves bound entries) and the thread's program loaded.
+func (c *Core) restoreUop(us UopState) (*uop, error) {
+	if us.Thread < 0 || us.Thread >= len(c.threads) {
+		return nil, fmt.Errorf("µop %d: bad thread %d", us.SeqNo, us.Thread)
+	}
+	u := &uop{
+		thread: us.Thread, op: us.Op, pc: us.PC,
+		seqNo: us.SeqNo, src: us.Src, nsrc: us.NSrc, nqsrc: us.NQSrc,
+		dst: us.Dst, oldDst: us.OldDst,
+		enqSeq: us.EnqSeq, deqN: us.DeqN,
+		isLoad: us.IsLoad, isStore: us.IsStore, isAtom: us.IsAtom, addr: us.Addr,
+		mispred: us.Mispred, synth: us.Synth, isHalt: us.IsHalt,
+		state: uopState(us.State), doneAt: us.DoneAt,
+	}
+	if us.HasInst {
+		prog := c.threads[us.Thread].prog
+		if prog == nil || us.PC < 0 || us.PC >= len(prog.Code) {
+			return nil, fmt.Errorf("µop %d: pc %d not in thread %d's program", us.SeqNo, us.PC, us.Thread)
+		}
+		u.inst = &prog.Code[us.PC]
+	}
+	if us.EnqQ >= 0 {
+		u.enqQ = c.qrm.Q(uint8(us.EnqQ))
+	}
+	if us.DeqQ >= 0 {
+		u.deqQ = c.qrm.Q(uint8(us.DeqQ))
+	}
+	for i := 0; i < us.NQSrc; i++ {
+		qr := us.QSrc[i]
+		if qr.Q < 0 {
+			return nil, fmt.Errorf("µop %d: qsrc %d unset", us.SeqNo, i)
+		}
+		q := c.qrm.Q(uint8(qr.Q))
+		e, err := q.EntryAt(qr.Seq)
+		if err != nil {
+			return nil, fmt.Errorf("µop %d: %w", us.SeqNo, err)
+		}
+		u.qsrc[i] = qref{q, e}
+	}
+	return u, nil
+}
+
+// RestoreState overwrites the core's dynamic state from st. The core must
+// be identically configured with the same programs loaded (and the same
+// units attached) as when the state was saved.
+func (c *Core) RestoreState(st State) error {
+	if st.ID != c.id {
+		return fmt.Errorf("core %d: snapshot is for core %d", c.id, st.ID)
+	}
+	if len(st.Threads) != len(c.threads) || len(st.ROB) != len(c.threads) {
+		return fmt.Errorf("core %d: snapshot has %d threads, core has %d", c.id, len(st.Threads), len(c.threads))
+	}
+	if len(st.RegReady) != len(c.regReady) {
+		return fmt.Errorf("core %d: snapshot has %d phys regs, core has %d", c.id, len(st.RegReady), len(c.regReady))
+	}
+	if len(st.Queues) != len(c.qrm.Queues) {
+		return fmt.Errorf("core %d: snapshot has %d queues, core has %d", c.id, len(st.Queues), len(c.qrm.Queues))
+	}
+	if len(st.Bpred) != len(c.bpred.table) {
+		return fmt.Errorf("core %d: snapshot bpred table size %d, core has %d", c.id, len(st.Bpred), len(c.bpred.table))
+	}
+	if len(st.Units) != len(c.units) {
+		return fmt.Errorf("core %d: snapshot has %d units, core has %d", c.id, len(st.Units), len(c.units))
+	}
+	if len(st.Stats.PerThread) != len(c.threads) {
+		return fmt.Errorf("core %d: snapshot per-thread stats for %d threads, core has %d", c.id, len(st.Stats.PerThread), len(c.threads))
+	}
+	for i, q := range c.qrm.Queues {
+		if err := q.RestoreState(st.Queues[i]); err != nil {
+			return fmt.Errorf("core %d: %w", c.id, err)
+		}
+	}
+	c.now = st.Now
+	c.seqNo = st.SeqNo
+	c.freelist = append(c.freelist[:0], st.Freelist...)
+	copy(c.regReady, st.RegReady)
+	copy(c.bpred.table, st.Bpred)
+	c.stats = st.Stats
+	c.stats.PerThread = append([]uint64(nil), st.Stats.PerThread...)
+
+	bySeq := map[uint64]*uop{}
+	for tid := range c.rob {
+		c.rob[tid] = c.rob[tid][:0]
+		for _, us := range st.ROB[tid] {
+			if us.Thread != tid {
+				return fmt.Errorf("core %d: µop %d in thread %d's ROB claims thread %d", c.id, us.SeqNo, tid, us.Thread)
+			}
+			u, err := c.restoreUop(us)
+			if err != nil {
+				return fmt.Errorf("core %d: %w", c.id, err)
+			}
+			c.rob[tid] = append(c.rob[tid], u)
+			bySeq[u.seqNo] = u
+		}
+	}
+	c.iq = c.iq[:0]
+	for _, seq := range st.IQ {
+		u, ok := bySeq[seq]
+		if !ok {
+			return fmt.Errorf("core %d: IQ references µop %d not in any ROB", c.id, seq)
+		}
+		c.iq = append(c.iq, u)
+	}
+	for i, ts := range st.Threads {
+		t := c.threads[i]
+		if ts.Active && t.prog == nil {
+			return fmt.Errorf("core %d: snapshot thread %d is active but no program is loaded (builder must run before restore)", c.id, i)
+		}
+		t.active = ts.Active
+		t.pc = ts.PC
+		t.regs = ts.Regs
+		t.rmap = ts.RMap
+		t.halted, t.done = ts.Halted, ts.Done
+		t.inflight, t.robUsed, t.lqUsed, t.sqUsed = ts.Inflight, ts.ROBUsed, ts.LQUsed, ts.SQUsed
+		t.blockedUntil = ts.BlockedUntil
+		t.stall = StallReason(ts.Stall)
+		t.hist = ts.Hist
+		t.blockedOn = nil
+		if ts.BlockedOnSeq != 0 {
+			u, ok := bySeq[ts.BlockedOnSeq]
+			if !ok {
+				return fmt.Errorf("core %d: thread %d blocked on µop %d not in any ROB", c.id, i, ts.BlockedOnSeq)
+			}
+			t.blockedOn = u
+		}
+	}
+	for i, unit := range c.units {
+		cu, ok := unit.(CheckpointableUnit)
+		if !ok {
+			return fmt.Errorf("core %d: unit %d (%T) is not checkpointable", c.id, i, unit)
+		}
+		if err := cu.RestoreUnitState(st.Units[i]); err != nil {
+			return fmt.Errorf("core %d: unit %d: %w", c.id, i, err)
+		}
+	}
+	return nil
+}
+
+// ResetThreads returns the core to its post-New idle state while keeping
+// cycle count, branch predictor, caches (external) and queue-free physical
+// registers warm. Registers still mapped by thread rename maps go back to
+// the freelist; queue-held registers stay where they are. Fork-after-warmup
+// calls this on a quiesced core before building a variant's workload on it.
+func (c *Core) ResetThreads() {
+	for _, t := range c.threads {
+		for _, p := range t.rmap {
+			if p >= 0 {
+				c.FreePhys(p)
+			}
+		}
+		*t = thread{id: t.id}
+		for r := range t.rmap {
+			t.rmap[r] = -1
+		}
+	}
+	for tid := range c.rob {
+		c.rob[tid] = c.rob[tid][:0]
+	}
+	c.iq = c.iq[:0]
+}
+
+// ResetStats zeroes the core's counters (the per-thread slice keeps its
+// length). Fork-after-warmup calls this at the ROI boundary.
+func (c *Core) ResetStats() {
+	n := len(c.stats.PerThread)
+	c.stats = Stats{PerThread: make([]uint64, n)}
+}

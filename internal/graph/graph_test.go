@@ -102,7 +102,7 @@ func TestPageRankDeltaConserves(t *testing.T) {
 }
 
 func TestGeneratorsShape(t *testing.T) {
-	for _, in := range Inputs(1) {
+	for _, in := range Inputs(1, 1) {
 		g := in.G
 		if g.N == 0 || g.M() == 0 {
 			t.Fatalf("%s: empty graph", in.Label)

@@ -12,7 +12,7 @@ import (
 
 // roadInput returns the road-network graph (the input Fig. 2 uses).
 func roadInput(cfg Config) *graph.Graph {
-	ins := graph.Inputs(cfg.GraphScale)
+	ins := graph.Inputs(cfg.GraphScale, cfg.Seed)
 	return ins[len(ins)-1].G // "Rd"
 }
 
@@ -361,7 +361,7 @@ func Fig17(w io.Writer, cfg Config) error {
 		Header: []string{"graph", "dp 4c/16t", "streaming 4c", "pipette-mc 4c/12t"},
 	}
 	var dps, strs, mcs []float64
-	for _, in := range graph.Inputs(cfg.GraphScale) {
+	for _, in := range graph.Inputs(cfg.GraphScale, cfg.Seed) {
 		g := in.G
 		serial, err := run(1, 0, 0, bench.BFSSerial(g, 0))
 		if err != nil {

@@ -27,6 +27,7 @@ type Config struct {
 	PRDIters    int
 	SiloKeys    int
 	SiloQueries int
+	Seed        int64 // base RNG seed for all synthetic inputs (default 1)
 	Watchdog    uint64
 	AppFilter   string // comma-separated app subset ("" = all six)
 }
@@ -40,6 +41,7 @@ func Default() Config {
 		PRDIters:    4,
 		SiloKeys:    20000,
 		SiloQueries: 600,
+		Seed:        1,
 		Watchdog:    5_000_000,
 	}
 }
@@ -152,7 +154,7 @@ func (cfg Config) runOne(b bench.Builder, cores int) (Cell, error) {
 // graphApps builds the per-app run lists for the four graph kernels.
 func (cfg Config) graphApps() map[string][]appRun {
 	apps := map[string][]appRun{}
-	for _, in := range graph.Inputs(cfg.GraphScale) {
+	for _, in := range graph.Inputs(cfg.GraphScale, cfg.Seed) {
 		g := in.G
 		label := in.Label
 		apps["bfs"] = append(apps["bfs"], appRun{label, func(v string) (bench.Builder, int) {
@@ -218,7 +220,7 @@ func (cfg Config) graphApps() map[string][]appRun {
 
 func (cfg Config) spmmApp() []appRun {
 	var runs []appRun
-	for _, in := range sparse.Inputs(cfg.MatrixScale) {
+	for _, in := range sparse.Inputs(cfg.MatrixScale, cfg.Seed) {
 		m := in.M
 		runs = append(runs, appRun{in.Label, func(v string) (bench.Builder, int) {
 			switch v {
@@ -239,19 +241,21 @@ func (cfg Config) spmmApp() []appRun {
 }
 
 func (cfg Config) siloApp() []appRun {
-	k, q := cfg.SiloKeys, cfg.SiloQueries
+	// The YCSB generator seed derives from the base seed so that the default
+	// Seed of 1 reproduces the historical generator seed of 99 exactly.
+	k, q, ys := cfg.SiloKeys, cfg.SiloQueries, cfg.Seed+98
 	return []appRun{{"ycsbc", func(v string) (bench.Builder, int) {
 		switch v {
 		case bench.VSerial:
-			return bench.SiloSerial(k, q), 1
+			return bench.SiloSerial(k, q, ys), 1
 		case bench.VDataParallel:
-			return bench.SiloDataParallel(k, q, 4), 1
+			return bench.SiloDataParallel(k, q, 4, ys), 1
 		case bench.VPipette:
-			return bench.SiloPipette(k, q, true), 1
+			return bench.SiloPipette(k, q, true, ys), 1
 		case bench.VPipetteNoRA:
-			return bench.SiloPipette(k, q, false), 1
+			return bench.SiloPipette(k, q, false, ys), 1
 		default:
-			return bench.SiloStreaming(k, q), 4
+			return bench.SiloStreaming(k, q, ys), 4
 		}
 	}}}
 }

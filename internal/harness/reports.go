@@ -20,6 +20,7 @@ func (e *Eval) Reports() []telemetry.Report {
 				}
 				rep := cell.R.Report()
 				rep.App, rep.Variant, rep.Input = app, v, in
+				rep.Seed = e.Cfg.Seed
 				rep.Energy = cell.Energy.Report()
 				rep.WallSeconds = cell.WallSeconds
 				rep.FromCache = cell.FromCache

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestSweepCrashResumeStdout simulates a sweep process dying mid-run (one
+// cell fails after its neighbours already persisted to the shared disk
+// cache) and a restart against the same cache dir. The resumed run must
+// recompute only the lost cell, and the figure stdout it produces must be
+// byte-identical to an uninterrupted run's.
+func TestSweepCrashResumeStdout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := tinySilo()
+	cfg.SiloQueries += 5 // a matrix no other test memoizes
+
+	render := func() (string, error) {
+		var sb strings.Builder
+		for _, fig := range []func(io.Writer, Config) error{Fig9, Fig10} {
+			if err := fig(&sb, cfg); err != nil {
+				return "", err
+			}
+		}
+		return sb.String(), nil
+	}
+	// A restarted process has an empty Evaluate memo; drop this config's
+	// entry to model that.
+	forget := func() {
+		memoMu.Lock()
+		delete(memo, cfg)
+		memoMu.Unlock()
+	}
+
+	// "Process 1": one cell dies mid-sweep. The other cells land in the
+	// shared disk cache before the figure pipeline aborts.
+	dir := t.TempDir()
+	SetSweepOptions(SweepOptions{Jobs: 2, CacheDir: dir})
+	defer SetSweepOptions(SweepOptions{})
+	bad := Key{App: "silo", Variant: "pipette", Input: "ycsbc"}
+	sweepTestHook = func(k Key) error {
+		if k == bad {
+			return errors.New("injected crash")
+		}
+		return nil
+	}
+	if _, err := render(); err == nil {
+		sweepTestHook = nil
+		t.Fatal("crashed sweep still rendered figures")
+	}
+	sweepTestHook = nil
+
+	// "Process 2": restart against the same cache dir. Only the lost cell
+	// recomputes; everything else replays from disk.
+	forget()
+	resumed, err := Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Sweep.CacheHits != len(resumed.Cells)-1 || resumed.Sweep.CacheMisses != 1 {
+		t.Fatalf("resume stats: %+v, want %d hits + 1 miss",
+			resumed.Sweep, len(resumed.Cells)-1)
+	}
+	gotResumed, err := render()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninterrupted reference: fresh memo, fresh cache, different worker
+	// count — stdout must still match byte for byte.
+	forget()
+	SetSweepOptions(SweepOptions{Jobs: 1, CacheDir: t.TempDir()})
+	gotClean, err := render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotResumed != gotClean {
+		t.Errorf("resumed figure stdout differs from uninterrupted run\nresumed:\n%s\nclean:\n%s",
+			gotResumed, gotClean)
+	}
+}

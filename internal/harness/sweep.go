@@ -30,6 +30,7 @@ type SweepOptions struct {
 	Shard    int       // this shard's index in [0, Shards)
 	Shards   int       // total shards; <= 1 runs the whole matrix
 	CacheDir string    // on-disk result cache directory; "" disables
+	Warmup   bool      // fork each cell from a shared warm-cache snapshot
 	Progress io.Writer // live per-cell completion lines; nil disables
 }
 
@@ -50,6 +51,8 @@ type SweepStats struct {
 	Jobs, Shard, Shards    int
 	Cells                  int // cells assigned to this shard
 	CacheHits, CacheMisses int
+	SimCycles              uint64 // cycles simulated for computed cells (ROI only)
+	Warmup                 WarmupStats
 	Failures               []CellFailure
 	Wall                   time.Duration
 }
@@ -62,8 +65,10 @@ func (st *SweepStats) Report() *telemetry.SweepReport {
 	r := &telemetry.SweepReport{
 		Jobs: st.Jobs, Shard: st.Shard, Shards: st.Shards, Cells: st.Cells,
 		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses,
+		SimCycles:   st.SimCycles,
 		WallSeconds: st.Wall.Seconds(),
 	}
+	st.Warmup.report(r)
 	for _, f := range st.Failures {
 		r.Failures = append(r.Failures, telemetry.SweepFailure{
 			App: f.Key.App, Variant: f.Key.Variant, Input: f.Key.Input, Error: f.Err.Error(),
@@ -138,6 +143,10 @@ func Sweep(cfg Config, opts SweepOptions) (*Eval, error) {
 	st := &SweepStats{Jobs: jobs, Shard: opts.Shard, Shards: shards, Cells: len(mine)}
 	e.Sweep = st
 	dc := newDiskCache(opts.CacheDir)
+	var ws *warmupSet
+	if opts.Warmup {
+		ws = newWarmupSet(cfg, opts.CacheDir)
+	}
 	failIdx := map[Key]int{}
 
 	var (
@@ -155,7 +164,7 @@ func Sweep(cfg Config, opts SweepOptions) (*Eval, error) {
 				if stop.Load() {
 					continue
 				}
-				cell, hit, err := cfg.runCell(sp, dc)
+				cell, hit, err := cfg.runCell(sp, dc, ws)
 				n := done.Add(1)
 				mu.Lock()
 				if err != nil {
@@ -170,6 +179,7 @@ func Sweep(cfg Config, opts SweepOptions) (*Eval, error) {
 						st.CacheHits++
 					} else {
 						st.CacheMisses++
+						st.SimCycles += cell.R.Cycles
 					}
 				}
 				if opts.Progress != nil {
@@ -199,25 +209,35 @@ func Sweep(cfg Config, opts SweepOptions) (*Eval, error) {
 	sort.Slice(st.Failures, func(i, j int) bool {
 		return failIdx[st.Failures[i].Key] < failIdx[st.Failures[j].Key]
 	})
+	st.Warmup = ws.Stats()
 	st.Wall = time.Since(start)
 	return e, nil
 }
 
-// runCell executes one cell: disk-cache probe, simulate on miss, store.
-func (cfg Config) runCell(sp cellSpec, dc *diskCache) (Cell, bool, error) {
+// runCell executes one cell: disk-cache probe, simulate on miss (cold, or
+// forked from the group's warmup snapshot when ws is non-nil), store.
+func (cfg Config) runCell(sp cellSpec, dc *diskCache, ws *warmupSet) (Cell, bool, error) {
 	if sweepTestHook != nil {
 		if err := sweepTestHook(sp.key); err != nil {
 			return Cell{}, false, err
 		}
 	}
 	b, cores := sp.build(sp.key.Variant)
-	hash := cfg.cellHash(sp.key, cores)
+	hash := cfg.cellHash(sp.key, cores, ws != nil)
 	if cell, ok := dc.load(hash); ok {
 		cell.FromCache = true
 		return cell, true, nil
 	}
 	start := time.Now()
-	cell, err := cfg.runOne(b, cores)
+	var (
+		cell Cell
+		err  error
+	)
+	if ws != nil {
+		cell, err = cfg.runWarm(sp, ws)
+	} else {
+		cell, err = cfg.runOne(b, cores)
+	}
 	if err != nil {
 		return Cell{}, false, err
 	}

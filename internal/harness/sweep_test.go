@@ -251,7 +251,7 @@ func TestSweepCacheCorruptEntry(t *testing.T) {
 func TestCellHashSensitivity(t *testing.T) {
 	k := Key{App: "silo", Variant: "pipette", Input: "ycsbc"}
 	base := Tiny()
-	h := base.cellHash(k, 1)
+	h := base.cellHash(k, 1, false)
 	mutations := map[string]Config{}
 	for name, mut := range map[string]func(*Config){
 		"CacheScale":  func(c *Config) { c.CacheScale++ },
@@ -261,26 +261,30 @@ func TestCellHashSensitivity(t *testing.T) {
 		"PRDIters":    func(c *Config) { c.PRDIters++ },
 		"SiloKeys":    func(c *Config) { c.SiloKeys++ },
 		"SiloQueries": func(c *Config) { c.SiloQueries++ },
+		"Seed":        func(c *Config) { c.Seed++ },
 	} {
 		c := base
 		mut(&c)
 		mutations[name] = c
 	}
 	for name, c := range mutations {
-		if c.cellHash(k, 1) == h {
+		if c.cellHash(k, 1, false) == h {
 			t.Errorf("%s change did not change the cell hash", name)
 		}
 	}
-	if base.cellHash(k, 4) == h {
+	if base.cellHash(k, 4, false) == h {
 		t.Error("core-count change did not change the cell hash")
 	}
-	if base.cellHash(Key{App: "silo", Variant: "serial", Input: "ycsbc"}, 1) == h {
+	if base.cellHash(Key{App: "silo", Variant: "serial", Input: "ycsbc"}, 1, false) == h {
 		t.Error("variant change did not change the cell hash")
 	}
 	filtered := base
 	filtered.AppFilter = "silo"
-	if filtered.cellHash(k, 1) != h {
+	if filtered.cellHash(k, 1, false) != h {
 		t.Error("AppFilter changed the cell hash (it only selects cells)")
+	}
+	if base.cellHash(k, 1, true) == h {
+		t.Error("warmup mode did not change the cell hash")
 	}
 }
 

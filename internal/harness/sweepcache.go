@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"pipette/internal/checkpoint"
 	"pipette/internal/sim"
 )
 
@@ -27,32 +28,44 @@ const sweepCacheVersion = "pipette.sweepcell/v1"
 // deliberately absent.
 type cellIdentity struct {
 	Version string
-	Key     Key
-	Cores   int
-	Sim     sim.Config
+	// SnapshotSchema ties cached cells to the checkpoint serialization
+	// format: warmup-forked cells replay machine state through a snapshot,
+	// so a schema bump must invalidate them (and plain cells alongside —
+	// the two must stay comparable).
+	SnapshotSchema string
+	Key            Key
+	Cores          int
+	Sim            sim.Config
 	// Builder-parameter knobs from Config (input generators are seeded
 	// deterministically from these).
 	GraphScale, MatrixScale int
 	PRDIters                int
 	SiloKeys, SiloQueries   int
+	Seed                    int64
+	// Warmup-forked cells start from warm caches, so their results differ
+	// from cold runs and must never be served for them (or vice versa).
+	Warmup bool
 }
 
 // cellHash returns the hex SHA-256 of the cell's identity. JSON encoding
 // of a fixed struct (no maps) is deterministic.
-func (cfg Config) cellHash(k Key, cores int) string {
+func (cfg Config) cellHash(k Key, cores int, warmup bool) string {
 	h := sha256.New()
 	enc := json.NewEncoder(h)
 	// Encoding a struct of value fields to a hash never fails.
 	_ = enc.Encode(cellIdentity{
-		Version:     sweepCacheVersion,
-		Key:         k,
-		Cores:       cores,
-		Sim:         cfg.simConfig(cores),
-		GraphScale:  cfg.GraphScale,
-		MatrixScale: cfg.MatrixScale,
-		PRDIters:    cfg.PRDIters,
-		SiloKeys:    cfg.SiloKeys,
-		SiloQueries: cfg.SiloQueries,
+		Version:        sweepCacheVersion,
+		SnapshotSchema: checkpoint.Schema,
+		Key:            k,
+		Cores:          cores,
+		Sim:            cfg.simConfig(cores),
+		GraphScale:     cfg.GraphScale,
+		MatrixScale:    cfg.MatrixScale,
+		PRDIters:       cfg.PRDIters,
+		SiloKeys:       cfg.SiloKeys,
+		SiloQueries:    cfg.SiloQueries,
+		Seed:           cfg.Seed,
+		Warmup:         warmup,
 	})
 	return hex.EncodeToString(h.Sum(nil))
 }

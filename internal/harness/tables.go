@@ -82,7 +82,7 @@ func Table5(w io.Writer, cfg Config) error {
 		Title:  "Table V — input graphs (synthetic, Table V-shaped)",
 		Header: []string{"label", "class", "vertices", "edges", "avg degree"},
 	}
-	for _, in := range graph.Inputs(cfg.GraphScale) {
+	for _, in := range graph.Inputs(cfg.GraphScale, cfg.Seed) {
 		t.AddRow(in.Label, in.Full, in.G.N, in.G.M(), float64(in.G.M())/float64(in.G.N))
 	}
 	_, err := io.WriteString(w, t.String())
@@ -95,7 +95,7 @@ func Table6(w io.Writer, cfg Config) error {
 		Title:  "Table VI — input matrices (synthetic, Table VI-shaped)",
 		Header: []string{"label", "class", "n", "nnz", "avg nnz/row"},
 	}
-	for _, in := range sparse.Inputs(cfg.MatrixScale) {
+	for _, in := range sparse.Inputs(cfg.MatrixScale, cfg.Seed) {
 		t.AddRow(in.Label, in.M.Name, in.M.N, in.M.NNZ(), in.M.AvgNNZPerRow())
 	}
 	_, err := io.WriteString(w, t.String())

@@ -1,0 +1,232 @@
+// Fork-after-warmup support for the sweep engine. With
+// SweepOptions.Warmup, each cell group sharing an (app, input, cores,
+// footprint) identity simulates one cache-warmup prefix (bench.CacheWarmup
+// over the cell's memory footprint), quiesces it with System.PrepareFork,
+// and snapshots the warm machine. Every variant in the group then restores
+// that snapshot into a fresh system and runs its own builder on top, so the
+// warm-cache prefix is simulated once instead of once per variant — and the
+// region-of-interest Result starts from identical warm state for all of
+// them. Snapshots are memoized per sweep and cached on disk beside the
+// result cache; both layers key on the checkpoint schema version.
+package harness
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"pipette/internal/bench"
+	"pipette/internal/checkpoint"
+	"pipette/internal/energy"
+	"pipette/internal/sim"
+	"pipette/internal/telemetry"
+)
+
+// warmupIdentity is the canonical hash input for one warmup snapshot. The
+// footprint is derived deterministically from the cell's builder, so
+// variants that lay out identical data share one snapshot.
+type warmupIdentity struct {
+	Version        string
+	SnapshotSchema string
+	App, Input     string
+	Cores          int
+	Footprint      uint64
+	Sim            sim.Config
+	Seed           int64
+}
+
+func (cfg Config) warmupHash(k Key, cores int, footprint uint64) string {
+	h := sha256.New()
+	_ = json.NewEncoder(h).Encode(warmupIdentity{
+		Version:        sweepCacheVersion,
+		SnapshotSchema: checkpoint.Schema,
+		App:            k.App,
+		Input:          k.Input,
+		Cores:          cores,
+		Footprint:      footprint,
+		Sim:            cfg.simConfig(cores),
+		Seed:           cfg.Seed,
+	})
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// WarmupStats counts what the warmup layer did during one sweep.
+type WarmupStats struct {
+	Built  int64  // snapshots simulated this sweep
+	Reused int64  // get() calls satisfied by the memo or disk cache
+	Cycles uint64 // simulated warmup-prefix cycles (built snapshots only)
+}
+
+// warmupSet builds warmup snapshots at most once per identity within a
+// sweep and persists them under dir ("" keeps them in memory only).
+type warmupSet struct {
+	cfg Config
+	dir string
+
+	mu sync.Mutex
+	m  map[string]*warmupEntry
+
+	built  atomic.Int64
+	reused atomic.Int64
+	cycles atomic.Uint64
+}
+
+type warmupEntry struct {
+	once sync.Once
+	snap []byte
+	err  error
+}
+
+func newWarmupSet(cfg Config, dir string) *warmupSet {
+	return &warmupSet{cfg: cfg, dir: dir, m: map[string]*warmupEntry{}}
+}
+
+// Stats returns the accumulated counters.
+func (ws *warmupSet) Stats() WarmupStats {
+	if ws == nil {
+		return WarmupStats{}
+	}
+	return WarmupStats{Built: ws.built.Load(), Reused: ws.reused.Load(), Cycles: ws.cycles.Load()}
+}
+
+func (ws *warmupSet) path(hash string) string {
+	return filepath.Join(ws.dir, "warm-"+hash+".snap")
+}
+
+// get returns the warmup snapshot for the identity, building it on first
+// use. Concurrent callers for the same identity block on one build.
+func (ws *warmupSet) get(k Key, cores int, footprint uint64) ([]byte, error) {
+	hash := ws.cfg.warmupHash(k, cores, footprint)
+	ws.mu.Lock()
+	ent, ok := ws.m[hash]
+	if !ok {
+		ent = &warmupEntry{}
+		ws.m[hash] = ent
+	}
+	ws.mu.Unlock()
+	first := false
+	ent.once.Do(func() {
+		first = true
+		ent.snap, ent.err = ws.load(hash)
+		if ent.err == nil && ent.snap != nil {
+			ws.reused.Add(1)
+			return
+		}
+		ent.snap, ent.err = ws.build(k, cores, footprint)
+		if ent.err == nil {
+			ws.store(hash, ent.snap)
+		}
+	})
+	if !first && ent.err == nil {
+		ws.reused.Add(1)
+	}
+	return ent.snap, ent.err
+}
+
+// build simulates the warmup prefix to completion, quiesces, snapshots.
+func (ws *warmupSet) build(k Key, cores int, footprint uint64) ([]byte, error) {
+	s := sim.New(ws.cfg.simConfig(cores))
+	r, err := bench.Run(s, bench.CacheWarmup(footprint))
+	if err != nil {
+		return nil, fmt.Errorf("warmup %s/%s: %w", k.App, k.Input, err)
+	}
+	if err := s.PrepareFork(); err != nil {
+		return nil, fmt.Errorf("warmup %s/%s: %w", k.App, k.Input, err)
+	}
+	var buf bytes.Buffer
+	err = s.Save(&buf, checkpoint.Workload{App: k.App, Input: k.Input, Seed: ws.cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("warmup %s/%s: %w", k.App, k.Input, err)
+	}
+	ws.built.Add(1)
+	ws.cycles.Add(r.Cycles)
+	return buf.Bytes(), nil
+}
+
+// load probes the disk cache; any malformed or schema-skewed file is a
+// miss (nil, nil), never an error — the snapshot is simply rebuilt.
+func (ws *warmupSet) load(hash string) ([]byte, error) {
+	if ws.dir == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(ws.path(hash))
+	if err != nil {
+		return nil, nil
+	}
+	if _, _, err := checkpoint.Read(bytes.NewReader(data)); err != nil {
+		return nil, nil
+	}
+	return data, nil
+}
+
+// store persists a snapshot best-effort (temp file + rename, like the
+// result cache, so concurrent shards never see torn files).
+func (ws *warmupSet) store(hash string, snap []byte) {
+	if ws.dir == "" {
+		return
+	}
+	if err := os.MkdirAll(ws.dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(ws.dir, "warm-"+hash+".tmp*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(snap); err == nil && tmp.Close() == nil {
+		if os.Rename(tmp.Name(), ws.path(hash)) == nil {
+			return
+		}
+	} else {
+		tmp.Close()
+	}
+	os.Remove(tmp.Name())
+}
+
+// runWarm executes one cell through the fork path: measure the cell's
+// memory footprint with a functional (unsimulated) scratch build, obtain
+// the group's warmup snapshot, restore it into a fresh system, then run
+// the variant's builder on the warm machine. Result.Cycles covers only the
+// post-fork region of interest.
+func (cfg Config) runWarm(sp cellSpec, ws *warmupSet) (Cell, error) {
+	b, cores := sp.build(sp.key.Variant)
+	scratch := sim.New(cfg.simConfig(cores))
+	sp.mustBuild(scratch)
+	footprint := scratch.Mem.Brk()
+
+	snap, err := ws.get(sp.key, cores, footprint)
+	if err != nil {
+		return Cell{}, err
+	}
+	s := sim.New(cfg.simConfig(cores))
+	if _, err := s.Restore(bytes.NewReader(snap)); err != nil {
+		return Cell{}, fmt.Errorf("warmup restore: %w", err)
+	}
+	r, err := bench.Run(s, b)
+	if err != nil {
+		return Cell{}, err
+	}
+	return Cell{
+		R:      r,
+		Energy: energy.Compute(energy.DefaultParams(), r.CoreStats, r.CacheStats, r.Cycles),
+		Cores:  cores,
+	}, nil
+}
+
+// mustBuild runs the cell's builder for layout only (footprint probing).
+func (sp cellSpec) mustBuild(s *sim.System) {
+	b, _ := sp.build(sp.key.Variant)
+	b(s)
+}
+
+// Report converts warmup stats into the run-set telemetry schema fields.
+func (w WarmupStats) report(r *telemetry.SweepReport) {
+	r.WarmupSnapshots = int(w.Built)
+	r.WarmupReuses = int(w.Reused)
+	r.WarmupCycles = w.Cycles
+}

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func warmupTestConfig() Config {
+	cfg := Tiny()
+	cfg.AppFilter = "silo"
+	return cfg
+}
+
+// TestWarmupSweepDeterministic: the fork-after-warmup path must keep the
+// sweep's determinism contract — identical results at any worker count and
+// across shard splits.
+func TestWarmupSweepDeterministic(t *testing.T) {
+	cfg := warmupTestConfig()
+	seq, err := Sweep(cfg, SweepOptions{Jobs: 1, Warmup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Sweep(cfg, SweepOptions{Jobs: 4, Warmup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.SameResults(par) {
+		t.Error("warmup sweep results differ between jobs=1 and jobs=4")
+	}
+	merged := &Eval{Cells: map[Key]Cell{}}
+	for shard := 0; shard < 2; shard++ {
+		e, err := Sweep(cfg, SweepOptions{Jobs: 2, Warmup: true, Shard: shard, Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, c := range e.Cells {
+			merged.Cells[k] = c
+		}
+	}
+	if !seq.SameResults(merged) {
+		t.Error("warmup sweep results differ between full and merged 2-shard runs")
+	}
+}
+
+// TestWarmupReducesTotalCycles: the point of forking from a warm snapshot —
+// total simulated cycles (shared warmup prefixes + per-cell ROI) must come
+// in under the cold sweep's total. The simulator is deterministic, so this
+// compares two exact numbers, not a noisy benchmark.
+func TestWarmupReducesTotalCycles(t *testing.T) {
+	cfg := warmupTestConfig()
+	cold, err := Sweep(cfg, SweepOptions{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Sweep(cfg, SweepOptions{Jobs: 2, Warmup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Sweep.Warmup.Built == 0 || warm.Sweep.Warmup.Reused == 0 {
+		t.Fatalf("warmup sweep built %d snapshots, reused %d — expected sharing across variants",
+			warm.Sweep.Warmup.Built, warm.Sweep.Warmup.Reused)
+	}
+	warmTotal := warm.Sweep.SimCycles + warm.Sweep.Warmup.Cycles
+	if warmTotal >= cold.Sweep.SimCycles {
+		t.Errorf("fork-after-warmup did not reduce total simulated cycles: warm %d (roi %d + warmup %d) >= cold %d",
+			warmTotal, warm.Sweep.SimCycles, warm.Sweep.Warmup.Cycles, cold.Sweep.SimCycles)
+	}
+	if cold.SameResults(warm) {
+		t.Error("warm and cold sweeps produced identical cells — warmup evidently had no effect")
+	}
+}
+
+// TestWarmupSnapshotDiskReuse: warm snapshots persist beside the result
+// cache; a later sweep that recomputes cells must reuse them from disk and
+// still produce identical results.
+func TestWarmupSnapshotDiskReuse(t *testing.T) {
+	cfg := warmupTestConfig()
+	dir := t.TempDir()
+	first, err := Sweep(cfg, SweepOptions{Jobs: 2, Warmup: true, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Sweep.Warmup.Built == 0 {
+		t.Fatal("first sweep built no warmup snapshots")
+	}
+	// Drop the cell results but keep the warm-*.snap files.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := 0
+	for _, ent := range ents {
+		if strings.HasPrefix(ent.Name(), "warm-") {
+			snaps++
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, ent.Name())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snaps == 0 {
+		t.Fatal("no warm-*.snap files were persisted")
+	}
+	second, err := Sweep(cfg, SweepOptions{Jobs: 2, Warmup: true, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Sweep.CacheHits != 0 {
+		t.Fatalf("expected all cells to recompute, got %d cache hits", second.Sweep.CacheHits)
+	}
+	if second.Sweep.Warmup.Built != 0 {
+		t.Errorf("second sweep rebuilt %d warmup snapshots despite the disk cache", second.Sweep.Warmup.Built)
+	}
+	if !first.SameResults(second) {
+		t.Error("results differ between freshly built and disk-restored warmup snapshots")
+	}
+}

@@ -22,7 +22,7 @@ type Memory struct {
 // New returns an empty memory whose allocator starts at a non-zero base so
 // that address 0 can serve as a null pointer.
 func New() *Memory {
-	return &Memory{chunks: map[uint64][]byte{}, brk: 0x10000}
+	return &Memory{chunks: map[uint64][]byte{}, brk: allocBase}
 }
 
 // Alloc reserves n bytes aligned to align (a power of two) and returns the

@@ -1,0 +1,69 @@
+package mem
+
+import "sort"
+
+// allocBase is the allocator start address (see New). AllocBase exports it
+// for workloads that sweep the allocatable range (bench.CacheWarmup).
+const (
+	allocBase        = 0x10000
+	AllocBase uint64 = allocBase
+)
+
+// Chunk is one populated 1 MiB region, keyed by addr>>chunkShift. Data is
+// trimmed of trailing zero bytes so the canonical form is independent of
+// which addresses have merely been *read* (reads allocate zero chunks).
+type Chunk struct {
+	Key  uint64
+	Data []byte
+}
+
+// State is the serializable contents of simulated DRAM. Chunks are sorted
+// by key and all-zero chunks are dropped, so two memories with identical
+// observable contents always produce identical State values regardless of
+// access history.
+type State struct {
+	Brk    uint64
+	Chunks []Chunk
+}
+
+// SaveState captures memory contents in canonical form.
+func (m *Memory) SaveState() State {
+	st := State{Brk: m.brk}
+	keys := make([]uint64, 0, len(m.chunks))
+	for k := range m.chunks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		c := m.chunks[k]
+		end := len(c)
+		for end > 0 && c[end-1] == 0 {
+			end--
+		}
+		if end == 0 {
+			continue // all-zero chunk: indistinguishable from unallocated
+		}
+		data := make([]byte, end)
+		copy(data, c[:end])
+		st.Chunks = append(st.Chunks, Chunk{Key: k, Data: data})
+	}
+	return st
+}
+
+// RestoreState replaces memory contents with st.
+func (m *Memory) RestoreState(st State) {
+	m.brk = st.Brk
+	m.chunks = make(map[uint64][]byte, len(st.Chunks))
+	for _, c := range st.Chunks {
+		buf := make([]byte, chunkSize)
+		copy(buf, c.Data)
+		m.chunks[c.Key] = buf
+	}
+}
+
+// ResetAllocator rewinds the bump allocator to its initial base without
+// touching contents. Fork-after-warmup uses this: the warmed snapshot's
+// data stays cached (timing state) while the variant's builder re-runs its
+// layout from the same base, writing the same addresses it would have on a
+// cold system.
+func (m *Memory) ResetAllocator() { m.brk = allocBase }

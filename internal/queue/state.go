@@ -1,0 +1,82 @@
+package queue
+
+import "fmt"
+
+// State is the serializable dynamic state of one queue: the monotonic
+// pointers plus every live ring slot. Live means [CommHead, SpecTail) — the
+// bound-but-uncommitted dequeues (whose Phys indices CommitDeq still needs)
+// followed by the entries a future dequeue can bind. Slots outside that
+// window are recycled garbage and are deliberately excluded so that two
+// semantically identical queues serialize to identical bytes no matter what
+// history produced them.
+type State struct {
+	ID  int
+	Cap int
+
+	SpecHead uint64
+	SpecTail uint64
+	CommHead uint64
+
+	SkipPending bool
+
+	Live []Entry // entries CommHead..SpecTail-1, in sequence order
+}
+
+// SaveState captures the queue's dynamic state.
+func (q *Queue) SaveState() State {
+	st := State{
+		ID: q.ID, Cap: q.Cap,
+		SpecHead: q.SpecHead, SpecTail: q.SpecTail, CommHead: q.CommHead,
+		SkipPending: q.SkipPending,
+	}
+	for s := q.CommHead; s < q.SpecTail; s++ {
+		st.Live = append(st.Live, *q.at(s))
+	}
+	return st
+}
+
+// RestoreState overwrites the queue's dynamic state from st. The queue must
+// have been built with the same id and capacity (the snapshot does not
+// resize hardware). Recycled slots are zeroed so restored state is
+// canonical.
+func (q *Queue) RestoreState(st State) error {
+	if st.ID != q.ID || st.Cap != q.Cap {
+		return fmt.Errorf("queue %d (cap %d): snapshot is for queue %d (cap %d)", q.ID, q.Cap, st.ID, st.Cap)
+	}
+	if n := st.SpecTail - st.CommHead; int(n) != len(st.Live) {
+		return fmt.Errorf("queue %d: snapshot has %d live entries for window %d", q.ID, len(st.Live), n)
+	}
+	if st.SpecTail-st.CommHead > uint64(q.Cap) {
+		return fmt.Errorf("queue %d: snapshot occupancy %d exceeds cap %d", q.ID, st.SpecTail-st.CommHead, q.Cap)
+	}
+	if st.CommHead > st.SpecHead || st.SpecHead > st.SpecTail {
+		return fmt.Errorf("queue %d: snapshot pointers violate CommHead<=SpecHead<=SpecTail", q.ID)
+	}
+	for i := range q.ring {
+		q.ring[i] = Entry{}
+	}
+	q.SpecHead, q.SpecTail, q.CommHead = st.SpecHead, st.SpecTail, st.CommHead
+	q.SkipPending = st.SkipPending
+	for i, e := range st.Live {
+		seq := st.CommHead + uint64(i)
+		if e.Seq != seq {
+			return fmt.Errorf("queue %d: live entry %d has seq %d, want %d", q.ID, i, e.Seq, seq)
+		}
+		*q.at(seq) = e
+	}
+	return nil
+}
+
+// EntryAt returns the ring entry holding sequence number seq, which must be
+// live (its slot not yet recycled). Restore paths use it to re-link in-flight
+// µops to the queue entries they bound.
+func (q *Queue) EntryAt(seq uint64) (*Entry, error) {
+	if seq < q.CommHead || seq >= q.SpecTail {
+		return nil, fmt.Errorf("queue %d: seq %d outside live window [%d,%d)", q.ID, seq, q.CommHead, q.SpecTail)
+	}
+	e := q.at(seq)
+	if e.Seq != seq {
+		return nil, fmt.Errorf("queue %d: slot for seq %d holds seq %d", q.ID, seq, e.Seq)
+	}
+	return e, nil
+}

@@ -1,0 +1,46 @@
+package ra
+
+import "encoding/json"
+
+// unitState is the RA's dynamic state, serialized opaquely through
+// core.CheckpointableUnit. Configuration (mode, queues, base address) is
+// structural: the workload builder re-attaches an identically configured RA
+// before restore.
+type unitState struct {
+	Outstanding []uint64
+	HavePending bool
+	PendingVal  uint64
+	ScanActive  bool
+	ScanCur     uint64
+	ScanEnd     uint64
+	Stats       Stats
+}
+
+// SaveUnitState implements core.CheckpointableUnit.
+func (r *RA) SaveUnitState() ([]byte, error) {
+	return json.Marshal(unitState{
+		Outstanding: r.outstanding,
+		HavePending: r.havePending,
+		PendingVal:  r.pendingVal,
+		ScanActive:  r.scanActive,
+		ScanCur:     r.scanCur,
+		ScanEnd:     r.scanEnd,
+		Stats:       r.Stats,
+	})
+}
+
+// RestoreUnitState implements core.CheckpointableUnit.
+func (r *RA) RestoreUnitState(b []byte) error {
+	var st unitState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return err
+	}
+	r.outstanding = append(r.outstanding[:0], st.Outstanding...)
+	r.havePending = st.HavePending
+	r.pendingVal = st.PendingVal
+	r.scanActive = st.ScanActive
+	r.scanCur = st.ScanCur
+	r.scanEnd = st.ScanEnd
+	r.Stats = st.Stats
+	return nil
+}

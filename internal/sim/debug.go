@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"strings"
+
+	"pipette/internal/core"
+	"pipette/internal/telemetry"
+)
+
+// DebugSnapshot is the structured whole-system debug dump: per-core,
+// per-thread and per-queue state plus the last telemetry sample when one
+// exists. The watchdog deadlock report renders it with String;
+// pipette-diverge serializes two of them and diffs field-by-field.
+type DebugSnapshot struct {
+	Cycle     uint64           `json:"cycle"`
+	Cores     []core.CoreDebug `json:"cores"`
+	Telemetry string           `json:"telemetry,omitempty"` // formatted last sample
+}
+
+// DebugSnapshot captures the current machine state for debugging. When
+// sampling is (or was, via a watchdog snapshot) enabled, the last telemetry
+// sample — queue occupancies and per-thread stall reasons — is included.
+func (s *System) DebugSnapshot() DebugSnapshot {
+	d := DebugSnapshot{Cycle: s.now}
+	for _, c := range s.Cores {
+		d.Cores = append(d.Cores, c.DebugSnapshot())
+	}
+	if s.sampler != nil {
+		if last, ok := s.sampler.Last(); ok {
+			d.Telemetry = telemetry.FormatSnapshot(last, core.StallNames())
+		}
+	}
+	return d
+}
+
+// String renders the dump in the traditional deadlock-report layout.
+func (d DebugSnapshot) String() string {
+	var b strings.Builder
+	for _, c := range d.Cores {
+		b.WriteString(c.String())
+	}
+	b.WriteString(d.Telemetry)
+	return b.String()
+}
+
+// DebugState returns the structured debug dump. It stays printable with %s
+// (deadlock reports embed it), while pipette-diverge walks the fields.
+func (s *System) DebugState() DebugSnapshot { return s.DebugSnapshot() }

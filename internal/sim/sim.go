@@ -44,6 +44,17 @@ type System struct {
 	Cores []*core.Core
 	conns []*connector.Connector
 
+	// now is the authoritative cycle counter; it persists across RunUntil
+	// segments and through checkpoint save/restore. roiBase is the cycle at
+	// the last stats reset: Result.Cycles covers [roiBase, now] so warmup
+	// prefixes don't pollute region-of-interest results.
+	now     uint64
+	roiBase uint64
+
+	// Watchdog scratch (not serialized; re-primed on restore/reset).
+	lastCommit   uint64
+	lastProgress uint64
+
 	tracer  *telemetry.Tracer
 	sampler *telemetry.Sampler
 }
@@ -206,12 +217,39 @@ func (s *System) done() bool {
 	return true
 }
 
+// Now returns the current cycle (absolute: it includes any restored or
+// warmup prefix, unlike Result.Cycles which covers the ROI only).
+func (s *System) Now() uint64 { return s.now }
+
+// Done reports whether all loaded threads have halted and all units and
+// connectors have drained.
+func (s *System) Done() bool { return s.done() }
+
 // Run simulates until all threads halt and all units drain. It returns an
 // error on deadlock (watchdog) or when MaxCycles is exceeded; the deadlock
 // error carries the full DebugState, including the last telemetry snapshot
 // (one is taken at the point of failure even when sampling is disabled).
-func (s *System) Run() (Result, error) {
-	var cycles, lastCommit, lastProgress uint64
+func (s *System) Run() (Result, error) { return s.RunUntil(0) }
+
+// step advances the machine one clock edge.
+func (s *System) step(sampleEvery uint64) {
+	s.now++
+	for _, c := range s.Cores {
+		c.Cycle()
+	}
+	for _, c := range s.conns {
+		c.Tick(s.now)
+	}
+	if sampleEvery != 0 && s.now%sampleEvery == 0 {
+		s.sample(s.now)
+	}
+}
+
+// RunUntil simulates until the workload completes or the absolute cycle
+// `until` is reached (0 = no bound), whichever comes first. Stopping at a
+// cycle bound is not an error — checkpoint-every loops and divergence
+// probes call it repeatedly; use Done to distinguish completion.
+func (s *System) RunUntil(until uint64) (Result, error) {
 	watchdog := s.cfg.WatchdogCycles
 	if watchdog == 0 {
 		watchdog = 2_000_000
@@ -220,37 +258,28 @@ func (s *System) Run() (Result, error) {
 	if s.sampler != nil {
 		sampleEvery = s.sampler.Interval
 	}
-	for !s.done() {
-		cycles++
-		for _, c := range s.Cores {
-			c.Cycle()
-		}
-		for _, c := range s.conns {
-			c.Tick(cycles)
-		}
-		if sampleEvery != 0 && cycles%sampleEvery == 0 {
-			s.sample(cycles)
-		}
+	for !s.done() && (until == 0 || s.now < until) {
+		s.step(sampleEvery)
 		total := uint64(0)
 		for _, c := range s.Cores {
 			total += c.Committed()
 		}
-		if total != lastCommit {
-			lastCommit, lastProgress = total, cycles
+		if total != s.lastCommit {
+			s.lastCommit, s.lastProgress = total, s.now
 		}
-		if cycles-lastProgress > watchdog {
-			s.snapshotNow(cycles)
-			return s.result(cycles), fmt.Errorf("sim: deadlock — no commit since cycle %d (%d committed)\n%s", lastProgress, lastCommit, s.DebugState())
+		if s.now-s.lastProgress > watchdog {
+			s.snapshotNow(s.now)
+			return s.result(), fmt.Errorf("sim: deadlock — no commit since cycle %d (%d committed)\n%s", s.lastProgress, s.lastCommit, s.DebugState())
 		}
-		if s.cfg.MaxCycles > 0 && cycles > s.cfg.MaxCycles {
-			s.snapshotNow(cycles)
-			return s.result(cycles), fmt.Errorf("sim: exceeded MaxCycles=%d", s.cfg.MaxCycles)
+		if s.cfg.MaxCycles > 0 && s.now-s.roiBase > s.cfg.MaxCycles {
+			s.snapshotNow(s.now)
+			return s.result(), fmt.Errorf("sim: exceeded MaxCycles=%d", s.cfg.MaxCycles)
 		}
 	}
-	if sampleEvery != 0 && cycles%sampleEvery != 0 {
-		s.sample(cycles) // final partial-interval sample so the series covers the whole run
+	if s.done() && sampleEvery != 0 && s.now%sampleEvery != 0 {
+		s.sample(s.now) // final partial-interval sample so the series covers the whole run
 	}
-	return s.result(cycles), nil
+	return s.result(), nil
 }
 
 // snapshotNow forces a telemetry sample at the point of failure so error
@@ -262,28 +291,12 @@ func (s *System) snapshotNow(cycles uint64) {
 	s.sample(cycles)
 }
 
-func (s *System) result(cycles uint64) Result {
-	r := Result{Cycles: cycles, CacheStats: s.Hier.Stats}
+func (s *System) result() Result {
+	r := Result{Cycles: s.now - s.roiBase, CacheStats: s.Hier.Stats}
 	for _, c := range s.Cores {
 		st := c.Stats()
 		r.CoreStats = append(r.CoreStats, st)
 		r.Committed += st.Committed
 	}
 	return r
-}
-
-// DebugState renders all cores' state plus, when sampling is (or was, via a
-// watchdog snapshot) enabled, the last telemetry sample — queue occupancies
-// and per-thread stall reasons. Used in deadlock reports.
-func (s *System) DebugState() string {
-	out := ""
-	for _, c := range s.Cores {
-		out += c.DebugState()
-	}
-	if s.sampler != nil {
-		if last, ok := s.sampler.Last(); ok {
-			out += telemetry.FormatSnapshot(last, core.StallNames())
-		}
-	}
-	return out
 }

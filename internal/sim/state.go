@@ -1,0 +1,246 @@
+// Checkpoint/restore for whole systems. The snapshot payload is a gob
+// encoding of sysState — plain exported structs, no maps — so identical
+// machine states always serialize to identical bytes and StateHash is a
+// meaningful equality check. The restore contract (docs/CHECKPOINT.md):
+// snapshots hold dynamic state only; the caller reconstructs structural
+// state (programs, queue capacities, RAs, connectors) by re-running the
+// same deterministic workload builder on an identically configured system,
+// either before Restore (resuming a mid-run snapshot) or after it (forking
+// a quiesced warmup snapshot).
+package sim
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pipette/internal/cache"
+	"pipette/internal/checkpoint"
+	"pipette/internal/connector"
+	"pipette/internal/core"
+	"pipette/internal/mem"
+)
+
+// sysState is the complete dynamic state of a System.
+type sysState struct {
+	Cycle   uint64
+	ROIBase uint64
+	Mem     mem.State
+	Cache   cache.State
+	Cores   []core.State
+	Conns   []connector.State
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// ConfigJSON returns the configuration as canonical JSON (the form stored
+// in snapshot metadata and compared on strict restore).
+func (s *System) ConfigJSON() ([]byte, error) { return json.Marshal(s.cfg) }
+
+// snapshotState gathers the complete dynamic state into the snapshot
+// struct without serializing it.
+func (s *System) snapshotState() (sysState, error) {
+	st := sysState{
+		Cycle:   s.now,
+		ROIBase: s.roiBase,
+		Mem:     s.Mem.SaveState(),
+		Cache:   s.Hier.SaveState(),
+	}
+	for _, c := range s.Cores {
+		cs, err := c.SaveState()
+		if err != nil {
+			return sysState{}, err
+		}
+		st.Cores = append(st.Cores, cs)
+	}
+	for _, c := range s.conns {
+		st.Conns = append(st.Conns, c.SaveState())
+	}
+	return st, nil
+}
+
+// EncodeState serializes the system's dynamic state into a snapshot
+// payload.
+func (s *System) EncodeState() ([]byte, error) {
+	st, err := s.snapshotState()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("sim: encoding state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DiffStates compares the complete dynamic state of two systems field by
+// field and returns sorted "path: a != b" lines. It sees everything
+// StateHash hashes — in-flight uop timestamps, cache arrays, memory
+// contents — so when two hashes disagree this pinpoints where, even for
+// divergences invisible in the coarser DebugState dump.
+func DiffStates(a, b *System) ([]string, error) {
+	sa, err := a.snapshotState()
+	if err != nil {
+		return nil, err
+	}
+	sb, err := b.snapshotState()
+	if err != nil {
+		return nil, err
+	}
+	return checkpoint.DiffJSON(sa, sb)
+}
+
+// DecodeState overwrites the system's dynamic state from a snapshot
+// payload. The system must be structurally identical to the one that was
+// saved (same core/queue/cache shape; same programs loaded and units
+// attached for any state that references them).
+func (s *System) DecodeState(payload []byte) error {
+	var st sysState
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st); err != nil {
+		return fmt.Errorf("sim: decoding state: %w", err)
+	}
+	if len(st.Cores) != len(s.Cores) {
+		return fmt.Errorf("sim: snapshot has %d cores, system has %d", len(st.Cores), len(s.Cores))
+	}
+	if len(st.Conns) != len(s.conns) {
+		return fmt.Errorf("sim: snapshot has %d connectors, system has %d", len(st.Conns), len(s.conns))
+	}
+	s.Mem.RestoreState(st.Mem)
+	if err := s.Hier.RestoreState(st.Cache); err != nil {
+		return err
+	}
+	for i, c := range s.Cores {
+		if err := c.RestoreState(st.Cores[i]); err != nil {
+			return err
+		}
+	}
+	for i, c := range s.conns {
+		c.RestoreState(st.Conns[i])
+	}
+	s.now = st.Cycle
+	s.roiBase = st.ROIBase
+	// Re-prime the watchdog: progress is measured from the restore point.
+	s.lastProgress = s.now
+	s.lastCommit = 0
+	for _, c := range s.Cores {
+		s.lastCommit += c.Committed()
+	}
+	return nil
+}
+
+// StateHash returns the hex SHA-256 of the canonical state encoding: two
+// systems are in identical dynamic states iff their hashes match.
+func (s *System) StateHash() (string, error) {
+	payload, err := s.EncodeState()
+	if err != nil {
+		return "", err
+	}
+	return checkpoint.HashPayload(payload), nil
+}
+
+// Save writes a pipette.snapshot/v1 checkpoint of the current state. wl
+// records workload provenance for tools that rebuild the builder side from
+// the snapshot alone (pipette-sim -resume); pass the zero value when the
+// restoring caller supplies its own builder.
+func (s *System) Save(w io.Writer, wl checkpoint.Workload) error {
+	payload, err := s.EncodeState()
+	if err != nil {
+		return err
+	}
+	cfgJSON, err := s.ConfigJSON()
+	if err != nil {
+		return err
+	}
+	return checkpoint.Write(w, checkpoint.Meta{
+		Cycle:    s.now,
+		Config:   cfgJSON,
+		Workload: wl,
+	}, payload)
+}
+
+// Restore reads a checkpoint and overwrites the system's state. It is
+// strict: the snapshot's recorded configuration must equal this system's
+// byte-for-byte, so a resumed run is cycle-identical to the uninterrupted
+// one by construction.
+func (s *System) Restore(r io.Reader) (checkpoint.Meta, error) {
+	meta, payload, err := checkpoint.Read(r)
+	if err != nil {
+		return checkpoint.Meta{}, err
+	}
+	cfgJSON, err := s.ConfigJSON()
+	if err != nil {
+		return checkpoint.Meta{}, err
+	}
+	if !bytes.Equal(cfgJSON, meta.Config) {
+		return checkpoint.Meta{}, fmt.Errorf("sim: snapshot config mismatch\n  snapshot: %s\n  system:   %s", meta.Config, cfgJSON)
+	}
+	return meta, s.DecodeState(payload)
+}
+
+// RestoreLoose reads a checkpoint into a system whose configuration may
+// differ in timing-only knobs (latencies, widths, ports, policies) — the
+// basis of pipette-diverge, which forks two differently configured systems
+// from one snapshot. Structural shape (core count, threads, physical
+// registers, queues, predictor and cache geometry) must still match; those
+// checks live in the component RestoreState methods plus the explicit
+// guards here. Overriding capacity limits below the snapshot's live
+// occupancy is not supported.
+func (s *System) RestoreLoose(r io.Reader) (checkpoint.Meta, error) {
+	meta, payload, err := checkpoint.Read(r)
+	if err != nil {
+		return checkpoint.Meta{}, err
+	}
+	var snapCfg Config
+	if len(meta.Config) > 0 {
+		if err := json.Unmarshal(meta.Config, &snapCfg); err != nil {
+			return checkpoint.Meta{}, fmt.Errorf("sim: decoding snapshot config: %w", err)
+		}
+		if snapCfg.Cores != s.cfg.Cores {
+			return checkpoint.Meta{}, fmt.Errorf("sim: snapshot has %d cores, system has %d", snapCfg.Cores, s.cfg.Cores)
+		}
+		if snapCfg.Core.Threads != s.cfg.Core.Threads ||
+			snapCfg.Core.PhysRegs != s.cfg.Core.PhysRegs ||
+			snapCfg.Core.NumQueues != s.cfg.Core.NumQueues ||
+			snapCfg.Core.BPredBits != s.cfg.Core.BPredBits {
+			return checkpoint.Meta{}, fmt.Errorf("sim: snapshot core shape (threads/physregs/queues/bpred) differs from system")
+		}
+	}
+	return meta, s.DecodeState(payload)
+}
+
+// ResetStats zeroes every statistics counter and moves the ROI base to the
+// current cycle, so the next Result covers only cycles simulated from here
+// on. Timing state (caches, predictor, cycle counter) is untouched.
+func (s *System) ResetStats() {
+	s.roiBase = s.now
+	for _, c := range s.Cores {
+		c.ResetStats()
+	}
+	s.Hier.ResetStats()
+	for _, c := range s.conns {
+		c.ResetStats()
+	}
+	s.lastProgress = s.now
+	s.lastCommit = 0
+}
+
+// PrepareFork returns a completed (quiesced) system to a pristine-but-warm
+// state: threads unloaded with their registers freed, the memory allocator
+// rewound to its base, and all stats zeroed — while caches, branch
+// predictor and the cycle counter stay warm. A snapshot saved after
+// PrepareFork can be restored into a fresh system *before* running any
+// workload builder; fork-after-warmup sweeps are built on this.
+func (s *System) PrepareFork() error {
+	if !s.done() {
+		return fmt.Errorf("sim: PrepareFork on a machine with in-flight work (cycle %d)", s.now)
+	}
+	for _, c := range s.Cores {
+		c.ResetThreads()
+	}
+	s.Mem.ResetAllocator()
+	s.ResetStats()
+	return nil
+}

@@ -95,7 +95,7 @@ func TestSpMMInnerVsDense(t *testing.T) {
 }
 
 func TestInputsShapes(t *testing.T) {
-	ins := Inputs(1)
+	ins := Inputs(1, 1)
 	if len(ins) != 6 {
 		t.Fatalf("want 6 inputs, got %d", len(ins))
 	}

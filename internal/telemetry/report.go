@@ -89,6 +89,7 @@ type Report struct {
 	App       string           `json:"app,omitempty"`
 	Variant   string           `json:"variant,omitempty"`
 	Input     string           `json:"input,omitempty"`
+	Seed      int64            `json:"seed,omitempty"` // base RNG seed the inputs were generated from
 	Cores     int              `json:"cores"`
 	Cycles    uint64           `json:"cycles"`
 	Committed uint64           `json:"committed"`
@@ -119,14 +120,24 @@ type SweepFailure struct {
 // engine: worker count, shard assignment, cache effectiveness, total wall
 // time, and any isolated per-cell failures.
 type SweepReport struct {
-	Jobs        int            `json:"jobs"`
-	Shard       int            `json:"shard"`
-	Shards      int            `json:"shards"`
-	Cells       int            `json:"cells"`
-	CacheHits   int            `json:"cache_hits"`
-	CacheMisses int            `json:"cache_misses"`
-	WallSeconds float64        `json:"wall_seconds"`
-	Failures    []SweepFailure `json:"failures,omitempty"`
+	Jobs        int     `json:"jobs"`
+	Shard       int     `json:"shard"`
+	Shards      int     `json:"shards"`
+	Cells       int     `json:"cells"`
+	CacheHits   int     `json:"cache_hits"`
+	CacheMisses int     `json:"cache_misses"`
+	SimCycles   uint64  `json:"sim_cycles,omitempty"` // ROI cycles simulated for computed cells
+	WallSeconds float64 `json:"wall_seconds"`
+
+	// Fork-after-warmup accounting (zero when the sweep ran cold): how many
+	// warm-cache snapshots were simulated, how many cells reused one, and
+	// the total simulated warmup-prefix cycles. Comparing sim_cycles +
+	// warmup_cycles against a cold sweep's sim_cycles shows the saving.
+	WarmupSnapshots int    `json:"warmup_snapshots,omitempty"`
+	WarmupReuses    int    `json:"warmup_reuses,omitempty"`
+	WarmupCycles    uint64 `json:"warmup_cycles,omitempty"`
+
+	Failures []SweepFailure `json:"failures,omitempty"`
 }
 
 // validate checks the sweep section's internal consistency.
@@ -151,6 +162,10 @@ func (s *SweepReport) validate() error {
 	}
 	if s.WallSeconds < 0 {
 		return fmt.Errorf("sweep wall_seconds = %f", s.WallSeconds)
+	}
+	if s.WarmupSnapshots < 0 || s.WarmupReuses < 0 {
+		return fmt.Errorf("sweep warmup counts negative (%d snapshots, %d reuses)",
+			s.WarmupSnapshots, s.WarmupReuses)
 	}
 	return nil
 }

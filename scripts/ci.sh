@@ -1,10 +1,11 @@
 #!/bin/sh
 # CI gate: lint (gofmt + vet) + build + race tests + a telemetry smoke run
 # whose artifacts must validate against the schemas + a sharded sweep
-# smoke exercising the parallel evaluation engine + the benchmark
+# smoke exercising the parallel evaluation engine + a checkpoint/diverge
+# smoke (resume fidelity and divergence bisection) + the benchmark
 # regression guard. Individual stages run via:
 #
-#	scripts/ci.sh lint | smoke | sweep-smoke | bench
+#	scripts/ci.sh lint | smoke | sweep-smoke | diverge-smoke | bench
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -59,6 +60,45 @@ sweep_smoke() {
 	echo "sweep smoke OK"
 }
 
+# Checkpoint/diverge smoke: a checkpointed run resumed from its last
+# snapshot must print byte-identical stdout to the uninterrupted run
+# (docs/CHECKPOINT.md), and pipette-diverge must bisect a DRAM-latency
+# divergence from the same snapshot — and report none when the two sides
+# share a config.
+diverge_smoke() {
+	echo "== diverge smoke: checkpoint resume + divergence bisection =="
+	go build -o "$out/pipette-sim" ./cmd/pipette-sim
+	go build -o "$out/pipette-diverge" ./cmd/pipette-diverge
+	snap="$out/cc.snap"
+	rm -f "$snap"
+	"$out/pipette-sim" -app cc -variant pipette -input Co \
+		-checkpoint-every 50000 -checkpoint-out "$snap" \
+		>"$out/ckpt-full.txt" 2>/dev/null
+	"$out/pipette-sim" -resume "$snap" >"$out/ckpt-resumed.txt" 2>/dev/null
+	cmp "$out/ckpt-full.txt" "$out/ckpt-resumed.txt" || {
+		echo "diverge smoke: resumed stdout differs from uninterrupted run" >&2
+		exit 1
+	}
+	"$out/pipette-diverge" -snapshot "$snap" -b Cache.DRAMLat=200 \
+		>"$out/diverge.txt"
+	grep -q "first divergence at cycle" "$out/diverge.txt" || {
+		echo "diverge smoke: no divergence found for a DRAM latency change" >&2
+		cat "$out/diverge.txt" >&2
+		exit 1
+	}
+	grep -q "machine-state diff" "$out/diverge.txt" || {
+		echo "diverge smoke: missing machine-state diff" >&2
+		exit 1
+	}
+	"$out/pipette-diverge" -snapshot "$snap" >"$out/diverge-same.txt"
+	grep -q "no divergence" "$out/diverge-same.txt" || {
+		echo "diverge smoke: identical configs reported a divergence" >&2
+		cat "$out/diverge-same.txt" >&2
+		exit 1
+	}
+	echo "diverge smoke OK"
+}
+
 case "${1:-}" in
 lint)
 	lint
@@ -70,6 +110,10 @@ smoke)
 	;;
 sweep-smoke)
 	sweep_smoke
+	exit 0
+	;;
+diverge-smoke)
+	diverge_smoke
 	exit 0
 	;;
 bench)
@@ -85,6 +129,7 @@ echo "== go test -race =="
 go test -race ./...
 smoke
 sweep_smoke
+diverge_smoke
 echo "== benchmark regression guard =="
 ./scripts/benchguard.sh
 echo "CI OK"
