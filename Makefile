@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet test race smoke sweep-smoke diverge-smoke bench benchguard rebaseline ci clean
+.PHONY: all build lint vet test race smoke sweep-smoke diverge-smoke bench benchguard perfbench rebaseline ci clean
 
 all: build
 
@@ -41,10 +41,17 @@ bench:
 	$(GO) test -bench=TelemetryOverhead -benchtime=2x -run ^$$ .
 	$(GO) test -bench=SweepThroughput -benchtime=2x -run ^$$ ./internal/harness
 
-# Benchmark regression guard: fails if TelemetryOverheadOff or
-# SweepThroughput exceed the thresholds in build/baselines/.
+# Benchmark regression guard: fails if TelemetryOverheadOff,
+# SweepThroughput or the kernel-throughput rows exceed the thresholds in
+# build/baselines/.
 benchguard:
 	./scripts/benchguard.sh
+
+# Simulation-kernel throughput: cycles/sec and host-ns per simulated cycle
+# for every app, fast-forward on vs off, written to BENCH_kernel.json
+# (commit the result; see docs/ARCHITECTURE.md).
+perfbench:
+	$(GO) run ./cmd/pipette-kernelbench -out BENCH_kernel.json
 
 # Rewrite the benchmark thresholds at 4x currently measured (commit the
 # result; see docs/SWEEP.md).

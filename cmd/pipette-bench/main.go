@@ -37,6 +37,7 @@ func main() {
 	apps := flag.String("apps", "", "comma-separated app subset (bfs,cc,prd,radii,spmm,silo; \"\" = all)")
 	seed := flag.Int64("seed", 0, "override the base RNG seed for synthetic inputs (0 = default)")
 	tiny := flag.Bool("tiny", false, "use the fast test-scale configuration (CI smoke)")
+	noFF := flag.Bool("no-fastforward", false, "tick every cycle instead of fast-forwarding quiescent spans (identical results, slower)")
 	reportOut := flag.String("report-out", "", "write the evaluation matrix as a run-set JSON file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -84,6 +85,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.NoFastForward = *noFF
 
 	opts := harness.SweepOptions{Jobs: *jobs, FailFast: *failFast, CacheDir: *sweepCache, Warmup: *warmup}
 	if !*quiet {

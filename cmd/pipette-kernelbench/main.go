@@ -1,0 +1,325 @@
+// Command pipette-kernelbench measures simulation-kernel throughput: each
+// selected row runs once with quiescence fast-forward enabled and once with
+// the kernel ticking every cycle (-no-fastforward semantics), recording
+// simulated cycles per host second and host nanoseconds per simulated cycle.
+// Results are bit-identical between the two runs (the equivalence test
+// matrix asserts this); only wall-clock differs, and the ratio is the
+// fast-forward speedup.
+//
+// Rows come in two regimes:
+//
+//   - "std": the harness evaluation configuration (scale-8 caches, stream
+//     prefetch on, scale-1 inputs via bench.Lookup) — the pipette variant of
+//     every app, tracking general kernel throughput.
+//   - "membound": the memory-latency-bound regime fast-forward targets
+//     (scale-64 caches, prefetch off, 4x road graph, single PRD sweep) —
+//     serial and pipette BFS/PRD. The serial rows are the acceptance
+//     workloads for the >= 2x fast-forward criterion: with decoupling
+//     disabled, the core spends most cycles provably quiescent behind
+//     180-cycle DRAM misses, exactly the phases the kernel skips.
+//
+// Usage:
+//
+//	pipette-kernelbench -out BENCH_kernel.json        # make perfbench
+//	pipette-kernelbench -apps bfs,prd -check build/baselines/kernel_thresholds.txt
+//	pipette-kernelbench -apps bfs,prd -update-baseline build/baselines/kernel_thresholds.txt
+//
+// The -check mode guards ticked-kernel ns/cycle against loose (4x measured)
+// ceilings and fast-forward speedup against per-row floors, both recorded in
+// the baseline file; scripts/benchguard.sh drives it in CI.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pipette/internal/bench"
+	"pipette/internal/cache"
+	"pipette/internal/graph"
+	"pipette/internal/sim"
+)
+
+// Schema identifies the BENCH_kernel.json document format.
+const Schema = "pipette.kernelbench/v1"
+
+// run is one measured row.
+type run struct {
+	Regime  string `json:"regime"` // "std" or "membound"
+	App     string `json:"app"`
+	Variant string `json:"variant"`
+	Input   string `json:"input"`
+	Cycles  uint64 `json:"cycles"` // simulated ROI cycles (identical both modes)
+
+	Ticked      mode    `json:"ticked"`       // -no-fastforward kernel
+	FastForward mode    `json:"fast_forward"` // quiescence fast-forward on
+	Speedup     float64 `json:"speedup"`      // FastForward.CyclesPerSec / Ticked.CyclesPerSec
+}
+
+type mode struct {
+	WallSeconds  float64 `json:"wall_seconds"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	NsPerCycle   float64 `json:"ns_per_cycle"`
+}
+
+type doc struct {
+	Schema string `json:"schema"`
+	Runs   []run  `json:"runs"`
+}
+
+// memBoundGraphScale sizes the road graph of the membound rows (4x the
+// harness input, so the footprint is far beyond the scaled-down LLC).
+const memBoundGraphScale = 4
+
+type spec struct {
+	regime, app, variant, input string
+}
+
+var matrix = []spec{
+	{"membound", "bfs", bench.VSerial, "Rd"},
+	{"membound", "bfs", bench.VPipette, "Rd"},
+	{"membound", "prd", bench.VSerial, "Rd"},
+	{"membound", "prd", bench.VPipette, "Rd"},
+	{"std", "bfs", bench.VPipette, "Rd"},
+	{"std", "cc", bench.VPipette, "Co"},
+	{"std", "prd", bench.VPipette, "Rd"},
+	{"std", "radii", bench.VPipette, "Co"},
+	{"std", "spmm", bench.VPipette, "Am"},
+	{"std", "silo", bench.VPipette, "ycsbc"},
+}
+
+// resolve maps a row spec to its workload builder, core count and system
+// configuration.
+func resolve(sp spec) (bench.Builder, int, sim.Config, error) {
+	cfg := sim.DefaultConfig()
+	cfg.WatchdogCycles = 10_000_000
+	if sp.regime == "std" {
+		b, cores, err := bench.Lookup(sp.app, sp.variant, sp.input, 2, 1)
+		cfg.Cache = cache.DefaultConfig().Scale(8)
+		return b, cores, cfg, err
+	}
+	cfg.Cache = cache.DefaultConfig().Scale(64)
+	cfg.Cache.StreamPrefetch = false
+	var g *graph.Graph
+	for _, in := range graph.Inputs(memBoundGraphScale, 1) {
+		if in.Label == sp.input {
+			g = in.G
+		}
+	}
+	if g == nil {
+		return nil, 0, cfg, fmt.Errorf("unknown graph %q", sp.input)
+	}
+	switch {
+	case sp.app == "bfs" && sp.variant == bench.VSerial:
+		return bench.BFSSerial(g, 0), 1, cfg, nil
+	case sp.app == "bfs" && sp.variant == bench.VPipette:
+		return bench.BFSPipette(g, 0, 4, true), 1, cfg, nil
+	case sp.app == "prd" && sp.variant == bench.VSerial:
+		return bench.PRDSerial(g, 1), 1, cfg, nil
+	case sp.app == "prd" && sp.variant == bench.VPipette:
+		return bench.PRDPipette(g, 1, true), 1, cfg, nil
+	}
+	return nil, 0, cfg, fmt.Errorf("no membound row for %s/%s", sp.app, sp.variant)
+}
+
+func measure(sp spec, ff bool) (uint64, float64, error) {
+	b, cores, cfg, err := resolve(sp)
+	if err != nil {
+		return 0, 0, err
+	}
+	cfg.Cores = cores
+	s := sim.New(cfg)
+	s.SetFastForward(ff)
+	// Time the simulation only: workload construction (graph layout into
+	// simulated memory) and result validation are kernel-independent.
+	check := b(s)
+	start := time.Now()
+	r, err := s.Run()
+	wall := time.Since(start).Seconds()
+	if err == nil {
+		if cerr := check(); cerr != nil {
+			err = fmt.Errorf("result check failed: %w", cerr)
+		}
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("%s %s/%s/%s ff=%v: %w", sp.regime, sp.app, sp.variant, sp.input, ff, err)
+	}
+	return r.Cycles, wall, nil
+}
+
+func main() {
+	apps := flag.String("apps", "", "comma-separated app subset (\"\" = all)")
+	out := flag.String("out", "", "write the measurement document to this file")
+	check := flag.String("check", "", "compare against a threshold baseline file; exit 1 on regression")
+	update := flag.String("update-baseline", "", "rewrite the threshold baseline file from this run")
+	flag.Parse()
+
+	keep := map[string]bool{}
+	for _, a := range strings.Split(*apps, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			keep[a] = true
+		}
+	}
+
+	d := doc{Schema: Schema}
+	for _, sp := range matrix {
+		if len(keep) > 0 && !keep[sp.app] {
+			continue
+		}
+		// Ticked first, then fast-forward; one warm-up-free run each — the
+		// workloads are long enough that timer noise is in the low percents.
+		cyc, tickedWall, err := measure(sp, false)
+		if err != nil {
+			fatal(err)
+		}
+		ffCyc, ffWall, err := measure(sp, true)
+		if err != nil {
+			fatal(err)
+		}
+		if ffCyc != cyc {
+			fatal(fmt.Errorf("%s/%s/%s: fast-forward changed the cycle count: %d vs %d",
+				sp.app, sp.variant, sp.input, ffCyc, cyc))
+		}
+		r := run{
+			Regime: sp.regime, App: sp.app, Variant: sp.variant, Input: sp.input, Cycles: cyc,
+			Ticked:      newMode(cyc, tickedWall),
+			FastForward: newMode(cyc, ffWall),
+		}
+		r.Speedup = r.FastForward.CyclesPerSec / r.Ticked.CyclesPerSec
+		d.Runs = append(d.Runs, r)
+		fmt.Fprintf(os.Stderr, "%-8s %-6s %-10s %-5s %12d cycles  ticked %8.0f c/s  ff %9.0f c/s  speedup %5.2fx\n",
+			sp.regime, sp.app, sp.variant, sp.input, cyc, r.Ticked.CyclesPerSec, r.FastForward.CyclesPerSec, r.Speedup)
+	}
+	if len(d.Runs) == 0 {
+		fatal(fmt.Errorf("no apps selected by -apps %q", *apps))
+	}
+
+	if *out != "" {
+		if err := writeJSON(*out, d); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	if *update != "" {
+		if err := writeBaseline(*update, d); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "kernelbench: baseline rewritten: %s\n", *update)
+	}
+	if *check != "" {
+		if err := checkBaseline(*check, d); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func newMode(cycles uint64, wall float64) mode {
+	return mode{
+		WallSeconds:  wall,
+		CyclesPerSec: float64(cycles) / wall,
+		NsPerCycle:   wall * 1e9 / float64(cycles),
+	}
+}
+
+func key(r run) string { return r.Regime + "/" + r.App + "/" + r.Variant + "/" + r.Input }
+
+// writeBaseline records, per row, a ceiling on ticked-kernel ns/cycle (4x
+// measured, loose enough that shared-runner noise cannot trip it) and a
+// floor on the fast-forward speedup (half the measured ratio, min 1.0 — the
+// ratio is host-speed independent, so it is a much tighter guard).
+func writeBaseline(path string, d doc) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "# Kernel-throughput thresholds: regime/app/variant/input max-ticked-ns-per-cycle min-ff-speedup.")
+	fmt.Fprintln(w, "# Loose ceilings (4x measured ns/cycle, 0.5x measured speedup, floor 1.0) so")
+	fmt.Fprintln(w, "# runner noise cannot trip them. Regenerate with:")
+	fmt.Fprintln(w, "#   go run ./cmd/pipette-kernelbench -apps <apps> -update-baseline <this file>")
+	for _, r := range d.Runs {
+		floor := r.Speedup / 2
+		if floor < 1 {
+			floor = 1
+		}
+		fmt.Fprintf(w, "%s %d %.2f\n", key(r), uint64(r.Ticked.NsPerCycle*4)+1, floor)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func checkBaseline(path string, d doc) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("kernelbench: missing baseline %s (run with -update-baseline)", path)
+	}
+	defer f.Close()
+	limits := map[string][2]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var k string
+		var ns, spd float64
+		if _, err := fmt.Sscanf(line, "%s %f %f", &k, &ns, &spd); err != nil {
+			return fmt.Errorf("kernelbench: bad baseline line %q: %w", line, err)
+		}
+		limits[k] = [2]float64{ns, spd}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	fail := false
+	for _, r := range d.Runs {
+		lim, ok := limits[key(r)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "kernelbench: no threshold for %s (rerun -update-baseline)\n", key(r))
+			fail = true
+			continue
+		}
+		if r.Ticked.NsPerCycle > lim[0] {
+			fmt.Fprintf(os.Stderr, "kernelbench: FAIL %s: ticked %.1f ns/cycle exceeds %.1f\n",
+				key(r), r.Ticked.NsPerCycle, lim[0])
+			fail = true
+		} else if r.Speedup < lim[1] {
+			fmt.Fprintf(os.Stderr, "kernelbench: FAIL %s: fast-forward speedup %.2fx below floor %.2fx\n",
+				key(r), r.Speedup, lim[1])
+			fail = true
+		} else {
+			fmt.Fprintf(os.Stderr, "kernelbench: ok %s (%.1f ns/cycle <= %.1f, speedup %.2fx >= %.2fx)\n",
+				key(r), r.Ticked.NsPerCycle, lim[0], r.Speedup, lim[1])
+		}
+	}
+	if fail {
+		return fmt.Errorf("kernelbench: thresholds exceeded")
+	}
+	return nil
+}
+
+func writeJSON(path string, d doc) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

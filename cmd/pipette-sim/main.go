@@ -49,6 +49,7 @@ func main() {
 	traceBuf := flag.Int("trace-buf", 0, "trace ring capacity in events (default 262144)")
 	metricsOut := flag.String("metrics-out", "", "write sampled time-series metrics (.csv, or .json)")
 	metricsInterval := flag.Uint64("metrics-interval", 0, "sampling period in cycles (default 1024)")
+	noFF := flag.Bool("no-fastforward", false, "tick every cycle instead of fast-forwarding quiescent spans (identical results, slower)")
 	ckptEvery := flag.Uint64("checkpoint-every", 0, "write a snapshot every N simulated cycles (0 disables)")
 	ckptOut := flag.String("checkpoint-out", "pipette.snap", "snapshot file for -checkpoint-every")
 	resume := flag.String("resume", "", "resume from a snapshot file (workload flags come from its metadata)")
@@ -93,6 +94,7 @@ func main() {
 	cfg.Cache = cache.DefaultConfig().Scale(*cacheScale)
 	cfg.WatchdogCycles = 10_000_000
 	s := sim.New(cfg)
+	s.SetFastForward(!*noFF)
 	if *traceOut != "" {
 		s.EnableTracing(*traceBuf)
 	}

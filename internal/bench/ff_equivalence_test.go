@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pipette/internal/cache"
+	"pipette/internal/core"
+	"pipette/internal/sim"
+)
+
+// ffRun is everything quiescence fast-forward must leave bit-identical:
+// the final absolute cycle, the full Result (cycle counts, CPI stacks,
+// occupancy integrals, connector stats via StateHash), the canonical state
+// hash, and the sampled telemetry series rendered to its on-disk form.
+type ffRun struct {
+	now    uint64
+	result sim.Result
+	hash   string
+	csv    []byte
+}
+
+func runWithFF(t *testing.T, app, variant, input string, ff bool) ffRun {
+	t.Helper()
+	b, cores, err := Lookup(app, variant, input, 2, 1)
+	if err != nil {
+		t.Fatalf("Lookup(%s/%s/%s): %v", app, variant, input, err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Cores = cores
+	cfg.Cache = cache.DefaultConfig().Scale(8)
+	cfg.WatchdogCycles = 10_000_000
+	s := sim.New(cfg)
+	s.SetFastForward(ff)
+	sm := s.EnableSampling(256)
+	r, err := Run(s, b)
+	if err != nil {
+		t.Fatalf("%s/%s/%s ff=%v: %v", app, variant, input, ff, err)
+	}
+	hash, err := s.StateHash()
+	if err != nil {
+		t.Fatalf("StateHash: %v", err)
+	}
+	var csv bytes.Buffer
+	if err := sm.WriteCSV(&csv, core.StallNames()); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	return ffRun{now: s.Now(), result: r, hash: hash, csv: csv.Bytes()}
+}
+
+// TestFastForwardEquivalence is the acceptance matrix for quiescence
+// fast-forward: for all six apps in both the baseline (serial) and pipette
+// variants, a fast-forwarded run and a tick-every-cycle run must agree on
+// the final cycle count, every statistic in the Result, the canonical
+// StateHash of the finished machine, and the byte-exact telemetry sample
+// series.
+func TestFastForwardEquivalence(t *testing.T) {
+	cases := []struct{ app, input string }{
+		{"bfs", "Co"},
+		{"cc", "Co"},
+		{"prd", "Co"},
+		{"radii", "Co"},
+		{"spmm", "Am"},
+		{"silo", "ycsbc"},
+	}
+	for _, tc := range cases {
+		for _, variant := range []string{VSerial, VPipette} {
+			tc, variant := tc, variant
+			t.Run(fmt.Sprintf("%s/%s", tc.app, variant), func(t *testing.T) {
+				t.Parallel()
+				on := runWithFF(t, tc.app, variant, tc.input, true)
+				off := runWithFF(t, tc.app, variant, tc.input, false)
+				if on.now != off.now {
+					t.Errorf("final cycle differs: ff=%d noff=%d", on.now, off.now)
+				}
+				if !reflect.DeepEqual(on.result, off.result) {
+					t.Errorf("results differ:\n  ff:   %+v\n  noff: %+v", on.result, off.result)
+				}
+				if on.hash != off.hash {
+					t.Errorf("state hash differs: ff=%s noff=%s", on.hash, off.hash)
+				}
+				if !bytes.Equal(on.csv, off.csv) {
+					t.Errorf("telemetry series differ (%d vs %d bytes)", len(on.csv), len(off.csv))
+				}
+			})
+		}
+	}
+}
+
+// TestFastForwardCheckpointEquivalence runs the same workload through a
+// segmented RunUntil loop (the -checkpoint-every pattern) with fast-forward
+// on and off, comparing the machine state hash at every segment boundary.
+// This pins the jump-capping behaviour: a jump must land exactly on the
+// segment bound, never beyond it.
+func TestFastForwardCheckpointEquivalence(t *testing.T) {
+	build := func(ff bool) *sim.System {
+		b, cores, err := Lookup("bfs", VPipette, "Co", 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Cores = cores
+		cfg.Cache = cache.DefaultConfig().Scale(8)
+		s := sim.New(cfg)
+		s.SetFastForward(ff)
+		b(s)
+		return s
+	}
+	on, off := build(true), build(false)
+	const seg = 5000
+	for i := 0; i < 200 && !(on.Done() && off.Done()); i++ {
+		target := uint64((i + 1) * seg)
+		if _, err := on.RunUntil(target); err != nil {
+			t.Fatalf("ff segment %d: %v", i, err)
+		}
+		if _, err := off.RunUntil(target); err != nil {
+			t.Fatalf("noff segment %d: %v", i, err)
+		}
+		if on.Now() != off.Now() {
+			t.Fatalf("segment %d: cycle ff=%d noff=%d", i, on.Now(), off.Now())
+		}
+		ho, err := on.StateHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hf, err := off.StateHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ho != hf {
+			t.Fatalf("segment %d (cycle %d): state diverged", i, on.Now())
+		}
+	}
+	if !on.Done() || !off.Done() {
+		t.Fatalf("workload did not finish within segments (ff=%v noff=%v)", on.Done(), off.Done())
+	}
+}

@@ -1,0 +1,18 @@
+// Clocked-component face of the cache hierarchy (sim.Component). The
+// hierarchy is passive in the timing model: Port.Access computes completion
+// times (hit levels, MSHR merging, DRAM bandwidth) at the moment of the
+// access, and in-flight state such as MSHR entries and the DRAM free
+// timestamp is pruned lazily against the caller-supplied cycle on the next
+// access. Nothing ever needs a tick of its own, and pending DRAM responses
+// need no NextEvent entry either: a response only matters at the cycle the
+// issuing µop completes, and that µop's core already schedules its doneAt.
+package cache
+
+// Tick is a no-op: all hierarchy state advances lazily at access time.
+func (h *Hierarchy) Tick(now uint64) {}
+
+// NextEvent reports no self-scheduled work, ever (sim.NoEvent).
+func (h *Hierarchy) NextEvent(now uint64) uint64 { return ^uint64(0) }
+
+// FastForward is a no-op: the hierarchy counts accesses, not cycles.
+func (h *Hierarchy) FastForward(from, to uint64) {}

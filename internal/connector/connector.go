@@ -33,6 +33,13 @@ type Connector struct {
 	latency uint64 // on-chip network latency in cycles
 	width   int    // values per cycle
 
+	// activeAt is the last cycle the connector mutated any state (forwarded
+	// a value or propagated a skip). While activeAt == now it reports
+	// NextEvent = now+1, because its action may have unblocked a thread on
+	// either core. Scratch: not serialized; re-established by the first
+	// stepped cycle after a restore.
+	activeAt uint64
+
 	Stats Stats
 }
 
@@ -56,6 +63,7 @@ func (c *Connector) Tick(now uint64) {
 	if c.dstQ.SkipPending && !c.srcQ.SkipPending {
 		if _, _, ok := c.srcQ.SkipScan(); !ok {
 			c.srcQ.SkipPending = true
+			c.activeAt = now
 		}
 	}
 	for i := 0; i < c.width; i++ {
@@ -74,6 +82,7 @@ func (c *Connector) Tick(now uint64) {
 		c.src.FreePhys(int32(c.srcQ.CommitDeq()))
 		seq := c.dstQ.Enq(e.Val, e.Ctrl, int(phys))
 		c.dstQ.MarkReady(seq, now+c.latency)
+		c.activeAt = now
 		c.Stats.Sent++
 		if e.Ctrl {
 			c.Stats.CVsSent++
@@ -89,3 +98,55 @@ func (c *Connector) Tick(now uint64) {
 // In-flight values already occupy receiver slots, so source emptiness is
 // sufficient.
 func (c *Connector) Drained() bool { return !c.srcQ.CanDeq() }
+
+// noEvent mirrors sim.NoEvent; the packages cannot share the constant
+// without an import cycle.
+const noEvent = ^uint64(0)
+
+// NextEvent returns the earliest cycle > now at which ticking the
+// connector could change state, assuming no other component acts first
+// (the clocked-component contract; see internal/sim/component.go). A
+// forward performed this cycle reports now+1 unconditionally: it freed a
+// producer slot and filled a consumer slot, and the affected cores must be
+// ticked before any fast-forward. The only self-scheduled timer is the
+// source head's ready time; empty source, uncommitted head and full
+// destination are all cleared by other components' busy ticks.
+func (c *Connector) NextEvent(now uint64) uint64 {
+	if c.activeAt >= now {
+		return now + 1
+	}
+	if c.dstQ.SkipPending && !c.srcQ.SkipPending {
+		if _, _, ok := c.srcQ.SkipScan(); !ok {
+			return now + 1 // skip propagation pending (defensive; Tick handles it)
+		}
+	}
+	if !c.srcQ.CanDeq() {
+		return noEvent
+	}
+	h := c.srcQ.Head()
+	if h.ReadyAt == queue.NotReady {
+		return noEvent // producer has not committed; its commit is a busy tick
+	}
+	if h.ReadyAt > now {
+		return h.ReadyAt
+	}
+	if !c.dstQ.CanEnq() {
+		return noEvent // credit returns with the consumer's dequeue commit
+	}
+	return now + 1 // head ready and a slot reserved; forwards next tick
+}
+
+// FastForward credits the credit-stall cycles the skipped ticks (from, to]
+// would have counted. The blocking condition is constant across the span:
+// NextEvent returns the head's ready time while it lies in the future, so a
+// jump can only cross cycles where the head was already ready, and a full
+// destination cannot drain while every component is quiescent.
+func (c *Connector) FastForward(from, to uint64) {
+	if !c.srcQ.CanDeq() {
+		return
+	}
+	h := c.srcQ.Head()
+	if h.ReadyAt != queue.NotReady && h.ReadyAt <= from && !c.dstQ.CanEnq() {
+		c.Stats.CreditStall += to - from
+	}
+}

@@ -106,6 +106,7 @@ func (c *Core) commit() {
 			if !u.resolved(c.now) {
 				break
 			}
+			c.busyAt = c.now // retiring mutates state; blocks fast-forward this cycle
 			if u.isStore && !u.isAtom {
 				c.port.Access(c.now, u.addr, true) // write-back; commit does not wait
 			}
@@ -129,6 +130,7 @@ func (c *Core) commit() {
 			}
 			if !u.synth {
 				c.stats.Committed++
+				c.lastCommitAt = c.now
 				c.stats.PerThread[tid]++
 				if c.TraceFn != nil && u.inst != nil {
 					c.TraceFn(c.now, tid, u.pc, u.inst.String())

@@ -1,0 +1,237 @@
+// Clocked-component face of the core (sim.Component): Tick advances one
+// edge, NextEvent bounds when the next tick could matter, FastForward
+// credits skipped cycles. The contract that makes quiescence fast-forward
+// bit-exact (docs/ARCHITECTURE.md):
+//
+//   - Every code path that mutates machine state during a tick stamps
+//     c.busyAt = c.now (commit retires, issues, renames, trap redirects,
+//     skip-pending transitions, skip drains). A core that just acted always
+//     answers NextEvent = now+1, so the system never skips the cycle after
+//     an action — the cheap, always-correct fallback.
+//   - In a post-tick idle state the only things that can re-activate the
+//     core without another component acting first are timers: an issued µop
+//     completing (ROB heads and frontend-blocking branches), a waiting µop's
+//     sources becoming ready, a thread's frontend redirect expiring, or an
+//     attached unit's completion. NextEvent returns the earliest of these.
+//   - Everything else (queue space/data, free registers, control values)
+//     appears only through some component's busy tick, which blocks
+//     fast-forward for that cycle by the busyAt rule above.
+package core
+
+import "pipette/internal/queue"
+
+// noEvent mirrors sim.NoEvent ("no self-scheduled future work"); the
+// packages cannot share the constant without an import cycle. Its value
+// deliberately equals queue.NotReady: an entry that is not ready carries no
+// timer.
+const noEvent = ^uint64(0)
+
+// Tick advances the core one clock edge to cycle now: commit, issue,
+// rename, attached units, then CPI/occupancy accounting.
+func (c *Core) Tick(now uint64) {
+	c.now = now
+	c.stats.Cycles++
+	if c.trace != nil {
+		c.trace.Cycle = c.now // tracer clock; emitters don't thread `now`
+	}
+	c.commit()
+	issued := c.issue()
+	if issued > 0 {
+		c.busyAt = c.now
+	}
+	c.rename()
+	for _, u := range c.units {
+		u.Tick(c.now)
+	}
+	c.classify(issued)
+	occ := uint64(c.qrm.MappedRegisters())
+	c.stats.QueueOccupancySum += occ
+	if occ > c.stats.QueueOccupancyMax {
+		c.stats.QueueOccupancyMax = occ
+	}
+}
+
+// Cycle keeps the historical single-step entry point: advance one cycle on
+// the core's own counter. Tests and tools drive lone cores with it; the
+// system drives Tick on its authoritative clock.
+func (c *Core) Cycle() { c.Tick(c.now + 1) }
+
+// NextEvent returns the earliest cycle > now at which ticking the core
+// could change machine state, assuming every other component stays idle
+// (the kernel only skips cycles when all components agree). NoEvent means
+// only external input — an enqueue, a connector delivery — can re-activate
+// the core.
+func (c *Core) NextEvent(now uint64) uint64 {
+	if c.busyAt >= now {
+		return now + 1
+	}
+	next := uint64(noEvent)
+	// Commit timing: the in-order head of each thread's ROB retires when it
+	// resolves. Non-head µops are gated by their head, so only heads carry
+	// commit timers.
+	for _, rob := range c.rob {
+		if len(rob) == 0 {
+			continue
+		}
+		if u := rob[0]; u.state == uopIssued {
+			if u.doneAt <= now {
+				return now + 1 // commit due; should not outlive an idle tick — be safe
+			}
+			if u.doneAt < next {
+				next = u.doneAt
+			}
+		}
+	}
+	// Wakeup timing: a waiting µop becomes issuable when its last source
+	// arrives. Sources still pending a producer action carry no timer — the
+	// producer's tick is busy and blocks fast-forward by itself.
+	for _, u := range c.iq {
+		if u.state != uopWaiting {
+			continue
+		}
+		w := c.wakeAt(u)
+		if w == noEvent {
+			continue
+		}
+		if w <= now {
+			return now + 1 // ready but unissued (ports/width); keep ticking
+		}
+		if w < next {
+			next = w
+		}
+	}
+	for _, t := range c.threads {
+		if !t.active {
+			continue
+		}
+		// A frontend blocked on an unresolved branch unblocks when the
+		// branch completes; after that, blockedUntil is the redirect timer.
+		if b := t.blockedOn; b != nil {
+			if b.state == uopIssued {
+				if b.doneAt <= now {
+					return now + 1
+				}
+				if b.doneAt < next {
+					next = b.doneAt
+				}
+			}
+			continue
+		}
+		if t.halted {
+			continue
+		}
+		if t.blockedUntil > now && t.blockedUntil < next {
+			next = t.blockedUntil
+		}
+	}
+	for _, u := range c.units {
+		if e := u.NextEvent(now); e < next {
+			if e <= now {
+				return now + 1
+			}
+			next = e
+		}
+	}
+	return next
+}
+
+// wakeAt returns the cycle all of u's sources are ready, or noEvent when
+// some source has no scheduled ready time yet (its producer must act first).
+func (c *Core) wakeAt(u *uop) uint64 {
+	var w uint64
+	for i := 0; i < u.nsrc; i++ {
+		if r := u.src[i]; r >= 0 {
+			t := c.regReady[r]
+			if t == queue.NotReady {
+				return noEvent
+			}
+			if t > w {
+				w = t
+			}
+		}
+	}
+	for i := 0; i < u.nqsrc; i++ {
+		at := u.qsrc[i].e.ReadyAt
+		if c.cfg.SpeculativeDequeue {
+			at = u.qsrc[i].e.SpecAt
+		}
+		if at == queue.NotReady {
+			return noEvent
+		}
+		if at > w {
+			w = at
+		}
+	}
+	return w
+}
+
+// FastForward credits the per-cycle statistics the ticks for cycles
+// (from, to] would have accumulated. By the NextEvent contract those ticks
+// are state no-ops, so the cycle counter, the (constant) idle CPI bucket,
+// and the (constant) occupancy integral are the only effects.
+func (c *Core) FastForward(from, to uint64) {
+	d := to - from
+	c.stats.Cycles += d
+	if b := c.idleBucket(); b != nil {
+		*b += d
+	}
+	c.stats.QueueOccupancySum += uint64(c.qrm.MappedRegisters()) * d
+	c.now = to
+	for _, u := range c.units {
+		u.FastForward(from, to)
+	}
+}
+
+// classify attributes this cycle to a CPI-stack bucket (Fig. 11).
+func (c *Core) classify(issued int) {
+	if issued > 0 {
+		c.stats.CPI.Issue++
+		return
+	}
+	if b := c.idleBucket(); b != nil {
+		*b++
+	}
+}
+
+// idleBucket selects the CPI bucket for a cycle with no issues, or nil for
+// a core with no active threads. The choice is a pure function of the
+// frozen machine state (thread stall reasons and IQ occupancy), which is
+// what lets FastForward apply it once for a whole skipped span.
+func (c *Core) idleBucket() *uint64 {
+	anyActive := false
+	anyBackend, anyQueue, anyFront := false, false, false
+	for _, t := range c.threads {
+		if !t.active || t.done {
+			continue
+		}
+		anyActive = true
+		switch t.stall {
+		case StallQueueEmpty, StallQueueFull, StallSkipWait:
+			anyQueue = true
+		case StallRedirect:
+			anyFront = true
+		default:
+			anyBackend = true
+		}
+	}
+	if !anyActive {
+		return nil
+	}
+	// µops in flight waiting on memory dominate: backend.
+	if len(c.iq) > 0 || anyBackend {
+		return &c.stats.CPI.Backend
+	}
+	if anyQueue {
+		return &c.stats.CPI.Queue
+	}
+	if anyFront {
+		return &c.stats.CPI.Front
+	}
+	return &c.stats.CPI.Backend
+}
+
+// LastCommitAt returns the cycle of the most recent architectural commit on
+// this core (scratch bookkeeping, not serialized: the system re-primes its
+// watchdog on restore). The hoisted watchdog uses it to recover the exact
+// progress cycle without scanning every cycle.
+func (c *Core) LastCommitAt() uint64 { return c.lastCommitAt }

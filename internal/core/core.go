@@ -252,9 +252,15 @@ type thread struct {
 
 // Unit is extra hardware ticked by the core each cycle (reference
 // accelerators; connectors are ticked by the system since they span cores).
+// Units follow the clocked-component contract of the host core (see
+// component.go): NextEvent bounds the unit's next possible action under the
+// frozen-machine assumption, and FastForward is told about skipped spans so
+// internal cycle bookkeeping (e.g. completion buffers) stays exact.
 type Unit interface {
 	Tick(now uint64)
 	Drained() bool
+	NextEvent(now uint64) uint64
+	FastForward(from, to uint64)
 }
 
 // Core is one simulated core.
@@ -278,6 +284,16 @@ type Core struct {
 	stats    Stats
 	units    []Unit
 	bpred    *bpred
+
+	// busyAt is the last cycle any tick path mutated machine state; while
+	// busyAt == now the core reports NextEvent = now+1 so quiescence
+	// fast-forward never skips the cycle after an action. lastCommitAt is
+	// the last cycle an architectural instruction committed (the hoisted
+	// deadlock watchdog reads it). Both are scratch: not serialized, and
+	// safe to lose across restore because the first stepped cycle
+	// re-establishes them before anyone consults them.
+	busyAt       uint64
+	lastCommitAt uint64
 
 	// trace, when non-nil, receives pipeline events (traps, redirects;
 	// queue activity is emitted by the QRM itself). Attach with
@@ -451,68 +467,6 @@ func (c *Core) Done() bool {
 
 // Committed returns total committed instructions.
 func (c *Core) Committed() uint64 { return c.stats.Committed }
-
-// Cycle advances the core one clock edge: commit, issue, rename, units.
-func (c *Core) Cycle() {
-	c.now++
-	c.stats.Cycles++
-	if c.trace != nil {
-		c.trace.Cycle = c.now // tracer clock; emitters don't thread `now`
-	}
-	c.commit()
-	issued := c.issue()
-	c.rename()
-	for _, u := range c.units {
-		u.Tick(c.now)
-	}
-	c.classify(issued)
-	occ := uint64(c.qrm.MappedRegisters())
-	c.stats.QueueOccupancySum += occ
-	if occ > c.stats.QueueOccupancyMax {
-		c.stats.QueueOccupancyMax = occ
-	}
-}
-
-// classify attributes this cycle to a CPI-stack bucket (Fig. 11).
-func (c *Core) classify(issued int) {
-	if issued > 0 {
-		c.stats.CPI.Issue++
-		return
-	}
-	anyActive := false
-	anyBackend, anyQueue, anyFront := false, false, false
-	for _, t := range c.threads {
-		if !t.active || t.done {
-			continue
-		}
-		anyActive = true
-		switch t.stall {
-		case StallQueueEmpty, StallQueueFull, StallSkipWait:
-			anyQueue = true
-		case StallRedirect:
-			anyFront = true
-		default:
-			anyBackend = true
-		}
-	}
-	if !anyActive {
-		return
-	}
-	// µops in flight waiting on memory dominate: backend.
-	if len(c.iq) > 0 || anyBackend {
-		c.stats.CPI.Backend++
-		return
-	}
-	if anyQueue {
-		c.stats.CPI.Queue++
-		return
-	}
-	if anyFront {
-		c.stats.CPI.Front++
-		return
-	}
-	c.stats.CPI.Backend++
-}
 
 // String summarizes the core state for logs.
 func (c *Core) String() string {

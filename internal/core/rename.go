@@ -51,6 +51,7 @@ func (c *Core) rename() {
 				}
 				t.blockedUntil = t.blockedOn.doneAt + c.cfg.MispredictPenalty
 				t.blockedOn = nil
+				c.busyAt = c.now
 				if c.trace != nil {
 					c.trace.Emit(telemetry.EvRedirect, int16(c.id), int16(t.id), 0, t.blockedUntil)
 				}
@@ -63,6 +64,7 @@ func (c *Core) rename() {
 			if !ok {
 				break
 			}
+			c.busyAt = c.now
 			budget -= n
 		}
 	}
@@ -156,7 +158,10 @@ func (c *Core) renameOne(t *thread) (int, bool) {
 		q := c.qrm.Q(in.Q)
 		n, cv, ok := q.SkipScan()
 		if !ok {
-			q.SkipPending = true // producer's next data enqueue traps
+			if !q.SkipPending {
+				q.SkipPending = true // producer's next data enqueue traps
+				c.busyAt = c.now
+			}
 			// Discard committed data while blocked so the producer's
 			// control value can always enter a full queue (the data
 			// would be discarded anyway).
@@ -167,6 +172,7 @@ func (c *Core) renameOne(t *thread) (int, bool) {
 				}
 				c.FreePhys(int32(phys))
 				c.stats.SkipDiscard++
+				c.busyAt = c.now
 			}
 			t.stall = StallSkipWait
 			return 0, false

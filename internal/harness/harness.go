@@ -30,6 +30,14 @@ type Config struct {
 	Seed        int64 // base RNG seed for all synthetic inputs (default 1)
 	Watchdog    uint64
 	AppFilter   string // comma-separated app subset ("" = all six)
+
+	// NoFastForward disables quiescence fast-forward on every system the
+	// harness builds (the -no-fastforward escape hatch). Results are
+	// bit-identical either way — the equivalence tests assert it — so the
+	// sweep disk cache deliberately ignores this knob; it only changes
+	// wall-clock. It does key the in-process memo (Config is the map key),
+	// so on/off sweeps in one process really both run.
+	NoFastForward bool
 }
 
 // Default is the evaluation-scale configuration used for EXPERIMENTS.md.
@@ -134,7 +142,9 @@ func (cfg Config) simConfig(cores int) sim.Config {
 }
 
 func (cfg Config) newSystem(cores int) *sim.System {
-	return sim.New(cfg.simConfig(cores))
+	s := sim.New(cfg.simConfig(cores))
+	s.SetFastForward(!cfg.NoFastForward)
+	return s
 }
 
 // runOne executes a single run and charges energy.

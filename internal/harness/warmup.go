@@ -131,7 +131,7 @@ func (ws *warmupSet) get(k Key, cores int, footprint uint64) ([]byte, error) {
 
 // build simulates the warmup prefix to completion, quiesces, snapshots.
 func (ws *warmupSet) build(k Key, cores int, footprint uint64) ([]byte, error) {
-	s := sim.New(ws.cfg.simConfig(cores))
+	s := ws.cfg.newSystem(cores)
 	r, err := bench.Run(s, bench.CacheWarmup(footprint))
 	if err != nil {
 		return nil, fmt.Errorf("warmup %s/%s: %w", k.App, k.Input, err)
@@ -195,7 +195,7 @@ func (ws *warmupSet) store(hash string, snap []byte) {
 // post-fork region of interest.
 func (cfg Config) runWarm(sp cellSpec, ws *warmupSet) (Cell, error) {
 	b, cores := sp.build(sp.key.Variant)
-	scratch := sim.New(cfg.simConfig(cores))
+	scratch := cfg.newSystem(cores)
 	sp.mustBuild(scratch)
 	footprint := scratch.Mem.Brk()
 
@@ -203,7 +203,7 @@ func (cfg Config) runWarm(sp cellSpec, ws *warmupSet) (Cell, error) {
 	if err != nil {
 		return Cell{}, err
 	}
-	s := sim.New(cfg.simConfig(cores))
+	s := cfg.newSystem(cores)
 	if _, err := s.Restore(bytes.NewReader(snap)); err != nil {
 		return Cell{}, fmt.Errorf("warmup restore: %w", err)
 	}

@@ -1,0 +1,17 @@
+// Clocked-component face of functional memory (sim.Component). Memory is
+// fully passive in the timing model: reads and writes execute at rename
+// through pull-based calls, and all *timing* of memory traffic lives in the
+// cache hierarchy. It therefore never needs a tick, schedules no events,
+// and accumulates no per-cycle statistics — but it sits in the system's
+// component registry so the kernel drives exactly one uniform list on one
+// authoritative clock.
+package mem
+
+// Tick is a no-op: memory has no clocked state.
+func (m *Memory) Tick(now uint64) {}
+
+// NextEvent reports no self-scheduled work, ever (sim.NoEvent).
+func (m *Memory) NextEvent(now uint64) uint64 { return ^uint64(0) }
+
+// FastForward is a no-op: memory accumulates no per-cycle statistics.
+func (m *Memory) FastForward(from, to uint64) {}

@@ -1,0 +1,20 @@
+// Clocked-component face of the QRM (sim.Component). The QRM is passive
+// storage: queues mutate only through their owners' actions (thread
+// renames and commits, RA emissions, connector forwards), every entry's
+// timing lives in per-entry ReadyAt/SpecAt stamps that consumers compare
+// against the clock, and occupancy statistics are accounted by the host
+// core. The QRM is driven through its host core rather than registered
+// with the system directly — builders may replace a core's QRM
+// (SetQueueCaps) after construction, and the core always consults the
+// current one.
+package queue
+
+// Tick is a no-op: queue state advances only through owner actions.
+func (m *QRM) Tick(now uint64) {}
+
+// NextEvent reports no self-scheduled work, ever (sim.NoEvent): entry
+// ready-time stamps are scheduled by the consumers that wait on them.
+func (m *QRM) NextEvent(now uint64) uint64 { return ^uint64(0) }
+
+// FastForward is a no-op: the host core accounts queue occupancy.
+func (m *QRM) FastForward(from, to uint64) {}

@@ -78,6 +78,14 @@ type RA struct {
 	scanCur    uint64
 	scanEnd    uint64
 
+	// activeAt is the last cycle this RA mutated any state (emitted a load,
+	// forwarded a CV, consumed an input, advanced or finished a scan, or
+	// retired completion-buffer entries). While activeAt == now the RA
+	// reports NextEvent = now+1, so quiescence fast-forward never skips the
+	// cycle after an action. Scratch: not serialized; the first stepped
+	// cycle after a restore re-establishes it.
+	activeAt uint64
+
 	Stats Stats
 }
 
@@ -111,7 +119,10 @@ func (r *RA) pruneOutstanding(now uint64) {
 			w++
 		}
 	}
-	r.outstanding = r.outstanding[:w]
+	if w != len(r.outstanding) {
+		r.outstanding = r.outstanding[:w]
+		r.activeAt = now // freed completion slots; may emit again next cycle
+	}
 }
 
 // emit issues one load of element idx and enqueues the result; returns false
@@ -130,6 +141,7 @@ func (r *RA) emit(now uint64, idx uint64) bool {
 	seq := r.out.Enq(val, false, int(phys))
 	r.out.MarkReady(seq, done)
 	r.outstanding = append(r.outstanding, done)
+	r.activeAt = now
 	r.Stats.Loads++
 	if tr := r.c.Tracer(); tr != nil {
 		tr.Emit(telemetry.EvRALoad, int16(r.c.ID()), telemetry.UnitRA, addr, done)
@@ -148,6 +160,7 @@ func (r *RA) forwardCV(now uint64, v uint64) bool {
 	}
 	seq := r.out.Enq(v, true, int(phys))
 	r.out.MarkReady(seq, now+1)
+	r.activeAt = now
 	r.Stats.CVForwarded++
 	if tr := r.c.Tracer(); tr != nil {
 		tr.Emit(telemetry.EvRACV, int16(r.c.ID()), telemetry.UnitRA, uint64(r.cfg.Out), v)
@@ -176,6 +189,7 @@ func (r *RA) Tick(now uint64) {
 		if r.scanActive {
 			if r.scanCur >= r.scanEnd {
 				r.scanActive = false
+				r.activeAt = now
 				continue
 			}
 			if !r.emit(now, r.scanCur) {
@@ -225,12 +239,56 @@ func (r *RA) Tick(now uint64) {
 				r.pendingVal = head.Val
 				r.havePending = true
 				r.takeInput()
+				r.activeAt = now
 				continue
 			}
 			start, end := r.pendingVal, head.Val
 			r.havePending = false
 			r.takeInput()
 			r.scanActive, r.scanCur, r.scanEnd = true, start, end
+			r.activeAt = now
 		}
 	}
 }
+
+// NextEvent returns the earliest cycle > now at which ticking the RA could
+// change state, assuming no other component acts first (the clocked-
+// component contract; see internal/sim/component.go). Self-scheduled events
+// are the completion-buffer retirements and the input head's ready time;
+// everything else that could unblock the RA — output-queue space, free
+// registers, a producer's commit — arrives via another component's busy
+// tick, which blocks fast-forward by itself.
+func (r *RA) NextEvent(now uint64) uint64 {
+	if r.activeAt >= now {
+		return now + 1
+	}
+	next := noEvent
+	for _, t := range r.outstanding {
+		if t <= now {
+			return now + 1 // retirement due; prune runs on the next tick
+		}
+		if t < next {
+			next = t
+		}
+	}
+	if !r.scanActive && r.in.CanDeq() {
+		if at := r.in.Head().ReadyAt; at != queue.NotReady && at > now {
+			if at < next {
+				next = at
+			}
+		}
+	}
+	return next
+}
+
+// noEvent mirrors sim.NoEvent; the packages cannot share the constant
+// without an import cycle.
+const noEvent = ^uint64(0)
+
+// FastForward replicates the per-tick completion-buffer pruning the skipped
+// cycles (from, to] would have performed. Because NextEvent reports every
+// outstanding completion time, a fast-forwarded run still ticks at each
+// retirement cycle, so this is normally a no-op kept for exactness: the
+// serialized outstanding list must match a cycle-by-cycle run at any
+// checkpoint boundary.
+func (r *RA) FastForward(from, to uint64) { r.pruneOutstanding(to) }

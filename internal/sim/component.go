@@ -1,0 +1,83 @@
+// The clocked-component model: every timing-carrying unit of the machine
+// (cores, the cache hierarchy, functional memory, queue register maps,
+// cross-core connectors, reference accelerators) implements Component, and
+// System drives a single registry of them on one authoritative clock
+// instead of hand-rolling per-kind tick loops.
+//
+// The contract enables quiescence fast-forward (docs/ARCHITECTURE.md): when
+// every component reports that its next possible action lies strictly in
+// the future, the kernel jumps the clock to min(NextEvent) and credits the
+// skipped cycles through FastForward, so memory-bound stall phases simulate
+// in O(events) instead of O(cycles) while staying bit-identical to the
+// cycle-by-cycle run.
+package sim
+
+// NoEvent is the NextEvent return value for a component with no
+// self-scheduled future work: it can only be re-activated by another
+// component's action (a queue enqueue, a register free, a commit).
+const NoEvent = ^uint64(0)
+
+// Component is one clocked unit of the machine. The System owns the
+// authoritative clock; components never advance time themselves.
+//
+// The fast-forward contract, on top of the usual SaveState/RestoreState
+// checkpoint contract each implementation also provides:
+//
+//   - Tick(now) advances the component one clock edge to cycle `now`.
+//     Ticks arrive in strictly increasing cycle order, but not necessarily
+//     for consecutive cycles.
+//   - NextEvent(now) is called after the component was ticked at `now` and
+//     returns the earliest cycle > now at which ticking it could change any
+//     machine state, assuming no other component acts in the interim
+//     (the kernel guarantees that assumption by only skipping cycles when
+//     *every* component is quiescent). It returns now+1 when the component
+//     is busy, and NoEvent when only external input can re-activate it.
+//     Returning too early merely costs a wasted tick; returning too late
+//     breaks bit-exactness — be conservative.
+//   - FastForward(from, to) applies the per-cycle statistics the skipped
+//     ticks for cycles (from, to] would have accumulated (CPI stall
+//     buckets, occupancy integrals, credit-stall counters) and advances any
+//     internal cycle mirror to `to`. It must not change any other state:
+//     by the NextEvent contract the skipped ticks were state no-ops.
+type Component interface {
+	Tick(now uint64)
+	NextEvent(now uint64) uint64
+	FastForward(from, to uint64)
+}
+
+// components returns the registry of clocked components in the canonical
+// tick order: memory, cache hierarchy, cores (each core ticks its own
+// attached units and QRM), then connectors. The order is stable and mirrors
+// the sysState serialization order, so checkpoint gob payloads and the
+// per-cycle tick sequence can never disagree across builds of the same
+// workload. It is rebuilt on demand because builders may attach connectors
+// (System.Connect) after construction.
+func (s *System) components() []Component {
+	comps := make([]Component, 0, 2+len(s.Cores)+len(s.conns))
+	comps = append(comps, s.Mem, s.Hier)
+	for _, c := range s.Cores {
+		comps = append(comps, c)
+	}
+	for _, c := range s.conns {
+		comps = append(comps, c)
+	}
+	return comps
+}
+
+// nextEvent returns the earliest cycle any component may act, clamped to at
+// least now+1 so a misbehaving component cannot stall the clock. It bails
+// out at the first component reporting now+1 (or earlier): no jump is
+// possible then, and busy phases query this every cycle.
+func (s *System) nextEvent(now uint64) uint64 {
+	t := uint64(NoEvent)
+	for _, c := range s.comps {
+		e := c.NextEvent(now)
+		if e <= now+1 {
+			return now + 1
+		}
+		if e < t {
+			t = e
+		}
+	}
+	return t
+}

@@ -25,8 +25,12 @@ func (s *System) DebugSnapshot() DebugSnapshot {
 	for _, c := range s.Cores {
 		d.Cores = append(d.Cores, c.DebugSnapshot())
 	}
-	if s.sampler != nil {
-		if last, ok := s.sampler.Last(); ok {
+	sm := s.sampler
+	if sm == nil {
+		sm = s.failSampler // point-of-failure snapshot taken with sampling disabled
+	}
+	if sm != nil {
+		if last, ok := sm.Last(); ok {
 			d.Telemetry = telemetry.FormatSnapshot(last, core.StallNames())
 		}
 	}

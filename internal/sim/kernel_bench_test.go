@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"testing"
+
+	"pipette/internal/isa"
+)
+
+// benchKernel runs a compute-bound countdown loop (no fast-forwardable
+// spans to speak of) through the ticked kernel with the given watchdog
+// check interval, reporting simulated cycles per host second.
+func benchKernel(b *testing.B, interval uint64) {
+	old := watchdogCheckInterval
+	watchdogCheckInterval = interval
+	defer func() { watchdogCheckInterval = old }()
+
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		s := New(DefaultConfig())
+		s.SetFastForward(false)
+		a := isa.NewAssembler("t")
+		a.MovI(1, 200_000)
+		a.Label("l")
+		a.SubI(1, 1, 1)
+		a.BneI(1, 0, "l")
+		a.Halt()
+		s.Cores[0].Load(0, a.MustLink())
+		r, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += r.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
+}
+
+// BenchmarkKernelWatchdogPerCycle forces the historical per-cycle commit
+// scan (check interval 1); BenchmarkKernelWatchdogHoisted is the shipped
+// every-K-cycles scan. The delta is the watchdog-hoist saving.
+func BenchmarkKernelWatchdogPerCycle(b *testing.B) { benchKernel(b, 1) }
+func BenchmarkKernelWatchdogHoisted(b *testing.B)  { benchKernel(b, watchdogCheckInterval) }

@@ -1,0 +1,219 @@
+package sim_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pipette/internal/core"
+	"pipette/internal/isa"
+	"pipette/internal/sim"
+	"pipette/internal/telemetry"
+)
+
+// countdownSystem builds a fresh single-core system running a simple
+// countdown loop (the workload from TestSamplingSeries).
+func countdownSystem(iters int64) *sim.System {
+	s := sim.New(sim.DefaultConfig())
+	a := isa.NewAssembler("t")
+	a.MovI(1, iters)
+	a.Label("l")
+	a.SubI(1, 1, 1)
+	a.BneI(1, 0, "l")
+	a.Halt()
+	s.Cores[0].Load(0, a.MustLink())
+	return s
+}
+
+// deadlockSystem builds a system whose two threads both dequeue first, so it
+// commits a few instructions and then never makes progress again.
+func deadlockSystem(cfg sim.Config) *sim.System {
+	s := sim.New(cfg)
+	a := isa.NewAssembler("a")
+	a.MapQ(10, 0, isa.QueueOut)
+	a.MapQ(11, 1, isa.QueueIn)
+	a.Mov(11, 10)
+	a.Halt()
+	b := isa.NewAssembler("b")
+	b.MapQ(10, 1, isa.QueueOut)
+	b.MapQ(11, 0, isa.QueueIn)
+	b.Mov(11, 10)
+	b.Halt()
+	s.Cores[0].Load(0, a.MustLink())
+	s.Cores[0].Load(1, b.MustLink())
+	return s
+}
+
+// RunUntil with `until` landing exactly on the completion cycle must finish
+// the workload (not stop one cycle short, not overshoot), and a bound one
+// cycle earlier must stop with the workload still in flight.
+func TestRunUntilExactCompletionBoundary(t *testing.T) {
+	ref := countdownSystem(2000)
+	refRes, err := ref.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := ref.Now()
+
+	s := countdownSystem(2000)
+	r, err := s.RunUntil(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() {
+		t.Fatalf("RunUntil(%d) did not complete the workload (now=%d)", final, s.Now())
+	}
+	if s.Now() != final {
+		t.Fatalf("RunUntil(%d) stopped at %d", final, s.Now())
+	}
+	if !reflect.DeepEqual(r, refRes) {
+		t.Fatalf("bounded run result differs:\n  bounded:   %+v\n  unbounded: %+v", r, refRes)
+	}
+
+	s = countdownSystem(2000)
+	if _, err := s.RunUntil(final - 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Done() {
+		t.Fatalf("RunUntil(%d) already done; completion was at %d", final-1, final)
+	}
+	if s.Now() != final-1 {
+		t.Fatalf("RunUntil(%d) stopped at %d", final-1, s.Now())
+	}
+	// Resuming with no bound finishes at exactly the reference cycle.
+	if _, err := s.RunUntil(0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() || s.Now() != final {
+		t.Fatalf("resume finished at %d (done=%v), want %d", s.Now(), s.Done(), final)
+	}
+}
+
+// MaxCycles is measured from the ROI base, not from absolute cycle zero:
+// after a warmup prefix and ResetStats (the fork-after-warmup pattern), the
+// budget restarts. The error must fire at exactly roiBase+MaxCycles+1 with
+// fast-forward on or off.
+func TestMaxCyclesFromROIBase(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.WatchdogCycles = 1 << 30 // keep the watchdog out of the way
+	cfg.MaxCycles = 3000
+
+	for _, ff := range []bool{true, false} {
+		// Fresh run: budget starts at cycle 0.
+		s := deadlockSystem(cfg)
+		s.SetFastForward(ff)
+		_, err := s.Run()
+		if err == nil || !strings.Contains(err.Error(), "exceeded MaxCycles=3000") {
+			t.Fatalf("ff=%v: want MaxCycles error, got %v", ff, err)
+		}
+		if s.Now() != 3001 {
+			t.Fatalf("ff=%v: MaxCycles fired at cycle %d, want 3001", ff, s.Now())
+		}
+
+		// Warmup prefix + ResetStats: the budget restarts at the new base.
+		s = deadlockSystem(cfg)
+		s.SetFastForward(ff)
+		if _, err := s.RunUntil(2000); err != nil {
+			t.Fatalf("ff=%v: warmup prefix: %v", ff, err)
+		}
+		s.ResetStats()
+		_, err = s.RunUntil(0)
+		if err == nil || !strings.Contains(err.Error(), "exceeded MaxCycles=3000") {
+			t.Fatalf("ff=%v: want MaxCycles error after reset, got %v", ff, err)
+		}
+		if s.Now() != 5001 {
+			t.Fatalf("ff=%v: MaxCycles fired at cycle %d, want 5001 (roiBase 2000)", ff, s.Now())
+		}
+	}
+}
+
+// The final partial-interval sample lands exactly on the completion cycle,
+// and calling RunUntil again on a finished system appends nothing.
+func TestDoneFinalPartialSample(t *testing.T) {
+	s := countdownSystem(500)
+	sm := s.EnableSampling(64)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() {
+		t.Fatal("workload not done")
+	}
+	samples := sm.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	last := samples[len(samples)-1]
+	if last.Cycle != s.Now() {
+		t.Fatalf("last sample at cycle %d, run finished at %d", last.Cycle, s.Now())
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Cycle <= samples[i-1].Cycle {
+			t.Fatalf("sample cycles not strictly increasing: %d then %d",
+				samples[i-1].Cycle, samples[i].Cycle)
+		}
+	}
+	// RunUntil on a finished system is a no-op: no extra samples, no clock
+	// movement (checkpoint loops and probes may call it past completion).
+	n, now := len(samples), s.Now()
+	if _, err := s.RunUntil(now + 1000); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != now {
+		t.Fatalf("RunUntil on finished system moved the clock %d -> %d", now, s.Now())
+	}
+	if got := len(sm.Samples()); got != n {
+		t.Fatalf("RunUntil on finished system appended samples: %d -> %d", n, got)
+	}
+}
+
+// A watchdog failure with sampling disabled must not attach a sampler as a
+// side effect: the failure snapshot reaches the error text, but the system
+// still reports sampling as disabled afterwards.
+func TestFailureSnapshotDoesNotAttachSampler(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.WatchdogCycles = 5000
+	s := deadlockSystem(cfg)
+	if s.Sampler() != nil {
+		t.Fatal("sampler attached before any run")
+	}
+	_, err := s.Run()
+	if err == nil {
+		t.Fatal("watchdog did not fire")
+	}
+	if !strings.Contains(err.Error(), "telemetry snapshot") {
+		t.Fatalf("deadlock error lost the failure snapshot:\n%v", err)
+	}
+	if s.Sampler() != nil {
+		t.Fatal("failure snapshot permanently attached a sampler")
+	}
+}
+
+// A core that never classified a cycle (zero commits on an errored run)
+// reports explicit zero CPI fractions instead of dividing by a fake total —
+// and the resulting report still validates.
+func TestReportZeroCommitCore(t *testing.T) {
+	r := sim.Result{Cycles: 100, CoreStats: make([]core.Stats, 2)}
+	r.CoreStats[0].Committed = 40
+	r.CoreStats[0].Cycles = 100
+	r.CoreStats[0].CPI.Issue = 40
+	r.CoreStats[0].CPI.Backend = 60
+	r.CoreStats[1].Cycles = 100 // never issued, never stalled-with-reason
+	r.Committed = 40
+
+	rep := r.Report()
+	if got := rep.CoreStats[1].CPI; got != (telemetry.CPIReport{}) {
+		t.Fatalf("zero-commit core CPI fractions = %+v, want all zero", got)
+	}
+	if got := rep.CoreStats[0].CPI; got.Issue != 0.4 || got.Backend != 0.6 {
+		t.Fatalf("active core CPI fractions = %+v, want issue=0.4 backend=0.6", got)
+	}
+
+	rep.Error = "sim: deadlock (test)"
+	var b strings.Builder
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := telemetry.ValidateReport(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("zero-CPI report does not validate: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 // Package sim assembles full systems: N Pipette cores sharing a memory
-// hierarchy and functional memory, plus cross-core connectors. It provides
-// the deterministic run loop (single goroutine, cycle-by-cycle) with a
+// hierarchy and functional memory, plus cross-core connectors. It drives a
+// registry of clocked components (see Component) on one authoritative
+// clock, with quiescence fast-forward for memory-bound stall phases, a
 // deadlock watchdog, and collects the statistics the experiment harness
 // turns into the paper's figures.
 package sim
@@ -14,6 +15,15 @@ import (
 	"pipette/internal/mem"
 	"pipette/internal/telemetry"
 )
+
+// watchdogCheckInterval is how often (in cycles) RunUntil re-scans the
+// cores' commit counters for the deadlock watchdog. Progress cycles are
+// recovered exactly from Core.LastCommitAt, and the check is additionally
+// forced at every cycle where an error could first fire, so the interval
+// only bounds bookkeeping staleness — error semantics are identical to a
+// per-cycle scan. A variable (not const) so the kernel benchmark can
+// measure the cost of the historical per-cycle scan.
+var watchdogCheckInterval uint64 = 1024
 
 // Config describes a system.
 type Config struct {
@@ -44,6 +54,11 @@ type System struct {
 	Cores []*core.Core
 	conns []*connector.Connector
 
+	// comps is the clocked-component registry RunUntil drives; it is
+	// rebuilt at the top of every run segment because builders may attach
+	// connectors after construction. See component.go for the tick order.
+	comps []Component
+
 	// now is the authoritative cycle counter; it persists across RunUntil
 	// segments and through checkpoint save/restore. roiBase is the cycle at
 	// the last stats reset: Result.Cycles covers [roiBase, now] so warmup
@@ -51,12 +66,22 @@ type System struct {
 	now     uint64
 	roiBase uint64
 
+	// noFastForward disables quiescence fast-forward (the -no-fastforward
+	// escape hatch); results are bit-identical either way, only wall-clock
+	// differs.
+	noFastForward bool
+
 	// Watchdog scratch (not serialized; re-primed on restore/reset).
 	lastCommit   uint64
 	lastProgress uint64
 
 	tracer  *telemetry.Tracer
 	sampler *telemetry.Sampler
+
+	// failSampler holds the forced point-of-failure snapshot taken when an
+	// error fires with sampling disabled, so deadlock reports still carry
+	// queue occupancies without permanently attaching a sampler.
+	failSampler *telemetry.Sampler
 }
 
 // EnableTracing attaches an event tracer to every component (cores, QRMs,
@@ -80,27 +105,36 @@ func (s *System) EnableSampling(interval uint64) *telemetry.Sampler {
 	return s.sampler
 }
 
+// SetFastForward enables or disables quiescence fast-forward (enabled by
+// default). Disabling forces the kernel to tick every cycle; final cycle
+// counts, state hashes and telemetry are identical either way — the switch
+// exists as an escape hatch and for the equivalence test matrix.
+func (s *System) SetFastForward(enabled bool) { s.noFastForward = !enabled }
+
 // Tracer returns the attached tracer (nil when tracing is disabled).
 func (s *System) Tracer() *telemetry.Tracer { return s.tracer }
 
 // Sampler returns the attached sampler (nil when sampling is disabled).
 func (s *System) Sampler() *telemetry.Sampler { return s.sampler }
 
-// sample appends one telemetry sample at the given cycle.
-func (s *System) sample(cycle uint64) {
-	sm := telemetry.Sample{Cycle: cycle}
+// sampleInto appends one telemetry sample at the given cycle to sm.
+func (s *System) sampleInto(sm *telemetry.Sampler, cycle uint64) {
+	smp := telemetry.Sample{Cycle: cycle}
 	for _, c := range s.Cores {
 		cs := c.Sample()
-		sm.Committed += cs.Committed
-		sm.Cores = append(sm.Cores, cs)
+		smp.Committed += cs.Committed
+		smp.Cores = append(smp.Cores, cs)
 	}
 	hs := s.Hier.Stats
-	sm.Cache = telemetry.CacheSample{
+	smp.Cache = telemetry.CacheSample{
 		L1Hits: hs.L1Hits, L2Hits: hs.L2Hits, L3Hits: hs.L3Hits,
 		DRAM: hs.DRAMAccesses, Prefetches: hs.Prefetches,
 	}
-	s.sampler.Append(sm)
+	sm.Append(smp)
 }
+
+// sample appends one telemetry sample at the given cycle.
+func (s *System) sample(cycle uint64) { s.sampleInto(s.sampler, cycle) }
 
 // New builds the system; workloads then lay out data in s.Mem and load
 // programs onto s.Cores before calling Run.
@@ -160,30 +194,33 @@ func (r Result) Report() telemetry.Report {
 		IPC:       r.IPC(),
 	}
 	for i, cs := range r.CoreStats {
-		tot := float64(cs.CPI.Total())
-		if tot == 0 {
-			tot = 1
-		}
-		rep.CoreStats = append(rep.CoreStats, telemetry.CoreReport{
-			Committed:   cs.Committed,
-			Uops:        cs.Uops,
-			IPC:         r.CoreIPC(i),
-			Branches:    cs.Branches,
-			Mispredicts: cs.Mispredicts,
-			CVTraps:     cs.CVTraps,
-			EnqTraps:    cs.EnqTraps,
-			SkipOps:     cs.SkipOps,
-			SkipDiscard: cs.SkipDiscard,
-			Enqueues:    cs.Enqueues,
-			Dequeues:    cs.Dequeues,
-			RegReads:    cs.RegReads,
-			RegWrites:   cs.RegWrites,
-			CPI: telemetry.CPIReport{
+		// A core that never classified a cycle (e.g. zero-commit cores on
+		// an errored run) reports explicit zero fractions rather than
+		// dividing by a fake total.
+		var cpi telemetry.CPIReport
+		if tot := float64(cs.CPI.Total()); tot > 0 {
+			cpi = telemetry.CPIReport{
 				Issue:   float64(cs.CPI.Issue) / tot,
 				Backend: float64(cs.CPI.Backend) / tot,
 				Queue:   float64(cs.CPI.Queue) / tot,
 				Front:   float64(cs.CPI.Front) / tot,
-			},
+			}
+		}
+		rep.CoreStats = append(rep.CoreStats, telemetry.CoreReport{
+			Committed:      cs.Committed,
+			Uops:           cs.Uops,
+			IPC:            r.CoreIPC(i),
+			Branches:       cs.Branches,
+			Mispredicts:    cs.Mispredicts,
+			CVTraps:        cs.CVTraps,
+			EnqTraps:       cs.EnqTraps,
+			SkipOps:        cs.SkipOps,
+			SkipDiscard:    cs.SkipDiscard,
+			Enqueues:       cs.Enqueues,
+			Dequeues:       cs.Dequeues,
+			RegReads:       cs.RegReads,
+			RegWrites:      cs.RegWrites,
+			CPI:            cpi,
 			MeanMappedRegs: cs.MeanMappedRegs(),
 			PeakMappedRegs: cs.QueueOccupancyMax,
 			PerThread:      cs.PerThread,
@@ -231,13 +268,11 @@ func (s *System) Done() bool { return s.done() }
 // (one is taken at the point of failure even when sampling is disabled).
 func (s *System) Run() (Result, error) { return s.RunUntil(0) }
 
-// step advances the machine one clock edge.
+// step advances the machine one clock edge, ticking every component in
+// registry order.
 func (s *System) step(sampleEvery uint64) {
 	s.now++
-	for _, c := range s.Cores {
-		c.Cycle()
-	}
-	for _, c := range s.conns {
+	for _, c := range s.comps {
 		c.Tick(s.now)
 	}
 	if sampleEvery != 0 && s.now%sampleEvery == 0 {
@@ -245,11 +280,95 @@ func (s *System) step(sampleEvery uint64) {
 	}
 }
 
+// fastForward jumps the clock over a provably quiescent span: when every
+// component's next possible action lies at cycle t > now+1, the cycles
+// (now, t-1] are state no-ops, so they are credited analytically
+// (Component.FastForward) instead of ticked, and the telemetry samples that
+// would have fallen inside the span are emitted at their exact cycle
+// numbers with identical (frozen) contents. The jump never crosses `bound`
+// — the run-segment limit or the next error-deadline cycle — so watchdog
+// and MaxCycles errors fire at exactly the cycle a ticked run fires them.
+func (s *System) fastForward(bound, sampleEvery uint64) {
+	t := s.nextEvent(s.now)
+	if t <= s.now+1 {
+		return
+	}
+	target := t - 1
+	if bound < target {
+		target = bound
+	}
+	if target <= s.now {
+		return
+	}
+	from := s.now
+	for _, c := range s.comps {
+		c.FastForward(from, target)
+	}
+	s.now = target
+	if sampleEvery != 0 {
+		for m := from - from%sampleEvery + sampleEvery; m <= target; m += sampleEvery {
+			s.sample(m)
+		}
+	}
+}
+
+// lastCommitCycle returns the cycle of the most recent architectural commit
+// on any core (exact, maintained by the cores themselves), so the hoisted
+// watchdog recovers the same progress cycle a per-cycle scan records.
+func (s *System) lastCommitCycle() uint64 {
+	var last uint64
+	for _, c := range s.Cores {
+		if at := c.LastCommitAt(); at > last {
+			last = at
+		}
+	}
+	return last
+}
+
+// errDeadline returns the earliest future cycle at which an error condition
+// could first fire given the current progress bookkeeping: the watchdog
+// fires at lastProgress+watchdog+1, MaxCycles at roiBase+MaxCycles+1.
+func (s *System) errDeadline(watchdog uint64) uint64 {
+	dl := s.lastProgress + watchdog + 1
+	if s.cfg.MaxCycles > 0 {
+		if mc := s.roiBase + s.cfg.MaxCycles + 1; mc < dl {
+			dl = mc
+		}
+	}
+	return dl
+}
+
+// checkLimits refreshes commit-progress bookkeeping and fires the watchdog
+// or MaxCycles error when its deadline cycle is reached. Bookkeeping
+// between deadlines is approximate-by-at-most-K cycles, but the recorded
+// progress cycle (via lastCommitCycle) and the error cycle (the loop never
+// crosses a deadline without checking) are exact, so error semantics are
+// identical to the historical per-cycle scan.
+func (s *System) checkLimits(watchdog uint64) error {
+	total := uint64(0)
+	for _, c := range s.Cores {
+		total += c.Committed()
+	}
+	if total != s.lastCommit {
+		s.lastCommit, s.lastProgress = total, s.lastCommitCycle()
+	}
+	if s.now-s.lastProgress > watchdog {
+		s.snapshotNow(s.now)
+		return fmt.Errorf("sim: deadlock — no commit since cycle %d (%d committed)\n%s", s.lastProgress, s.lastCommit, s.DebugState())
+	}
+	if s.cfg.MaxCycles > 0 && s.now-s.roiBase > s.cfg.MaxCycles {
+		s.snapshotNow(s.now)
+		return fmt.Errorf("sim: exceeded MaxCycles=%d", s.cfg.MaxCycles)
+	}
+	return nil
+}
+
 // RunUntil simulates until the workload completes or the absolute cycle
 // `until` is reached (0 = no bound), whichever comes first. Stopping at a
 // cycle bound is not an error — checkpoint-every loops and divergence
 // probes call it repeatedly; use Done to distinguish completion.
 func (s *System) RunUntil(until uint64) (Result, error) {
+	s.comps = s.components()
 	watchdog := s.cfg.WatchdogCycles
 	if watchdog == 0 {
 		watchdog = 2_000_000
@@ -258,37 +377,63 @@ func (s *System) RunUntil(until uint64) (Result, error) {
 	if s.sampler != nil {
 		sampleEvery = s.sampler.Interval
 	}
+	nextCheck := s.now // prime bookkeeping on the first stepped cycle
 	for !s.done() && (until == 0 || s.now < until) {
 		s.step(sampleEvery)
-		total := uint64(0)
-		for _, c := range s.Cores {
-			total += c.Committed()
+		if s.now >= nextCheck {
+			if err := s.checkLimits(watchdog); err != nil {
+				return s.result(), err
+			}
+			nextCheck = s.now + watchdogCheckInterval
+			if dl := s.errDeadline(watchdog); dl < nextCheck {
+				nextCheck = dl
+			}
 		}
-		if total != s.lastCommit {
-			s.lastCommit, s.lastProgress = total, s.now
-		}
-		if s.now-s.lastProgress > watchdog {
-			s.snapshotNow(s.now)
-			return s.result(), fmt.Errorf("sim: deadlock — no commit since cycle %d (%d committed)\n%s", s.lastProgress, s.lastCommit, s.DebugState())
-		}
-		if s.cfg.MaxCycles > 0 && s.now-s.roiBase > s.cfg.MaxCycles {
-			s.snapshotNow(s.now)
-			return s.result(), fmt.Errorf("sim: exceeded MaxCycles=%d", s.cfg.MaxCycles)
+		if !s.noFastForward {
+			// The jump may not cross the segment bound or the next cycle
+			// an error could fire at; land exactly on it instead so the
+			// forced check below reproduces per-cycle error semantics.
+			bound := s.errDeadline(watchdog)
+			if until != 0 && until < bound {
+				bound = until
+			}
+			if s.now < bound {
+				s.fastForward(bound, sampleEvery)
+			}
+			if s.now >= nextCheck {
+				if err := s.checkLimits(watchdog); err != nil {
+					return s.result(), err
+				}
+				nextCheck = s.now + watchdogCheckInterval
+				if dl := s.errDeadline(watchdog); dl < nextCheck {
+					nextCheck = dl
+				}
+			}
 		}
 	}
 	if s.done() && sampleEvery != 0 && s.now%sampleEvery != 0 {
-		s.sample(s.now) // final partial-interval sample so the series covers the whole run
+		// Final partial-interval sample so the series covers the whole run.
+		// Guarded on the last recorded cycle so a RunUntil call on an
+		// already-finished system is a no-op instead of duplicating it.
+		if last, ok := s.sampler.Last(); !ok || last.Cycle < s.now {
+			s.sample(s.now)
+		}
 	}
 	return s.result(), nil
 }
 
 // snapshotNow forces a telemetry sample at the point of failure so error
-// reports include queue occupancies and stall reasons.
+// reports include queue occupancies and stall reasons. When sampling is
+// disabled it records the sample on a detached failure-only sampler rather
+// than permanently attaching one — later RunUntil segments must not start
+// sampling as a side effect of an earlier error.
 func (s *System) snapshotNow(cycles uint64) {
-	if s.sampler == nil {
-		s.sampler = telemetry.NewSampler(0)
+	if s.sampler != nil {
+		s.sample(cycles)
+		return
 	}
-	s.sample(cycles)
+	s.failSampler = telemetry.NewSampler(0)
+	s.sampleInto(s.failSampler, cycles)
 }
 
 func (s *System) result() Result {

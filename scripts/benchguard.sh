@@ -1,20 +1,23 @@
 #!/bin/sh
 # Benchmark-regression guard. Runs the telemetry-overhead benchmark (the
-# disabled-telemetry hot path) and the sweep-throughput benchmark, then
-# fails if any ns/op exceeds its ceiling in
-# build/baselines/bench_thresholds.txt.
+# disabled-telemetry hot path), the sweep-throughput benchmark, and the
+# simulation-kernel throughput bench (pipette-kernelbench on the bfs/prd
+# rows), then fails if any number exceeds its ceiling in
+# build/baselines/bench_thresholds.txt / kernel_thresholds.txt.
 #
-# Thresholds are deliberately loose (4x a measured run) so shared-runner
-# noise cannot trip them: a trip means a real, large regression. To
-# re-baseline after an intentional performance change:
+# Thresholds are deliberately loose (4x a measured run; fast-forward speedup
+# floors at half measured) so shared-runner noise cannot trip them: a trip
+# means a real, large regression. To re-baseline after an intentional
+# performance change:
 #
 #	scripts/benchguard.sh -update   # rewrites thresholds at 4x measured
 #
-# and commit the updated build/baselines/bench_thresholds.txt.
+# and commit the updated build/baselines/ files.
 set -eu
 
 cd "$(dirname "$0")/.."
 base=build/baselines/bench_thresholds.txt
+kernelbase=build/baselines/kernel_thresholds.txt
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
@@ -33,6 +36,7 @@ if [ "${1:-}" = "-update" ]; then
 	} >"$base"
 	echo "benchguard: thresholds rewritten:"
 	cat "$base"
+	go run ./cmd/pipette-kernelbench -apps bfs,prd -update-baseline "$kernelbase"
 	exit 0
 fi
 
@@ -54,4 +58,10 @@ while read -r name ns; do
 		echo "benchguard: ok $name ($ns ns/op <= $limit)"
 	fi
 done <"$tmp"
+
+# Kernel throughput: ticked ns/cycle ceilings and fast-forward speedup
+# floors on the bfs/prd rows (see cmd/pipette-kernelbench).
+if ! go run ./cmd/pipette-kernelbench -apps bfs,prd -check "$kernelbase"; then
+	fail=1
+fi
 exit "$fail"
