@@ -38,6 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "override the base RNG seed for synthetic inputs (0 = default)")
 	tiny := flag.Bool("tiny", false, "use the fast test-scale configuration (CI smoke)")
 	noFF := flag.Bool("no-fastforward", false, "tick every cycle instead of fast-forwarding quiescent spans (identical results, slower)")
+	simWorkers := flag.Int("sim-workers", 1, "goroutines ticking simulated cores inside each cell (identical results at any value)")
 	reportOut := flag.String("report-out", "", "write the evaluation matrix as a run-set JSON file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -86,6 +87,7 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.NoFastForward = *noFF
+	cfg.SimWorkers = *simWorkers
 
 	opts := harness.SweepOptions{Jobs: *jobs, FailFast: *failFast, CacheDir: *sweepCache, Warmup: *warmup}
 	if !*quiet {

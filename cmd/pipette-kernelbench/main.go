@@ -6,7 +6,7 @@
 // matrix asserts this); only wall-clock differs, and the ratio is the
 // fast-forward speedup.
 //
-// Rows come in two regimes:
+// Rows come in three regimes:
 //
 //   - "std": the harness evaluation configuration (scale-8 caches, stream
 //     prefetch on, scale-1 inputs via bench.Lookup) — the pipette variant of
@@ -17,6 +17,13 @@
 //     workloads for the >= 2x fast-forward criterion: with decoupling
 //     disabled, the core spends most cycles provably quiescent behind
 //     180-cycle DRAM misses, exactly the phases the kernel skips.
+//   - "parallel": the parallel tick kernel (docs/PARALLEL.md) — 4-sim-core
+//     streaming workloads measured with the single-goroutine kernel versus
+//     -sim-workers=4. Both runs keep fast-forward on (the production
+//     configuration); the speedup is single-goroutine vs worker-pool
+//     throughput on a bit-identical simulation. It only materializes with
+//     enough host cores, so the speedup floor is skipped by -check on hosts
+//     with fewer than 4 CPUs (the document always records host_cpus).
 //
 // Usage:
 //
@@ -24,9 +31,9 @@
 //	pipette-kernelbench -apps bfs,prd -check build/baselines/kernel_thresholds.txt
 //	pipette-kernelbench -apps bfs,prd -update-baseline build/baselines/kernel_thresholds.txt
 //
-// The -check mode guards ticked-kernel ns/cycle against loose (4x measured)
-// ceilings and fast-forward speedup against per-row floors, both recorded in
-// the baseline file; scripts/benchguard.sh drives it in CI.
+// The -check mode guards base-kernel ns/cycle against loose (4x measured)
+// ceilings and the per-row speedup against recorded floors; scripts/
+// benchguard.sh drives it in CI.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -44,20 +52,34 @@ import (
 	"pipette/internal/sim"
 )
 
-// Schema identifies the BENCH_kernel.json document format.
-const Schema = "pipette.kernelbench/v1"
+// Schema identifies the BENCH_kernel.json document format. v2: adds host
+// metadata (host_cpus, gomaxprocs, sim_workers) and the "parallel" regime,
+// whose base/contrast modes are worker counts rather than fast-forward
+// settings.
+const Schema = "pipette.kernelbench/v2"
 
-// run is one measured row.
+// parallelWorkers is the -sim-workers setting of the parallel-regime
+// contrast runs (matches the 4 simulated cores of the streaming variants).
+const parallelWorkers = 4
+
+// run is one measured row. The two modes are the regime's base kernel and
+// its contrast: for std/membound rows Ticked is the -no-fastforward kernel
+// and FastForward the quiescence-fast-forwarding one; for parallel rows
+// Ticked is the single-goroutine kernel and FastForward the -sim-workers
+// pool (Workers records the count), both with fast-forward enabled. In
+// every regime the simulated results are bit-identical between the two
+// modes — the row fails if even the cycle count differs.
 type run struct {
-	Regime  string `json:"regime"` // "std" or "membound"
+	Regime  string `json:"regime"` // "std", "membound" or "parallel"
 	App     string `json:"app"`
 	Variant string `json:"variant"`
 	Input   string `json:"input"`
 	Cycles  uint64 `json:"cycles"` // simulated ROI cycles (identical both modes)
 
-	Ticked      mode    `json:"ticked"`       // -no-fastforward kernel
-	FastForward mode    `json:"fast_forward"` // quiescence fast-forward on
-	Speedup     float64 `json:"speedup"`      // FastForward.CyclesPerSec / Ticked.CyclesPerSec
+	Ticked      mode    `json:"ticked"`            // base kernel (see above)
+	FastForward mode    `json:"fast_forward"`      // contrast kernel
+	Workers     int     `json:"workers,omitempty"` // contrast -sim-workers (parallel regime)
+	Speedup     float64 `json:"speedup"`           // FastForward.CyclesPerSec / Ticked.CyclesPerSec
 }
 
 type mode struct {
@@ -66,9 +88,14 @@ type mode struct {
 	NsPerCycle   float64 `json:"ns_per_cycle"`
 }
 
+// doc field order is the JSON key order (encoding/json emits struct fields
+// in declaration order), so the document layout is deterministic.
 type doc struct {
-	Schema string `json:"schema"`
-	Runs   []run  `json:"runs"`
+	Schema     string `json:"schema"`
+	HostCPUs   int    `json:"host_cpus"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	SimWorkers int    `json:"sim_workers"` // parallel-regime contrast worker count
+	Runs       []run  `json:"runs"`
 }
 
 // memBoundGraphScale sizes the road graph of the membound rows (4x the
@@ -90,6 +117,8 @@ var matrix = []spec{
 	{"std", "radii", bench.VPipette, "Co"},
 	{"std", "spmm", bench.VPipette, "Am"},
 	{"std", "silo", bench.VPipette, "ycsbc"},
+	{"parallel", "bfs", bench.VStreaming, "Rd"},
+	{"parallel", "prd", bench.VStreaming, "Rd"},
 }
 
 // resolve maps a row spec to its workload builder, core count and system
@@ -97,7 +126,7 @@ var matrix = []spec{
 func resolve(sp spec) (bench.Builder, int, sim.Config, error) {
 	cfg := sim.DefaultConfig()
 	cfg.WatchdogCycles = 10_000_000
-	if sp.regime == "std" {
+	if sp.regime == "std" || sp.regime == "parallel" {
 		b, cores, err := bench.Lookup(sp.app, sp.variant, sp.input, 2, 1)
 		cfg.Cache = cache.DefaultConfig().Scale(8)
 		return b, cores, cfg, err
@@ -126,7 +155,7 @@ func resolve(sp spec) (bench.Builder, int, sim.Config, error) {
 	return nil, 0, cfg, fmt.Errorf("no membound row for %s/%s", sp.app, sp.variant)
 }
 
-func measure(sp spec, ff bool) (uint64, float64, error) {
+func measure(sp spec, ff bool, workers int) (uint64, float64, error) {
 	b, cores, cfg, err := resolve(sp)
 	if err != nil {
 		return 0, 0, err
@@ -134,6 +163,7 @@ func measure(sp spec, ff bool) (uint64, float64, error) {
 	cfg.Cores = cores
 	s := sim.New(cfg)
 	s.SetFastForward(ff)
+	s.SetWorkers(workers)
 	// Time the simulation only: workload construction (graph layout into
 	// simulated memory) and result validation are kernel-independent.
 	check := b(s)
@@ -165,33 +195,47 @@ func main() {
 		}
 	}
 
-	d := doc{Schema: Schema}
+	d := doc{Schema: Schema, HostCPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0), SimWorkers: parallelWorkers}
 	for _, sp := range matrix {
 		if len(keep) > 0 && !keep[sp.app] {
 			continue
 		}
-		// Ticked first, then fast-forward; one warm-up-free run each — the
-		// workloads are long enough that timer noise is in the low percents.
-		cyc, tickedWall, err := measure(sp, false)
+		// Base kernel first, then the contrast; one warm-up-free run each —
+		// the workloads are long enough that timer noise is in the low
+		// percents. std/membound contrast fast-forward; parallel rows keep
+		// fast-forward on in both modes and contrast the worker pool.
+		var cyc, conCyc uint64
+		var baseWall, conWall float64
+		var err error
+		if sp.regime == "parallel" {
+			cyc, baseWall, err = measure(sp, true, 1)
+			if err == nil {
+				conCyc, conWall, err = measure(sp, true, parallelWorkers)
+			}
+		} else {
+			cyc, baseWall, err = measure(sp, false, 1)
+			if err == nil {
+				conCyc, conWall, err = measure(sp, true, 1)
+			}
+		}
 		if err != nil {
 			fatal(err)
 		}
-		ffCyc, ffWall, err := measure(sp, true)
-		if err != nil {
-			fatal(err)
-		}
-		if ffCyc != cyc {
-			fatal(fmt.Errorf("%s/%s/%s: fast-forward changed the cycle count: %d vs %d",
-				sp.app, sp.variant, sp.input, ffCyc, cyc))
+		if conCyc != cyc {
+			fatal(fmt.Errorf("%s/%s/%s/%s: contrast run changed the cycle count: %d vs %d",
+				sp.regime, sp.app, sp.variant, sp.input, conCyc, cyc))
 		}
 		r := run{
 			Regime: sp.regime, App: sp.app, Variant: sp.variant, Input: sp.input, Cycles: cyc,
-			Ticked:      newMode(cyc, tickedWall),
-			FastForward: newMode(cyc, ffWall),
+			Ticked:      newMode(cyc, baseWall),
+			FastForward: newMode(cyc, conWall),
+		}
+		if sp.regime == "parallel" {
+			r.Workers = parallelWorkers
 		}
 		r.Speedup = r.FastForward.CyclesPerSec / r.Ticked.CyclesPerSec
 		d.Runs = append(d.Runs, r)
-		fmt.Fprintf(os.Stderr, "%-8s %-6s %-10s %-5s %12d cycles  ticked %8.0f c/s  ff %9.0f c/s  speedup %5.2fx\n",
+		fmt.Fprintf(os.Stderr, "%-8s %-6s %-10s %-5s %12d cycles  base %8.0f c/s  contrast %9.0f c/s  speedup %5.2fx\n",
 			sp.regime, sp.app, sp.variant, sp.input, cyc, r.Ticked.CyclesPerSec, r.FastForward.CyclesPerSec, r.Speedup)
 	}
 	if len(d.Runs) == 0 {
@@ -227,24 +271,33 @@ func newMode(cycles uint64, wall float64) mode {
 
 func key(r run) string { return r.Regime + "/" + r.App + "/" + r.Variant + "/" + r.Input }
 
-// writeBaseline records, per row, a ceiling on ticked-kernel ns/cycle (4x
+// writeBaseline records, per row, a ceiling on base-kernel ns/cycle (4x
 // measured, loose enough that shared-runner noise cannot trip it) and a
-// floor on the fast-forward speedup (half the measured ratio, min 1.0 — the
-// ratio is host-speed independent, so it is a much tighter guard).
+// floor on the contrast speedup (half the measured ratio, min 1.0 — the
+// ratio is host-speed independent, so it is a much tighter guard). Parallel
+// rows floor at the 1.5x acceptance criterion instead: the measured ratio
+// depends on the host CPU count, but any >= 4-CPU host must clear 1.5x
+// (hosts below that skip the floor at check time).
 func writeBaseline(path string, d doc) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	w := bufio.NewWriter(f)
-	fmt.Fprintln(w, "# Kernel-throughput thresholds: regime/app/variant/input max-ticked-ns-per-cycle min-ff-speedup.")
-	fmt.Fprintln(w, "# Loose ceilings (4x measured ns/cycle, 0.5x measured speedup, floor 1.0) so")
-	fmt.Fprintln(w, "# runner noise cannot trip them. Regenerate with:")
+	fmt.Fprintln(w, "# Kernel-throughput thresholds: regime/app/variant/input max-base-ns-per-cycle min-speedup.")
+	fmt.Fprintln(w, "# std/membound rows contrast fast-forward against the ticked kernel; parallel")
+	fmt.Fprintln(w, "# rows contrast -sim-workers=4 against the single-goroutine kernel (their")
+	fmt.Fprintln(w, "# speedup floor is skipped on hosts with fewer than 4 CPUs).")
+	fmt.Fprintln(w, "# Loose ceilings (4x measured ns/cycle, 0.5x measured speedup, floor 1.0;")
+	fmt.Fprintln(w, "# parallel floor 1.5) so runner noise cannot trip them. Regenerate with:")
 	fmt.Fprintln(w, "#   go run ./cmd/pipette-kernelbench -apps <apps> -update-baseline <this file>")
 	for _, r := range d.Runs {
 		floor := r.Speedup / 2
 		if floor < 1 {
 			floor = 1
+		}
+		if r.Regime == "parallel" && floor < 1.5 {
+			floor = 1.5
 		}
 		fmt.Fprintf(w, "%s %d %.2f\n", key(r), uint64(r.Ticked.NsPerCycle*4)+1, floor)
 	}
@@ -287,11 +340,17 @@ func checkBaseline(path string, d doc) error {
 			continue
 		}
 		if r.Ticked.NsPerCycle > lim[0] {
-			fmt.Fprintf(os.Stderr, "kernelbench: FAIL %s: ticked %.1f ns/cycle exceeds %.1f\n",
+			fmt.Fprintf(os.Stderr, "kernelbench: FAIL %s: base kernel %.1f ns/cycle exceeds %.1f\n",
 				key(r), r.Ticked.NsPerCycle, lim[0])
 			fail = true
+		} else if r.Regime == "parallel" && d.HostCPUs < parallelWorkers {
+			// The worker pool cannot beat the single-goroutine kernel
+			// without host cores to run on; the ns/cycle ceiling above
+			// still guards the row.
+			fmt.Fprintf(os.Stderr, "kernelbench: skip %s speedup floor: host has %d CPUs (< %d)\n",
+				key(r), d.HostCPUs, parallelWorkers)
 		} else if r.Speedup < lim[1] {
-			fmt.Fprintf(os.Stderr, "kernelbench: FAIL %s: fast-forward speedup %.2fx below floor %.2fx\n",
+			fmt.Fprintf(os.Stderr, "kernelbench: FAIL %s: speedup %.2fx below floor %.2fx\n",
 				key(r), r.Speedup, lim[1])
 			fail = true
 		} else {

@@ -50,6 +50,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write sampled time-series metrics (.csv, or .json)")
 	metricsInterval := flag.Uint64("metrics-interval", 0, "sampling period in cycles (default 1024)")
 	noFF := flag.Bool("no-fastforward", false, "tick every cycle instead of fast-forwarding quiescent spans (identical results, slower)")
+	simWorkers := flag.Int("sim-workers", 1, "goroutines ticking simulated cores each cycle (identical results at any value)")
 	ckptEvery := flag.Uint64("checkpoint-every", 0, "write a snapshot every N simulated cycles (0 disables)")
 	ckptOut := flag.String("checkpoint-out", "pipette.snap", "snapshot file for -checkpoint-every")
 	resume := flag.String("resume", "", "resume from a snapshot file (workload flags come from its metadata)")
@@ -95,6 +96,7 @@ func main() {
 	cfg.WatchdogCycles = 10_000_000
 	s := sim.New(cfg)
 	s.SetFastForward(!*noFF)
+	s.SetWorkers(*simWorkers)
 	if *traceOut != "" {
 		s.EnableTracing(*traceBuf)
 	}

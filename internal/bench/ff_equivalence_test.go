@@ -9,20 +9,25 @@ import (
 	"pipette/internal/cache"
 	"pipette/internal/core"
 	"pipette/internal/sim"
+	"pipette/internal/telemetry"
 )
 
-// ffRun is everything quiescence fast-forward must leave bit-identical:
-// the final absolute cycle, the full Result (cycle counts, CPI stacks,
-// occupancy integrals, connector stats via StateHash), the canonical state
-// hash, and the sampled telemetry series rendered to its on-disk form.
+// ffRun is everything an execution-strategy knob (quiescence fast-forward,
+// the -sim-workers pool) must leave bit-identical: the final absolute
+// cycle, the full Result (cycle counts, CPI stacks, occupancy integrals,
+// connector stats via StateHash), the canonical state hash, the sampled
+// telemetry series rendered to its on-disk form, and the traced event
+// stream (every event, in order, plus the all-time emission count).
 type ffRun struct {
-	now    uint64
-	result sim.Result
-	hash   string
-	csv    []byte
+	now     uint64
+	result  sim.Result
+	hash    string
+	csv     []byte
+	events  []telemetry.Event
+	emitted uint64
 }
 
-func runWithFF(t *testing.T, app, variant, input string, ff bool) ffRun {
+func runCell(t *testing.T, app, variant, input string, ff bool, workers int) ffRun {
 	t.Helper()
 	b, cores, err := Lookup(app, variant, input, 2, 1)
 	if err != nil {
@@ -34,10 +39,12 @@ func runWithFF(t *testing.T, app, variant, input string, ff bool) ffRun {
 	cfg.WatchdogCycles = 10_000_000
 	s := sim.New(cfg)
 	s.SetFastForward(ff)
+	s.SetWorkers(workers)
+	tr := s.EnableTracing(1 << 16)
 	sm := s.EnableSampling(256)
 	r, err := Run(s, b)
 	if err != nil {
-		t.Fatalf("%s/%s/%s ff=%v: %v", app, variant, input, ff, err)
+		t.Fatalf("%s/%s/%s ff=%v workers=%d: %v", app, variant, input, ff, workers, err)
 	}
 	hash, err := s.StateHash()
 	if err != nil {
@@ -47,7 +54,50 @@ func runWithFF(t *testing.T, app, variant, input string, ff bool) ffRun {
 	if err := sm.WriteCSV(&csv, core.StallNames()); err != nil {
 		t.Fatalf("WriteCSV: %v", err)
 	}
-	return ffRun{now: s.Now(), result: r, hash: hash, csv: csv.Bytes()}
+	return ffRun{
+		now: s.Now(), result: r, hash: hash, csv: csv.Bytes(),
+		events: tr.Events(), emitted: tr.Total(),
+	}
+}
+
+func runWithFF(t *testing.T, app, variant, input string, ff bool) ffRun {
+	t.Helper()
+	return runCell(t, app, variant, input, ff, 1)
+}
+
+// sameRun asserts two runs of the same workload are bit-identical in every
+// observable: cycle count, Result, state hash, telemetry CSV bytes, and the
+// traced event stream.
+func sameRun(t *testing.T, labelA, labelB string, a, b ffRun) {
+	t.Helper()
+	if a.now != b.now {
+		t.Errorf("final cycle differs: %s=%d %s=%d", labelA, a.now, labelB, b.now)
+	}
+	if !reflect.DeepEqual(a.result, b.result) {
+		t.Errorf("results differ:\n  %s: %+v\n  %s: %+v", labelA, a.result, labelB, b.result)
+	}
+	if a.hash != b.hash {
+		t.Errorf("state hash differs: %s=%s %s=%s", labelA, a.hash, labelB, b.hash)
+	}
+	if !bytes.Equal(a.csv, b.csv) {
+		t.Errorf("telemetry series differ (%s=%d vs %s=%d bytes)", labelA, len(a.csv), labelB, len(b.csv))
+	}
+	if a.emitted != b.emitted {
+		t.Errorf("event counts differ: %s=%d %s=%d", labelA, a.emitted, labelB, b.emitted)
+	}
+	if !reflect.DeepEqual(a.events, b.events) {
+		n := len(a.events)
+		if len(b.events) < n {
+			n = len(b.events)
+		}
+		for i := 0; i < n; i++ {
+			if a.events[i] != b.events[i] {
+				t.Errorf("event streams diverge at index %d: %s=%+v %s=%+v", i, labelA, a.events[i], labelB, b.events[i])
+				return
+			}
+		}
+		t.Errorf("event streams differ in length: %s=%d %s=%d", labelA, len(a.events), labelB, len(b.events))
+	}
 }
 
 // TestFastForwardEquivalence is the acceptance matrix for quiescence
@@ -72,20 +122,107 @@ func TestFastForwardEquivalence(t *testing.T) {
 				t.Parallel()
 				on := runWithFF(t, tc.app, variant, tc.input, true)
 				off := runWithFF(t, tc.app, variant, tc.input, false)
-				if on.now != off.now {
-					t.Errorf("final cycle differs: ff=%d noff=%d", on.now, off.now)
-				}
-				if !reflect.DeepEqual(on.result, off.result) {
-					t.Errorf("results differ:\n  ff:   %+v\n  noff: %+v", on.result, off.result)
-				}
-				if on.hash != off.hash {
-					t.Errorf("state hash differs: ff=%s noff=%s", on.hash, off.hash)
-				}
-				if !bytes.Equal(on.csv, off.csv) {
-					t.Errorf("telemetry series differ (%d vs %d bytes)", len(on.csv), len(off.csv))
-				}
+				sameRun(t, "ff", "noff", on, off)
 			})
 		}
+	}
+}
+
+// TestParallelEquivalence is the acceptance matrix for the parallel tick
+// kernel (docs/PARALLEL.md): on the 4-core streaming variant of every app,
+// a reference run (workers=1, fast-forward on) must be bit-identical —
+// cycles, Result, StateHash, telemetry CSV bytes, traced event stream — to
+// every other (workers, fast-forward) cell of the cross. The workers axis
+// exercises the spin-barrier pool; crossing it with fast-forward pins the
+// per-shard NextEvent min-reduce. Two single-core cells ride along to pin
+// that a worker-pool request on a 1-core system stays on the exact serial
+// seed path. CI runs this matrix under -race (the parallel-kernel job).
+func TestParallelEquivalence(t *testing.T) {
+	cases := []struct{ app, input string }{
+		{"bfs", "Rd"},
+		{"cc", "Co"},
+		{"prd", "Rd"},
+		{"radii", "Co"},
+		{"spmm", "Am"},
+		{"silo", "ycsbc"},
+	}
+	alts := []struct {
+		name    string
+		ff      bool
+		workers int
+	}{
+		{"workers4-ff", true, 4},
+		{"workers1-noff", false, 1},
+		{"workers4-noff", false, 4},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/streaming", tc.app), func(t *testing.T) {
+			t.Parallel()
+			ref := runCell(t, tc.app, VStreaming, tc.input, true, 1)
+			for _, alt := range alts {
+				got := runCell(t, tc.app, VStreaming, tc.input, alt.ff, alt.workers)
+				sameRun(t, "workers1-ff", alt.name, ref, got)
+			}
+		})
+	}
+	for _, tc := range []struct{ app, input string }{{"bfs", "Co"}, {"spmm", "Am"}} {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/pipette-1core", tc.app), func(t *testing.T) {
+			t.Parallel()
+			ref := runCell(t, tc.app, VPipette, tc.input, true, 1)
+			got := runCell(t, tc.app, VPipette, tc.input, true, 4)
+			sameRun(t, "workers1", "workers4", ref, got)
+		})
+	}
+}
+
+// TestParallelCheckpointEquivalence drives the segmented RunUntil loop (the
+// -checkpoint-every pattern) with workers=1 and workers=4, comparing the
+// canonical machine state hash at every segment boundary: the worker pool
+// is torn down and rebuilt across segments, and a segment bound must land
+// the parallel kernel on exactly the serial kernel's state.
+func TestParallelCheckpointEquivalence(t *testing.T) {
+	build := func(workers int) *sim.System {
+		b, cores, err := Lookup("bfs", VStreaming, "Rd", 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Cores = cores
+		cfg.Cache = cache.DefaultConfig().Scale(8)
+		s := sim.New(cfg)
+		s.SetWorkers(workers)
+		b(s)
+		return s
+	}
+	w1, w4 := build(1), build(4)
+	const seg = 5000
+	for i := 0; i < 200 && !(w1.Done() && w4.Done()); i++ {
+		target := uint64((i + 1) * seg)
+		if _, err := w1.RunUntil(target); err != nil {
+			t.Fatalf("workers=1 segment %d: %v", i, err)
+		}
+		if _, err := w4.RunUntil(target); err != nil {
+			t.Fatalf("workers=4 segment %d: %v", i, err)
+		}
+		if w1.Now() != w4.Now() {
+			t.Fatalf("segment %d: cycle workers1=%d workers4=%d", i, w1.Now(), w4.Now())
+		}
+		h1, err := w1.StateHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h4, err := w4.StateHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h4 {
+			t.Fatalf("segment %d (cycle %d): state diverged", i, w1.Now())
+		}
+	}
+	if !w1.Done() || !w4.Done() {
+		t.Fatalf("workload did not finish within segments (w1=%v w4=%v)", w1.Done(), w4.Done())
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"pipette/internal/isa"
+	"pipette/internal/queue"
 	"pipette/internal/telemetry"
 )
 
@@ -52,11 +53,20 @@ func (c *Core) issue() int {
 		switch {
 		case u.isLoad: // includes atomics
 			loads++
-			done, _ := c.port.Access(c.now, u.addr, u.isAtom)
-			if u.isAtom {
-				done += c.cfg.AtomicExtraLat
+			if c.deferred {
+				// The access replays at the commit phase, which patches
+				// doneAt and regReady; until then the NotReady placeholder
+				// reads as "in the future", which is all this cycle's
+				// remaining comparisons need.
+				c.pend = append(c.pend, pendOp{kind: pendLoad, addr: u.addr, u: u})
+				u.doneAt = queue.NotReady
+			} else {
+				done, _ := c.port.Access(c.now, u.addr, u.isAtom)
+				if u.isAtom {
+					done += c.cfg.AtomicExtraLat
+				}
+				u.doneAt = done
 			}
-			u.doneAt = done
 		case u.isStore:
 			stores++
 			u.doneAt = c.now + 1 // leaves the SQ; memory written back at commit
@@ -101,14 +111,20 @@ func (c *Core) commit() {
 		tid := (start + k) % n
 		t := c.threads[tid]
 		rob := c.rob[tid]
-		for budget > 0 && len(rob) > 0 {
-			u := rob[0]
+		ret := 0 // retired this cycle; compacted off the front below
+		for budget > 0 && ret < len(rob) {
+			u := rob[ret]
 			if !u.resolved(c.now) {
 				break
 			}
 			c.busyAt = c.now // retiring mutates state; blocks fast-forward this cycle
 			if u.isStore && !u.isAtom {
-				c.port.Access(c.now, u.addr, true) // write-back; commit does not wait
+				// Write-back; commit does not wait for it (result unused).
+				if c.deferred {
+					c.pend = append(c.pend, pendOp{kind: pendStore, addr: u.addr})
+				} else {
+					c.port.Access(c.now, u.addr, true)
+				}
 			}
 			if u.oldDst >= 0 {
 				c.FreePhys(u.oldDst)
@@ -144,7 +160,7 @@ func (c *Core) commit() {
 			if u.isStore {
 				t.sqUsed--
 			}
-			rob = rob[1:]
+			ret++
 			budget--
 			// Recycle the µop. A mispredicted branch may still be the
 			// thread's frontend block: resolve it here first.
@@ -157,7 +173,13 @@ func (c *Core) commit() {
 			}
 			c.uopPool = append(c.uopPool, u)
 		}
-		c.rob[tid] = rob
+		if ret > 0 {
+			// Compact in place instead of re-slicing off the front: rob[1:]
+			// loses capacity on every retire and forces a steady trickle of
+			// reallocations in rename's append; the copy moves at most
+			// ROBPerThread pointers and keeps the hot path allocation-free.
+			c.rob[tid] = rob[:copy(rob, rob[ret:])]
+		}
 	}
 }
 

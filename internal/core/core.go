@@ -243,6 +243,13 @@ type thread struct {
 	blockedOn    *uop   // unresolved mispredicted branch
 	stall        StallReason
 
+	// atomFence stops this thread's rename for the rest of the cycle after
+	// an atomic in deferred mode: the fetched value is only patched into the
+	// register file at the cycle's commit phase, so nothing later in the
+	// thread may consume it this cycle. Scratch: set and cleared within one
+	// rename pass, never serialized.
+	atomFence bool
+
 	hist uint64 // branch history for gshare
 
 	// Queue-register bindings, resolved from prog.Bindings at load.
@@ -294,6 +301,16 @@ type Core struct {
 	// re-establishes them before anyone consults them.
 	busyAt       uint64
 	lastCommitAt uint64
+
+	// Deferred (produce/commit) execution mode for multi-core systems; see
+	// deferred.go. view is the core's write-buffered face of shared memory,
+	// pend the per-cycle operation log, stage the staged tracer wrapping
+	// `trace`. All scratch within a cycle: empty at every cycle boundary, so
+	// none of it is serialized.
+	deferred bool
+	view     *mem.View
+	pend     []pendOp
+	stage    *telemetry.Tracer
 
 	// trace, when non-nil, receives pipeline events (traps, redirects;
 	// queue activity is emitted by the QRM itself). Attach with

@@ -1,0 +1,175 @@
+// Deferred execution mode: the produce/commit phase split that makes
+// multi-core systems safe to tick in parallel (docs/PARALLEL.md).
+//
+// In a multi-core system a core's tick touches state shared with other
+// shards in exactly three ways: timing accesses through the shared cache
+// hierarchy (Port.Access mutates LRU/MSHR/prefetcher/DRAM state), functional
+// loads/stores/atomics against the shared memory, and telemetry emission
+// into the shared ring. With deferral enabled the core instead
+//
+//   - appends every Port.Access it would have made to a private per-cycle
+//     operation log (pend), in intra-tick order, leaving NotReady
+//     placeholders in doneAt/regReady/queue ReadyAt slots. Nothing in the
+//     remainder of the cycle compares those values against anything but
+//     `now` (they only need to read as "in the future"), so placeholders
+//     are observationally identical to the real completion times until the
+//     commit phase patches them in.
+//   - routes functional memory through a mem.View: reads see the frozen
+//     start-of-cycle image overlaid with the core's own buffered writes;
+//     writes and atomics are buffered. An atomic fences its thread for the
+//     rest of the rename cycle so nothing can consume the not-yet-fetched
+//     result; the fetched value is patched into the thread's register file
+//     when the buffer flushes.
+//   - emits telemetry through a staged tracer whose sink appends the event
+//     into the same operation log, preserving the exact interleaving of
+//     events and accesses within the tick.
+//
+// The system then calls FlushPending once per core, in canonical core
+// order, during the sequential commit phase: the log replays — real cache
+// accesses happen, placeholders are patched, staged events merge into the
+// shared ring — in exactly the order the serial kernel would have produced,
+// and the view's write buffer flushes to shared memory. Because replay
+// order equals canonical tick order, a deferred run is bit-identical
+// whether the produce phases ran on one goroutine or many.
+package core
+
+import (
+	"fmt"
+
+	"pipette/internal/mem"
+	"pipette/internal/telemetry"
+)
+
+// AccessPatcher receives the completion time of a deferred cache access
+// (core units — RAs — implement it to patch their completion buffers and
+// output-queue ready times during the commit phase).
+type AccessPatcher interface {
+	PatchAccess(idx int, done uint64)
+}
+
+type pendKind uint8
+
+const (
+	pendEvent pendKind = iota // staged telemetry event
+	pendLoad                  // issued load/atomic: patch u.doneAt and regReady
+	pendStore                 // commit-time store write-back (result unused)
+	pendUnit                  // unit (RA) access: patch via AccessPatcher
+)
+
+type pendOp struct {
+	kind   pendKind
+	addr   uint64
+	u      *uop // pendLoad
+	fix    AccessPatcher
+	fixIdx int             // pendUnit
+	ev     telemetry.Event // pendEvent
+}
+
+// EnableDeferred switches the core into deferred (produce/commit) mode.
+// Idempotent; the system enables it on every core of a multi-core machine
+// at the top of each run segment. If a tracer is attached, emission is
+// redirected through a staged tracer whose events land in the operation
+// log (re-wrapping if the tracer was replaced since the last segment).
+func (c *Core) EnableDeferred() {
+	c.deferred = true
+	if c.view == nil {
+		c.view = mem.NewView(c.mem)
+	}
+	if c.pend == nil {
+		c.pend = make([]pendOp, 0, 256)
+	}
+	if c.trace != nil && c.trace != c.stage {
+		c.stage = telemetry.NewStaged(c.trace, func(e telemetry.Event) {
+			c.pend = append(c.pend, pendOp{kind: pendEvent, ev: e})
+		})
+		c.AttachTracer(c.stage)
+	}
+}
+
+// Deferred reports whether the core runs in deferred mode.
+func (c *Core) Deferred() bool { return c.deferred }
+
+// MemRead performs a functional memory read through the core's current
+// memory face: the shared memory directly in single-core mode, the
+// frozen-image view in deferred mode. Core units (RAs) must read through
+// this instead of Mem().Read.
+func (c *Core) MemRead(addr uint64, n int) uint64 {
+	if c.deferred {
+		return c.view.Read(addr, n)
+	}
+	return c.mem.Read(addr, n)
+}
+
+func (c *Core) memWrite(addr uint64, n int, v uint64) {
+	if c.deferred {
+		c.view.Write(addr, n, v)
+		return
+	}
+	c.mem.Write(addr, n, v)
+}
+
+// DeferAccess appends a unit's cache access to the operation log; at the
+// commit phase the real Port.Access runs and fix.PatchAccess(idx, done)
+// delivers the completion time.
+func (c *Core) DeferAccess(addr uint64, fix AccessPatcher, idx int) {
+	c.pend = append(c.pend, pendOp{kind: pendUnit, addr: addr, fix: fix, fixIdx: idx})
+}
+
+// LastStagedIndex returns the log index of the most recently staged
+// telemetry event, so a unit deferring an access can patch the event's
+// payload (e.g. the completion cycle) once it is known.
+func (c *Core) LastStagedIndex() int { return len(c.pend) - 1 }
+
+// PatchStagedEventB rewrites the B payload of a staged event before it is
+// replayed into the shared ring.
+func (c *Core) PatchStagedEventB(idx int, b uint64) { c.pend[idx].ev.B = b }
+
+// StagePassthrough routes the core's staged tracer directly to the shared
+// ring (the system sets it during the sequential part of the commit phase —
+// connector ticks — where emission order is already canonical).
+func (c *Core) StagePassthrough(on bool) {
+	if c.stage != nil {
+		c.stage.Passthrough(on)
+	}
+}
+
+// FlushPending replays the core's operation log in intra-tick order —
+// performing the deferred cache accesses and patching their completion
+// times, merging staged telemetry into tr — then flushes the core's memory
+// write buffer. The system calls it once per core, in canonical core order,
+// after all produce phases of the cycle have finished; everything it does
+// lands exactly where the serial kernel would have put it.
+func (c *Core) FlushPending(now uint64, tr *telemetry.Tracer) {
+	for i := 0; i < len(c.pend); i++ {
+		op := &c.pend[i]
+		switch op.kind {
+		case pendEvent:
+			if tr != nil {
+				tr.Replay(op.ev)
+			}
+		case pendLoad:
+			u := op.u
+			done, _ := c.port.Access(now, op.addr, u.isAtom)
+			if u.isAtom {
+				done += c.cfg.AtomicExtraLat
+			}
+			u.doneAt = done
+			if u.dst >= 0 {
+				c.regReady[u.dst] = done
+			}
+		case pendStore:
+			c.port.Access(now, op.addr, true)
+		case pendUnit:
+			done, _ := c.port.Access(now, op.addr, false)
+			op.fix.PatchAccess(op.fixIdx, done)
+		}
+	}
+	c.pend = c.pend[:0]
+	c.view.Flush()
+}
+
+func (c *Core) checkAtomicDst(enqQ bool, prog string, pc int) {
+	if enqQ {
+		panic(fmt.Sprintf("%s pc=%d: atomic result enqueued to a queue register; unsupported in multi-core (deferred) mode", prog, pc))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pipette/internal/isa"
+	"pipette/internal/mem"
 	"pipette/internal/queue"
 	"pipette/internal/telemetry"
 )
@@ -66,6 +67,10 @@ func (c *Core) rename() {
 			}
 			c.busyAt = c.now
 			budget -= n
+			if t.atomFence {
+				t.atomFence = false
+				break
+			}
 		}
 	}
 }
@@ -271,29 +276,54 @@ func (c *Core) renameOne(t *thread) (int, bool) {
 	case isa.ClassLoad:
 		u.isLoad = true
 		u.addr = a + uint64(in.Imm)
-		result = c.mem.Read(u.addr, in.Op.MemBytes())
+		result = c.MemRead(u.addr, in.Op.MemBytes())
 	case isa.ClassStore:
 		u.isStore = true
 		u.addr = a + uint64(in.Imm)
-		c.mem.Write(u.addr, in.Op.MemBytes(), b)
+		c.memWrite(u.addr, in.Op.MemBytes(), b)
 	case isa.ClassAtomic:
 		u.isLoad, u.isStore, u.isAtom = true, true, true
 		u.addr = a
-		old := c.mem.Read(u.addr, 8)
-		result = old
-		switch in.Op {
-		case isa.OpCas:
-			if old == b {
-				c.mem.Write(u.addr, 8, srcVal(in.Rc))
+		if c.deferred {
+			// The read-modify-write is buffered and executes at the cycle's
+			// commit phase in canonical core order; the fetched value is
+			// patched into t.regs[dstReg] then, and the thread is fenced for
+			// the rest of the cycle so nothing consumes it early.
+			c.checkAtomicDst(enqQ != nil, t.prog.Name, t.pc)
+			var aop mem.AtomicOp
+			switch in.Op {
+			case isa.OpCas:
+				aop = mem.OpCas
+			case isa.OpFetchAdd:
+				aop = mem.OpFetchAdd
+			case isa.OpFetchMin:
+				aop = mem.OpFetchMin
+			case isa.OpFetchOr:
+				aop = mem.OpFetchOr
 			}
-		case isa.OpFetchAdd:
-			c.mem.Write(u.addr, 8, old+b)
-		case isa.OpFetchMin:
-			if b < old {
-				c.mem.Write(u.addr, 8, b)
+			var res *uint64
+			if writes {
+				res = &t.regs[dstReg]
 			}
-		case isa.OpFetchOr:
-			c.mem.Write(u.addr, 8, old|b)
+			c.view.Atomic(aop, u.addr, b, srcVal(in.Rc), res)
+			t.atomFence = true
+		} else {
+			old := c.mem.Read(u.addr, 8)
+			result = old
+			switch in.Op {
+			case isa.OpCas:
+				if old == b {
+					c.mem.Write(u.addr, 8, srcVal(in.Rc))
+				}
+			case isa.OpFetchAdd:
+				c.mem.Write(u.addr, 8, old+b)
+			case isa.OpFetchMin:
+				if b < old {
+					c.mem.Write(u.addr, 8, b)
+				}
+			case isa.OpFetchOr:
+				c.mem.Write(u.addr, 8, old|b)
+			}
 		}
 	case isa.ClassBranch:
 		taken := isa.EvalBranch(in.Op, a, b)

@@ -38,6 +38,13 @@ type Config struct {
 	// wall-clock. It does key the in-process memo (Config is the map key),
 	// so on/off sweeps in one process really both run.
 	NoFastForward bool
+
+	// SimWorkers sets the per-system produce-phase goroutine count (the
+	// -sim-workers flag; 0/1 = single-goroutine kernel). Like
+	// NoFastForward it is an execution strategy, not a configuration:
+	// results are bit-identical at any setting — the parallel equivalence
+	// matrix asserts it — so the sweep disk cache ignores this knob too.
+	SimWorkers int
 }
 
 // Default is the evaluation-scale configuration used for EXPERIMENTS.md.
@@ -144,6 +151,9 @@ func (cfg Config) simConfig(cores int) sim.Config {
 func (cfg Config) newSystem(cores int) *sim.System {
 	s := sim.New(cfg.simConfig(cores))
 	s.SetFastForward(!cfg.NoFastForward)
+	if cfg.SimWorkers > 1 {
+		s.SetWorkers(cfg.SimWorkers)
+	}
 	return s
 }
 

@@ -20,7 +20,10 @@ import (
 
 // sweepCacheVersion names the cached-cell schema. It participates in
 // every cell hash, so bumping it invalidates the whole cache.
-const sweepCacheVersion = "pipette.sweepcell/v1"
+// v2: multi-core systems moved to the deferred produce/commit kernel
+// (atomics and cross-core stores land at cycle boundaries), which shifts
+// multi-core cycle counts relative to v1.
+const sweepCacheVersion = "pipette.sweepcell/v2"
 
 // cellIdentity is the canonical hash input for one cell. Only fields that
 // can change the cell's simulated result belong here — AppFilter, for

@@ -67,6 +67,48 @@ func (m *Memory) span(addr uint64, n int) []byte {
 	return m.chunk(addr)[off : int(off)+n]
 }
 
+// Peek reads an n-byte little-endian value like Read but never allocates
+// backing storage: a missing chunk reads as zeros. This is the read path of
+// the deferred execution mode, where many goroutines read the frozen memory
+// image concurrently — Read's lazy chunk creation would mutate the chunk map
+// under them. Observable contents are identical to Read (fresh chunks are
+// zeroed), and SaveState drops all-zero chunks, so Peek never perturbs
+// state hashes either.
+func (m *Memory) Peek(addr uint64, n int) uint64 {
+	if addr&(chunkSize-1)+uint64(n) > chunkSize {
+		var buf [8]byte
+		m.PeekBytes(addr, buf[:n])
+		return leRead(buf[:n])
+	}
+	c, ok := m.chunks[addr>>chunkShift]
+	if !ok {
+		return 0
+	}
+	off := addr & (chunkSize - 1)
+	return leRead(c[off : off+uint64(n)])
+}
+
+// PeekBytes fills p from memory starting at addr without allocating backing
+// storage; missing chunks read as zeros.
+func (m *Memory) PeekBytes(addr uint64, p []byte) {
+	for len(p) > 0 {
+		off := addr & (chunkSize - 1)
+		n := chunkSize - int(off)
+		if n > len(p) {
+			n = len(p)
+		}
+		if c, ok := m.chunks[addr>>chunkShift]; ok {
+			copy(p[:n], c[off:int(off)+n])
+		} else {
+			for i := 0; i < n; i++ {
+				p[i] = 0
+			}
+		}
+		p = p[n:]
+		addr += uint64(n)
+	}
+}
+
 // Read reads an n-byte little-endian value (n in 1,2,4,8).
 func (m *Memory) Read(addr uint64, n int) uint64 {
 	if addr&(chunkSize-1)+uint64(n) > chunkSize {

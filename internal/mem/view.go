@@ -1,0 +1,127 @@
+// View: the per-core write-buffered face of Memory used by the deferred
+// (multi-core) execution mode. During a cycle's produce phase every core
+// reads through its own View — reads observe the frozen start-of-cycle
+// memory image plus the core's *own* buffered writes in program order — and
+// all writes (plain stores and atomics) are buffered. At the cycle's commit
+// phase the system flushes the buffers to the shared Memory in canonical
+// core order, so cross-core visibility always lands on a cycle boundary and
+// the parallel produce phase never mutates shared state.
+package mem
+
+// AtomicOp identifies a buffered read-modify-write.
+type AtomicOp uint8
+
+// Buffered operation kinds. OpStore is a plain store; the others mirror the
+// ISA's atomics and are executed against memory at Flush in program order.
+const (
+	OpStore AtomicOp = iota
+	OpCas
+	OpFetchAdd
+	OpFetchMin
+	OpFetchOr
+)
+
+type viewOp struct {
+	op     AtomicOp
+	addr   uint64
+	size   int
+	b      uint64  // store value / atomic operand
+	rc     uint64  // CAS swap value
+	result *uint64 // receives the atomic's fetched (old) value at Flush
+}
+
+// View wraps a Memory with a cycle-scoped write buffer.
+type View struct {
+	m   *Memory
+	ops []viewOp
+}
+
+// NewView returns an empty view over m.
+func NewView(m *Memory) *View { return &View{m: m, ops: make([]viewOp, 0, 64)} }
+
+// Mem returns the underlying memory.
+func (v *View) Mem() *Memory { return v.m }
+
+// Pending reports the number of buffered operations (0 at cycle boundaries).
+func (v *View) Pending() int { return len(v.ops) }
+
+// Read returns the n-byte value at addr as seen by this view: the frozen
+// memory image overlaid with the view's own buffered plain stores, oldest
+// first. Buffered atomics are not overlaid — their effect lands at the
+// cycle boundary (Flush), which keeps the mid-cycle image identical for
+// every thread of the core regardless of rename order after the atomic
+// (the issuing thread is fenced for the rest of the cycle anyway).
+func (v *View) Read(addr uint64, n int) uint64 {
+	val := v.m.Peek(addr, n)
+	for i := range v.ops {
+		o := &v.ops[i]
+		if o.op == OpStore {
+			val = overlay(val, addr, n, o.addr, o.size, o.b)
+		}
+	}
+	return val
+}
+
+// Write buffers an n-byte little-endian store.
+func (v *View) Write(addr uint64, n int, val uint64) {
+	v.ops = append(v.ops, viewOp{op: OpStore, addr: addr, size: n, b: val})
+}
+
+// Atomic buffers a read-modify-write. The fetched (old) value is written to
+// *result at Flush; result may be nil when the destination is discarded.
+func (v *View) Atomic(op AtomicOp, addr uint64, b, rc uint64, result *uint64) {
+	v.ops = append(v.ops, viewOp{op: op, addr: addr, size: 8, b: b, rc: rc, result: result})
+}
+
+// Flush applies the buffered operations to the underlying memory in program
+// order and empties the buffer. Atomics read-modify-write the *current*
+// memory contents, so earlier flushes (lower core ids) are visible — the
+// system flushes views in canonical core order.
+func (v *View) Flush() {
+	for i := range v.ops {
+		o := &v.ops[i]
+		switch o.op {
+		case OpStore:
+			v.m.Write(o.addr, o.size, o.b)
+		default:
+			old := v.m.Read(o.addr, 8)
+			if o.result != nil {
+				*o.result = old
+			}
+			switch o.op {
+			case OpCas:
+				if old == o.b {
+					v.m.Write(o.addr, 8, o.rc)
+				}
+			case OpFetchAdd:
+				v.m.Write(o.addr, 8, old+o.b)
+			case OpFetchMin:
+				if o.b < old {
+					v.m.Write(o.addr, 8, o.b)
+				}
+			case OpFetchOr:
+				v.m.Write(o.addr, 8, old|o.b)
+			}
+		}
+	}
+	v.ops = v.ops[:0]
+}
+
+// overlay patches the bytes of val (an n-byte value at addr) that a
+// buffered store of sv (size bytes at saddr) overlaps.
+func overlay(val uint64, addr uint64, n int, saddr uint64, size int, sv uint64) uint64 {
+	lo, hi := addr, addr+uint64(n)
+	slo, shi := saddr, saddr+uint64(size)
+	if slo < lo {
+		slo = lo
+	}
+	if shi > hi {
+		shi = hi
+	}
+	for a := slo; a < shi; a++ {
+		sb := byte(sv >> (8 * (a - saddr)))
+		shift := 8 * (a - addr)
+		val = val&^(uint64(0xff)<<shift) | uint64(sb)<<shift
+	}
+	return val
+}

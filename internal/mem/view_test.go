@@ -1,0 +1,115 @@
+package mem
+
+import "testing"
+
+func TestPeekMissingChunkReadsZero(t *testing.T) {
+	m := New()
+	if got := m.Peek(0x1000, 8); got != 0 {
+		t.Fatalf("Peek of untouched memory = %#x, want 0", got)
+	}
+	// Peek must not create the chunk: a later StateHash-relevant walk of the
+	// chunk map should still see pristine memory.
+	if n := len(m.chunks); n != 0 {
+		t.Fatalf("Peek materialized %d chunks", n)
+	}
+	m.Write(0x1000, 8, 0xdeadbeef)
+	if got := m.Peek(0x1000, 8); got != 0xdeadbeef {
+		t.Fatalf("Peek after write = %#x, want 0xdeadbeef", got)
+	}
+}
+
+func TestPeekStraddlesChunks(t *testing.T) {
+	m := New()
+	edge := uint64(chunkSize) - 4
+	m.Write(edge, 8, 0x1122334455667788)
+	if got, want := m.Peek(edge, 8), m.Read(edge, 8); got != want {
+		t.Fatalf("straddling Peek = %#x, Read = %#x", got, want)
+	}
+}
+
+func TestViewReadOverlaysOwnStores(t *testing.T) {
+	m := New()
+	m.Write(64, 8, 0xaaaaaaaaaaaaaaaa)
+	v := NewView(m)
+
+	v.Write(64, 8, 0x1111111111111111)
+	if got := v.Read(64, 8); got != 0x1111111111111111 {
+		t.Fatalf("view read after own store = %#x", got)
+	}
+	// Partial overlap: a later 4-byte store patches the low half only.
+	v.Write(64, 4, 0x22222222)
+	if got := v.Read(64, 8); got != 0x1111111122222222 {
+		t.Fatalf("view read after partial store = %#x", got)
+	}
+	// The shared memory stays frozen until Flush.
+	if got := m.Read(64, 8); got != 0xaaaaaaaaaaaaaaaa {
+		t.Fatalf("store leaked to shared memory before Flush: %#x", got)
+	}
+	v.Flush()
+	if got := m.Read(64, 8); got != 0x1111111122222222 {
+		t.Fatalf("flushed value = %#x", got)
+	}
+	if v.Pending() != 0 {
+		t.Fatalf("Pending after Flush = %d", v.Pending())
+	}
+}
+
+func TestViewAtomicsApplyAtFlushInOrder(t *testing.T) {
+	m := New()
+	m.Write(0, 8, 10)
+	v := NewView(m)
+
+	var old1, old2 uint64
+	v.Atomic(OpFetchAdd, 0, 5, 0, &old1)
+	v.Atomic(OpFetchMin, 0, 3, 0, &old2)
+	// Atomics are not overlaid mid-cycle: reads still see the frozen image.
+	if got := v.Read(0, 8); got != 10 {
+		t.Fatalf("mid-cycle read past buffered atomics = %d, want 10", got)
+	}
+	v.Flush()
+	if old1 != 10 {
+		t.Fatalf("fetch-add old = %d, want 10", old1)
+	}
+	if old2 != 15 {
+		t.Fatalf("fetch-min old = %d, want 15 (sees the earlier add)", old2)
+	}
+	if got := m.Read(0, 8); got != 3 {
+		t.Fatalf("final memory = %d, want 3", got)
+	}
+}
+
+func TestViewCasAndFetchOr(t *testing.T) {
+	m := New()
+	m.Write(8, 8, 7)
+	v := NewView(m)
+
+	var old uint64
+	v.Atomic(OpCas, 8, 7, 42, &old) // matches: swap in 42
+	v.Atomic(OpCas, 8, 7, 99, nil)  // stale expectation: must not swap
+	v.Atomic(OpFetchOr, 8, 0x80, 0, nil)
+	v.Flush()
+	if old != 7 {
+		t.Fatalf("CAS old = %d, want 7", old)
+	}
+	if got := m.Read(8, 8); got != 42|0x80 {
+		t.Fatalf("final memory = %#x, want %#x", got, uint64(42|0x80))
+	}
+}
+
+// TestViewCrossViewVisibility pins the commit-order contract: two views over
+// the same memory never see each other's buffered writes, and flushing in
+// canonical order makes the later flush win.
+func TestViewCrossViewVisibility(t *testing.T) {
+	m := New()
+	a, b := NewView(m), NewView(m)
+	a.Write(16, 8, 1)
+	b.Write(16, 8, 2)
+	if got := b.Read(16, 8); got != 2 {
+		t.Fatalf("view b sees %d, want its own store 2", got)
+	}
+	a.Flush()
+	b.Flush()
+	if got := m.Read(16, 8); got != 2 {
+		t.Fatalf("last-flushed view must win: memory = %d", got)
+	}
+}

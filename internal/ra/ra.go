@@ -71,6 +71,13 @@ type RA struct {
 
 	outstanding []uint64 // completion times of in-flight loads
 
+	// fix records this cycle's deferred loads (deferred execution mode): the
+	// outstanding slot, output-queue sequence and staged-event index each
+	// completion time must be patched into when the access replays at the
+	// commit phase (PatchAccess). Scratch: cleared at every tick, empty at
+	// cycle boundaries, never serialized.
+	fix []raFix
+
 	havePending bool // scan: holding a start value awaiting its end
 	pendingVal  uint64
 
@@ -136,7 +143,27 @@ func (r *RA) emit(now uint64, idx uint64) bool {
 		return false
 	}
 	addr := r.cfg.Base + idx*uint64(r.cfg.ElemBytes)
-	val := r.c.Mem().Read(addr, r.cfg.ElemBytes)
+	val := r.c.MemRead(addr, r.cfg.ElemBytes)
+	if r.c.Deferred() {
+		// The cache access replays at the commit phase; until then the
+		// completion-buffer slot and the output entry hold NotReady
+		// placeholders (correctly counted against capacity, and unreadable
+		// before the patch lands). The EvRALoad event is staged now to keep
+		// its position in the stream and its completion-cycle payload is
+		// patched in alongside.
+		f := raFix{out: len(r.outstanding), staged: -1}
+		r.outstanding = append(r.outstanding, queue.NotReady)
+		r.c.DeferAccess(addr, r, len(r.fix))
+		f.seq = r.out.Enq(val, false, int(phys))
+		if tr := r.c.Tracer(); tr != nil {
+			tr.Emit(telemetry.EvRALoad, int16(r.c.ID()), telemetry.UnitRA, addr, 0)
+			f.staged = r.c.LastStagedIndex()
+		}
+		r.fix = append(r.fix, f)
+		r.activeAt = now
+		r.Stats.Loads++
+		return true
+	}
 	done, _ := r.c.MemPort().Access(now, addr, false)
 	seq := r.out.Enq(val, false, int(phys))
 	r.out.MarkReady(seq, done)
@@ -147,6 +174,24 @@ func (r *RA) emit(now uint64, idx uint64) bool {
 		tr.Emit(telemetry.EvRALoad, int16(r.c.ID()), telemetry.UnitRA, addr, done)
 	}
 	return true
+}
+
+// raFix is one deferred load awaiting its completion time.
+type raFix struct {
+	out    int    // index into r.outstanding
+	seq    uint64 // output-queue entry to MarkReady
+	staged int    // staged EvRALoad event whose B payload gets the time; -1 none
+}
+
+// PatchAccess delivers the completion time of a deferred load during the
+// commit phase (core.AccessPatcher).
+func (r *RA) PatchAccess(i int, done uint64) {
+	f := r.fix[i]
+	r.outstanding[f.out] = done
+	r.out.MarkReady(f.seq, done)
+	if f.staged >= 0 {
+		r.c.PatchStagedEventB(f.staged, done)
+	}
 }
 
 // forwardCV moves a control value from input to output unchanged.
@@ -184,6 +229,7 @@ func (r *RA) inputReady(now uint64) bool {
 
 // Tick advances the RA one cycle.
 func (r *RA) Tick(now uint64) {
+	r.fix = r.fix[:0] // last cycle's deferred loads were patched at its commit
 	r.pruneOutstanding(now)
 	for budget := r.cfg.IssuePerCycle; budget > 0; budget-- {
 		if r.scanActive {

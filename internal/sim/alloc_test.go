@@ -1,0 +1,82 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pipette/internal/bench"
+	"pipette/internal/cache"
+	"pipette/internal/sim"
+)
+
+// maxAllocsPerCycle is the steady-state allocation budget of the per-cycle
+// hot path: effectively zero, with headroom only for rare amortized growth
+// (a queue or ROB crossing a previous high-water mark, map growth in the
+// functional memory on a cold page). Sustained per-cycle allocation — one
+// alloc every few cycles — lands orders of magnitude above this and fails.
+const maxAllocsPerCycle = 0.05
+
+// TestSteadyStateAllocs gates the per-cycle hot path against allocation
+// creep: after a warmup segment has grown every pool and buffer to its
+// high-water mark, continuing the run must be (amortized) allocation-free.
+// Covers the serial single-core kernel and the multi-core deferred kernel —
+// the produce/commit split buffers cross-shard effects per cycle, and those
+// buffers must be reused, not reallocated. Skipped under -race (the
+// instrumentation allocates); scripts/ci.sh runs it once without the
+// detector so `make ci` still gates on it.
+func TestSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	cases := []struct {
+		name    string
+		app     string
+		variant string
+		workers int
+	}{
+		{"single-core/bfs-pipette", "bfs", bench.VPipette, 1},
+		{"multi-core/bfs-streaming", "bfs", bench.VStreaming, 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			b, cores, err := bench.Lookup(tc.app, tc.variant, "Rd", 2, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := sim.DefaultConfig()
+			cfg.Cores = cores
+			cfg.Cache = cache.DefaultConfig().Scale(8)
+			s := sim.New(cfg)
+			s.SetWorkers(tc.workers)
+			b(s)
+
+			// Warmup: reach the structural high-water marks (queue capacities,
+			// ROB/pend/view buffers, memory chunk map).
+			if _, err := s.RunUntil(64 * 1024); err != nil {
+				t.Fatal(err)
+			}
+			if s.Done() {
+				t.Fatal("workload finished during warmup; segment budget needs shrinking")
+			}
+
+			const segCycles = 8 * 1024
+			target := s.Now()
+			perRun := testing.AllocsPerRun(5, func() {
+				target += segCycles
+				if _, err := s.RunUntil(target); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if s.Done() {
+				t.Fatal("workload finished during measurement; allocs/cycle would be understated")
+			}
+			perCycle := perRun / segCycles
+			t.Logf("%s: %.1f allocs per %d-cycle segment (%.5f/cycle)", tc.name, perRun, segCycles, perCycle)
+			if perCycle > maxAllocsPerCycle {
+				t.Errorf("steady-state allocation creep: %.5f allocs/cycle exceeds %.3f (%s)",
+					perCycle, maxAllocsPerCycle, fmt.Sprintf("%.1f per %d-cycle segment", perRun, segCycles))
+			}
+		})
+	}
+}

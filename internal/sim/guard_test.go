@@ -1,0 +1,79 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"pipette/internal/sim"
+)
+
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", want)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v does not mention %q", r, want)
+		}
+	}()
+	f()
+}
+
+func TestConnectRejectsDuplicateEndpoints(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 3
+	s := sim.New(cfg)
+	s.Connect(0, 1, 1, 2)
+
+	mustPanic(t, "source queue already streamed", func() {
+		s.Connect(0, 1, 2, 3) // queue 1 on core 0 already has a consumer
+	})
+	mustPanic(t, "destination queue already fed", func() {
+		s.Connect(2, 4, 1, 2) // queue 2 on core 1 already has a producer
+	})
+	// Distinct endpoints on the same cores stay legal.
+	s.Connect(0, 5, 1, 6)
+}
+
+func TestConnectRejectsOutOfRangeCore(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 2
+	s := sim.New(cfg)
+	mustPanic(t, "core index out of range", func() { s.Connect(0, 1, 2, 2) })
+	mustPanic(t, "core index out of range", func() { s.Connect(-1, 1, 1, 2) })
+}
+
+func TestRunReentryOnFinishedSystem(t *testing.T) {
+	// A system with no loaded threads is trivially done: the first Run
+	// returns immediately, the second must error instead of silently
+	// re-scanning a drained machine.
+	s := sim.New(sim.DefaultConfig())
+	if _, err := s.Run(); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	if _, err := s.Run(); err == nil || !strings.Contains(err.Error(), "re-entered") {
+		t.Fatalf("second Run err = %v, want re-entry error", err)
+	}
+	// RunUntil stays valid for segmented loops even after Run finished.
+	if _, err := s.RunUntil(10); err != nil {
+		t.Fatalf("RunUntil after finished Run: %v", err)
+	}
+}
+
+func TestSetWorkersClamps(t *testing.T) {
+	s := sim.New(sim.DefaultConfig())
+	s.SetWorkers(0)
+	if got := s.Workers(); got != 1 {
+		t.Fatalf("SetWorkers(0) -> Workers() = %d, want 1", got)
+	}
+	s.SetWorkers(-3)
+	if got := s.Workers(); got != 1 {
+		t.Fatalf("SetWorkers(-3) -> Workers() = %d, want 1", got)
+	}
+	s.SetWorkers(8)
+	if got := s.Workers(); got != 8 {
+		t.Fatalf("SetWorkers(8) -> Workers() = %d, want 8", got)
+	}
+}

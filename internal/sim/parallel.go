@@ -1,0 +1,242 @@
+// The parallel tick kernel: multi-core systems split every cycle into a
+// produce phase — each simulated core ticks against frozen shared state,
+// buffering its cross-shard effects (deferred cache accesses, functional
+// memory writes, staged telemetry) — and a sequential commit phase that
+// applies those buffers in canonical core order (see core/deferred.go and
+// docs/PARALLEL.md). Because the produce phases are mutually independent
+// and the commit phase replays their effects in registry order, the cycle's
+// result is bit-identical whether the produce phases run on one goroutine
+// or on a worker pool; SetWorkers only chooses the execution strategy.
+//
+// tickPool is that worker pool: persistent goroutines (the driver doubles
+// as worker 0) under a per-phase spin barrier built on atomics — channel
+// handoffs cost microseconds, which at ~1 µs per simulated cycle would eat
+// the entire speedup. Cores are dealt round-robin to workers; each phase is
+// either a produce tick or a per-shard NextEvent min-reduce (the
+// fast-forward probe), so the quiescence scan parallelizes too.
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"pipette/internal/core"
+)
+
+const (
+	opTick uint32 = iota // produce phase: tick my cores at p.now
+	opNext               // min-reduce NextEvent(p.now) over my cores
+	opQuit               // exit the worker goroutine
+)
+
+// spinLimit bounds busy-waiting before yielding the OS thread; on hosts
+// with fewer cores than workers the barrier degrades to cooperative
+// scheduling instead of burning the quantum.
+const spinLimit = 128
+
+// padU64 keeps per-worker result slots on separate cache lines.
+type padU64 struct {
+	v uint64
+	_ [7]uint64
+}
+
+type tickPool struct {
+	cores []*core.Core
+	nw    int // total workers, driver included
+
+	// op and now are written by the driver before the epoch release and read
+	// by workers after observing it; the epoch/left atomics carry the
+	// happens-before edges in both directions.
+	op   uint32
+	now  uint64
+	mins []padU64 // per-worker opNext results
+
+	epoch atomic.Uint32 // incremented by the driver to release a phase
+	left  atomic.Int32  // workers yet to finish the current phase
+}
+
+// newTickPool starts nw-1 worker goroutines over the given cores. nw is
+// clamped to the core count; a pool is only worth building for nw >= 2.
+func newTickPool(cores []*core.Core, nw int) *tickPool {
+	if nw > len(cores) {
+		nw = len(cores)
+	}
+	p := &tickPool{cores: cores, nw: nw, mins: make([]padU64, nw)}
+	for w := 1; w < nw; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+func (p *tickPool) worker(w int) {
+	seen := uint32(0)
+	for {
+		for spins := 0; p.epoch.Load() == seen; spins++ {
+			if spins >= spinLimit {
+				runtime.Gosched()
+			}
+		}
+		seen++
+		if p.op == opQuit {
+			p.left.Add(-1)
+			return
+		}
+		p.do(w)
+		p.left.Add(-1)
+	}
+}
+
+// do runs the current phase over worker w's cores (round-robin deal).
+func (p *tickPool) do(w int) {
+	switch p.op {
+	case opTick:
+		for i := w; i < len(p.cores); i += p.nw {
+			p.cores[i].Tick(p.now)
+		}
+	case opNext:
+		min := uint64(NoEvent)
+		for i := w; i < len(p.cores); i += p.nw {
+			if e := p.cores[i].NextEvent(p.now); e < min {
+				min = e
+			}
+			if min <= p.now+1 {
+				break // no jump possible; skip the rest of the shard scan
+			}
+		}
+		p.mins[w].v = min
+	}
+}
+
+// phase releases the workers for one op, does the driver's own share, and
+// waits for everyone at the barrier.
+func (p *tickPool) phase(op uint32, now uint64) {
+	p.op, p.now = op, now
+	p.left.Store(int32(p.nw - 1))
+	p.epoch.Add(1)
+	p.do(0)
+	for spins := 0; p.left.Load() > 0; spins++ {
+		if spins >= spinLimit {
+			runtime.Gosched()
+		}
+	}
+}
+
+// tick runs the produce phase of cycle now across all cores.
+func (p *tickPool) tick(now uint64) { p.phase(opTick, now) }
+
+// nextEvent min-reduces NextEvent(now) across all cores.
+func (p *tickPool) nextEvent(now uint64) uint64 {
+	p.phase(opNext, now)
+	min := uint64(NoEvent)
+	for w := 0; w < p.nw; w++ {
+		if p.mins[w].v < min {
+			min = p.mins[w].v
+		}
+	}
+	return min
+}
+
+// shutdown terminates the worker goroutines (the pool lives for one
+// RunUntil segment).
+func (p *tickPool) shutdown() {
+	p.op = opQuit
+	p.left.Store(int32(p.nw - 1))
+	p.epoch.Add(1)
+	for spins := 0; p.left.Load() > 0; spins++ {
+		if spins >= spinLimit {
+			runtime.Gosched()
+		}
+	}
+}
+
+// SetWorkers sets how many host goroutines tick simulated cores during the
+// produce phase of each cycle (the -sim-workers flag). 1 — the default —
+// keeps everything on the driver goroutine; higher values engage the worker
+// pool on multi-core systems. Results are bit-identical at any setting:
+// multi-core systems always run the produce/commit phase split, and the
+// commit phase applies all cross-shard effects in canonical core order
+// regardless of who ran the produce phases. Single-core systems ignore the
+// setting (there is nothing to parallelize).
+func (s *System) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+}
+
+// Workers returns the configured worker count.
+func (s *System) Workers() int { return s.workers }
+
+// stepDeferred is step for multi-core systems: the canonical registry order
+// (memory, hierarchy, cores, connectors) becomes produce ticks for the
+// cores followed by the sequential commit phase; Mem and Hier keep their
+// (no-op) ticks for the component contract.
+func (s *System) stepDeferred(p *tickPool, sampleEvery uint64) {
+	s.now++
+	s.Mem.Tick(s.now)
+	s.Hier.Tick(s.now)
+	if p != nil {
+		p.tick(s.now)
+	} else {
+		for _, c := range s.Cores {
+			c.Tick(s.now)
+		}
+	}
+	s.commitCycle(s.now)
+	if sampleEvery != 0 && s.now%sampleEvery == 0 {
+		s.sample(s.now)
+	}
+}
+
+// commitCycle is the sequential commit phase of cycle now: replay each
+// core's operation log (deferred cache accesses, staged telemetry) and
+// flush its memory write buffer in canonical core order, then tick the
+// connectors — which read the patched queue ready-times and emit directly
+// to the shared tracer — exactly where the serial registry order put them.
+func (s *System) commitCycle(now uint64) {
+	if s.tracer != nil {
+		s.tracer.Cycle = now
+	}
+	for _, c := range s.Cores {
+		c.FlushPending(now, s.tracer)
+	}
+	if s.tracer != nil {
+		for _, c := range s.Cores {
+			c.StagePassthrough(true)
+		}
+	}
+	for _, cn := range s.conns {
+		cn.Tick(now)
+	}
+	if s.tracer != nil {
+		for _, c := range s.Cores {
+			c.StagePassthrough(false)
+		}
+	}
+}
+
+// nextEventWith is nextEvent with the core scan optionally min-reduced
+// per-shard on the pool. The commit-shard components (memory, hierarchy,
+// connectors) are scanned on the driver either way.
+func (s *System) nextEventWith(p *tickPool, now uint64) uint64 {
+	if p == nil {
+		return s.nextEvent(now)
+	}
+	t := uint64(NoEvent)
+	for _, c := range s.seqComps {
+		e := c.NextEvent(now)
+		if e <= now+1 {
+			return now + 1
+		}
+		if e < t {
+			t = e
+		}
+	}
+	if m := p.nextEvent(now); m < t {
+		t = m
+	}
+	if t <= now+1 {
+		return now + 1
+	}
+	return t
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package sim_test
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation inflates allocation counts; the
+// steady-state allocation gate skips itself there.
+const raceEnabled = true

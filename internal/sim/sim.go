@@ -57,7 +57,26 @@ type System struct {
 	// comps is the clocked-component registry RunUntil drives; it is
 	// rebuilt at the top of every run segment because builders may attach
 	// connectors after construction. See component.go for the tick order.
-	comps []Component
+	// seqComps is the commit-shard subset (memory, hierarchy, connectors)
+	// the parallel kernel scans on the driver while the core shards
+	// min-reduce their NextEvents on the pool.
+	comps    []Component
+	seqComps []Component
+
+	// workers is the produce-phase goroutine count (SetWorkers); multi
+	// records whether this segment runs the deferred produce/commit split
+	// (any multi-core system does, at every worker count, so results never
+	// depend on the worker count).
+	workers int
+	multi   bool
+
+	// connKeys mirrors conns with the wiring endpoints so Connect can
+	// reject duplicate registration (a queue streamed by two connectors
+	// would be double-consumed — silent registry corruption).
+	connKeys []connKey
+
+	// ran guards Run against re-entry on a finished system.
+	ran bool
 
 	// now is the authoritative cycle counter; it persists across RunUntil
 	// segments and through checkpoint save/restore. roiBase is the cycle at
@@ -150,10 +169,35 @@ func New(cfg Config) *System {
 	return s
 }
 
-// Connect wires queue srcQ on core src to queue dstQ on core dst.
+type connKey struct {
+	src, dst   int
+	srcQ, dstQ uint8
+}
+
+// Connect wires queue srcQ on core src to queue dstQ on core dst. It
+// panics — with a message naming the wiring — on an out-of-range core index
+// or on double registration of an endpoint: a source queue streamed by two
+// connectors would be double-consumed and a destination queue fed by two
+// would interleave nondeterministically, both silently corrupting the
+// canonical component registry.
 func (s *System) Connect(src int, srcQ uint8, dst int, dstQ uint8) *connector.Connector {
+	if src < 0 || src >= len(s.Cores) || dst < 0 || dst >= len(s.Cores) {
+		panic(fmt.Sprintf("sim: Connect(core%d q%d -> core%d q%d): core index out of range (system has %d cores)",
+			src, srcQ, dst, dstQ, len(s.Cores)))
+	}
+	for _, k := range s.connKeys {
+		if k.src == src && k.srcQ == srcQ {
+			panic(fmt.Sprintf("sim: Connect(core%d q%d -> core%d q%d): source queue already streamed by a connector to core%d q%d",
+				src, srcQ, dst, dstQ, k.dst, k.dstQ))
+		}
+		if k.dst == dst && k.dstQ == dstQ {
+			panic(fmt.Sprintf("sim: Connect(core%d q%d -> core%d q%d): destination queue already fed by a connector from core%d q%d",
+				src, srcQ, dst, dstQ, k.src, k.srcQ))
+		}
+	}
 	c := connector.New(s.Cores[src], srcQ, s.Cores[dst], dstQ, s.cfg.NoCLatency, 1)
 	s.conns = append(s.conns, c)
+	s.connKeys = append(s.connKeys, connKey{src: src, dst: dst, srcQ: srcQ, dstQ: dstQ})
 	return c
 }
 
@@ -266,7 +310,17 @@ func (s *System) Done() bool { return s.done() }
 // error on deadlock (watchdog) or when MaxCycles is exceeded; the deadlock
 // error carries the full DebugState, including the last telemetry snapshot
 // (one is taken at the point of failure even when sampling is disabled).
-func (s *System) Run() (Result, error) { return s.RunUntil(0) }
+// Re-entering Run on a finished system is an error — the completed Result
+// was already returned, and re-running would only re-scan a drained machine
+// (use RunUntil, whose segmented re-entry is well-defined, for
+// checkpoint-style loops).
+func (s *System) Run() (Result, error) {
+	if s.ran && s.done() {
+		return s.result(), fmt.Errorf("sim: Run re-entered on a finished system (all threads halted, units drained); use RunUntil for segmented runs")
+	}
+	s.ran = true
+	return s.RunUntil(0)
+}
 
 // step advances the machine one clock edge, ticking every component in
 // registry order.
@@ -288,8 +342,8 @@ func (s *System) step(sampleEvery uint64) {
 // numbers with identical (frozen) contents. The jump never crosses `bound`
 // — the run-segment limit or the next error-deadline cycle — so watchdog
 // and MaxCycles errors fire at exactly the cycle a ticked run fires them.
-func (s *System) fastForward(bound, sampleEvery uint64) {
-	t := s.nextEvent(s.now)
+func (s *System) fastForward(p *tickPool, bound, sampleEvery uint64) {
+	t := s.nextEventWith(p, s.now)
 	if t <= s.now+1 {
 		return
 	}
@@ -369,6 +423,25 @@ func (s *System) checkLimits(watchdog uint64) error {
 // probes call it repeatedly; use Done to distinguish completion.
 func (s *System) RunUntil(until uint64) (Result, error) {
 	s.comps = s.components()
+	s.multi = len(s.Cores) > 1
+	var pool *tickPool
+	if s.multi {
+		// Multi-core systems always run the deferred produce/commit split —
+		// at every worker count — so the results can never depend on the
+		// worker count; the pool is just an execution strategy for the
+		// produce phase.
+		for _, c := range s.Cores {
+			c.EnableDeferred()
+		}
+		s.seqComps = append(s.seqComps[:0], Component(s.Mem), Component(s.Hier))
+		for _, c := range s.conns {
+			s.seqComps = append(s.seqComps, c)
+		}
+		if s.workers > 1 {
+			pool = newTickPool(s.Cores, s.workers)
+			defer pool.shutdown()
+		}
+	}
 	watchdog := s.cfg.WatchdogCycles
 	if watchdog == 0 {
 		watchdog = 2_000_000
@@ -379,7 +452,11 @@ func (s *System) RunUntil(until uint64) (Result, error) {
 	}
 	nextCheck := s.now // prime bookkeeping on the first stepped cycle
 	for !s.done() && (until == 0 || s.now < until) {
-		s.step(sampleEvery)
+		if s.multi {
+			s.stepDeferred(pool, sampleEvery)
+		} else {
+			s.step(sampleEvery)
+		}
 		if s.now >= nextCheck {
 			if err := s.checkLimits(watchdog); err != nil {
 				return s.result(), err
@@ -398,7 +475,7 @@ func (s *System) RunUntil(until uint64) (Result, error) {
 				bound = until
 			}
 			if s.now < bound {
-				s.fastForward(bound, sampleEvery)
+				s.fastForward(pool, bound, sampleEvery)
 			}
 			if s.now >= nextCheck {
 				if err := s.checkLimits(watchdog); err != nil {

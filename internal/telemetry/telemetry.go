@@ -89,6 +89,16 @@ type Tracer struct {
 	buf  []Event
 	mask uint64
 	n    uint64 // total events ever emitted
+
+	// stage, when non-nil, receives every emitted event instead of the ring
+	// (see NewStaged): the deferred execution mode gives each core a staged
+	// tracer whose sink appends into the core's private per-cycle operation
+	// log, so parallel produce phases never touch the shared ring. direct is
+	// the shared ring behind it; Passthrough(true) routes emissions there
+	// (used during the sequential commit phase, e.g. connector ticks).
+	stage       func(Event)
+	direct      *Tracer
+	passthrough bool
 }
 
 // DefaultTraceCap is the default ring capacity (events).
@@ -107,9 +117,40 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{buf: make([]Event, c), mask: uint64(c - 1)}
 }
 
+// NewStaged builds a tracer that forwards every emission to sink instead of
+// recording it, stamped with the staged tracer's own Cycle. direct is the
+// shared tracer the staged events are eventually replayed into; while
+// Passthrough(true) is set, emissions bypass the sink and go straight to it
+// (both tracers' Cycle fields are kept equal by the simulation loop during
+// a commit phase, so the stamp is identical either way).
+func NewStaged(direct *Tracer, sink func(Event)) *Tracer {
+	return &Tracer{stage: sink, direct: direct}
+}
+
+// Passthrough routes a staged tracer's emissions directly to the shared
+// tracer (true) or back through its staging sink (false). No-op on an
+// ordinary (ring) tracer.
+func (t *Tracer) Passthrough(on bool) { t.passthrough = on }
+
 // Emit records one event at the tracer's current cycle.
 func (t *Tracer) Emit(kind Kind, core, unit int16, a, b uint64) {
-	t.buf[t.n&t.mask] = Event{Cycle: t.Cycle, A: a, B: b, Kind: kind, Core: core, Unit: unit}
+	e := Event{Cycle: t.Cycle, A: a, B: b, Kind: kind, Core: core, Unit: unit}
+	if t.stage != nil {
+		if t.passthrough {
+			t.direct.Replay(e)
+			return
+		}
+		t.stage(e)
+		return
+	}
+	t.buf[t.n&t.mask] = e
+	t.n++
+}
+
+// Replay records an already-stamped event (a staged event being merged into
+// the shared ring during a commit phase) without restamping its cycle.
+func (t *Tracer) Replay(e Event) {
+	t.buf[t.n&t.mask] = e
 	t.n++
 }
 

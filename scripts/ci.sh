@@ -127,6 +127,10 @@ echo "== go build =="
 go build ./...
 echo "== go test -race =="
 go test -race ./...
+echo "== steady-state allocation gate =="
+# The gate skips itself under -race (instrumentation allocates), so run it
+# once without the detector.
+go test -run TestSteadyStateAllocs ./internal/sim/
 smoke
 sweep_smoke
 diverge_smoke
