@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet test race smoke sweep-smoke diverge-smoke bench benchguard perfbench rebaseline ci clean
+.PHONY: all build lint vet test race smoke sweep-smoke diverge-smoke profile-smoke bench benchguard perfbench rebaseline ci clean
 
 all: build
 
@@ -37,13 +37,19 @@ sweep-smoke:
 diverge-smoke:
 	./scripts/ci.sh diverge-smoke
 
+# Cycle-accounting smoke: a profiled run's v2 report must validate
+# (conservation included) and the -http live endpoint must serve /top and
+# /debug/vars mid-run (see docs/PROFILING.md).
+profile-smoke:
+	./scripts/ci.sh profile-smoke
+
 bench:
-	$(GO) test -bench=TelemetryOverhead -benchtime=2x -run ^$$ .
+	$(GO) test -bench='TelemetryOverhead|ProfileOverhead' -benchtime=2x -run ^$$ .
 	$(GO) test -bench=SweepThroughput -benchtime=2x -run ^$$ ./internal/harness
 
-# Benchmark regression guard: fails if TelemetryOverheadOff,
-# SweepThroughput or the kernel-throughput rows exceed the thresholds in
-# build/baselines/.
+# Benchmark regression guard: fails if TelemetryOverheadOff, the
+# ProfileOverhead pair, SweepThroughput or the kernel-throughput rows
+# exceed the thresholds in build/baselines/.
 benchguard:
 	./scripts/benchguard.sh
 

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"pipette/internal/harness"
+	"pipette/internal/profile"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 	tiny := flag.Bool("tiny", false, "use the fast test-scale configuration (CI smoke)")
 	noFF := flag.Bool("no-fastforward", false, "tick every cycle instead of fast-forwarding quiescent spans (identical results, slower)")
 	simWorkers := flag.Int("sim-workers", 1, "goroutines ticking simulated cores inside each cell (identical results at any value)")
+	httpAddr := flag.String("http", "", "serve live sweep introspection on host:port (/top, /debug/vars, /debug/pprof); output stays byte-identical")
 	reportOut := flag.String("report-out", "", "write the evaluation matrix as a run-set JSON file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -102,6 +104,16 @@ func main() {
 		*sweepOnly = true
 	}
 	harness.SetSweepOptions(opts)
+
+	if *httpAddr != "" {
+		psrv, err := profile.NewServer(*httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer psrv.Close()
+		fmt.Fprintf(os.Stderr, "introspection: http://%s (/top, /debug/vars, /debug/pprof)\n", psrv.Addr())
+		harness.SetProfServer(psrv)
+	}
 
 	if *sweepOnly {
 		runSweep(cfg, opts, *reportOut, *exp)

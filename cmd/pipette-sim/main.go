@@ -26,12 +26,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"pipette/internal/bench"
 	"pipette/internal/cache"
 	"pipette/internal/checkpoint"
 	"pipette/internal/core"
 	"pipette/internal/energy"
+	"pipette/internal/profile"
 	"pipette/internal/sim"
 	"pipette/internal/telemetry"
 )
@@ -51,6 +53,9 @@ func main() {
 	metricsInterval := flag.Uint64("metrics-interval", 0, "sampling period in cycles (default 1024)")
 	noFF := flag.Bool("no-fastforward", false, "tick every cycle instead of fast-forwarding quiescent spans (identical results, slower)")
 	simWorkers := flag.Int("sim-workers", 1, "goroutines ticking simulated cores each cycle (identical results at any value)")
+	profileOn := flag.Bool("profile", false, "enable cycle-accounting profiling (CPI stacks, queue histograms; identical simulated results)")
+	httpAddr := flag.String("http", "", "serve live introspection on host:port (/top, /debug/vars, /debug/pprof); implies -profile")
+	httpHold := flag.Duration("http-hold", 0, "keep the -http server up this long after the run (smoke tests)")
 	ckptEvery := flag.Uint64("checkpoint-every", 0, "write a snapshot every N simulated cycles (0 disables)")
 	ckptOut := flag.String("checkpoint-out", "pipette.snap", "snapshot file for -checkpoint-every")
 	resume := flag.String("resume", "", "resume from a snapshot file (workload flags come from its metadata)")
@@ -103,6 +108,23 @@ func main() {
 	if *metricsOut != "" || *jsonOut {
 		s.EnableSampling(*metricsInterval)
 	}
+	if *httpAddr != "" {
+		*profileOn = true
+		s.EnableKernelProf()
+	}
+	if *profileOn {
+		s.EnableProfiling()
+	}
+	var psrv *profile.Server
+	if *httpAddr != "" {
+		var err error
+		psrv, err = profile.NewServer(*httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer psrv.Close()
+		fmt.Fprintf(os.Stderr, "introspection: http://%s (/top, /debug/vars, /debug/pprof)\n", psrv.Addr())
+	}
 	if *trace > 0 {
 		for ci, c := range s.Cores {
 			left := *trace
@@ -137,7 +159,16 @@ func main() {
 		App: *app, Variant: *variant, Input: *input,
 		Seed: *seed, CacheScale: *cacheScale, PRDIters: *prdIters,
 	}
-	r, runErr := runWithCheckpoints(s, *ckptEvery, *ckptOut, wl)
+	var push func()
+	if psrv != nil {
+		label := fmt.Sprintf("%s/%s/%s", *app, *variant, *input)
+		push = func() { psrv.Update(s.ProfSnapshot(label)) }
+	}
+	r, runErr := runWithCheckpoints(s, *ckptEvery, *ckptOut, wl, push)
+	if psrv != nil && *httpHold > 0 {
+		fmt.Fprintf(os.Stderr, "holding -http server for %v\n", *httpHold)
+		time.Sleep(*httpHold)
+	}
 	if runErr == nil {
 		if err := check(); err != nil {
 			runErr = fmt.Errorf("result check failed: %w", err)
@@ -193,23 +224,39 @@ func main() {
 	report(r)
 }
 
+// profileRefresh is the RunUntil segment length used to refresh the live
+// introspection snapshot when checkpointing doesn't already segment the
+// run. Snapshots are only taken between segments — never mid-cycle — so
+// the server always serves a cycle-boundary view.
+const profileRefresh = 250_000
+
 // runWithCheckpoints drives the simulation, atomically rewriting the
-// snapshot file every `every` cycles (0 = plain run). Snapshot writes never
-// perturb simulated state, so the run is cycle-identical with or without
-// checkpointing.
-func runWithCheckpoints(s *sim.System, every uint64, path string, wl checkpoint.Workload) (sim.Result, error) {
-	if every == 0 {
+// snapshot file every `every` cycles (0 = plain run) and pushing a fresh
+// introspection snapshot (push, may be nil) after every segment. Snapshot
+// writes never perturb simulated state, so the run is cycle-identical with
+// or without checkpointing or profiling.
+func runWithCheckpoints(s *sim.System, every uint64, path string, wl checkpoint.Workload, push func()) (sim.Result, error) {
+	if every == 0 && push == nil {
 		return s.Run()
 	}
+	seg := every
+	if seg == 0 {
+		seg = profileRefresh
+	}
 	for {
-		r, err := s.RunUntil(s.Now() + every)
+		r, err := s.RunUntil(s.Now() + seg)
+		if push != nil {
+			push()
+		}
 		if err != nil || s.Done() {
 			return r, err
 		}
-		if err := saveSnapshot(s, path, wl); err != nil {
-			return r, fmt.Errorf("checkpointing at cycle %d: %w", s.Now(), err)
+		if every != 0 {
+			if err := saveSnapshot(s, path, wl); err != nil {
+				return r, fmt.Errorf("checkpointing at cycle %d: %w", s.Now(), err)
+			}
+			fmt.Fprintf(os.Stderr, "checkpoint: cycle %d -> %s\n", s.Now(), path)
 		}
-		fmt.Fprintf(os.Stderr, "checkpoint: cycle %d -> %s\n", s.Now(), path)
 	}
 }
 
@@ -275,6 +322,19 @@ func report(r sim.Result) {
 		fmt.Printf("        enq=%d deq=%d rf-reads=%d rf-writes=%d qrm-regs(mean/peak)=%.1f/%d\n",
 			cs.Enqueues, cs.Dequeues, cs.RegReads, cs.RegWrites,
 			cs.MeanMappedRegs(), cs.QueueOccupancyMax)
+	}
+	for _, ps := range r.Prof {
+		tot := float64(ps.Cycles) * float64(ps.Width)
+		if tot == 0 {
+			continue
+		}
+		fmt.Printf("core %d slots:", ps.Core)
+		for cat, n := range ps.Slots {
+			if n > 0 {
+				fmt.Printf(" %s=%.1f%%", profile.Category(cat), 100*float64(n)/tot)
+			}
+		}
+		fmt.Println()
 	}
 	c := r.CacheStats
 	fmt.Printf("cache: L1=%d L2=%d L3=%d DRAM=%d prefetch=%d wb=%d inval=%d\n",

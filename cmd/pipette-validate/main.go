@@ -1,7 +1,10 @@
 // Command pipette-validate checks telemetry artifacts against their
-// schemas: run reports and run sets (pipette.report/v1, pipette.runset/v1),
-// metrics series (pipette.metrics/v1 JSON or the CSV sink), and Chrome
-// trace-event files. CI's smoke run gates on it.
+// schemas: run reports (pipette.report/v1 and /v2 — v2 adds the
+// conservation-checked cpi_stacks and queue_hist cycle-accounting
+// sections), run sets (pipette.runset/v1), metrics series
+// (pipette.metrics/v1 JSON or the CSV sink), and Chrome trace-event files.
+// Unknown schema versions inside a known family are rejected with an error
+// naming the supported versions. CI's smoke run gates on it.
 //
 // Usage:
 //
@@ -64,20 +67,39 @@ func validate(path string, minCats int) error {
 		return fmt.Errorf("not valid JSON: %w", err)
 	}
 	switch {
-	case probe.Schema == telemetry.ReportSchema:
+	case strings.HasPrefix(probe.Schema, "pipette.report/"):
+		// Both report schema versions validate; anything else in the family
+		// is an unknown version and gets a precise error rather than the
+		// generic unrecognized-schema fallthrough.
+		if probe.Schema != telemetry.ReportSchema && probe.Schema != telemetry.ReportSchemaV1 {
+			return fmt.Errorf("unsupported report schema version %q (supported: %s, %s)",
+				probe.Schema, telemetry.ReportSchemaV1, telemetry.ReportSchema)
+		}
 		r, err := telemetry.ValidateReport(bytes.NewReader(data))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("ok   %s: report %s/%s/%s cycles=%d ipc=%.3f\n",
-			path, r.App, r.Variant, r.Input, r.Cycles, r.IPC)
-	case probe.Schema == telemetry.RunSetSchema:
+		extra := ""
+		if n := len(r.CPIStacks); n > 0 {
+			extra = fmt.Sprintf(" cpi-stacks=%d", n)
+		}
+		fmt.Printf("ok   %s: report (%s) %s/%s/%s cycles=%d ipc=%.3f%s\n",
+			path, r.Schema, r.App, r.Variant, r.Input, r.Cycles, r.IPC, extra)
+	case strings.HasPrefix(probe.Schema, "pipette.runset/"):
+		if probe.Schema != telemetry.RunSetSchema {
+			return fmt.Errorf("unsupported run-set schema version %q (supported: %s)",
+				probe.Schema, telemetry.RunSetSchema)
+		}
 		rs, err := telemetry.ValidateRunSet(bytes.NewReader(data))
 		if err != nil {
 			return err
 		}
 		fmt.Printf("ok   %s: run set with %d runs\n", path, len(rs.Runs))
-	case probe.Schema == telemetry.MetricsSchema:
+	case strings.HasPrefix(probe.Schema, "pipette.metrics/"):
+		if probe.Schema != telemetry.MetricsSchema {
+			return fmt.Errorf("unsupported metrics schema version %q (supported: %s)",
+				probe.Schema, telemetry.MetricsSchema)
+		}
 		interval, samples, err := telemetry.ReadMetricsJSON(bytes.NewReader(data))
 		if err != nil {
 			return err

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pipette/internal/cache"
+	"pipette/internal/core"
+	"pipette/internal/profile"
+	"pipette/internal/sim"
+)
+
+// profRun is everything the cycle-accounting subsystem must keep invariant
+// across execution strategies: the per-core profile snapshots and the
+// sampled slot-column CSV. Profile counters are pure functions of simulated
+// state, so fast-forward and the worker pool must not change a single count.
+type profRun struct {
+	prof []profile.CoreSnapshot
+	csv  []byte
+}
+
+func runProfiled(t *testing.T, app, variant, input string, ff bool, workers int) profRun {
+	t.Helper()
+	b, cores, err := Lookup(app, variant, input, 2, 1)
+	if err != nil {
+		t.Fatalf("Lookup(%s/%s/%s): %v", app, variant, input, err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Cores = cores
+	cfg.Cache = cache.DefaultConfig().Scale(8)
+	cfg.WatchdogCycles = 10_000_000
+	s := sim.New(cfg)
+	s.SetFastForward(ff)
+	s.SetWorkers(workers)
+	s.EnableProfiling()
+	sm := s.EnableSampling(256)
+	r, err := Run(s, b)
+	if err != nil {
+		t.Fatalf("%s/%s/%s ff=%v workers=%d: %v", app, variant, input, ff, workers, err)
+	}
+	if len(r.Prof) != cores {
+		t.Fatalf("%s/%s/%s: %d profile snapshots for %d cores", app, variant, input, len(r.Prof), cores)
+	}
+	for _, ps := range r.Prof {
+		if ps.Cycles == 0 {
+			t.Fatalf("%s/%s/%s core %d: no cycles profiled", app, variant, input, ps.Core)
+		}
+		if err := ps.Conserved(); err != nil {
+			t.Errorf("%s/%s/%s ff=%v workers=%d: %v", app, variant, input, ff, workers, err)
+		}
+	}
+	var csv bytes.Buffer
+	if err := sm.WriteCSV(&csv, core.StallNames()); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	return profRun{prof: r.Prof, csv: csv.Bytes()}
+}
+
+// TestProfileConservation is the acceptance matrix for the cycle-accounting
+// subsystem (ISSUE 6): for all six apps in the serial and pipette variants,
+// under fast-forward on/off and 1/4 kernel workers, every core's issue-slot
+// account must satisfy slot conservation (categories sum exactly to
+// cycles x width), and all four execution-strategy cells must produce
+// bit-identical profiles and sampled slot series.
+func TestProfileConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cases := []struct{ app, input string }{
+		{"bfs", "Co"},
+		{"cc", "Co"},
+		{"prd", "Co"},
+		{"radii", "Co"},
+		{"spmm", "Am"},
+		{"silo", "ycsbc"},
+	}
+	for _, tc := range cases {
+		for _, variant := range []string{VSerial, VPipette} {
+			tc, variant := tc, variant
+			t.Run(fmt.Sprintf("%s/%s", tc.app, variant), func(t *testing.T) {
+				t.Parallel()
+				base := runProfiled(t, tc.app, variant, tc.input, true, 1)
+				for _, alt := range []struct {
+					label   string
+					ff      bool
+					workers int
+				}{
+					{"noff", false, 1},
+					{"ff+pool", true, 4},
+					{"noff+pool", false, 4},
+				} {
+					got := runProfiled(t, tc.app, variant, tc.input, alt.ff, alt.workers)
+					if !reflect.DeepEqual(base.prof, got.prof) {
+						t.Errorf("%s: profile differs from ff=1 workers=1 baseline:\n  base: %+v\n  got:  %+v",
+							alt.label, base.prof, got.prof)
+					}
+					if !bytes.Equal(base.csv, got.csv) {
+						t.Errorf("%s: sampled slot series differs (%d vs %d bytes)",
+							alt.label, len(base.csv), len(got.csv))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestProfiledRunMatchesUnprofiled asserts enabling the profiler is
+// observationally free: the Result (minus the profile snapshots themselves)
+// and the final state hash are bit-identical with profiling on and off.
+func TestProfiledRunMatchesUnprofiled(t *testing.T) {
+	run := func(prof bool) (sim.Result, string) {
+		b, cores, err := Lookup("bfs", VPipette, "Co", 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Cores = cores
+		cfg.Cache = cache.DefaultConfig().Scale(8)
+		cfg.WatchdogCycles = 10_000_000
+		s := sim.New(cfg)
+		if prof {
+			s.EnableProfiling()
+		}
+		r, err := Run(s, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hash, err := s.StateHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, hash
+	}
+	rOff, hOff := run(false)
+	rOn, hOn := run(true)
+	if hOff != hOn {
+		t.Errorf("state hash differs: off=%s on=%s", hOff, hOn)
+	}
+	rOn.Prof = nil
+	if !reflect.DeepEqual(rOff, rOn) {
+		t.Errorf("results differ once Prof is stripped:\n  off: %+v\n  on:  %+v", rOff, rOn)
+	}
+}

@@ -6,7 +6,11 @@
 // private copies (enough coherence for the data-parallel baselines).
 package cache
 
-import "pipette/internal/telemetry"
+import (
+	"fmt"
+
+	"pipette/internal/telemetry"
+)
 
 // Config sizes the hierarchy. All latencies are in core cycles and are
 // cumulative per level (an L2 hit costs L1Lat+L2Lat).
@@ -91,6 +95,16 @@ const (
 	LvlL3
 	LvlDRAM
 )
+
+var levelNames = [...]string{"L1", "L2", "L3", "DRAM"}
+
+// String names the service level (telemetry and debug output).
+func (l Level) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("level%d", uint8(l))
+}
 
 type line struct {
 	tag   uint64

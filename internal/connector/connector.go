@@ -99,6 +99,13 @@ func (c *Connector) Tick(now uint64) {
 // sufficient.
 func (c *Connector) Drained() bool { return !c.srcQ.CanDeq() }
 
+// Endpoints returns the wiring (producer core/queue, consumer core/queue)
+// for observability labels — the introspection endpoint names connector
+// rows with it.
+func (c *Connector) Endpoints() (srcCore int, srcQ uint8, dstCore int, dstQ uint8) {
+	return c.src.ID(), uint8(c.srcQ.ID), c.dst.ID(), uint8(c.dstQ.ID)
+}
+
 // noEvent mirrors sim.NoEvent; the packages cannot share the constant
 // without an import cycle.
 const noEvent = ^uint64(0)

@@ -61,11 +61,15 @@ func (c *Core) issue() int {
 				c.pend = append(c.pend, pendOp{kind: pendLoad, addr: u.addr, u: u})
 				u.doneAt = queue.NotReady
 			} else {
-				done, _ := c.port.Access(c.now, u.addr, u.isAtom)
+				done, lvl := c.port.Access(c.now, u.addr, u.isAtom)
 				if u.isAtom {
 					done += c.cfg.AtomicExtraLat
 				}
 				u.doneAt = done
+				if c.prof != nil {
+					u.profLvl = uint8(lvl) + 1
+					c.prof.LoadIssued(int(lvl))
+				}
 			}
 		case u.isStore:
 			stores++
@@ -160,6 +164,12 @@ func (c *Core) commit() {
 			if u.isStore {
 				t.sqUsed--
 			}
+			if u.profLvl != 0 {
+				if c.prof != nil {
+					c.prof.LoadRetired(int(u.profLvl) - 1)
+				}
+				u.profLvl = 0
+			}
 			ret++
 			budget--
 			// Recycle the µop. A mispredicted branch may still be the
@@ -167,6 +177,7 @@ func (c *Core) commit() {
 			if t.blockedOn == u {
 				t.blockedUntil = u.doneAt + c.cfg.MispredictPenalty
 				t.blockedOn = nil
+				t.redirectTrap = false
 				if c.trace != nil {
 					c.trace.Emit(telemetry.EvRedirect, int16(c.id), int16(tid), 0, t.blockedUntil)
 				}

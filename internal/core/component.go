@@ -44,7 +44,17 @@ func (c *Core) Tick(now uint64) {
 		u.Tick(c.now)
 	}
 	c.classify(issued)
-	occ := uint64(c.qrm.MappedRegisters())
+	var occ uint64
+	if c.prof == nil {
+		occ = uint64(c.qrm.MappedRegisters())
+	} else {
+		// Fold the per-queue histogram update into the same walk that
+		// computes the mapped-register integral.
+		occ = uint64(c.qrm.OccupancySum(func(qi, o int) {
+			c.prof.QueueOcc(qi, o, 1)
+		}))
+		c.profTick(issued)
+	}
 	c.stats.QueueOccupancySum += occ
 	if occ > c.stats.QueueOccupancyMax {
 		c.stats.QueueOccupancyMax = occ
@@ -175,7 +185,16 @@ func (c *Core) FastForward(from, to uint64) {
 	if b := c.idleBucket(); b != nil {
 		*b += d
 	}
-	c.stats.QueueOccupancySum += uint64(c.qrm.MappedRegisters()) * d
+	var occ uint64
+	if c.prof == nil {
+		occ = uint64(c.qrm.MappedRegisters())
+	} else {
+		occ = uint64(c.qrm.OccupancySum(func(qi, o int) {
+			c.prof.QueueOcc(qi, o, d)
+		}))
+		c.profSpan(d)
+	}
+	c.stats.QueueOccupancySum += occ * d
 	c.now = to
 	for _, u := range c.units {
 		u.FastForward(from, to)

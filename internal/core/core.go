@@ -18,6 +18,7 @@ import (
 	"pipette/internal/cache"
 	"pipette/internal/isa"
 	"pipette/internal/mem"
+	"pipette/internal/profile"
 	"pipette/internal/queue"
 	"pipette/internal/telemetry"
 )
@@ -222,6 +223,12 @@ type uop struct {
 	isHalt  bool
 	state   uopState
 	doneAt  uint64
+
+	// profLvl marks an in-flight load for the cycle-accounting profiler:
+	// cache level + 1 (0 = unmarked), set at issue and cleared at retire so
+	// the outstanding-by-level counters stay balanced. Never serialized —
+	// restored µops are simply unmarked (see RestoreState).
+	profLvl uint8
 }
 
 type thread struct {
@@ -242,6 +249,13 @@ type thread struct {
 	blockedUntil uint64 // frontend resumes at this cycle
 	blockedOn    *uop   // unresolved mispredicted branch
 	stall        StallReason
+
+	// redirectTrap distinguishes, while stall == StallRedirect, a trap
+	// redirect (CV/enqueue handler: the profiler's "trap" category) from a
+	// mispredict wait ("frontend"). Set only where the redirect is created,
+	// so it is frozen over quiescent spans like stall itself. Scratch: not
+	// serialized; meaningless outside StallRedirect.
+	redirectTrap bool
 
 	// atomFence stops this thread's rename for the rest of the cycle after
 	// an atomic in deferred mode: the fetched value is only patched into the
@@ -316,6 +330,11 @@ type Core struct {
 	// queue activity is emitted by the QRM itself). Attach with
 	// AttachTracer; hot paths only pay the nil check when disabled.
 	trace *telemetry.Tracer
+
+	// prof, when non-nil, receives the cycle-accounting slot attribution
+	// (see profile.go). Same nil-guarded zero-cost pattern as trace; never
+	// serialized, so profiling cannot perturb state hashes.
+	prof *profile.CoreProf
 
 	// TraceFn, when set, is called for every committed architectural
 	// instruction with (cycle, thread, pc, disassembly). Used by
@@ -401,6 +420,9 @@ func (c *Core) Sample() telemetry.CoreSample {
 	for i, t := range c.threads {
 		cs.Stall[i] = uint8(t.stall)
 		cs.ROBUsed[i] = t.robUsed
+	}
+	if c.prof != nil {
+		cs.Slots = append([]uint64(nil), c.prof.Slots[:]...)
 	}
 	return cs
 }

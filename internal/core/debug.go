@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"pipette/internal/cache"
 )
 
 // ThreadDebug is one hardware thread's state in a debug dump.
@@ -40,6 +42,10 @@ type CoreDebug struct {
 	Queues    []QueueDebug  `json:"queues"`
 	Freelist  int           `json:"freelist"`
 	IQLen     int           `json:"iq_len"`
+
+	// OutLoads counts issued-but-unretired loads by the cache level they
+	// wait on ("L2", "DRAM", ...). Populated only on profiling runs.
+	OutLoads map[string]uint64 `json:"out_loads,omitempty"`
 }
 
 // DebugSnapshot captures per-thread and per-queue state for deadlock
@@ -74,6 +80,16 @@ func (c *Core) DebugSnapshot() CoreDebug {
 			ID: q.ID, Cap: q.Cap, Occupancy: q.Occupancy(), PendingDeq: q.PendingDeq(),
 			SkipPending: q.SkipPending, SpecHead: q.SpecHead, SpecTail: q.SpecTail, CommHead: q.CommHead,
 		})
+	}
+	if c.prof != nil {
+		for lvl, n := range c.prof.Outstanding() {
+			if n > 0 {
+				if d.OutLoads == nil {
+					d.OutLoads = map[string]uint64{}
+				}
+				d.OutLoads[cache.Level(lvl).String()] = n
+			}
+		}
 	}
 	return d
 }

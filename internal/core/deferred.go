@@ -149,13 +149,20 @@ func (c *Core) FlushPending(now uint64, tr *telemetry.Tracer) {
 			}
 		case pendLoad:
 			u := op.u
-			done, _ := c.port.Access(now, op.addr, u.isAtom)
+			done, lvl := c.port.Access(now, op.addr, u.isAtom)
 			if u.isAtom {
 				done += c.cfg.AtomicExtraLat
 			}
 			u.doneAt = done
 			if u.dst >= 0 {
 				c.regReady[u.dst] = done
+			}
+			if c.prof != nil {
+				// Deferred mode learns the cache level at the commit phase;
+				// the commit phase is part of the same cycle, so the
+				// outstanding-by-level account stays cycle-exact.
+				u.profLvl = uint8(lvl) + 1
+				c.prof.LoadIssued(int(lvl))
 			}
 		case pendStore:
 			c.port.Access(now, op.addr, true)

@@ -1,0 +1,126 @@
+// Cycle-accounting hooks: when a profile.CoreProf is attached the core
+// attributes every issue slot of every cycle to one category (profTick /
+// profSpan), tracks outstanding loads by cache level for the backend split,
+// and folds per-queue occupancy histograms into the mapped-register walk.
+// Everything here is a pure function of frozen machine state, so quiescence
+// fast-forward can credit a whole span in one step and profiled runs stay
+// bit-identical across worker counts and fast-forward settings. Disabled
+// runs pay exactly one nil check per cycle (the PR 1 telemetry pattern).
+package core
+
+import "pipette/internal/profile"
+
+// SetProf attaches a cycle-accounting profiler. Attach before the first
+// cycle: counters cover only cycles ticked while attached, and conservation
+// is checked against the profiler's own cycle count.
+func (c *Core) SetProf(p *profile.CoreProf) { c.prof = p }
+
+// Prof returns the attached profiler (nil when profiling is disabled);
+// core units (RAs) record their occupancy through it.
+func (c *Core) Prof() *profile.CoreProf { return c.prof }
+
+// slotCategory picks the one stall category for this cycle's unissued
+// slots. Precedence mirrors idleBucket (backend dominates, then queue
+// conditions, then redirects) with two refinements: backend splits by the
+// deepest cache level an outstanding load waits on, and redirects split
+// into trap vs. frontend via the thread's redirectTrap mark. Pure function
+// of frozen state — the fast-forward contract.
+func (c *Core) slotCategory() profile.Category {
+	anyActive := false
+	var qe, qf, trap, front, backend bool
+	for _, t := range c.threads {
+		if !t.active || t.done || t.halted {
+			continue
+		}
+		anyActive = true
+		switch t.stall {
+		case StallQueueEmpty:
+			qe = true
+		case StallQueueFull:
+			qf = true
+		case StallSkipWait:
+			trap = true
+		case StallRedirect:
+			if t.redirectTrap {
+				trap = true
+			} else {
+				front = true
+			}
+		default:
+			backend = true
+		}
+	}
+	if !anyActive && len(c.iq) == 0 {
+		return profile.CatIdle
+	}
+	if len(c.iq) > 0 || backend {
+		if lvl := c.prof.MemLevel(); lvl >= 0 {
+			return profile.MemCategory(lvl)
+		}
+		return profile.CatBackend
+	}
+	if qf {
+		return profile.CatQueueFull
+	}
+	if qe {
+		return profile.CatQueueEmpty
+	}
+	if trap {
+		return profile.CatTrap
+	}
+	if front {
+		return profile.CatFrontend
+	}
+	return profile.CatBackend
+}
+
+// threadCategory classifies one hardware thread's cycle for the per-stage
+// stack: what this thread, individually, spent the cycle on.
+func threadCategory(t *thread) profile.Category {
+	if t.halted {
+		return profile.CatIdle
+	}
+	switch t.stall {
+	case StallNone:
+		return profile.CatRetired
+	case StallQueueEmpty:
+		return profile.CatQueueEmpty
+	case StallQueueFull:
+		return profile.CatQueueFull
+	case StallSkipWait:
+		return profile.CatTrap
+	case StallRedirect:
+		if t.redirectTrap {
+			return profile.CatTrap
+		}
+		return profile.CatFrontend
+	default:
+		return profile.CatBackend
+	}
+}
+
+// profTick attributes one ticked cycle: the issue-slot account plus each
+// loaded thread's per-stage category. Queue occupancies are folded into
+// the mapped-register walk in Tick itself.
+func (c *Core) profTick(issued int) {
+	c.prof.Tick(c.slotCategory(), issued)
+	for _, t := range c.threads {
+		if !t.active || t.done {
+			continue
+		}
+		c.prof.ThreadCycles(t.id, threadCategory(t), 1)
+	}
+}
+
+// profSpan credits a fast-forwarded quiescent span of d cycles: no µop
+// issues inside a quiescent span, so the whole span carries the frozen
+// cycle's category.
+func (c *Core) profSpan(d uint64) {
+	c.prof.Span(c.slotCategory(), d)
+	for _, t := range c.threads {
+		if !t.active || t.done {
+			continue
+		}
+		c.prof.ThreadCycles(t.id, threadCategory(t), d)
+	}
+}

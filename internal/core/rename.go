@@ -52,6 +52,7 @@ func (c *Core) rename() {
 				}
 				t.blockedUntil = t.blockedOn.doneAt + c.cfg.MispredictPenalty
 				t.blockedOn = nil
+				t.redirectTrap = false
 				c.busyAt = c.now
 				if c.trace != nil {
 					c.trace.Emit(telemetry.EvRedirect, int16(c.id), int16(t.id), 0, t.blockedUntil)
@@ -414,6 +415,7 @@ func (c *Core) renameOne(t *thread) (int, bool) {
 	c.iq = append(c.iq, u)
 	if u.mispred {
 		t.blockedOn = u
+		t.redirectTrap = false
 	}
 	return 1, true
 }
@@ -469,6 +471,7 @@ func (c *Core) trapDeqCV(t *thread, q *queue.Queue) (int, bool) {
 	t.pc = t.prog.DeqHandler
 	t.blockedUntil = c.now + c.cfg.TrapPenalty
 	t.stall = StallRedirect
+	t.redirectTrap = true
 	return 2, true
 }
 
@@ -485,6 +488,7 @@ func (c *Core) trapEnq(t *thread) (int, bool) {
 	t.pc = t.prog.EnqHandler
 	t.blockedUntil = c.now + c.cfg.TrapPenalty
 	t.stall = StallRedirect
+	t.redirectTrap = true
 	return 1, true
 }
 

@@ -308,6 +308,11 @@ func (c *Core) RestoreState(st State) error {
 			return fmt.Errorf("core %d: unit %d: %w", c.id, i, err)
 		}
 	}
+	if c.prof != nil {
+		// Restored in-flight µops carry no profiling marks (profLvl is not
+		// serialized), so the outstanding-by-level account restarts empty.
+		c.prof.ResetOutstanding()
+	}
 	return nil
 }
 

@@ -157,10 +157,23 @@ func (cfg Config) newSystem(cores int) *sim.System {
 	return s
 }
 
-// runOne executes a single run and charges energy.
-func (cfg Config) runOne(b bench.Builder, cores int) (Cell, error) {
+// runOne executes a single run and charges energy. label names the cell on
+// the live introspection endpoint when one is attached (SetProfServer).
+func (cfg Config) runOne(b bench.Builder, cores int, label string) (Cell, error) {
 	s := cfg.newSystem(cores)
+	psrv := profSrv.Load()
+	if psrv != nil {
+		s.EnableProfiling()
+		s.EnableKernelProf()
+	}
 	r, err := bench.Run(s, b)
+	if psrv != nil {
+		psrv.Update(s.ProfSnapshot(label))
+		// Profiling was driven by the endpoint, not the Config: strip the
+		// snapshots so the cell stays byte-identical to an unprofiled run
+		// (the sweep disk cache and SameResults both depend on that).
+		r.Prof = nil
+	}
 	if err != nil {
 		return Cell{}, err
 	}
@@ -303,21 +316,22 @@ func (cfg Config) allApps() (map[string][]appRun, []string) {
 
 // experiments maps experiment names to runners.
 var experiments = map[string]func(io.Writer, Config) error{
-	"fig2":   Fig2,
-	"fig9":   Fig9,
-	"fig10":  Fig10,
-	"fig11":  Fig11,
-	"fig12":  Fig12,
-	"fig13":  Fig13,
-	"fig14":  Fig14,
-	"fig15":  Fig15,
-	"fig16":  Fig16,
-	"fig17":  Fig17,
-	"table2": Table2,
-	"table3": Table3,
-	"table4": Table4,
-	"table5": Table5,
-	"table6": Table6,
+	"fig2":    Fig2,
+	"fig9":    Fig9,
+	"fig10":   Fig10,
+	"fig11":   Fig11,
+	"fig12":   Fig12,
+	"fig13":   Fig13,
+	"fig14":   Fig14,
+	"fig15":   Fig15,
+	"fig16":   Fig16,
+	"fig17":   Fig17,
+	"profile": ProfileExp,
+	"table2":  Table2,
+	"table3":  Table3,
+	"table4":  Table4,
+	"table5":  Table5,
+	"table6":  Table6,
 }
 
 // Names lists all experiment names in order.

@@ -89,7 +89,7 @@ func TestUnknownExperiment(t *testing.T) {
 
 func TestNamesComplete(t *testing.T) {
 	ns := Names()
-	if len(ns) != 15 {
+	if len(ns) != 16 {
 		t.Fatalf("have %d experiments: %v", len(ns), ns)
 	}
 }

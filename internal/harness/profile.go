@@ -1,0 +1,74 @@
+// Cycle-accounting observability hooks: the live-introspection server
+// attachment for pipette-bench (-http) and the "profile" experiment, a
+// figure-style CPI-stack table built from the deterministic issue-slot
+// account (see docs/PROFILING.md).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"pipette/internal/bench"
+	"pipette/internal/profile"
+	"pipette/internal/stats"
+)
+
+// profSrv holds the live introspection server pipette-bench attaches with
+// SetProfServer; sweep workers read it lock-free.
+var profSrv atomic.Pointer[profile.Server]
+
+// SetProfServer attaches (or detaches, with nil) a live introspection
+// server: every subsequently computed sweep cell runs with profiling and
+// kernel timing enabled and pushes a labeled snapshot as it completes, so
+// /top follows the sweep live. The profiled counters are stripped from the
+// stored cells, so cached results and figure output remain byte-identical
+// with or without a server attached.
+func SetProfServer(p *profile.Server) { profSrv.Store(p) }
+
+// ProfileExp renders the cycle-accounting CPI stacks: each app's first
+// (canonical-order) input is re-run under the serial and pipette variants
+// with profiling enabled, and every core's issue slots are shown as
+// percentage shares per category. The runs bypass the sweep cache — the
+// slot account is exactly what the cache does not store — and every
+// snapshot is conservation-checked before rendering. Output is
+// deterministic: the counters are pure functions of simulated state.
+func ProfileExp(w io.Writer, cfg Config) error {
+	apps, order := cfg.allApps()
+	t := stats.Table{
+		Title:  "Profile — issue-slot attribution (% of cycles × width), first input per app",
+		Header: append([]string{"app", "variant", "core"}, profile.CategoryNames()...),
+	}
+	for _, app := range order {
+		runs := apps[app]
+		if len(runs) == 0 {
+			continue
+		}
+		run := runs[0]
+		for _, v := range []string{bench.VSerial, bench.VPipette} {
+			b, cores := run.build(v)
+			s := cfg.newSystem(cores)
+			s.EnableProfiling()
+			r, err := bench.Run(s, b)
+			if err != nil {
+				return fmt.Errorf("profile %s/%s/%s: %w", app, v, run.input, err)
+			}
+			for _, ps := range r.Prof {
+				if err := ps.Conserved(); err != nil {
+					return fmt.Errorf("profile %s/%s/%s: %w", app, v, run.input, err)
+				}
+				tot := float64(ps.Cycles) * float64(ps.Width)
+				if tot == 0 {
+					continue
+				}
+				row := []any{app, v, ps.Core}
+				for _, n := range ps.Slots {
+					row = append(row, fmt.Sprintf("%.1f", 100*float64(n)/tot))
+				}
+				t.AddRow(row...)
+			}
+		}
+	}
+	_, err := io.WriteString(w, t.String())
+	return err
+}

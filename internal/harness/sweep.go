@@ -236,7 +236,7 @@ func (cfg Config) runCell(sp cellSpec, dc *diskCache, ws *warmupSet) (Cell, bool
 	if ws != nil {
 		cell, err = cfg.runWarm(sp, ws)
 	} else {
-		cell, err = cfg.runOne(b, cores)
+		cell, err = cfg.runOne(b, cores, sp.key.App+"/"+sp.key.Variant+"/"+sp.key.Input)
 	}
 	if err != nil {
 		return Cell{}, false, err

@@ -1,0 +1,419 @@
+// Package profile implements the cycle-accounting observability subsystem:
+// top-down attribution of every issue slot on every core to an exhaustive
+// category set, per-thread cycle accounting, queue-occupancy histograms
+// with high-water marks, and host-side timing of the parallel tick kernel's
+// produce/commit/fast-forward phases (docs/PROFILING.md).
+//
+// The guest-side counters (CoreProf) are deterministic: they depend only on
+// simulated machine state, never on host timing, so profiled runs stay
+// bit-identical across worker counts and fast-forward settings. The hard
+// invariant is slot conservation — a core's categories sum exactly to
+// cycles × issue width (CoreSnapshot.Conserved). The host-side KernelProf
+// is wall-clock and therefore excluded from results and reports; it is
+// exposed only through the live introspection endpoint (server.go).
+package profile
+
+import (
+	"fmt"
+	"time"
+)
+
+// Category is one destination for an issue slot. Every simulated cycle
+// contributes exactly `issue width` slots: the slots that issued a µop go
+// to CatRetired and the rest go to a single stall category chosen from the
+// frozen machine state — a pure function of state, which is what lets
+// quiescence fast-forward credit a whole skipped span in one step.
+type Category uint8
+
+// Slot categories, in CPI-stack display order.
+const (
+	// CatRetired counts slots that issued a µop this cycle.
+	CatRetired Category = iota
+	// CatFrontend: an active thread is waiting out a branch-mispredict
+	// redirect (fetch refill) and the backend has nothing in flight.
+	CatFrontend
+	// CatTrap: a control-value/enqueue-handler trap redirect or a
+	// skip_to_ctrl wait — the Pipette exception-style costs of Sec. IV-A.
+	CatTrap
+	// CatBackend: execution or resource stalls (ROB/IQ/PRF/LSQ, busy
+	// functional units) with no outstanding load beyond the L1.
+	CatBackend
+	// CatBackendL2/L3/DRAM split backend stalls by the deepest cache level
+	// an outstanding load is waiting on (via the existing miss plumbing).
+	CatBackendL2
+	CatBackendL3
+	CatBackendDRAM
+	// CatQueueFull: all stalled threads are blocked enqueueing into full
+	// Pipette queues (backpressure).
+	CatQueueFull
+	// CatQueueEmpty: all stalled threads are blocked dequeueing from empty
+	// Pipette queues (starvation).
+	CatQueueEmpty
+	// CatIdle: no runnable thread and an empty backend — halted/drained
+	// phases, including fast-forwarded quiescent spans.
+	CatIdle
+
+	// NumCategories bounds the category set.
+	NumCategories
+)
+
+var categoryNames = [NumCategories]string{
+	"retired", "frontend", "trap", "backend",
+	"backend-l2", "backend-l3", "backend-dram",
+	"queue-full", "queue-empty", "idle",
+}
+
+// String names the category.
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("cat%d", uint8(c))
+}
+
+// CategoryNames returns the category names indexed by Category value, for
+// telemetry sinks (CSV slot columns, Chrome counter tracks, report keys).
+func CategoryNames() []string { return categoryNames[:] }
+
+// numMemLevels mirrors the cache hierarchy depth (L1, L2, L3, DRAM).
+const numMemLevels = 4
+
+// MemCategory maps a cache level index (0=L1 .. 3=DRAM, following
+// cache.Level) to the backend category for a load outstanding at that
+// level. L1 hits are short enough to fold into plain backend.
+func MemCategory(lvl int) Category {
+	switch lvl {
+	case 1:
+		return CatBackendL2
+	case 2:
+		return CatBackendL3
+	case 3:
+		return CatBackendDRAM
+	}
+	return CatBackend
+}
+
+// queueProf is one queue's occupancy histogram.
+type queueProf struct {
+	counts    []uint64 // counts[occ] = cycles spent at that occupancy
+	highWater int
+}
+
+// CoreProf accumulates one core's deterministic cycle accounting. The core
+// holds it through a nil-guarded pointer (disabled runs pay one nil check
+// per cycle) and it is never serialized into checkpoints or core.Stats, so
+// enabling profiling cannot perturb state hashes or cached results.
+type CoreProf struct {
+	width int
+
+	// Cycles counts every cycle attributed (ticked or fast-forwarded) since
+	// the profiler was attached; conservation is checked against it rather
+	// than core.Stats.Cycles so ROI resets cannot skew the invariant.
+	Cycles uint64
+	// Slots is the issue-slot account: Slots sums to Cycles * width.
+	Slots [NumCategories]uint64
+
+	// thread[tid][cat] counts cycles each hardware thread spent in each
+	// category (the per-stage CPI stack).
+	thread [][NumCategories]uint64
+
+	// queues holds per-queue occupancy histograms; grown on first sight of
+	// a queue index so reconfigured QRMs (SetQueueCaps) stay covered.
+	queues []queueProf
+
+	// out counts issued-but-unretired loads by cache level; the slot
+	// classifier picks the deepest non-empty level. Frozen over quiescent
+	// spans (loads issue and retire only on busy ticks).
+	out [numMemLevels]uint64
+
+	// RA completion-buffer occupancy: integral over cycles and peak.
+	RAOccSum uint64
+	RAPeak   int
+}
+
+// NewCoreProf builds a profiler for a core with the given issue width and
+// hardware thread count.
+func NewCoreProf(width, threads int) *CoreProf {
+	if width < 1 {
+		width = 1
+	}
+	return &CoreProf{width: width, thread: make([][NumCategories]uint64, threads)}
+}
+
+// Width returns the issue width the slot account is normalized to.
+func (p *CoreProf) Width() int { return p.width }
+
+// Tick attributes one ticked cycle: issued slots retire, the remaining
+// width-issued slots go to cat.
+func (p *CoreProf) Tick(cat Category, issued int) {
+	p.Cycles++
+	if issued > p.width {
+		issued = p.width // defensive: conservation over partial attribution
+	}
+	p.Slots[CatRetired] += uint64(issued)
+	p.Slots[cat] += uint64(p.width - issued)
+}
+
+// Span credits a quiescent fast-forwarded span of d cycles to cat. No µop
+// issues inside a quiescent span, so every slot goes to the one category.
+func (p *CoreProf) Span(cat Category, d uint64) {
+	p.Cycles += d
+	p.Slots[cat] += uint64(p.width) * d
+}
+
+// ThreadCycles credits d cycles of category cat to hardware thread tid.
+func (p *CoreProf) ThreadCycles(tid int, cat Category, d uint64) {
+	if tid < len(p.thread) {
+		p.thread[tid][cat] += d
+	}
+}
+
+// QueueOcc credits d cycles at occupancy occ to queue qi's histogram.
+func (p *CoreProf) QueueOcc(qi, occ int, d uint64) {
+	for qi >= len(p.queues) {
+		p.queues = append(p.queues, queueProf{})
+	}
+	q := &p.queues[qi]
+	for occ >= len(q.counts) {
+		q.counts = append(q.counts, 0)
+	}
+	q.counts[occ] += d
+	if occ > q.highWater {
+		q.highWater = occ
+	}
+}
+
+// LoadIssued records a load entering flight at cache level lvl.
+func (p *CoreProf) LoadIssued(lvl int) {
+	if lvl >= 0 && lvl < numMemLevels {
+		p.out[lvl]++
+	}
+}
+
+// LoadRetired records a load at cache level lvl leaving flight.
+func (p *CoreProf) LoadRetired(lvl int) {
+	if lvl >= 0 && lvl < numMemLevels && p.out[lvl] > 0 {
+		p.out[lvl]--
+	}
+}
+
+// MemLevel returns the deepest cache level (>= L2) with an outstanding
+// load, or -1 when nothing beyond the L1 is in flight.
+func (p *CoreProf) MemLevel() int {
+	for lvl := numMemLevels - 1; lvl >= 1; lvl-- {
+		if p.out[lvl] > 0 {
+			return lvl
+		}
+	}
+	return -1
+}
+
+// ResetOutstanding clears the outstanding-load counters; checkpoint restore
+// calls it because restored in-flight µops carry no profiling marks.
+func (p *CoreProf) ResetOutstanding() { p.out = [numMemLevels]uint64{} }
+
+// Outstanding returns the in-flight load counts by cache level (debug
+// dumps; index follows cache.Level).
+func (p *CoreProf) Outstanding() []uint64 { return append([]uint64(nil), p.out[:]...) }
+
+// RAOcc credits d cycles at completion-buffer occupancy n.
+func (p *CoreProf) RAOcc(n int, d uint64) {
+	p.RAOccSum += uint64(n) * d
+	if n > p.RAPeak {
+		p.RAPeak = n
+	}
+}
+
+// QueueSnapshot is one queue's occupancy histogram at snapshot time.
+type QueueSnapshot struct {
+	Queue     int      `json:"queue"`
+	HighWater int      `json:"high_water"`
+	Counts    []uint64 `json:"counts"` // counts[occ] = cycles at that occupancy
+}
+
+// CoreSnapshot is the exported, deep-copied state of one core's profiler.
+type CoreSnapshot struct {
+	Core     int             `json:"core"`
+	Width    int             `json:"width"`
+	Cycles   uint64          `json:"cycles"`
+	Slots    []uint64        `json:"slots"`             // indexed by Category
+	Threads  [][]uint64      `json:"threads,omitempty"` // [thread][category] cycles
+	Queues   []QueueSnapshot `json:"queues,omitempty"`
+	RAOccSum uint64          `json:"ra_occ_sum,omitempty"`
+	RAPeak   int             `json:"ra_peak,omitempty"`
+}
+
+// Snapshot deep-copies the profiler state for core index `core`.
+func (p *CoreProf) Snapshot(core int) CoreSnapshot {
+	s := CoreSnapshot{
+		Core:     core,
+		Width:    p.width,
+		Cycles:   p.Cycles,
+		Slots:    append([]uint64(nil), p.Slots[:]...),
+		RAOccSum: p.RAOccSum,
+		RAPeak:   p.RAPeak,
+	}
+	for _, th := range p.thread {
+		s.Threads = append(s.Threads, append([]uint64(nil), th[:]...))
+	}
+	for qi := range p.queues {
+		q := &p.queues[qi]
+		s.Queues = append(s.Queues, QueueSnapshot{
+			Queue:     qi,
+			HighWater: q.highWater,
+			Counts:    append([]uint64(nil), q.counts...),
+		})
+	}
+	return s
+}
+
+// Conserved checks the slot-conservation invariant: the categories must sum
+// exactly to cycles × issue width, and every queue histogram must account
+// for exactly the profiled cycles.
+func (s CoreSnapshot) Conserved() error {
+	var sum uint64
+	for _, n := range s.Slots {
+		sum += n
+	}
+	if want := s.Cycles * uint64(s.Width); sum != want {
+		return fmt.Errorf("profile: core %d slots sum to %d, want cycles(%d) x width(%d) = %d",
+			s.Core, sum, s.Cycles, s.Width, want)
+	}
+	for _, q := range s.Queues {
+		var qsum uint64
+		hi := 0
+		for occ, n := range q.Counts {
+			qsum += n
+			if n > 0 && occ > hi {
+				hi = occ
+			}
+		}
+		if qsum != s.Cycles {
+			return fmt.Errorf("profile: core %d queue %d histogram sums to %d cycles, want %d",
+				s.Core, q.Queue, qsum, s.Cycles)
+		}
+		if hi != q.HighWater {
+			return fmt.Errorf("profile: core %d queue %d high-water %d, histogram says %d",
+				s.Core, q.Queue, q.HighWater, hi)
+		}
+	}
+	return nil
+}
+
+// KernelProf accumulates host-side wall-clock timing of the simulation
+// kernel: the produce and sequential-commit phases of every ticked cycle,
+// the fast-forward probes/jumps, and — on pooled runs — per-worker busy
+// time so barrier wait (the sequential-commit ceiling) becomes measurable.
+// Host timing is nondeterministic by nature, so none of this ever reaches
+// Result, reports, or checkpoints.
+type KernelProf struct {
+	Workers int
+
+	TickedCycles uint64 // cycles advanced by ticking
+	FFCycles     uint64 // cycles advanced by fast-forward credit
+	FFJumps      uint64 // fast-forward jumps taken
+
+	ProduceNS uint64 // wall ns in produce phases (core ticks)
+	CommitNS  uint64 // wall ns in sequential commit phases
+	FFNS      uint64 // wall ns in fast-forward probes + credits
+
+	// Pool accounting, accumulated across run segments by Harvest: the
+	// driver's wall time inside pool phases and each worker's busy time
+	// within them. wait(w) = PoolNS - WorkerBusyNS[w].
+	PoolNS       uint64
+	WorkerBusyNS []uint64
+}
+
+// NewKernelProf builds an empty kernel profiler.
+func NewKernelProf() *KernelProf { return &KernelProf{} }
+
+// Produce adds one ticked cycle's produce-phase wall time.
+func (k *KernelProf) Produce(d time.Duration) {
+	k.ProduceNS += uint64(d)
+	k.TickedCycles++
+}
+
+// Commit adds one ticked cycle's sequential-commit wall time.
+func (k *KernelProf) Commit(d time.Duration) { k.CommitNS += uint64(d) }
+
+// FF adds one fast-forward attempt's wall time and the cycles it credited
+// (0 when the probe found no quiescent span).
+func (k *KernelProf) FF(d time.Duration, cycles uint64) {
+	k.FFNS += uint64(d)
+	if cycles > 0 {
+		k.FFJumps++
+		k.FFCycles += cycles
+	}
+}
+
+// Harvest folds one run segment's pool accounting in: the driver's wall
+// time inside pool phases and each worker's busy nanoseconds.
+func (k *KernelProf) Harvest(busy []uint64, poolNS uint64) {
+	k.PoolNS += poolNS
+	for len(k.WorkerBusyNS) < len(busy) {
+		k.WorkerBusyNS = append(k.WorkerBusyNS, 0)
+	}
+	for w, b := range busy {
+		k.WorkerBusyNS[w] += b
+	}
+}
+
+// KernelSnapshot is the exported kernel-profile state.
+type KernelSnapshot struct {
+	Workers       int      `json:"workers"`
+	TickedCycles  uint64   `json:"ticked_cycles"`
+	FFCycles      uint64   `json:"ff_cycles"`
+	FFJumps       uint64   `json:"ff_jumps"`
+	ProduceNS     uint64   `json:"produce_ns"`
+	CommitNS      uint64   `json:"commit_ns"`
+	FFNS          uint64   `json:"ff_ns"`
+	PoolNS        uint64   `json:"pool_ns,omitempty"`
+	WorkerBusyNS  []uint64 `json:"worker_busy_ns,omitempty"`
+	BarrierWaitNS []uint64 `json:"barrier_wait_ns,omitempty"`
+}
+
+// Snapshot copies the kernel profile, deriving per-worker barrier wait.
+func (k *KernelProf) Snapshot() KernelSnapshot {
+	s := KernelSnapshot{
+		Workers:      k.Workers,
+		TickedCycles: k.TickedCycles,
+		FFCycles:     k.FFCycles,
+		FFJumps:      k.FFJumps,
+		ProduceNS:    k.ProduceNS,
+		CommitNS:     k.CommitNS,
+		FFNS:         k.FFNS,
+		PoolNS:       k.PoolNS,
+		WorkerBusyNS: append([]uint64(nil), k.WorkerBusyNS...),
+	}
+	for _, b := range k.WorkerBusyNS {
+		wait := uint64(0)
+		if k.PoolNS > b {
+			wait = k.PoolNS - b
+		}
+		s.BarrierWaitNS = append(s.BarrierWaitNS, wait)
+	}
+	return s
+}
+
+// ConnSnapshot is one connector's counters, labeled with its wiring.
+type ConnSnapshot struct {
+	SrcCore     int    `json:"src_core"`
+	SrcQueue    uint8  `json:"src_queue"`
+	DstCore     int    `json:"dst_core"`
+	DstQueue    uint8  `json:"dst_queue"`
+	Sent        uint64 `json:"sent"`
+	CVsSent     uint64 `json:"cvs_sent"`
+	CreditStall uint64 `json:"credit_stall"`
+}
+
+// Snapshot is the full introspection snapshot the -http endpoint serves:
+// guest-side CPI stacks and queue histograms plus the host-side kernel
+// profile, taken at a RunUntil segment boundary (never mid-cycle).
+type Snapshot struct {
+	Label      string          `json:"label,omitempty"` // e.g. app/variant/input
+	Cycle      uint64          `json:"cycle"`
+	Done       bool            `json:"done"`
+	Cores      []CoreSnapshot  `json:"cores,omitempty"`
+	Kernel     *KernelSnapshot `json:"kernel,omitempty"`
+	Connectors []ConnSnapshot  `json:"connectors,omitempty"`
+}

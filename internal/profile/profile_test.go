@@ -1,0 +1,260 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTickSpanConservation(t *testing.T) {
+	p := NewCoreProf(4, 2)
+	if p.Width() != 4 {
+		t.Fatalf("Width() = %d, want 4", p.Width())
+	}
+	p.Tick(CatBackend, 3)   // 3 retired, 1 backend
+	p.Tick(CatQueueFull, 0) // 4 queue-full
+	p.Tick(CatFrontend, 4)  // fully issued: all retired
+	p.Span(CatIdle, 100)    // 400 idle slots
+	p.Tick(CatTrap, 7)      // over-issue clamps to width
+	s := p.Snapshot(0)
+	if err := s.Conserved(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cycles != 104 {
+		t.Fatalf("Cycles = %d, want 104", s.Cycles)
+	}
+	if got := s.Slots[CatRetired]; got != 3+4+4 {
+		t.Fatalf("retired = %d, want 11", got)
+	}
+	if got := s.Slots[CatIdle]; got != 400 {
+		t.Fatalf("idle = %d, want 400", got)
+	}
+	if got := s.Slots[CatQueueFull]; got != 4 {
+		t.Fatalf("queue-full = %d, want 4", got)
+	}
+}
+
+func TestConservedDetectsLeaks(t *testing.T) {
+	p := NewCoreProf(2, 1)
+	p.Tick(CatBackend, 1)
+	s := p.Snapshot(0)
+	s.Slots[CatBackend]++ // corrupt: one slot too many
+	if err := s.Conserved(); err == nil {
+		t.Fatal("Conserved accepted a slot leak")
+	}
+}
+
+func TestConservedChecksQueueHistograms(t *testing.T) {
+	p := NewCoreProf(1, 1)
+	p.Tick(CatBackend, 0)
+	p.Tick(CatBackend, 0)
+	p.QueueOcc(0, 0, 1)
+	p.QueueOcc(0, 3, 1)
+	if err := p.Snapshot(0).Conserved(); err != nil {
+		t.Fatal(err)
+	}
+	// A histogram that misses a cycle must fail.
+	p.Tick(CatBackend, 0)
+	if err := p.Snapshot(0).Conserved(); err == nil {
+		t.Fatal("Conserved accepted an under-counted queue histogram")
+	}
+	p.QueueOcc(0, 1, 1)
+	s := p.Snapshot(0)
+	if err := s.Conserved(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Queues[0].HighWater != 3 {
+		t.Fatalf("high water = %d, want 3", s.Queues[0].HighWater)
+	}
+	// A forged high-water mark must fail too.
+	s.Queues[0].HighWater = 2
+	if err := s.Conserved(); err == nil {
+		t.Fatal("Conserved accepted a wrong high-water mark")
+	}
+}
+
+func TestMemCategory(t *testing.T) {
+	for _, tc := range []struct {
+		lvl  int
+		want Category
+	}{
+		{0, CatBackend}, {1, CatBackendL2}, {2, CatBackendL3},
+		{3, CatBackendDRAM}, {-1, CatBackend}, {9, CatBackend},
+	} {
+		if got := MemCategory(tc.lvl); got != tc.want {
+			t.Errorf("MemCategory(%d) = %s, want %s", tc.lvl, got, tc.want)
+		}
+	}
+}
+
+func TestOutstandingLoadTracking(t *testing.T) {
+	p := NewCoreProf(1, 1)
+	if p.MemLevel() != -1 {
+		t.Fatalf("MemLevel on empty = %d, want -1", p.MemLevel())
+	}
+	p.LoadIssued(1)
+	p.LoadIssued(3)
+	if p.MemLevel() != 3 {
+		t.Fatalf("MemLevel = %d, want 3 (deepest wins)", p.MemLevel())
+	}
+	p.LoadRetired(3)
+	if p.MemLevel() != 1 {
+		t.Fatalf("MemLevel = %d, want 1", p.MemLevel())
+	}
+	p.LoadRetired(1)
+	p.LoadRetired(1) // underflow is clamped
+	if p.MemLevel() != -1 {
+		t.Fatalf("MemLevel = %d, want -1", p.MemLevel())
+	}
+	p.LoadIssued(2)
+	p.ResetOutstanding()
+	if got := p.Outstanding(); got[2] != 0 {
+		t.Fatalf("Outstanding after reset = %v", got)
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	ns := CategoryNames()
+	if len(ns) != int(NumCategories) {
+		t.Fatalf("%d names for %d categories", len(ns), NumCategories)
+	}
+	seen := map[string]bool{}
+	for i, n := range ns {
+		if n == "" || seen[n] {
+			t.Fatalf("bad/duplicate name %q at %d", n, i)
+		}
+		seen[n] = true
+		if Category(i).String() != n {
+			t.Fatalf("Category(%d).String() = %q, want %q", i, Category(i).String(), n)
+		}
+	}
+	if got := Category(200).String(); got != "cat200" {
+		t.Fatalf("out-of-range name = %q", got)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	p := NewCoreProf(2, 1)
+	p.Tick(CatBackend, 1)
+	p.QueueOcc(0, 1, 1)
+	s := p.Snapshot(0)
+	p.Tick(CatBackend, 0)
+	p.QueueOcc(0, 2, 1)
+	if s.Cycles != 1 || s.Slots[CatBackend] != 1 || len(s.Queues[0].Counts) != 2 {
+		t.Fatalf("snapshot aliased live profiler state: %+v", s)
+	}
+}
+
+func TestKernelProfSnapshot(t *testing.T) {
+	k := NewKernelProf()
+	k.Workers = 2
+	k.Produce(3 * time.Microsecond)
+	k.Produce(2 * time.Microsecond)
+	k.Commit(time.Microsecond)
+	k.FF(time.Microsecond, 500)
+	k.FF(time.Microsecond, 0) // failed probe: time counted, no jump
+	k.Harvest([]uint64{700, 300}, 1000)
+	s := k.Snapshot()
+	if s.TickedCycles != 2 || s.FFCycles != 500 || s.FFJumps != 1 {
+		t.Fatalf("cycle account wrong: %+v", s)
+	}
+	if s.ProduceNS != 5000 || s.CommitNS != 1000 || s.FFNS != 2000 {
+		t.Fatalf("phase times wrong: %+v", s)
+	}
+	// Barrier wait derives as pool wall minus worker busy, clamped at 0.
+	if len(s.BarrierWaitNS) != 2 || s.BarrierWaitNS[0] != 300 || s.BarrierWaitNS[1] != 700 {
+		t.Fatalf("barrier wait = %v, want [300 700]", s.BarrierWaitNS)
+	}
+	k.Harvest([]uint64{2000, 0}, 100) // busy > pool clamps to zero wait
+	if s2 := k.Snapshot(); s2.BarrierWaitNS[0] != 0 {
+		t.Fatalf("barrier wait not clamped: %v", s2.BarrierWaitNS)
+	}
+}
+
+// testSnapshot builds a plausible snapshot for rendering/serving tests.
+func testSnapshot() Snapshot {
+	p := NewCoreProf(4, 4)
+	p.Span(CatBackendDRAM, 10)
+	p.Tick(CatQueueEmpty, 2)
+	p.QueueOcc(0, 5, 11)
+	p.RAOcc(3, 11)
+	k := NewKernelProf()
+	k.Workers = 1
+	k.Produce(time.Millisecond)
+	k.FF(time.Microsecond, 10)
+	return Snapshot{
+		Label:  "bfs/pipette/Rd",
+		Cycle:  11,
+		Cores:  []CoreSnapshot{p.Snapshot(0)},
+		Kernel: func() *KernelSnapshot { s := k.Snapshot(); return &s }(),
+		Connectors: []ConnSnapshot{
+			{SrcCore: 0, SrcQueue: 1, DstCore: 1, DstQueue: 0, Sent: 42, CVsSent: 3, CreditStall: 7},
+		},
+	}
+}
+
+func TestFormatTop(t *testing.T) {
+	out := FormatTop(testSnapshot(), time.Unix(0, 0))
+	for _, want := range []string{
+		"bfs/pipette/Rd", "retired", "backend-dram", "queue-empty",
+		"q0", "kernel", "42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatTop output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServerServesTopAndVars(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Update(testSnapshot())
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if top := get("/top"); !strings.Contains(top, "bfs/pipette/Rd") {
+		t.Fatalf("/top missing snapshot label:\n%s", top)
+	}
+	var vars struct {
+		Pipette Snapshot `json:"pipette"`
+	}
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if vars.Pipette.Label != "bfs/pipette/Rd" || vars.Pipette.Cycle != 11 {
+		t.Fatalf("expvar snapshot = %+v", vars.Pipette)
+	}
+	if err := vars.Pipette.Cores[0].Conserved(); err != nil {
+		t.Fatalf("served snapshot not conserved: %v", err)
+	}
+	if pprof := get("/debug/pprof/cmdline"); pprof == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+
+	snap, at := srv.Current()
+	if snap.Label != "bfs/pipette/Rd" || at.IsZero() {
+		t.Fatalf("Current() = %+v at %v", snap, at)
+	}
+}

@@ -1,0 +1,219 @@
+// The live introspection endpoint behind pipette-sim/pipette-bench -http.
+// The server never reads live simulation counters: the driver pushes a
+// complete Snapshot at RunUntil segment boundaries (the simulation is
+// paused there), so handlers only ever see immutable, mutex-guarded copies
+// and the simulation hot path carries no synchronization.
+package profile
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// current points at the most recently started server so the process-global
+// expvar registration (which cannot be undone) always reflects it.
+var current struct {
+	mu  sync.Mutex
+	srv *Server
+}
+
+var publishOnce sync.Once
+
+// Server serves the introspection endpoint:
+//
+//	/debug/vars    expvar-style JSON (the snapshot under "pipette", plus
+//	               the standard cmdline/memstats vars)
+//	/top           plain-text CPI-stack and kernel-phase view
+//	/debug/pprof/  the standard net/http/pprof handlers
+type Server struct {
+	mu        sync.Mutex
+	snap      Snapshot
+	updatedAt time.Time
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:0") and serves the endpoint
+// in a background goroutine until Close. The bound address is available
+// from Addr, so ":0" picks a free port.
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("profile: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln}
+	current.mu.Lock()
+	current.srv = s
+	current.mu.Unlock()
+	publishOnce.Do(func() {
+		expvar.Publish("pipette", expvar.Func(func() any {
+			current.mu.Lock()
+			srv := current.srv
+			current.mu.Unlock()
+			if srv == nil {
+				return nil
+			}
+			snap, _ := srv.Current()
+			return snap
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleTop)
+	mux.HandleFunc("/top", s.handleTop)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address ("host:port").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Update replaces the served snapshot. Callers push it only while the
+// simulation is paused (between RunUntil segments or after a cell), so the
+// snapshot contents are never concurrently mutated.
+func (s *Server) Update(snap Snapshot) {
+	s.mu.Lock()
+	s.snap = snap
+	s.updatedAt = time.Now()
+	s.mu.Unlock()
+}
+
+// Current returns the last pushed snapshot and when it was pushed.
+func (s *Server) Current() (Snapshot, time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap, s.updatedAt
+}
+
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" && r.URL.Path != "/top" {
+		http.NotFound(w, r)
+		return
+	}
+	snap, at := s.Current()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, FormatTop(snap, at))
+}
+
+// bar renders an ASCII proportion bar.
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// FormatTop renders the plain-text /top view: per-core CPI stacks sorted by
+// share, queue high-water marks, RA occupancy, kernel phase times, and
+// per-worker busy/wait split.
+func FormatTop(snap Snapshot, at time.Time) string {
+	var b strings.Builder
+	state := "running"
+	if snap.Done {
+		state = "done"
+	}
+	fmt.Fprintf(&b, "pipette introspection — cycle %d (%s)", snap.Cycle, state)
+	if snap.Label != "" {
+		fmt.Fprintf(&b, " — %s", snap.Label)
+	}
+	if !at.IsZero() {
+		fmt.Fprintf(&b, " — updated %s ago", time.Since(at).Round(time.Millisecond))
+	}
+	b.WriteString("\n")
+	if len(snap.Cores) == 0 {
+		b.WriteString("no profile snapshot yet\n")
+	}
+	for _, c := range snap.Cores {
+		total := float64(c.Cycles) * float64(c.Width)
+		fmt.Fprintf(&b, "\ncore %d: %d cycles x width %d\n", c.Core, c.Cycles, c.Width)
+		if total == 0 {
+			continue
+		}
+		type row struct {
+			name string
+			n    uint64
+		}
+		var rows []row
+		for ci, n := range c.Slots {
+			if n > 0 {
+				rows = append(rows, row{Category(ci).String(), n})
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].n != rows[j].n {
+				return rows[i].n > rows[j].n
+			}
+			return rows[i].name < rows[j].name
+		})
+		for _, r := range rows {
+			f := float64(r.n) / total
+			fmt.Fprintf(&b, "  %-13s %6.2f%%  %s\n", r.name, 100*f, bar(f, 30))
+		}
+		var hw []string
+		for _, q := range c.Queues {
+			if q.HighWater > 0 {
+				hw = append(hw, fmt.Sprintf("q%d=%d", q.Queue, q.HighWater))
+			}
+		}
+		if len(hw) > 0 {
+			fmt.Fprintf(&b, "  queue high-water: %s\n", strings.Join(hw, " "))
+		}
+		if c.RAOccSum > 0 && c.Cycles > 0 {
+			fmt.Fprintf(&b, "  ra occupancy: mean %.2f peak %d\n",
+				float64(c.RAOccSum)/float64(c.Cycles), c.RAPeak)
+		}
+	}
+	if len(snap.Connectors) > 0 {
+		b.WriteString("\nconnectors:\n")
+		for _, cn := range snap.Connectors {
+			fmt.Fprintf(&b, "  core%d q%d -> core%d q%d: sent=%d cvs=%d credit-stall=%d\n",
+				cn.SrcCore, cn.SrcQueue, cn.DstCore, cn.DstQueue,
+				cn.Sent, cn.CVsSent, cn.CreditStall)
+		}
+	}
+	if k := snap.Kernel; k != nil {
+		fmt.Fprintf(&b, "\nkernel (workers=%d): ticked %d cycles, fast-forwarded %d in %d jumps\n",
+			k.Workers, k.TickedCycles, k.FFCycles, k.FFJumps)
+		tot := k.ProduceNS + k.CommitNS + k.FFNS
+		if tot > 0 {
+			fmt.Fprintf(&b, "  produce %5.1f%%  commit %5.1f%%  fast-forward %5.1f%%  (%.3fs total)\n",
+				100*float64(k.ProduceNS)/float64(tot),
+				100*float64(k.CommitNS)/float64(tot),
+				100*float64(k.FFNS)/float64(tot),
+				float64(tot)/1e9)
+		}
+		for w := range k.WorkerBusyNS {
+			busy, wait := k.WorkerBusyNS[w], uint64(0)
+			if w < len(k.BarrierWaitNS) {
+				wait = k.BarrierWaitNS[w]
+			}
+			if busy+wait > 0 {
+				fmt.Fprintf(&b, "  worker %d: busy %5.1f%%  barrier-wait %5.1f%%\n",
+					w, 100*float64(busy)/float64(busy+wait), 100*float64(wait)/float64(busy+wait))
+			}
+		}
+	}
+	return b.String()
+}

@@ -257,6 +257,22 @@ func (m *QRM) MappedRegisters() int {
 	return n
 }
 
+// OccupancySum is MappedRegisters with a per-queue callback: it reports
+// each queue's occupancy to report while summing. The cycle-accounting
+// profiler uses it to fold its per-queue occupancy histograms into the
+// same walk that computes the mapped-register integral, so profiled runs
+// add no second pass over the queues. MappedRegisters stays separate so
+// the unprofiled hot path keeps its tight loop.
+func (m *QRM) OccupancySum(report func(qi, occ int)) int {
+	n := 0
+	for qi, q := range m.Queues {
+		occ := q.Occupancy()
+		n += occ
+		report(qi, occ)
+	}
+	return n
+}
+
 // SavedEntry is one architectural queue value, as drained for a context
 // switch (Sec. III-C: queues are architectural state the OS saves and
 // restores with normal Pipette instructions).

@@ -231,6 +231,12 @@ func (r *RA) inputReady(now uint64) bool {
 func (r *RA) Tick(now uint64) {
 	r.fix = r.fix[:0] // last cycle's deferred loads were patched at its commit
 	r.pruneOutstanding(now)
+	if p := r.c.Prof(); p != nil {
+		// Completion-buffer occupancy after retiring finished loads, before
+		// this cycle's emits — the same point FastForward credits, so the
+		// integral is identical ticked or fast-forwarded.
+		p.RAOcc(len(r.outstanding), 1)
+	}
 	for budget := r.cfg.IssuePerCycle; budget > 0; budget-- {
 		if r.scanActive {
 			if r.scanCur >= r.scanEnd {
@@ -337,4 +343,11 @@ const noEvent = ^uint64(0)
 // retirement cycle, so this is normally a no-op kept for exactness: the
 // serialized outstanding list must match a cycle-by-cycle run at any
 // checkpoint boundary.
-func (r *RA) FastForward(from, to uint64) { r.pruneOutstanding(to) }
+func (r *RA) FastForward(from, to uint64) {
+	r.pruneOutstanding(to)
+	if p := r.c.Prof(); p != nil {
+		// No outstanding load completes inside a quiescent span (NextEvent
+		// reports completion times), so the occupancy is frozen across it.
+		p.RAOcc(len(r.outstanding), to-from)
+	}
+}

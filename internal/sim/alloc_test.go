@@ -33,9 +33,14 @@ func TestSteadyStateAllocs(t *testing.T) {
 		app     string
 		variant string
 		workers int
+		profile bool
 	}{
-		{"single-core/bfs-pipette", "bfs", bench.VPipette, 1},
-		{"multi-core/bfs-streaming", "bfs", bench.VStreaming, 1},
+		{"single-core/bfs-pipette", "bfs", bench.VPipette, 1, false},
+		{"multi-core/bfs-streaming", "bfs", bench.VStreaming, 1, false},
+		// The cycle-accounting profiler must stay on the same budget: its
+		// histograms grow amortized to their high-water marks during warmup
+		// and then every per-cycle attribution is increment-only.
+		{"single-core/bfs-pipette-profiled", "bfs", bench.VPipette, 1, true},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -49,6 +54,9 @@ func TestSteadyStateAllocs(t *testing.T) {
 			cfg.Cache = cache.DefaultConfig().Scale(8)
 			s := sim.New(cfg)
 			s.SetWorkers(tc.workers)
+			if tc.profile {
+				s.EnableProfiling()
+			}
 			b(s)
 
 			// Warmup: reach the structural high-water marks (queue capacities,

@@ -19,6 +19,7 @@ package sim
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"pipette/internal/core"
 )
@@ -53,15 +54,26 @@ type tickPool struct {
 
 	epoch atomic.Uint32 // incremented by the driver to release a phase
 	left  atomic.Int32  // workers yet to finish the current phase
+
+	// Kernel-profiling instrumentation (EnableKernelProf): per-worker busy
+	// nanoseconds inside phases and the driver's wall time across them. The
+	// barrier's atomics order the worker-side writes before the driver's
+	// harvest read; the profiled flag is set before the workers start. All
+	// zero-cost when profiled is false (one branch per phase).
+	profiled bool
+	busy     []padU64 // per-worker ns spent executing phases
+	wallNS   uint64   // driver wall ns inside phases (release to barrier exit)
 }
 
 // newTickPool starts nw-1 worker goroutines over the given cores. nw is
 // clamped to the core count; a pool is only worth building for nw >= 2.
-func newTickPool(cores []*core.Core, nw int) *tickPool {
+// profiled enables per-worker busy timing (kernel profiling).
+func newTickPool(cores []*core.Core, nw int, profiled bool) *tickPool {
 	if nw > len(cores) {
 		nw = len(cores)
 	}
-	p := &tickPool{cores: cores, nw: nw, mins: make([]padU64, nw)}
+	p := &tickPool{cores: cores, nw: nw, mins: make([]padU64, nw),
+		profiled: profiled, busy: make([]padU64, nw)}
 	for w := 1; w < nw; w++ {
 		go p.worker(w)
 	}
@@ -81,7 +93,13 @@ func (p *tickPool) worker(w int) {
 			p.left.Add(-1)
 			return
 		}
-		p.do(w)
+		if p.profiled {
+			t0 := time.Now()
+			p.do(w)
+			p.busy[w].v += uint64(time.Since(t0))
+		} else {
+			p.do(w)
+		}
 		p.left.Add(-1)
 	}
 }
@@ -112,12 +130,22 @@ func (p *tickPool) do(w int) {
 func (p *tickPool) phase(op uint32, now uint64) {
 	p.op, p.now = op, now
 	p.left.Store(int32(p.nw - 1))
+	var t0 time.Time
+	if p.profiled {
+		t0 = time.Now()
+	}
 	p.epoch.Add(1)
 	p.do(0)
+	if p.profiled {
+		p.busy[0].v += uint64(time.Since(t0))
+	}
 	for spins := 0; p.left.Load() > 0; spins++ {
 		if spins >= spinLimit {
 			runtime.Gosched()
 		}
+	}
+	if p.profiled {
+		p.wallNS += uint64(time.Since(t0))
 	}
 }
 
@@ -134,6 +162,16 @@ func (p *tickPool) nextEvent(now uint64) uint64 {
 		}
 	}
 	return min
+}
+
+// busyNS copies the per-worker busy nanoseconds; call after shutdown (its
+// barrier orders the workers' final writes before this read).
+func (p *tickPool) busyNS() []uint64 {
+	out := make([]uint64, p.nw)
+	for w := range out {
+		out[w] = p.busy[w].v
+	}
+	return out
 }
 
 // shutdown terminates the worker goroutines (the pool lives for one
@@ -173,6 +211,10 @@ func (s *System) Workers() int { return s.workers }
 // (no-op) ticks for the component contract.
 func (s *System) stepDeferred(p *tickPool, sampleEvery uint64) {
 	s.now++
+	var t0 time.Time
+	if s.kprof != nil {
+		t0 = time.Now()
+	}
 	s.Mem.Tick(s.now)
 	s.Hier.Tick(s.now)
 	if p != nil {
@@ -182,7 +224,14 @@ func (s *System) stepDeferred(p *tickPool, sampleEvery uint64) {
 			c.Tick(s.now)
 		}
 	}
+	if s.kprof != nil {
+		s.kprof.Produce(time.Since(t0))
+		t0 = time.Now()
+	}
 	s.commitCycle(s.now)
+	if s.kprof != nil {
+		s.kprof.Commit(time.Since(t0))
+	}
 	if sampleEvery != 0 && s.now%sampleEvery == 0 {
 		s.sample(s.now)
 	}

@@ -1,0 +1,101 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"pipette/internal/isa"
+	"pipette/internal/sim"
+)
+
+// chaseSystem builds a single-core pointer-chase workload: a dependent load
+// chain through a shuffled ring, so the thread repeatedly waits out memory
+// latency with nothing else in flight. Those waits are provably quiescent
+// spans — exactly what quiescence fast-forward jumps over — which makes the
+// workload a good probe for sample emission inside fast-forwarded regions.
+func chaseSystem() *sim.System {
+	s := sim.New(sim.DefaultConfig())
+	const n = 1 << 12
+	arr := s.Mem.AllocWords(n)
+	// Stride permutation (stride coprime to n) linking every word into one
+	// ring whose successive elements are far apart.
+	const stride = 517
+	for i := uint64(0); i < n; i++ {
+		s.Mem.Write64(arr+i*8, arr+((i*stride)%n)*8)
+	}
+	a := isa.NewAssembler("chase")
+	a.MovU(1, arr)
+	a.MovI(2, 3000) // chain length
+	a.Label("loop")
+	a.Ld8(1, 1, 0) // next = *cur: dependent, serializing
+	a.SubI(2, 2, 1)
+	a.BneI(2, 0, "loop")
+	a.Halt()
+	s.Cores[0].Load(0, a.MustLink())
+	return s
+}
+
+// TestSamplerSegmentBoundariesUnderFastForward asserts the sampler's
+// boundary contract: samples are emitted at exact interval multiples even
+// when those cycles fall inside fast-forwarded quiescent spans, RunUntil
+// segment ends do not emit, drop, or shift samples, and the full series is
+// byte-identical whether the run is continuous or chopped into segments,
+// fast-forwarded or ticked every cycle.
+func TestSamplerSegmentBoundariesUnderFastForward(t *testing.T) {
+	const interval = 64
+
+	// Reference: one continuous fast-forwarded run.
+	ref := chaseSystem()
+	ref.EnableKernelProf()
+	refSm := ref.EnableSampling(interval)
+	if _, err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	refSamples := refSm.Samples()
+	if len(refSamples) < 5 {
+		t.Fatalf("only %d samples; workload too short to test boundaries", len(refSamples))
+	}
+	for i, smp := range refSamples[:len(refSamples)-1] {
+		if smp.Cycle%interval != 0 {
+			t.Fatalf("sample %d at cycle %d, not a multiple of %d", i, smp.Cycle, interval)
+		}
+	}
+	if last := refSamples[len(refSamples)-1]; last.Cycle != ref.Now() {
+		t.Fatalf("final sample at %d, run finished at %d", last.Cycle, ref.Now())
+	}
+	// The probe is only meaningful if fast-forward actually engaged.
+	if k := ref.ProfSnapshot("").Kernel; k.FFJumps == 0 || k.FFCycles == 0 {
+		t.Fatalf("fast-forward never engaged (%+v); workload does not quiesce", k)
+	}
+
+	// The same workload chopped into segments whose bounds are coprime to
+	// the sampling interval (every segment end lands mid-interval, many
+	// inside quiescent spans), with fast-forward on and off.
+	for _, ff := range []bool{true, false} {
+		s := chaseSystem()
+		s.SetFastForward(ff)
+		sm := s.EnableSampling(interval)
+		const segment = 97
+		for !s.Done() {
+			before := len(sm.Samples())
+			if _, err := s.RunUntil(s.Now() + segment); err != nil {
+				t.Fatal(err)
+			}
+			// A segment end mid-run must not emit a boundary sample: every
+			// new sample lies on an interval multiple (or is the final
+			// partial sample of a finished run).
+			for _, smp := range sm.Samples()[before:] {
+				if smp.Cycle%interval != 0 && !(s.Done() && smp.Cycle == s.Now()) {
+					t.Fatalf("ff=%v: segment end injected a sample at cycle %d", ff, smp.Cycle)
+				}
+			}
+		}
+		if s.Now() != ref.Now() {
+			t.Fatalf("ff=%v: segmented run finished at %d, continuous at %d", ff, s.Now(), ref.Now())
+		}
+		if !reflect.DeepEqual(refSamples, sm.Samples()) {
+			t.Fatalf("ff=%v: segmented sample series differs from continuous run (%d vs %d samples)",
+				ff, len(sm.Samples()), len(refSamples))
+		}
+	}
+}

@@ -8,11 +8,13 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"pipette/internal/cache"
 	"pipette/internal/connector"
 	"pipette/internal/core"
 	"pipette/internal/mem"
+	"pipette/internal/profile"
 	"pipette/internal/telemetry"
 )
 
@@ -97,6 +99,13 @@ type System struct {
 	tracer  *telemetry.Tracer
 	sampler *telemetry.Sampler
 
+	// profs holds the per-core cycle-accounting profilers (EnableProfiling);
+	// deterministic and guest-side, so profiled runs stay bit-identical.
+	// kprof is the host-side kernel timer (EnableKernelProf): wall-clock,
+	// nondeterministic, and therefore never part of Result or reports.
+	profs []*profile.CoreProf
+	kprof *profile.KernelProf
+
 	// failSampler holds the forced point-of-failure snapshot taken when an
 	// error fires with sampling disabled, so deadlock reports still carry
 	// queue occupancies without permanently attaching a sampler.
@@ -121,7 +130,62 @@ func (s *System) EnableTracing(bufCap int) *telemetry.Tracer {
 // interval cycles.
 func (s *System) EnableSampling(interval uint64) *telemetry.Sampler {
 	s.sampler = telemetry.NewSampler(interval)
+	if s.profs != nil {
+		s.sampler.SlotNames = profile.CategoryNames()
+	}
 	return s.sampler
+}
+
+// EnableProfiling attaches a cycle-accounting profiler to every core: each
+// cycle's issue slots are attributed to an exhaustive category set (CPI
+// stacks), queue occupancies are folded into per-queue histograms, and RA
+// completion-buffer occupancy is integrated. The counters are pure
+// functions of simulated state, so profiled results are bit-identical
+// across -sim-workers settings and with fast-forward on or off. Call
+// before Run; calling twice resets the counters.
+func (s *System) EnableProfiling() {
+	s.profs = s.profs[:0]
+	for _, c := range s.Cores {
+		p := profile.NewCoreProf(s.cfg.Core.IssueWidth, s.cfg.Core.Threads)
+		c.SetProf(p)
+		s.profs = append(s.profs, p)
+	}
+	if s.sampler != nil {
+		s.sampler.SlotNames = profile.CategoryNames()
+	}
+}
+
+// EnableKernelProf attaches the host-side kernel timer: wall-clock spent in
+// the produce, sequential-commit and fast-forward phases, plus per-worker
+// busy/barrier-wait split on pooled runs. Host timing is nondeterministic,
+// so it is exposed only through ProfSnapshot (the -http endpoint), never
+// through Result or reports.
+func (s *System) EnableKernelProf() { s.kprof = profile.NewKernelProf() }
+
+// Profiling reports whether cycle-accounting profiling is enabled.
+func (s *System) Profiling() bool { return len(s.profs) > 0 }
+
+// ProfSnapshot assembles the full introspection snapshot: per-core CPI
+// stacks and queue histograms, connector counters, and (when enabled) the
+// kernel timing. Call it between RunUntil segments — never concurrently
+// with one — so the counters are at a cycle boundary.
+func (s *System) ProfSnapshot(label string) profile.Snapshot {
+	snap := profile.Snapshot{Label: label, Cycle: s.now, Done: s.done()}
+	for i, p := range s.profs {
+		snap.Cores = append(snap.Cores, p.Snapshot(i))
+	}
+	for _, cn := range s.conns {
+		sc, sq, dc, dq := cn.Endpoints()
+		snap.Connectors = append(snap.Connectors, profile.ConnSnapshot{
+			SrcCore: sc, SrcQueue: sq, DstCore: dc, DstQueue: dq,
+			Sent: cn.Stats.Sent, CVsSent: cn.Stats.CVsSent, CreditStall: cn.Stats.CreditStall,
+		})
+	}
+	if s.kprof != nil {
+		ks := s.kprof.Snapshot()
+		snap.Kernel = &ks
+	}
+	return snap
 }
 
 // SetFastForward enables or disables quiescence fast-forward (enabled by
@@ -207,6 +271,11 @@ type Result struct {
 	Committed  uint64
 	CoreStats  []core.Stats
 	CacheStats cache.Stats
+
+	// Prof carries the per-core cycle-accounting snapshots on profiling
+	// runs (nil otherwise). Deterministic — host-side kernel timing is
+	// deliberately excluded.
+	Prof []profile.CoreSnapshot
 }
 
 // IPC returns whole-system committed instructions per cycle.
@@ -281,6 +350,23 @@ func (r Result) Report() telemetry.Report {
 		Writebacks: c.Writebacks, Invalidations: c.Invalidations,
 		MPKI: mpki,
 	}
+	for _, ps := range r.Prof {
+		slots := map[string]uint64{}
+		for cat, n := range ps.Slots {
+			if n > 0 {
+				slots[profile.Category(cat).String()] = n
+			}
+		}
+		rep.CPIStacks = append(rep.CPIStacks, telemetry.CPIStackReport{
+			Core: ps.Core, Width: ps.Width, Cycles: ps.Cycles, Slots: slots,
+		})
+		for _, q := range ps.Queues {
+			rep.QueueHist = append(rep.QueueHist, telemetry.QueueHistReport{
+				Core: ps.Core, Queue: q.Queue, HighWater: q.HighWater,
+				Counts: append([]uint64(nil), q.Counts...),
+			})
+		}
+	}
 	return rep
 }
 
@@ -323,11 +409,20 @@ func (s *System) Run() (Result, error) {
 }
 
 // step advances the machine one clock edge, ticking every component in
-// registry order.
+// registry order. Serial systems have no commit phase, so the whole tick
+// loop counts as produce time in the kernel profile.
 func (s *System) step(sampleEvery uint64) {
 	s.now++
-	for _, c := range s.comps {
-		c.Tick(s.now)
+	if s.kprof != nil {
+		t0 := time.Now()
+		for _, c := range s.comps {
+			c.Tick(s.now)
+		}
+		s.kprof.Produce(time.Since(t0))
+	} else {
+		for _, c := range s.comps {
+			c.Tick(s.now)
+		}
 	}
 	if sampleEvery != 0 && s.now%sampleEvery == 0 {
 		s.sample(s.now)
@@ -354,16 +449,35 @@ func (s *System) fastForward(p *tickPool, bound, sampleEvery uint64) {
 	if target <= s.now {
 		return
 	}
+	if sampleEvery == 0 {
+		s.jump(target)
+		return
+	}
+	// Jump piecewise, landing exactly on every in-span sample cycle, so
+	// cumulative counters (the profiler's slot account, occupancy
+	// integrals) are sampled at their per-cycle values — a ticked run and a
+	// fast-forwarded run emit byte-identical sample series.
+	from := s.now
+	for m := from - from%sampleEvery + sampleEvery; m <= target; m += sampleEvery {
+		s.jump(m)
+		s.sample(m)
+	}
+	if s.now < target {
+		s.jump(target)
+	}
+}
+
+// jump credits the quiescent cycles (s.now, to] analytically and advances
+// the clock. Every FastForward implementation is linear in the span (or a
+// no-op), so consecutive jumps compose exactly: crediting (a,b] then (b,c]
+// equals crediting (a,c] in one call — which is what makes the piecewise
+// sampling split above bit-exact.
+func (s *System) jump(to uint64) {
 	from := s.now
 	for _, c := range s.comps {
-		c.FastForward(from, target)
+		c.FastForward(from, to)
 	}
-	s.now = target
-	if sampleEvery != 0 {
-		for m := from - from%sampleEvery + sampleEvery; m <= target; m += sampleEvery {
-			s.sample(m)
-		}
-	}
+	s.now = to
 }
 
 // lastCommitCycle returns the cycle of the most recent architectural commit
@@ -438,8 +552,19 @@ func (s *System) RunUntil(until uint64) (Result, error) {
 			s.seqComps = append(s.seqComps, c)
 		}
 		if s.workers > 1 {
-			pool = newTickPool(s.Cores, s.workers)
-			defer pool.shutdown()
+			pool = newTickPool(s.Cores, s.workers, s.kprof != nil)
+			defer func() {
+				pool.shutdown()
+				if s.kprof != nil {
+					s.kprof.Harvest(pool.busyNS(), pool.wallNS)
+				}
+			}()
+		}
+	}
+	if s.kprof != nil {
+		s.kprof.Workers = 1
+		if pool != nil {
+			s.kprof.Workers = pool.nw
 		}
 	}
 	watchdog := s.cfg.WatchdogCycles
@@ -475,7 +600,13 @@ func (s *System) RunUntil(until uint64) (Result, error) {
 				bound = until
 			}
 			if s.now < bound {
-				s.fastForward(pool, bound, sampleEvery)
+				if s.kprof != nil {
+					t0, from := time.Now(), s.now
+					s.fastForward(pool, bound, sampleEvery)
+					s.kprof.FF(time.Since(t0), s.now-from)
+				} else {
+					s.fastForward(pool, bound, sampleEvery)
+				}
 			}
 			if s.now >= nextCheck {
 				if err := s.checkLimits(watchdog); err != nil {
@@ -519,6 +650,9 @@ func (s *System) result() Result {
 		st := c.Stats()
 		r.CoreStats = append(r.CoreStats, st)
 		r.Committed += st.Committed
+	}
+	for i, p := range s.profs {
+		r.Prof = append(r.Prof, p.Snapshot(i))
 	}
 	return r
 }

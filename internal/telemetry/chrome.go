@@ -123,6 +123,9 @@ func WriteChromeTrace(w io.Writer, tr *Tracer, sm *Sampler) error {
 	}
 
 	if sm != nil {
+		// prevSlots holds the previous sample's cumulative slot counters per
+		// core, so the CPI-stack counter track shows per-interval rates.
+		prevSlots := map[int][]uint64{}
 		for _, s := range sm.Samples() {
 			t.TraceEvents = append(t.TraceEvents, chromeEvent{
 				Name: "committed", Ph: "C", Ts: s.Cycle, Pid: 0, Tid: 0,
@@ -137,6 +140,19 @@ func WriteChromeTrace(w io.Writer, tr *Tracer, sm *Sampler) error {
 					chromeEvent{Name: "queue occupancy", Ph: "C", Ts: s.Cycle, Pid: ci, Tid: 0, Args: occ},
 					chromeEvent{Name: "qrm mapped regs", Ph: "C", Ts: s.Cycle, Pid: ci, Tid: 0,
 						Args: map[string]any{"regs": c.MappedRegs}})
+				if len(c.Slots) > 0 {
+					stack := map[string]any{}
+					prev := prevSlots[ci]
+					for si, n := range c.Slots {
+						if si < len(prev) {
+							n -= prev[si]
+						}
+						stack[slotName(sm.SlotNames, si)] = n
+					}
+					prevSlots[ci] = c.Slots
+					t.TraceEvents = append(t.TraceEvents,
+						chromeEvent{Name: "cpi stack", Ph: "C", Ts: s.Cycle, Pid: ci, Tid: 0, Args: stack})
+				}
 			}
 		}
 	}

@@ -19,6 +19,11 @@ type CoreSample struct {
 	QueueOcc   []int   `json:"queue_occ"`   // per-queue live entries
 	Stall      []uint8 `json:"stall"`       // per-thread StallReason (instantaneous)
 	ROBUsed    []int   `json:"rob_used"`    // per-thread ROB entries
+
+	// Slots is the cumulative issue-slot breakdown by cycle-accounting
+	// category (indices follow profile.Category). Present only when
+	// profiling is enabled alongside sampling.
+	Slots []uint64 `json:"slots,omitempty"`
 }
 
 // CacheSample is the hierarchy's cumulative counters at a sample point.
@@ -43,6 +48,10 @@ type Sample struct {
 // stall reason, approximating the time distribution at Interval resolution).
 type Sampler struct {
 	Interval uint64 // cycles between samples
+
+	// SlotNames labels CoreSample.Slots indices for the CSV/JSON sinks
+	// (pass profile.CategoryNames()). Empty when profiling is off.
+	SlotNames []string
 
 	samples []Sample
 	// hist[core][thread][reason] counts sample ticks.
@@ -102,6 +111,15 @@ func stallName(names []string, r uint8) string {
 	return fmt.Sprintf("stall%d", r)
 }
 
+// slotName renders slot index si using names (indices follow
+// profile.Category).
+func slotName(names []string, si int) string {
+	if si < len(names) {
+		return names[si]
+	}
+	return fmt.Sprintf("cat%d", si)
+}
+
 // WriteCSV renders the series as CSV: one row per sample with whole-system
 // columns (interval IPC, MPKI = DRAM accesses per kilo-instruction in the
 // interval) followed by per-core occupancy, per-queue occupancy and
@@ -124,6 +142,9 @@ func (s *Sampler) WriteCSV(w io.Writer, stallNames []string) error {
 				cols = append(cols,
 					fmt.Sprintf("c%d_t%d_stall", ci, ti),
 					fmt.Sprintf("c%d_t%d_rob", ci, ti))
+			}
+			for si := range c.Slots {
+				cols = append(cols, fmt.Sprintf("c%d_slot_%s", ci, slotName(s.SlotNames, si)))
 			}
 		}
 	}
@@ -158,6 +179,9 @@ func (s *Sampler) WriteCSV(w io.Writer, stallNames []string) error {
 				}
 				fmt.Fprintf(&b, ",%s,%d", stallName(stallNames, r), rob)
 			}
+			for _, n := range c.Slots {
+				fmt.Fprintf(&b, ",%d", n)
+			}
 		}
 		b.WriteByte('\n')
 		prev = s.samples[i]
@@ -168,9 +192,10 @@ func (s *Sampler) WriteCSV(w io.Writer, stallNames []string) error {
 
 // metricsJSON is the JSON sink envelope.
 type metricsJSON struct {
-	Schema   string   `json:"schema"`
-	Interval uint64   `json:"interval"`
-	Samples  []Sample `json:"samples"`
+	Schema    string   `json:"schema"`
+	Interval  uint64   `json:"interval"`
+	SlotNames []string `json:"slot_names,omitempty"`
+	Samples   []Sample `json:"samples"`
 }
 
 // MetricsSchema identifies the JSON metrics envelope.
@@ -184,7 +209,7 @@ func (s *Sampler) WriteJSON(w io.Writer) error {
 	if samples == nil {
 		samples = []Sample{}
 	}
-	return enc.Encode(metricsJSON{Schema: MetricsSchema, Interval: s.Interval, Samples: samples})
+	return enc.Encode(metricsJSON{Schema: MetricsSchema, Interval: s.Interval, SlotNames: s.SlotNames, Samples: samples})
 }
 
 // ReadMetricsJSON parses a document written by WriteJSON (round-trip tests

@@ -10,10 +10,13 @@ import (
 	"io"
 )
 
-// Schema identifiers embedded in emitted documents.
+// Schema identifiers embedded in emitted documents. v2 adds the optional
+// cycle-accounting sections (cpi_stacks, queue_hist); v1 documents remain
+// valid and are still accepted by the validators.
 const (
-	ReportSchema = "pipette.report/v1"
-	RunSetSchema = "pipette.runset/v1"
+	ReportSchemaV1 = "pipette.report/v1"
+	ReportSchema   = "pipette.report/v2"
+	RunSetSchema   = "pipette.runset/v1"
 )
 
 // CPIReport is the Fig. 11 cycle breakdown as fractions of total cycles.
@@ -67,6 +70,27 @@ type EnergyReport struct {
 	Total    float64 `json:"total"`
 }
 
+// CPIStackReport is one core's exhaustive issue-slot attribution (v2,
+// Top-Down style): Slots maps category name to slot count, and the counts
+// must sum exactly to Cycles × Width (the conservation invariant the
+// validator enforces).
+type CPIStackReport struct {
+	Core   int               `json:"core"`
+	Width  int               `json:"width"`
+	Cycles uint64            `json:"cycles"`
+	Slots  map[string]uint64 `json:"slots"`
+}
+
+// QueueHistReport is one queue's cycle-weighted occupancy histogram (v2).
+// Counts[o] is the number of cycles the queue held exactly o entries;
+// the counts sum to the owning core's profiled cycles.
+type QueueHistReport struct {
+	Core      int      `json:"core"`
+	Queue     int      `json:"queue"`
+	HighWater int      `json:"high_water"`
+	Counts    []uint64 `json:"counts"`
+}
+
 // ThreadStallHist is one thread's sampled stall-reason distribution.
 type ThreadStallHist struct {
 	Core   int               `json:"core"`
@@ -99,6 +123,10 @@ type Report struct {
 	Energy    *EnergyReport    `json:"energy,omitempty"`
 	Telemetry *TelemetryReport `json:"telemetry,omitempty"`
 	Error     string           `json:"error,omitempty"`
+
+	// Cycle-accounting sections (schema v2, profiling runs only).
+	CPIStacks []CPIStackReport  `json:"cpi_stacks,omitempty"`
+	QueueHist []QueueHistReport `json:"queue_hist,omitempty"`
 
 	// Sweep-execution provenance: how long the cell's simulation took and
 	// whether it was replayed from the sweep result cache. Neither field
@@ -235,8 +263,16 @@ func (rs RunSet) WriteJSON(w io.Writer) error {
 // validate applies the semantic checks shared by single reports and run
 // sets.
 func (r Report) validate() error {
-	if r.Schema != ReportSchema {
-		return fmt.Errorf("schema %q, want %q", r.Schema, ReportSchema)
+	switch r.Schema {
+	case ReportSchema:
+	case ReportSchemaV1:
+		if len(r.CPIStacks) > 0 || len(r.QueueHist) > 0 {
+			return fmt.Errorf("schema %q carries v2 cycle-accounting sections (need %q)",
+				r.Schema, ReportSchema)
+		}
+	default:
+		return fmt.Errorf("unsupported report schema version %q (supported: %q, %q)",
+			r.Schema, ReportSchemaV1, ReportSchema)
 	}
 	if r.Cores <= 0 {
 		return fmt.Errorf("cores = %d", r.Cores)
@@ -268,6 +304,49 @@ func (r Report) validate() error {
 	}
 	if r.WallSeconds < 0 {
 		return fmt.Errorf("wall_seconds = %f", r.WallSeconds)
+	}
+	cycles := map[int]uint64{} // profiled cycles per core, for queue_hist
+	for i, st := range r.CPIStacks {
+		if st.Core < 0 || st.Core >= r.Cores {
+			return fmt.Errorf("cpi_stacks[%d]: core %d out of range", i, st.Core)
+		}
+		if st.Width <= 0 {
+			return fmt.Errorf("cpi_stacks[%d]: width = %d", i, st.Width)
+		}
+		var slots uint64
+		for _, n := range st.Slots {
+			slots += n
+		}
+		// The conservation invariant: every issue slot of every profiled
+		// cycle is attributed to exactly one category.
+		if want := st.Cycles * uint64(st.Width); slots != want {
+			return fmt.Errorf("cpi_stacks[%d] (core %d): slots sum to %d, want cycles×width = %d",
+				i, st.Core, slots, want)
+		}
+		cycles[st.Core] = st.Cycles
+	}
+	for i, qh := range r.QueueHist {
+		if qh.Core < 0 || qh.Core >= r.Cores {
+			return fmt.Errorf("queue_hist[%d]: core %d out of range", i, qh.Core)
+		}
+		var n uint64
+		for _, c := range qh.Counts {
+			n += c
+		}
+		// Histograms only ever accompany a slot account for the same core,
+		// and must cover exactly its profiled cycles.
+		want, ok := cycles[qh.Core]
+		if !ok {
+			return fmt.Errorf("queue_hist[%d]: core %d has no cpi_stacks entry", i, qh.Core)
+		}
+		if n != want {
+			return fmt.Errorf("queue_hist[%d] (core %d q%d): counts sum to %d, want %d cycles",
+				i, qh.Core, qh.Queue, n, want)
+		}
+		if hw := len(qh.Counts) - 1; qh.HighWater != hw {
+			return fmt.Errorf("queue_hist[%d] (core %d q%d): high_water %d, counts imply %d",
+				i, qh.Core, qh.Queue, qh.HighWater, hw)
+		}
 	}
 	return nil
 }

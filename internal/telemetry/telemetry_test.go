@@ -261,6 +261,90 @@ func TestValidateReportRejects(t *testing.T) {
 	}
 }
 
+// goodV2Report is a goodReport carrying internally-consistent
+// cycle-accounting sections: slots sum to cycles x width and the queue
+// histogram accounts for exactly the profiled cycles.
+func goodV2Report() Report {
+	r := goodReport()
+	r.CPIStacks = []CPIStackReport{{
+		Core: 0, Width: 4, Cycles: 100,
+		Slots: map[string]uint64{"retired": 50, "backend": 250, "queue-empty": 100},
+	}}
+	r.QueueHist = []QueueHistReport{{
+		Core: 0, Queue: 0, HighWater: 2, Counts: []uint64{60, 30, 10},
+	}}
+	return r
+}
+
+// TestReportSchemaVersions covers the v1/v2 version policy: both known
+// versions validate, v1 may not carry v2 sections, and unknown versions in
+// the family are rejected with an error naming the supported ones.
+func TestReportSchemaVersions(t *testing.T) {
+	roundTrip := func(r Report) error {
+		t.Helper()
+		var b bytes.Buffer
+		if err := r.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		_, err := ValidateReport(&b)
+		return err
+	}
+
+	v1 := goodReport()
+	v1.Schema = ReportSchemaV1
+	if err := roundTrip(v1); err != nil {
+		t.Errorf("v1 report rejected: %v", err)
+	}
+	if err := roundTrip(goodV2Report()); err != nil {
+		t.Errorf("v2 report rejected: %v", err)
+	}
+
+	down := goodV2Report()
+	down.Schema = ReportSchemaV1
+	if err := roundTrip(down); err == nil {
+		t.Error("v1 schema carrying cpi_stacks accepted")
+	}
+
+	future := goodReport()
+	future.Schema = "pipette.report/v3"
+	err := roundTrip(future)
+	if err == nil {
+		t.Fatal("unknown schema version accepted")
+	}
+	for _, want := range []string{"pipette.report/v3", ReportSchemaV1, ReportSchema} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("version error %q does not name %q", err, want)
+		}
+	}
+}
+
+// TestReportConservationValidation covers the v2 semantic checks: the slot
+// account must conserve (sum to cycles x width), and queue histograms must
+// account for exactly the owning core's profiled cycles with a matching
+// high-water mark.
+func TestReportConservationValidation(t *testing.T) {
+	cases := map[string]func(*Report){
+		"slot leak":           func(r *Report) { r.CPIStacks[0].Slots["backend"]++ },
+		"slot loss":           func(r *Report) { r.CPIStacks[0].Slots["retired"] = 1 },
+		"stack core range":    func(r *Report) { r.CPIStacks[0].Core = 5 },
+		"hist core range":     func(r *Report) { r.QueueHist[0].Core = 5 },
+		"hist undercount":     func(r *Report) { r.QueueHist[0].Counts[0] = 1 },
+		"high-water mismatch": func(r *Report) { r.QueueHist[0].HighWater = 1 },
+		"hist without stack":  func(r *Report) { r.CPIStacks = nil },
+	}
+	for name, mutate := range cases {
+		r := goodV2Report()
+		mutate(&r)
+		var b bytes.Buffer
+		if err := r.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ValidateReport(&b); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
 func TestRunSetRoundTrip(t *testing.T) {
 	rs := RunSet{Schema: RunSetSchema, Label: "all", Runs: []Report{goodReport(), goodReport()}}
 	var b bytes.Buffer

@@ -1,6 +1,7 @@
 #!/bin/sh
 # Benchmark-regression guard. Runs the telemetry-overhead benchmark (the
-# disabled-telemetry hot path), the sweep-throughput benchmark, and the
+# disabled-telemetry hot path), the profile-overhead pair (cycle accounting
+# disabled and enabled), the sweep-throughput benchmark, and the
 # simulation-kernel throughput bench (pipette-kernelbench on the bfs/prd
 # rows), then fails if any number exceeds its ceiling in
 # build/baselines/bench_thresholds.txt / kernel_thresholds.txt.
@@ -22,7 +23,7 @@ tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 {
-	go test -bench='TelemetryOverheadOff' -benchtime=2x -run '^$' .
+	go test -bench='TelemetryOverheadOff|ProfileOverhead' -benchtime=2x -run '^$' .
 	go test -bench='SweepThroughput$' -benchtime=2x -run '^$' ./internal/harness
 } | tee /dev/stderr | awk '/^Benchmark/ { sub(/-[0-9]+$/, "", $1); print $1, $3 }' >"$tmp"
 

@@ -2,10 +2,11 @@
 # CI gate: lint (gofmt + vet) + build + race tests + a telemetry smoke run
 # whose artifacts must validate against the schemas + a sharded sweep
 # smoke exercising the parallel evaluation engine + a checkpoint/diverge
-# smoke (resume fidelity and divergence bisection) + the benchmark
-# regression guard. Individual stages run via:
+# smoke (resume fidelity and divergence bisection) + a cycle-accounting
+# smoke (profiled v2 report validates; live -http endpoint answers) + the
+# benchmark regression guard. Individual stages run via:
 #
-#	scripts/ci.sh lint | smoke | sweep-smoke | diverge-smoke | bench
+#	scripts/ci.sh lint | smoke | sweep-smoke | diverge-smoke | profile-smoke | bench
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -99,6 +100,56 @@ diverge_smoke() {
 	echo "diverge smoke OK"
 }
 
+# Cycle-accounting smoke: a profiled run's report must carry the v2
+# cpi_stacks/queue_hist sections and pass pipette-validate's conservation
+# checks, and the -http live endpoint must serve /top and /debug/vars
+# while a run is held open (docs/PROFILING.md).
+profile_smoke() {
+	echo "== profile smoke: cycle accounting + live endpoint =="
+	go build -o "$out/pipette-sim" ./cmd/pipette-sim
+	go build -o "$out/pipette-validate" ./cmd/pipette-validate
+	"$out/pipette-sim" -app cc -variant pipette -input Co -profile -json \
+		>"$out/profiled.json" 2>/dev/null
+	grep -q '"cpi_stacks"' "$out/profiled.json" || {
+		echo "profile smoke: report lacks cpi_stacks" >&2
+		exit 1
+	}
+	"$out/pipette-validate" "$out/profiled.json"
+
+	"$out/pipette-sim" -app bfs -variant pipette -input Rd \
+		-http 127.0.0.1:18080 -http-hold 30s >/dev/null 2>&1 &
+	simpid=$!
+	# Snapshots are pushed at segment boundaries, so poll until the first
+	# labeled one lands (the post-run push at the latest).
+	ok=0
+	for _ in $(seq 1 100); do
+		if curl -sf http://127.0.0.1:18080/top >"$out/top.txt" 2>/dev/null &&
+			grep -q 'bfs/pipette/Rd' "$out/top.txt"; then
+			ok=1
+			break
+		fi
+		sleep 0.2
+	done
+	[ "$ok" = 1 ] || {
+		echo "profile smoke: /top never served a labeled snapshot" >&2
+		cat "$out/top.txt" >&2 || true
+		kill "$simpid" 2>/dev/null || true
+		exit 1
+	}
+	curl -sf http://127.0.0.1:18080/debug/vars >"$out/vars.json" || {
+		echo "profile smoke: /debug/vars unreachable" >&2
+		kill "$simpid" 2>/dev/null || true
+		exit 1
+	}
+	grep -q '"pipette"' "$out/vars.json" || {
+		echo "profile smoke: /debug/vars lacks the pipette expvar" >&2
+		kill "$simpid" 2>/dev/null || true
+		exit 1
+	}
+	kill "$simpid" 2>/dev/null || true
+	echo "profile smoke OK"
+}
+
 case "${1:-}" in
 lint)
 	lint
@@ -114,6 +165,10 @@ sweep-smoke)
 	;;
 diverge-smoke)
 	diverge_smoke
+	exit 0
+	;;
+profile-smoke)
+	profile_smoke
 	exit 0
 	;;
 bench)
@@ -134,6 +189,7 @@ go test -run TestSteadyStateAllocs ./internal/sim/
 smoke
 sweep_smoke
 diverge_smoke
+profile_smoke
 echo "== benchmark regression guard =="
 ./scripts/benchguard.sh
 echo "CI OK"

@@ -62,6 +62,21 @@ func BenchmarkTelemetryOverheadFull(b *testing.B) {
 	})
 }
 
+// BenchmarkProfileOverheadOff is the cycle-accounting baseline: the
+// profiling hooks are compiled in but disabled (one nil check per cycle).
+// benchguard holds this within the same ceiling family as the telemetry-off
+// path — the ISSUE budget is < 2% over the unhooked seed.
+func BenchmarkProfileOverheadOff(b *testing.B) {
+	telemetryRun(b, nil)
+}
+
+// BenchmarkProfileOverheadOn measures the fully-enabled cycle account:
+// per-cycle slot attribution, per-thread CPI stacks, queue-occupancy
+// histograms and outstanding-load tracking.
+func BenchmarkProfileOverheadOn(b *testing.B) {
+	telemetryRun(b, func(s *sim.System) { s.EnableProfiling() })
+}
+
 // BenchmarkTelemetryExport measures the end-of-run sink cost alone
 // (Chrome-trace JSON of a full ring + metrics CSV); it is paid once per
 // run, never per cycle, and dominates the fully-enabled path.
