@@ -1,11 +1,17 @@
 GO ?= go
 
-.PHONY: all build lint vet test race smoke sweep-smoke diverge-smoke profile-smoke bench benchguard perfbench rebaseline ci clean
+.PHONY: all build tools lint vet test race smoke sweep-smoke diverge-smoke profile-smoke bench benchguard benchguard-test experiments-check experiments-regen correlation write-ref perfbench rebaseline ci clean
 
 all: build
 
 build:
 	$(GO) build ./...
+
+# One shared build of every command into build/bin/ (the CI stages and
+# workflow jobs all consume this instead of ad-hoc go build preambles).
+tools:
+	mkdir -p build/bin
+	$(GO) build -o build/bin/ ./cmd/...
 
 # Lint: gofmt cleanliness + go vet (CI's first stage).
 lint:
@@ -49,9 +55,38 @@ bench:
 
 # Benchmark regression guard: fails if TelemetryOverheadOff, the
 # ProfileOverhead pair, SweepThroughput or the kernel-throughput rows
-# exceed the thresholds in build/baselines/.
+# exceed the thresholds in build/baselines/, or if the bfs+silo subset
+# drifts outside the model-fidelity tolerance bands (docs/VALIDATION.md).
 benchguard:
 	./scripts/benchguard.sh
+
+# Unit tests for the benchguard threshold logic (scripts/benchlib.sh),
+# pure shell on synthetic files.
+benchguard-test:
+	./scripts/benchguard_test.sh
+
+# Stale-artifact gate: the committed experiments_output_tiny.txt must match
+# a fresh tiny-scale regeneration byte for byte.
+experiments-check:
+	./scripts/ci.sh experiments-check
+
+# Regenerate the committed tiny-scale transcript (stdout only — timing
+# lines go to stderr) after an intentional model change, then commit it.
+experiments-regen: tools
+	build/bin/pipette-bench -exp all -tiny -quiet \
+		-sweep-cache build/sweepcache > experiments_output_tiny.txt
+
+# Model-fidelity correlation gate: full tiny matrix vs the committed
+# reference, mis-model trip check, and a calibration-recovery demo
+# (docs/VALIDATION.md).
+correlation:
+	./scripts/ci.sh correlation
+
+# Regenerate the model-fidelity reference table from the current model
+# (re-baselining after an intentional model change; commit the result).
+write-ref: tools
+	build/bin/pipette-calibrate -tiny -quiet -sweep-cache build/sweepcache \
+		-write-ref -ref build/baselines/paper_reference.json
 
 # Simulation-kernel throughput: cycles/sec and host-ns per simulated cycle
 # for every app, fast-forward on vs off, written to BENCH_kernel.json
@@ -70,5 +105,5 @@ ci:
 # Removes generated artifacts but keeps the checked-in benchmark baselines
 # under build/baselines/.
 clean:
-	rm -rf build/smoke build/sweepcache
+	rm -rf build/smoke build/sweepcache build/bin
 	rm -f cpu.out mem.out

@@ -1,0 +1,204 @@
+// pipette-calibrate is the model-fidelity correlation tool: it scores the
+// evaluation matrix against the committed reference table
+// (build/baselines/paper_reference.json), optionally grid-searching model
+// parameters to minimize the weighted correlation error, and emits a
+// pipette.correlation/v1 report. See docs/VALIDATION.md.
+//
+// Modes:
+//
+//	pipette-calibrate -tiny -check                 # score vs reference, exit 1 on drift
+//	pipette-calibrate -tiny -write-ref             # regenerate the reference table
+//	pipette-calibrate -tiny -set dram=360 -check   # score a perturbed model (expected fail)
+//	pipette-calibrate -tiny -calibrate 'dram=90,180,360' -out fit.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"pipette/internal/harness"
+	"pipette/internal/validate"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pipette-calibrate:", err)
+	os.Exit(2)
+}
+
+func main() {
+	refPath := flag.String("ref", "build/baselines/paper_reference.json", "reference table to score against (and -write-ref target)")
+	tiny := flag.Bool("tiny", false, "use the fast test-scale configuration (CI)")
+	apps := flag.String("apps", "", "comma-separated app subset; the reference is filtered to match (\"\" = all)")
+	seed := flag.Int64("seed", 0, "override the base RNG seed for synthetic inputs (0 = default)")
+	jobs := flag.Int("jobs", 0, "evaluation sweep workers (0 = GOMAXPROCS)")
+	sweepCache := flag.String("sweep-cache", "build/sweepcache", "on-disk sweep result cache directory (\"\" disables)")
+	quiet := flag.Bool("quiet", false, "suppress live sweep/calibration progress on stderr")
+	out := flag.String("out", "", "write the correlation report JSON here (\"\" = stdout)")
+	check := flag.Bool("check", false, "exit 1 when the correlation report fails its tolerance bands")
+	writeRef := flag.Bool("write-ref", false, "regenerate the reference table at -ref from this run (re-baselining)")
+	calibrate := flag.String("calibrate", "", "grid-search spec, e.g. 'dram=90,180,360;l3=16,32,64' (params: "+strings.Join(validate.ParamNames(), ",")+")")
+	set := flag.String("set", "", "model-parameter perturbations applied to the scored config, e.g. 'dram=360,l2=20'")
+	label := flag.String("label", "", "free-form label recorded in the report")
+	flag.Parse()
+
+	cfg, scale := harness.Default(), "default"
+	if *tiny {
+		cfg, scale = harness.Tiny(), "tiny"
+	}
+	if *apps != "" {
+		cfg.AppFilter = *apps
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *set != "" {
+		for _, kv := range strings.Split(*set, ",") {
+			name, val, err := parseAssign(kv)
+			if err != nil {
+				fatal(fmt.Errorf("bad -set %q: %w", kv, err))
+			}
+			if err := validate.ApplyParam(&cfg, name, val); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	opts := harness.SweepOptions{Jobs: *jobs, CacheDir: *sweepCache}
+	var progress *os.File
+	if !*quiet {
+		opts.Progress = os.Stderr
+		progress = os.Stderr
+	}
+	harness.SetSweepOptions(opts)
+
+	if *writeRef {
+		if *set != "" || *calibrate != "" {
+			fatal(fmt.Errorf("-write-ref takes no -set/-calibrate: the reference must be the unperturbed model"))
+		}
+		e, err := harness.Evaluate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		ref, err := validate.BuildReference(e, scale)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeJSONFile(*refPath, ref.WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: scale=%s apps=%v fig9=%d fig13=%d rows\n",
+			*refPath, ref.Scale, ref.Apps, len(ref.Fig9), len(ref.Fig13))
+		return
+	}
+
+	ref, err := validate.LoadReference(*refPath)
+	if err != nil {
+		fatal(err)
+	}
+	if ref.Scale != scale {
+		fatal(fmt.Errorf("reference %s is %s-scale but this run is %s-scale", *refPath, ref.Scale, scale))
+	}
+	if *apps != "" {
+		if ref, err = ref.FilterApps(strings.Split(*apps, ",")); err != nil {
+			fatal(err)
+		}
+	}
+
+	var rep *validate.Report
+	if *calibrate != "" {
+		grid, err := parseGrid(*calibrate)
+		if err != nil {
+			fatal(err)
+		}
+		if rep, err = validate.Calibrate(cfg, ref, grid, progress); err != nil {
+			fatal(err)
+		}
+	} else {
+		e, err := harness.Evaluate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if rep, err = validate.Score(e, ref); err != nil {
+			fatal(err)
+		}
+	}
+	rep.Label = *label
+
+	if *out != "" {
+		if err := writeJSONFile(*out, rep.WriteJSON); err != nil {
+			fatal(err)
+		}
+	} else if err := rep.WriteJSON(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	status := "PASS"
+	if !rep.Pass {
+		status = "FAIL"
+	}
+	fmt.Fprintf(os.Stderr, "correlation %s: weighted error %.4f over %d figure checks (apps %v, %s scale)\n",
+		status, rep.WeightedError, len(rep.Figures), rep.Apps, rep.Scale)
+	if c := rep.Calibration; c != nil {
+		fmt.Fprintf(os.Stderr, "calibration: best %v (error %.4f, baseline %.4f, %d points)\n",
+			c.Best, c.BestError, c.BaselineError, c.Points)
+	}
+	if *check && !rep.Pass {
+		os.Exit(1)
+	}
+}
+
+// parseAssign splits one "name=value" pair.
+func parseAssign(kv string) (string, float64, error) {
+	name, vs, ok := strings.Cut(strings.TrimSpace(kv), "=")
+	if !ok {
+		return "", 0, fmt.Errorf("want name=value")
+	}
+	v, err := strconv.ParseFloat(vs, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value %q: %w", vs, err)
+	}
+	return strings.TrimSpace(name), v, nil
+}
+
+// parseGrid parses 'param=v1,v2,...;param2=...' into grid dimensions.
+func parseGrid(spec string) ([]validate.GridSpec, error) {
+	var grid []validate.GridSpec
+	for _, dim := range strings.Split(spec, ";") {
+		name, vs, ok := strings.Cut(strings.TrimSpace(dim), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -calibrate dimension %q: want param=v1,v2,...", dim)
+		}
+		g := validate.GridSpec{Param: strings.TrimSpace(name)}
+		for _, s := range strings.Split(vs, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -calibrate value %q in %q: %w", s, dim, err)
+			}
+			g.Values = append(g.Values, v)
+		}
+		grid = append(grid, g)
+	}
+	return grid, nil
+}
+
+// writeJSONFile writes via the given renderer, creating parent dirs.
+func writeJSONFile(path string, render func(w io.Writer) error) error {
+	if dir := strings.TrimSuffix(path, "/"); strings.Contains(dir, "/") {
+		if err := os.MkdirAll(dir[:strings.LastIndex(dir, "/")], 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -2,7 +2,8 @@
 // schemas: run reports (pipette.report/v1 and /v2 — v2 adds the
 // conservation-checked cpi_stacks and queue_hist cycle-accounting
 // sections), run sets (pipette.runset/v1), metrics series
-// (pipette.metrics/v1 JSON or the CSV sink), and Chrome trace-event files.
+// (pipette.metrics/v1 JSON or the CSV sink), correlation reports
+// (pipette.correlation/v1), and Chrome trace-event files.
 // Unknown schema versions inside a known family are rejected with an error
 // naming the supported versions. CI's smoke run gates on it.
 //
@@ -29,6 +30,7 @@ import (
 	"strings"
 
 	"pipette/internal/telemetry"
+	validatepkg "pipette/internal/validate"
 )
 
 func main() {
@@ -105,6 +107,25 @@ func validate(path string, minCats int) error {
 			return err
 		}
 		fmt.Printf("ok   %s: metrics, %d samples @ %d cycles\n", path, len(samples), interval)
+	case strings.HasPrefix(probe.Schema, "pipette.correlation/"):
+		if probe.Schema != validatepkg.Schema {
+			return fmt.Errorf("unsupported correlation schema version %q (supported: %s)",
+				probe.Schema, validatepkg.Schema)
+		}
+		rep, err := validatepkg.ValidateCorrelation(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		status := "PASS"
+		if !rep.Pass {
+			status = "FAIL"
+		}
+		cal := ""
+		if rep.Calibration != nil {
+			cal = fmt.Sprintf(" calibration=%d-point fit", rep.Calibration.Points)
+		}
+		fmt.Printf("ok   %s: correlation %s, %d figure checks, weighted error %.4f (apps %s, %s scale)%s\n",
+			path, status, len(rep.Figures), rep.WeightedError, strings.Join(rep.Apps, ","), rep.Scale, cal)
 	case probe.TraceEvents != nil:
 		n, cats, err := telemetry.ValidateChromeTrace(bytes.NewReader(data))
 		if err != nil {

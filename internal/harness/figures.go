@@ -4,7 +4,6 @@ import (
 	"io"
 
 	"pipette/internal/bench"
-	"pipette/internal/cache"
 	"pipette/internal/graph"
 	"pipette/internal/sim"
 	"pipette/internal/stats"
@@ -243,12 +242,9 @@ func Fig14(w io.Writer, cfg Config) error {
 		Header: []string{"PRF", "dp", "pipette"},
 	}
 	base := func(prf int, b bench.Builder) (sim.Result, error) {
-		sc := sim.DefaultConfig()
+		sc := cfg.simConfig(1)
 		sc.Core.PhysRegs = prf
-		sc.Cache = cache.DefaultConfig().Scale(cfg.CacheScale)
-		sc.WatchdogCycles = cfg.Watchdog
-		s := sim.New(sc)
-		return bench.Run(s, b)
+		return bench.Run(cfg.newSystemFrom(sc), b)
 	}
 	ref, err := base(212, bench.BFSSerial(g, 0))
 	if err != nil {
@@ -343,18 +339,14 @@ func Fig16(w io.Writer, cfg Config) error {
 // scaling point on the road graph.
 func Fig17(w io.Writer, cfg Config) error {
 	run := func(cores int, prf, nq int, b bench.Builder) (sim.Result, error) {
-		sc := sim.DefaultConfig()
-		sc.Cores = cores
+		sc := cfg.simConfig(cores)
 		if prf > 0 {
 			sc.Core.PhysRegs = prf
 		}
 		if nq > 0 {
 			sc.Core.NumQueues = nq
 		}
-		sc.Cache = cache.DefaultConfig().Scale(cfg.CacheScale)
-		sc.WatchdogCycles = cfg.Watchdog
-		s := sim.New(sc)
-		return bench.Run(s, b)
+		return bench.Run(cfg.newSystemFrom(sc), b)
 	}
 	t := stats.Table{
 		Title:  "Fig. 17 — multicore BFS (speedup over 1-core serial)",

@@ -45,6 +45,16 @@ type Config struct {
 	// results are bit-identical at any setting — the parallel equivalence
 	// matrix asserts it — so the sweep disk cache ignores this knob too.
 	SimWorkers int
+
+	// Model-parameter overrides, the calibration knobs internal/validate
+	// grid-searches (0 = keep the simulator default). They flow through
+	// simConfig into every system the harness builds and therefore into
+	// the sweep cell hash, so calibration points cache independently.
+	DRAMLat     uint64 // cache.Config.DRAMLat
+	L2Lat       uint64 // cache.Config.L2Lat
+	L3Lat       uint64 // cache.Config.L3Lat
+	NoCLat      uint64 // sim.Config.NoCLatency (cross-core queue hop)
+	TrapPenalty uint64 // core.Config.TrapPenalty (CV/enqueue-handler redirect)
 }
 
 // Default is the evaluation-scale configuration used for EXPERIMENTS.md.
@@ -145,11 +155,33 @@ func (cfg Config) simConfig(cores int) sim.Config {
 	sc.Cores = cores
 	sc.Cache = cache.DefaultConfig().Scale(cfg.CacheScale)
 	sc.WatchdogCycles = cfg.Watchdog
+	if cfg.DRAMLat > 0 {
+		sc.Cache.DRAMLat = cfg.DRAMLat
+	}
+	if cfg.L2Lat > 0 {
+		sc.Cache.L2Lat = cfg.L2Lat
+	}
+	if cfg.L3Lat > 0 {
+		sc.Cache.L3Lat = cfg.L3Lat
+	}
+	if cfg.NoCLat > 0 {
+		sc.NoCLatency = cfg.NoCLat
+	}
+	if cfg.TrapPenalty > 0 {
+		sc.Core.TrapPenalty = cfg.TrapPenalty
+	}
 	return sc
 }
 
 func (cfg Config) newSystem(cores int) *sim.System {
-	s := sim.New(cfg.simConfig(cores))
+	return cfg.newSystemFrom(cfg.simConfig(cores))
+}
+
+// newSystemFrom builds a system from an already-customized sim.Config
+// (figure drivers tweak PhysRegs/NumQueues on top of simConfig) with the
+// Config's execution-strategy knobs applied.
+func (cfg Config) newSystemFrom(sc sim.Config) *sim.System {
+	s := sim.New(sc)
 	s.SetFastForward(!cfg.NoFastForward)
 	if cfg.SimWorkers > 1 {
 		s.SetWorkers(cfg.SimWorkers)

@@ -10,21 +10,112 @@ import (
 )
 
 // Gmean returns the geometric mean of xs (0 for empty input). A
-// non-positive value indicates a broken measurement — a zero-cycle run or
-// a negative speedup — and yields an error rather than a silently wrong
-// mean.
+// non-positive, NaN or infinite value indicates a broken measurement — a
+// zero-cycle run or a division by zero upstream — and yields an error
+// rather than a silently wrong mean.
 func Gmean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, nil
 	}
 	sum := 0.0
 	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0, fmt.Errorf("stats: gmean of non-finite value %v", x)
+		}
 		if x <= 0 {
 			return 0, fmt.Errorf("stats: gmean of non-positive value %v", x)
 		}
 		sum += math.Log(x)
 	}
 	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// KendallTau returns Kendall's rank-correlation coefficient (tau-a)
+// between paired samples x and y: the fraction of concordant minus
+// discordant pairs over all pairs. +1 means identical ordering, -1 a
+// fully reversed one; ties contribute zero to the numerator. The
+// correlation harness uses it to compare speedup orderings against the
+// reference table. Fewer than two pairs leave the ordering undefined, as
+// do non-finite values; both are errors.
+func KendallTau(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: tau of mismatched lengths %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, fmt.Errorf("stats: tau needs >= 2 pairs, have %d", len(x))
+	}
+	for i := range x {
+		if math.IsNaN(x[i]) || math.IsInf(x[i], 0) || math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+			return 0, fmt.Errorf("stats: tau of non-finite pair (%v, %v)", x[i], y[i])
+		}
+	}
+	var num, pairs int
+	for i := 0; i < len(x); i++ {
+		for j := i + 1; j < len(x); j++ {
+			pairs++
+			dx, dy := x[i]-x[j], y[i]-y[j]
+			switch p := dx * dy; {
+			case p > 0:
+				num++
+			case p < 0:
+				num--
+			}
+		}
+	}
+	return float64(num) / float64(pairs), nil
+}
+
+// RelErr returns |got-ref| / |ref|, the symmetric-band relative error the
+// correlation tolerances are expressed in. A zero reference with a
+// non-zero measurement is infinitely wrong; zero against zero is exact.
+func RelErr(ref, got float64) float64 {
+	if ref == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-ref) / math.Abs(ref)
+}
+
+// TVDist returns the total-variation distance between two composition
+// vectors (e.g. CPI-stack fractions): half the L1 distance after
+// normalizing each to sum to 1. 0 means identical compositions, 1 fully
+// disjoint ones. Negative or non-finite components, mismatched lengths,
+// and all-zero vectors are errors.
+func TVDist(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("stats: tvdist of mismatched lengths %d vs %d", len(p), len(q))
+	}
+	if len(p) == 0 {
+		return 0, fmt.Errorf("stats: tvdist of empty vectors")
+	}
+	sum := func(xs []float64) (float64, error) {
+		s := 0.0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+				return 0, fmt.Errorf("stats: tvdist component %v", x)
+			}
+			s += x
+		}
+		if s == 0 {
+			return 0, fmt.Errorf("stats: tvdist of all-zero vector")
+		}
+		return s, nil
+	}
+	sp, err := sum(p)
+	if err != nil {
+		return 0, err
+	}
+	sq, err := sum(q)
+	if err != nil {
+		return 0, err
+	}
+	d := 0.0
+	for i := range p {
+		d += math.Abs(p[i]/sp - q[i]/sq)
+	}
+	return d / 2, nil
 }
 
 // Speedup returns base/x — how many times faster x is than base when both

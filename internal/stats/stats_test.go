@@ -52,6 +52,106 @@ func TestGmeanBounds(t *testing.T) {
 	}
 }
 
+// Non-finite inputs must error out rather than poison the mean: NaN
+// passes neither the <= 0 nor the log path without one.
+func TestGmeanNonFinite(t *testing.T) {
+	for _, xs := range [][]float64{
+		{math.NaN()},
+		{1, math.NaN(), 2},
+		{math.Inf(1)},
+		{2, math.Inf(-1)},
+	} {
+		g, err := Gmean(xs)
+		if err == nil {
+			t.Errorf("Gmean(%v) = %v, want error", xs, g)
+		}
+		if g != 0 {
+			t.Errorf("Gmean(%v) = %v with error, want 0", xs, g)
+		}
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	tau := func(x, y []float64) float64 {
+		t.Helper()
+		v, err := KendallTau(x, y)
+		if err != nil {
+			t.Fatalf("tau(%v, %v): %v", x, y, err)
+		}
+		return v
+	}
+	if v := tau([]float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}); v != 1 {
+		t.Errorf("identical ordering tau = %v, want 1", v)
+	}
+	if v := tau([]float64{1, 2, 3, 4}, []float64{40, 30, 20, 10}); v != -1 {
+		t.Errorf("reversed ordering tau = %v, want -1", v)
+	}
+	// One adjacent swap among 4: 5 concordant, 1 discordant of 6 pairs.
+	if v := tau([]float64{1, 2, 3, 4}, []float64{2, 1, 3, 4}); math.Abs(v-4.0/6) > 1e-12 {
+		t.Errorf("adjacent-swap tau = %v, want %v", v, 4.0/6)
+	}
+	// Ties drop pairs from the numerator but not the denominator.
+	if v := tau([]float64{1, 1, 2}, []float64{1, 2, 3}); math.Abs(v-2.0/3) > 1e-12 {
+		t.Errorf("tied tau = %v, want %v", v, 2.0/3)
+	}
+}
+
+// A single element (or none) leaves the ordering undefined: error, never
+// a silent 0 or 1.
+func TestKendallTauDegenerate(t *testing.T) {
+	cases := []struct{ x, y []float64 }{
+		{[]float64{1}, []float64{2}},
+		{nil, nil},
+		{[]float64{1, 2}, []float64{3}},
+		{[]float64{1, math.NaN()}, []float64{1, 2}},
+		{[]float64{1, 2}, []float64{math.Inf(1), 2}},
+	}
+	for _, c := range cases {
+		if v, err := KendallTau(c.x, c.y); err == nil {
+			t.Errorf("KendallTau(%v, %v) = %v, want error", c.x, c.y, v)
+		}
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if v := RelErr(2, 1); v != 0.5 {
+		t.Errorf("RelErr(2,1) = %v", v)
+	}
+	if v := RelErr(-2, -3); v != 0.5 {
+		t.Errorf("RelErr(-2,-3) = %v", v)
+	}
+	if v := RelErr(0, 0); v != 0 {
+		t.Errorf("RelErr(0,0) = %v", v)
+	}
+	if v := RelErr(0, 1); !math.IsInf(v, 1) {
+		t.Errorf("RelErr(0,1) = %v, want +Inf", v)
+	}
+}
+
+func TestTVDist(t *testing.T) {
+	if v, err := TVDist([]float64{1, 0}, []float64{1, 0}); err != nil || v != 0 {
+		t.Errorf("identical TVDist = %v, %v", v, err)
+	}
+	if v, err := TVDist([]float64{1, 0}, []float64{0, 1}); err != nil || v != 1 {
+		t.Errorf("disjoint TVDist = %v, %v", v, err)
+	}
+	// Scale-invariant: compositions are normalized before comparing.
+	if v, err := TVDist([]float64{2, 2}, []float64{30, 10}); err != nil || math.Abs(v-0.25) > 1e-12 {
+		t.Errorf("TVDist = %v, %v, want 0.25", v, err)
+	}
+	for _, c := range [][2][]float64{
+		{{1, 2}, {1}},
+		{{}, {}},
+		{{0, 0}, {1, 0}},
+		{{-1, 2}, {1, 0}},
+		{{1, math.NaN()}, {1, 0}},
+	} {
+		if v, err := TVDist(c[0], c[1]); err == nil {
+			t.Errorf("TVDist(%v, %v) = %v, want error", c[0], c[1], v)
+		}
+	}
+}
+
 func TestSpeedup(t *testing.T) {
 	if s := Speedup(200, 100); s != 2 {
 		t.Fatalf("speedup = %v", s)
@@ -97,6 +197,22 @@ func TestTableRaggedRows(t *testing.T) {
 	for i, l := range lines[1:] {
 		if len(l) != len(lines[0]) {
 			t.Errorf("line %d width %d != header width %d:\n%s", i+1, len(l), len(lines[0]), s)
+		}
+	}
+}
+
+// A table with no rows (e.g. a correlation section whose apps were all
+// filtered out) still renders its header and separator.
+func TestTableNoRows(t *testing.T) {
+	tb := Table{Title: "empty", Header: []string{"a", "b"}}
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 { // title, header, separator
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	for _, want := range []string{"== empty ==", "a", "b", "-"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
 		}
 	}
 }

@@ -1,0 +1,222 @@
+// Auto-calibration: grid-search the model-parameter overrides on
+// harness.Config to minimize the weighted correlation error against the
+// reference table, Accel-Sim style. Every grid point is a full
+// evaluation of the (filtered) matrix through the ordinary sweep engine,
+// so points cache in the sweep disk cache and re-runs are cheap; the
+// fitted report carries a sensitivity section saying which parameter
+// moves which figure.
+package validate
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pipette/internal/harness"
+)
+
+// maxGridPoints caps the cartesian search so a typo'd grid cannot queue
+// thousands of matrix evaluations.
+const maxGridPoints = 200
+
+// param is one calibratable model knob.
+type param struct {
+	apply func(*harness.Config, float64)
+	desc  string
+}
+
+// Params maps CLI names to the harness.Config override they drive. All
+// are latencies in core cycles.
+var Params = map[string]param{
+	"dram": {func(c *harness.Config, v float64) { c.DRAMLat = uint64(v) }, "DRAM row-access latency (cache.Config.DRAMLat)"},
+	"l2":   {func(c *harness.Config, v float64) { c.L2Lat = uint64(v) }, "L2 hit latency (cache.Config.L2Lat)"},
+	"l3":   {func(c *harness.Config, v float64) { c.L3Lat = uint64(v) }, "L3 hit latency (cache.Config.L3Lat)"},
+	"noc":  {func(c *harness.Config, v float64) { c.NoCLat = uint64(v) }, "cross-core queue hop latency (sim.Config.NoCLatency)"},
+	"trap": {func(c *harness.Config, v float64) { c.TrapPenalty = uint64(v) }, "CV/enqueue-handler redirect cost (core.Config.TrapPenalty)"},
+}
+
+// ParamNames lists the calibratable knobs in sorted order.
+func ParamNames() []string {
+	return sortedFigureKeys(Params)
+}
+
+// ApplyParam sets one named override on cfg. Values must be positive
+// integers (0 means "simulator default" in the override encoding, so it
+// cannot be a grid value).
+func ApplyParam(cfg *harness.Config, name string, v float64) error {
+	p, ok := Params[name]
+	if !ok {
+		return fmt.Errorf("validate: unknown parameter %q (have %v)", name, ParamNames())
+	}
+	if v < 1 || v != float64(uint64(v)) {
+		return fmt.Errorf("validate: parameter %s=%v: want a positive integer latency", name, v)
+	}
+	p.apply(cfg, v)
+	return nil
+}
+
+// gridPoint is one cartesian assignment, indexed per grid dimension.
+type gridPoint struct {
+	idx  []int // per-dimension value index
+	vals map[string]float64
+	rep  *Report
+}
+
+// Calibrate grid-searches the given parameters against ref, starting
+// from base (whose own score becomes the baseline error). It returns the
+// best point's correlation report with the Calibration section attached.
+// progress, when non-nil, receives one line per evaluated point.
+func Calibrate(base harness.Config, ref *Reference, grid []GridSpec, progress io.Writer) (*Report, error) {
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("validate: empty calibration grid")
+	}
+	points := 1
+	for _, g := range grid {
+		if len(g.Values) == 0 {
+			return nil, fmt.Errorf("validate: grid for %q has no values", g.Param)
+		}
+		if _, ok := Params[g.Param]; !ok {
+			return nil, fmt.Errorf("validate: unknown parameter %q (have %v)", g.Param, ParamNames())
+		}
+		points *= len(g.Values)
+	}
+	if points > maxGridPoints {
+		return nil, fmt.Errorf("validate: grid spans %d points, max %d", points, maxGridPoints)
+	}
+
+	baseRep, err := scoreConfig(base, ref)
+	if err != nil {
+		return nil, fmt.Errorf("validate: scoring the uncalibrated config: %w", err)
+	}
+
+	// Enumerate the cartesian grid in deterministic odometer order.
+	all := make([]*gridPoint, 0, points)
+	idx := make([]int, len(grid))
+	for {
+		pt := &gridPoint{idx: append([]int(nil), idx...), vals: map[string]float64{}}
+		for d, g := range grid {
+			pt.vals[g.Param] = g.Values[idx[d]]
+		}
+		all = append(all, pt)
+		d := len(idx) - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < len(grid[d].Values) {
+				break
+			}
+			idx[d] = 0
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+
+	best := -1
+	for i, pt := range all {
+		cfg := base
+		for p, v := range pt.vals {
+			if err := ApplyParam(&cfg, p, v); err != nil {
+				return nil, err
+			}
+		}
+		rep, err := scoreConfig(cfg, ref)
+		if err != nil {
+			return nil, fmt.Errorf("validate: grid point %v: %w", pt.vals, err)
+		}
+		pt.rep = rep
+		if progress != nil {
+			fmt.Fprintf(progress, "calibrate: [%d/%d] %s -> error %.4f\n",
+				i+1, len(all), formatPoint(grid, pt), rep.WeightedError)
+		}
+		if best < 0 || rep.WeightedError < all[best].rep.WeightedError {
+			best = i
+		}
+	}
+
+	bp := all[best]
+	rep := bp.rep
+	cal := &Calibration{
+		Grid:          grid,
+		Points:        len(all),
+		BaselineError: baseRep.WeightedError,
+		Best:          bp.vals,
+		BestError:     rep.WeightedError,
+	}
+
+	// Sensitivity: central finite differences along each dimension with
+	// the other parameters held at the fitted point. Every needed
+	// neighbor is already in the cartesian grid.
+	at := func(ix []int) *gridPoint {
+		for _, pt := range all {
+			match := true
+			for d := range ix {
+				if pt.idx[d] != ix[d] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return pt
+			}
+		}
+		return nil
+	}
+	for d, g := range grid {
+		if len(g.Values) < 2 {
+			continue
+		}
+		lo, hi := bp.idx[d], bp.idx[d]
+		if lo > 0 {
+			lo--
+		}
+		if hi < len(g.Values)-1 {
+			hi++
+		}
+		ixLo, ixHi := append([]int(nil), bp.idx...), append([]int(nil), bp.idx...)
+		ixLo[d], ixHi[d] = lo, hi
+		pLo, pHi := at(ixLo), at(ixHi)
+		dv := g.Values[hi] - g.Values[lo]
+		if pLo == nil || pHi == nil || dv == 0 {
+			continue
+		}
+		s := Sensitivity{
+			Param:     g.Param,
+			Value:     g.Values[bp.idx[d]],
+			Step:      dv,
+			DError:    (pHi.rep.WeightedError - pLo.rep.WeightedError) / dv,
+			PerFigure: map[string]float64{},
+		}
+		feLo, feHi := pLo.rep.FigureErrors(), pHi.rep.FigureErrors()
+		for _, fig := range sortedFigureKeys(feHi) {
+			s.PerFigure[fig] = (feHi[fig] - feLo[fig]) / dv
+		}
+		cal.Sensitivity = append(cal.Sensitivity, s)
+	}
+	sort.Slice(cal.Sensitivity, func(i, j int) bool {
+		return cal.Sensitivity[i].Param < cal.Sensitivity[j].Param
+	})
+	rep.Calibration = cal
+	return rep, nil
+}
+
+// scoreConfig evaluates the matrix under cfg and scores it against ref.
+func scoreConfig(cfg harness.Config, ref *Reference) (*Report, error) {
+	e, err := harness.Evaluate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Score(e, ref)
+}
+
+// formatPoint renders one grid assignment in grid order.
+func formatPoint(grid []GridSpec, pt *gridPoint) string {
+	s := ""
+	for d, g := range grid {
+		if d > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%v", g.Param, g.Values[pt.idx[d]])
+	}
+	return s
+}

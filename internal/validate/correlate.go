@@ -1,0 +1,290 @@
+// Scoring: compare an extracted row set against the reference and roll
+// the per-figure metrics into a correlation report.
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"pipette/internal/harness"
+	"pipette/internal/stats"
+)
+
+// Metric names used by FigureScore entries.
+const (
+	MetricTau    = "kendall_tau" // ordering agreement, pass when value >= threshold
+	MetricRelErr = "max_rel_err" // relative-error band, pass when value <= threshold
+	MetricDist   = "max_dist"    // composition distance, pass when value <= threshold
+)
+
+// scorer accumulates figure scores and the weighted objective.
+type scorer struct {
+	figures []FigureScore
+	tol     map[string]Tolerance
+}
+
+// add records one figure entry. value is the reported metric, errContrib
+// its normalized contribution to the calibration objective.
+func (s *scorer) add(fig, metric string, value, threshold float64, pass bool, errContrib float64, rows []RowDelta) {
+	s.figures = append(s.figures, FigureScore{
+		Figure: fig, Metric: metric, Value: value, Threshold: threshold,
+		Pass: pass, Error: errContrib, Rows: rows,
+	})
+}
+
+// tauEntry scores ordering agreement between ref and got (already
+// paired). Fewer than two rows leave tau undefined: the entry is skipped
+// (an app-subset run can legitimately have one fig9 row).
+func (s *scorer) tauEntry(fig string, ref, got []float64) error {
+	tol := s.tol[fig]
+	if tol.TauMin == 0 || len(ref) < 2 {
+		return nil
+	}
+	tau, err := stats.KendallTau(ref, got)
+	if err != nil {
+		return fmt.Errorf("%s: %w", fig, err)
+	}
+	s.add(fig, MetricTau, tau, tol.TauMin, tau >= tol.TauMin, (1-tau)/2, nil)
+	return nil
+}
+
+// bandEntry scores a relative-error or distance band over per-row
+// errors: the reported value is the worst row, the objective contribution
+// the mean.
+func (s *scorer) bandEntry(fig, metric string, threshold float64, rows []RowDelta) {
+	if threshold == 0 || len(rows) == 0 {
+		return
+	}
+	worst, sum := 0.0, 0.0
+	for _, r := range rows {
+		worst = math.Max(worst, r.Err)
+		sum += r.Err
+	}
+	s.add(fig, metric, worst, threshold, worst <= threshold, sum/float64(len(rows)), rows)
+}
+
+// Score compares the matrix against the reference table and returns the
+// correlation report. The reference must already be filtered to the apps
+// the matrix covers (FilterApps); a reference row without a matching
+// measured row is an error, not a failed figure — it means the run and
+// the table disagree about what exists.
+func Score(e *harness.Eval, ref *Reference) (*Report, error) {
+	meas, err := BuildReference(e, ref.Scale)
+	if err != nil {
+		return nil, err
+	}
+	return scoreRows(meas, ref)
+}
+
+// scoreRows scores one extracted row set against the reference.
+func scoreRows(meas, ref *Reference) (*Report, error) {
+	if len(meas.Apps) != len(ref.Apps) {
+		return nil, fmt.Errorf("validate: run covers apps %v, reference %v (filter the reference first)",
+			meas.Apps, ref.Apps)
+	}
+	for i, a := range ref.Apps {
+		if meas.Apps[i] != a {
+			return nil, fmt.Errorf("validate: run covers apps %v, reference %v", meas.Apps, ref.Apps)
+		}
+	}
+	s := &scorer{tol: ref.Tol}
+
+	// Fig. 2 — relative-error band on speedups and IPC.
+	if len(ref.Fig2) > 0 {
+		got := map[string]Fig2Row{}
+		for _, row := range meas.Fig2 {
+			got[row.Variant] = row
+		}
+		var rows []RowDelta
+		for _, row := range ref.Fig2 {
+			g, ok := got[row.Variant]
+			if !ok {
+				return nil, fmt.Errorf("validate: run lacks fig2 row %q", row.Variant)
+			}
+			rows = append(rows,
+				RowDelta{Row: "bfs/" + row.Variant + "/speedup", Ref: row.Speedup, Got: g.Speedup, Err: stats.RelErr(row.Speedup, g.Speedup)},
+				RowDelta{Row: "bfs/" + row.Variant + "/ipc", Ref: row.IPC, Got: g.IPC, Err: stats.RelErr(row.IPC, g.IPC)})
+		}
+		s.bandEntry("fig2", MetricRelErr, s.tol["fig2"].RelErrMax, rows)
+	}
+
+	// Fig. 9 — tau on the per-app Pipette ordering + rel-err band on both
+	// speedup columns.
+	{
+		got := map[string]Fig9Row{}
+		for _, row := range meas.Fig9 {
+			got[row.App] = row
+		}
+		var refPip, gotPip []float64
+		var rows []RowDelta
+		for _, row := range ref.Fig9 {
+			g, ok := got[row.App]
+			if !ok {
+				return nil, fmt.Errorf("validate: run lacks fig9 row %q", row.App)
+			}
+			refPip = append(refPip, row.Pipette)
+			gotPip = append(gotPip, g.Pipette)
+			rows = append(rows,
+				RowDelta{Row: row.App + "/pipette", Ref: row.Pipette, Got: g.Pipette, Err: stats.RelErr(row.Pipette, g.Pipette)},
+				RowDelta{Row: row.App + "/streaming", Ref: row.Streaming, Got: g.Streaming, Err: stats.RelErr(row.Streaming, g.Streaming)})
+		}
+		if err := s.tauEntry("fig9", refPip, gotPip); err != nil {
+			return nil, err
+		}
+		s.bandEntry("fig9", MetricRelErr, s.tol["fig9"].RelErrMax, rows)
+	}
+
+	// Fig. 10 — rel-err band on per-core IPC by variant.
+	{
+		got := map[string]Fig10Row{}
+		for _, row := range meas.Fig10 {
+			got[row.App] = row
+		}
+		var rows []RowDelta
+		for _, row := range ref.Fig10 {
+			g, ok := got[row.App]
+			if !ok {
+				return nil, fmt.Errorf("validate: run lacks fig10 row %q", row.App)
+			}
+			for _, v := range sortedFigureKeys(row.IPC) {
+				gv, ok := g.IPC[v]
+				if !ok {
+					return nil, fmt.Errorf("validate: run lacks fig10 %s/%s", row.App, v)
+				}
+				rows = append(rows, RowDelta{
+					Row: row.App + "/" + v, Ref: row.IPC[v], Got: gv, Err: stats.RelErr(row.IPC[v], gv),
+				})
+			}
+		}
+		s.bandEntry("fig10", MetricRelErr, s.tol["fig10"].RelErrMax, rows)
+	}
+
+	// Fig. 11 — CPI-stack composition distance per app×variant.
+	{
+		type key struct{ app, variant string }
+		got := map[key]Fig11Row{}
+		for _, row := range meas.Fig11 {
+			got[key{row.App, row.Variant}] = row
+		}
+		var rows []RowDelta
+		for _, row := range ref.Fig11 {
+			g, ok := got[key{row.App, row.Variant}]
+			if !ok {
+				return nil, fmt.Errorf("validate: run lacks fig11 row %s/%s", row.App, row.Variant)
+			}
+			d, err := stats.TVDist(
+				[]float64{row.Issue, row.Backend, row.Queue, row.Front},
+				[]float64{g.Issue, g.Backend, g.Queue, g.Front})
+			if err != nil {
+				return nil, fmt.Errorf("fig11 %s/%s: %w", row.App, row.Variant, err)
+			}
+			rows = append(rows, RowDelta{Row: row.App + "/" + row.Variant, Err: d})
+		}
+		s.bandEntry("fig11", MetricDist, s.tol["fig11"].DistMax, rows)
+	}
+
+	// Fig. 12 — rel-err band on energy totals + composition distance on
+	// the core/cache/DRAM/static split.
+	{
+		type key struct{ app, variant string }
+		got := map[key]Fig12Row{}
+		for _, row := range meas.Fig12 {
+			got[key{row.App, row.Variant}] = row
+		}
+		var totals, splits []RowDelta
+		for _, row := range ref.Fig12 {
+			g, ok := got[key{row.App, row.Variant}]
+			if !ok {
+				return nil, fmt.Errorf("validate: run lacks fig12 row %s/%s", row.App, row.Variant)
+			}
+			name := row.App + "/" + row.Variant
+			refTotal := row.Core + row.Cache + row.DRAM + row.Static
+			gotTotal := g.Core + g.Cache + g.DRAM + g.Static
+			totals = append(totals, RowDelta{Row: name, Ref: refTotal, Got: gotTotal, Err: stats.RelErr(refTotal, gotTotal)})
+			d, err := stats.TVDist(
+				[]float64{row.Core, row.Cache, row.DRAM, row.Static},
+				[]float64{g.Core, g.Cache, g.DRAM, g.Static})
+			if err != nil {
+				return nil, fmt.Errorf("fig12 %s/%s: %w", row.App, row.Variant, err)
+			}
+			splits = append(splits, RowDelta{Row: name, Err: d})
+		}
+		s.bandEntry("fig12", MetricRelErr, s.tol["fig12"].RelErrMax, totals)
+		s.bandEntry("fig12", MetricDist, s.tol["fig12"].DistMax, splits)
+	}
+
+	// Fig. 13 — tau + rel-err band on per-input Pipette speedups.
+	{
+		type key struct{ app, input string }
+		got := map[key]Fig13Row{}
+		for _, row := range meas.Fig13 {
+			got[key{row.App, row.Input}] = row
+		}
+		var refSp, gotSp []float64
+		var rows []RowDelta
+		for _, row := range ref.Fig13 {
+			g, ok := got[key{row.App, row.Input}]
+			if !ok {
+				return nil, fmt.Errorf("validate: run lacks fig13 row %s/%s", row.App, row.Input)
+			}
+			refSp = append(refSp, row.Pipette)
+			gotSp = append(gotSp, g.Pipette)
+			rows = append(rows, RowDelta{
+				Row: row.App + "/" + row.Input, Ref: row.Pipette, Got: g.Pipette, Err: stats.RelErr(row.Pipette, g.Pipette),
+			})
+		}
+		if err := s.tauEntry("fig13", refSp, gotSp); err != nil {
+			return nil, err
+		}
+		s.bandEntry("fig13", MetricRelErr, s.tol["fig13"].RelErrMax, rows)
+	}
+
+	if len(s.figures) == 0 {
+		return nil, fmt.Errorf("validate: no figure produced a score (empty reference?)")
+	}
+
+	// Roll up: the weighted objective sums each figure's mean entry error
+	// scaled by its tolerance weight; the report passes iff every entry
+	// passes.
+	rep := &Report{
+		Schema:  Schema,
+		Scale:   ref.Scale,
+		Apps:    ref.Apps,
+		Figures: s.figures,
+		Pass:    true,
+	}
+	perFig := map[string][]float64{}
+	for _, f := range s.figures {
+		if !f.Pass {
+			rep.Pass = false
+		}
+		perFig[f.Figure] = append(perFig[f.Figure], f.Error)
+	}
+	for _, fig := range sortedFigureKeys(perFig) {
+		sum := 0.0
+		for _, e := range perFig[fig] {
+			sum += e
+		}
+		rep.WeightedError += ref.Tol[fig].Weight * sum / float64(len(perFig[fig]))
+	}
+	return rep, nil
+}
+
+// FigureErrors returns each figure's mean entry error (the per-figure
+// terms of the weighted objective, unweighted). Calibration uses these
+// for the sensitivity report.
+func (r *Report) FigureErrors() map[string]float64 {
+	perFig := map[string][]float64{}
+	for _, f := range r.Figures {
+		perFig[f.Figure] = append(perFig[f.Figure], f.Error)
+	}
+	out := map[string]float64{}
+	for fig, errs := range perFig {
+		sum := 0.0
+		for _, e := range errs {
+			sum += e
+		}
+		out[fig] = sum / float64(len(errs))
+	}
+	return out
+}

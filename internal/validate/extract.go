@@ -1,0 +1,197 @@
+// Extraction of reference-table rows from an evaluated matrix. These
+// mirror the figure drivers in internal/harness/figures.go — the same
+// gmeans over the same cells — so a correlation score measures the model,
+// not a difference in aggregation.
+package validate
+
+import (
+	"fmt"
+
+	"pipette/internal/bench"
+	"pipette/internal/harness"
+	"pipette/internal/stats"
+)
+
+// variants is the scored variant set, in report order.
+var variants = []string{
+	bench.VSerial, bench.VDataParallel, bench.VPipette, bench.VPipetteNoRA, bench.VStreaming,
+}
+
+// paperFig2 is EXPERIMENTS.md's Fig. 2 paper column (speedup over serial
+// and IPC where the paper states one), stamped into generated references
+// as provenance.
+var paperFig2 = map[string]Fig2Row{
+	bench.VSerial:       {PaperSpeedup: 1.0, PaperIPC: 0.43},
+	bench.VDataParallel: {PaperSpeedup: 1.3},
+	bench.VPipette:      {PaperSpeedup: 4.9},
+}
+
+// BuildReference computes every reference row from an evaluated matrix
+// and stamps the default tolerance bands. scale names the harness
+// configuration the matrix ran at ("tiny", "default").
+func BuildReference(e *harness.Eval, scale string) (*Reference, error) {
+	r := &Reference{
+		Schema: ReferenceSchema,
+		Scale:  scale,
+		Seed:   e.Cfg.Seed,
+		Apps:   e.Apps,
+		Notes:  "Model output at the stated scale; paper_* columns transcribed from EXPERIMENTS.md. Regenerate with pipette-calibrate -write-ref (docs/VALIDATION.md).",
+		Tol:    DefaultTolerances(),
+	}
+	cell := func(app, variant, input string) (harness.Cell, error) {
+		c, ok := e.Cells[harness.Key{App: app, Variant: variant, Input: input}]
+		if !ok {
+			return harness.Cell{}, fmt.Errorf("validate: matrix lacks cell %s/%s/%s", app, variant, input)
+		}
+		return c, nil
+	}
+
+	// Fig. 2: BFS on the road graph, speedup over serial + IPC.
+	for _, app := range e.Apps {
+		if app != "bfs" {
+			continue
+		}
+		serial, err := cell("bfs", bench.VSerial, "Rd")
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range variants {
+			c, err := cell("bfs", v, "Rd")
+			if err != nil {
+				return nil, err
+			}
+			row := Fig2Row{
+				Variant: v,
+				Speedup: stats.Speedup(serial.R.Cycles, c.R.Cycles),
+				IPC:     c.R.IPC(),
+			}
+			if p, ok := paperFig2[v]; ok {
+				row.PaperSpeedup, row.PaperIPC = p.PaperSpeedup, p.PaperIPC
+			}
+			r.Fig2 = append(r.Fig2, row)
+		}
+	}
+
+	// speedupOverDP mirrors harness.Fig9: gmean across inputs of the
+	// variant's speedup over the data-parallel baseline.
+	speedupOverDP := func(app, v string) (float64, error) {
+		var xs []float64
+		for _, in := range e.Inputs[app] {
+			dp, err := cell(app, bench.VDataParallel, in)
+			if err != nil {
+				return 0, err
+			}
+			c, err := cell(app, v, in)
+			if err != nil {
+				return 0, err
+			}
+			xs = append(xs, stats.Speedup(dp.R.Cycles, c.R.Cycles))
+		}
+		return stats.Gmean(xs)
+	}
+
+	for _, app := range e.Apps {
+		pip, err := speedupOverDP(app, bench.VPipette)
+		if err != nil {
+			return nil, err
+		}
+		str, err := speedupOverDP(app, bench.VStreaming)
+		if err != nil {
+			return nil, err
+		}
+		r.Fig9 = append(r.Fig9, Fig9Row{App: app, Pipette: pip, Streaming: str})
+
+		// Fig. 10: per-core IPC by variant, gmean across inputs.
+		ipc := Fig10Row{App: app, IPC: map[string]float64{}}
+		for _, v := range variants {
+			var xs []float64
+			for _, in := range e.Inputs[app] {
+				c, err := cell(app, v, in)
+				if err != nil {
+					return nil, err
+				}
+				xs = append(xs, c.R.IPC()/float64(c.Cores))
+			}
+			g, err := stats.Gmean(xs)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s/%s: %w", app, v, err)
+			}
+			ipc.IPC[v] = g
+		}
+		r.Fig10 = append(r.Fig10, ipc)
+
+		// Fig. 11: CPI-stack fractions summed across inputs and cores.
+		for _, v := range variants {
+			var issue, backend, queue, front, total float64
+			for _, in := range e.Inputs[app] {
+				c, err := cell(app, v, in)
+				if err != nil {
+					return nil, err
+				}
+				for _, cs := range c.R.CoreStats {
+					issue += float64(cs.CPI.Issue)
+					backend += float64(cs.CPI.Backend)
+					queue += float64(cs.CPI.Queue)
+					front += float64(cs.CPI.Front)
+					total += float64(cs.CPI.Total())
+				}
+			}
+			if total == 0 {
+				return nil, fmt.Errorf("fig11 %s/%s: zero total cycles", app, v)
+			}
+			r.Fig11 = append(r.Fig11, Fig11Row{
+				App: app, Variant: v,
+				Issue: issue / total, Backend: backend / total,
+				Queue: queue / total, Front: front / total,
+			})
+		}
+
+		// Fig. 12: energy components normalized by dp's total.
+		var dpTotal float64
+		for _, in := range e.Inputs[app] {
+			c, err := cell(app, bench.VDataParallel, in)
+			if err != nil {
+				return nil, err
+			}
+			dpTotal += c.Energy.Total()
+		}
+		if dpTotal == 0 {
+			return nil, fmt.Errorf("fig12 %s: zero data-parallel energy", app)
+		}
+		for _, v := range variants {
+			var core, cch, dram, static float64
+			for _, in := range e.Inputs[app] {
+				c, err := cell(app, v, in)
+				if err != nil {
+					return nil, err
+				}
+				core += c.Energy.CoreDyn
+				cch += c.Energy.CacheDyn
+				dram += c.Energy.DRAMDyn
+				static += c.Energy.Static
+			}
+			r.Fig12 = append(r.Fig12, Fig12Row{
+				App: app, Variant: v,
+				Core: core / dpTotal, Cache: cch / dpTotal,
+				DRAM: dram / dpTotal, Static: static / dpTotal,
+			})
+		}
+
+		// Fig. 13: per-input Pipette speedup over data-parallel.
+		for _, in := range e.Inputs[app] {
+			dp, err := cell(app, bench.VDataParallel, in)
+			if err != nil {
+				return nil, err
+			}
+			c, err := cell(app, bench.VPipette, in)
+			if err != nil {
+				return nil, err
+			}
+			r.Fig13 = append(r.Fig13, Fig13Row{
+				App: app, Input: in,
+				Pipette: stats.Speedup(dp.R.Cycles, c.R.Cycles),
+			})
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,316 @@
+// Package validate is the model-fidelity correlation harness: it scores a
+// run of the evaluation matrix against a committed reference table
+// (build/baselines/paper_reference.json, the EXPERIMENTS.md
+// paper-vs-measured numbers in machine-readable form) and rolls the
+// per-figure metrics — speedup-ordering agreement via Kendall's tau
+// (Figs. 9/13), relative-error bands (Fig. 10 IPC, Fig. 12 energy
+// totals), and CPI-stack/energy-split composition distance (Figs. 11/12)
+// — into a pipette.correlation/v1 report with pass/fail tolerance bands.
+// A grid-search calibration mode (cmd/pipette-calibrate) reuses the sweep
+// engine to fit cache/DRAM/queue-latency parameters against the same
+// objective and reports parameter sensitivities. See docs/VALIDATION.md.
+package validate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// ReferenceSchema identifies the committed reference-table document.
+const ReferenceSchema = "pipette.reference/v1"
+
+// Tolerance is one figure's pass band and its weight in the scalar
+// calibration objective. Zero-valued bounds are unused by that figure's
+// metrics (e.g. tau has no meaning for Fig. 10).
+type Tolerance struct {
+	TauMin    float64 `json:"tau_min,omitempty"`     // ordering agreement floor
+	RelErrMax float64 `json:"rel_err_max,omitempty"` // relative-error ceiling
+	DistMax   float64 `json:"dist_max,omitempty"`    // composition-distance ceiling
+	Weight    float64 `json:"weight"`                // weight in the calibration objective
+}
+
+// Fig2Row is the headline BFS/road-graph comparison: speedup over serial
+// and whole-run IPC for one variant. Paper* columns are the paper's
+// numbers where EXPERIMENTS.md transcribes one (0 = not given); they are
+// provenance, not scored — the scored reference is the committed model
+// output at this table's scale.
+type Fig2Row struct {
+	Variant      string  `json:"variant"`
+	Speedup      float64 `json:"speedup"`
+	IPC          float64 `json:"ipc"`
+	PaperSpeedup float64 `json:"paper_speedup,omitempty"`
+	PaperIPC     float64 `json:"paper_ipc,omitempty"`
+}
+
+// Fig9Row is one app's gmean-across-inputs speedup over the data-parallel
+// baseline (the Fig. 9 ordering Kendall's tau is computed on).
+type Fig9Row struct {
+	App       string  `json:"app"`
+	Pipette   float64 `json:"pipette"`
+	Streaming float64 `json:"streaming"`
+}
+
+// Fig10Row is one app's per-core IPC by variant (gmean across inputs).
+type Fig10Row struct {
+	App string             `json:"app"`
+	IPC map[string]float64 `json:"ipc"`
+}
+
+// Fig11Row is one app×variant CPI-stack composition (fractions of total
+// cycles; sums to ~1).
+type Fig11Row struct {
+	App     string  `json:"app"`
+	Variant string  `json:"variant"`
+	Issue   float64 `json:"issue"`
+	Backend float64 `json:"backend"`
+	Queue   float64 `json:"queue"`
+	Front   float64 `json:"front"`
+}
+
+// Fig12Row is one app×variant energy decomposition, each component
+// normalized by the app's data-parallel total.
+type Fig12Row struct {
+	App     string  `json:"app"`
+	Variant string  `json:"variant"`
+	Core    float64 `json:"core"`
+	Cache   float64 `json:"cache"`
+	DRAM    float64 `json:"dram"`
+	Static  float64 `json:"static"`
+}
+
+// Fig13Row is one app×input Pipette speedup over data-parallel (the
+// per-input ordering rows).
+type Fig13Row struct {
+	App     string  `json:"app"`
+	Input   string  `json:"input"`
+	Pipette float64 `json:"pipette"`
+}
+
+// Reference is the committed table a correlation run is scored against.
+// Rows hold the expected model output at the stated Scale; regenerate
+// with pipette-calibrate -write-ref after an intentional model change
+// (the re-baselining workflow in docs/VALIDATION.md).
+type Reference struct {
+	Schema string   `json:"schema"`
+	Scale  string   `json:"scale"` // harness config the rows were measured at ("tiny"/"default")
+	Seed   int64    `json:"seed"`
+	Apps   []string `json:"apps"`
+	Notes  string   `json:"notes,omitempty"`
+
+	Fig2  []Fig2Row  `json:"fig2,omitempty"`
+	Fig9  []Fig9Row  `json:"fig9"`
+	Fig10 []Fig10Row `json:"fig10"`
+	Fig11 []Fig11Row `json:"fig11"`
+	Fig12 []Fig12Row `json:"fig12"`
+	Fig13 []Fig13Row `json:"fig13"`
+
+	Tol map[string]Tolerance `json:"tolerances"`
+}
+
+// DefaultTolerances returns the pass bands the generator stamps into new
+// reference tables. Simulation is deterministic, so an unchanged model
+// scores zero error on every metric; the bands define how much a model
+// change may move each figure before CI calls it drift.
+func DefaultTolerances() map[string]Tolerance {
+	return map[string]Tolerance{
+		"fig2":  {RelErrMax: 0.10, Weight: 1},
+		"fig9":  {TauMin: 0.75, RelErrMax: 0.15, Weight: 2},
+		"fig10": {RelErrMax: 0.10, Weight: 1},
+		"fig11": {DistMax: 0.05, Weight: 1.5},
+		"fig12": {RelErrMax: 0.10, DistMax: 0.05, Weight: 1},
+		"fig13": {TauMin: 0.60, RelErrMax: 0.20, Weight: 1},
+	}
+}
+
+// figureNames lists the scored figures in report order.
+var figureNames = []string{"fig2", "fig9", "fig10", "fig11", "fig12", "fig13"}
+
+// Validate checks the table's internal consistency: schema, coverage
+// (every app contributes to every applicable figure), and a usable
+// tolerance entry per figure.
+func (r *Reference) Validate() error {
+	if r.Schema != ReferenceSchema {
+		return fmt.Errorf("reference schema %q, want %q", r.Schema, ReferenceSchema)
+	}
+	if r.Scale == "" {
+		return fmt.Errorf("reference lacks a scale")
+	}
+	if len(r.Apps) == 0 {
+		return fmt.Errorf("reference covers no apps")
+	}
+	apps := map[string]bool{}
+	for _, a := range r.Apps {
+		apps[a] = true
+	}
+	rowApp := func(fig, app string) error {
+		if !apps[app] {
+			return fmt.Errorf("%s row for app %q not in apps %v", fig, app, r.Apps)
+		}
+		return nil
+	}
+	seen9 := map[string]bool{}
+	for _, row := range r.Fig9 {
+		if err := rowApp("fig9", row.App); err != nil {
+			return err
+		}
+		seen9[row.App] = true
+	}
+	for _, row := range r.Fig10 {
+		if err := rowApp("fig10", row.App); err != nil {
+			return err
+		}
+		if len(row.IPC) == 0 {
+			return fmt.Errorf("fig10 row %q has no variants", row.App)
+		}
+	}
+	for _, row := range r.Fig11 {
+		if err := rowApp("fig11", row.App); err != nil {
+			return err
+		}
+	}
+	for _, row := range r.Fig12 {
+		if err := rowApp("fig12", row.App); err != nil {
+			return err
+		}
+	}
+	for _, row := range r.Fig13 {
+		if err := rowApp("fig13", row.App); err != nil {
+			return err
+		}
+	}
+	for _, a := range r.Apps {
+		if !seen9[a] {
+			return fmt.Errorf("app %q has no fig9 row", a)
+		}
+	}
+	for _, fig := range figureNames {
+		tol, ok := r.Tol[fig]
+		if fig == "fig2" && len(r.Fig2) == 0 {
+			continue // fig2 only exists when bfs is covered
+		}
+		if !ok {
+			return fmt.Errorf("no tolerance entry for %s", fig)
+		}
+		if tol.Weight < 0 {
+			return fmt.Errorf("%s weight %v < 0", fig, tol.Weight)
+		}
+		if tol.TauMin == 0 && tol.RelErrMax == 0 && tol.DistMax == 0 {
+			return fmt.Errorf("%s tolerance has no usable bound", fig)
+		}
+	}
+	return nil
+}
+
+// FilterApps returns a copy of the table restricted to the given apps
+// (report order preserved), so a fast app-subset correlation check — the
+// benchguard stage runs one — scores only the rows it simulated. Unknown
+// apps in keep are an error; an empty keep returns the table unchanged.
+func (r *Reference) FilterApps(keep []string) (*Reference, error) {
+	if len(keep) == 0 {
+		return r, nil
+	}
+	want := map[string]bool{}
+	for _, a := range keep {
+		want[a] = true
+	}
+	covered := map[string]bool{}
+	for _, a := range r.Apps {
+		covered[a] = true
+	}
+	for _, a := range keep {
+		if !covered[a] {
+			return nil, fmt.Errorf("reference does not cover app %q (have %v)", a, r.Apps)
+		}
+	}
+	f := *r
+	f.Apps = nil
+	for _, a := range r.Apps {
+		if want[a] {
+			f.Apps = append(f.Apps, a)
+		}
+	}
+	f.Fig2, f.Fig9, f.Fig10, f.Fig11, f.Fig12, f.Fig13 = nil, nil, nil, nil, nil, nil
+	if want["bfs"] {
+		f.Fig2 = r.Fig2
+	}
+	for _, row := range r.Fig9 {
+		if want[row.App] {
+			f.Fig9 = append(f.Fig9, row)
+		}
+	}
+	for _, row := range r.Fig10 {
+		if want[row.App] {
+			f.Fig10 = append(f.Fig10, row)
+		}
+	}
+	for _, row := range r.Fig11 {
+		if want[row.App] {
+			f.Fig11 = append(f.Fig11, row)
+		}
+	}
+	for _, row := range r.Fig12 {
+		if want[row.App] {
+			f.Fig12 = append(f.Fig12, row)
+		}
+	}
+	for _, row := range r.Fig13 {
+		if want[row.App] {
+			f.Fig13 = append(f.Fig13, row)
+		}
+	}
+	return &f, nil
+}
+
+// ReadReference parses and validates a reference table.
+func ReadReference(rd io.Reader) (*Reference, error) {
+	var r Reference
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("validate: bad reference table: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("validate: invalid reference table: %w", err)
+	}
+	return &r, nil
+}
+
+// LoadReference reads the reference table at path.
+func LoadReference(path string) (*Reference, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := ReadReference(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// WriteJSON renders the table as indented JSON with a sorted, stable
+// field layout (maps encode with sorted keys), so regenerated tables
+// diff cleanly.
+func (r *Reference) WriteJSON(w io.Writer) error {
+	if r.Schema == "" {
+		r.Schema = ReferenceSchema
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// sortedFigureKeys returns m's keys in sorted order (deterministic
+// iteration for report assembly).
+func sortedFigureKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

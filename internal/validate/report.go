@@ -1,0 +1,220 @@
+// The pipette.correlation/v1 report schema: per-figure correlation
+// scores with pass/fail bands, the scalar weighted error, and (for
+// calibration runs) the fitted parameters and their sensitivities.
+// pipette-validate checks these documents the same way it checks run
+// reports; ValidateCorrelation is the shared entry point.
+package validate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Schema identifies correlation-report documents.
+const Schema = "pipette.correlation/v1"
+
+// RowDelta is one scored row: reference vs measured and the row's error
+// under the figure's metric (rel err or distance; Ref/Got are zero for
+// pure-distance rows).
+type RowDelta struct {
+	Row string  `json:"row"`
+	Ref float64 `json:"ref,omitempty"`
+	Got float64 `json:"got,omitempty"`
+	Err float64 `json:"err"`
+}
+
+// FigureScore is one figure×metric entry: the metric value against its
+// tolerance threshold, whether it passed, and the entry's normalized
+// contribution to the calibration objective.
+type FigureScore struct {
+	Figure    string     `json:"figure"`
+	Metric    string     `json:"metric"`
+	Value     float64    `json:"value"`
+	Threshold float64    `json:"threshold"`
+	Pass      bool       `json:"pass"`
+	Error     float64    `json:"error"`
+	Rows      []RowDelta `json:"rows,omitempty"`
+}
+
+// GridSpec is one calibrated parameter's search values.
+type GridSpec struct {
+	Param  string    `json:"param"`
+	Values []float64 `json:"values"`
+}
+
+// Sensitivity reports how the objective moves per unit of one parameter
+// around the fitted point: central finite differences of the weighted
+// error and of each figure's unweighted error term.
+type Sensitivity struct {
+	Param     string             `json:"param"`
+	Value     float64            `json:"value"` // fitted value
+	Step      float64            `json:"step"`  // differencing interval (hi - lo)
+	DError    float64            `json:"d_error"`
+	PerFigure map[string]float64 `json:"per_figure"`
+}
+
+// Calibration is the grid-search section of a calibrated report.
+type Calibration struct {
+	Grid          []GridSpec         `json:"grid"`
+	Points        int                `json:"points"`
+	BaselineError float64            `json:"baseline_error"` // objective of the uncalibrated config
+	Best          map[string]float64 `json:"best"`
+	BestError     float64            `json:"best_error"`
+	Sensitivity   []Sensitivity      `json:"sensitivity"`
+}
+
+// Report is the pipette.correlation/v1 document.
+type Report struct {
+	Schema        string        `json:"schema"`
+	Label         string        `json:"label,omitempty"`
+	Scale         string        `json:"scale"`
+	Apps          []string      `json:"apps"`
+	Figures       []FigureScore `json:"figures"`
+	WeightedError float64       `json:"weighted_error"`
+	Pass          bool          `json:"pass"`
+	Calibration   *Calibration  `json:"calibration,omitempty"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	if r.Schema == "" {
+		r.Schema = Schema
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// validate checks the report's internal consistency: known metrics,
+// pass flags that agree with value-vs-threshold, a Pass that is the
+// conjunction of entry passes, and a well-formed calibration section.
+func (r *Report) validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("unsupported correlation schema version %q (supported: %s)", r.Schema, Schema)
+	}
+	if r.Scale == "" {
+		return fmt.Errorf("report lacks a scale")
+	}
+	if len(r.Apps) == 0 {
+		return fmt.Errorf("report covers no apps")
+	}
+	if len(r.Figures) == 0 {
+		return fmt.Errorf("report has no figure scores")
+	}
+	if math.IsNaN(r.WeightedError) || math.IsInf(r.WeightedError, 0) || r.WeightedError < 0 {
+		return fmt.Errorf("weighted_error = %v", r.WeightedError)
+	}
+	allPass := true
+	for i, f := range r.Figures {
+		if f.Figure == "" {
+			return fmt.Errorf("figures[%d] lacks a figure name", i)
+		}
+		if math.IsNaN(f.Value) || math.IsInf(f.Value, 0) {
+			return fmt.Errorf("figures[%d] (%s/%s): value = %v", i, f.Figure, f.Metric, f.Value)
+		}
+		if f.Error < 0 || math.IsNaN(f.Error) || math.IsInf(f.Error, 0) {
+			return fmt.Errorf("figures[%d] (%s/%s): error = %v", i, f.Figure, f.Metric, f.Error)
+		}
+		var wantPass bool
+		switch f.Metric {
+		case MetricTau:
+			wantPass = f.Value >= f.Threshold
+		case MetricRelErr, MetricDist:
+			wantPass = f.Value <= f.Threshold
+		default:
+			return fmt.Errorf("figures[%d] (%s): unknown metric %q", i, f.Figure, f.Metric)
+		}
+		if f.Pass != wantPass {
+			return fmt.Errorf("figures[%d] (%s/%s): pass=%v contradicts value %v vs threshold %v",
+				i, f.Figure, f.Metric, f.Pass, f.Value, f.Threshold)
+		}
+		if !f.Pass {
+			allPass = false
+		}
+		for j, row := range f.Rows {
+			if row.Err < 0 || math.IsNaN(row.Err) {
+				return fmt.Errorf("figures[%d] (%s/%s) rows[%d]: err = %v", i, f.Figure, f.Metric, j, row.Err)
+			}
+		}
+	}
+	if r.Pass != allPass {
+		return fmt.Errorf("pass=%v contradicts figure passes", r.Pass)
+	}
+	return r.Calibration.validate()
+}
+
+func (c *Calibration) validate() error {
+	if c == nil {
+		return nil
+	}
+	if len(c.Grid) == 0 {
+		return fmt.Errorf("calibration has no grid")
+	}
+	gridVals := map[string][]float64{}
+	want := 1
+	for _, g := range c.Grid {
+		if g.Param == "" || len(g.Values) == 0 {
+			return fmt.Errorf("calibration grid entry %q has no values", g.Param)
+		}
+		gridVals[g.Param] = g.Values
+		want *= len(g.Values)
+	}
+	if c.Points != want {
+		return fmt.Errorf("calibration evaluated %d points, grid implies %d", c.Points, want)
+	}
+	if len(c.Best) != len(c.Grid) {
+		return fmt.Errorf("calibration best has %d params, grid %d", len(c.Best), len(c.Grid))
+	}
+	for p, v := range c.Best {
+		vals, ok := gridVals[p]
+		if !ok {
+			return fmt.Errorf("calibration best param %q not in grid", p)
+		}
+		found := false
+		for _, gv := range vals {
+			if gv == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("calibration best %s=%v not among grid values %v", p, v, vals)
+		}
+	}
+	if c.BestError < 0 || math.IsNaN(c.BestError) || c.BaselineError < 0 || math.IsNaN(c.BaselineError) {
+		return fmt.Errorf("calibration errors (best %v, baseline %v) invalid", c.BestError, c.BaselineError)
+	}
+	for i, s := range c.Sensitivity {
+		if _, ok := gridVals[s.Param]; !ok {
+			return fmt.Errorf("sensitivity[%d] param %q not in grid", i, s.Param)
+		}
+		if s.Step <= 0 {
+			return fmt.Errorf("sensitivity[%d] (%s): step = %v", i, s.Param, s.Step)
+		}
+		if math.IsNaN(s.DError) || math.IsInf(s.DError, 0) {
+			return fmt.Errorf("sensitivity[%d] (%s): d_error = %v", i, s.Param, s.DError)
+		}
+		if len(s.PerFigure) == 0 {
+			return fmt.Errorf("sensitivity[%d] (%s): no per-figure deltas", i, s.Param)
+		}
+	}
+	return nil
+}
+
+// ValidateCorrelation parses and checks one pipette.correlation/v1
+// document (unknown fields rejected). cmd/pipette-validate and the
+// golden-file test gate on it.
+func ValidateCorrelation(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("validate: bad correlation report: %w", err)
+	}
+	if err := r.validate(); err != nil {
+		return nil, fmt.Errorf("validate: invalid correlation report: %w", err)
+	}
+	return &r, nil
+}

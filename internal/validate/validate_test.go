@@ -1,0 +1,325 @@
+package validate
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"pipette/internal/harness"
+)
+
+// tinyBFS is the cheapest real matrix: tiny scale, bfs only. Results are
+// memoized per Config, so tests sharing a config pay for one sweep.
+func tinyBFS(t *testing.T) harness.Config {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("simulated matrix run; skipped in -short")
+	}
+	cfg := harness.Tiny()
+	cfg.AppFilter = "bfs"
+	return cfg
+}
+
+func evalOrDie(t *testing.T, cfg harness.Config) *harness.Eval {
+	t.Helper()
+	e, err := harness.Evaluate(cfg)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	return e
+}
+
+// TestReferenceRoundTrip builds a reference from a real matrix, writes it,
+// reads it back, and checks the self-score is a clean zero-error pass (the
+// determinism contract: unchanged model == exact reproduction).
+func TestReferenceRoundTrip(t *testing.T) {
+	cfg := tinyBFS(t)
+	e := evalOrDie(t, cfg)
+	ref, err := BuildReference(e, "tiny")
+	if err != nil {
+		t.Fatalf("BuildReference: %v", err)
+	}
+	if err := ref.Validate(); err != nil {
+		t.Fatalf("built reference invalid: %v", err)
+	}
+	if len(ref.Fig2) == 0 {
+		t.Fatalf("bfs reference lacks fig2 rows")
+	}
+	for _, row := range ref.Fig2 {
+		if row.Variant == "serial" && row.PaperIPC == 0 {
+			t.Errorf("fig2 serial row lost paper provenance: %+v", row)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := ref.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadReference(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadReference: %v", err)
+	}
+
+	rep, err := Score(e, back)
+	if err != nil {
+		t.Fatalf("Score: %v", err)
+	}
+	if !rep.Pass {
+		t.Errorf("self-score failed: %+v", rep.Figures)
+	}
+	if rep.WeightedError != 0 {
+		t.Errorf("self-score weighted error = %v, want 0", rep.WeightedError)
+	}
+	var out bytes.Buffer
+	if err := rep.WriteJSON(&out); err != nil {
+		t.Fatalf("report WriteJSON: %v", err)
+	}
+	if _, err := ValidateCorrelation(bytes.NewReader(out.Bytes())); err != nil {
+		t.Errorf("self-score report fails its own validator: %v", err)
+	}
+}
+
+func TestReferenceRejectsUnknownField(t *testing.T) {
+	_, err := ReadReference(strings.NewReader(`{"schema":"pipette.reference/v1","scale":"tiny","apps":["bfs"],"bogus":1}`))
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown field accepted: %v", err)
+	}
+}
+
+func TestReferenceFilterApps(t *testing.T) {
+	ref := &Reference{
+		Schema: ReferenceSchema, Scale: "tiny",
+		Apps: []string{"bfs", "cc"},
+		Fig2: []Fig2Row{{Variant: "serial", Speedup: 1, IPC: 0.4}},
+		Fig9: []Fig9Row{{App: "bfs", Pipette: 1.6, Streaming: 1.2}, {App: "cc", Pipette: 1.7, Streaming: 1.1}},
+		Fig10: []Fig10Row{
+			{App: "bfs", IPC: map[string]float64{"serial": 0.4}},
+			{App: "cc", IPC: map[string]float64{"serial": 0.5}},
+		},
+		Fig11: []Fig11Row{{App: "cc", Variant: "serial", Issue: 0.5, Backend: 0.5}},
+		Fig12: []Fig12Row{{App: "cc", Variant: "serial", Core: 0.5, Static: 0.5}},
+		Fig13: []Fig13Row{{App: "bfs", Input: "Rd", Pipette: 1.6}, {App: "cc", Input: "Rd", Pipette: 1.7}},
+		Tol:   DefaultTolerances(),
+	}
+	f, err := ref.FilterApps([]string{"cc"})
+	if err != nil {
+		t.Fatalf("FilterApps: %v", err)
+	}
+	if len(f.Apps) != 1 || f.Apps[0] != "cc" {
+		t.Errorf("apps = %v", f.Apps)
+	}
+	if len(f.Fig2) != 0 {
+		t.Errorf("fig2 kept without bfs: %v", f.Fig2)
+	}
+	if len(f.Fig9) != 1 || f.Fig9[0].App != "cc" {
+		t.Errorf("fig9 = %v", f.Fig9)
+	}
+	if len(f.Fig13) != 1 || f.Fig13[0].App != "cc" {
+		t.Errorf("fig13 = %v", f.Fig13)
+	}
+	if _, err := ref.FilterApps([]string{"silo"}); err == nil {
+		t.Errorf("filtering to an uncovered app succeeded")
+	}
+	// The original is untouched.
+	if len(ref.Fig9) != 2 {
+		t.Errorf("FilterApps mutated the source table")
+	}
+}
+
+// TestMisModeledConfigTripsCorrelation is the acceptance gate: a
+// deliberately mis-modeled simulator (doubled DRAM latency) must fail the
+// correlation check against a reference built from the true model.
+func TestMisModeledConfigTripsCorrelation(t *testing.T) {
+	cfg := tinyBFS(t)
+	ref, err := BuildReference(evalOrDie(t, cfg), "tiny")
+	if err != nil {
+		t.Fatalf("BuildReference: %v", err)
+	}
+
+	bad := cfg
+	bad.DRAMLat = 360 // double the 180-cycle default
+	rep, err := Score(evalOrDie(t, bad), ref)
+	if err != nil {
+		t.Fatalf("Score: %v", err)
+	}
+	if rep.Pass {
+		t.Fatalf("doubled DRAM latency passed correlation: %+v", rep.Figures)
+	}
+	if rep.WeightedError <= 0 {
+		t.Errorf("weighted error = %v, want > 0", rep.WeightedError)
+	}
+	tripped := map[string]bool{}
+	for _, f := range rep.Figures {
+		if !f.Pass {
+			tripped[f.Figure] = true
+		}
+	}
+	if len(tripped) == 0 {
+		t.Errorf("no figure tripped")
+	}
+	t.Logf("mis-model tripped figures: %v (weighted error %.4f)", tripped, rep.WeightedError)
+}
+
+// TestCalibrationRecoversPerturbedParam perturbs DRAM latency, then
+// grid-searches it back: the fitted value must match the reference's true
+// value and the sensitivity report must survive schema validation.
+func TestCalibrationRecoversPerturbedParam(t *testing.T) {
+	cfg := tinyBFS(t)
+	ref, err := BuildReference(evalOrDie(t, cfg), "tiny")
+	if err != nil {
+		t.Fatalf("BuildReference: %v", err)
+	}
+
+	base := cfg
+	base.DRAMLat = 360 // mis-modeled starting point
+	grid := []GridSpec{{Param: "dram", Values: []float64{90, 180, 360}}}
+	rep, err := Calibrate(base, ref, grid, nil)
+	if err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
+	cal := rep.Calibration
+	if cal == nil {
+		t.Fatalf("calibrated report lacks a calibration section")
+	}
+	if got := cal.Best["dram"]; got != 180 {
+		t.Errorf("fitted dram = %v, want 180 (the model default)", got)
+	}
+	if cal.BestError != 0 {
+		t.Errorf("best error = %v, want 0 (grid contains the true model)", cal.BestError)
+	}
+	if cal.BaselineError <= cal.BestError {
+		t.Errorf("baseline error %v not worse than fitted %v", cal.BaselineError, cal.BestError)
+	}
+	if !rep.Pass {
+		t.Errorf("fitted model fails correlation: %+v", rep.Figures)
+	}
+	if len(cal.Sensitivity) != 1 {
+		t.Fatalf("sensitivity entries = %v, want 1", cal.Sensitivity)
+	}
+	s := cal.Sensitivity[0]
+	if s.Param != "dram" || s.Value != 180 || s.Step != 270 {
+		t.Errorf("sensitivity = %+v", s)
+	}
+	// The slope's sign depends on which side of the optimum hurts more;
+	// only finiteness and non-degeneracy are guaranteed.
+	if s.DError == 0 || math.IsInf(s.DError, 0) || math.IsNaN(s.DError) {
+		t.Errorf("d_error = %v, want finite nonzero", s.DError)
+	}
+	if len(s.PerFigure) == 0 {
+		t.Errorf("sensitivity has no per-figure deltas")
+	}
+
+	var out bytes.Buffer
+	if err := rep.WriteJSON(&out); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if _, err := ValidateCorrelation(bytes.NewReader(out.Bytes())); err != nil {
+		t.Errorf("calibrated report fails schema validation: %v", err)
+	}
+}
+
+func TestCalibrateRejectsBadGrids(t *testing.T) {
+	ref := &Reference{Schema: ReferenceSchema, Scale: "tiny", Apps: []string{"bfs"}}
+	if _, err := Calibrate(harness.Tiny(), ref, nil, nil); err == nil {
+		t.Errorf("empty grid accepted")
+	}
+	if _, err := Calibrate(harness.Tiny(), ref, []GridSpec{{Param: "warp", Values: []float64{1}}}, nil); err == nil {
+		t.Errorf("unknown parameter accepted")
+	}
+	big := make([]float64, 300)
+	for i := range big {
+		big[i] = float64(i + 1)
+	}
+	if _, err := Calibrate(harness.Tiny(), ref, []GridSpec{{Param: "dram", Values: big}}, nil); err == nil {
+		t.Errorf("oversized grid accepted")
+	}
+}
+
+func TestApplyParam(t *testing.T) {
+	var cfg harness.Config
+	if err := ApplyParam(&cfg, "dram", 240); err != nil {
+		t.Fatalf("ApplyParam: %v", err)
+	}
+	if cfg.DRAMLat != 240 {
+		t.Errorf("DRAMLat = %v", cfg.DRAMLat)
+	}
+	if err := ApplyParam(&cfg, "dram", 0); err == nil {
+		t.Errorf("zero latency accepted")
+	}
+	if err := ApplyParam(&cfg, "dram", 1.5); err == nil {
+		t.Errorf("fractional latency accepted")
+	}
+	if err := ApplyParam(&cfg, "warp", 1); err == nil {
+		t.Errorf("unknown parameter accepted")
+	}
+}
+
+// TestCorrelationGolden pins the pipette.correlation/v1 wire format: the
+// committed golden document must keep validating, and version or field
+// drift must be rejected.
+func TestCorrelationGolden(t *testing.T) {
+	raw, err := os.ReadFile("testdata/correlation_golden.json")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	rep, err := ValidateCorrelation(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("golden report rejected: %v", err)
+	}
+	if !rep.Pass || rep.Scale != "tiny" || rep.Calibration == nil {
+		t.Errorf("golden parsed oddly: pass=%v scale=%q cal=%v", rep.Pass, rep.Scale, rep.Calibration)
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("unmarshal golden: %v", err)
+	}
+	mutate := func(f func(map[string]any)) []byte {
+		var clone map[string]any
+		b, _ := json.Marshal(doc)
+		json.Unmarshal(b, &clone)
+		f(clone)
+		out, _ := json.Marshal(clone)
+		return out
+	}
+
+	bad := mutate(func(m map[string]any) { m["schema"] = "pipette.correlation/v99" })
+	if _, err := ValidateCorrelation(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "v99") {
+		t.Errorf("unknown schema version accepted: %v", err)
+	}
+	bad = mutate(func(m map[string]any) { m["surprise"] = true })
+	if _, err := ValidateCorrelation(bytes.NewReader(bad)); err == nil {
+		t.Errorf("unknown field accepted")
+	}
+	bad = mutate(func(m map[string]any) { m["pass"] = false })
+	if _, err := ValidateCorrelation(bytes.NewReader(bad)); err == nil {
+		t.Errorf("pass/figures contradiction accepted")
+	}
+	bad = mutate(func(m map[string]any) {
+		cal := m["calibration"].(map[string]any)
+		cal["points"] = 7.0
+	})
+	if _, err := ValidateCorrelation(bytes.NewReader(bad)); err == nil {
+		t.Errorf("inconsistent calibration point count accepted")
+	}
+	bad = mutate(func(m map[string]any) {
+		cal := m["calibration"].(map[string]any)
+		cal["best"] = map[string]any{"dram": 123.0}
+	})
+	if _, err := ValidateCorrelation(bytes.NewReader(bad)); err == nil {
+		t.Errorf("off-grid best value accepted")
+	}
+}
+
+// TestScoreAppMismatch: scoring a run against a reference covering
+// different apps must error loudly, not silently skip rows.
+func TestScoreAppMismatch(t *testing.T) {
+	meas := &Reference{Schema: ReferenceSchema, Scale: "tiny", Apps: []string{"bfs"}}
+	ref := &Reference{Schema: ReferenceSchema, Scale: "tiny", Apps: []string{"bfs", "cc"}}
+	if _, err := scoreRows(meas, ref); err == nil || !strings.Contains(err.Error(), "filter") {
+		t.Fatalf("app mismatch not flagged: %v", err)
+	}
+}

@@ -1,24 +1,32 @@
 #!/bin/sh
-# Benchmark-regression guard. Runs the telemetry-overhead benchmark (the
-# disabled-telemetry hot path), the profile-overhead pair (cycle accounting
-# disabled and enabled), the sweep-throughput benchmark, and the
-# simulation-kernel throughput bench (pipette-kernelbench on the bfs/prd
-# rows), then fails if any number exceeds its ceiling in
-# build/baselines/bench_thresholds.txt / kernel_thresholds.txt.
+# Benchmark-regression + model-fidelity guard. Runs the telemetry-overhead
+# benchmark (the disabled-telemetry hot path), the profile-overhead pair
+# (cycle accounting disabled and enabled), the sweep-throughput benchmark,
+# and the simulation-kernel throughput bench (pipette-kernelbench on the
+# bfs/prd rows), then fails if any number exceeds its ceiling in
+# build/baselines/bench_thresholds.txt / kernel_thresholds.txt. Finally it
+# scores a cheap app subset against the committed model-fidelity reference
+# (build/baselines/paper_reference.json, see docs/VALIDATION.md) — the
+# full-matrix correlation gate lives in CI's validate job.
 #
-# Thresholds are deliberately loose (4x a measured run; fast-forward speedup
-# floors at half measured) so shared-runner noise cannot trip them: a trip
-# means a real, large regression. To re-baseline after an intentional
-# performance change:
+# Threshold logic lives in scripts/benchlib.sh, unit-tested by
+# scripts/benchguard_test.sh. Thresholds are deliberately loose (4x a
+# measured run; fast-forward speedup floors at half measured) so
+# shared-runner noise cannot trip them: a trip means a real, large
+# regression. To re-baseline after an intentional performance change:
 #
 #	scripts/benchguard.sh -update   # rewrites thresholds at 4x measured
 #
-# and commit the updated build/baselines/ files.
+# and commit the updated build/baselines/ files. (-update does NOT touch
+# the model-fidelity reference; that re-baselines via
+# pipette-calibrate -write-ref after an intentional model change.)
 set -eu
 
 cd "$(dirname "$0")/.."
+. scripts/benchlib.sh
 base=build/baselines/bench_thresholds.txt
 kernelbase=build/baselines/kernel_thresholds.txt
+reference=build/baselines/paper_reference.json
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
@@ -28,41 +36,32 @@ trap 'rm -f "$tmp"' EXIT
 } | tee /dev/stderr | awk '/^Benchmark/ { sub(/-[0-9]+$/, "", $1); print $1, $3 }' >"$tmp"
 
 if [ "${1:-}" = "-update" ]; then
-	mkdir -p build/baselines
-	{
-		echo "# Benchmark-regression thresholds: max allowed ns/op per benchmark."
-		echo "# Loose ceilings (4x measured) so runner noise cannot trip them."
-		echo "# Regenerate with scripts/benchguard.sh -update; see docs/SWEEP.md."
-		awk '{ printf "%s %d\n", $1, $2 * 4 }' "$tmp"
-	} >"$base"
+	bench_write_thresholds "$tmp" "$base" 4
 	echo "benchguard: thresholds rewritten:"
 	cat "$base"
 	go run ./cmd/pipette-kernelbench -apps bfs,prd -update-baseline "$kernelbase"
 	exit 0
 fi
 
-if [ ! -f "$base" ]; then
-	echo "benchguard: missing $base (run scripts/benchguard.sh -update)" >&2
-	exit 1
-fi
-
 fail=0
-while read -r name ns; do
-	limit=$(awk -v n="$name" '$1 == n { print $2 }' "$base")
-	if [ -z "$limit" ]; then
-		echo "benchguard: no threshold for $name (run scripts/benchguard.sh -update)" >&2
-		fail=1
-	elif [ "$(awk -v a="$ns" -v b="$limit" 'BEGIN { print (a > b) ? 1 : 0 }')" = 1 ]; then
-		echo "benchguard: FAIL $name: $ns ns/op exceeds threshold $limit" >&2
-		fail=1
-	else
-		echo "benchguard: ok $name ($ns ns/op <= $limit)"
-	fi
-done <"$tmp"
+bench_check_thresholds "$tmp" "$base" || fail=1
 
 # Kernel throughput: ticked ns/cycle ceilings and fast-forward speedup
 # floors on the bfs/prd rows (see cmd/pipette-kernelbench).
 if ! go run ./cmd/pipette-kernelbench -apps bfs,prd -check "$kernelbase"; then
+	fail=1
+fi
+
+# Model-fidelity correlation on a cheap subset: the tiny bfs+silo rows
+# scored against the committed reference must stay inside their tolerance
+# bands (deterministic simulation: an unchanged model scores zero error).
+if [ ! -f "$reference" ]; then
+	echo "benchguard: missing $reference (run: go run ./cmd/pipette-calibrate -tiny -write-ref)" >&2
+	fail=1
+elif ! go run ./cmd/pipette-calibrate -tiny -apps bfs,silo -quiet \
+	-sweep-cache build/sweepcache -ref "$reference" -check \
+	-out build/smoke/correlation_subset.json; then
+	echo "benchguard: model-fidelity correlation failed (see docs/VALIDATION.md)" >&2
 	fail=1
 fi
 exit "$fail"

@@ -1,0 +1,127 @@
+#!/bin/sh
+# Unit tests for scripts/benchlib.sh (the benchguard threshold logic),
+# driven entirely on synthetic files — no Go benchmarks run. CI's validate
+# job executes this; run it locally after touching benchlib.sh.
+set -eu
+
+cd "$(dirname "$0")/.."
+. scripts/benchlib.sh
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+pass=0 fail=0
+
+ok() {
+	echo "ok   $1"
+	pass=$((pass + 1))
+}
+
+bad() {
+	echo "FAIL $1" >&2
+	fail=$((fail + 1))
+}
+
+# -update path: thresholds written at the factor with the header.
+cat >"$tmp/meas" <<'EOF'
+BenchmarkTelemetryOverheadOff 1000
+BenchmarkSweepThroughput 250
+EOF
+bench_write_thresholds "$tmp/meas" "$tmp/base" 4
+if grep -q '^BenchmarkTelemetryOverheadOff 4000$' "$tmp/base" &&
+	grep -q '^BenchmarkSweepThroughput 1000$' "$tmp/base" &&
+	head -1 "$tmp/base" | grep -q '^#'; then
+	ok "update writes factored thresholds with header"
+else
+	bad "update writes factored thresholds with header"
+	cat "$tmp/base" >&2
+fi
+
+# Clean pass: measured below every ceiling.
+if bench_check_thresholds "$tmp/meas" "$tmp/base" >"$tmp/out" 2>&1; then
+	ok "within-ceiling measurements pass"
+else
+	bad "within-ceiling measurements pass"
+	cat "$tmp/out" >&2
+fi
+
+# Missing baseline file: loud failure pointing at -update.
+if bench_check_thresholds "$tmp/meas" "$tmp/nosuch" >"$tmp/out" 2>&1; then
+	bad "missing baseline rejected"
+else
+	if grep -q 'missing.*-update' "$tmp/out"; then
+		ok "missing baseline rejected"
+	else
+		bad "missing baseline rejected (wrong message: $(cat "$tmp/out"))"
+	fi
+fi
+
+# Ceiling trip: one benchmark regresses past its threshold.
+cat >"$tmp/meas_slow" <<'EOF'
+BenchmarkTelemetryOverheadOff 9000
+BenchmarkSweepThroughput 250
+EOF
+if bench_check_thresholds "$tmp/meas_slow" "$tmp/base" >"$tmp/out" 2>&1; then
+	bad "ceiling trip fails the check"
+else
+	if grep -q 'FAIL BenchmarkTelemetryOverheadOff: 9000' "$tmp/out" &&
+		grep -q 'ok BenchmarkSweepThroughput' "$tmp/out"; then
+		ok "ceiling trip fails the check"
+	else
+		bad "ceiling trip fails the check (output: $(cat "$tmp/out"))"
+	fi
+fi
+
+# Unknown benchmark: measured name absent from the baseline.
+cat >"$tmp/meas_new" <<'EOF'
+BenchmarkBrandNew 10
+EOF
+if bench_check_thresholds "$tmp/meas_new" "$tmp/base" >"$tmp/out" 2>&1; then
+	bad "missing threshold entry rejected"
+else
+	if grep -q 'no threshold for BenchmarkBrandNew' "$tmp/out"; then
+		ok "missing threshold entry rejected"
+	else
+		bad "missing threshold entry rejected (output: $(cat "$tmp/out"))"
+	fi
+fi
+
+# Malformed threshold: a non-numeric ceiling must abort (exit 2), not
+# silently pass or count as a mere regression.
+cat >"$tmp/base_bad" <<'EOF'
+# header
+BenchmarkTelemetryOverheadOff oops
+EOF
+cat >"$tmp/meas_one" <<'EOF'
+BenchmarkTelemetryOverheadOff 1000
+EOF
+rc=0
+(bench_check_thresholds "$tmp/meas_one" "$tmp/base_bad") >"$tmp/out" 2>&1 || rc=$?
+if [ "$rc" = 2 ] && grep -q 'malformed threshold' "$tmp/out"; then
+	ok "malformed threshold fails loudly"
+else
+	bad "malformed threshold fails loudly (rc=$rc, output: $(cat "$tmp/out"))"
+fi
+
+# Malformed measured line: junk from the benchmark pipeline must abort too.
+cat >"$tmp/meas_bad" <<'EOF'
+BenchmarkTelemetryOverheadOff not-a-number
+EOF
+rc=0
+(bench_check_thresholds "$tmp/meas_bad" "$tmp/base") >"$tmp/out" 2>&1 || rc=$?
+if [ "$rc" = 2 ] && grep -q 'malformed measured line' "$tmp/out"; then
+	ok "malformed measured line fails loudly"
+else
+	bad "malformed measured line fails loudly (rc=$rc, output: $(cat "$tmp/out"))"
+fi
+
+# And -update must refuse to bake a corrupt baseline from it.
+rc=0
+(bench_write_thresholds "$tmp/meas_bad" "$tmp/base_new" 4) >"$tmp/out" 2>&1 || rc=$?
+if [ "$rc" = 2 ] && [ ! -f "$tmp/base_new" ]; then
+	ok "update refuses malformed measurements"
+else
+	bad "update refuses malformed measurements (rc=$rc)"
+fi
+
+echo "benchguard_test: $pass passed, $fail failed"
+[ "$fail" = 0 ]

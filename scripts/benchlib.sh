@@ -1,0 +1,88 @@
+# Threshold parsing/checking shared by benchguard.sh and its test suite
+# (scripts/benchguard_test.sh). POSIX sh, sourced — no side effects.
+#
+# Measured files hold "name ns" pairs (one benchmark per line); baseline
+# files hold the same shape plus '#' comment lines. Every consumer fails
+# loudly on malformed input: a threshold that doesn't parse is a broken
+# gate, not a pass.
+
+# bench_is_number VALUE — accept integers and awk-style decimals.
+bench_is_number() {
+	case "$1" in
+	'' | *[!0-9.]* | *.*.*) return 1 ;;
+	esac
+	return 0
+}
+
+# bench_lookup_threshold NAME BASELINE_FILE — print NAME's ceiling.
+# Returns 1 (nothing printed) when NAME has no entry; exits 2 on a
+# malformed entry so a corrupt baseline cannot silently pass.
+bench_lookup_threshold() {
+	_name=$1 _base=$2
+	_limit=$(awk -v n="$_name" '$1 !~ /^#/ && $1 == n { print $2; exit }' "$_base")
+	if [ -z "$_limit" ]; then
+		return 1
+	fi
+	if ! bench_is_number "$_limit"; then
+		echo "benchguard: malformed threshold for $_name in $_base: '$_limit'" >&2
+		exit 2
+	fi
+	printf '%s\n' "$_limit"
+}
+
+# bench_check_thresholds MEASURED_FILE BASELINE_FILE — compare every
+# measured "name ns" line against its ceiling. Prints a verdict per
+# benchmark; returns 1 if any benchmark has no threshold or exceeds it,
+# exits 2 on malformed measured or baseline lines.
+bench_check_thresholds() {
+	_meas=$1 _base=$2
+	if [ ! -f "$_base" ]; then
+		echo "benchguard: missing $_base (run scripts/benchguard.sh -update)" >&2
+		return 1
+	fi
+	_fail=0
+	while read -r _n _ns _rest; do
+		[ -n "$_n" ] || continue
+		if [ -n "$_rest" ] || ! bench_is_number "$_ns"; then
+			echo "benchguard: malformed measured line '$_n $_ns $_rest' in $_meas" >&2
+			exit 2
+		fi
+		_rc=0
+		_limit=$(bench_lookup_threshold "$_n" "$_base") || _rc=$?
+		# The lookup runs in a subshell: re-raise its malformed-entry abort.
+		if [ "$_rc" = 2 ]; then
+			exit 2
+		fi
+		if [ "$_rc" != 0 ]; then
+			echo "benchguard: no threshold for $_n (run scripts/benchguard.sh -update)" >&2
+			_fail=1
+		elif [ "$(awk -v a="$_ns" -v b="$_limit" 'BEGIN { print (a > b) ? 1 : 0 }')" = 1 ]; then
+			echo "benchguard: FAIL $_n: $_ns ns/op exceeds threshold $_limit" >&2
+			_fail=1
+		else
+			echo "benchguard: ok $_n ($_ns ns/op <= $_limit)"
+		fi
+	done <"$_meas"
+	return "$_fail"
+}
+
+# bench_write_thresholds MEASURED_FILE BASELINE_FILE FACTOR — rewrite the
+# baseline at FACTOR x measured with the standard header. Exits 2 on
+# malformed measured lines (never bake a corrupt baseline).
+bench_write_thresholds() {
+	_meas=$1 _base=$2 _factor=$3
+	while read -r _n _ns _rest; do
+		[ -n "$_n" ] || continue
+		if [ -n "$_rest" ] || ! bench_is_number "$_ns"; then
+			echo "benchguard: malformed measured line '$_n $_ns $_rest' in $_meas" >&2
+			exit 2
+		fi
+	done <"$_meas"
+	mkdir -p "$(dirname "$_base")"
+	{
+		echo "# Benchmark-regression thresholds: max allowed ns/op per benchmark."
+		echo "# Loose ceilings (${_factor}x measured) so runner noise cannot trip them."
+		echo "# Regenerate with scripts/benchguard.sh -update; see docs/SWEEP.md."
+		awk -v f="$_factor" '{ printf "%s %d\n", $1, $2 * f }' "$_meas"
+	} >"$_base"
+}

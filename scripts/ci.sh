@@ -3,15 +3,33 @@
 # whose artifacts must validate against the schemas + a sharded sweep
 # smoke exercising the parallel evaluation engine + a checkpoint/diverge
 # smoke (resume fidelity and divergence bisection) + a cycle-accounting
-# smoke (profiled v2 report validates; live -http endpoint answers) + the
-# benchmark regression guard. Individual stages run via:
+# smoke (profiled v2 report validates; live -http endpoint answers) + a
+# stale-artifact gate on the committed tiny-scale experiments transcript +
+# the benchmark regression guard (which ends with a subset model-fidelity
+# correlation check; the full-matrix gate is the 'correlation' stage, run
+# by CI's validate job). Individual stages run via:
 #
-#	scripts/ci.sh lint | smoke | sweep-smoke | diverge-smoke | profile-smoke | bench
+#	scripts/ci.sh lint | smoke | sweep-smoke | diverge-smoke | profile-smoke |
+#	               experiments-check | correlation | benchguard-test | bench
 set -eu
 
 cd "$(dirname "$0")/.."
 out=build/smoke
+bin=build/bin
 mkdir -p "$out"
+
+# All stages share one tool-build pass (go's build cache makes repeats
+# cheap, but the stage logs stay honest about what ran).
+tools_built=0
+tools() {
+	if [ "$tools_built" = 1 ]; then
+		return 0
+	fi
+	echo "== build tools =="
+	mkdir -p "$bin"
+	go build -o "$bin/" ./cmd/...
+	tools_built=1
+}
 
 lint() {
 	echo "== gofmt =="
@@ -27,12 +45,11 @@ lint() {
 
 smoke() {
 	echo "== smoke: pipette-sim bfs/pipette with telemetry =="
-	go build -o "$out/pipette-sim" ./cmd/pipette-sim
-	go build -o "$out/pipette-validate" ./cmd/pipette-validate
-	"$out/pipette-sim" -app bfs -variant pipette -json \
+	tools
+	"$bin/pipette-sim" -app bfs -variant pipette -json \
 		-trace-out "$out/trace.json" -metrics-out "$out/metrics.csv" \
 		>"$out/report.json"
-	"$out/pipette-validate" -min-trace-cats 3 \
+	"$bin/pipette-validate" -min-trace-cats 3 \
 		"$out/report.json" "$out/trace.json" "$out/metrics.csv"
 	echo "smoke OK"
 }
@@ -42,22 +59,21 @@ smoke() {
 # cache; every emitted run set must validate against pipette.runset/v1.
 sweep_smoke() {
 	echo "== sweep smoke: sharded parallel evaluation =="
-	go build -o "$out/pipette-bench" ./cmd/pipette-bench
-	go build -o "$out/pipette-validate" ./cmd/pipette-validate
+	tools
 	cachedir="$out/sweepcache"
 	rm -rf "$cachedir"
-	"$out/pipette-bench" -sweep -tiny -apps silo,spmm -jobs 2 -quiet \
+	"$bin/pipette-bench" -sweep -tiny -apps silo,spmm -jobs 2 -quiet \
 		-shard 0/2 -sweep-cache "$cachedir" -report-out "$out/shard0.json"
-	"$out/pipette-bench" -sweep -tiny -apps silo,spmm -jobs 2 -quiet \
+	"$bin/pipette-bench" -sweep -tiny -apps silo,spmm -jobs 2 -quiet \
 		-shard 1/2 -sweep-cache "$cachedir" -report-out "$out/shard1.json"
-	"$out/pipette-bench" -sweep -tiny -apps silo,spmm -jobs 2 -quiet \
+	"$bin/pipette-bench" -sweep -tiny -apps silo,spmm -jobs 2 -quiet \
 		-sweep-cache "$cachedir" -report-out "$out/warm.json" |
 		tee "$out/warm.txt"
 	grep -q " 0 computed," "$out/warm.txt" || {
 		echo "sweep smoke: warm run recomputed cells" >&2
 		exit 1
 	}
-	"$out/pipette-validate" "$out/shard0.json" "$out/shard1.json" "$out/warm.json"
+	"$bin/pipette-validate" "$out/shard0.json" "$out/shard1.json" "$out/warm.json"
 	echo "sweep smoke OK"
 }
 
@@ -68,19 +84,18 @@ sweep_smoke() {
 # share a config.
 diverge_smoke() {
 	echo "== diverge smoke: checkpoint resume + divergence bisection =="
-	go build -o "$out/pipette-sim" ./cmd/pipette-sim
-	go build -o "$out/pipette-diverge" ./cmd/pipette-diverge
+	tools
 	snap="$out/cc.snap"
 	rm -f "$snap"
-	"$out/pipette-sim" -app cc -variant pipette -input Co \
+	"$bin/pipette-sim" -app cc -variant pipette -input Co \
 		-checkpoint-every 50000 -checkpoint-out "$snap" \
 		>"$out/ckpt-full.txt" 2>/dev/null
-	"$out/pipette-sim" -resume "$snap" >"$out/ckpt-resumed.txt" 2>/dev/null
+	"$bin/pipette-sim" -resume "$snap" >"$out/ckpt-resumed.txt" 2>/dev/null
 	cmp "$out/ckpt-full.txt" "$out/ckpt-resumed.txt" || {
 		echo "diverge smoke: resumed stdout differs from uninterrupted run" >&2
 		exit 1
 	}
-	"$out/pipette-diverge" -snapshot "$snap" -b Cache.DRAMLat=200 \
+	"$bin/pipette-diverge" -snapshot "$snap" -b Cache.DRAMLat=200 \
 		>"$out/diverge.txt"
 	grep -q "first divergence at cycle" "$out/diverge.txt" || {
 		echo "diverge smoke: no divergence found for a DRAM latency change" >&2
@@ -91,7 +106,7 @@ diverge_smoke() {
 		echo "diverge smoke: missing machine-state diff" >&2
 		exit 1
 	}
-	"$out/pipette-diverge" -snapshot "$snap" >"$out/diverge-same.txt"
+	"$bin/pipette-diverge" -snapshot "$snap" >"$out/diverge-same.txt"
 	grep -q "no divergence" "$out/diverge-same.txt" || {
 		echo "diverge smoke: identical configs reported a divergence" >&2
 		cat "$out/diverge-same.txt" >&2
@@ -106,17 +121,16 @@ diverge_smoke() {
 # while a run is held open (docs/PROFILING.md).
 profile_smoke() {
 	echo "== profile smoke: cycle accounting + live endpoint =="
-	go build -o "$out/pipette-sim" ./cmd/pipette-sim
-	go build -o "$out/pipette-validate" ./cmd/pipette-validate
-	"$out/pipette-sim" -app cc -variant pipette -input Co -profile -json \
+	tools
+	"$bin/pipette-sim" -app cc -variant pipette -input Co -profile -json \
 		>"$out/profiled.json" 2>/dev/null
 	grep -q '"cpi_stacks"' "$out/profiled.json" || {
 		echo "profile smoke: report lacks cpi_stacks" >&2
 		exit 1
 	}
-	"$out/pipette-validate" "$out/profiled.json"
+	"$bin/pipette-validate" "$out/profiled.json"
 
-	"$out/pipette-sim" -app bfs -variant pipette -input Rd \
+	"$bin/pipette-sim" -app bfs -variant pipette -input Rd \
 		-http 127.0.0.1:18080 -http-hold 30s >/dev/null 2>&1 &
 	simpid=$!
 	# Snapshots are pushed at segment boundaries, so poll until the first
@@ -150,6 +164,67 @@ profile_smoke() {
 	echo "profile smoke OK"
 }
 
+# Stale-artifact gate: the committed tiny-scale experiments transcript
+# (experiments_output_tiny.txt, stdout only — timing lines go to stderr)
+# must match a fresh regeneration byte for byte, and its section titles
+# must agree with the default-scale transcript so the two never drift
+# apart in coverage. Regenerate after an intentional model change with:
+#
+#	make experiments-regen   # then commit experiments_output_tiny.txt
+experiments_check() {
+	echo "== experiments-check: tiny transcript regeneration =="
+	tools
+	"$bin/pipette-bench" -exp all -tiny -jobs "${JOBS:-2}" -quiet \
+		-sweep-cache build/sweepcache >"$out/experiments_tiny.txt"
+	cmp experiments_output_tiny.txt "$out/experiments_tiny.txt" || {
+		echo "experiments-check: committed experiments_output_tiny.txt is stale" >&2
+		echo "experiments-check: regenerate with 'make experiments-regen' and commit it" >&2
+		diff experiments_output_tiny.txt "$out/experiments_tiny.txt" | head -40 >&2 || true
+		exit 1
+	}
+	grep '^== ' experiments_output.txt | sort -u >"$out/sections_default.txt"
+	grep '^== ' experiments_output_tiny.txt | sort -u >"$out/sections_tiny.txt"
+	cmp "$out/sections_default.txt" "$out/sections_tiny.txt" || {
+		echo "experiments-check: tiny and default transcripts cover different sections" >&2
+		diff "$out/sections_default.txt" "$out/sections_tiny.txt" >&2 || true
+		exit 1
+	}
+	echo "experiments-check OK"
+}
+
+# Model-fidelity correlation gate (docs/VALIDATION.md): the full tiny
+# matrix scored against the committed reference must pass its tolerance
+# bands and the emitted report must validate; a deliberately mis-modeled
+# run (doubled DRAM latency) must fail the same gate; and a small
+# calibration grid must recover the default DRAM latency from the
+# perturbed starting point, with a schema-valid sensitivity report.
+correlation() {
+	echo "== correlation: model fidelity vs committed reference =="
+	tools
+	ref=build/baselines/paper_reference.json
+	"$bin/pipette-calibrate" -tiny -jobs "${JOBS:-2}" -quiet \
+		-sweep-cache build/sweepcache -ref "$ref" -check \
+		-out "$out/correlation.json"
+	"$bin/pipette-validate" "$out/correlation.json"
+	if "$bin/pipette-calibrate" -tiny -jobs "${JOBS:-2}" -quiet \
+		-sweep-cache build/sweepcache -ref "$ref" -set dram=360 -check \
+		-out "$out/correlation_mismodel.json"; then
+		echo "correlation: doubled DRAM latency PASSED the gate (tolerances too loose?)" >&2
+		exit 1
+	fi
+	echo "correlation: mis-modeled config tripped the gate, as it must"
+	"$bin/pipette-calibrate" -tiny -apps bfs -jobs "${JOBS:-2}" -quiet \
+		-sweep-cache build/sweepcache -ref "$ref" -set dram=360 \
+		-calibrate 'dram=90,180,360' -out "$out/calibration.json"
+	"$bin/pipette-validate" "$out/calibration.json"
+	grep -q '"dram": 180' "$out/calibration.json" || {
+		echo "correlation: calibration did not recover dram=180" >&2
+		grep -A3 '"best"' "$out/calibration.json" >&2 || true
+		exit 1
+	}
+	echo "correlation OK"
+}
+
 case "${1:-}" in
 lint)
 	lint
@@ -171,6 +246,18 @@ profile-smoke)
 	profile_smoke
 	exit 0
 	;;
+experiments-check)
+	experiments_check
+	exit 0
+	;;
+correlation)
+	correlation
+	exit 0
+	;;
+benchguard-test)
+	./scripts/benchguard_test.sh
+	exit 0
+	;;
 bench)
 	./scripts/benchguard.sh
 	exit 0
@@ -190,6 +277,8 @@ smoke
 sweep_smoke
 diverge_smoke
 profile_smoke
+./scripts/benchguard_test.sh
+experiments_check
 echo "== benchmark regression guard =="
 ./scripts/benchguard.sh
 echo "CI OK"
