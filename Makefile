@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tools lint vet test race smoke sweep-smoke diverge-smoke profile-smoke bench benchguard benchguard-test experiments-check experiments-regen correlation write-ref perfbench rebaseline ci clean
+.PHONY: all build tools lint vet test race smoke sweep-smoke diverge-smoke profile-smoke serve-smoke bench benchguard benchguard-test experiments-check experiments-regen correlation write-ref perfbench rebaseline ci clean
 
 all: build
 
@@ -48,6 +48,12 @@ diverge-smoke:
 # /debug/vars mid-run (see docs/PROFILING.md).
 profile-smoke:
 	./scripts/ci.sh profile-smoke
+
+# Simulation-service smoke: pipette-server lifecycle — load-verified
+# multi-tenant jobs, record validation, SIGTERM drain, and restart-resume
+# of a hand-seeded queued job (see docs/SERVER.md).
+serve-smoke:
+	./scripts/ci.sh serve-smoke
 
 bench:
 	$(GO) test -bench='TelemetryOverhead|ProfileOverhead' -benchtime=2x -run ^$$ .

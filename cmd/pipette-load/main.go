@@ -1,0 +1,238 @@
+// Command pipette-load drives a running pipette-server with a multi-
+// tenant job mix and verifies the results. It enumerates the evaluation
+// matrix for the requested configuration, submits -jobs jobs per tenant
+// (duplicates on purpose, so the server's single-flight dedup and result
+// cache both get exercised), polls every job to a terminal state, and —
+// unless -verify=false — recomputes each distinct cell with a direct
+// in-process harness run and demands byte-identical payloads. The exit
+// status is the verdict, so CI can gate on it (scripts/ci.sh serve-smoke).
+//
+// Usage:
+//
+//	pipette-server -addr :8080 -data build/server &
+//	pipette-load -addr http://localhost:8080 -tenants 3 -jobs 12 -apps silo -tiny
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pipette/internal/harness"
+	"pipette/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "pipette-server base URL")
+	tenants := flag.Int("tenants", 3, "number of tenants")
+	jobs := flag.Int("jobs", 12, "jobs submitted per tenant")
+	tiny := flag.Bool("tiny", true, "use the tiny-scale configuration")
+	apps := flag.String("apps", "silo", "AppFilter for the job configuration (\"\" = all apps)")
+	seed := flag.Int64("seed", 1, "RNG seed for the job mix")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall deadline")
+	verify := flag.Bool("verify", true, "recompute each distinct cell in-process and compare")
+	flag.Parse()
+
+	if err := run(*addr, *tenants, *jobs, *tiny, *apps, *seed, *timeout, *verify); err != nil {
+		fmt.Fprintf(os.Stderr, "pipette-load: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, tenants, jobsPer int, tiny bool, apps string, seed int64, timeout time.Duration, verify bool) error {
+	cfg := harness.Default()
+	if tiny {
+		cfg = harness.Tiny()
+	}
+	cfg.AppFilter = apps
+	keys, _ := cfg.Matrix()
+	if len(keys) == 0 {
+		return fmt.Errorf("configuration has an empty evaluation matrix")
+	}
+	deadline := time.Now().Add(timeout)
+
+	// Submit the mix: tenants in parallel, each with a seeded stream of
+	// cells so the mix is reproducible and contains duplicates.
+	var (
+		mu        sync.Mutex
+		submitted = map[string]harness.Key{} // job id -> key
+		retried   atomic.Int64
+		wg        sync.WaitGroup
+		errc      = make(chan error, tenants)
+	)
+	for t := 0; t < tenants; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(t)))
+			tenant := fmt.Sprintf("load-%02d", t)
+			for i := 0; i < jobsPer; i++ {
+				key := keys[rng.Intn(len(keys))]
+				id, err := submitJob(addr, tenant, server.JobSpec{
+					App: key.App, Variant: key.Variant, Input: key.Input, Config: &cfg,
+				}, &retried, deadline)
+				if err != nil {
+					errc <- fmt.Errorf("tenant %s job %d: %w", tenant, i, err)
+					return
+				}
+				mu.Lock()
+				submitted[id] = key
+				mu.Unlock()
+			}
+		}(t)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		return err
+	}
+	fmt.Printf("submitted %d jobs (%d tenants x %d, %d distinct cells, %d rate-limit retries)\n",
+		len(submitted), tenants, jobsPer, len(keys), retried.Load())
+
+	// Poll every job to a terminal state and collect its cell payload.
+	cells := map[string]*harness.Cell{}
+	for id := range submitted {
+		j, err := pollJob(addr, id, deadline)
+		if err != nil {
+			return err
+		}
+		if j.State != server.StateDone {
+			return fmt.Errorf("job %s finished as %s: %s", id, j.State, j.Error)
+		}
+		if j.Cell == nil {
+			return fmt.Errorf("job %s done without a cell payload", id)
+		}
+		cells[id] = j.Cell
+	}
+	fmt.Printf("all %d jobs done\n", len(cells))
+
+	if verify {
+		// Ground truth: one direct in-process run per distinct cell, over a
+		// private cache so nothing is shared with the server.
+		truthDir, err := os.MkdirTemp("", "pipette-load-truth-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(truthDir)
+		truth := map[harness.Key][]byte{}
+		distinct := map[harness.Key]bool{}
+		for _, k := range submitted {
+			distinct[k] = true
+		}
+		for k := range distinct {
+			cell, _, err := harness.RunCell(cfg, k, harness.SweepOptions{CacheDir: truthDir})
+			if err != nil {
+				return fmt.Errorf("direct run %v: %w", k, err)
+			}
+			canon, err := canonCell(cell)
+			if err != nil {
+				return err
+			}
+			truth[k] = canon
+		}
+		for id, cell := range cells {
+			canon, err := canonCell(*cell)
+			if err != nil {
+				return err
+			}
+			if want := truth[submitted[id]]; !bytes.Equal(canon, want) {
+				return fmt.Errorf("job %s (%v): server cell differs from direct run\n got: %s\nwant: %s",
+					id, submitted[id], canon, want)
+			}
+		}
+		fmt.Printf("verified %d cells byte-identical to direct in-process runs\n", len(distinct))
+	}
+
+	var stats server.Stats
+	if err := getJSON(addr+"/healthz", &stats); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	fmt.Printf("server: status=%s computed=%d dedup_hits=%d cache_hits=%d rate_limited=%d queue_depth=%d\n",
+		stats.Status, stats.Computed, stats.DedupHits, stats.CacheHits, stats.RateLimited, stats.QueueDepth)
+	return nil
+}
+
+// canonCell is the comparison form: WallSeconds is the only field that
+// legitimately differs between a server run and a local rerun.
+func canonCell(c harness.Cell) ([]byte, error) {
+	c.WallSeconds = 0
+	return json.Marshal(c)
+}
+
+// submitJob POSTs one job, retrying 429s (token bucket or quota) until
+// the deadline.
+func submitJob(addr, tenant string, spec server.JobSpec, retried *atomic.Int64, deadline time.Time) (string, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	for {
+		req, err := http.NewRequest("POST", addr+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		req.Header.Set("X-Pipette-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return "", err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var j server.Job
+			if err := json.Unmarshal(data, &j); err != nil {
+				return "", err
+			}
+			return j.ID, nil
+		case http.StatusTooManyRequests:
+			retried.Add(1)
+			if time.Now().After(deadline) {
+				return "", fmt.Errorf("still rate-limited at deadline")
+			}
+			time.Sleep(200 * time.Millisecond)
+		default:
+			return "", fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(data))
+		}
+	}
+}
+
+func pollJob(addr, id string, deadline time.Time) (*server.Job, error) {
+	for {
+		var j server.Job
+		if err := getJSON(addr+"/v1/jobs/"+id, &j); err != nil {
+			return nil, fmt.Errorf("job %s: %w", id, err)
+		}
+		if j.State == server.StateDone || j.State == server.StateFailed {
+			return &j, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("job %s still %s at deadline", id, j.State)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

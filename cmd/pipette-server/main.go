@@ -1,0 +1,96 @@
+// Command pipette-server runs the simulation-as-a-service front end: an
+// HTTP/JSON API that accepts simulation jobs from multiple tenants,
+// executes them on a bounded worker fleet over the content-addressed
+// sweep cache, dedups identical in-flight requests, and persists every
+// job record so a restart resumes interrupted work with byte-identical
+// results (docs/SERVER.md).
+//
+// Usage:
+//
+//	pipette-server -addr :8080 -data build/server -workers 4
+//	curl -XPOST -H 'X-Pipette-Tenant: team-a' -d '{"app":"silo","variant":"pipette","input":"ycsbc","tiny":true}' \
+//	    localhost:8080/v1/jobs
+//
+// SIGTERM or SIGINT starts a graceful drain: running cells get
+// -drain-timeout to finish (their results land before exit), queued jobs
+// stay queued on disk, and the process exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pipette/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "build/server", "data directory (job records + sweep cache)")
+	workers := flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+	rate := flag.Float64("rate", 0, "per-tenant submissions per second (0 = unlimited)")
+	burst := flag.Int("burst", 0, "per-tenant submission burst (0 = derived from -rate)")
+	maxActive := flag.Int("max-active", 0, "per-tenant concurrent-job quota (0 = unlimited)")
+	sampleEvery := flag.Uint64("sample-every", 0, "stream telemetry sample period in cycles (0 = default)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max wait for running cells on shutdown")
+	flag.Parse()
+
+	s, err := server.New(server.Config{
+		DataDir: *data,
+		Workers: *workers,
+		Limits: server.TenantLimits{
+			Rate:      *rate,
+			Burst:     *burst,
+			MaxActive: *maxActive,
+		},
+		SampleEvery: *sampleEvery,
+		Log:         os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipette-server: %v\n", err)
+		os.Exit(1)
+	}
+	s.Start()
+
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "pipette-server: listening on %s (data %s)\n", *addr, *data)
+		errc <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "pipette-server: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Fprintln(os.Stderr, "pipette-server: shutdown signal, draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := s.Drain(dctx)
+	// Stop accepting connections only after the drain: in-flight clients
+	// polling their jobs keep working while cells finish.
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	_ = hs.Shutdown(shutCtx)
+	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "pipette-server: drain: %v\n", drainErr)
+		os.Exit(1)
+	}
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "pipette-server: drain timed out; interrupted jobs re-queued for the next start")
+		os.Exit(0) // state is consistent on disk; the restart finishes the work
+	}
+	fmt.Fprintln(os.Stderr, "pipette-server: drained cleanly")
+}

@@ -3,7 +3,8 @@
 // conservation-checked cpi_stacks and queue_hist cycle-accounting
 // sections), run sets (pipette.runset/v1), metrics series
 // (pipette.metrics/v1 JSON or the CSV sink), correlation reports
-// (pipette.correlation/v1), and Chrome trace-event files.
+// (pipette.correlation/v1), pipette-server job records (pipette.job/v1),
+// and Chrome trace-event files.
 // Unknown schema versions inside a known family are rejected with an error
 // naming the supported versions. CI's smoke run gates on it.
 //
@@ -29,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pipette/internal/server"
 	"pipette/internal/telemetry"
 	validatepkg "pipette/internal/validate"
 )
@@ -126,6 +128,24 @@ func validate(path string, minCats int) error {
 		}
 		fmt.Printf("ok   %s: correlation %s, %d figure checks, weighted error %.4f (apps %s, %s scale)%s\n",
 			path, status, len(rep.Figures), rep.WeightedError, strings.Join(rep.Apps, ","), rep.Scale, cal)
+	case strings.HasPrefix(probe.Schema, "pipette.job/"):
+		// ValidateJob rejects unknown versions in the family with a precise
+		// unsupported-version error, matching the other families here.
+		j, err := server.ValidateJob(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		extra := ""
+		switch {
+		case j.State == server.StateFailed:
+			extra = fmt.Sprintf(" error=%q", j.Error)
+		case j.DedupHit:
+			extra = " (dedup)"
+		case j.CacheHit:
+			extra = " (cached)"
+		}
+		fmt.Printf("ok   %s: job %s tenant=%s %s/%s/%s state=%s%s\n",
+			path, j.ID, j.Tenant, j.Spec.App, j.Spec.Variant, j.Spec.Input, j.State, extra)
 	case probe.TraceEvents != nil:
 		n, cats, err := telemetry.ValidateChromeTrace(bytes.NewReader(data))
 		if err != nil {

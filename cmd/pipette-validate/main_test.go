@@ -1,0 +1,42 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestValidateJobRecord drives the CLI's sniffing path against the job
+// golden file: the pinned pipette.job/v1 document validates, and the same
+// document with a bumped version is rejected with the precise
+// unsupported-version error (not the generic unrecognized-schema one).
+func TestValidateJobRecord(t *testing.T) {
+	golden := filepath.Join("..", "..", "internal", "server", "testdata", "job_v1.json")
+	if err := validate(golden, 0); err != nil {
+		t.Fatalf("golden job record rejected: %v", err)
+	}
+
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["schema"] = "pipette.job/v2"
+	bumped, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "job_v2.json")
+	if err := os.WriteFile(path, bumped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = validate(path, 0)
+	if err == nil || !strings.Contains(err.Error(), "unsupported job schema version") {
+		t.Fatalf("v2 record: error = %v, want unsupported-version", err)
+	}
+}

@@ -1,0 +1,84 @@
+// Single-cell access to the evaluation matrix. The sweep engine always
+// runs the whole (sharded) matrix; pipette-server schedules one cell at a
+// time, with per-call options, and content-addresses results by the same
+// cell hash the sweep disk cache uses — so a server job, a CLI sweep and a
+// direct test run sharing a cache dir all substitute for one another.
+package harness
+
+import (
+	"fmt"
+
+	"pipette/internal/sim"
+	"pipette/internal/telemetry"
+)
+
+// cellObserver forwards one cell's telemetry samples to a live sink.
+type cellObserver struct {
+	key      Key
+	onSample func(Key, telemetry.Sample)
+	interval uint64
+}
+
+// attach enables sampling on s and wires the forwarding hook. Safe on a
+// nil receiver (sampling off).
+func (o *cellObserver) attach(s *sim.System) {
+	if o == nil {
+		return
+	}
+	sm := s.EnableSampling(o.interval)
+	sm.OnAppend = func(smp telemetry.Sample) { o.onSample(o.key, smp) }
+}
+
+// Matrix enumerates cfg's evaluation matrix in canonical order and
+// reports each cell's core count. Enumeration builds the deterministic
+// input generators, so callers validating many requests against one
+// Config should memoize the result rather than re-enumerate per request.
+func (cfg Config) Matrix() ([]Key, map[Key]int) {
+	specs, _, _ := cfg.cellSpecs()
+	keys := make([]Key, 0, len(specs))
+	cores := make(map[Key]int, len(specs))
+	for _, sp := range specs {
+		_, c := sp.build(sp.key.Variant)
+		keys = append(keys, sp.key)
+		cores[sp.key] = c
+	}
+	return keys, cores
+}
+
+// HashCell returns the content address of key's result under cfg: the
+// same SHA-256 the sweep disk cache files results under. cores is the
+// cell's core count (from Matrix); warmup selects the warm-fork flavor of
+// the cell, which caches separately from the cold run.
+func (cfg Config) HashCell(key Key, cores int, warmup bool) string {
+	return cfg.cellHash(key, cores, warmup)
+}
+
+// RunCell executes exactly one cell of cfg's evaluation matrix under
+// opts. Only the execution knobs that apply to a single cell are honored
+// (CacheDir, Warmup, OnSample/SampleInterval); Jobs and sharding are
+// matrix-level concerns and are ignored. It reports whether the result
+// was served from the disk cache. Options arrive per call — there is no
+// process-global state — so concurrent callers with different options
+// cannot cross-contaminate.
+func RunCell(cfg Config, key Key, opts SweepOptions) (Cell, bool, error) {
+	specs, _, _ := cfg.cellSpecs()
+	for _, sp := range specs {
+		if sp.key == key {
+			dc := newDiskCache(opts.CacheDir)
+			var ws *warmupSet
+			if opts.Warmup {
+				ws = newWarmupSet(cfg, opts.CacheDir)
+			}
+			return cfg.runCell(sp, opts, dc, ws)
+		}
+	}
+	return Cell{}, false, fmt.Errorf("harness: no cell %s/%s/%s in the evaluation matrix",
+		key.App, key.Variant, key.Input)
+}
+
+// LoadCachedCell probes the on-disk sweep cache at dir for the cell
+// content-addressed by hash. Corrupt or version-skewed entries are
+// misses, exactly as in the sweep path.
+func LoadCachedCell(dir, hash string) (Cell, bool) {
+	return newDiskCache(dir).load(hash)
+}

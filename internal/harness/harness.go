@@ -191,8 +191,12 @@ func (cfg Config) newSystemFrom(sc sim.Config) *sim.System {
 
 // runOne executes a single run and charges energy. label names the cell on
 // the live introspection endpoint when one is attached (SetProfServer).
-func (cfg Config) runOne(b bench.Builder, cores int, label string) (Cell, error) {
+// obs, when non-nil, attaches a telemetry sampler and streams every sample
+// as it lands; sampling is observational, so the returned Cell is
+// bit-identical either way.
+func (cfg Config) runOne(b bench.Builder, cores int, label string, obs *cellObserver) (Cell, error) {
 	s := cfg.newSystem(cores)
+	obs.attach(s)
 	psrv := profSrv.Load()
 	if psrv != nil {
 		s.EnableProfiling()

@@ -32,6 +32,18 @@ type SweepOptions struct {
 	CacheDir string    // on-disk result cache directory; "" disables
 	Warmup   bool      // fork each cell from a shared warm-cache snapshot
 	Progress io.Writer // live per-cell completion lines; nil disables
+
+	// OnSample, when non-nil, attaches a telemetry sampler to every
+	// computed (non-cached) cell and forwards each sample as it lands,
+	// tagged with the cell's Key. It is called from simulation goroutines
+	// and must be safe for concurrent use. Sampling is observational: the
+	// cell's simulated result is bit-identical with or without it, so the
+	// disk cache ignores this knob. Cache hits produce no samples.
+	OnSample func(Key, telemetry.Sample)
+
+	// SampleInterval is the OnSample cycle period; 0 selects the
+	// telemetry default.
+	SampleInterval uint64
 }
 
 // CellFailure reports one failed cell with its identity, so a bad cell
@@ -164,7 +176,7 @@ func Sweep(cfg Config, opts SweepOptions) (*Eval, error) {
 				if stop.Load() {
 					continue
 				}
-				cell, hit, err := cfg.runCell(sp, dc, ws)
+				cell, hit, err := cfg.runCell(sp, opts, dc, ws)
 				n := done.Add(1)
 				mu.Lock()
 				if err != nil {
@@ -215,8 +227,11 @@ func Sweep(cfg Config, opts SweepOptions) (*Eval, error) {
 }
 
 // runCell executes one cell: disk-cache probe, simulate on miss (cold, or
-// forked from the group's warmup snapshot when ws is non-nil), store.
-func (cfg Config) runCell(sp cellSpec, dc *diskCache, ws *warmupSet) (Cell, bool, error) {
+// forked from the group's warmup snapshot when ws is non-nil), store. All
+// execution knobs arrive through opts, per call — nothing here reads
+// process-global state, so concurrent sweeps (or server jobs) with
+// different options cannot cross-contaminate.
+func (cfg Config) runCell(sp cellSpec, opts SweepOptions, dc *diskCache, ws *warmupSet) (Cell, bool, error) {
 	if sweepTestHook != nil {
 		if err := sweepTestHook(sp.key); err != nil {
 			return Cell{}, false, err
@@ -233,10 +248,11 @@ func (cfg Config) runCell(sp cellSpec, dc *diskCache, ws *warmupSet) (Cell, bool
 		cell Cell
 		err  error
 	)
+	obs := opts.observer(sp.key)
 	if ws != nil {
-		cell, err = cfg.runWarm(sp, ws)
+		cell, err = cfg.runWarm(sp, ws, obs)
 	} else {
-		cell, err = cfg.runOne(b, cores, sp.key.App+"/"+sp.key.Variant+"/"+sp.key.Input)
+		cell, err = cfg.runOne(b, cores, sp.key.App+"/"+sp.key.Variant+"/"+sp.key.Input, obs)
 	}
 	if err != nil {
 		return Cell{}, false, err
@@ -244,6 +260,15 @@ func (cfg Config) runCell(sp cellSpec, dc *diskCache, ws *warmupSet) (Cell, bool
 	cell.WallSeconds = time.Since(start).Seconds()
 	dc.store(hash, cell)
 	return cell, false, nil
+}
+
+// observer converts the per-call sampling options into a cellObserver for
+// key (nil when sampling is off).
+func (opts SweepOptions) observer(key Key) *cellObserver {
+	if opts.OnSample == nil {
+		return nil
+	}
+	return &cellObserver{key: key, onSample: opts.OnSample, interval: opts.SampleInterval}
 }
 
 // memoEntry computes one Config's matrix exactly once; distinct Configs
@@ -265,12 +290,32 @@ var (
 // SetSweepOptions sets the process-wide options Evaluate (and therefore
 // every figure/table driver) uses. Shard settings are ignored there: the
 // figure path always needs the full matrix.
+//
+// Deprecated: this is a process-global; concurrent callers that need
+// different options race on it. New code should pass options per call via
+// EvaluateWith (full matrix) or RunCell (one cell) — the CLI figure
+// drivers, which configure the process exactly once at startup, are the
+// only intended remaining users.
 func SetSweepOptions(o SweepOptions) { defaultOpts.Store(&o) }
 
-// Evaluate runs (or returns the memoized) full evaluation matrix. Any
-// failed cell turns into an error here — figures and tables need every
-// cell.
+// Evaluate runs (or returns the memoized) full evaluation matrix under
+// the process-wide options installed by SetSweepOptions. It is a thin
+// shim over EvaluateWith kept for the figure/table drivers.
 func Evaluate(cfg Config) (*Eval, error) {
+	opts := SweepOptions{}
+	if o := defaultOpts.Load(); o != nil {
+		opts = *o
+	}
+	return EvaluateWith(cfg, opts)
+}
+
+// EvaluateWith runs (or returns the memoized) full evaluation matrix
+// under opts, passed per call. Any failed cell turns into an error here —
+// figures and tables need every cell. The memo is keyed on cfg alone:
+// results are bit-identical under any options (that is the sweep
+// determinism contract), so the first caller's opts drive the execution
+// and later callers share its matrix.
+func EvaluateWith(cfg Config, opts SweepOptions) (*Eval, error) {
 	memoMu.Lock()
 	ent, ok := memo[cfg]
 	if !ok {
@@ -279,10 +324,6 @@ func Evaluate(cfg Config) (*Eval, error) {
 	}
 	memoMu.Unlock()
 	ent.once.Do(func() {
-		opts := SweepOptions{}
-		if o := defaultOpts.Load(); o != nil {
-			opts = *o
-		}
 		opts.Shard, opts.Shards = 0, 1
 		ent.e, ent.err = Sweep(cfg, opts)
 		if ent.err == nil && len(ent.e.Sweep.Failures) > 0 {

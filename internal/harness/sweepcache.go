@@ -11,6 +11,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 
@@ -117,7 +118,11 @@ func (dc *diskCache) load(hash string) (Cell, bool) {
 
 // store writes the cell under hash, best-effort: a cache write failure
 // must never fail the sweep. The temp-file + rename keeps concurrent
-// shard runs sharing a directory from ever observing a torn entry.
+// shard runs sharing a directory from ever observing a torn entry. The
+// temp name embeds the writer's pid on top of CreateTemp's per-call
+// random suffix, so concurrent server workers and an overlapping CLI
+// sweep pointed at one directory can never collide on an in-flight write
+// even across processes.
 func (dc *diskCache) store(hash string, cell Cell) {
 	if dc == nil {
 		return
@@ -130,7 +135,7 @@ func (dc *diskCache) store(hash string, cell Cell) {
 	if err := os.MkdirAll(dc.dir, 0o755); err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(dc.dir, hash+".tmp*")
+	tmp, err := os.CreateTemp(dc.dir, fmt.Sprintf("%s.%d.tmp*", hash, os.Getpid()))
 	if err != nil {
 		return
 	}

@@ -166,7 +166,8 @@ func (ws *warmupSet) load(hash string) ([]byte, error) {
 }
 
 // store persists a snapshot best-effort (temp file + rename, like the
-// result cache, so concurrent shards never see torn files).
+// result cache, so concurrent shards — and concurrent processes, hence
+// the pid in the temp name — never see torn files).
 func (ws *warmupSet) store(hash string, snap []byte) {
 	if ws.dir == "" {
 		return
@@ -174,7 +175,7 @@ func (ws *warmupSet) store(hash string, snap []byte) {
 	if err := os.MkdirAll(ws.dir, 0o755); err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(ws.dir, "warm-"+hash+".tmp*")
+	tmp, err := os.CreateTemp(ws.dir, fmt.Sprintf("warm-%s.%d.tmp*", hash, os.Getpid()))
 	if err != nil {
 		return
 	}
@@ -193,7 +194,7 @@ func (ws *warmupSet) store(hash string, snap []byte) {
 // the group's warmup snapshot, restore it into a fresh system, then run
 // the variant's builder on the warm machine. Result.Cycles covers only the
 // post-fork region of interest.
-func (cfg Config) runWarm(sp cellSpec, ws *warmupSet) (Cell, error) {
+func (cfg Config) runWarm(sp cellSpec, ws *warmupSet, obs *cellObserver) (Cell, error) {
 	b, cores := sp.build(sp.key.Variant)
 	scratch := cfg.newSystem(cores)
 	sp.mustBuild(scratch)
@@ -207,6 +208,7 @@ func (cfg Config) runWarm(sp cellSpec, ws *warmupSet) (Cell, error) {
 	if _, err := s.Restore(bytes.NewReader(snap)); err != nil {
 		return Cell{}, fmt.Errorf("warmup restore: %w", err)
 	}
+	obs.attach(s)
 	r, err := bench.Run(s, b)
 	if err != nil {
 		return Cell{}, err

@@ -1,0 +1,289 @@
+// Job records: the persistent unit of work pipette-server accepts,
+// schedules and serves. One job asks for one cell of the evaluation
+// matrix (app x variant x input under a harness.Config) on behalf of a
+// tenant. Records are single JSON documents (pipette.job/v1) written
+// atomically (temp + rename) under <data>/jobs/, so a crashed or
+// SIGTERM-drained server finds every accepted job on restart and resumes
+// it; simulation determinism plus the content-addressed sweep cache make
+// the resumed results byte-identical (docs/SERVER.md).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"pipette/internal/harness"
+)
+
+// JobSchema identifies the persisted job-record document format.
+const JobSchema = "pipette.job/v1"
+
+// Job states. A job moves queued -> running -> done|failed; a restarted
+// server moves interrupted running jobs back to queued.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// JobSpec names the cell to simulate and the configuration to run it
+// under. The base configuration is harness.Default() (or harness.Tiny()
+// with Tiny set), optionally replaced wholesale by Config and then
+// adjusted by the single-knob overrides — the PR 7 model-calibration
+// knobs plus the input seed. Identical resolved (config, cell) pairs
+// hash to the same content address no matter how they were spelled, so
+// they dedup and cache together.
+type JobSpec struct {
+	App     string `json:"app"`
+	Variant string `json:"variant"`
+	Input   string `json:"input"`
+
+	Tiny   bool `json:"tiny,omitempty"`   // base config harness.Tiny() instead of Default()
+	Warmup bool `json:"warmup,omitempty"` // run the cell through the warm-fork path
+
+	// Config, when present, replaces the base configuration wholesale
+	// (fields use the harness.Config Go names).
+	Config *harness.Config `json:"config,omitempty"`
+
+	Seed        *int64  `json:"seed,omitempty"`
+	DRAMLat     *uint64 `json:"dram_lat,omitempty"`
+	L2Lat       *uint64 `json:"l2_lat,omitempty"`
+	L3Lat       *uint64 `json:"l3_lat,omitempty"`
+	NoCLat      *uint64 `json:"noc_lat,omitempty"`
+	TrapPenalty *uint64 `json:"trap_penalty,omitempty"`
+}
+
+// Key returns the cell identity the spec names.
+func (sp JobSpec) Key() harness.Key {
+	return harness.Key{App: sp.App, Variant: sp.Variant, Input: sp.Input}
+}
+
+// HarnessConfig resolves the spec into the exact harness.Config the cell
+// runs under (and is content-addressed by).
+func (sp JobSpec) HarnessConfig() harness.Config {
+	var cfg harness.Config
+	switch {
+	case sp.Config != nil:
+		cfg = *sp.Config
+	case sp.Tiny:
+		cfg = harness.Tiny()
+	default:
+		cfg = harness.Default()
+	}
+	if sp.Seed != nil {
+		cfg.Seed = *sp.Seed
+	}
+	if sp.DRAMLat != nil {
+		cfg.DRAMLat = *sp.DRAMLat
+	}
+	if sp.L2Lat != nil {
+		cfg.L2Lat = *sp.L2Lat
+	}
+	if sp.L3Lat != nil {
+		cfg.L3Lat = *sp.L3Lat
+	}
+	if sp.NoCLat != nil {
+		cfg.NoCLat = *sp.NoCLat
+	}
+	if sp.TrapPenalty != nil {
+		cfg.TrapPenalty = *sp.TrapPenalty
+	}
+	return cfg
+}
+
+// Job is one persisted pipette.job/v1 record. The embedded Cell is the
+// full simulation result, attached when the job completes, so results
+// survive independently of the sweep cache's lifecycle.
+type Job struct {
+	Schema        string        `json:"schema"`
+	ID            string        `json:"id"`
+	Tenant        string        `json:"tenant"`
+	Spec          JobSpec       `json:"spec"`
+	State         string        `json:"state"`
+	CellHash      string        `json:"cell_hash,omitempty"`
+	SubmittedUnix int64         `json:"submitted_unix"`
+	StartedUnix   int64         `json:"started_unix,omitempty"`
+	FinishedUnix  int64         `json:"finished_unix,omitempty"`
+	DedupHit      bool          `json:"dedup_hit,omitempty"` // attached to another job's in-flight computation
+	CacheHit      bool          `json:"cache_hit,omitempty"` // served from the content-addressed sweep cache
+	Error         string        `json:"error,omitempty"`
+	Cell          *harness.Cell `json:"cell,omitempty"`
+}
+
+// clone returns a deep-enough copy for handing outside the server's lock
+// (Cell is treated as immutable once attached).
+func (j *Job) clone() *Job {
+	c := *j
+	return &c
+}
+
+var (
+	tenantRe = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+	stateSet = map[string]bool{StateQueued: true, StateRunning: true, StateDone: true, StateFailed: true}
+)
+
+// ValidateJob parses and checks one pipette.job/v1 document. Unknown
+// schema versions inside the pipette.job/ family are rejected with an
+// error naming the supported version (pipette-validate's contract).
+func ValidateJob(r io.Reader) (*Job, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var j Job
+	if err := dec.Decode(&j); err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(j.Schema, "pipette.job/") {
+		return nil, fmt.Errorf("schema %q is not a job record", j.Schema)
+	}
+	if j.Schema != JobSchema {
+		return nil, fmt.Errorf("unsupported job schema version %q (supported: %s)", j.Schema, JobSchema)
+	}
+	if j.ID == "" {
+		return nil, fmt.Errorf("job has no id")
+	}
+	if !tenantRe.MatchString(j.Tenant) {
+		return nil, fmt.Errorf("job %s: bad tenant %q", j.ID, j.Tenant)
+	}
+	if j.Spec.App == "" || j.Spec.Variant == "" || j.Spec.Input == "" {
+		return nil, fmt.Errorf("job %s: spec must name app, variant and input", j.ID)
+	}
+	if !stateSet[j.State] {
+		return nil, fmt.Errorf("job %s: unknown state %q", j.ID, j.State)
+	}
+	if j.SubmittedUnix <= 0 {
+		return nil, fmt.Errorf("job %s: missing submitted_unix", j.ID)
+	}
+	switch j.State {
+	case StateDone:
+		if j.Cell == nil || j.CellHash == "" {
+			return nil, fmt.Errorf("job %s: done without cell payload and hash", j.ID)
+		}
+	case StateFailed:
+		if j.Error == "" {
+			return nil, fmt.Errorf("job %s: failed without an error", j.ID)
+		}
+	case StateQueued:
+		if j.Cell != nil {
+			return nil, fmt.Errorf("job %s: queued job carries a cell payload", j.ID)
+		}
+	}
+	if j.FinishedUnix != 0 && j.FinishedUnix < j.SubmittedUnix {
+		return nil, fmt.Errorf("job %s: finished_unix precedes submitted_unix", j.ID)
+	}
+	return &j, nil
+}
+
+// EncodeJob renders the canonical wire form of a job record (indented
+// JSON, trailing newline) — the exact bytes the store persists and the
+// golden-file test pins.
+func EncodeJob(j *Job) ([]byte, error) {
+	data, err := json.MarshalIndent(j, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// jobStore persists job records under dir, one file per job, written via
+// unique temp names (pid + per-call random suffix) and rename so
+// concurrent workers — or an overlapping process — never tear a record.
+// close() makes every later save a silent no-op: the crash-injection and
+// drain-timeout paths use it so a zombie computation finishing after the
+// "crash" cannot rewrite history that a restarted server now owns.
+type jobStore struct {
+	dir string
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func newJobStore(dir string) (*jobStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &jobStore{dir: dir}, nil
+}
+
+func (st *jobStore) path(id string) string { return filepath.Join(st.dir, id+".json") }
+
+func (st *jobStore) close() {
+	st.mu.Lock()
+	st.closed = true
+	st.mu.Unlock()
+}
+
+// save persists the record atomically. Saves after close are dropped.
+func (st *jobStore) save(j *Job) error {
+	st.mu.Lock()
+	closed := st.closed
+	st.mu.Unlock()
+	if closed {
+		return nil
+	}
+	data, err := EncodeJob(j)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(st.dir, fmt.Sprintf("%s.%d.tmp*", j.ID, os.Getpid()))
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), st.path(j.ID)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// loadAll reads every well-formed job record under the store, in submit
+// order (ties broken by ID). Malformed files are skipped, not fatal: one
+// corrupt record must not stop a restarted server from resuming the
+// rest. Their count is reported so the server can surface it.
+func (st *jobStore) loadAll() (jobs []*Job, skipped int, err error) {
+	ents, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(st.dir, name))
+		if err != nil {
+			skipped++
+			continue
+		}
+		j, err := ValidateJob(f)
+		f.Close()
+		if err != nil || j.ID != strings.TrimSuffix(name, ".json") {
+			skipped++
+			continue
+		}
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(i, k int) bool {
+		if jobs[i].SubmittedUnix != jobs[k].SubmittedUnix {
+			return jobs[i].SubmittedUnix < jobs[k].SubmittedUnix
+		}
+		return jobs[i].ID < jobs[k].ID
+	})
+	return jobs, skipped, nil
+}

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pipette/internal/harness"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func goldenJob() *Job {
+	seed := int64(7)
+	dram := uint64(220)
+	return &Job{
+		Schema: JobSchema,
+		ID:     "j-cafe0123-000042",
+		Tenant: "team-a",
+		Spec: JobSpec{
+			App:     "silo",
+			Variant: "pipette",
+			Input:   "ycsbc",
+			Tiny:    true,
+			Seed:    &seed,
+			DRAMLat: &dram,
+		},
+		State:         StateQueued,
+		CellHash:      "deadbeef",
+		SubmittedUnix: 1700000000,
+	}
+}
+
+// TestJobGolden pins the canonical wire form of a pipette.job/v1 record:
+// the exact bytes the store persists and pipette-validate accepts.
+func TestJobGolden(t *testing.T) {
+	got, err := EncodeJob(goldenJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "job_v1.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("job encoding drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+	j, err := ValidateJob(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("golden record does not validate: %v", err)
+	}
+	if j.ID != "j-cafe0123-000042" || j.Tenant != "team-a" || j.State != StateQueued {
+		t.Fatalf("golden round-trip mismatch: %+v", j)
+	}
+}
+
+func TestValidateJobRejects(t *testing.T) {
+	mutate := func(f func(*Job)) string {
+		j := goldenJob()
+		f(j)
+		data, err := EncodeJob(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"future version", mutate(func(j *Job) { j.Schema = "pipette.job/v2" }), "unsupported job schema version"},
+		{"foreign schema", mutate(func(j *Job) { j.Schema = "pipette.sweepcell/v2" }), "not a job record"},
+		{"no id", mutate(func(j *Job) { j.ID = "" }), "no id"},
+		{"bad tenant", mutate(func(j *Job) { j.Tenant = "a b" }), "bad tenant"},
+		{"no cell name", mutate(func(j *Job) { j.Spec.Variant = "" }), "must name app, variant and input"},
+		{"bad state", mutate(func(j *Job) { j.State = "paused" }), "unknown state"},
+		{"no timestamp", mutate(func(j *Job) { j.SubmittedUnix = 0 }), "missing submitted_unix"},
+		{"done without cell", mutate(func(j *Job) { j.State = StateDone }), "done without cell"},
+		{"failed without error", mutate(func(j *Job) { j.State = StateFailed }), "failed without an error"},
+		{"queued with cell", mutate(func(j *Job) { j.Cell = &harness.Cell{} }), "carries a cell payload"},
+		{"unknown field", `{"schema":"pipette.job/v1","id":"x","bogus":1}`, "bogus"},
+	}
+	for _, tc := range cases {
+		_, err := ValidateJob(strings.NewReader(tc.doc))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestJobStoreConcurrentSave hammers one store from many goroutines (and
+// distinct IDs from the same pid) to exercise the unique-temp-name write
+// path; every surviving record must parse and match its file name.
+func TestJobStoreConcurrentSave(t *testing.T) {
+	dir := t.TempDir()
+	st, err := newJobStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, rounds = 8, 20
+	done := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			var ferr error
+			for r := 0; r < rounds; r++ {
+				j := goldenJob()
+				j.ID = []string{"j-a", "j-b", "j-c", "j-d"}[w%4] // deliberate same-ID contention
+				j.SubmittedUnix = int64(1700000000 + r)
+				if err := st.save(j); err != nil {
+					ferr = err
+				}
+			}
+			done <- ferr
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	jobs, skipped, err := st.loadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(jobs) != 4 {
+		t.Fatalf("loadAll = %d jobs, %d skipped; want 4, 0", len(jobs), skipped)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+// TestJobStoreClosedDropsWrites verifies the zombie-write guard: saves
+// after close are silent no-ops, so a computation finishing after a crash
+// cannot rewrite a record the next server instance owns.
+func TestJobStoreClosedDropsWrites(t *testing.T) {
+	st, err := newJobStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := goldenJob()
+	if err := st.save(j); err != nil {
+		t.Fatal(err)
+	}
+	st.close()
+	j2 := goldenJob()
+	j2.State = StateFailed
+	j2.Error = "zombie"
+	if err := st.save(j2); err != nil {
+		t.Fatal(err)
+	}
+	jobs, _, err := st.loadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].State != StateQueued {
+		t.Fatalf("record after closed save = %+v, want original queued record", jobs[0])
+	}
+}

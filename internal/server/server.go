@@ -1,0 +1,695 @@
+// Package server is pipette's simulation-as-a-service front end: a
+// multi-tenant HTTP/JSON API (stdlib net/http only) that accepts
+// simulation jobs, schedules them on a bounded worker fleet layered on
+// the internal/harness sweep engine, and serves results out of the same
+// content-addressed sweep cache the CLI tools use.
+//
+// The moving parts, in one place:
+//
+//   - Persistent job queue: every accepted job is a pipette.job/v1
+//     record on disk before the submit response goes out. States move
+//     queued -> running -> done|failed; a restarted server re-queues
+//     whatever was queued or running and completes it with byte-identical
+//     results (determinism + the content-addressed cache — the PR 3
+//     crash-resume argument, promoted to a serving loop).
+//   - Single-flight dedup: jobs are keyed by the sweep cell hash. While
+//     one job computes a cell, every other job asking for the same hash
+//     attaches to that flight and shares its one execution; completed
+//     cells come straight from the disk cache.
+//   - Tenancy: the X-Pipette-Tenant header names the tenant; each gets a
+//     token-bucket submission rate limit and a concurrent-job quota.
+//   - Streaming: GET /v1/jobs/{id}/stream follows a job as chunked JSON
+//     lines — state transitions plus live internal/telemetry samples
+//     forwarded from the simulation loop.
+//   - Observability: GET /healthz returns the counter snapshot; the same
+//     snapshot is published as the "pipette_server" expvar on
+//     GET /debug/vars.
+//   - Drain: Drain() stops admission and dispatch, lets running cells
+//     finish (or, on timeout, reverts them to queued for the next
+//     process), and persists everything else untouched. Kill() models a
+//     crash for tests: in-flight results are discarded so the on-disk
+//     state is exactly what a dead process leaves behind.
+//
+// See docs/SERVER.md for the API reference and lifecycle details.
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pipette/internal/harness"
+	"pipette/internal/telemetry"
+)
+
+// Config configures one server instance.
+type Config struct {
+	// DataDir roots the server's persistent state: job records under
+	// DataDir/jobs, the content-addressed result store (the sweep cache)
+	// under DataDir/sweepcache.
+	DataDir string
+	// Workers sizes the simulation fleet; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Limits is the per-tenant admission control.
+	Limits TenantLimits
+	// SampleEvery is the job-stream telemetry sample period in cycles;
+	// 0 selects 65536 (coarse on purpose — streams are progress feeds,
+	// not the CSV sink).
+	SampleEvery uint64
+	// Log, when non-nil, receives operational log lines.
+	Log io.Writer
+}
+
+// Stats is the counter snapshot served by /healthz and the
+// "pipette_server" expvar.
+type Stats struct {
+	Status         string         `json:"status"` // "ok" | "draining"
+	Workers        int            `json:"workers"`
+	QueueDepth     int            `json:"queue_depth"`
+	InFlight       int            `json:"in_flight"` // cells computing right now
+	Jobs           map[string]int `json:"jobs"`      // records by state
+	Tenants        int            `json:"tenants"`
+	Submitted      int64          `json:"submitted"`
+	Computed       int64          `json:"computed"`
+	DedupHits      int64          `json:"dedup_hits"`
+	CacheHits      int64          `json:"cache_hits"`
+	RateLimited    int64          `json:"rate_limited"`
+	QuotaRejected  int64          `json:"quota_rejected"`
+	Resumed        int64          `json:"resumed"`
+	SkippedRecords int64          `json:"skipped_records"`
+}
+
+// flight is one in-progress cell computation; waiters are jobs that
+// asked for the same cell hash while it was running and share the result.
+type flight struct {
+	hash    string
+	leader  string
+	waiters []string
+}
+
+// Server is one pipette-server instance. Create with New, launch the
+// fleet with Start, serve Handler, stop with Drain (graceful) or Kill
+// (crash injection for tests).
+type Server struct {
+	cfg     Config
+	store   *jobStore
+	tenants *tenantSet
+	mux     *http.ServeMux
+
+	// runCell is the execution seam: tests instrument it to count or gate
+	// real cell computations. The default delegates to harness.RunCell.
+	runCell func(harness.Config, harness.Key, harness.SweepOptions) (harness.Cell, bool, error)
+
+	matMu    sync.Mutex
+	matrices map[harness.Config]map[harness.Key]int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*Job
+	order    []string // submit order, for listing
+	queue    []string // pending job ids, FIFO
+	flights  map[string]*flight
+	streams  map[string]*stream
+	inflight int
+	seq      int
+	nonce    string
+	draining bool
+	killed   bool
+	started  bool
+
+	submitted, computed, dedupHits, cacheHits    atomic.Int64
+	rateLimited, quotaRejected, resumed, skiprec atomic.Int64
+
+	workerWG sync.WaitGroup
+}
+
+// expvar names are process-global, so the package publishes one Func that
+// reads whichever server instance is current (tests start several).
+var (
+	activeSrv  atomic.Pointer[Server]
+	expvarOnce sync.Once
+)
+
+func registerExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("pipette_server", expvar.Func(func() any {
+			if s := activeSrv.Load(); s != nil {
+				return s.Stats()
+			}
+			return nil
+		}))
+	})
+}
+
+// New builds a server over DataDir and adopts every job record found
+// there: done/failed jobs are served as history, queued and interrupted
+// running jobs go back on the queue (crash/drain resume). Nothing runs
+// until Start.
+func New(cfg Config) (*Server, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("server: Config.DataDir is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 65536
+	}
+	store, err := newJobStore(filepath.Join(cfg.DataDir, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	var nb [4]byte
+	if _, err := rand.Read(nb[:]); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		store:    store,
+		tenants:  newTenantSet(cfg.Limits),
+		runCell:  harness.RunCell,
+		matrices: map[harness.Config]map[harness.Key]int{},
+		jobs:     map[string]*Job{},
+		flights:  map[string]*flight{},
+		streams:  map[string]*stream{},
+		nonce:    hex.EncodeToString(nb[:]),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if err := s.adopt(); err != nil {
+		return nil, err
+	}
+	s.buildMux()
+	activeSrv.Store(s)
+	registerExpvar()
+	return s, nil
+}
+
+// adopt scans the job store and rebuilds queue + records.
+func (s *Server) adopt() error {
+	jobs, skipped, err := s.store.loadAll()
+	if err != nil {
+		return err
+	}
+	s.skiprec.Store(int64(skipped))
+	for _, j := range jobs {
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		if j.State == StateDone || j.State == StateFailed {
+			continue
+		}
+		// Interrupted or never-started work: back to the queue. Provenance
+		// flags describe the previous attempt, so reset them.
+		j.State = StateQueued
+		j.StartedUnix, j.FinishedUnix = 0, 0
+		j.DedupHit, j.CacheHit = false, false
+		if j.CellHash == "" {
+			// Hand-seeded or legacy record: resolve (and validate) the cell now.
+			cfg := j.Spec.HarnessConfig()
+			cores, err := s.cellCores(cfg, j.Spec.Key())
+			if err != nil {
+				j.State = StateFailed
+				j.Error = err.Error()
+				j.FinishedUnix = time.Now().Unix()
+				_ = s.store.save(j)
+				continue
+			}
+			j.CellHash = cfg.HashCell(j.Spec.Key(), cores, j.Spec.Warmup)
+		}
+		if err := s.store.save(j); err != nil {
+			return err
+		}
+		s.tenants.claim(j.Tenant)
+		s.queue = append(s.queue, j.ID)
+		s.streams[j.ID] = newStream()
+		s.resumed.Add(1)
+		s.logf("resumed job %s (%s/%s/%s, tenant %s)", j.ID, j.Spec.App, j.Spec.Variant, j.Spec.Input, j.Tenant)
+	}
+	return nil
+}
+
+// Start launches the worker fleet. Idempotent.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.killed {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) sweepCacheDir() string { return filepath.Join(s.cfg.DataDir, "sweepcache") }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, "pipette-server: "+format+"\n", args...)
+	}
+}
+
+// cellCores validates that key exists in cfg's matrix and returns its
+// core count, memoizing the (expensive) matrix enumeration per Config.
+func (s *Server) cellCores(cfg harness.Config, key harness.Key) (int, error) {
+	s.matMu.Lock()
+	defer s.matMu.Unlock()
+	m, ok := s.matrices[cfg]
+	if !ok {
+		_, m = cfg.Matrix()
+		s.matrices[cfg] = m
+	}
+	cores, ok := m[key]
+	if !ok {
+		return 0, fmt.Errorf("no cell %s/%s/%s in the evaluation matrix for this config",
+			key.App, key.Variant, key.Input)
+	}
+	return cores, nil
+}
+
+// worker pulls queued jobs: each either becomes the leader of a new
+// flight (and computes the cell) or attaches to the running flight for
+// its hash and waits for free. Workers exit on drain or kill; a draining
+// worker leaves the rest of the queue persisted for the next process.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.draining && !s.killed {
+			s.cond.Wait()
+		}
+		if s.draining || s.killed {
+			s.mu.Unlock()
+			return
+		}
+		id := s.queue[0]
+		s.queue = s.queue[1:]
+		job := s.jobs[id]
+		job.State = StateRunning
+		job.StartedUnix = time.Now().Unix()
+		st := s.streams[id]
+		if fl, ok := s.flights[job.CellHash]; ok {
+			job.DedupHit = true
+			s.dedupHits.Add(1)
+			fl.waiters = append(fl.waiters, id)
+			leader := fl.leader
+			s.persistLocked(job)
+			s.mu.Unlock()
+			st.publish(StreamEvent{Type: "state", Job: id, State: StateRunning})
+			st.publish(StreamEvent{Type: "dedup", Job: id, Leader: leader})
+			continue
+		}
+		fl := &flight{hash: job.CellHash, leader: id}
+		s.flights[job.CellHash] = fl
+		s.inflight++
+		hcfg := job.Spec.HarnessConfig()
+		key := job.Spec.Key()
+		warm := job.Spec.Warmup
+		s.persistLocked(job)
+		s.mu.Unlock()
+		st.publish(StreamEvent{Type: "state", Job: id, State: StateRunning})
+		opts := harness.SweepOptions{
+			CacheDir:       s.sweepCacheDir(),
+			Warmup:         warm,
+			SampleInterval: s.cfg.SampleEvery,
+			OnSample: func(_ harness.Key, smp telemetry.Sample) {
+				sm := smp
+				st.publish(StreamEvent{Type: "sample", Job: id, Cycle: smp.Cycle, Sample: &sm})
+			},
+		}
+		cell, hit, err := s.runCell(hcfg, key, opts)
+		s.settle(fl, cell, hit, err)
+	}
+}
+
+// settle completes a flight: the leader and every waiter get the shared
+// result, persisted and streamed. After Kill (crash injection) results
+// are discarded — the on-disk records keep saying "running", exactly as
+// a dead process would leave them, and the next server re-queues them.
+func (s *Server) settle(fl *flight, cell harness.Cell, hit bool, err error) {
+	now := time.Now().Unix()
+	s.mu.Lock()
+	delete(s.flights, fl.hash)
+	s.inflight--
+	if s.killed {
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return
+	}
+	if err == nil {
+		if hit {
+			s.cacheHits.Add(1)
+		} else {
+			s.computed.Add(1)
+		}
+	}
+	shared := cell // one immutable payload shared by leader and waiters
+	var publishes []func()
+	for i, id := range append([]string{fl.leader}, fl.waiters...) {
+		job := s.jobs[id]
+		job.FinishedUnix = now
+		if err != nil {
+			job.State = StateFailed
+			job.Error = err.Error()
+		} else {
+			job.State = StateDone
+			job.Cell = &shared
+			if i == 0 {
+				job.CacheHit = hit
+			}
+		}
+		s.persistLocked(job)
+		s.tenants.release(job.Tenant)
+		st := s.streams[id]
+		state, jerr, jid := job.State, job.Error, id
+		publishes = append(publishes, func() {
+			st.publish(StreamEvent{Type: "state", Job: jid, State: state, Error: jerr})
+			st.close()
+		})
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, pub := range publishes {
+		pub()
+	}
+}
+
+// persistLocked saves a record while holding s.mu (records are small;
+// keeping persistence inside the critical section keeps disk order equal
+// to state order). Failures are logged, never fatal to the job flow.
+func (s *Server) persistLocked(j *Job) {
+	if err := s.store.save(j); err != nil {
+		s.logf("persist %s: %v", j.ID, err)
+	}
+}
+
+// Drain stops admission and dispatch, waits for in-flight cells, and
+// freezes the store. If ctx expires first, still-running jobs are
+// reverted to queued on disk — the next process recomputes them
+// deterministically — and their late results are discarded.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.logf("draining: waiting for in-flight cells")
+	for {
+		s.mu.Lock()
+		n := s.inflight
+		s.mu.Unlock()
+		if n == 0 {
+			s.workerWG.Wait()
+			s.store.close()
+			activeSrv.CompareAndSwap(s, nil)
+			s.logf("drained cleanly")
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			for _, fl := range s.flights {
+				for _, id := range append([]string{fl.leader}, fl.waiters...) {
+					job := s.jobs[id]
+					job.State = StateQueued
+					job.StartedUnix = 0
+					job.DedupHit = false
+					s.persistLocked(job)
+				}
+			}
+			s.killed = true // discard the zombie completions
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			s.store.close()
+			activeSrv.CompareAndSwap(s, nil)
+			s.logf("drain timed out; running jobs reverted to queued")
+			return ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// Kill models a crash for the soak tests: stop everything instantly and
+// discard any in-flight results, leaving the on-disk state exactly as a
+// dead process would — running/queued records that the next New() must
+// resume. It never waits for in-flight simulations (a real crash would
+// not either); their completions are silently dropped.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	s.killed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.store.close()
+	activeSrv.CompareAndSwap(s, nil)
+}
+
+// Stats assembles the live counter snapshot.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	byState := map[string]int{}
+	for _, j := range s.jobs {
+		byState[j.State]++
+	}
+	st := Stats{
+		Status:         "ok",
+		Workers:        s.cfg.Workers,
+		QueueDepth:     len(s.queue),
+		InFlight:       s.inflight,
+		Jobs:           byState,
+		Submitted:      s.submitted.Load(),
+		Computed:       s.computed.Load(),
+		DedupHits:      s.dedupHits.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		RateLimited:    s.rateLimited.Load(),
+		QuotaRejected:  s.quotaRejected.Load(),
+		Resumed:        s.resumed.Load(),
+		SkippedRecords: s.skiprec.Load(),
+	}
+	if s.draining || s.killed {
+		st.Status = "draining"
+	}
+	s.mu.Unlock()
+	st.Tenants = s.tenants.count()
+	return st
+}
+
+// ---- HTTP layer ----
+
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux = mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+// tenantOf extracts and validates the tenant name; the header is
+// optional, anonymous traffic shares the "default" tenant (and its
+// limits).
+func tenantOf(r *http.Request) (string, error) {
+	name := r.Header.Get("X-Pipette-Tenant")
+	if name == "" {
+		return "default", nil
+	}
+	if !tenantRe.MatchString(name) {
+		return "", fmt.Errorf("bad X-Pipette-Tenant %q", name)
+	}
+	return name, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenantName, err := tenantOf(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	if spec.App == "" || spec.Variant == "" || spec.Input == "" {
+		httpError(w, http.StatusBadRequest, "job spec must name app, variant and input")
+		return
+	}
+	hcfg := spec.HarnessConfig()
+	key := spec.Key()
+	cores, err := s.cellCores(hcfg, key)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hash := hcfg.HashCell(key, cores, spec.Warmup)
+
+	switch s.tenants.admit(tenantName) {
+	case admitRateLimited:
+		s.rateLimited.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "tenant %s: %s", tenantName, admitRateLimited)
+		return
+	case admitQuotaFull:
+		s.quotaRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "tenant %s: %s", tenantName, admitQuotaFull)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining || s.killed {
+		s.mu.Unlock()
+		s.tenants.release(tenantName)
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.seq++
+	job := &Job{
+		Schema:        JobSchema,
+		ID:            fmt.Sprintf("j-%s-%06d", s.nonce, s.seq),
+		Tenant:        tenantName,
+		Spec:          spec,
+		State:         StateQueued,
+		CellHash:      hash,
+		SubmittedUnix: time.Now().Unix(),
+	}
+	if err := s.store.save(job); err != nil {
+		s.mu.Unlock()
+		s.tenants.release(tenantName)
+		httpError(w, http.StatusInternalServerError, "persist job: %v", err)
+		return
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.queue = append(s.queue, job.ID)
+	st := newStream()
+	s.streams[job.ID] = st
+	s.submitted.Add(1)
+	resp := job.clone()
+	s.cond.Signal()
+	s.mu.Unlock()
+	st.publish(StreamEvent{Type: "state", Job: job.ID, State: StateQueued})
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	tenantFilter := r.URL.Query().Get("tenant")
+	stateFilter := r.URL.Query().Get("state")
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if (tenantFilter == "" || j.Tenant == tenantFilter) &&
+			(stateFilter == "" || j.State == stateFilter) {
+			jobs = append(jobs, j.clone())
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
+}
+
+func (s *Server) jobByID(id string) (*Job, *stream) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return nil, nil
+	}
+	return j.clone(), s.streams[id]
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, _ := s.jobByID(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, _ := s.jobByID(r.PathValue("id"))
+	switch {
+	case j == nil:
+		httpError(w, http.StatusNotFound, "no such job")
+	case j.State == StateFailed:
+		httpError(w, http.StatusConflict, "job failed: %s", j.Error)
+	case j.State != StateDone:
+		writeJSON(w, http.StatusAccepted, map[string]string{"state": j.State})
+	default:
+		writeJSON(w, http.StatusOK, j.Cell)
+	}
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, st := s.jobByID(id)
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if st == nil {
+		// Job finished in an earlier server incarnation: no live stream,
+		// synthesize the terminal event from the record.
+		line, _ := json.Marshal(StreamEvent{Type: "state", Job: id, State: j.State, Error: j.Error, Unix: j.FinishedUnix})
+		w.Write(append(line, '\n'))
+		flush()
+		return
+	}
+	ctx := r.Context()
+	stopWake := context.AfterFunc(ctx, st.wake)
+	defer stopWake()
+	idx := 0
+	for {
+		line, next, more := st.next(idx, func() bool { return ctx.Err() != nil })
+		if !more {
+			return
+		}
+		idx = next
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return
+		}
+		flush()
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

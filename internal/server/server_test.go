@@ -1,0 +1,522 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pipette/internal/harness"
+	"pipette/internal/sim"
+	"pipette/internal/telemetry"
+)
+
+// tinySiloCfg is the cheapest real matrix (5 cells: one app, one input,
+// five variants); unit tests validate submissions against it but replace
+// the execution seam with fakes, so no simulation runs here.
+func tinySiloCfg() harness.Config {
+	c := harness.Tiny()
+	c.AppFilter = "silo"
+	return c
+}
+
+func tinySiloSpec(variant string) JobSpec {
+	cfg := tinySiloCfg()
+	return JobSpec{App: "silo", Variant: variant, Input: "ycsbc", Config: &cfg}
+}
+
+func fakeCell(cycles uint64) harness.Cell {
+	return harness.Cell{R: sim.Result{Cycles: cycles}, Cores: 1}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Kill()
+	})
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, tenant string, spec JobSpec) (*Job, int) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-Pipette-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, resp.StatusCode
+	}
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	return &j, resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func waitSettled(t *testing.T, s *Server, pred func(Stats) bool) Stats {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := s.Stats()
+		if pred(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for server state; stats: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func terminal(st Stats) bool { return st.Jobs[StateQueued] == 0 && st.Jobs[StateRunning] == 0 }
+
+func TestSubmitRunResult(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	s.runCell = func(harness.Config, harness.Key, harness.SweepOptions) (harness.Cell, bool, error) {
+		return fakeCell(1234), false, nil
+	}
+	s.Start()
+	j, code := submit(t, ts, "alice", tinySiloSpec("pipette"))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	if j.State != StateQueued || j.CellHash == "" || j.Tenant != "alice" {
+		t.Fatalf("submit response %+v", j)
+	}
+	waitSettled(t, s, terminal)
+	var got Job
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+j.ID, &got); code != 200 {
+		t.Fatalf("get job status %d", code)
+	}
+	if got.State != StateDone || got.Cell == nil || got.Cell.R.Cycles != 1234 {
+		t.Fatalf("job after run: %+v", got)
+	}
+	var cell harness.Cell
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+j.ID+"/result", &cell); code != 200 {
+		t.Fatalf("result status %d", code)
+	}
+	if cell.R.Cycles != 1234 {
+		t.Fatalf("result cell %+v", cell)
+	}
+	var health Stats
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != 200 || health.Status != "ok" {
+		t.Fatalf("healthz %d %+v", code, health)
+	}
+	if health.Submitted != 1 || health.Computed != 1 {
+		t.Fatalf("healthz counters %+v", health)
+	}
+	// The expvar mirror serves the same snapshot.
+	var vars struct {
+		PS Stats `json:"pipette_server"`
+	}
+	if code := getJSON(t, ts.URL+"/debug/vars", &vars); code != 200 || vars.PS.Submitted != 1 {
+		t.Fatalf("expvar %d %+v", code, vars.PS)
+	}
+}
+
+func TestSubmitRejections(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	_ = s
+	cases := []struct {
+		name   string
+		tenant string
+		body   string
+		code   int
+		want   string
+	}{
+		{"unknown cell", "a", `{"app":"silo","variant":"nope","input":"ycsbc","tiny":true}`, 400, "no cell"},
+		{"missing fields", "a", `{"app":"silo"}`, 400, "must name"},
+		{"unknown spec field", "a", `{"app":"silo","variant":"pipette","input":"ycsbc","bogus":1}`, 400, "bogus"},
+		{"bad tenant", "spaced out", `{"app":"silo","variant":"pipette","input":"ycsbc","tiny":true}`, 400, "X-Pipette-Tenant"},
+	}
+	for _, tc := range cases {
+		req, _ := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(tc.body))
+		req.Header.Set("X-Pipette-Tenant", tc.tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e struct{ Error string }
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != tc.code || !strings.Contains(e.Error, tc.want) {
+			t.Errorf("%s: got %d %q, want %d containing %q", tc.name, resp.StatusCode, e.Error, tc.code, tc.want)
+		}
+	}
+}
+
+// TestSingleFlightDedup is the satellite-3 race check: N concurrent
+// identical submissions must trigger exactly one cell execution, with the
+// other N-1 jobs attached as dedup followers, and all N responses must
+// carry the identical Cell.
+func TestSingleFlightDedup(t *testing.T) {
+	const n = 8
+	s, ts := newTestServer(t, Config{Workers: n})
+	var computes atomic.Int64
+	release := make(chan struct{})
+	s.runCell = func(harness.Config, harness.Key, harness.SweepOptions) (harness.Cell, bool, error) {
+		computes.Add(1)
+		<-release // hold the flight open so every follower must dedup
+		return fakeCell(777), false, nil
+	}
+	s.Start()
+	var wg sync.WaitGroup
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, code := submit(t, ts, "alice", tinySiloSpec("pipette"))
+			if code != http.StatusAccepted {
+				t.Errorf("submit %d: status %d", i, code)
+				return
+			}
+			ids[i] = j.ID
+		}(i)
+	}
+	wg.Wait()
+	// All n jobs reach running (1 leader + n-1 waiters) before we let the
+	// single computation finish.
+	waitSettled(t, s, func(st Stats) bool { return st.Jobs[StateRunning] == n })
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computations before release = %d, want 1", got)
+	}
+	close(release)
+	st := waitSettled(t, s, terminal)
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computations = %d, want exactly 1", got)
+	}
+	if st.DedupHits != n-1 || st.Jobs[StateDone] != n || st.Jobs[StateFailed] != 0 {
+		t.Fatalf("stats after dedup run: %+v", st)
+	}
+	var first []byte
+	for i, id := range ids {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := new(bytes.Buffer)
+		if _, err := body.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("result %s: status %d", id, resp.StatusCode)
+		}
+		if i == 0 {
+			first = body.Bytes()
+		} else if !bytes.Equal(first, body.Bytes()) {
+			t.Fatalf("result %s differs from the leader's:\n%s\nvs\n%s", id, body.Bytes(), first)
+		}
+	}
+}
+
+func TestTenantConcurrentJobQuota(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers: 1,
+		Limits:  TenantLimits{MaxActive: 2}, // rate limiting disabled
+	})
+	release := make(chan struct{})
+	s.runCell = func(harness.Config, harness.Key, harness.SweepOptions) (harness.Cell, bool, error) {
+		<-release
+		return fakeCell(1), false, nil
+	}
+	s.Start()
+	if _, code := submit(t, ts, "alice", tinySiloSpec("pipette")); code != 202 {
+		t.Fatalf("first submit: %d", code)
+	}
+	if _, code := submit(t, ts, "alice", tinySiloSpec("serial")); code != 202 {
+		t.Fatalf("second submit: %d", code)
+	}
+	// Third hits MaxActive (both jobs still active); an independent tenant
+	// has its own quota and gets through.
+	if _, code := submit(t, ts, "alice", tinySiloSpec("streaming")); code != http.StatusTooManyRequests {
+		t.Fatalf("quota submit: %d, want 429", code)
+	}
+	if _, code := submit(t, ts, "bob", tinySiloSpec("pipette")); code != 202 {
+		t.Fatalf("bob submit: %d", code)
+	}
+	close(release)
+	st := waitSettled(t, s, terminal)
+	if st.QuotaRejected != 1 || st.RateLimited != 0 {
+		t.Fatalf("rejection counters: %+v", st)
+	}
+	// Terminal jobs released their active slots: alice is admitted again.
+	if _, code := submit(t, ts, "alice", tinySiloSpec("streaming")); code != 202 {
+		t.Fatalf("alice post-completion submit: %d, want 202", code)
+	}
+}
+
+func TestTenantRateLimit(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers: 1,
+		Limits:  TenantLimits{Rate: 1e-9, Burst: 2}, // quota disabled, no meaningful refill
+	})
+	s.runCell = func(harness.Config, harness.Key, harness.SweepOptions) (harness.Cell, bool, error) {
+		return fakeCell(1), false, nil
+	}
+	s.Start()
+	if _, code := submit(t, ts, "alice", tinySiloSpec("pipette")); code != 202 {
+		t.Fatalf("first submit: %d", code)
+	}
+	if _, code := submit(t, ts, "alice", tinySiloSpec("serial")); code != 202 {
+		t.Fatalf("second submit: %d", code)
+	}
+	// The bucket (burst 2) is empty: rejected even with quota disabled and
+	// regardless of job completion. A fresh tenant has a full bucket.
+	if _, code := submit(t, ts, "alice", tinySiloSpec("streaming")); code != http.StatusTooManyRequests {
+		t.Fatalf("rate submit: want 429")
+	}
+	if _, code := submit(t, ts, "bob", tinySiloSpec("pipette")); code != 202 {
+		t.Fatalf("bob submit: %d", code)
+	}
+	st := waitSettled(t, s, terminal)
+	if st.RateLimited != 1 || st.QuotaRejected != 0 {
+		t.Fatalf("rejection counters: %+v", st)
+	}
+}
+
+// TestStreamFollowsJob reads the ndjson stream end to end: queued and
+// running states, forwarded telemetry samples from the execution seam,
+// and the terminal done event, after which the stream closes.
+func TestStreamFollowsJob(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, SampleEvery: 64})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s.runCell = func(_ harness.Config, key harness.Key, opts harness.SweepOptions) (harness.Cell, bool, error) {
+		close(started)
+		<-release
+		for i := uint64(1); i <= 3; i++ {
+			opts.OnSample(key, telemetry.Sample{Cycle: i * opts.SampleInterval})
+		}
+		return fakeCell(42), false, nil
+	}
+	s.Start()
+	j, code := submit(t, ts, "alice", tinySiloSpec("pipette"))
+	if code != 202 {
+		t.Fatalf("submit: %d", code)
+	}
+	<-started
+	// Attach mid-run: the replay buffer serves queued+running history.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	close(release)
+	var events []StreamEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var states []string
+	samples := 0
+	for _, ev := range events {
+		switch ev.Type {
+		case "state":
+			states = append(states, ev.State)
+		case "sample":
+			samples++
+			if ev.Sample == nil || ev.Cycle == 0 {
+				t.Fatalf("malformed sample event %+v", ev)
+			}
+		}
+	}
+	if want := []string{StateQueued, StateRunning, StateDone}; fmt.Sprint(states) != fmt.Sprint(want) {
+		t.Fatalf("stream states %v, want %v", states, want)
+	}
+	if samples != 3 {
+		t.Fatalf("stream samples = %d, want 3", samples)
+	}
+}
+
+// TestKillResume is the unit-scale crash drill (the full-fidelity version
+// lives in soak_test.go): kill a server mid-flight, verify the on-disk
+// state still says running/queued, then adopt the directory with a fresh
+// instance and watch every job complete.
+func TestKillResume(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{Workers: 1, DataDir: dir})
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	s1.runCell = func(harness.Config, harness.Key, harness.SweepOptions) (harness.Cell, bool, error) {
+		close(blocked)
+		<-release
+		return harness.Cell{}, false, fmt.Errorf("zombie result, must be discarded")
+	}
+	s1.Start()
+	j1, _ := submit(t, ts1, "alice", tinySiloSpec("pipette"))
+	j2, _ := submit(t, ts1, "bob", tinySiloSpec("serial"))
+	<-blocked
+	s1.Kill()
+	close(release) // the zombie settles after the crash; its error must not surface
+	ts1.Close()
+
+	st, err := newJobStore(dir + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk, _, err := st.loadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := map[string]string{}
+	for _, j := range onDisk {
+		states[j.ID] = j.State
+	}
+	if states[j1.ID] != StateRunning || states[j2.ID] != StateQueued {
+		t.Fatalf("on-disk states after kill: %v", states)
+	}
+
+	s2, ts2 := newTestServer(t, Config{Workers: 1, DataDir: dir})
+	s2.runCell = func(harness.Config, harness.Key, harness.SweepOptions) (harness.Cell, bool, error) {
+		return fakeCell(99), false, nil
+	}
+	s2.Start()
+	stats := waitSettled(t, s2, terminal)
+	if stats.Resumed != 2 || stats.Jobs[StateDone] != 2 || stats.Jobs[StateFailed] != 0 {
+		t.Fatalf("stats after resume: %+v", stats)
+	}
+	for _, id := range []string{j1.ID, j2.ID} {
+		var got Job
+		if code := getJSON(t, ts2.URL+"/v1/jobs/"+id, &got); code != 200 || got.State != StateDone {
+			t.Fatalf("resumed job %s: code %d state %+v", id, code, got.State)
+		}
+		if got.DedupHit {
+			t.Fatalf("resumed job %s kept stale dedup flag", id)
+		}
+	}
+}
+
+// TestDrainGraceful: a clean drain finishes in-flight work, leaves queued
+// work queued on disk, and rejects new submissions with 503.
+func TestDrainGraceful(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{Workers: 1, DataDir: dir})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s.runCell = func(harness.Config, harness.Key, harness.SweepOptions) (harness.Cell, bool, error) {
+		close(started)
+		<-release
+		return fakeCell(5), false, nil
+	}
+	s.Start()
+	jRun, _ := submit(t, ts, "alice", tinySiloSpec("pipette"))
+	<-started
+	jQueued, _ := submit(t, ts, "alice", tinySiloSpec("serial"))
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	time.Sleep(10 * time.Millisecond) // let draining latch before releasing
+	if _, code := submit(t, ts, "bob", tinySiloSpec("pipette")); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d, want 503", code)
+	}
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st, err := newJobStore(dir + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk, _, err := st.loadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := map[string]string{}
+	for _, j := range onDisk {
+		states[j.ID] = j.State
+	}
+	if states[jRun.ID] != StateDone || states[jQueued.ID] != StateQueued {
+		t.Fatalf("on-disk states after drain: %v", states)
+	}
+}
+
+// TestDrainTimeoutRevertsRunning: when the context expires first, running
+// jobs are reverted to queued on disk and the late result is discarded.
+func TestDrainTimeoutRevertsRunning(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{Workers: 1, DataDir: dir})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s.runCell = func(harness.Config, harness.Key, harness.SweepOptions) (harness.Cell, bool, error) {
+		close(started)
+		<-release
+		return fakeCell(5), false, nil
+	}
+	s.Start()
+	j, _ := submit(t, ts, "alice", tinySiloSpec("pipette"))
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("drain error %v, want deadline exceeded", err)
+	}
+	close(release) // zombie completes after the freeze
+	time.Sleep(20 * time.Millisecond)
+	st, err := newJobStore(dir + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk, _, err := st.loadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onDisk) != 1 || onDisk[0].ID != j.ID || onDisk[0].State != StateQueued {
+		t.Fatalf("on-disk record after drain timeout: %+v", onDisk)
+	}
+}

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pipette/internal/harness"
+)
+
+// TestSoakKillRestart is the acceptance soak: 3 tenants x 20 jobs (with
+// heavy duplication over the 5-cell tiny silo matrix) against a real
+// simulation backend, one injected crash mid-computation, then a restart
+// that must finish every job — zero lost, zero duplicated, zero failed,
+// with dedup and cache hits observed and every returned Cell byte-
+// identical to a direct harness.Sweep over a fresh cache.
+func TestSoakKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak runs real simulations; skipped with -short")
+	}
+	dir := t.TempDir()
+	cfg := tinySiloCfg()
+	keys, _ := cfg.Matrix()
+	if len(keys) != 5 {
+		t.Fatalf("tiny silo matrix has %d cells, want 5", len(keys))
+	}
+
+	// Server 1: real execution, instrumented to crash the process (Kill)
+	// while the third distinct cell is mid-simulation.
+	s1, err := New(Config{DataDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starts atomic.Int64
+	thirdStarted := make(chan struct{})
+	crashed := make(chan struct{})
+	s1.runCell = func(c harness.Config, k harness.Key, opts harness.SweepOptions) (harness.Cell, bool, error) {
+		if starts.Add(1) == 3 {
+			close(thirdStarted)
+			<-crashed // the "process" dies while this cell computes
+			return harness.Cell{}, false, fmt.Errorf("interrupted by crash")
+		}
+		return harness.RunCell(c, k, opts)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+
+	// Submit everything before Start so the queue is deep when workers
+	// come up. Queue order is engineered for both duplication flavors:
+	// slots 0-14 put 9 adjacent copies of each cell in the queue (3
+	// tenants x 3 slots), so whichever worker pops a duplicate while the
+	// first copy computes must attach to its flight — dedup hits; slots
+	// 15-19 append one more round-robin pass whose copies land long after
+	// those flights settled — disk-cache hits.
+	tenants := []string{"team-a", "team-b", "team-c"}
+	const perTenant = 20
+	keyFor := func(slot int) harness.Key {
+		if slot < 15 {
+			return keys[slot/3]
+		}
+		return keys[slot-15]
+	}
+	submitted := map[string]harness.Key{} // job id -> cell key
+	for slot := 0; slot < perTenant; slot++ {
+		for _, tenant := range tenants {
+			key := keyFor(slot)
+			spec := JobSpec{App: key.App, Variant: key.Variant, Input: key.Input, Config: &cfg}
+			j, code := submit(t, ts1, tenant, spec)
+			if code != http.StatusAccepted {
+				t.Fatalf("%s slot %d: status %d", tenant, slot, code)
+			}
+			submitted[j.ID] = key
+		}
+	}
+	if len(submitted) != len(tenants)*perTenant {
+		t.Fatalf("submitted %d jobs, want %d", len(submitted), len(tenants)*perTenant)
+	}
+	s1.Start()
+	select {
+	case <-thirdStarted:
+	case <-time.After(120 * time.Second):
+		t.Fatal("third cell never started computing")
+	}
+	s1.Kill()
+	close(crashed)
+	ts1.Close()
+	st1 := s1.Stats()
+
+	// Server 2: plain restart over the same data dir, stock execution.
+	s2, err := New(Config{DataDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	s2.Start()
+	deadline := time.Now().Add(10 * time.Minute)
+	for {
+		st := s2.Stats()
+		if st.Jobs[StateQueued] == 0 && st.Jobs[StateRunning] == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("soak did not settle; stats %+v", st)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	st2 := s2.Stats()
+	if st2.Resumed == 0 {
+		t.Fatalf("restart resumed no jobs; stats %+v", st2)
+	}
+	if st1.DedupHits+st2.DedupHits == 0 {
+		t.Fatalf("no dedup hits across the soak (s1 %+v, s2 %+v)", st1, st2)
+	}
+	if st1.CacheHits+st2.CacheHits == 0 {
+		t.Fatalf("no cache hits across the soak (s1 %+v, s2 %+v)", st1, st2)
+	}
+
+	// Ground truth: the same matrix from a direct in-process sweep over a
+	// fresh cache directory (no sharing with the server's store).
+	eval, err := harness.Sweep(cfg, harness.SweepOptions{Jobs: 2, CacheDir: t.TempDir() + "/truth"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(eval.Sweep.Failures); n != 0 {
+		t.Fatalf("%d ground-truth cells failed: %v", n, eval.Sweep.Failures)
+	}
+	truth := map[harness.Key][]byte{}
+	for k, c := range eval.Cells {
+		truth[k] = canonCell(t, c)
+	}
+
+	// Every submitted job: exactly one record, state done, payload byte-
+	// identical to the ground-truth cell.
+	var listing struct{ Jobs []*Job }
+	if code := getJSON(t, ts2.URL+"/v1/jobs", &listing); code != 200 {
+		t.Fatalf("list jobs: %d", code)
+	}
+	if len(listing.Jobs) != len(submitted) {
+		t.Fatalf("server reports %d jobs, submitted %d (lost or duplicated)", len(listing.Jobs), len(submitted))
+	}
+	seen := map[string]bool{}
+	for _, j := range listing.Jobs {
+		key, ok := submitted[j.ID]
+		if !ok || seen[j.ID] {
+			t.Fatalf("unexpected or duplicated job %s in listing", j.ID)
+		}
+		seen[j.ID] = true
+		if j.State != StateDone {
+			t.Fatalf("job %s finished as %s (%s)", j.ID, j.State, j.Error)
+		}
+		if j.Cell == nil {
+			t.Fatalf("job %s done without a cell", j.ID)
+		}
+		if got, want := canonCell(t, *j.Cell), truth[key]; string(got) != string(want) {
+			t.Fatalf("job %s (%v): cell differs from direct sweep\n got: %s\nwant: %s", j.ID, key, got, want)
+		}
+	}
+	if len(seen) != len(submitted) {
+		t.Fatalf("only %d of %d jobs accounted for", len(seen), len(submitted))
+	}
+}
+
+// canonCell renders a Cell in comparison form: WallSeconds is the only
+// nondeterministic field (FromCache is already json-invisible), so zero
+// it and let the JSON encoding stand in for byte identity.
+func canonCell(t *testing.T, c harness.Cell) []byte {
+	t.Helper()
+	c.WallSeconds = 0
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

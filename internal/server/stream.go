@@ -1,0 +1,109 @@
+// Per-job progress/telemetry streams: chunked JSON lines (ndjson) of
+// state transitions and live telemetry samples. Each job owns one stream
+// with a bounded replay buffer; subscribers walk it by absolute index —
+// connect late and the retained history replays, then the walk follows
+// live appends until the job reaches a terminal state. Samples come
+// straight from internal/telemetry's Sampler via the sweep engine's
+// OnSample hook; only the job that actually computes a cell emits
+// samples (dedup followers see state events plus a pointer at the
+// computing job).
+package server
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"pipette/internal/telemetry"
+)
+
+// StreamEvent is one line of a job stream.
+type StreamEvent struct {
+	Type   string            `json:"type"` // "state" | "sample" | "dedup"
+	Job    string            `json:"job"`
+	Unix   int64             `json:"unix,omitempty"`
+	State  string            `json:"state,omitempty"`  // with type "state"
+	Error  string            `json:"error,omitempty"`  // with terminal "state" events
+	Leader string            `json:"leader,omitempty"` // with type "dedup": the computing job
+	Cycle  uint64            `json:"cycle,omitempty"`  // with type "sample"
+	Sample *telemetry.Sample `json:"sample,omitempty"` // with type "sample"
+}
+
+// streamHistCap bounds the retained lines per job. State events are few,
+// so the cap effectively limits samples; when it overflows, the oldest
+// retained line is dropped and late subscribers start further in.
+const streamHistCap = 512
+
+type stream struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	hist    [][]byte
+	dropped int // lines aged out of the front of hist
+	closed  bool
+}
+
+func newStream() *stream {
+	st := &stream{}
+	st.cond = sync.NewCond(&st.mu)
+	return st
+}
+
+// publish appends one event line and wakes every waiting subscriber.
+func (st *stream) publish(ev StreamEvent) {
+	if ev.Unix == 0 {
+		ev.Unix = time.Now().Unix()
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	if len(st.hist) >= streamHistCap {
+		copy(st.hist, st.hist[1:])
+		st.hist = st.hist[:len(st.hist)-1]
+		st.dropped++
+	}
+	st.hist = append(st.hist, line)
+	st.cond.Broadcast()
+}
+
+// close marks the stream complete (after the terminal state event) and
+// unblocks every subscriber.
+func (st *stream) close() {
+	st.mu.Lock()
+	st.closed = true
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// wake lets the handler interrupt next() when its client disconnects.
+func (st *stream) wake() {
+	st.mu.Lock()
+	st.cond.Broadcast()
+	st.mu.Unlock()
+}
+
+// next blocks until the line at absolute index idx (or a later one, if
+// the buffer aged it out) is available, the stream closes, or stop
+// returns true. It returns the line, the next index to ask for, and
+// whether the subscriber should keep reading.
+func (st *stream) next(idx int, stop func() bool) (line []byte, nextIdx int, more bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		if idx < st.dropped {
+			idx = st.dropped
+		}
+		if idx < st.dropped+len(st.hist) {
+			return st.hist[idx-st.dropped], idx + 1, true
+		}
+		if st.closed || stop() {
+			return nil, idx, false
+		}
+		st.cond.Wait()
+	}
+}

@@ -1,0 +1,126 @@
+// Per-tenant admission control: a token-bucket rate limit on job
+// submissions plus a cap on concurrently active (queued + running) jobs.
+// Tenants are identified by the X-Pipette-Tenant header; every tenant
+// gets the same limits (the server is a shared-fleet scheduler, not a
+// billing system). Both checks happen at submit time so a hot tenant can
+// saturate neither the queue nor the worker fleet.
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// TenantLimits configures admission control, applied identically to each
+// tenant. Zero values disable the corresponding check.
+type TenantLimits struct {
+	Rate      float64 // job submissions per second refilled; <= 0 disables rate limiting
+	Burst     int     // token-bucket capacity; <= 0 selects max(1, ceil(Rate))
+	MaxActive int     // max queued+running jobs per tenant; <= 0 disables the quota
+}
+
+func (l TenantLimits) burst() float64 {
+	if l.Burst > 0 {
+		return float64(l.Burst)
+	}
+	if l.Rate >= 1 {
+		return l.Rate
+	}
+	return 1
+}
+
+// tenant is one tenant's live admission state. Guarded by the server's
+// lock: admission decisions must be atomic with queue mutations.
+type tenant struct {
+	name      string
+	tokens    float64
+	lastFill  time.Time
+	active    int   // queued + running jobs
+	submitted int64 // accepted jobs, lifetime
+}
+
+// tenantSet lazily materializes tenants on first sight.
+type tenantSet struct {
+	mu     sync.Mutex
+	limits TenantLimits
+	m      map[string]*tenant
+	now    func() time.Time // test hook
+}
+
+func newTenantSet(limits TenantLimits) *tenantSet {
+	return &tenantSet{limits: limits, m: map[string]*tenant{}, now: time.Now}
+}
+
+func (ts *tenantSet) get(name string) *tenant {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t, ok := ts.m[name]
+	if !ok {
+		t = &tenant{name: name, tokens: ts.limits.burst(), lastFill: ts.now()}
+		ts.m[name] = t
+	}
+	return t
+}
+
+func (ts *tenantSet) count() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.m)
+}
+
+// admitReason explains a rejection; empty means admitted.
+type admitReason string
+
+const (
+	admitOK          admitReason = ""
+	admitRateLimited admitReason = "rate limit exceeded"
+	admitQuotaFull   admitReason = "concurrent-job quota exhausted"
+)
+
+// admit charges one submission against the tenant: refill the bucket by
+// elapsed wall time, take a token, and claim an active-job slot. On
+// rejection nothing is consumed.
+func (ts *tenantSet) admit(name string) admitReason {
+	t := ts.get(name)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.limits.MaxActive > 0 && t.active >= ts.limits.MaxActive {
+		return admitQuotaFull
+	}
+	if ts.limits.Rate > 0 {
+		now := ts.now()
+		t.tokens += now.Sub(t.lastFill).Seconds() * ts.limits.Rate
+		if capacity := ts.limits.burst(); t.tokens > capacity {
+			t.tokens = capacity
+		}
+		t.lastFill = now
+		if t.tokens < 1 {
+			return admitRateLimited
+		}
+		t.tokens--
+	}
+	t.active++
+	t.submitted++
+	return admitOK
+}
+
+// release returns an active-job slot when a job reaches a terminal state
+// (or is adopted as already-terminal during a restart scan).
+func (ts *tenantSet) release(name string) {
+	t := ts.get(name)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if t.active > 0 {
+		t.active--
+	}
+}
+
+// claim re-registers an active job during the restart scan, bypassing
+// rate limiting: the job was admitted before the restart.
+func (ts *tenantSet) claim(name string) {
+	t := ts.get(name)
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t.active++
+	t.submitted++
+}

@@ -53,6 +53,13 @@ type Sampler struct {
 	// (pass profile.CategoryNames()). Empty when profiling is off.
 	SlotNames []string
 
+	// OnAppend, when non-nil, observes every sample as it is recorded.
+	// It is called synchronously from the simulation loop, so it must be
+	// cheap and must not block; live sinks (the pipette-server job
+	// streams) hand the sample off to their own goroutine. The Sample and
+	// its slices are freshly built per append and safe to retain.
+	OnAppend func(Sample)
+
 	samples []Sample
 	// hist[core][thread][reason] counts sample ticks.
 	hist [][][]uint64
@@ -72,6 +79,9 @@ func NewSampler(interval uint64) *Sampler {
 
 // Append records one sample and updates the stall histogram.
 func (s *Sampler) Append(sm Sample) {
+	if s.OnAppend != nil {
+		s.OnAppend(sm)
+	}
 	s.samples = append(s.samples, sm)
 	for ci, c := range sm.Cores {
 		for ci >= len(s.hist) {

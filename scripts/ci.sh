@@ -5,12 +5,15 @@
 # smoke (resume fidelity and divergence bisection) + a cycle-accounting
 # smoke (profiled v2 report validates; live -http endpoint answers) + a
 # stale-artifact gate on the committed tiny-scale experiments transcript +
-# the benchmark regression guard (which ends with a subset model-fidelity
+# a simulation-service smoke (pipette-server lifecycle: load-verified jobs,
+# SIGTERM drain, restart-resume of a hand-seeded queued job) + the
+# benchmark regression guard (which ends with a subset model-fidelity
 # correlation check; the full-matrix gate is the 'correlation' stage, run
 # by CI's validate job). Individual stages run via:
 #
 #	scripts/ci.sh lint | smoke | sweep-smoke | diverge-smoke | profile-smoke |
-#	               experiments-check | correlation | benchguard-test | bench
+#	               serve-smoke | experiments-check | correlation |
+#	               benchguard-test | bench
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -164,6 +167,116 @@ profile_smoke() {
 	echo "profile smoke OK"
 }
 
+# Simulation-service smoke (docs/SERVER.md): bring up pipette-server,
+# push a verified multi-tenant job mix through it with pipette-load
+# (which recomputes every distinct cell in-process and demands
+# byte-identical payloads), validate the persisted pipette.job/v1
+# records, drain on SIGTERM (must exit 0), hand-seed a queued job record
+# into the data dir, and check that a restarted server adopts and
+# completes it.
+serve_smoke() {
+	echo "== serve smoke: pipette-server lifecycle =="
+	tools
+	sdata="$out/serverdata"
+	saddr=127.0.0.1:18091
+	rm -rf "$sdata"
+	"$bin/pipette-server" -addr "$saddr" -data "$sdata" -workers 2 \
+		>"$out/server.log" 2>&1 &
+	spid=$!
+	trap 'kill "$spid" 2>/dev/null || true' EXIT
+	ok=0
+	for _ in $(seq 1 100); do
+		if curl -sf "http://$saddr/healthz" >/dev/null 2>&1; then
+			ok=1
+			break
+		fi
+		sleep 0.2
+	done
+	[ "$ok" = 1 ] || {
+		echo "serve smoke: server never became healthy" >&2
+		cat "$out/server.log" >&2 || true
+		exit 1
+	}
+	"$bin/pipette-load" -addr "http://$saddr" -tenants 3 -jobs 8 \
+		-tiny -apps silo | tee "$out/load.txt"
+	grep -q "verified" "$out/load.txt" || {
+		echo "serve smoke: pipette-load did not verify results" >&2
+		exit 1
+	}
+	curl -sf "http://$saddr/healthz" >"$out/serve-health.json"
+	grep -q '"status": "ok"' "$out/serve-health.json" || {
+		echo "serve smoke: /healthz not ok" >&2
+		cat "$out/serve-health.json" >&2
+		exit 1
+	}
+	"$bin/pipette-validate" "$sdata"/jobs/*.json >/dev/null || {
+		echo "serve smoke: persisted job records failed validation" >&2
+		exit 1
+	}
+	echo "serve smoke: draining on SIGTERM"
+	kill -TERM "$spid"
+	wait "$spid" || {
+		echo "serve smoke: drain exited non-zero" >&2
+		cat "$out/server.log" >&2
+		exit 1
+	}
+	# Restart-resume: a queued record seeded while the server is down must
+	# be adopted and completed by the next incarnation.
+	cat >"$sdata/jobs/j-seeded-000001.json" <<'EOF'
+{
+ "schema": "pipette.job/v1",
+ "id": "j-seeded-000001",
+ "tenant": "seeded",
+ "spec": {
+  "app": "silo",
+  "variant": "serial",
+  "input": "ycsbc",
+  "tiny": true
+ },
+ "state": "queued",
+ "submitted_unix": 1700000000
+}
+EOF
+	"$bin/pipette-validate" "$sdata/jobs/j-seeded-000001.json"
+	"$bin/pipette-server" -addr "$saddr" -data "$sdata" -workers 2 \
+		>>"$out/server.log" 2>&1 &
+	spid=$!
+	ok=0
+	for _ in $(seq 1 150); do
+		if curl -sf "http://$saddr/v1/jobs/j-seeded-000001" 2>/dev/null |
+			grep -q '"state": "done"'; then
+			ok=1
+			break
+		fi
+		sleep 0.2
+	done
+	[ "$ok" = 1 ] || {
+		echo "serve smoke: restarted server never completed the seeded job" >&2
+		curl -sf "http://$saddr/v1/jobs/j-seeded-000001" >&2 || true
+		cat "$out/server.log" >&2
+		exit 1
+	}
+	curl -sf "http://$saddr/v1/jobs/j-seeded-000001/result" >"$out/seeded-cell.json"
+	grep -q '"Cycles"' "$out/seeded-cell.json" || {
+		echo "serve smoke: seeded job result has no cell payload" >&2
+		cat "$out/seeded-cell.json" >&2
+		exit 1
+	}
+	curl -sf "http://$saddr/healthz" | grep -q '"resumed": [1-9]' || {
+		echo "serve smoke: restarted server reports no resumed jobs" >&2
+		exit 1
+	}
+	"$bin/pipette-validate" "$sdata/jobs/j-seeded-000001.json"
+	kill -TERM "$spid"
+	wait "$spid" || {
+		echo "serve smoke: second drain exited non-zero" >&2
+		cat "$out/server.log" >&2
+		exit 1
+	}
+	trap - EXIT
+	echo "serve smoke OK"
+}
+
 # Stale-artifact gate: the committed tiny-scale experiments transcript
 # (experiments_output_tiny.txt, stdout only — timing lines go to stderr)
 # must match a fresh regeneration byte for byte, and its section titles
@@ -246,6 +359,10 @@ profile-smoke)
 	profile_smoke
 	exit 0
 	;;
+serve-smoke)
+	serve_smoke
+	exit 0
+	;;
 experiments-check)
 	experiments_check
 	exit 0
@@ -277,6 +394,7 @@ smoke
 sweep_smoke
 diverge_smoke
 profile_smoke
+serve_smoke
 ./scripts/benchguard_test.sh
 experiments_check
 echo "== benchmark regression guard =="
