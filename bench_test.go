@@ -25,7 +25,7 @@ func benchOut() io.Writer {
 func runExp(b *testing.B, name string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		if err := harness.Run(name, benchOut(), harness.Default()); err != nil {
+		if err := harness.Run(name, benchOut(), harness.Default(), harness.SweepOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

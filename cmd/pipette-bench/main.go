@@ -39,6 +39,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "override the base RNG seed for synthetic inputs (0 = default)")
 	tiny := flag.Bool("tiny", false, "use the fast test-scale configuration (CI smoke)")
 	noFF := flag.Bool("no-fastforward", false, "tick every cycle instead of fast-forwarding quiescent spans (identical results, slower)")
+	noPredecode := flag.Bool("no-predecode", false, "rename from raw instructions instead of the pre-decoded micro-op stream (identical results, slower)")
 	simWorkers := flag.Int("sim-workers", 1, "goroutines ticking simulated cores inside each cell (identical results at any value)")
 	httpAddr := flag.String("http", "", "serve live sweep introspection on host:port (/top, /debug/vars, /debug/pprof); output stays byte-identical")
 	reportOut := flag.String("report-out", "", "write the evaluation matrix as a run-set JSON file")
@@ -89,6 +90,7 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.NoFastForward = *noFF
+	cfg.NoPredecode = *noPredecode
 	cfg.SimWorkers = *simWorkers
 
 	opts := harness.SweepOptions{Jobs: *jobs, FailFast: *failFast, CacheDir: *sweepCache, Warmup: *warmup}
@@ -103,7 +105,6 @@ func main() {
 		}
 		*sweepOnly = true
 	}
-	harness.SetSweepOptions(opts)
 
 	if *httpAddr != "" {
 		psrv, err := profile.NewServer(*httpAddr)
@@ -124,7 +125,7 @@ func main() {
 		}
 		for _, n := range names {
 			start := time.Now()
-			if err := harness.Run(n, os.Stdout, cfg); err != nil {
+			if err := harness.Run(n, os.Stdout, cfg, opts); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
 				exit(1)
 			}
@@ -136,7 +137,7 @@ func main() {
 
 		if *reportOut != "" {
 			if err := writeRunSet(*reportOut, func(f *os.File) error {
-				return harness.WriteRunSet(f, cfg, *exp)
+				return harness.WriteRunSet(f, cfg, opts, *exp)
 			}); err != nil {
 				fatal(err)
 			}

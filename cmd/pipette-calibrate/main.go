@@ -73,13 +73,12 @@ func main() {
 		opts.Progress = os.Stderr
 		progress = os.Stderr
 	}
-	harness.SetSweepOptions(opts)
 
 	if *writeRef {
 		if *set != "" || *calibrate != "" {
 			fatal(fmt.Errorf("-write-ref takes no -set/-calibrate: the reference must be the unperturbed model"))
 		}
-		e, err := harness.Evaluate(cfg)
+		e, err := harness.EvaluateWith(cfg, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -114,11 +113,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if rep, err = validate.Calibrate(cfg, ref, grid, progress); err != nil {
+		if rep, err = validate.Calibrate(cfg, opts, ref, grid, progress); err != nil {
 			fatal(err)
 		}
 	} else {
-		e, err := harness.Evaluate(cfg)
+		e, err := harness.EvaluateWith(cfg, opts)
 		if err != nil {
 			fatal(err)
 		}

@@ -6,6 +6,11 @@
 //
 //	pipette-dis -app bfs -variant pipette     # all stage programs of a kernel
 //	pipette-dis -file kernel.s                # assemble + dump a .s file
+//	pipette-dis -app bfs -uops                # pre-decoded micro-op stream
+//
+// -uops dumps the pre-decoded micro-op stream the core's frontend actually
+// renames from (internal/isa.Predecode): basic blocks, per-op operand
+// metadata, and fusion-pair annotations.
 package main
 
 import (
@@ -24,7 +29,15 @@ func main() {
 	app := flag.String("app", "", "bfs | cc | prd | radii | spmm | silo")
 	variant := flag.String("variant", "pipette", "serial | data-parallel | pipette | pipette-nora")
 	file := flag.String("file", "", "assemble and dump a textual .s program")
+	uops := flag.Bool("uops", false, "dump the pre-decoded micro-op stream (blocks, operands, fusion) instead of instructions")
 	flag.Parse()
+
+	dump := func(p *isa.Program) string {
+		if *uops {
+			return isa.Predecode(p).Disassemble()
+		}
+		return p.Disassemble()
+	}
 
 	if *file != "" {
 		src, err := os.ReadFile(*file)
@@ -37,7 +50,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Print(p.Disassemble())
+		fmt.Print(dump(p))
 		return
 	}
 	if *app == "" {
@@ -61,7 +74,7 @@ func main() {
 	}
 	b(s)
 	for _, p := range progs {
-		fmt.Print(p.Disassemble())
+		fmt.Print(dump(p))
 		fmt.Println()
 	}
 }

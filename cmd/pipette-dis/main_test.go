@@ -1,0 +1,42 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pipette/internal/isa"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestUopsGolden pins the -uops rendering: the micro-op stream for a
+// program exercising every fusion class (addr-gen, rmw, cmp-br) plus
+// queue-bound ops that must never fuse. Regenerate with -update after a
+// deliberate format change.
+func TestUopsGolden(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "fusion.s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := isa.ParseAsm(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := isa.Predecode(p).Disassemble()
+
+	goldenPath := filepath.Join("testdata", "fusion.uops.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("-uops output changed (run `go test ./cmd/pipette-dis -update` if deliberate)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,14 @@
+; exercises every fusion class and the operand metadata the -uops dump shows
+.name fusion-demo
+.map r10 q0 out
+.map r11 q1 in
+.set r1 8
+loop:
+  addi r2, r1, 64       ; addr-gen ...
+  ld8 r3, r2, 0         ; ... fused load
+  addi r4, r1, 128      ; addr-gen ...
+  fetchadd r5, r4, r3   ; ... fused rmw
+  add r11, r10, r3      ; deq q0 -> enq q1 (never fused)
+  subi r1, r1, 1        ; compare ...
+  bnei r1, 0, loop      ; ... fused branch
+  halt

@@ -12,10 +12,15 @@
 //	pipette-sim -app cc -variant pipette -checkpoint-every 50000 -checkpoint-out cc.snap
 //	pipette-diverge -snapshot cc.snap -b Cache.DRAMLat=200
 //	pipette-diverge -snapshot cc.snap -a NoCLatency=8 -b NoCLatency=16 -granularity 4096
+//	pipette-diverge -snapshot cc.snap -b-no-predecode
 //
 // Override specs are comma-separated dotted field paths into sim.Config
 // (e.g. "Cache.DRAMLat=200,NoCLatency=16"). With no overrides the two
 // sides are identical and the tool verifies they never diverge.
+// -a-no-predecode / -b-no-predecode put one side on the raw-Inst rename
+// path (the -no-predecode escape hatch); since the decoded frontend is
+// bit-identical by construction, such a run must also never diverge —
+// and if it ever does, this tool pinpoints the offending cycle.
 package main
 
 import (
@@ -36,6 +41,8 @@ func main() {
 	snapPath := flag.String("snapshot", "", "pipette.snapshot/v1 file to fork both sides from (required)")
 	overA := flag.String("a", "", "side A config overrides: comma-separated Field.Path=value")
 	overB := flag.String("b", "", "side B config overrides: comma-separated Field.Path=value")
+	noPdA := flag.Bool("a-no-predecode", false, "side A renames from raw instructions (predecode escape hatch)")
+	noPdB := flag.Bool("b-no-predecode", false, "side B renames from raw instructions (predecode escape hatch)")
 	granularity := flag.Uint64("granularity", 1024, "lockstep scan interval in cycles before bisecting")
 	maxCycles := flag.Uint64("max-cycles", 0, "stop scanning this many cycles past the snapshot (0 = run to completion)")
 	diffLimit := flag.Int("diff-limit", 64, "maximum differing fields to print")
@@ -61,17 +68,17 @@ func main() {
 		fatal(fmt.Errorf("decoding snapshot config: %w", err))
 	}
 
-	sideA, err := newSide(*snapPath, baseCfg, wl, *overA)
+	sideA, err := newSide(*snapPath, baseCfg, wl, *overA, !*noPdA)
 	if err != nil {
 		fatal(fmt.Errorf("side A: %w", err))
 	}
-	sideB, err := newSide(*snapPath, baseCfg, wl, *overB)
+	sideB, err := newSide(*snapPath, baseCfg, wl, *overB, !*noPdB)
 	if err != nil {
 		fatal(fmt.Errorf("side B: %w", err))
 	}
 	start := sideA.Now()
 	fmt.Printf("forked %s/%s/%s at cycle %d\n", wl.App, wl.Variant, wl.Input, start)
-	fmt.Printf("  A: %s\n  B: %s\n", describe(*overA), describe(*overB))
+	fmt.Printf("  A: %s\n  B: %s\n", describe(*overA, *noPdA), describe(*overB, *noPdB))
 
 	// Phase 1 — lockstep scan at -granularity until the hashes part ways.
 	lo := start // highest cycle where the sides are known hash-equal
@@ -100,11 +107,11 @@ func main() {
 	// Phase 2 — bisect: fresh fork, rerun to lo, then advance one cycle at
 	// a time until the hashes first differ. Simulation is deterministic, so
 	// the rerun reproduces the scan exactly.
-	sideA, err = newSide(*snapPath, baseCfg, wl, *overA)
+	sideA, err = newSide(*snapPath, baseCfg, wl, *overA, !*noPdA)
 	if err != nil {
 		fatal(err)
 	}
-	sideB, err = newSide(*snapPath, baseCfg, wl, *overB)
+	sideB, err = newSide(*snapPath, baseCfg, wl, *overB, !*noPdB)
 	if err != nil {
 		fatal(err)
 	}
@@ -134,7 +141,7 @@ func main() {
 
 // newSide builds one side: config overrides applied, workload rebuilt,
 // snapshot loosely restored.
-func newSide(snapPath string, base sim.Config, wl checkpoint.Workload, overrides string) (*sim.System, error) {
+func newSide(snapPath string, base sim.Config, wl checkpoint.Workload, overrides string, predecode bool) (*sim.System, error) {
 	cfg := base
 	if err := applyOverrides(&cfg, overrides); err != nil {
 		return nil, err
@@ -152,6 +159,7 @@ func newSide(snapPath string, base sim.Config, wl checkpoint.Workload, overrides
 		return nil, err
 	}
 	s := sim.New(cfg)
+	s.SetPredecode(predecode)
 	b(s)
 	f, err := os.Open(snapPath)
 	if err != nil {
@@ -273,9 +281,15 @@ func applyOverrides(cfg *sim.Config, spec string) error {
 	return nil
 }
 
-func describe(spec string) string {
-	if spec == "" {
+func describe(spec string, noPredecode bool) string {
+	if spec == "" && !noPredecode {
 		return "(base config)"
+	}
+	if noPredecode {
+		if spec == "" {
+			return "(base config, no-predecode)"
+		}
+		return spec + " (no-predecode)"
 	}
 	return spec
 }

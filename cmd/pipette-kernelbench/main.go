@@ -24,6 +24,13 @@
 //     throughput on a bit-identical simulation. It only materializes with
 //     enough host cores, so the speedup floor is skipped by -check on hosts
 //     with fewer than 4 CPUs (the document always records host_cpus).
+//   - "decoded": the pre-decoded micro-op frontend (docs/FRONTEND.md) on the
+//     membound acceptance workloads (serial BFS/PRD, same configuration as
+//     the membound rows) — base is the fully escape-hatched kernel
+//     (-no-predecode -no-fastforward, the legacy everything-off path),
+//     contrast is the production fast path (predecode + fast-forward). The
+//     ratio is the total speed win of the production frontend stack over the
+//     legacy kernel and holds the >= 2x acceptance floor.
 //
 // Usage:
 //
@@ -55,8 +62,9 @@ import (
 // Schema identifies the BENCH_kernel.json document format. v2: adds host
 // metadata (host_cpus, gomaxprocs, sim_workers) and the "parallel" regime,
 // whose base/contrast modes are worker counts rather than fast-forward
-// settings.
-const Schema = "pipette.kernelbench/v2"
+// settings. v3: adds the "decoded" regime, whose base mode disables both
+// the micro-op frontend and fast-forward and whose contrast enables both.
+const Schema = "pipette.kernelbench/v3"
 
 // parallelWorkers is the -sim-workers setting of the parallel-regime
 // contrast runs (matches the 4 simulated cores of the streaming variants).
@@ -64,11 +72,14 @@ const parallelWorkers = 4
 
 // run is one measured row. The two modes are the regime's base kernel and
 // its contrast: for std/membound rows Ticked is the -no-fastforward kernel
-// and FastForward the quiescence-fast-forwarding one; for parallel rows
-// Ticked is the single-goroutine kernel and FastForward the -sim-workers
-// pool (Workers records the count), both with fast-forward enabled. In
-// every regime the simulated results are bit-identical between the two
-// modes — the row fails if even the cycle count differs.
+// and FastForward the quiescence-fast-forwarding one (predecode on in both
+// modes); for parallel rows Ticked is the single-goroutine kernel and
+// FastForward the -sim-workers pool (Workers records the count), both with
+// fast-forward enabled; for decoded rows Ticked is the everything-off
+// legacy kernel (-no-predecode -no-fastforward) and FastForward the full
+// production fast path (predecode + fast-forward). In every regime the
+// simulated results are bit-identical between the two modes — the row
+// fails if even the cycle count differs.
 type run struct {
 	Regime  string `json:"regime"` // "std", "membound" or "parallel"
 	App     string `json:"app"`
@@ -117,6 +128,11 @@ var matrix = []spec{
 	{"std", "radii", bench.VPipette, "Co"},
 	{"std", "spmm", bench.VPipette, "Am"},
 	{"std", "silo", bench.VPipette, "ycsbc"},
+	// The decoded acceptance row is serial BFS only: PRD's production-vs-
+	// legacy ratio sits too close to the 2x floor (~2.0-2.5x depending on
+	// host load) to make a stable CI guard, while BFS clears it with ~50%
+	// margin.
+	{"decoded", "bfs", bench.VSerial, "Rd"},
 	{"parallel", "bfs", bench.VStreaming, "Rd"},
 	{"parallel", "prd", bench.VStreaming, "Rd"},
 }
@@ -155,7 +171,7 @@ func resolve(sp spec) (bench.Builder, int, sim.Config, error) {
 	return nil, 0, cfg, fmt.Errorf("no membound row for %s/%s", sp.app, sp.variant)
 }
 
-func measure(sp spec, ff bool, workers int) (uint64, float64, error) {
+func measure(sp spec, ff bool, workers int, predecode bool) (uint64, float64, error) {
 	b, cores, cfg, err := resolve(sp)
 	if err != nil {
 		return 0, 0, err
@@ -164,6 +180,7 @@ func measure(sp spec, ff bool, workers int) (uint64, float64, error) {
 	s := sim.New(cfg)
 	s.SetFastForward(ff)
 	s.SetWorkers(workers)
+	s.SetPredecode(predecode)
 	// Time the simulation only: workload construction (graph layout into
 	// simulated memory) and result validation are kernel-independent.
 	check := b(s)
@@ -207,15 +224,21 @@ func main() {
 		var cyc, conCyc uint64
 		var baseWall, conWall float64
 		var err error
-		if sp.regime == "parallel" {
-			cyc, baseWall, err = measure(sp, true, 1)
+		switch sp.regime {
+		case "parallel":
+			cyc, baseWall, err = measure(sp, true, 1, true)
 			if err == nil {
-				conCyc, conWall, err = measure(sp, true, parallelWorkers)
+				conCyc, conWall, err = measure(sp, true, parallelWorkers, true)
 			}
-		} else {
-			cyc, baseWall, err = measure(sp, false, 1)
+		case "decoded":
+			cyc, baseWall, err = measure(sp, false, 1, false)
 			if err == nil {
-				conCyc, conWall, err = measure(sp, true, 1)
+				conCyc, conWall, err = measure(sp, true, 1, true)
+			}
+		default:
+			cyc, baseWall, err = measure(sp, false, 1, true)
+			if err == nil {
+				conCyc, conWall, err = measure(sp, true, 1, true)
 			}
 		}
 		if err != nil {
@@ -288,8 +311,10 @@ func writeBaseline(path string, d doc) error {
 	fmt.Fprintln(w, "# std/membound rows contrast fast-forward against the ticked kernel; parallel")
 	fmt.Fprintln(w, "# rows contrast -sim-workers=4 against the single-goroutine kernel (their")
 	fmt.Fprintln(w, "# speedup floor is skipped on hosts with fewer than 4 CPUs).")
+	fmt.Fprintln(w, "# Decoded rows contrast the production fast path (predecode + fast-forward)")
+	fmt.Fprintln(w, "# against the legacy everything-off kernel and hold the 2x acceptance floor.")
 	fmt.Fprintln(w, "# Loose ceilings (4x measured ns/cycle, 0.5x measured speedup, floor 1.0;")
-	fmt.Fprintln(w, "# parallel floor 1.5) so runner noise cannot trip them. Regenerate with:")
+	fmt.Fprintln(w, "# parallel floor 1.5, decoded floor 2.0) so runner noise cannot trip them. Regenerate with:")
 	fmt.Fprintln(w, "#   go run ./cmd/pipette-kernelbench -apps <apps> -update-baseline <this file>")
 	for _, r := range d.Runs {
 		floor := r.Speedup / 2
@@ -298,6 +323,9 @@ func writeBaseline(path string, d doc) error {
 		}
 		if r.Regime == "parallel" && floor < 1.5 {
 			floor = 1.5
+		}
+		if r.Regime == "decoded" && floor < 2 {
+			floor = 2
 		}
 		fmt.Fprintf(w, "%s %d %.2f\n", key(r), uint64(r.Ticked.NsPerCycle*4)+1, floor)
 	}

@@ -52,6 +52,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write sampled time-series metrics (.csv, or .json)")
 	metricsInterval := flag.Uint64("metrics-interval", 0, "sampling period in cycles (default 1024)")
 	noFF := flag.Bool("no-fastforward", false, "tick every cycle instead of fast-forwarding quiescent spans (identical results, slower)")
+	noPredecode := flag.Bool("no-predecode", false, "rename from raw instructions instead of the pre-decoded micro-op stream (identical results, slower)")
 	simWorkers := flag.Int("sim-workers", 1, "goroutines ticking simulated cores each cycle (identical results at any value)")
 	profileOn := flag.Bool("profile", false, "enable cycle-accounting profiling (CPI stacks, queue histograms; identical simulated results)")
 	httpAddr := flag.String("http", "", "serve live introspection on host:port (/top, /debug/vars, /debug/pprof); implies -profile")
@@ -101,6 +102,7 @@ func main() {
 	cfg.WatchdogCycles = 10_000_000
 	s := sim.New(cfg)
 	s.SetFastForward(!*noFF)
+	s.SetPredecode(!*noPredecode)
 	s.SetWorkers(*simWorkers)
 	if *traceOut != "" {
 		s.EnableTracing(*traceBuf)

@@ -13,11 +13,12 @@ import (
 )
 
 // ffRun is everything an execution-strategy knob (quiescence fast-forward,
-// the -sim-workers pool) must leave bit-identical: the final absolute
-// cycle, the full Result (cycle counts, CPI stacks, occupancy integrals,
-// connector stats via StateHash), the canonical state hash, the sampled
-// telemetry series rendered to its on-disk form, and the traced event
-// stream (every event, in order, plus the all-time emission count).
+// the -sim-workers pool, the pre-decoded micro-op frontend) must leave
+// bit-identical: the final absolute cycle, the full Result (cycle counts,
+// CPI stacks, occupancy integrals, connector stats via StateHash), the
+// canonical state hash, the sampled telemetry series rendered to its
+// on-disk form, and the traced event stream (every event, in order, plus
+// the all-time emission count).
 type ffRun struct {
 	now     uint64
 	result  sim.Result
@@ -27,7 +28,7 @@ type ffRun struct {
 	emitted uint64
 }
 
-func runCell(t *testing.T, app, variant, input string, ff bool, workers int) ffRun {
+func runCell(t *testing.T, app, variant, input string, ff bool, workers int, predecode bool) ffRun {
 	t.Helper()
 	b, cores, err := Lookup(app, variant, input, 2, 1)
 	if err != nil {
@@ -40,6 +41,7 @@ func runCell(t *testing.T, app, variant, input string, ff bool, workers int) ffR
 	s := sim.New(cfg)
 	s.SetFastForward(ff)
 	s.SetWorkers(workers)
+	s.SetPredecode(predecode)
 	tr := s.EnableTracing(1 << 16)
 	sm := s.EnableSampling(256)
 	r, err := Run(s, b)
@@ -62,7 +64,7 @@ func runCell(t *testing.T, app, variant, input string, ff bool, workers int) ffR
 
 func runWithFF(t *testing.T, app, variant, input string, ff bool) ffRun {
 	t.Helper()
-	return runCell(t, app, variant, input, ff, 1)
+	return runCell(t, app, variant, input, ff, 1, true)
 }
 
 // sameRun asserts two runs of the same workload are bit-identical in every
@@ -101,11 +103,12 @@ func sameRun(t *testing.T, labelA, labelB string, a, b ffRun) {
 }
 
 // TestFastForwardEquivalence is the acceptance matrix for quiescence
-// fast-forward: for all six apps in both the baseline (serial) and pipette
-// variants, a fast-forwarded run and a tick-every-cycle run must agree on
-// the final cycle count, every statistic in the Result, the canonical
-// StateHash of the finished machine, and the byte-exact telemetry sample
-// series.
+// fast-forward and the pre-decoded frontend: for all six apps in both the
+// baseline (serial) and pipette variants, the reference run (fast-forward
+// on, predecode on) must agree with a tick-every-cycle run and with a
+// raw-Inst-path run on the final cycle count, every statistic in the
+// Result, the canonical StateHash of the finished machine, and the
+// byte-exact telemetry sample series.
 func TestFastForwardEquivalence(t *testing.T) {
 	cases := []struct{ app, input string }{
 		{"bfs", "Co"},
@@ -120,9 +123,11 @@ func TestFastForwardEquivalence(t *testing.T) {
 			tc, variant := tc, variant
 			t.Run(fmt.Sprintf("%s/%s", tc.app, variant), func(t *testing.T) {
 				t.Parallel()
-				on := runWithFF(t, tc.app, variant, tc.input, true)
-				off := runWithFF(t, tc.app, variant, tc.input, false)
-				sameRun(t, "ff", "noff", on, off)
+				ref := runWithFF(t, tc.app, variant, tc.input, true)
+				noff := runWithFF(t, tc.app, variant, tc.input, false)
+				sameRun(t, "ff", "noff", ref, noff)
+				nopd := runCell(t, tc.app, variant, tc.input, true, 1, false)
+				sameRun(t, "predecode", "raw", ref, nopd)
 			})
 		}
 	}
@@ -147,21 +152,23 @@ func TestParallelEquivalence(t *testing.T) {
 		{"silo", "ycsbc"},
 	}
 	alts := []struct {
-		name    string
-		ff      bool
-		workers int
+		name      string
+		ff        bool
+		workers   int
+		predecode bool
 	}{
-		{"workers4-ff", true, 4},
-		{"workers1-noff", false, 1},
-		{"workers4-noff", false, 4},
+		{"workers4-ff", true, 4, true},
+		{"workers1-noff", false, 1, true},
+		{"workers4-noff", false, 4, true},
+		{"workers4-ff-nopd", true, 4, false},
 	}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(fmt.Sprintf("%s/streaming", tc.app), func(t *testing.T) {
 			t.Parallel()
-			ref := runCell(t, tc.app, VStreaming, tc.input, true, 1)
+			ref := runCell(t, tc.app, VStreaming, tc.input, true, 1, true)
 			for _, alt := range alts {
-				got := runCell(t, tc.app, VStreaming, tc.input, alt.ff, alt.workers)
+				got := runCell(t, tc.app, VStreaming, tc.input, alt.ff, alt.workers, alt.predecode)
 				sameRun(t, "workers1-ff", alt.name, ref, got)
 			}
 		})
@@ -170,8 +177,8 @@ func TestParallelEquivalence(t *testing.T) {
 		tc := tc
 		t.Run(fmt.Sprintf("%s/pipette-1core", tc.app), func(t *testing.T) {
 			t.Parallel()
-			ref := runCell(t, tc.app, VPipette, tc.input, true, 1)
-			got := runCell(t, tc.app, VPipette, tc.input, true, 4)
+			ref := runCell(t, tc.app, VPipette, tc.input, true, 1, true)
+			got := runCell(t, tc.app, VPipette, tc.input, true, 4, true)
 			sameRun(t, "workers1", "workers4", ref, got)
 		})
 	}
@@ -227,12 +234,14 @@ func TestParallelCheckpointEquivalence(t *testing.T) {
 }
 
 // TestFastForwardCheckpointEquivalence runs the same workload through a
-// segmented RunUntil loop (the -checkpoint-every pattern) with fast-forward
-// on and off, comparing the machine state hash at every segment boundary.
-// This pins the jump-capping behaviour: a jump must land exactly on the
-// segment bound, never beyond it.
+// segmented RunUntil loop (the -checkpoint-every pattern) with both speed
+// knobs on (fast-forward + predecode) versus both off, comparing the
+// machine state hash at every segment boundary. This pins the jump-capping
+// behaviour — a jump must land exactly on the segment bound, never beyond
+// it — and that the decoded-frontend cache is pure derived state that never
+// leaks into a checkpoint hash.
 func TestFastForwardCheckpointEquivalence(t *testing.T) {
-	build := func(ff bool) *sim.System {
+	build := func(fast bool) *sim.System {
 		b, cores, err := Lookup("bfs", VPipette, "Co", 2, 1)
 		if err != nil {
 			t.Fatal(err)
@@ -241,7 +250,8 @@ func TestFastForwardCheckpointEquivalence(t *testing.T) {
 		cfg.Cores = cores
 		cfg.Cache = cache.DefaultConfig().Scale(8)
 		s := sim.New(cfg)
-		s.SetFastForward(ff)
+		s.SetFastForward(fast)
+		s.SetPredecode(fast)
 		b(s)
 		return s
 	}

@@ -75,18 +75,23 @@ func (c *Core) issue() int {
 			stores++
 			u.doneAt = c.now + 1 // leaves the SQ; memory written back at commit
 		default:
-			var lat uint64
-			switch u.op.Class() {
-			case isa.ClassMul:
-				lat = c.cfg.IntMulLat
-			case isa.ClassDiv:
-				lat = c.cfg.IntDivLat
-			case isa.ClassFPAdd, isa.ClassFPMul:
-				lat = c.cfg.FPLat
-			case isa.ClassFPDiv:
-				lat = c.cfg.FPDivLat
-			default:
-				lat = 1
+			// The decoded frontend stamps u.lat from the per-class table at
+			// rename; raw-path and restored µops (lat 0) derive it here. The
+			// two agree by construction (latab mirrors this switch).
+			lat := u.lat
+			if lat == 0 {
+				switch u.op.Class() {
+				case isa.ClassMul:
+					lat = c.cfg.IntMulLat
+				case isa.ClassDiv:
+					lat = c.cfg.IntDivLat
+				case isa.ClassFPAdd, isa.ClassFPMul:
+					lat = c.cfg.FPLat
+				case isa.ClassFPDiv:
+					lat = c.cfg.FPDivLat
+				default:
+					lat = 1
+				}
 			}
 			u.doneAt = c.now + lat
 		}

@@ -224,6 +224,12 @@ type uop struct {
 	state   uopState
 	doneAt  uint64
 
+	// lat is the execution latency the decoded frontend precomputed at
+	// rename (0 = derive from the op class at issue; the raw path and
+	// restored µops do). Derived, never serialized — both derivations
+	// agree, so hashes are identical either way.
+	lat uint64
+
 	// profLvl marks an in-flight load for the cycle-accounting profiler:
 	// cache level + 1 (0 = unmarked), set at issue and cleared at retire so
 	// the outstanding-by-level counters stay balanced. Never serialized —
@@ -266,6 +272,12 @@ type thread struct {
 
 	hist uint64 // branch history for gshare
 
+	// dec is the pre-decoded form of prog from the core's block cache, or
+	// nil when the raw-Inst path is selected (-no-predecode). Derived
+	// state: rebuilt on Load/SetPredecode/restore, never serialized, so
+	// state hashes are identical with predecode on or off.
+	dec *isa.DecodedProgram
+
 	// Queue-register bindings, resolved from prog.Bindings at load.
 	inQ  [isa.NumArchRegs]*queue.Queue // writes enqueue here
 	outQ [isa.NumArchRegs]*queue.Queue // reads dequeue from here
@@ -305,6 +317,16 @@ type Core struct {
 	stats    Stats
 	units    []Unit
 	bpred    *bpred
+
+	// Pre-decoded micro-op frontend (frontend.go): predecode selects the
+	// decoded rename path (default on), dcache is the per-core basic-block
+	// cache of decoded programs, latab the per-class execution latencies
+	// precomputed from cfg so issue skips the class switch. All host-side
+	// derived state: never serialized.
+	predecode bool
+	dcache    map[*isa.Program]*isa.DecodedProgram
+	dcstats   DecodeCacheStats
+	latab     [isa.NumClasses]uint64
 
 	// busyAt is the last cycle any tick path mutated machine state; while
 	// busyAt == now the core reports NextEvent = now+1 so quiescence
@@ -350,13 +372,23 @@ type Core struct {
 // cfg.DefaultQueueCap; override with SetQueueCaps before loading programs.
 func New(id int, cfg Config, m *mem.Memory, port *cache.Port) *Core {
 	c := &Core{
-		id:    id,
-		cfg:   cfg,
-		mem:   m,
-		port:  port,
-		qrm:   queue.NewQRM(cfg.NumQueues, cfg.DefaultQueueCap),
-		bpred: newBpred(cfg.BPredBits),
+		id:        id,
+		cfg:       cfg,
+		mem:       m,
+		port:      port,
+		qrm:       queue.NewQRM(cfg.NumQueues, cfg.DefaultQueueCap),
+		bpred:     newBpred(cfg.BPredBits),
+		predecode: true,
+		dcache:    make(map[*isa.Program]*isa.DecodedProgram),
 	}
+	for cl := range c.latab {
+		c.latab[cl] = 1
+	}
+	c.latab[isa.ClassMul] = cfg.IntMulLat
+	c.latab[isa.ClassDiv] = cfg.IntDivLat
+	c.latab[isa.ClassFPAdd] = cfg.FPLat
+	c.latab[isa.ClassFPMul] = cfg.FPLat
+	c.latab[isa.ClassFPDiv] = cfg.FPDivLat
 	for i := 0; i < cfg.PhysRegs; i++ {
 		c.freelist = append(c.freelist, int32(i))
 	}
@@ -450,6 +482,13 @@ func (c *Core) Load(tid int, p *isa.Program) {
 			t.outQ[b.Reg] = c.qrm.Q(b.Q)
 		}
 	}
+	t.dec = nil
+	if c.predecode {
+		t.dec = c.decodedFor(p)
+	}
+	// A reload must not leave the block cache pinning programs no thread
+	// runs anymore (frontend.go).
+	c.evictStaleDecodes()
 }
 
 // AddUnit attaches a hardware unit (e.g. an RA) ticked every cycle.

@@ -1,0 +1,492 @@
+// The pre-decoded micro-op frontend: rename consuming isa.DecodedOp
+// streams instead of raw isa.Inst values (see docs/FRONTEND.md).
+//
+// Each core keeps a basic-block cache mapping loaded programs to their
+// pre-decoded form (isa.Predecode). The decoded stream is derived state:
+// it is rebuilt on Load, flushed when a program is unloaded, and never
+// serialized — checkpoints re-derive it, which is what keeps state hashes
+// bit-identical with predecode on or off (the hard invariant the
+// equivalence matrix enforces).
+//
+// renameDecodedOne mirrors renameOne phase for phase; every check, stat,
+// trap and stall is taken in the same order so the two paths are
+// bit-identical. The decoded path additionally dispatches fused pairs
+// (isa.FuseKind) in one step: the leader is inlined on a pre-checked fast
+// path and the dependent op follows immediately, its timing chained onto
+// the leader's fresh rename mapping exactly as two single renames would.
+package core
+
+import (
+	"pipette/internal/isa"
+	"pipette/internal/mem"
+	"pipette/internal/queue"
+	"pipette/internal/telemetry"
+)
+
+// DecodeCacheStats counts per-core decode-cache traffic. Host-side
+// bookkeeping only: never serialized, and identical results are produced
+// whatever the hit pattern.
+type DecodeCacheStats struct {
+	Hits      uint64 // Load found the program already decoded
+	Misses    uint64 // Load (or restore) ran the predecoder
+	Evictions uint64 // decoded programs dropped because no thread runs them
+}
+
+// DecodeCache returns the core's decode-cache counters.
+func (c *Core) DecodeCache() DecodeCacheStats { return c.dcstats }
+
+// PredecodeEnabled reports whether the core renames from the pre-decoded
+// micro-op stream (true unless SetPredecode(false) selected the raw path).
+func (c *Core) PredecodeEnabled() bool { return c.predecode }
+
+// SetPredecode selects between the pre-decoded micro-op frontend (default)
+// and the raw-Inst interpreter path (-no-predecode). Safe to call before
+// or after programs are loaded; results are bit-identical either way.
+func (c *Core) SetPredecode(on bool) {
+	c.predecode = on
+	for _, t := range c.threads {
+		if !on {
+			t.dec = nil
+			continue
+		}
+		if t.prog != nil {
+			t.dec = c.decodedFor(t.prog)
+		}
+	}
+	if !on {
+		c.flushDecodeCache()
+	}
+}
+
+// decodedFor returns the cached decoded form of p, running the predecoder
+// on a miss.
+func (c *Core) decodedFor(p *isa.Program) *isa.DecodedProgram {
+	if d, ok := c.dcache[p]; ok {
+		c.dcstats.Hits++
+		return d
+	}
+	if c.dcache == nil {
+		c.dcache = make(map[*isa.Program]*isa.DecodedProgram)
+	}
+	d := isa.Predecode(p)
+	c.dcache[p] = d
+	c.dcstats.Misses++
+	return d
+}
+
+// evictStaleDecodes drops cached decodes for programs no thread currently
+// runs. Load calls this after installing a new program so a reloaded core
+// cannot rename from a stale block (and so long-lived cores do not pin
+// every program they ever ran).
+func (c *Core) evictStaleDecodes() {
+	for p := range c.dcache {
+		live := false
+		for _, t := range c.threads {
+			if t.prog == p {
+				live = true
+				break
+			}
+		}
+		if !live {
+			delete(c.dcache, p)
+			c.dcstats.Evictions++
+		}
+	}
+}
+
+// flushDecodeCache empties the block cache (ResetThreads, SetPredecode
+// off).
+func (c *Core) flushDecodeCache() {
+	for p := range c.dcache {
+		delete(c.dcache, p)
+		c.dcstats.Evictions++
+	}
+}
+
+// renameDecodedStep renames the next micro-op(s) of t from its decoded
+// stream: a fused pair in one dispatch when the stream marks one and the
+// budget allows it, a single micro-op otherwise.
+func (c *Core) renameDecodedStep(t *thread, budget int) (int, bool) {
+	d := &t.dec.Ops[t.pc]
+	if d.Fuse != isa.FuseNone && budget >= 2 {
+		return c.renameFusedPair(t, d)
+	}
+	return c.renameDecodedOne(t, d)
+}
+
+// regVal reads architectural register r (R0 is hardwired zero).
+func regVal(t *thread, r isa.Reg) uint64 {
+	if r == isa.R0 {
+		return 0
+	}
+	return t.regs[r]
+}
+
+// renameFusedPair renames the fused pair led by d1 in one dispatch step.
+// The combined resource pre-check makes the second slot stall-free; on any
+// shortfall it falls back to renaming the leader alone, so the outer loop
+// re-attempts the second slot and records exactly the stall the unfused
+// path would.
+func (c *Core) renameFusedPair(t *thread, d1 *isa.DecodedOp) (int, bool) {
+	d2 := &t.dec.Ops[t.pc+1]
+	if t.robUsed+2 > c.cfg.ROBPerThread || len(c.iq)+2 > c.cfg.IQSize ||
+		(d2.IsLoad && t.lqUsed >= c.cfg.LQPerThread) ||
+		(d2.IsStore && t.sqUsed >= c.cfg.SQPerThread) {
+		return c.renameDecodedOne(t, d1)
+	}
+	need := 0
+	if d1.Writes {
+		need++
+	}
+	if d2.Writes && !d2.EnqDst {
+		need++
+	}
+	if len(c.freelist) < need {
+		return c.renameDecodedOne(t, d1)
+	}
+
+	// Slot 1: plain single-result op (classifyFusion guarantees no queue
+	// effects, no memory, no control flow), pre-checked above — inline.
+	u := c.allocUop(t.id, d1.Op)
+	u.pc = t.pc
+	u.inst = d1.Inst
+	u.lat = c.latab[d1.Cls]
+	for i := 0; i < int(d1.NTiming); i++ {
+		if r := t.rmap[d1.TimingRegs[i]]; r >= 0 && u.nsrc < len(u.src) {
+			u.src[u.nsrc] = r
+			u.nsrc++
+		}
+	}
+	a := regVal(t, d1.Ra)
+	b := uint64(d1.Imm)
+	if !d1.UseImm {
+		b = regVal(t, d1.Rb)
+	}
+	result := isa.EvalALU(d1.Op, a, b)
+	if d1.Writes {
+		phys, _ := c.AllocPhys()
+		u.dst = phys
+		u.oldDst = t.rmap[d1.Dst]
+		t.rmap[d1.Dst] = phys
+		c.regReady[phys] = queue.NotReady
+		t.regs[d1.Dst] = result
+	}
+	t.pc++
+	t.inflight++
+	t.robUsed++
+	c.rob[t.id] = append(c.rob[t.id], u)
+	c.iq = append(c.iq, u)
+
+	// Slot 2: full decoded rename; its sources chain onto slot 1's fresh
+	// mapping exactly as two back-to-back single renames would.
+	n2, ok := c.renameDecodedOne(t, d2)
+	if !ok {
+		return 1, true // defensive; unreachable under the pre-check
+	}
+	return 1 + n2, true
+}
+
+// execAtomic performs the functional read-modify-write of an atomic
+// micro-op, mirroring renameOne's ClassAtomic arm: deferred mode buffers
+// the RMW into the cycle's commit phase (returning 0 — the architectural
+// result is patched into the register file there) and fences the thread;
+// direct mode executes immediately and returns the old value.
+func (c *Core) execAtomic(t *thread, u *uop, d *isa.DecodedOp, b, cv uint64, enq bool) uint64 {
+	if c.deferred {
+		c.checkAtomicDst(enq, t.prog.Name, t.pc)
+		var aop mem.AtomicOp
+		switch d.Op {
+		case isa.OpCas:
+			aop = mem.OpCas
+		case isa.OpFetchAdd:
+			aop = mem.OpFetchAdd
+		case isa.OpFetchMin:
+			aop = mem.OpFetchMin
+		case isa.OpFetchOr:
+			aop = mem.OpFetchOr
+		}
+		var res *uint64
+		if d.Writes {
+			res = &t.regs[d.Dst]
+		}
+		c.view.Atomic(aop, u.addr, b, cv, res)
+		t.atomFence = true
+		return 0
+	}
+	old := c.mem.Read(u.addr, 8)
+	switch d.Op {
+	case isa.OpCas:
+		if old == b {
+			c.mem.Write(u.addr, 8, cv)
+		}
+	case isa.OpFetchAdd:
+		c.mem.Write(u.addr, 8, old+b)
+	case isa.OpFetchMin:
+		if b < old {
+			c.mem.Write(u.addr, 8, b)
+		}
+	case isa.OpFetchOr:
+		c.mem.Write(u.addr, 8, old|b)
+	}
+	return old
+}
+
+// renameDecodedOne is renameOne on the pre-decoded stream: identical
+// phases, checks, stats and stalls, with every per-instruction derivation
+// (operand sets, class, queue effects) read from the DecodedOp instead of
+// re-derived. Any behavioral divergence from renameOne is a bug — the
+// equivalence matrix compares the two paths bit for bit.
+func (c *Core) renameDecodedOne(t *thread, d *isa.DecodedOp) (int, bool) {
+	if d.Kind == isa.KindBadQueue {
+		panic(d.BadMsg)
+	}
+
+	// ---- Phase 1: check everything without mutating state. ----
+
+	if t.robUsed >= c.cfg.ROBPerThread {
+		t.stall = StallROB
+		return 0, false
+	}
+	if len(c.iq) >= c.cfg.IQSize {
+		t.stall = StallIQ
+		return 0, false
+	}
+	if d.IsLoad && t.lqUsed >= c.cfg.LQPerThread {
+		t.stall = StallLSQ
+		return 0, false
+	}
+	if d.IsStore && t.sqUsed >= c.cfg.SQPerThread {
+		t.stall = StallLSQ
+		return 0, false
+	}
+
+	// Dequeue sources (pre-resolved against the program's bindings), in
+	// read order; the first control value wins the trap, like the raw path.
+	trapQ := (*queue.Queue)(nil)
+	var deqQs [3]*queue.Queue
+	for i := 0; i < int(d.NDeq); i++ {
+		q := t.outQ[d.DeqRegs[i]]
+		if !q.CanDeq() {
+			t.stall = StallQueueEmpty
+			return 0, false
+		}
+		if q.Head().Ctrl && trapQ == nil {
+			trapQ = q
+		}
+		deqQs[i] = q
+	}
+	var peekQ *queue.Queue
+	if d.Kind == isa.KindPeek {
+		peekQ = c.qrm.Q(d.Q)
+		if !peekQ.CanDeq() {
+			t.stall = StallQueueEmpty
+			return 0, false
+		}
+		if peekQ.Head().Ctrl {
+			trapQ = peekQ
+		}
+	}
+	if trapQ != nil {
+		return c.trapDeqCV(t, trapQ)
+	}
+
+	// skip_to_ctrl: needs a control value somewhere in the queue.
+	var skipN int
+	var skipCV *queue.Entry
+	if d.Kind == isa.KindSkipC {
+		q := c.qrm.Q(d.Q)
+		n, cv, ok := q.SkipScan()
+		if !ok {
+			if !q.SkipPending {
+				q.SkipPending = true // producer's next data enqueue traps
+				c.busyAt = c.now
+			}
+			for {
+				phys, drained := q.DrainOne()
+				if !drained {
+					break
+				}
+				c.FreePhys(int32(phys))
+				c.stats.SkipDiscard++
+				c.busyAt = c.now
+			}
+			t.stall = StallSkipWait
+			return 0, false
+		}
+		skipN, skipCV = n, cv
+	}
+
+	// Destination: enqueue (write to in-mapped reg) or ordinary rename.
+	var enqQ *queue.Queue
+	if d.EnqDst {
+		enqQ = t.inQ[d.Dst]
+	}
+	if d.Kind == isa.KindEnqC {
+		enqQ = c.qrm.Q(d.Q)
+	}
+	if enqQ != nil {
+		if enqQ.SkipPending && d.Kind != isa.KindEnqC {
+			return c.trapEnq(t)
+		}
+		if !enqQ.CanEnq() {
+			t.stall = StallQueueFull
+			return 0, false
+		}
+	}
+	needPhys := 0
+	if enqQ != nil {
+		needPhys++
+	}
+	if d.Writes && !d.EnqDst {
+		needPhys++
+	}
+	if len(c.freelist) < needPhys {
+		t.stall = StallPRF
+		return 0, false
+	}
+
+	// ---- Phase 2: functional execution. ----
+
+	u := c.allocUop(t.id, d.Op)
+	u.pc = t.pc
+	u.inst = d.Inst
+	u.lat = c.latab[d.Cls]
+
+	var deqVals [3]uint64
+	for i := 0; i < int(d.NDeq); i++ {
+		q := deqQs[i]
+		e := q.Deq()
+		deqVals[i] = e.Val
+		if u.nqsrc < len(u.qsrc) {
+			u.qsrc[u.nqsrc] = qref{q, e}
+			u.nqsrc++
+		}
+		u.deqQ = q
+		u.deqN++
+		c.stats.Dequeues++
+	}
+	for i := 0; i < int(d.NTiming); i++ {
+		if r := t.rmap[d.TimingRegs[i]]; r >= 0 && u.nsrc < len(u.src) {
+			u.src[u.nsrc] = r
+			u.nsrc++
+		}
+	}
+	srcVal := func(r isa.Reg, di uint8) uint64 {
+		if di != 0 {
+			return deqVals[di-1]
+		}
+		if r == isa.R0 {
+			return 0
+		}
+		return t.regs[r]
+	}
+	a := srcVal(d.Ra, d.RaDeq)
+	b := uint64(d.Imm)
+	if !d.UseImm {
+		b = srcVal(d.Rb, d.RbDeq)
+	}
+
+	var result uint64
+	nextPC := t.pc + 1
+	switch d.Kind {
+	case isa.KindALU:
+		result = isa.EvalALU(d.Op, a, b)
+	case isa.KindLoad:
+		u.isLoad = true
+		u.addr = a + uint64(d.Imm)
+		result = c.MemRead(u.addr, int(d.MemBytes))
+	case isa.KindStore:
+		u.isStore = true
+		u.addr = a + uint64(d.Imm)
+		c.memWrite(u.addr, int(d.MemBytes), b)
+	case isa.KindAtomic:
+		u.isLoad, u.isStore, u.isAtom = true, true, true
+		u.addr = a
+		result = c.execAtomic(t, u, d, b, srcVal(d.Rc, d.RcDeq), enqQ != nil)
+	case isa.KindCondBranch:
+		taken := isa.EvalBranch(d.Op, a, b)
+		if taken {
+			nextPC = d.Target
+		}
+		c.stats.Branches++
+		pred := c.bpred.predict(t.pc, t.hist)
+		c.bpred.update(t.pc, t.hist, taken)
+		t.hist = t.hist<<1 | b2u(taken)
+		if pred != taken {
+			u.mispred = true
+			c.stats.Mispredicts++
+		}
+	case isa.KindJump:
+		if d.Op == isa.OpJr {
+			nextPC = int(a)
+		} else {
+			nextPC = d.Target
+		}
+		c.stats.Branches++
+	case isa.KindPeek:
+		e := peekQ.Head()
+		result = e.Val
+		u.qsrc[0] = qref{peekQ, e}
+		u.nqsrc = 1
+	case isa.KindEnqC:
+		result = a
+		if d.UseImm {
+			result = b
+		}
+	case isa.KindSkipC:
+		q := c.qrm.Q(d.Q)
+		result = skipCV.Val
+		u.qsrc[0] = qref{q, skipCV}
+		u.nqsrc = 1
+		u.deqQ = q
+		u.deqN = skipN + 1
+		q.SkipConsume(skipN)
+		c.stats.SkipOps++
+		c.stats.SkipDiscard += uint64(skipN)
+		if c.trace != nil {
+			c.trace.Emit(telemetry.EvSkip, int16(c.id), int16(t.id), uint64(q.ID), uint64(skipN))
+		}
+	case isa.KindQPoll:
+		q := c.qrm.Q(d.Q)
+		result = q.SpecTail - q.SpecHead
+	case isa.KindHalt:
+		t.halted = true
+		u.isHalt = true
+	}
+
+	// ---- Phase 3: destination allocation / enqueue. ----
+
+	if enqQ != nil {
+		phys, _ := c.AllocPhys()
+		u.enqQ = enqQ
+		u.enqSeq = enqQ.Enq(result, d.Kind == isa.KindEnqC, int(phys))
+		enqQ.MarkSpecReady(u.enqSeq, c.now+1)
+		c.stats.Enqueues++
+	} else if d.Writes {
+		phys, _ := c.AllocPhys()
+		u.dst = phys
+		u.oldDst = t.rmap[d.Dst]
+		t.rmap[d.Dst] = phys
+		c.regReady[phys] = queue.NotReady
+		t.regs[d.Dst] = result
+	}
+
+	// ---- Phase 4: dispatch. ----
+
+	t.pc = nextPC
+	t.inflight++
+	t.robUsed++
+	if u.isLoad {
+		t.lqUsed++
+	}
+	if u.isStore {
+		t.sqUsed++
+	}
+	c.rob[t.id] = append(c.rob[t.id], u)
+	c.iq = append(c.iq, u)
+	if u.mispred {
+		t.blockedOn = u
+		t.redirectTrap = false
+	}
+	return 1, true
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"pipette/internal/cache"
+	"pipette/internal/isa"
+	"pipette/internal/mem"
+)
+
+// sumProg computes sum(1..n) into res, with fusible addi/bne pairs.
+func sumProg(name string, n int64, res uint64) *isa.Program {
+	a := isa.NewAssembler(name)
+	a.MovI(1, 0)
+	a.MovI(2, n)
+	a.Label("loop")
+	a.Add(1, 1, 2)
+	a.SubI(2, 2, 1)
+	a.BneI(2, 0, "loop")
+	a.MovU(3, res)
+	a.St8(3, 0, 1)
+	a.Halt()
+	return a.MustLink()
+}
+
+// TestPredecodeOnOffEquivalence runs the same workload on the decoded and
+// raw-Inst paths and requires identical cycles, stats and memory.
+func TestPredecodeOnOffEquivalence(t *testing.T) {
+	runSide := func(predecode bool) (Stats, uint64) {
+		c, m := newTestCore(t)
+		c.SetPredecode(predecode)
+		res := m.AllocWords(1)
+		c.Load(0, sumProg("eq", 500, res))
+		run(t, c, 100000)
+		return c.Stats(), m.Read64(res)
+	}
+	on, vOn := runSide(true)
+	off, vOff := runSide(false)
+	if vOn != vOff || vOn != 125250 {
+		t.Fatalf("results: predecode=%d raw=%d, want 125250", vOn, vOff)
+	}
+	if on.Cycles != off.Cycles || on.Committed != off.Committed ||
+		on.Uops != off.Uops || on.Mispredicts != off.Mispredicts ||
+		on.CPI != off.CPI {
+		t.Fatalf("stats diverge:\n  predecode: %+v\n  raw:       %+v", on, off)
+	}
+}
+
+// TestPredecodeUsesFusedPairs checks the decoded path actually engages:
+// the loaded program decodes with fused pairs and the cache records the
+// decode.
+func TestPredecodeUsesFusedPairs(t *testing.T) {
+	c, m := newTestCore(t)
+	res := m.AllocWords(1)
+	c.Load(0, sumProg("fuse", 100, res))
+	tr := c.threads[0]
+	if tr.dec == nil {
+		t.Fatal("thread has no decoded program with predecode on")
+	}
+	if tr.dec.NFused == 0 {
+		t.Fatal("sum loop decoded with no fused pairs")
+	}
+	if st := c.DecodeCache(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("cache stats after first load: %+v", st)
+	}
+	run(t, c, 100000)
+	if got := m.Read64(res); got != 5050 {
+		t.Fatalf("sum = %d, want 5050", got)
+	}
+}
+
+// TestDecodeCacheInvalidationOnReload loads a new program onto a warm core:
+// the stale decoded blocks must be evicted and the new program must run
+// from its own decode (reload-after-run).
+func TestDecodeCacheInvalidationOnReload(t *testing.T) {
+	c, m := newTestCore(t)
+	resA, resB := m.AllocWords(1), m.AllocWords(1)
+	progA := sumProg("A", 100, resA)
+	progB := sumProg("B", 200, resB)
+
+	c.Load(0, progA)
+	decA := c.threads[0].dec
+	run(t, c, 100000)
+	if got := m.Read64(resA); got != 5050 {
+		t.Fatalf("A: sum = %d, want 5050", got)
+	}
+
+	// Reload with a different program on the same warm core.
+	c.Load(0, progB)
+	st := c.DecodeCache()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d after reload, want 1 (stale A dropped)", st.Evictions)
+	}
+	if st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (A and B each decoded once)", st.Misses)
+	}
+	if c.threads[0].dec == decA || c.threads[0].dec == nil || c.threads[0].dec.Prog != progB {
+		t.Fatal("thread still renames from A's stale decode after loading B")
+	}
+	if _, stale := c.dcache[progA]; stale {
+		t.Fatal("A's blocks still cached after no thread runs it")
+	}
+	run(t, c, 100000)
+	if got := m.Read64(resB); got != 20100 {
+		t.Fatalf("B: sum = %d, want 20100", got)
+	}
+
+	// Reloading the same program hits the cache.
+	c.Load(0, progB)
+	if st := c.DecodeCache(); st.Hits != 1 {
+		t.Fatalf("hits = %d after same-program reload, want 1", st.Hits)
+	}
+}
+
+// TestResetThreadsFlushesDecodeCache: fork-after-warmup resets threads;
+// nothing references the programs anymore, so the block cache must empty.
+func TestResetThreadsFlushesDecodeCache(t *testing.T) {
+	c, m := newTestCore(t)
+	res := m.AllocWords(1)
+	c.Load(0, sumProg("rt", 50, res))
+	run(t, c, 100000)
+	c.ResetThreads()
+	if len(c.dcache) != 0 {
+		t.Fatalf("%d decoded programs cached after ResetThreads, want 0", len(c.dcache))
+	}
+	if c.threads[0].dec != nil {
+		t.Fatal("reset thread still holds a decoded program")
+	}
+}
+
+// TestDecodeCacheWarmCheckpointRoundTrip checkpoints a core mid-run with a
+// warm block cache, restores into a fresh core, and requires the restored
+// side to finish identically — with its decoded stream re-derived (the
+// cache itself is never serialized).
+func TestDecodeCacheWarmCheckpointRoundTrip(t *testing.T) {
+	build := func(m *mem.Memory, res uint64) *Core {
+		c := newCoreOn(m)
+		c.Load(0, sumProg("ckpt", 300, res))
+		return c
+	}
+	m1 := mem.New()
+	res := m1.AllocWords(1)
+	c1 := build(m1, res)
+	for i := 0; i < 200; i++ { // warm: mid-loop, in-flight µops, hot cache
+		c1.Cycle()
+	}
+	if c1.Done() {
+		t.Fatal("test needs a mid-run checkpoint; program already finished")
+	}
+	st, err := c1.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh core over a copy of functional memory.
+	m2 := mem.New()
+	res2 := m2.AllocWords(1)
+	if res2 != res {
+		t.Fatalf("memory layout diverged: %d vs %d", res2, res)
+	}
+	c2 := build(m2, res2)
+	if c2.DecodeCache().Misses != 1 || c2.threads[0].dec == nil {
+		t.Fatal("fresh core did not warm its block cache on Load")
+	}
+	if err := c2.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if c2.threads[0].dec == nil {
+		t.Fatal("restored thread lost its decoded stream")
+	}
+
+	// Both sides run to completion and must agree exactly.
+	run(t, c1, 100000)
+	run(t, c2, 100000)
+	if m1.Read64(res) != m2.Read64(res2) || m1.Read64(res) != 45150 {
+		t.Fatalf("results diverge: %d vs %d, want 45150", m1.Read64(res), m2.Read64(res2))
+	}
+	s1, s2 := c1.Stats(), c2.Stats()
+	if s1.Cycles != s2.Cycles || s1.Committed != s2.Committed || s1.Uops != s2.Uops {
+		t.Fatalf("stats diverge:\n  original: %+v\n  restored: %+v", s1, s2)
+	}
+}
+
+// newCoreOn builds a default core over m (helper for checkpoint tests that
+// need two memories).
+func newCoreOn(m *mem.Memory) *Core {
+	h := cache.New(cache.DefaultConfig(), 1)
+	return New(0, DefaultConfig(), m, h.Port(0))
+}

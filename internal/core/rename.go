@@ -62,7 +62,13 @@ func (c *Core) rename() {
 				t.stall = StallRedirect
 				break
 			}
-			n, ok := c.renameOne(t)
+			var n int
+			var ok bool
+			if t.dec != nil {
+				n, ok = c.renameDecodedStep(t, budget)
+			} else {
+				n, ok = c.renameOne(t)
+			}
 			if !ok {
 				break
 			}

@@ -298,6 +298,12 @@ func (c *Core) RestoreState(st State) error {
 			}
 			t.blockedOn = u
 		}
+		// The decoded stream is derived state: snapshots never carry it
+		// (predecode on/off must hash identically), so re-derive it from
+		// the reloaded program via the block cache.
+		if c.predecode && t.prog != nil && t.dec == nil {
+			t.dec = c.decodedFor(t.prog)
+		}
 	}
 	for i, unit := range c.units {
 		cu, ok := unit.(CheckpointableUnit)
@@ -337,6 +343,9 @@ func (c *Core) ResetThreads() {
 		c.rob[tid] = c.rob[tid][:0]
 	}
 	c.iq = c.iq[:0]
+	// No thread references a program anymore; drop the decoded blocks so
+	// the next Load cannot rename from a stale cache entry.
+	c.flushDecodeCache()
 }
 
 // ResetStats zeroes the core's counters (the per-thread slice keeps its

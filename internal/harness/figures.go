@@ -17,8 +17,8 @@ func roadInput(cfg Config) *graph.Graph {
 
 // Fig2 reproduces Fig. 2: BFS performance and IPC for serial, data-parallel
 // and Pipette on one 4-thread SMT core, plus a 4-core streaming multicore.
-func Fig2(w io.Writer, cfg Config) error {
-	e, err := Evaluate(cfg)
+func Fig2(w io.Writer, cfg Config, opts SweepOptions) error {
+	e, err := EvaluateWith(cfg, opts)
 	if err != nil {
 		return err
 	}
@@ -66,8 +66,8 @@ func (e *Eval) speedupOverDP(app, v string, err *error) float64 {
 
 // Fig9 reproduces Fig. 9: performance relative to data-parallel (gmean
 // across inputs), and performance per core.
-func Fig9(w io.Writer, cfg Config) error {
-	e, err := Evaluate(cfg)
+func Fig9(w io.Writer, cfg Config, opts SweepOptions) error {
+	e, err := EvaluateWith(cfg, opts)
 	if err != nil {
 		return err
 	}
@@ -95,8 +95,8 @@ func Fig9(w io.Writer, cfg Config) error {
 
 // Fig10 reproduces Fig. 10: instructions executed relative to data-parallel
 // (lower is better) and IPC (higher is better).
-func Fig10(w io.Writer, cfg Config) error {
-	e, err := Evaluate(cfg)
+func Fig10(w io.Writer, cfg Config, opts SweepOptions) error {
+	e, err := EvaluateWith(cfg, opts)
 	if err != nil {
 		return err
 	}
@@ -135,8 +135,8 @@ func Fig10(w io.Writer, cfg Config) error {
 
 // Fig11 reproduces Fig. 11: CPI stacks (fraction of core cycles spent
 // issuing, on backend stalls, on queue stalls, and on frontend/other).
-func Fig11(w io.Writer, cfg Config) error {
-	e, err := Evaluate(cfg)
+func Fig11(w io.Writer, cfg Config, opts SweepOptions) error {
+	e, err := EvaluateWith(cfg, opts)
 	if err != nil {
 		return err
 	}
@@ -172,8 +172,8 @@ func Fig11(w io.Writer, cfg Config) error {
 
 // Fig12 reproduces Fig. 12: energy relative to data-parallel, broken into
 // core-dynamic, cache, DRAM and static.
-func Fig12(w io.Writer, cfg Config) error {
-	e, err := Evaluate(cfg)
+func Fig12(w io.Writer, cfg Config, opts SweepOptions) error {
+	e, err := EvaluateWith(cfg, opts)
 	if err != nil {
 		return err
 	}
@@ -210,8 +210,8 @@ func Fig12(w io.Writer, cfg Config) error {
 
 // Fig13 reproduces Fig. 13: per-input speedups over data-parallel for every
 // application.
-func Fig13(w io.Writer, cfg Config) error {
-	e, err := Evaluate(cfg)
+func Fig13(w io.Writer, cfg Config, opts SweepOptions) error {
+	e, err := EvaluateWith(cfg, opts)
 	if err != nil {
 		return err
 	}
@@ -235,7 +235,7 @@ func Fig13(w io.Writer, cfg Config) error {
 
 // Fig14 reproduces Fig. 14: sensitivity to physical register file size
 // (180-308 entries); Pipette queue capacities scale proportionally.
-func Fig14(w io.Writer, cfg Config) error {
+func Fig14(w io.Writer, cfg Config, _ SweepOptions) error {
 	g := roadInput(cfg)
 	t := stats.Table{
 		Title:  "Fig. 14 — PRF sensitivity, BFS road graph (speedup over serial @212)",
@@ -268,7 +268,7 @@ func Fig14(w io.Writer, cfg Config) error {
 
 // Fig15 reproduces Fig. 15: effect of the number of stages (2/3/4) and of
 // RAs on BFS decoupling.
-func Fig15(w io.Writer, cfg Config) error {
+func Fig15(w io.Writer, cfg Config, _ SweepOptions) error {
 	g := roadInput(cfg)
 	run := func(b bench.Builder) (sim.Result, error) {
 		s := cfg.newSystem(1)
@@ -303,8 +303,8 @@ func Fig15(w io.Writer, cfg Config) error {
 
 // Fig16 reproduces Fig. 16: Pipette performance without and with reference
 // accelerators (gmean across inputs, normalized to no-RA).
-func Fig16(w io.Writer, cfg Config) error {
-	e, err := Evaluate(cfg)
+func Fig16(w io.Writer, cfg Config, opts SweepOptions) error {
+	e, err := EvaluateWith(cfg, opts)
 	if err != nil {
 		return err
 	}
@@ -337,7 +337,7 @@ func Fig16(w io.Writer, cfg Config) error {
 // (16 threads), streaming, and the replicated-stage Pipette multicore with
 // cross-core neighbor routing — across all five graphs, plus a 16-core
 // scaling point on the road graph.
-func Fig17(w io.Writer, cfg Config) error {
+func Fig17(w io.Writer, cfg Config, _ SweepOptions) error {
 	run := func(cores int, prf, nq int, b bench.Builder) (sim.Result, error) {
 		sc := cfg.simConfig(cores)
 		if prf > 0 {

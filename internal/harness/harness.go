@@ -46,6 +46,12 @@ type Config struct {
 	// matrix asserts it — so the sweep disk cache ignores this knob too.
 	SimWorkers int
 
+	// NoPredecode disables the pre-decoded micro-op frontend and renames
+	// from raw Insts (the -no-predecode escape hatch). A third execution
+	// strategy: bit-identical results either way, ignored by the sweep
+	// disk cache, keyed by the in-process memo.
+	NoPredecode bool
+
 	// Model-parameter overrides, the calibration knobs internal/validate
 	// grid-searches (0 = keep the simulator default). They flow through
 	// simConfig into every system the harness builds and therefore into
@@ -183,6 +189,7 @@ func (cfg Config) newSystem(cores int) *sim.System {
 func (cfg Config) newSystemFrom(sc sim.Config) *sim.System {
 	s := sim.New(sc)
 	s.SetFastForward(!cfg.NoFastForward)
+	s.SetPredecode(!cfg.NoPredecode)
 	if cfg.SimWorkers > 1 {
 		s.SetWorkers(cfg.SimWorkers)
 	}
@@ -350,8 +357,9 @@ func (cfg Config) allApps() (map[string][]appRun, []string) {
 	return apps, order
 }
 
-// experiments maps experiment names to runners.
-var experiments = map[string]func(io.Writer, Config) error{
+// experiments maps experiment names to runners. Every runner takes the
+// sweep options per call (nothing reads the deprecated process-global).
+var experiments = map[string]func(io.Writer, Config, SweepOptions) error{
 	"fig2":    Fig2,
 	"fig9":    Fig9,
 	"fig10":   Fig10,
@@ -380,11 +388,11 @@ func Names() []string {
 	return ns
 }
 
-// Run executes the named experiment, writing its report to w.
-func Run(name string, w io.Writer, cfg Config) error {
+// Run executes the named experiment under opts, writing its report to w.
+func Run(name string, w io.Writer, cfg Config, opts SweepOptions) error {
 	f, ok := experiments[name]
 	if !ok {
 		return fmt.Errorf("harness: unknown experiment %q (have %v)", name, Names())
 	}
-	return f(w, cfg)
+	return f(w, cfg, opts)
 }

@@ -14,7 +14,7 @@ func tinySilo() Config {
 func TestTables(t *testing.T) {
 	for _, name := range []string{"table2", "table3", "table4", "table5", "table6"} {
 		var sb strings.Builder
-		if err := Run(name, &sb, Default()); err != nil {
+		if err := Run(name, &sb, Default(), SweepOptions{}); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if !strings.Contains(sb.String(), "==") {
@@ -25,7 +25,7 @@ func TestTables(t *testing.T) {
 
 func TestTable3MatchesPaper(t *testing.T) {
 	var sb strings.Builder
-	if err := Table3(&sb, Default()); err != nil {
+	if err := Table3(&sb, Default(), SweepOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"1844", "2356", "295"} {
@@ -39,7 +39,7 @@ func TestEvaluateSubset(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	e, err := Evaluate(tinySilo())
+	e, err := EvaluateWith(tinySilo(), SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestEvaluateSubset(t *testing.T) {
 		}
 	}
 	// Cached: second call must return the identical object.
-	e2, err := Evaluate(tinySilo())
+	e2, err := EvaluateWith(tinySilo(), SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestFigReportsOnSubset(t *testing.T) {
 	cfg := tinySilo()
 	for _, name := range []string{"fig9", "fig10", "fig11", "fig12", "fig13", "fig16"} {
 		var sb strings.Builder
-		if err := Run(name, &sb, cfg); err != nil {
+		if err := Run(name, &sb, cfg, SweepOptions{}); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if !strings.Contains(sb.String(), "silo") {
@@ -82,7 +82,7 @@ func TestFigReportsOnSubset(t *testing.T) {
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if err := Run("fig99", nil, Default()); err == nil {
+	if err := Run("fig99", nil, Default(), SweepOptions{}); err == nil {
 		t.Fatal("want error")
 	}
 }

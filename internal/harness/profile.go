@@ -33,7 +33,7 @@ func SetProfServer(p *profile.Server) { profSrv.Store(p) }
 // slot account is exactly what the cache does not store — and every
 // snapshot is conservation-checked before rendering. Output is
 // deterministic: the counters are pure functions of simulated state.
-func ProfileExp(w io.Writer, cfg Config) error {
+func ProfileExp(w io.Writer, cfg Config, _ SweepOptions) error {
 	apps, order := cfg.allApps()
 	t := stats.Table{
 		Title:  "Profile — issue-slot attribution (% of cycles × width), first input per app",

@@ -35,8 +35,8 @@ func (e *Eval) Reports() []telemetry.Report {
 // cell into the canonical run-report schema. pipette-bench's -report-out
 // and the BENCH_* trajectory tooling consume this, so figures and
 // machine-readable output derive from the same runs.
-func Reports(cfg Config) ([]telemetry.Report, error) {
-	e, err := Evaluate(cfg)
+func Reports(cfg Config, opts SweepOptions) ([]telemetry.Report, error) {
+	e, err := EvaluateWith(cfg, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -58,8 +58,8 @@ func (e *Eval) WriteRunSet(w io.Writer, label string) error {
 
 // WriteRunSet emits the full evaluation matrix as a pipette.runset/v1
 // JSON document.
-func WriteRunSet(w io.Writer, cfg Config, label string) error {
-	e, err := Evaluate(cfg)
+func WriteRunSet(w io.Writer, cfg Config, opts SweepOptions, label string) error {
+	e, err := EvaluateWith(cfg, opts)
 	if err != nil {
 		return err
 	}

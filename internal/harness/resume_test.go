@@ -19,10 +19,10 @@ func TestSweepCrashResumeStdout(t *testing.T) {
 	cfg := tinySilo()
 	cfg.SiloQueries += 5 // a matrix no other test memoizes
 
-	render := func() (string, error) {
+	render := func(opts SweepOptions) (string, error) {
 		var sb strings.Builder
-		for _, fig := range []func(io.Writer, Config) error{Fig9, Fig10} {
-			if err := fig(&sb, cfg); err != nil {
+		for _, fig := range []func(io.Writer, Config, SweepOptions) error{Fig9, Fig10} {
+			if err := fig(&sb, cfg, opts); err != nil {
 				return "", err
 			}
 		}
@@ -39,8 +39,7 @@ func TestSweepCrashResumeStdout(t *testing.T) {
 	// "Process 1": one cell dies mid-sweep. The other cells land in the
 	// shared disk cache before the figure pipeline aborts.
 	dir := t.TempDir()
-	SetSweepOptions(SweepOptions{Jobs: 2, CacheDir: dir})
-	defer SetSweepOptions(SweepOptions{})
+	opts := SweepOptions{Jobs: 2, CacheDir: dir}
 	bad := Key{App: "silo", Variant: "pipette", Input: "ycsbc"}
 	sweepTestHook = func(k Key) error {
 		if k == bad {
@@ -48,7 +47,7 @@ func TestSweepCrashResumeStdout(t *testing.T) {
 		}
 		return nil
 	}
-	if _, err := render(); err == nil {
+	if _, err := render(opts); err == nil {
 		sweepTestHook = nil
 		t.Fatal("crashed sweep still rendered figures")
 	}
@@ -57,7 +56,7 @@ func TestSweepCrashResumeStdout(t *testing.T) {
 	// "Process 2": restart against the same cache dir. Only the lost cell
 	// recomputes; everything else replays from disk.
 	forget()
-	resumed, err := Evaluate(cfg)
+	resumed, err := EvaluateWith(cfg, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +64,7 @@ func TestSweepCrashResumeStdout(t *testing.T) {
 		t.Fatalf("resume stats: %+v, want %d hits + 1 miss",
 			resumed.Sweep, len(resumed.Cells)-1)
 	}
-	gotResumed, err := render()
+	gotResumed, err := render(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,8 +72,7 @@ func TestSweepCrashResumeStdout(t *testing.T) {
 	// Uninterrupted reference: fresh memo, fresh cache, different worker
 	// count — stdout must still match byte for byte.
 	forget()
-	SetSweepOptions(SweepOptions{Jobs: 1, CacheDir: t.TempDir()})
-	gotClean, err := render()
+	gotClean, err := render(SweepOptions{Jobs: 1, CacheDir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}

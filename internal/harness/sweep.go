@@ -292,15 +292,17 @@ var (
 // figure path always needs the full matrix.
 //
 // Deprecated: this is a process-global; concurrent callers that need
-// different options race on it. New code should pass options per call via
-// EvaluateWith (full matrix) or RunCell (one cell) — the CLI figure
-// drivers, which configure the process exactly once at startup, are the
-// only intended remaining users.
+// different options race on it. Pass options per call instead — Run and
+// the figure/table drivers, EvaluateWith (full matrix) and RunCell (one
+// cell) all accept them. No in-repo caller uses this anymore.
 func SetSweepOptions(o SweepOptions) { defaultOpts.Store(&o) }
 
 // Evaluate runs (or returns the memoized) full evaluation matrix under
-// the process-wide options installed by SetSweepOptions. It is a thin
-// shim over EvaluateWith kept for the figure/table drivers.
+// the process-wide options installed by SetSweepOptions.
+//
+// Deprecated: it pairs with the process-global SetSweepOptions and shares
+// its race. All in-repo callers pass options per call via EvaluateWith;
+// this shim remains only for external users of the old surface.
 func Evaluate(cfg Config) (*Eval, error) {
 	opts := SweepOptions{}
 	if o := defaultOpts.Load(); o != nil {

@@ -73,7 +73,7 @@ func TestSweepFailureIsolation(t *testing.T) {
 		t.Fatal("failed cell present in matrix")
 	}
 	// The figure path must refuse a partial matrix.
-	if _, err := Evaluate(cfg); err == nil || !strings.Contains(err.Error(), "silo/pipette/ycsbc") {
+	if _, err := EvaluateWith(cfg, SweepOptions{}); err == nil || !strings.Contains(err.Error(), "silo/pipette/ycsbc") {
 		t.Fatalf("Evaluate error = %v, want the failed cell's identity", err)
 	}
 }

@@ -12,7 +12,7 @@ import (
 )
 
 // Table2 prints the Pipette instruction set (Table II).
-func Table2(w io.Writer, _ Config) error {
+func Table2(w io.Writer, _ Config, _ SweepOptions) error {
 	t := stats.Table{
 		Title:  "Table II — the Pipette ISA",
 		Header: []string{"operation", "form", "semantics"},
@@ -31,7 +31,7 @@ func Table2(w io.Writer, _ Config) error {
 
 // Table3 prints the storage-cost model (Table III), which matches the
 // paper's 1844-bit QRM / 2356-bit total exactly.
-func Table3(w io.Writer, _ Config) error {
+func Table3(w io.Writer, _ Config, _ SweepOptions) error {
 	c := queue.ComputeCost(queue.DefaultCostConfig())
 	t := stats.Table{
 		Title:  "Table III — Pipette storage costs",
@@ -48,7 +48,7 @@ func Table3(w io.Writer, _ Config) error {
 }
 
 // Table4 prints the simulated system configuration (Table IV).
-func Table4(w io.Writer, cfg Config) error {
+func Table4(w io.Writer, cfg Config, _ SweepOptions) error {
 	sc := sim.DefaultConfig()
 	cc := sc.Core
 	hc := sc.Cache.Scale(cfg.CacheScale)
@@ -77,7 +77,7 @@ func Table4(w io.Writer, cfg Config) error {
 }
 
 // Table5 lists the generated graph inputs (Table V shapes).
-func Table5(w io.Writer, cfg Config) error {
+func Table5(w io.Writer, cfg Config, _ SweepOptions) error {
 	t := stats.Table{
 		Title:  "Table V — input graphs (synthetic, Table V-shaped)",
 		Header: []string{"label", "class", "vertices", "edges", "avg degree"},
@@ -90,7 +90,7 @@ func Table5(w io.Writer, cfg Config) error {
 }
 
 // Table6 lists the generated sparse-matrix inputs (Table VI shapes).
-func Table6(w io.Writer, cfg Config) error {
+func Table6(w io.Writer, cfg Config, _ SweepOptions) error {
 	t := stats.Table{
 		Title:  "Table VI — input matrices (synthetic, Table VI-shaped)",
 		Header: []string{"label", "class", "n", "nnz", "avg nnz/row"},

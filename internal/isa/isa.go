@@ -147,7 +147,13 @@ const (
 	ClassBranch
 	ClassQueue // peek/enqc/skipc/qpoll
 	ClassHalt
+
+	numClasses
 )
+
+// NumClasses is the number of execution classes (for dense per-class
+// tables, e.g. the core's precomputed latency table).
+const NumClasses = int(numClasses)
 
 // Class returns the execution class of an opcode.
 func (o Op) Class() Class {

@@ -1,0 +1,450 @@
+// Pre-decode: lowering a linked Program into a flat micro-op array the
+// core's hot rename path consumes instead of raw Inst values.
+//
+// The cycle-level model re-derives the same facts about every static
+// instruction each time it renames it: operand lists (Reads/ReadsInto
+// switch), destination (WritesReg switch), execution class, memory width,
+// and — for the Pipette extensions — which operands are queue-mapped under
+// the program's bindings. Predecode hoists all of that to load time: each
+// instruction becomes one DecodedOp with the operand sets resolved to flat
+// index lists, the dispatch switch collapsed to a dense UopKind jump table,
+// and queue/port effects (dequeue sources, enqueue destination) resolved
+// against the program's own bindings. Adjacent dependent pairs that the
+// core can rename back-to-back without any stall hazard between them are
+// additionally fused (FuseKind) so the frontend dispatches them as one
+// step with chained timing — the software analogue of the scalar-chaining
+// ISA extension in PAPERS.md.
+//
+// Predecode is a pure function of the Program: it never changes simulated
+// semantics, only how fast the host interprets them. The core keeps the
+// raw-Inst path as an escape hatch (-no-predecode) and the equivalence
+// matrix proves the two paths bit-identical. See docs/FRONTEND.md.
+package isa
+
+import "fmt"
+
+// UopKind is the devirtualized dispatch key of a decoded micro-op: the
+// rename stage switches on it (a dense jump table) instead of re-deriving
+// Op.Class plus per-op special cases every cycle.
+type UopKind uint8
+
+// Micro-op kinds. KindALU covers every single-result register op
+// (integer and FP alike — the latency difference is carried by Class, not
+// Kind). Jumps are split from conditional branches because only the latter
+// consult the branch predictor.
+const (
+	KindNop UopKind = iota
+	KindALU
+	KindLoad
+	KindStore
+	KindAtomic
+	KindCondBranch
+	KindJump
+	KindPeek
+	KindEnqC
+	KindSkipC
+	KindQPoll
+	KindHalt
+	// KindBadQueue marks a statically invalid queue-register use (reading
+	// an input-mapped register, writing an output-mapped one, or binding
+	// the same queue register twice in one instruction). The raw-Inst path
+	// panics when such an instruction is *renamed*, not when it is loaded;
+	// decode preserves that by deferring the panic to rename time.
+	KindBadQueue
+
+	numUopKinds
+)
+
+var kindNames = [numUopKinds]string{
+	"nop", "alu", "load", "store", "atomic", "br", "jump",
+	"peek", "enqc", "skipc", "qpoll", "halt", "badq",
+}
+
+// String names the micro-op kind.
+func (k UopKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// FuseKind annotates a micro-op that leads a fused pair: the frontend
+// renames it and its successor in one dispatch step. Fusion never changes
+// timing or architectural effects — the pair still allocates two µops with
+// the dependent one's sources chained onto the leader's destination — it
+// only removes per-instruction dispatch overhead on the host.
+type FuseKind uint8
+
+// Fusion pair classes, named after the dependent idioms they capture.
+const (
+	FuseNone    FuseKind = iota
+	FuseAddrGen          // ALU producing the address of the next load/store
+	FuseCmpBr            // compare producing the condition of the next branch
+	FuseRMW              // ALU producing the address of the next atomic (fetch-add chains)
+	FusePair             // any other back-to-back simple pair
+)
+
+var fuseNames = [...]string{"", "addr-gen", "cmp-br", "rmw", "pair"}
+
+// String names the fusion class ("" for FuseNone).
+func (f FuseKind) String() string {
+	if int(f) < len(fuseNames) {
+		return fuseNames[f]
+	}
+	return fmt.Sprintf("fuse(%d)", uint8(f))
+}
+
+// DecodedOp is one pre-decoded micro-op: an Inst with every per-rename
+// derivation cached. All fields are immutable after Predecode.
+type DecodedOp struct {
+	Inst *Inst // backing instruction (aliases Program.Code)
+	Op   Op
+	Kind UopKind
+	Cls  Class
+
+	// Reads is the architectural source set (ReadsInto order, R0 already
+	// excluded). DeqRegs is the subset mapped to queue outputs under the
+	// program's bindings (reads dequeue), TimingRegs the complement (reads
+	// that carry rename-map timing dependencies). Read order is preserved
+	// in both: CV-trap priority follows dequeue binding order.
+	Reads      [3]Reg
+	NReads     uint8
+	DeqRegs    [3]Reg
+	NDeq       uint8
+	TimingRegs [3]Reg
+	NTiming    uint8
+
+	// RaDeq/RbDeq/RcDeq are 1-based indices into the dequeued-value list
+	// when that operand's register is queue-mapped (0 = read the register
+	// file). They make operand resolution branch-cheap at rename.
+	RaDeq, RbDeq, RcDeq uint8
+
+	Dst    Reg
+	Writes bool // Dst is a real architectural destination (non-R0)
+	EnqDst bool // Dst is input-mapped: the write enqueues instead of renaming
+
+	Ra, Rb, Rc Reg
+	Imm        int64
+	UseImm     bool
+	Target     int
+	Q          uint8
+	MemBytes   uint8
+	IsLoad     bool // reads memory (loads and atomics)
+	IsStore    bool // writes memory (stores and atomics)
+
+	// Fuse marks this op as the leader of a fused pair with the next op.
+	Fuse FuseKind
+
+	// BadMsg is the deferred panic text for KindBadQueue.
+	BadMsg string
+}
+
+// Block is one basic block: [Start, End) in instruction indices. Blocks
+// partition the program at every leader (entry point, branch target,
+// post-branch fall-through, control-handler entry); fusion never crosses a
+// block boundary, so entering a block mid-pair is impossible.
+type Block struct {
+	Start, End int
+}
+
+// DecodedProgram is the flat micro-op form of one Program, shared by every
+// thread (and core) running it. It is derived state: cores cache it per
+// loaded program but never serialize it — checkpoints restore it by
+// re-decoding, which keeps state hashes identical with predecode on or off.
+type DecodedProgram struct {
+	Prog   *Program
+	Ops    []DecodedOp
+	Blocks []Block
+	NFused int // fused pairs marked
+}
+
+// Predecode lowers p into its flat micro-op form. The program must be
+// linked (Validate-clean); statically invalid queue-register uses are
+// lowered to KindBadQueue rather than rejected, matching the raw path's
+// rename-time panic semantics.
+func Predecode(p *Program) *DecodedProgram {
+	d := &DecodedProgram{Prog: p, Ops: make([]DecodedOp, len(p.Code))}
+
+	// Queue binding direction per register, from the program's bindings.
+	var inMap, outMap [NumArchRegs]bool
+	for _, b := range p.Bindings {
+		if b.Dir == QueueIn {
+			inMap[b.Reg] = true
+		} else {
+			outMap[b.Reg] = true
+		}
+	}
+
+	for pc := range p.Code {
+		decodeOne(p, pc, &inMap, &outMap, &d.Ops[pc])
+	}
+	d.Blocks = findBlocks(p)
+
+	// Fusion: greedy, non-overlapping, within basic blocks only.
+	leader := make([]bool, len(p.Code)+1)
+	for _, b := range d.Blocks {
+		leader[b.Start] = true
+	}
+	for pc := 0; pc+1 < len(d.Ops); pc++ {
+		if leader[pc+1] {
+			continue // successor starts a new block
+		}
+		o1, o2 := &d.Ops[pc], &d.Ops[pc+1]
+		if f := classifyFusion(o1, o2); f != FuseNone {
+			o1.Fuse = f
+			d.NFused++
+			pc++ // pairs never overlap
+		}
+	}
+	return d
+}
+
+// decodeOne fills out for the instruction at pc.
+func decodeOne(p *Program, pc int, inMap, outMap *[NumArchRegs]bool, o *DecodedOp) {
+	in := &p.Code[pc]
+	*o = DecodedOp{
+		Inst: in, Op: in.Op, Cls: in.Op.Class(),
+		Ra: in.Ra, Rb: in.Rb, Rc: in.Rc,
+		Imm: in.Imm, UseImm: in.UseImm, Target: in.Target, Q: in.Q,
+		MemBytes: uint8(in.Op.MemBytes()),
+		IsLoad:   in.Op.IsLoad(), IsStore: in.Op.IsStore(),
+	}
+
+	switch o.Cls {
+	case ClassNop:
+		o.Kind = KindNop
+	case ClassALU, ClassMul, ClassDiv, ClassFPAdd, ClassFPMul, ClassFPDiv:
+		o.Kind = KindALU
+	case ClassLoad:
+		o.Kind = KindLoad
+	case ClassStore:
+		o.Kind = KindStore
+	case ClassAtomic:
+		o.Kind = KindAtomic
+	case ClassBranch:
+		if in.Op == OpJmp || in.Op == OpJr {
+			o.Kind = KindJump
+		} else {
+			o.Kind = KindCondBranch
+		}
+	case ClassQueue:
+		switch in.Op {
+		case OpPeek:
+			o.Kind = KindPeek
+		case OpEnqC:
+			o.Kind = KindEnqC
+		case OpSkipC:
+			o.Kind = KindSkipC
+		default:
+			o.Kind = KindQPoll
+		}
+	case ClassHalt:
+		o.Kind = KindHalt
+	}
+
+	// Source set, split by queue mapping.
+	var buf [3]Reg
+	n := in.ReadsInto(&buf)
+	o.NReads = uint8(n)
+	o.Reads = buf
+	for i := 0; i < n; i++ {
+		r := buf[i]
+		if outMap[r] {
+			for j := 0; j < int(o.NDeq); j++ {
+				if o.DeqRegs[j] == r {
+					o.Kind = KindBadQueue
+					o.BadMsg = fmt.Sprintf("%s pc=%d: queue register r%d read twice in one instruction", p.Name, pc, r)
+					return
+				}
+			}
+			o.DeqRegs[o.NDeq] = r
+			o.NDeq++
+		} else if inMap[r] {
+			o.Kind = KindBadQueue
+			o.BadMsg = fmt.Sprintf("%s pc=%d: reads input-mapped register r%d", p.Name, pc, r)
+			return
+		} else {
+			o.TimingRegs[o.NTiming] = r
+			o.NTiming++
+		}
+	}
+	deqIdx := func(r Reg) uint8 {
+		for j := 0; j < int(o.NDeq); j++ {
+			if o.DeqRegs[j] == r {
+				return uint8(j) + 1
+			}
+		}
+		return 0
+	}
+	o.RaDeq, o.RbDeq, o.RcDeq = deqIdx(in.Ra), deqIdx(in.Rb), deqIdx(in.Rc)
+
+	// Destination.
+	o.Dst, o.Writes = in.WritesReg()
+	if o.Writes {
+		if inMap[o.Dst] {
+			o.EnqDst = true
+		} else if outMap[o.Dst] {
+			o.Kind = KindBadQueue
+			o.BadMsg = fmt.Sprintf("%s pc=%d: writes output-mapped register r%d", p.Name, pc, o.Dst)
+			return
+		}
+	}
+}
+
+// findBlocks computes basic-block boundaries: entry, branch targets,
+// post-branch fall-throughs, and control-handler entries all start blocks.
+func findBlocks(p *Program) []Block {
+	n := len(p.Code)
+	if n == 0 {
+		return nil
+	}
+	leader := make([]bool, n+1)
+	leader[0], leader[n] = true, true
+	mark := func(pc int) {
+		if pc >= 0 && pc <= n {
+			leader[pc] = true
+		}
+	}
+	mark(p.DeqHandler)
+	mark(p.EnqHandler)
+	for pc := range p.Code {
+		in := &p.Code[pc]
+		if in.Op.IsBranch() {
+			if in.Op != OpJr {
+				mark(in.Target)
+			}
+			mark(pc + 1)
+		}
+	}
+	var blocks []Block
+	start := 0
+	for pc := 1; pc <= n; pc++ {
+		if leader[pc] {
+			blocks = append(blocks, Block{Start: start, End: pc})
+			start = pc
+		}
+	}
+	return blocks
+}
+
+// classifyFusion decides whether o1 can lead a fused pair with o2, and
+// which idiom the pair is. The constraints keep the fused dispatch exactly
+// equivalent to two back-to-back single renames:
+//
+//   - the leader is a plain single-result op (no queue effects, no control
+//     flow, no memory, no traps), so after it renames the only loop state
+//     that changed is pc, resources, and the rename map;
+//   - the second op touches no queues either (no dequeue sources, no
+//     enqueue destination), so once the pair's combined resource check
+//     passes it cannot stall or trap mid-pair.
+func classifyFusion(o1, o2 *DecodedOp) FuseKind {
+	if o1.Kind != KindALU || o1.NDeq != 0 || o1.EnqDst {
+		return FuseNone
+	}
+	if o2.NDeq != 0 || o2.EnqDst {
+		return FuseNone
+	}
+	dep := func(r Reg) bool { return o1.Writes && r == o1.Dst }
+	switch o2.Kind {
+	case KindLoad, KindStore:
+		if dep(o2.Ra) {
+			return FuseAddrGen
+		}
+		return FusePair
+	case KindAtomic:
+		if dep(o2.Ra) {
+			return FuseRMW
+		}
+		return FusePair
+	case KindCondBranch:
+		if dep(o2.Ra) || (!o2.UseImm && dep(o2.Rb)) {
+			return FuseCmpBr
+		}
+		return FusePair
+	case KindALU, KindJump:
+		return FusePair
+	}
+	return FuseNone
+}
+
+// FusedWith reports the fusion annotation covering instruction pc: the
+// pair kind and whether pc is the leader (false = it is the fused-in
+// second slot of the previous op's pair).
+func (d *DecodedProgram) FusedWith(pc int) (FuseKind, bool) {
+	if pc < len(d.Ops) && d.Ops[pc].Fuse != FuseNone {
+		return d.Ops[pc].Fuse, true
+	}
+	if pc > 0 && d.Ops[pc-1].Fuse != FuseNone {
+		return d.Ops[pc-1].Fuse, false
+	}
+	return FuseNone, false
+}
+
+// BlockOf returns the basic block containing pc.
+func (d *DecodedProgram) BlockOf(pc int) Block {
+	for _, b := range d.Blocks {
+		if pc >= b.Start && pc < b.End {
+			return b
+		}
+	}
+	return Block{}
+}
+
+// Disassemble renders the micro-op stream with block boundaries and fusion
+// decisions annotated (cmd/pipette-dis -uops).
+func (d *DecodedProgram) Disassemble() string {
+	p := d.Prog
+	s := fmt.Sprintf("; uops %s: %d ops, %d blocks, %d fused pairs\n",
+		p.Name, len(d.Ops), len(d.Blocks), d.NFused)
+	for _, b := range p.Bindings {
+		dir := "in"
+		if b.Dir == QueueOut {
+			dir = "out"
+		}
+		s += fmt.Sprintf("; map r%d -> q%d (%s)\n", b.Reg, b.Q, dir)
+	}
+	blockOf := map[int]Block{}
+	for _, b := range d.Blocks {
+		blockOf[b.Start] = b
+	}
+	for pc := range d.Ops {
+		o := &d.Ops[pc]
+		if b, ok := blockOf[pc]; ok {
+			s += fmt.Sprintf("block %d..%d:\n", b.Start, b.End-1)
+		}
+		fuse := ""
+		if f, lead := d.FusedWith(pc); f != FuseNone {
+			if lead {
+				fuse = fmt.Sprintf("  ; fuse[%s] v", f)
+			} else {
+				fuse = fmt.Sprintf("  ; fuse[%s] ^", f)
+			}
+		}
+		detail := o.describe()
+		s += fmt.Sprintf("%4d: %-28s ; %s%s\n", pc, o.Inst.String(), detail, fuse)
+	}
+	return s
+}
+
+// describe renders the decoded metadata of one micro-op.
+func (o *DecodedOp) describe() string {
+	s := o.Kind.String()
+	if o.Kind == KindBadQueue {
+		return s
+	}
+	for i := 0; i < int(o.NDeq); i++ {
+		s += fmt.Sprintf(" deq:r%d", o.DeqRegs[i])
+	}
+	if o.EnqDst {
+		s += fmt.Sprintf(" enq:r%d", o.Dst)
+	} else if o.Writes {
+		s += fmt.Sprintf(" wr:r%d", o.Dst)
+	}
+	for i := 0; i < int(o.NTiming); i++ {
+		s += fmt.Sprintf(" src:r%d", o.TimingRegs[i])
+	}
+	if o.MemBytes != 0 {
+		s += fmt.Sprintf(" mem:%dB", o.MemBytes)
+	}
+	return s
+}

@@ -1,0 +1,163 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// predecodeProg builds a small queue-using kernel exercising every operand
+// category: deq sources, an enq destination, plain ALU, memory, branches.
+func predecodeProg(t *testing.T) *Program {
+	t.Helper()
+	a := NewAssembler("pd")
+	a.MapQ(10, 0, QueueOut) // reads of r10 dequeue q0
+	a.MapQ(11, 1, QueueIn)  // writes of r11 enqueue q1
+	a.MovI(1, 100)          // 0
+	a.Label("loop")
+	a.AddI(2, 1, 8)      // 1: addr-gen ...
+	a.Ld8(3, 2, 0)       // 2: ... fused load
+	a.Add(11, 10, 3)     // 3: deq q0, add, enq q1
+	a.SubI(1, 1, 1)      // 4: cmp chain ...
+	a.BneI(1, 0, "loop") // 5: ... fused branch
+	a.Halt()             // 6
+	return a.MustLink()
+}
+
+func TestPredecodeKindsAndOperands(t *testing.T) {
+	p := predecodeProg(t)
+	d := Predecode(p)
+	if len(d.Ops) != len(p.Code) {
+		t.Fatalf("decoded %d ops for %d instructions", len(d.Ops), len(p.Code))
+	}
+	wantKinds := []UopKind{KindALU, KindALU, KindLoad, KindALU, KindALU, KindCondBranch, KindHalt}
+	for pc, want := range wantKinds {
+		if got := d.Ops[pc].Kind; got != want {
+			t.Errorf("pc %d: kind = %v, want %v", pc, got, want)
+		}
+	}
+
+	// pc 3: add r11, r10, r3 — r10 dequeues, r3 is a timing source, the
+	// r11 write enqueues.
+	o := &d.Ops[3]
+	if o.NDeq != 1 || o.DeqRegs[0] != 10 {
+		t.Fatalf("pc 3: deq regs = %v[:%d], want [r10]", o.DeqRegs, o.NDeq)
+	}
+	if o.NTiming != 1 || o.TimingRegs[0] != 3 {
+		t.Fatalf("pc 3: timing regs = %v[:%d], want [r3]", o.TimingRegs, o.NTiming)
+	}
+	if !o.EnqDst || o.Dst != 11 {
+		t.Fatalf("pc 3: enqDst=%v dst=r%d, want enq to r11", o.EnqDst, o.Dst)
+	}
+	if o.RaDeq != 1 || o.RbDeq != 0 {
+		t.Fatalf("pc 3: RaDeq=%d RbDeq=%d, want 1,0 (Ra comes from the dequeue)", o.RaDeq, o.RbDeq)
+	}
+
+	// pc 2: load r3, [r2+0] — plain rename destination.
+	o = &d.Ops[2]
+	if o.EnqDst || !o.Writes || o.Dst != 3 || o.MemBytes != 8 || !o.IsLoad {
+		t.Fatalf("pc 2: decoded load wrong: %+v", o)
+	}
+}
+
+func TestPredecodeBlocksAndFusion(t *testing.T) {
+	p := predecodeProg(t)
+	d := Predecode(p)
+
+	// Leaders: 0 (entry), 1 (branch target "loop"), 6 (post-branch).
+	wantBlocks := []Block{{0, 1}, {1, 6}, {6, 7}}
+	if len(d.Blocks) != len(wantBlocks) {
+		t.Fatalf("blocks = %v, want %v", d.Blocks, wantBlocks)
+	}
+	for i, b := range wantBlocks {
+		if d.Blocks[i] != b {
+			t.Fatalf("blocks = %v, want %v", d.Blocks, wantBlocks)
+		}
+	}
+
+	// pc 1 (addi) + pc 2 (ld8 via r2): address-generation fusion.
+	if f := d.Ops[1].Fuse; f != FuseAddrGen {
+		t.Errorf("pc 1 fuse = %v, want %v", f, FuseAddrGen)
+	}
+	// pc 4 (subi) + pc 5 (bne r1): compare-branch fusion.
+	if f := d.Ops[4].Fuse; f != FuseCmpBr {
+		t.Errorf("pc 4 fuse = %v, want %v", f, FuseCmpBr)
+	}
+	// pc 3 has dequeue sources and an enqueue destination: never a leader.
+	if f := d.Ops[3].Fuse; f != FuseNone {
+		t.Errorf("pc 3 fuse = %v, want none (queue effects)", f)
+	}
+	if d.NFused != 2 {
+		t.Errorf("NFused = %d, want 2", d.NFused)
+	}
+	if f, lead := d.FusedWith(2); f != FuseAddrGen || lead {
+		t.Errorf("FusedWith(2) = %v,%v, want addr-gen second slot", f, lead)
+	}
+}
+
+func TestPredecodeFusionStopsAtBlockBoundary(t *testing.T) {
+	a := NewAssembler("bb")
+	a.MovI(1, 5) // 0
+	a.Label("target")
+	a.AddI(2, 1, 1)         // 1: block leader (branch target)
+	a.BneI(2, 99, "target") // 2
+	a.Halt()
+	p := a.MustLink()
+	d := Predecode(p)
+	// pc 0 -> pc 1 crosses into the "target" block: no fusion.
+	if f := d.Ops[0].Fuse; f != FuseNone {
+		t.Fatalf("pc 0 fuse = %v, want none across block boundary", f)
+	}
+	// pc 1 -> pc 2 stays inside the block: cmp-branch pair.
+	if f := d.Ops[1].Fuse; f != FuseCmpBr {
+		t.Fatalf("pc 1 fuse = %v, want %v", f, FuseCmpBr)
+	}
+}
+
+func TestPredecodeRMWFusion(t *testing.T) {
+	a := NewAssembler("rmw")
+	a.AddI(1, 0, 64)    // 0: address gen ...
+	a.FetchAdd(3, 1, 2) // 1: ... fused atomic
+	a.Halt()
+	d := Predecode(a.MustLink())
+	if f := d.Ops[0].Fuse; f != FuseRMW {
+		t.Fatalf("fuse = %v, want %v", f, FuseRMW)
+	}
+}
+
+func TestPredecodeBadQueueUse(t *testing.T) {
+	// Reading an input-mapped register is a rename-time panic on the raw
+	// path; decode defers it the same way instead of rejecting the program.
+	a := NewAssembler("bad")
+	a.MapQ(11, 1, QueueIn)
+	a.Add(2, 11, 1) // reads input-mapped r11
+	a.Halt()
+	d := Predecode(a.MustLink())
+	if d.Ops[0].Kind != KindBadQueue {
+		t.Fatalf("kind = %v, want %v", d.Ops[0].Kind, KindBadQueue)
+	}
+	if !strings.Contains(d.Ops[0].BadMsg, "input-mapped register r11") {
+		t.Fatalf("BadMsg = %q", d.Ops[0].BadMsg)
+	}
+	// A bad op never leads or joins a fusion pair.
+	if d.Ops[0].Fuse != FuseNone {
+		t.Fatalf("bad op fused")
+	}
+}
+
+func TestPredecodeDisassemble(t *testing.T) {
+	d := Predecode(predecodeProg(t))
+	dis := d.Disassemble()
+	for _, want := range []string{
+		"2 fused pairs",
+		"map r10 -> q0 (out)",
+		"fuse[addr-gen]",
+		"fuse[cmp-br]",
+		"deq:r10",
+		"enq:r11",
+		"block 1..5:",
+	} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}

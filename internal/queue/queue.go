@@ -41,6 +41,7 @@ type Queue struct {
 	Cap int
 
 	ring []Entry
+	mask uint64 // Cap-1 when Cap is a power of two (>1); at() then avoids the modulo
 
 	SpecHead uint64 // next entry a dequeue will bind
 	SpecTail uint64 // next slot an enqueue will fill
@@ -77,10 +78,19 @@ func NewQueue(id, capacity int) *Queue {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("queue %d: capacity %d", id, capacity))
 	}
-	return &Queue{ID: id, Cap: capacity, ring: make([]Entry, capacity)}
+	q := &Queue{ID: id, Cap: capacity, ring: make([]Entry, capacity)}
+	if capacity&(capacity-1) == 0 {
+		q.mask = uint64(capacity) - 1 // cap 1 leaves mask 0: the modulo path is already index 0
+	}
+	return q
 }
 
-func (q *Queue) at(seq uint64) *Entry { return &q.ring[seq%uint64(q.Cap)] }
+func (q *Queue) at(seq uint64) *Entry {
+	if q.mask != 0 {
+		return &q.ring[seq&q.mask]
+	}
+	return &q.ring[seq%uint64(q.Cap)]
+}
 
 // CanEnq reports whether the ring has a free slot (paper: enqueues to a full
 // queue block; the slot frees when the consumer's dequeue commits).

@@ -93,6 +93,12 @@ type RA struct {
 	// cycle after a restore re-establishes it.
 	activeAt uint64
 
+	// minOut caches the smallest completion time in outstanding (noEvent
+	// when empty or all entries are NotReady placeholders). Derived state,
+	// never serialized: pruneOutstanding and NextEvent early-out on it
+	// instead of scanning the completion buffer every tick.
+	minOut uint64
+
 	Stats Stats
 }
 
@@ -107,7 +113,7 @@ func New(c *core.Core, cfg Config) *RA {
 	if cfg.ElemBytes == 0 {
 		cfg.ElemBytes = 8
 	}
-	r := &RA{c: c, cfg: cfg, in: c.QRM().Q(cfg.In), out: c.QRM().Q(cfg.Out)}
+	r := &RA{c: c, cfg: cfg, in: c.QRM().Q(cfg.In), out: c.QRM().Q(cfg.Out), minOut: noEvent}
 	c.AddUnit(r)
 	return r
 }
@@ -119,13 +125,21 @@ func (r *RA) Drained() bool {
 }
 
 func (r *RA) pruneOutstanding(now uint64) {
+	if r.minOut > now {
+		return // nothing completes this cycle; buffer unchanged
+	}
 	w := 0
+	min := uint64(noEvent)
 	for _, t := range r.outstanding {
 		if t > now {
 			r.outstanding[w] = t
 			w++
+			if t < min {
+				min = t
+			}
 		}
 	}
+	r.minOut = min
 	if w != len(r.outstanding) {
 		r.outstanding = r.outstanding[:w]
 		r.activeAt = now // freed completion slots; may emit again next cycle
@@ -168,6 +182,9 @@ func (r *RA) emit(now uint64, idx uint64) bool {
 	seq := r.out.Enq(val, false, int(phys))
 	r.out.MarkReady(seq, done)
 	r.outstanding = append(r.outstanding, done)
+	if done < r.minOut {
+		r.minOut = done
+	}
 	r.activeAt = now
 	r.Stats.Loads++
 	if tr := r.c.Tracer(); tr != nil {
@@ -188,6 +205,9 @@ type raFix struct {
 func (r *RA) PatchAccess(i int, done uint64) {
 	f := r.fix[i]
 	r.outstanding[f.out] = done
+	if done < r.minOut {
+		r.minOut = done
+	}
 	r.out.MarkReady(f.seq, done)
 	if f.staged >= 0 {
 		r.c.PatchStagedEventB(f.staged, done)
@@ -314,15 +334,10 @@ func (r *RA) NextEvent(now uint64) uint64 {
 	if r.activeAt >= now {
 		return now + 1
 	}
-	next := noEvent
-	for _, t := range r.outstanding {
-		if t <= now {
-			return now + 1 // retirement due; prune runs on the next tick
-		}
-		if t < next {
-			next = t
-		}
+	if r.minOut <= now {
+		return now + 1 // retirement due; prune runs on the next tick
 	}
+	next := r.minOut // noEvent when the buffer is empty or all-placeholder
 	if !r.scanActive && r.in.CanDeq() {
 		if at := r.in.Head().ReadyAt; at != queue.NotReady && at > now {
 			if at < next {

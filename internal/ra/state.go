@@ -36,6 +36,12 @@ func (r *RA) RestoreUnitState(b []byte) error {
 		return err
 	}
 	r.outstanding = append(r.outstanding[:0], st.Outstanding...)
+	r.minOut = ^uint64(0)
+	for _, t := range r.outstanding {
+		if t < r.minOut {
+			r.minOut = t
+		}
+	}
 	r.havePending = st.HavePending
 	r.pendingVal = st.PendingVal
 	r.scanActive = st.ScanActive

@@ -194,6 +194,18 @@ func (s *System) ProfSnapshot(label string) profile.Snapshot {
 // exists as an escape hatch and for the equivalence test matrix.
 func (s *System) SetFastForward(enabled bool) { s.noFastForward = !enabled }
 
+// SetPredecode selects, on every core, between the pre-decoded micro-op
+// frontend (default) and the raw-Inst interpreter path. Like fast-forward
+// it is an execution strategy, not a configuration: results are
+// bit-identical either way, only wall-clock differs (-no-predecode is the
+// bisection escape hatch; see docs/FRONTEND.md). Safe before or after
+// workloads load.
+func (s *System) SetPredecode(enabled bool) {
+	for _, c := range s.Cores {
+		c.SetPredecode(enabled)
+	}
+}
+
 // Tracer returns the attached tracer (nil when tracing is disabled).
 func (s *System) Tracer() *telemetry.Tracer { return s.tracer }
 

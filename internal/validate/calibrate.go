@@ -66,7 +66,7 @@ type gridPoint struct {
 // from base (whose own score becomes the baseline error). It returns the
 // best point's correlation report with the Calibration section attached.
 // progress, when non-nil, receives one line per evaluated point.
-func Calibrate(base harness.Config, ref *Reference, grid []GridSpec, progress io.Writer) (*Report, error) {
+func Calibrate(base harness.Config, opts harness.SweepOptions, ref *Reference, grid []GridSpec, progress io.Writer) (*Report, error) {
 	if len(grid) == 0 {
 		return nil, fmt.Errorf("validate: empty calibration grid")
 	}
@@ -84,7 +84,7 @@ func Calibrate(base harness.Config, ref *Reference, grid []GridSpec, progress io
 		return nil, fmt.Errorf("validate: grid spans %d points, max %d", points, maxGridPoints)
 	}
 
-	baseRep, err := scoreConfig(base, ref)
+	baseRep, err := scoreConfig(base, opts, ref)
 	if err != nil {
 		return nil, fmt.Errorf("validate: scoring the uncalibrated config: %w", err)
 	}
@@ -120,7 +120,7 @@ func Calibrate(base harness.Config, ref *Reference, grid []GridSpec, progress io
 				return nil, err
 			}
 		}
-		rep, err := scoreConfig(cfg, ref)
+		rep, err := scoreConfig(cfg, opts, ref)
 		if err != nil {
 			return nil, fmt.Errorf("validate: grid point %v: %w", pt.vals, err)
 		}
@@ -201,8 +201,8 @@ func Calibrate(base harness.Config, ref *Reference, grid []GridSpec, progress io
 }
 
 // scoreConfig evaluates the matrix under cfg and scores it against ref.
-func scoreConfig(cfg harness.Config, ref *Reference) (*Report, error) {
-	e, err := harness.Evaluate(cfg)
+func scoreConfig(cfg harness.Config, opts harness.SweepOptions, ref *Reference) (*Report, error) {
+	e, err := harness.EvaluateWith(cfg, opts)
 	if err != nil {
 		return nil, err
 	}

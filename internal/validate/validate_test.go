@@ -25,7 +25,7 @@ func tinyBFS(t *testing.T) harness.Config {
 
 func evalOrDie(t *testing.T, cfg harness.Config) *harness.Eval {
 	t.Helper()
-	e, err := harness.Evaluate(cfg)
+	e, err := harness.EvaluateWith(cfg, harness.SweepOptions{})
 	if err != nil {
 		t.Fatalf("Evaluate: %v", err)
 	}
@@ -176,7 +176,7 @@ func TestCalibrationRecoversPerturbedParam(t *testing.T) {
 	base := cfg
 	base.DRAMLat = 360 // mis-modeled starting point
 	grid := []GridSpec{{Param: "dram", Values: []float64{90, 180, 360}}}
-	rep, err := Calibrate(base, ref, grid, nil)
+	rep, err := Calibrate(base, harness.SweepOptions{}, ref, grid, nil)
 	if err != nil {
 		t.Fatalf("Calibrate: %v", err)
 	}
@@ -223,17 +223,17 @@ func TestCalibrationRecoversPerturbedParam(t *testing.T) {
 
 func TestCalibrateRejectsBadGrids(t *testing.T) {
 	ref := &Reference{Schema: ReferenceSchema, Scale: "tiny", Apps: []string{"bfs"}}
-	if _, err := Calibrate(harness.Tiny(), ref, nil, nil); err == nil {
+	if _, err := Calibrate(harness.Tiny(), harness.SweepOptions{}, ref, nil, nil); err == nil {
 		t.Errorf("empty grid accepted")
 	}
-	if _, err := Calibrate(harness.Tiny(), ref, []GridSpec{{Param: "warp", Values: []float64{1}}}, nil); err == nil {
+	if _, err := Calibrate(harness.Tiny(), harness.SweepOptions{}, ref, []GridSpec{{Param: "warp", Values: []float64{1}}}, nil); err == nil {
 		t.Errorf("unknown parameter accepted")
 	}
 	big := make([]float64, 300)
 	for i := range big {
 		big[i] = float64(i + 1)
 	}
-	if _, err := Calibrate(harness.Tiny(), ref, []GridSpec{{Param: "dram", Values: big}}, nil); err == nil {
+	if _, err := Calibrate(harness.Tiny(), harness.SweepOptions{}, ref, []GridSpec{{Param: "dram", Values: big}}, nil); err == nil {
 		t.Errorf("oversized grid accepted")
 	}
 }

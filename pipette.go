@@ -162,7 +162,9 @@ var (
 // RunExperiment regenerates one of the paper's tables or figures by name
 // ("fig2", "fig9", ..., "table3"; ExperimentNames lists them) and writes the
 // report to w.
-func RunExperiment(name string, w io.Writer) error { return harness.Run(name, w, harness.Default()) }
+func RunExperiment(name string, w io.Writer) error {
+	return harness.Run(name, w, harness.Default(), harness.SweepOptions{})
+}
 
 // ExperimentNames lists the experiments RunExperiment accepts.
 func ExperimentNames() []string { return harness.Names() }

@@ -44,6 +44,18 @@ lint() {
 	fi
 	echo "== go vet =="
 	go vet ./...
+	echo "== staticcheck =="
+	# Bug-finding checks only (SA*): the style/simplification classes are
+	# opinion, not defects, and would make the gate churn. The pinned copy
+	# lives in build/bin (make staticcheck-tool); a PATH install also
+	# counts. Skipped with a note when neither exists (offline dev boxes).
+	if [ -x "$bin/staticcheck" ]; then
+		"$bin/staticcheck" -checks 'SA*' ./...
+	elif command -v staticcheck >/dev/null 2>&1; then
+		staticcheck -checks 'SA*' ./...
+	else
+		echo "staticcheck not installed; skipping (CI runs it — 'make staticcheck-tool' installs the pinned version)"
+	fi
 }
 
 smoke() {
