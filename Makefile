@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tools staticcheck-tool lint vet test race smoke sweep-smoke diverge-smoke profile-smoke serve-smoke bench benchguard benchguard-test experiments-check experiments-regen correlation write-ref perfbench rebaseline ci clean
+.PHONY: all build tools staticcheck-tool lint vet test race smoke sweep-smoke diverge-smoke profile-smoke speculate-smoke serve-smoke bench benchguard benchguard-test experiments-check experiments-regen correlation write-ref perfbench rebaseline ci clean
 
 all: build
 
@@ -64,6 +64,12 @@ diverge-smoke:
 # /debug/vars mid-run (see docs/PROFILING.md).
 profile-smoke:
 	./scripts/ci.sh profile-smoke
+
+# Speculative-kernel smoke: a -speculate -epoch 64 CLI run must match the
+# barrier run and emit a conserved speculation report section
+# (docs/SPECULATION.md).
+speculate-smoke:
+	./scripts/ci.sh speculate-smoke
 
 # Simulation-service smoke: pipette-server lifecycle — load-verified
 # multi-tenant jobs, record validation, SIGTERM drain, and restart-resume

@@ -41,6 +41,8 @@ func main() {
 	noFF := flag.Bool("no-fastforward", false, "tick every cycle instead of fast-forwarding quiescent spans (identical results, slower)")
 	noPredecode := flag.Bool("no-predecode", false, "rename from raw instructions instead of the pre-decoded micro-op stream (identical results, slower)")
 	simWorkers := flag.Int("sim-workers", 1, "goroutines ticking simulated cores inside each cell (identical results at any value)")
+	speculate := flag.Bool("speculate", false, "run multi-cycle speculative epochs instead of per-cycle barriers (identical results; see docs/SPECULATION.md)")
+	epoch := flag.Uint64("epoch", 0, "maximum speculative epoch length in cycles (0 = default; identical results at any value)")
 	httpAddr := flag.String("http", "", "serve live sweep introspection on host:port (/top, /debug/vars, /debug/pprof); output stays byte-identical")
 	reportOut := flag.String("report-out", "", "write the evaluation matrix as a run-set JSON file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
@@ -92,6 +94,8 @@ func main() {
 	cfg.NoFastForward = *noFF
 	cfg.NoPredecode = *noPredecode
 	cfg.SimWorkers = *simWorkers
+	cfg.Speculate = *speculate
+	cfg.SpecEpoch = *epoch
 
 	opts := harness.SweepOptions{Jobs: *jobs, FailFast: *failFast, CacheDir: *sweepCache, Warmup: *warmup}
 	if !*quiet {

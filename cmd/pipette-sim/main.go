@@ -54,6 +54,8 @@ func main() {
 	noFF := flag.Bool("no-fastforward", false, "tick every cycle instead of fast-forwarding quiescent spans (identical results, slower)")
 	noPredecode := flag.Bool("no-predecode", false, "rename from raw instructions instead of the pre-decoded micro-op stream (identical results, slower)")
 	simWorkers := flag.Int("sim-workers", 1, "goroutines ticking simulated cores each cycle (identical results at any value)")
+	speculate := flag.Bool("speculate", false, "run multi-cycle speculative epochs instead of per-cycle barriers (identical results; see docs/SPECULATION.md)")
+	epoch := flag.Uint64("epoch", 0, "maximum speculative epoch length in cycles (0 = default; identical results at any value)")
 	profileOn := flag.Bool("profile", false, "enable cycle-accounting profiling (CPI stacks, queue histograms; identical simulated results)")
 	httpAddr := flag.String("http", "", "serve live introspection on host:port (/top, /debug/vars, /debug/pprof); implies -profile")
 	httpHold := flag.Duration("http-hold", 0, "keep the -http server up this long after the run (smoke tests)")
@@ -104,6 +106,8 @@ func main() {
 	s.SetFastForward(!*noFF)
 	s.SetPredecode(!*noPredecode)
 	s.SetWorkers(*simWorkers)
+	s.SetSpeculate(*speculate)
+	s.SetEpoch(*epoch)
 	if *traceOut != "" {
 		s.EnableTracing(*traceBuf)
 	}
@@ -209,6 +213,9 @@ func main() {
 			rep.Energy = energy.Compute(energy.DefaultParams(), r.CoreStats, r.CacheStats, r.Cycles).Report()
 		}
 		rep.Telemetry = telemetry.TelemetrySummary(s.Tracer(), s.Sampler(), core.StallNames())
+		if *speculate {
+			rep.Speculation = specReport(s.SpecStats())
+		}
 		if err := rep.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -224,6 +231,22 @@ func main() {
 		os.Exit(1)
 	}
 	report(r)
+	if *speculate {
+		st := s.SpecStats()
+		fmt.Printf("speculation: epochs=%d commits=%d aborts=%d cycles committed=%d rerun=%d barrier=%d ff=%d\n",
+			st.Epochs, st.Commits, st.Aborts, st.CommittedCycles, st.RerunCycles, st.BarrierCycles, st.FFCycles)
+	}
+}
+
+// specReport converts the kernel's epoch accounting into the run-report
+// schema section.
+func specReport(st profile.SpecStats) *telemetry.SpecReport {
+	return &telemetry.SpecReport{
+		Epochs: st.Epochs, Commits: st.Commits, Aborts: st.Aborts,
+		CommittedCycles: st.CommittedCycles, AbortedCycles: st.AbortedCycles,
+		RerunCycles: st.RerunCycles, BarrierCycles: st.BarrierCycles,
+		FFCycles: st.FFCycles, TotalCycles: st.TotalCycles,
+	}
 }
 
 // profileRefresh is the RunUntil segment length used to refresh the live

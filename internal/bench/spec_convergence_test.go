@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"testing"
+
+	"pipette/internal/cache"
+	"pipette/internal/sim"
+)
+
+// TestSpecConvergenceUnderAborts pins the abort/rerun path at fine grain:
+// bfs/streaming's frontier handoffs produce real cross-shard conflicts
+// (the run must record aborts, or this test is vacuous), and the
+// speculative run must re-converge to the barrier kernel's exact state at
+// every 250-cycle segment boundary — each boundary lands inside a
+// different commit/abort/rerun interleaving, so a rollback that leaked
+// even one scratch field would surface as a hash divergence within a few
+// segments of the first abort.
+func TestSpecConvergenceUnderAborts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fine-grained segment sweep")
+	}
+	build := func(spec bool) *sim.System {
+		b, cores, err := Lookup("bfs", VStreaming, "Rd", 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Cores = cores
+		cfg.Cache = cache.DefaultConfig().Scale(8)
+		s := sim.New(cfg)
+		s.SetSpeculate(spec)
+		b(s)
+		return s
+	}
+	off, on := build(false), build(true)
+	const seg = 250
+	for i := 0; i < 4000 && !(off.Done() && on.Done()); i++ {
+		target := uint64((i + 1) * seg)
+		if _, err := off.RunUntil(target); err != nil {
+			t.Fatalf("barrier segment %d: %v", i, err)
+		}
+		if _, err := on.RunUntil(target); err != nil {
+			t.Fatalf("spec segment %d: %v (stats %+v)", i, err, on.SpecStats())
+		}
+		if off.Now() != on.Now() {
+			t.Fatalf("segment %d: cycle barrier=%d spec=%d (stats %+v)", i, off.Now(), on.Now(), on.SpecStats())
+		}
+		ho, err := off.StateHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs, err := on.StateHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ho != hs {
+			diff, derr := sim.DiffStates(off, on)
+			if derr == nil {
+				if len(diff) > 4000 {
+					diff = diff[:4000]
+				}
+				t.Logf("diff:\n%s", diff)
+			}
+			t.Fatalf("segment %d (cycle %d): state diverged (stats %+v)", i, off.Now(), on.SpecStats())
+		}
+	}
+	if !off.Done() || !on.Done() {
+		t.Fatalf("workload did not finish (barrier=%v spec=%v)", off.Done(), on.Done())
+	}
+	st := on.SpecStats()
+	if err := st.Conserved(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Aborts == 0 {
+		t.Fatalf("run recorded no aborts — the convergence test exercised nothing (stats %+v)", st)
+	}
+	if st.Commits == 0 {
+		t.Fatalf("run recorded no commits (stats %+v)", st)
+	}
+}

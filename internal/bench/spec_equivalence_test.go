@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pipette/internal/cache"
+	"pipette/internal/core"
+	"pipette/internal/sim"
+)
+
+// specRun is what the speculative epoch kernel must leave bit-identical to
+// the per-cycle barrier kernel: final cycle, full Result, canonical state
+// hash, and the byte-exact telemetry sample series. Tracing is deliberately
+// absent — speculation only engages with no tracer attached (it falls back
+// to the barrier kernel otherwise; TestSpecTracerFallback pins that).
+type specRun struct {
+	now    uint64
+	result sim.Result
+	hash   string
+	csv    []byte
+	sys    *sim.System
+}
+
+func runSpecCell(t *testing.T, app, variant, input string, speculate bool, epoch uint64, workers int, ff bool) specRun {
+	t.Helper()
+	b, cores, err := Lookup(app, variant, input, 2, 1)
+	if err != nil {
+		t.Fatalf("Lookup(%s/%s/%s): %v", app, variant, input, err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Cores = cores
+	cfg.Cache = cache.DefaultConfig().Scale(8)
+	cfg.WatchdogCycles = 10_000_000
+	s := sim.New(cfg)
+	s.SetFastForward(ff)
+	s.SetWorkers(workers)
+	s.SetSpeculate(speculate)
+	s.SetEpoch(epoch)
+	sm := s.EnableSampling(256)
+	r, err := Run(s, b)
+	if err != nil {
+		t.Fatalf("%s/%s/%s spec=%v workers=%d ff=%v: %v", app, variant, input, speculate, workers, ff, err)
+	}
+	hash, err := s.StateHash()
+	if err != nil {
+		t.Fatalf("StateHash: %v", err)
+	}
+	var csv bytes.Buffer
+	if err := sm.WriteCSV(&csv, core.StallNames()); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	return specRun{now: s.Now(), result: r, hash: hash, csv: csv.Bytes(), sys: s}
+}
+
+// sameSpecRun asserts bit-identity of every observable in a specRun.
+func sameSpecRun(t *testing.T, labelA, labelB string, a, b specRun) {
+	t.Helper()
+	if a.now != b.now {
+		t.Errorf("final cycle differs: %s=%d %s=%d", labelA, a.now, labelB, b.now)
+	}
+	if !reflect.DeepEqual(a.result, b.result) {
+		t.Errorf("results differ:\n  %s: %+v\n  %s: %+v", labelA, a.result, labelB, b.result)
+	}
+	if a.hash != b.hash {
+		t.Errorf("state hash differs: %s=%s %s=%s", labelA, a.hash, labelB, b.hash)
+	}
+	if !bytes.Equal(a.csv, b.csv) {
+		t.Errorf("telemetry series differ (%s=%d vs %s=%d bytes)", labelA, len(a.csv), labelB, len(b.csv))
+	}
+}
+
+// TestSpeculativeEquivalence is the acceptance matrix for the speculative
+// epoch kernel (docs/SPECULATION.md): on the 4-core streaming variant of
+// every app, a barrier reference run (speculation off, workers=1,
+// fast-forward on) must be bit-identical — cycles, Result, StateHash,
+// telemetry CSV bytes — to every speculative cell across workers {1,4} ×
+// fast-forward {on,off}, plus a short-epoch cell that stresses the
+// adaptive controller's floor. Each speculative cell must also conserve
+// its epoch accounting and actually commit epochs (a silently-fallen-back
+// run would pass equivalence vacuously). CI runs this matrix under -race
+// (the speculate job).
+func TestSpeculativeEquivalence(t *testing.T) {
+	cases := []struct{ app, input string }{
+		{"bfs", "Rd"},
+		{"cc", "Co"},
+		{"prd", "Rd"},
+		{"radii", "Co"},
+		{"spmm", "Am"},
+		{"silo", "ycsbc"},
+	}
+	alts := []struct {
+		name    string
+		epoch   uint64
+		workers int
+		ff      bool
+	}{
+		{"spec-w1-ff", 64, 1, true},
+		{"spec-w4-ff", 64, 4, true},
+		{"spec-w1-noff", 64, 1, false},
+		{"spec-w4-noff", 64, 4, false},
+		{"spec-w1-ff-epoch8", 8, 1, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/streaming", tc.app), func(t *testing.T) {
+			t.Parallel()
+			ref := runSpecCell(t, tc.app, VStreaming, tc.input, false, 0, 1, true)
+			for _, alt := range alts {
+				got := runSpecCell(t, tc.app, VStreaming, tc.input, true, alt.epoch, alt.workers, alt.ff)
+				sameSpecRun(t, "barrier", alt.name, ref, got)
+				st := got.sys.SpecStats()
+				if err := st.Conserved(); err != nil {
+					t.Errorf("%s: %v", alt.name, err)
+				}
+				if st.Commits == 0 {
+					t.Errorf("%s: speculative kernel never committed an epoch (stats %+v)", alt.name, st)
+				}
+			}
+		})
+	}
+}
+
+// TestSpecCheckpointEquivalence drives the segmented RunUntil loop with
+// speculation on versus off, comparing the canonical state hash at every
+// segment boundary: the speculative kernel must land a segment bound on
+// exactly the barrier kernel's state (epochs are capped at the bound), and
+// its replicas must resync correctly across segment re-entry.
+func TestSpecCheckpointEquivalence(t *testing.T) {
+	build := func(spec bool) *sim.System {
+		b, cores, err := Lookup("bfs", VStreaming, "Rd", 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Cores = cores
+		cfg.Cache = cache.DefaultConfig().Scale(8)
+		s := sim.New(cfg)
+		s.SetSpeculate(spec)
+		b(s)
+		return s
+	}
+	off, on := build(false), build(true)
+	const seg = 5000
+	for i := 0; i < 200 && !(off.Done() && on.Done()); i++ {
+		target := uint64((i + 1) * seg)
+		if _, err := off.RunUntil(target); err != nil {
+			t.Fatalf("barrier segment %d: %v", i, err)
+		}
+		if _, err := on.RunUntil(target); err != nil {
+			t.Fatalf("spec segment %d: %v", i, err)
+		}
+		if off.Now() != on.Now() {
+			t.Fatalf("segment %d: cycle barrier=%d spec=%d", i, off.Now(), on.Now())
+		}
+		ho, err := off.StateHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs, err := on.StateHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ho != hs {
+			t.Fatalf("segment %d (cycle %d): state diverged", i, off.Now())
+		}
+	}
+	if !off.Done() || !on.Done() {
+		t.Fatalf("workload did not finish within segments (barrier=%v spec=%v)", off.Done(), on.Done())
+	}
+	if err := on.SpecStats().Conserved(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpecTracerFallback pins the silent-fallback contract: with a tracer
+// attached, -speculate runs the per-cycle barrier kernel (epoch produce
+// cannot stage per-cycle event streams), so the traced run must match a
+// plain traced run event for event — and record zero epochs.
+func TestSpecTracerFallback(t *testing.T) {
+	run := func(spec bool) (ffRun, *sim.System) {
+		b, cores, err := Lookup("bfs", VStreaming, "Rd", 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Cores = cores
+		cfg.Cache = cache.DefaultConfig().Scale(8)
+		s := sim.New(cfg)
+		s.SetSpeculate(spec)
+		tr := s.EnableTracing(1 << 16)
+		r, err := Run(s, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hash, err := s.StateHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ffRun{now: s.Now(), result: r, hash: hash,
+			events: tr.Events(), emitted: tr.Total()}, s
+	}
+	ref, _ := run(false)
+	got, s := run(true)
+	sameRun(t, "plain", "spec+tracer", ref, got)
+	if st := s.SpecStats(); st.Epochs != 0 {
+		t.Errorf("traced run speculated anyway: %+v", st)
+	}
+}

@@ -117,6 +117,24 @@ type array struct {
 	sets, ways int
 	lines      []line // sets*ways
 	tick       uint64
+
+	// Speculative-kernel scratch (see spec.go); nil unless EnableSpec or
+	// Clone armed it. Never serialized.
+	stamp   []uint32
+	gen     uint32
+	touched []int32
+	jrn     *hjournal
+	jstamp  []uint32
+	jgen    uint32
+}
+
+// mark records a set mutation for the speculative kernel; one nil check
+// when speculation is off.
+func (a *array) mark(lineAddr uint64) {
+	if a.stamp == nil {
+		return
+	}
+	a.markSlow(lineAddr)
 }
 
 func newArray(sets, ways int) *array {
@@ -134,6 +152,7 @@ func (a *array) lookup(lineAddr uint64, write bool) bool {
 	for i := range a.set(lineAddr) {
 		l := &a.set(lineAddr)[i]
 		if l.valid && l.tag == lineAddr {
+			a.mark(lineAddr)
 			l.use = a.tick
 			if write {
 				l.dirty = true
@@ -147,6 +166,7 @@ func (a *array) lookup(lineAddr uint64, write bool) bool {
 // install brings lineAddr in, evicting LRU if needed. It returns the evicted
 // line address and whether it was valid and dirty.
 func (a *array) install(lineAddr uint64, write bool) (evicted uint64, hadValid, wasDirty bool) {
+	a.mark(lineAddr)
 	a.tick++
 	set := a.set(lineAddr)
 	victim := 0
@@ -167,6 +187,7 @@ func (a *array) install(lineAddr uint64, write bool) (evicted uint64, hadValid, 
 
 // invalidate drops lineAddr if present; reports whether it was present.
 func (a *array) invalidate(lineAddr uint64) bool {
+	a.mark(lineAddr)
 	for i := range a.set(lineAddr) {
 		l := &a.set(lineAddr)[i]
 		if l.valid && l.tag == lineAddr {
@@ -206,6 +227,9 @@ type Hierarchy struct {
 	ports     []*Port
 	presence  map[uint64]uint32 // line -> bitmask of cores caching it
 	Stats     Stats
+
+	// sp is the speculative-kernel state (see spec.go); nil unless armed.
+	sp *specState
 
 	// trace, when non-nil, receives an event for every L1 miss with the
 	// level that served it; nil costs one pointer check per miss.
@@ -277,10 +301,18 @@ func (p *Port) pruneMSHR(now uint64) uint64 {
 	return 0
 }
 
-func (p *Port) markPresent(lineAddr uint64) { p.h.presence[lineAddr] |= 1 << uint(p.id) }
+func (p *Port) markPresent(lineAddr uint64) {
+	if p.h.sp != nil {
+		p.h.presMut(lineAddr)
+	}
+	p.h.presence[lineAddr] |= 1 << uint(p.id)
+}
 
 func (p *Port) markAbsent(lineAddr uint64) {
 	if m, ok := p.h.presence[lineAddr]; ok {
+		if p.h.sp != nil {
+			p.h.presMut(lineAddr)
+		}
 		m &^= 1 << uint(p.id)
 		if m == 0 {
 			delete(p.h.presence, lineAddr)
@@ -321,6 +353,19 @@ func (p *Port) invalidateRemote(lineAddr uint64) bool {
 	mask, ok := p.h.presence[lineAddr]
 	if !ok {
 		return false
+	}
+	if sp := p.h.sp; sp != nil && sp.replica {
+		// Prediction replica: remote ports hold stale copies, so decide
+		// from the presence directory alone (bit j set iff core j caches
+		// the line) and clear the remote bits. Any drift shows up as a
+		// replay mismatch at validation, never as a wrong result.
+		rem := mask &^ (1 << uint(p.id))
+		if rem == 0 {
+			return false
+		}
+		p.h.Stats.Invalidations++ // replica stats are never read
+		p.h.setPresence(lineAddr, mask&(1<<uint(p.id)))
+		return true
 	}
 	any := false
 	for i, q := range p.h.ports {

@@ -1,0 +1,319 @@
+// Speculative-kernel support: prediction replicas, touched-set tracking,
+// and a journaled replay mode.
+//
+// The speculative kernel (internal/sim/speculate.go) runs each core's epoch
+// against a *replica* of the hierarchy — a deep clone whose port predicts
+// completion times without touching shared state. Replicas are prediction-
+// only: correctness comes from replaying every access into the real
+// hierarchy at validation time, in canonical (cycle, core, program) order,
+// and comparing the predicted (done, level) pairs. A mismatch aborts the
+// epoch, so replica drift can cost throughput but never correctness.
+//
+// Three mechanisms live here:
+//
+//   - Touched-set tracking: every mutated cache set (and presence entry) is
+//     recorded so a replica can be resynchronized from the real hierarchy
+//     by copying only what changed since the last resync, instead of a full
+//     snapshot per epoch. LRU `use` values are copied verbatim and the
+//     array clocks follow a max() rule — only the relative use order within
+//     one set matters for victim selection, and both timelines are
+//     monotonic, so predictions match the real arrays exactly.
+//
+//   - Journaled replay: validation replays an epoch's accesses into the
+//     real hierarchy under an undo journal (set-level line pre-images,
+//     presence pre-images, and the scalar clocks/MSHR/prefetch state saved
+//     eagerly), so a mid-replay mismatch can restore the pre-epoch state
+//     bit-exactly before the barrier kernel re-executes the cycles.
+//
+//   - Replica coherence: a replica's invalidateRemote decides the
+//     write-ownership penalty from the presence directory alone and never
+//     touches remote ports' arrays (which are stale copies in a replica).
+//     The directory invariant (bit j set iff core j caches the line) makes
+//     this equivalent to the real scan; any drift surfaces as a replay
+//     mismatch, not a wrong result.
+//
+// None of this state is serialized: checkpoints and StateHash see only the
+// explicit cache.State fields.
+package cache
+
+// specState hangs off a Hierarchy when the speculative kernel is active
+// (or when the hierarchy IS a prediction replica).
+type specState struct {
+	replica   bool     // prediction replica: presence-directed coherence
+	presTouch []uint64 // presence keys mutated since last reset
+	jrn       *hjournal
+}
+
+// hjournal is the undo journal for a validation replay.
+type hjournal struct {
+	active   bool
+	arrays   []*array // l3 + every port's l1/l2, in fixed order
+	ticks    []uint64
+	dramFree uint64
+	stats    Stats
+	jsets    []jset
+	jlines   []line
+	jpres    []jpre
+	ports    []portSave
+}
+
+type jset struct {
+	a   *array
+	set int32
+	off int32
+}
+
+type jpre struct {
+	line uint64
+	mask uint32
+	had  bool
+}
+
+type portSave struct {
+	mshr    []uint64
+	streams [numStreams]stream
+	nextStr int
+}
+
+// markSlow records a set mutation: into the touched list (for resync) and,
+// during an active replay, a set pre-image into the journal. Called from
+// the inlined mark() guard only when tracking is enabled.
+func (a *array) markSlow(lineAddr uint64) {
+	s := int(lineAddr) & (a.sets - 1)
+	if a.stamp[s] != a.gen {
+		a.stamp[s] = a.gen
+		a.touched = append(a.touched, int32(s))
+	}
+	if j := a.jrn; j != nil && j.active {
+		if a.jstamp[s] != a.jgen {
+			a.jstamp[s] = a.jgen
+			off := len(j.jlines)
+			j.jlines = append(j.jlines, a.lines[s*a.ways:(s+1)*a.ways]...)
+			j.jsets = append(j.jsets, jset{a: a, set: int32(s), off: int32(off)})
+		}
+	}
+}
+
+// enableTrack allocates the tracking scratch for one array.
+func (a *array) enableTrack(j *hjournal) {
+	if a.stamp == nil {
+		a.stamp = make([]uint32, a.sets)
+		a.jstamp = make([]uint32, a.sets)
+		a.gen = 1
+		a.jgen = 1
+	}
+	a.jrn = j
+}
+
+// resetTrack forgets the touched list (stale stamps are invalidated by the
+// generation bump).
+func (a *array) resetTrack() {
+	a.gen++
+	a.touched = a.touched[:0]
+}
+
+// copyTouchedFrom copies every set touched on either side from src into a,
+// then resets a's tracking. The array clocks follow the max rule: copied
+// use values stay comparable within their set on both timelines.
+func (a *array) copyTouchedFrom(src *array) {
+	for _, s := range src.touched {
+		copy(a.lines[int(s)*a.ways:(int(s)+1)*a.ways], src.lines[int(s)*src.ways:(int(s)+1)*src.ways])
+	}
+	for _, s := range a.touched {
+		copy(a.lines[int(s)*a.ways:(int(s)+1)*a.ways], src.lines[int(s)*src.ways:(int(s)+1)*src.ways])
+	}
+	if src.tick > a.tick {
+		a.tick = src.tick
+	}
+	a.resetTrack()
+}
+
+// allArrays lists the hierarchy's arrays in a fixed order (l3, then each
+// port's l1 and l2).
+func (h *Hierarchy) allArrays() []*array {
+	out := make([]*array, 0, 1+2*len(h.ports))
+	out = append(out, h.l3)
+	for _, p := range h.ports {
+		out = append(out, p.l1, p.l2)
+	}
+	return out
+}
+
+// EnableSpec switches the hierarchy into speculative-kernel mode: set and
+// presence mutations are tracked for replica resync, and BeginJournal
+// becomes available. Idempotent.
+func (h *Hierarchy) EnableSpec() {
+	if h.sp != nil {
+		return
+	}
+	j := &hjournal{arrays: h.allArrays()}
+	j.ticks = make([]uint64, len(j.arrays))
+	j.ports = make([]portSave, len(h.ports))
+	h.sp = &specState{jrn: j}
+	for _, a := range j.arrays {
+		a.enableTrack(j)
+	}
+}
+
+// presMut records a presence-directory mutation (touch list + journal
+// pre-image). Called before the mutation.
+func (h *Hierarchy) presMut(lineAddr uint64) {
+	sp := h.sp
+	sp.presTouch = append(sp.presTouch, lineAddr)
+	if j := sp.jrn; j != nil && j.active {
+		m, ok := h.presence[lineAddr]
+		j.jpres = append(j.jpres, jpre{line: lineAddr, mask: m, had: ok})
+	}
+}
+
+// setPresence writes (or deletes) a presence entry through the mutation
+// hook; used by the replica coherence path.
+func (h *Hierarchy) setPresence(lineAddr uint64, mask uint32) {
+	h.presMut(lineAddr)
+	if mask == 0 {
+		delete(h.presence, lineAddr)
+	} else {
+		h.presence[lineAddr] = mask
+	}
+}
+
+// BeginJournal starts recording undo state for a validation replay.
+// Requires EnableSpec.
+func (h *Hierarchy) BeginJournal() {
+	j := h.sp.jrn
+	j.active = true
+	j.jsets = j.jsets[:0]
+	j.jlines = j.jlines[:0]
+	j.jpres = j.jpres[:0]
+	for i, a := range j.arrays {
+		j.ticks[i] = a.tick
+		a.jgen++
+	}
+	j.dramFree = h.dramFree
+	j.stats = h.Stats
+	for i, p := range h.ports {
+		ps := &j.ports[i]
+		ps.mshr = append(ps.mshr[:0], p.mshr...)
+		ps.streams = p.streams
+		ps.nextStr = p.nextStr
+	}
+}
+
+// EndJournal commits the replay: pre-images are discarded (the touched
+// lists persist for the next replica resync).
+func (h *Hierarchy) EndJournal() { h.sp.jrn.active = false }
+
+// AbortJournal undoes everything since BeginJournal, restoring the
+// hierarchy to its pre-replay state bit-exactly.
+func (h *Hierarchy) AbortJournal() {
+	j := h.sp.jrn
+	for i := len(j.jsets) - 1; i >= 0; i-- {
+		js := &j.jsets[i]
+		a := js.a
+		copy(a.lines[int(js.set)*a.ways:(int(js.set)+1)*a.ways], j.jlines[js.off:int(js.off)+a.ways])
+	}
+	for i := len(j.jpres) - 1; i >= 0; i-- {
+		jp := &j.jpres[i]
+		if jp.had {
+			h.presence[jp.line] = jp.mask
+		} else {
+			delete(h.presence, jp.line)
+		}
+	}
+	for i, a := range j.arrays {
+		a.tick = j.ticks[i]
+	}
+	h.dramFree = j.dramFree
+	h.Stats = j.stats
+	for i, p := range h.ports {
+		ps := &j.ports[i]
+		p.mshr = append(p.mshr[:0], ps.mshr...)
+		p.streams = ps.streams
+		p.nextStr = ps.nextStr
+	}
+	j.active = false
+}
+
+// Clone returns a prediction replica for core `owner`: a deep copy whose
+// port computes the same completion times as the real hierarchy as long as
+// the state they both consult stays in sync. Only the owner's port is ever
+// used; remote ports exist so ids and the presence directory line up.
+func (h *Hierarchy) Clone(owner int) *Hierarchy {
+	r := &Hierarchy{
+		cfg:       h.cfg,
+		lineShift: h.lineShift,
+		l3:        h.l3.clone(),
+		dramFree:  h.dramFree,
+		presence:  make(map[uint64]uint32, len(h.presence)),
+		Stats:     h.Stats,
+	}
+	for k, v := range h.presence {
+		r.presence[k] = v
+	}
+	for _, p := range h.ports {
+		rp := &Port{
+			h:       r,
+			id:      p.id,
+			l1:      p.l1.clone(),
+			l2:      p.l2.clone(),
+			mshr:    append([]uint64(nil), p.mshr...),
+			streams: p.streams,
+			nextStr: p.nextStr,
+		}
+		r.ports = append(r.ports, rp)
+	}
+	r.sp = &specState{replica: true}
+	own := r.ports[owner]
+	r.l3.enableTrack(nil)
+	own.l1.enableTrack(nil)
+	own.l2.enableTrack(nil)
+	return r
+}
+
+func (a *array) clone() *array {
+	c := &array{sets: a.sets, ways: a.ways, tick: a.tick}
+	c.lines = append([]line(nil), a.lines...)
+	return c
+}
+
+// ResyncReplica brings replica r (owned by core `owner`) back to the real
+// hierarchy's state by copying the union of both sides' touched sets, the
+// mutated presence entries, and the owner port's scalar state. The real
+// hierarchy's tracking is NOT reset here — every replica consumes it first;
+// the caller resets it once via ResetTouched.
+func (h *Hierarchy) ResyncReplica(r *Hierarchy, owner int) {
+	r.l3.copyTouchedFrom(h.l3)
+	hp, rp := h.ports[owner], r.ports[owner]
+	rp.l1.copyTouchedFrom(hp.l1)
+	rp.l2.copyTouchedFrom(hp.l2)
+	for _, k := range h.sp.presTouch {
+		if m, ok := h.presence[k]; ok {
+			r.presence[k] = m
+		} else {
+			delete(r.presence, k)
+		}
+	}
+	for _, k := range r.sp.presTouch {
+		if m, ok := h.presence[k]; ok {
+			r.presence[k] = m
+		} else {
+			delete(r.presence, k)
+		}
+	}
+	r.sp.presTouch = r.sp.presTouch[:0]
+	r.dramFree = h.dramFree
+	rp.mshr = append(rp.mshr[:0], hp.mshr...)
+	rp.streams = hp.streams
+	rp.nextStr = hp.nextStr
+}
+
+// ResetTouched forgets the real hierarchy's touched lists after all
+// replicas have resynced.
+func (h *Hierarchy) ResetTouched() {
+	h.l3.resetTrack()
+	for _, p := range h.ports {
+		p.l1.resetTrack()
+		p.l2.resetTrack()
+	}
+	h.sp.presTouch = h.sp.presTouch[:0]
+}

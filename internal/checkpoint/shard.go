@@ -1,0 +1,40 @@
+// Shard snapshots: the in-memory, allocation-light companion to the durable
+// pipette.snapshot/v1 container. The container (checkpoint.go) stays free of
+// simulator dependencies; this file is an optional layer on top that DOES
+// import internal/core, because its job is epoch rollback inside a running
+// simulation — the speculative kernel saves every core at epoch start and,
+// on a misspeculated epoch, restores them without ever serializing to a
+// byte stream. Nothing here touches the on-disk format.
+package checkpoint
+
+import "pipette/internal/core"
+
+// ShardSnapshots holds one reusable core.State per shard. Save refills the
+// retained buffers (core.SaveStateInto), so steady-state epochs allocate
+// nothing for snapshotting.
+type ShardSnapshots struct {
+	states []core.State
+}
+
+// NewShardSnapshots sizes the snapshot set for n cores.
+func NewShardSnapshots(n int) *ShardSnapshots {
+	return &ShardSnapshots{states: make([]core.State, n)}
+}
+
+// Save captures every core's dynamic state into the retained buffers.
+func (s *ShardSnapshots) Save(cores []*core.Core) error {
+	for i, c := range cores {
+		if err := c.SaveStateInto(&s.states[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Restore rolls core i back to its last saved state.
+func (s *ShardSnapshots) Restore(c *core.Core, i int) error {
+	return c.RestoreState(s.states[i])
+}
+
+// State exposes snapshot i (diagnostics and tests).
+func (s *ShardSnapshots) State(i int) *core.State { return &s.states[i] }

@@ -1,0 +1,184 @@
+// Speculative-epoch support: paired endpoint prediction.
+//
+// Connector traffic on the benchmark systems is dense (up to ~1 send/cycle
+// on the bottleneck hop), so the speculative kernel cannot wait for
+// connector-quiet epochs — it predicts *through* the traffic. Each cycle of
+// an epoch, a connector is stepped twice, once in each endpoint's shard:
+//
+//   - The producer shard (SpecSrcTick) uses the real source queue and core,
+//     plus a SrcView replica of the consumer queue's occupancy and skip
+//     state, and applies the producer-side effects of its predicted action
+//     for real (dequeue, commit, FreePhys).
+//   - The consumer shard (SpecDstTick) uses the real destination queue and
+//     core, plus a replica clone of the source queue, and applies the
+//     consumer-side effects for real (AllocPhys, enqueue, MarkReady).
+//
+// Both sides log their predicted action per cycle together with the true
+// half of the gating state they own. Validation reconciles the two logs:
+// an agreed action is provably the barrier kernel's action, because each
+// side vouches for the half of the gate it holds for real — the producer
+// for "head committed and dequeuable", the consumer for "slot and physical
+// register available" — and a both-idle outcome while the true gates would
+// forward is impossible (the producer would have classified it as a stall
+// or forward). Skip propagation is the one decision where *both* halves
+// are remote to someone, so validation recomputes its predicate from the
+// logged true halves instead of trusting either side's replica. The first
+// cycle where the logs disagree (or a side's applied skip decision differs
+// from the recomputed truth) is the epoch's divergence point.
+package connector
+
+import "pipette/internal/queue"
+
+// Spec action kinds (SpecAction.Kind).
+const (
+	SpecIdle      uint8 = iota // nothing to forward
+	SpecForward                // dequeued/enqueued one value
+	SpecStall                  // head ready but no receive slot (CreditStall)
+	SpecAllocFail              // consumer side: no physical register (always aborts)
+)
+
+// SpecAction is one endpoint's predicted connector behavior for one cycle.
+type SpecAction struct {
+	Kind      uint8
+	SkipProp  bool // this side applied a skip propagation
+	Ctrl      bool
+	SrcSkip   bool // producer side: real srcQ.SkipPending before the step
+	ScanOk    bool // producer side: real srcQ has a CV pending
+	DstSkip   bool // consumer side: real dstQ.SkipPending before the step
+	SrcCanDeq bool // producer side: real srcQ.CanDeq after the step (done scan)
+	Val       uint64
+}
+
+// SrcView is the producer shard's replica of the consumer queue: occupancy
+// for credit flow and the skip-pending flag. Synced at epoch start.
+type SrcView struct {
+	occ  int
+	cap  int
+	skip bool
+}
+
+// SpecSupported reports whether the speculative kernel can predict this
+// connector (single-value width, distinct endpoint cores).
+func (c *Connector) SpecSupported() bool { return c.width == 1 && c.src.ID() != c.dst.ID() }
+
+// SrcCore and DstCore return the endpoint core ids (shard assignment).
+func (c *Connector) SrcCore() int { return c.src.ID() }
+
+// DstCore returns the consumer core id.
+func (c *Connector) DstCore() int { return c.dst.ID() }
+
+// NewSrcQReplica builds an empty clone-target for the source queue.
+func (c *Connector) NewSrcQReplica() *queue.Queue {
+	return queue.NewQueue(c.srcQ.ID, c.srcQ.Cap)
+}
+
+// SyncSrcView primes the producer shard's consumer replica at epoch start.
+func (c *Connector) SyncSrcView(v *SrcView) {
+	v.occ = int(c.dstQ.SpecTail - c.dstQ.CommHead)
+	v.cap = c.dstQ.Cap
+	v.skip = c.dstQ.SkipPending
+}
+
+// SyncSrcReplica primes the consumer shard's source-queue replica.
+func (c *Connector) SyncSrcReplica(rq *queue.Queue) { c.srcQ.CopyInto(rq) }
+
+// SpecSrcTick steps the producer side for one epoch cycle: real source
+// queue and core, replica view of the consumer.
+func (c *Connector) SpecSrcTick(now uint64, v *SrcView, log *[]SpecAction) {
+	a := SpecAction{SrcSkip: c.srcQ.SkipPending}
+	if !a.SrcSkip {
+		_, _, a.ScanOk = c.srcQ.SkipScan()
+		if v.skip && !a.ScanOk {
+			c.srcQ.SkipPending = true
+			a.SkipProp = true
+		}
+	}
+	switch {
+	case !c.srcQ.CanDeq() || c.srcQ.Head().ReadyAt > now:
+		// Idle: nothing committed to forward.
+	case v.occ >= v.cap:
+		a.Kind = SpecStall
+	default:
+		e := *c.srcQ.Deq()
+		c.src.FreePhys(int32(c.srcQ.CommitDeq()))
+		v.occ++
+		a.Kind = SpecForward
+		a.Val, a.Ctrl = e.Val, e.Ctrl
+		if e.Ctrl {
+			v.skip = false // mirror the consumer Enq clearing SkipPending
+		}
+	}
+	a.SrcCanDeq = c.srcQ.CanDeq()
+	*log = append(*log, a)
+}
+
+// SpecDstTick steps the consumer side for one epoch cycle: real
+// destination queue and core, replica of the source queue.
+func (c *Connector) SpecDstTick(now uint64, rq *queue.Queue, log *[]SpecAction) {
+	a := SpecAction{DstSkip: c.dstQ.SkipPending}
+	if a.DstSkip && !rq.SkipPending {
+		if _, _, ok := rq.SkipScan(); !ok {
+			rq.SkipPending = true
+			a.SkipProp = true
+		}
+	}
+	switch {
+	case !rq.CanDeq() || rq.Head().ReadyAt > now:
+	case !c.dstQ.CanEnq():
+		a.Kind = SpecStall
+	default:
+		phys, ok := c.dst.AllocPhys()
+		if !ok {
+			a.Kind = SpecAllocFail
+			break
+		}
+		e := *rq.Deq()
+		rq.CommitDeq()
+		seq := c.dstQ.Enq(e.Val, e.Ctrl, int(phys))
+		c.dstQ.MarkReady(seq, now+c.latency)
+		a.Kind = SpecForward
+		a.Val, a.Ctrl = e.Val, e.Ctrl
+	}
+	*log = append(*log, a)
+}
+
+// SpecReconcile compares the paired logs for one cycle and reports whether
+// they describe the same (hence true) connector action. An agreed forward
+// or stall is the barrier kernel's behavior by the ownership argument in
+// the package comment; the skip decision is re-derived from the logged
+// true halves.
+func SpecReconcile(s, d *SpecAction) bool {
+	trueProp := d.DstSkip && !s.SrcSkip && !s.ScanOk
+	if s.SkipProp != trueProp || d.SkipProp != trueProp {
+		return false
+	}
+	if s.Kind != d.Kind {
+		return false
+	}
+	if s.Kind == SpecForward && (s.Val != d.Val || s.Ctrl != d.Ctrl) {
+		return false
+	}
+	return s.Kind != SpecAllocFail
+}
+
+// SpecCommit applies an epoch's agreed actions to the connector's
+// observable accounting: traffic stats and the activity watermark
+// consulted by NextEvent. start is the cycle before the epoch's first
+// offset.
+func (c *Connector) SpecCommit(start uint64, actions []SpecAction) {
+	for i := range actions {
+		a := &actions[i]
+		switch a.Kind {
+		case SpecForward:
+			c.Stats.Sent++
+			if a.Ctrl {
+				c.Stats.CVsSent++
+			}
+		case SpecStall:
+			c.Stats.CreditStall++
+		}
+		if a.Kind == SpecForward || a.SkipProp {
+			c.activeAt = start + uint64(i) + 1
+		}
+	}
+}

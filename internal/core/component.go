@@ -254,3 +254,13 @@ func (c *Core) idleBucket() *uint64 {
 // watchdog on restore). The hoisted watchdog uses it to recover the exact
 // progress cycle without scanning every cycle.
 func (c *Core) LastCommitAt() uint64 { return c.lastCommitAt }
+
+// ClampCommitScratch caps the commit-progress scratch at the core's current
+// cycle. A speculative-epoch rollback undoes commits the scratch already
+// recorded; leaving a future stamp would make the watchdog's progress cycle
+// run ahead of the clock.
+func (c *Core) ClampCommitScratch() {
+	if c.lastCommitAt > c.now {
+		c.lastCommitAt = c.now
+	}
+}

@@ -1,0 +1,175 @@
+// Speculative-epoch support: the per-cycle flush against a prediction
+// replica, and reusable-buffer state snapshots for epoch rollback.
+//
+// In the speculative kernel (internal/sim/speculate.go) a core runs a whole
+// epoch of cycles without touching shared state: functional memory goes
+// through its View in epoch mode, and the per-cycle operation log replays
+// against a *replica* cache port (FlushSpec) instead of the real one. Every
+// replica access is also logged with its predicted completion; validation
+// later replays the same sequence into the real hierarchy in canonical
+// order and compares — so a stale replica can only cost an epoch abort,
+// never a wrong result. Rollback restores the core from an epoch-start
+// snapshot taken with SaveStateInto, the buffer-reusing twin of SaveState.
+package core
+
+import (
+	"fmt"
+
+	"pipette/internal/cache"
+	"pipette/internal/mem"
+	"pipette/internal/queue"
+)
+
+// FastCheckpointableUnit is a CheckpointableUnit with an allocation-light
+// binary snapshot path. AppendUnitState appends the state to buf and
+// returns it; the bytes must be accepted by RestoreUnitState (units
+// distinguish the binary form from the JSON form by a leading magic byte
+// that can never start a JSON document).
+type FastCheckpointableUnit interface {
+	CheckpointableUnit
+	AppendUnitState(buf []byte) ([]byte, error)
+}
+
+// Spec access kinds (SpecAccess.Kind).
+const (
+	SpecLoad  uint8 = iota // patches doneAt/regReady: validation compares done+lvl
+	SpecStore              // completion unconsumed: replayed for state, not compared
+	SpecUnit               // patches an RA buffer: validation compares done
+)
+
+// SpecAccess is one deferred cache access performed against a prediction
+// replica during an epoch, logged for the validation replay.
+type SpecAccess struct {
+	Off  uint32 // 1-based cycle offset within the epoch
+	Kind uint8
+	Atom bool
+	Lvl  uint8
+	Addr uint64
+	Done uint64 // predicted completion, before AtomicExtraLat
+}
+
+// FlushSpec is FlushPending against a replica port: it replays the cycle's
+// operation log in intra-tick order, patching completion times with the
+// replica's predictions, appends every access to log, and drains the view's
+// write buffer into the epoch overlay (EndCycle) instead of shared memory.
+// Speculation runs only with no tracer attached, so the log can never hold
+// staged telemetry events.
+func (c *Core) FlushSpec(now uint64, port *cache.Port, off uint32, log *[]SpecAccess) {
+	for i := 0; i < len(c.pend); i++ {
+		op := &c.pend[i]
+		switch op.kind {
+		case pendLoad:
+			u := op.u
+			done, lvl := port.Access(now, op.addr, u.isAtom)
+			*log = append(*log, SpecAccess{Off: off, Kind: SpecLoad, Atom: u.isAtom, Lvl: uint8(lvl), Addr: op.addr, Done: done})
+			if u.isAtom {
+				done += c.cfg.AtomicExtraLat
+			}
+			u.doneAt = done
+			if u.dst >= 0 {
+				c.regReady[u.dst] = done
+			}
+			if c.prof != nil {
+				u.profLvl = uint8(lvl) + 1
+				c.prof.LoadIssued(int(lvl))
+			}
+		case pendStore:
+			done, lvl := port.Access(now, op.addr, true)
+			*log = append(*log, SpecAccess{Off: off, Kind: SpecStore, Atom: true, Lvl: uint8(lvl), Addr: op.addr, Done: done})
+		case pendUnit:
+			done, lvl := port.Access(now, op.addr, false)
+			*log = append(*log, SpecAccess{Off: off, Kind: SpecUnit, Lvl: uint8(lvl), Addr: op.addr, Done: done})
+			op.fix.PatchAccess(op.fixIdx, done)
+		}
+	}
+	c.pend = c.pend[:0]
+	c.view.EndCycle()
+}
+
+// ReplaySpec performs one logged access against the core's real port (the
+// validation replay). It returns the true completion and level; the caller
+// compares them against the prediction for consumed kinds.
+func (c *Core) ReplaySpec(now uint64, a *SpecAccess) (done uint64, lvl uint8) {
+	write := a.Kind == SpecStore || a.Atom
+	d, l := c.port.Access(now, a.Addr, write)
+	return d, uint8(l)
+}
+
+// View returns the core's memory view (nil until EnableDeferred). The
+// speculative kernel drives its epoch mode directly.
+func (c *Core) View() *mem.View { return c.view }
+
+// SaveStateInto is SaveState with buffer reuse: every slice in st is
+// truncated and refilled rather than reallocated, and units that implement
+// FastCheckpointableUnit append binary state into the retained per-unit
+// buffers. The speculative kernel snapshots every core once per epoch with
+// it; RestoreState accepts the result unchanged.
+func (c *Core) SaveStateInto(st *State) error {
+	st.ID = c.id
+	st.Now = c.now
+	st.SeqNo = c.seqNo
+	st.Freelist = append(st.Freelist[:0], c.freelist...)
+	st.RegReady = append(st.RegReady[:0], c.regReady...)
+	st.Bpred = append(st.Bpred[:0], c.bpred.table...)
+	perThread := append(st.Stats.PerThread[:0], c.stats.PerThread...)
+	st.Stats = c.stats
+	st.Stats.PerThread = perThread
+	st.Threads = st.Threads[:0]
+	for _, t := range c.threads {
+		ts := ThreadState{
+			Active: t.active, PC: t.pc, Regs: t.regs, RMap: t.rmap,
+			Halted: t.halted, Done: t.done,
+			Inflight: t.inflight, ROBUsed: t.robUsed, LQUsed: t.lqUsed, SQUsed: t.sqUsed,
+			BlockedUntil: t.blockedUntil, Stall: uint8(t.stall), Hist: t.hist,
+		}
+		if t.blockedOn != nil {
+			ts.BlockedOnSeq = t.blockedOn.seqNo
+		}
+		st.Threads = append(st.Threads, ts)
+	}
+	if cap(st.ROB) < len(c.rob) {
+		st.ROB = make([][]UopState, len(c.rob))
+	}
+	st.ROB = st.ROB[:len(c.rob)]
+	for tid, rob := range c.rob {
+		st.ROB[tid] = st.ROB[tid][:0]
+		for _, u := range rob {
+			st.ROB[tid] = append(st.ROB[tid], saveUop(u))
+		}
+	}
+	st.IQ = st.IQ[:0]
+	for _, u := range c.iq {
+		st.IQ = append(st.IQ, u.seqNo)
+	}
+	if cap(st.Queues) < len(c.qrm.Queues) {
+		st.Queues = make([]queue.State, len(c.qrm.Queues))
+	}
+	st.Queues = st.Queues[:len(c.qrm.Queues)]
+	for i, q := range c.qrm.Queues {
+		q.SaveStateInto(&st.Queues[i])
+	}
+	if cap(st.Units) < len(c.units) {
+		st.Units = make([][]byte, len(c.units))
+	}
+	st.Units = st.Units[:len(c.units)]
+	for i, unit := range c.units {
+		if fu, ok := unit.(FastCheckpointableUnit); ok {
+			b, err := fu.AppendUnitState(st.Units[i][:0])
+			if err != nil {
+				return err
+			}
+			st.Units[i] = b
+			continue
+		}
+		cu, ok := unit.(CheckpointableUnit)
+		if !ok {
+			return fmt.Errorf("core %d: unit %d (%T) is not checkpointable", c.id, i, unit)
+		}
+		b, err := cu.SaveUnitState()
+		if err != nil {
+			return fmt.Errorf("core %d: unit %d: %w", c.id, i, err)
+		}
+		st.Units[i] = b
+	}
+	return nil
+}

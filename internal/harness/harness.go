@@ -52,6 +52,14 @@ type Config struct {
 	// disk cache, keyed by the in-process memo.
 	NoPredecode bool
 
+	// Speculate enables the speculative epoch kernel (-speculate) and
+	// SpecEpoch bounds its epoch length (-epoch; 0 = sim.DefaultSpecEpoch).
+	// A fourth execution strategy (docs/SPECULATION.md): validation-by-
+	// replay makes results bit-identical with speculation on or off, so the
+	// sweep disk cache ignores both knobs; the in-process memo keys them.
+	Speculate bool
+	SpecEpoch uint64
+
 	// Model-parameter overrides, the calibration knobs internal/validate
 	// grid-searches (0 = keep the simulator default). They flow through
 	// simConfig into every system the harness builds and therefore into
@@ -193,6 +201,8 @@ func (cfg Config) newSystemFrom(sc sim.Config) *sim.System {
 	if cfg.SimWorkers > 1 {
 		s.SetWorkers(cfg.SimWorkers)
 	}
+	s.SetSpeculate(cfg.Speculate)
+	s.SetEpoch(cfg.SpecEpoch)
 	return s
 }
 

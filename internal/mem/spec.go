@@ -1,0 +1,284 @@
+// Epoch-mode views for speculative multi-cycle execution. In the
+// speculative kernel a core runs an entire epoch of cycles against the
+// frozen shared Memory image: its View accumulates writes in a word-granular
+// overlay that persists across the epoch's cycles (own writes stay visible
+// to later own cycles, exactly as the per-cycle flush would have made them),
+// while every operation is also logged with its cycle offset so the driver
+// can later replay the epoch into the real Memory in canonical
+// (cycle, core, program) order. Word-granular read/write sets with cycle
+// encodings let the driver detect cross-shard conflicts — including the
+// same-line/different-word false-sharing case, which is *not* a conflict —
+// and compute a conservative divergence cycle for rollback.
+package mem
+
+// EpochOp is one logged view operation, tagged with its 1-based cycle
+// offset within the epoch. Old holds the predicted fetched value for
+// atomics (filled in at EndCycle); the commit replay re-derives the true
+// old value from real memory and aborts the epoch on mismatch.
+type EpochOp struct {
+	Off  uint32
+	Op   AtomicOp
+	Size int32
+	Addr uint64
+	B    uint64
+	RC   uint64
+	Old  uint64
+}
+
+// AccessSets is a shard's epoch memory footprint at 8-byte word
+// granularity. Encodings fold the cycle offset and access kind into one
+// comparison: Reads[w] = 2*off (plain) or 2*off+1 (atomic fetch, which
+// observes same-cycle commits of lower-numbered cores), keeping the
+// maximum; Writes[w] = 2*off of the first write.
+type AccessSets struct {
+	Reads  map[uint64]uint32
+	Writes map[uint64]uint32
+}
+
+// epochState is the multi-cycle extension of a View, active only while the
+// speculative kernel runs an epoch. All maps and slices are reused across
+// epochs (clear-and-reuse) to stay inside the steady-state alloc budget.
+type epochState struct {
+	off     uint32
+	overlay map[uint64]uint64 // word addr -> committed overlay value
+	sets    AccessSets
+	log     []EpochOp
+}
+
+// BeginEpoch switches the view into epoch mode with empty overlay, sets,
+// and log. The view must have no pending per-cycle ops.
+func (v *View) BeginEpoch() {
+	if v.ep == nil {
+		v.ep = &epochState{
+			overlay: make(map[uint64]uint64, 256),
+			sets: AccessSets{
+				Reads:  make(map[uint64]uint32, 256),
+				Writes: make(map[uint64]uint32, 256),
+			},
+			log: make([]EpochOp, 0, 256),
+		}
+	}
+	ep := v.ep
+	ep.off = 0
+	clear(ep.overlay)
+	clear(ep.sets.Reads)
+	clear(ep.sets.Writes)
+	ep.log = ep.log[:0]
+	v.epoch = true
+}
+
+// EpochCycle sets the current 1-based cycle offset; reads recorded until
+// the next call are tagged with it.
+func (v *View) EpochCycle(off uint32) { v.ep.off = off }
+
+// EndEpoch leaves epoch mode (after the driver committed or aborted the
+// epoch). Buffers are kept for reuse.
+func (v *View) EndEpoch() {
+	v.epoch = false
+	v.ops = v.ops[:0]
+}
+
+// EpochSets returns the shard's accumulated access sets.
+func (v *View) EpochSets() *AccessSets { return &v.ep.sets }
+
+// EpochLog returns the shard's logged operations in program order.
+func (v *View) EpochLog() []EpochOp { return v.ep.log }
+
+// peekOv reads n bytes at addr from the frozen memory image patched with
+// the epoch overlay (the shard's own committed-cycle writes).
+func (v *View) peekOv(addr uint64, n int) uint64 {
+	val := v.m.Peek(addr, n)
+	for w := addr &^ 7; w < addr+uint64(n); w += 8 {
+		if ov, ok := v.ep.overlay[w]; ok {
+			val = overlay(val, addr, n, w, 8, ov)
+		}
+	}
+	return val
+}
+
+// ovWrite patches n bytes at addr into the epoch overlay.
+func (v *View) ovWrite(addr uint64, n int, val uint64) {
+	for w := addr &^ 7; w < addr+uint64(n); w += 8 {
+		cur, ok := v.ep.overlay[w]
+		if !ok {
+			cur = v.m.Peek(w, 8)
+		}
+		v.ep.overlay[w] = overlay(cur, w, 8, addr, n, val)
+	}
+}
+
+// recordRead folds a read of [addr, addr+n) at the current offset into the
+// read set. Atomic fetches encode off*2+1: they observe same-cycle commits
+// of lower-numbered cores, so they conflict with same-cycle remote writes.
+func (v *View) recordRead(addr uint64, n int, atomic bool) {
+	enc := v.ep.off * 2
+	if atomic {
+		enc++
+	}
+	for w := addr &^ 7; w < addr+uint64(n); w += 8 {
+		if e, ok := v.ep.sets.Reads[w]; !ok || enc > e {
+			v.ep.sets.Reads[w] = enc
+		}
+	}
+}
+
+// recordWrite folds a write of [addr, addr+n) into the write set, keeping
+// the first (lowest) cycle offset per word.
+func (v *View) recordWrite(addr uint64, n int) {
+	enc := v.ep.off * 2
+	for w := addr &^ 7; w < addr+uint64(n); w += 8 {
+		if _, ok := v.ep.sets.Writes[w]; !ok {
+			v.ep.sets.Writes[w] = enc
+		}
+	}
+}
+
+// EndCycle applies the current cycle's buffered ops to the epoch overlay in
+// program order — the epoch-mode analogue of Flush. Atomics read-modify-
+// write the overlay image, record their predicted old value in the log, and
+// deliver it to *result now (semantically the cycle boundary, exactly when
+// the per-cycle flush would have). Caller must have set EpochCycle(off).
+func (v *View) EndCycle() {
+	off := v.ep.off
+	for i := range v.ops {
+		o := &v.ops[i]
+		lg := EpochOp{Off: off, Op: o.op, Size: int32(o.size), Addr: o.addr, B: o.b, RC: o.rc}
+		if o.op == OpStore {
+			v.ovWrite(o.addr, o.size, o.b)
+			v.recordWrite(o.addr, o.size)
+		} else {
+			old := v.peekOv(o.addr, 8)
+			lg.Old = old
+			if o.result != nil {
+				*o.result = old
+			}
+			v.recordRead(o.addr, 8, true)
+			v.recordWrite(o.addr, 8)
+			switch o.op {
+			case OpCas:
+				if old == o.b {
+					v.ovWrite(o.addr, 8, o.rc)
+				}
+			case OpFetchAdd:
+				v.ovWrite(o.addr, 8, old+o.b)
+			case OpFetchMin:
+				if o.b < old {
+					v.ovWrite(o.addr, 8, o.b)
+				}
+			case OpFetchOr:
+				v.ovWrite(o.addr, 8, old|o.b)
+			}
+		}
+		v.ep.log = append(v.ep.log, lg)
+	}
+	v.ops = v.ops[:0]
+}
+
+// FirstConflict scans the shards' access sets pairwise and returns the
+// conservative divergence offset: the earliest cycle whose execution may
+// differ from the barrier kernel because one shard's read could have
+// observed another shard's buffered write. A plain read at off_r observes a
+// remote write at off_w only when off_r > off_w (cross-core visibility
+// lands on cycle boundaries), so the earliest possibly-stale read is
+// off_w+1; an atomic fetch additionally observes same-cycle commits, so a
+// same-cycle remote write diverges at off_w itself. Write-write overlap
+// alone is not a conflict — the commit replay applies ops in canonical
+// order. Returns (0, false) when the epoch is conflict-free.
+func FirstConflict(shards []*AccessSets) (uint32, bool) {
+	best := ^uint32(0)
+	for j, sj := range shards {
+		if len(sj.Writes) == 0 {
+			continue
+		}
+		for i, si := range shards {
+			if i == j || len(si.Reads) == 0 {
+				continue
+			}
+			for w, we := range sj.Writes {
+				re, ok := si.Reads[w]
+				if !ok || re <= we {
+					continue
+				}
+				fw := we / 2
+				d := fw + 1
+				if re&1 == 1 && re/2 == fw {
+					d = fw
+				}
+				if d < best {
+					best = d
+				}
+			}
+		}
+	}
+	if best == ^uint32(0) {
+		return 0, false
+	}
+	return best, true
+}
+
+// EpochApplier replays logged epoch ops into the real Memory under a
+// word-granular pre-image journal, so a mid-replay abort (an atomic whose
+// true old value differs from the shard's prediction) can be rolled back
+// exactly. Buffers are reused across epochs.
+type EpochApplier struct {
+	m   *Memory
+	old map[uint64]uint64
+}
+
+// NewEpochApplier returns an applier over m.
+func NewEpochApplier(m *Memory) *EpochApplier {
+	return &EpochApplier{m: m, old: make(map[uint64]uint64, 256)}
+}
+
+// Begin starts a fresh journaled replay.
+func (ap *EpochApplier) Begin() { clear(ap.old) }
+
+// save journals pre-images for the words covering [addr, addr+n).
+func (ap *EpochApplier) save(addr uint64, n int) {
+	for w := addr &^ 7; w < addr+uint64(n); w += 8 {
+		if _, ok := ap.old[w]; !ok {
+			ap.old[w] = ap.m.Peek(w, 8)
+		}
+	}
+}
+
+// Apply replays one logged op. For atomics the true old value is compared
+// against the shard's prediction; on mismatch nothing is applied and Apply
+// reports false — the caller must Rollback and abort the epoch. The
+// shard-side *result pointer is NOT rewritten: the predicted value was
+// delivered at the semantically correct cycle and verified equal here.
+func (ap *EpochApplier) Apply(op *EpochOp) bool {
+	if op.Op == OpStore {
+		ap.save(op.Addr, int(op.Size))
+		ap.m.Write(op.Addr, int(op.Size), op.B)
+		return true
+	}
+	old := ap.m.Read(op.Addr, 8)
+	if old != op.Old {
+		return false
+	}
+	ap.save(op.Addr, 8)
+	switch op.Op {
+	case OpCas:
+		if old == op.B {
+			ap.m.Write(op.Addr, 8, op.RC)
+		}
+	case OpFetchAdd:
+		ap.m.Write(op.Addr, 8, old+op.B)
+	case OpFetchMin:
+		if op.B < old {
+			ap.m.Write(op.Addr, 8, op.B)
+		}
+	case OpFetchOr:
+		ap.m.Write(op.Addr, 8, old|op.B)
+	}
+	return true
+}
+
+// Rollback restores every journaled word, undoing the replay.
+func (ap *EpochApplier) Rollback() {
+	for w, val := range ap.old {
+		ap.m.Write(w, 8, val)
+	}
+	clear(ap.old)
+}

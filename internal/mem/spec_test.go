@@ -1,0 +1,186 @@
+package mem
+
+import "testing"
+
+// sets builds an AccessSets literal from (word, enc) pairs.
+func sets(reads, writes map[uint64]uint32) *AccessSets {
+	if reads == nil {
+		reads = map[uint64]uint32{}
+	}
+	if writes == nil {
+		writes = map[uint64]uint32{}
+	}
+	return &AccessSets{Reads: reads, Writes: writes}
+}
+
+// TestFirstConflictTrueConflict: a plain read that lands after a remote
+// write to the same word diverges at the first cycle that could observe
+// the write (off_w+1); an atomic fetch also observes same-cycle writes.
+func TestFirstConflictTrueConflict(t *testing.T) {
+	// Shard 0 writes word 0x100 at offset 3; shard 1 plainly reads it at
+	// offset 5. Earliest stale read cycle is 4 (= 3+1).
+	a := sets(nil, map[uint64]uint32{0x100: 3 * 2})
+	b := sets(map[uint64]uint32{0x100: 5 * 2}, nil)
+	d, ok := FirstConflict([]*AccessSets{a, b})
+	if !ok || d != 4 {
+		t.Fatalf("plain read-after-write: got (%d,%v), want (4,true)", d, ok)
+	}
+
+	// Same shapes but the reader is an atomic fetch at the same offset as
+	// the write: atomics observe same-cycle remote commits, so the
+	// divergence is the write offset itself.
+	b = sets(map[uint64]uint32{0x100: 3*2 + 1}, nil)
+	d, ok = FirstConflict([]*AccessSets{a, b})
+	if !ok || d != 3 {
+		t.Fatalf("same-cycle atomic fetch: got (%d,%v), want (3,true)", d, ok)
+	}
+
+	// A plain read at exactly the write offset is NOT a conflict: per-cycle
+	// commits only become visible on the next cycle boundary.
+	b = sets(map[uint64]uint32{0x100: 3 * 2}, nil)
+	if d, ok := FirstConflict([]*AccessSets{a, b}); ok {
+		t.Fatalf("same-cycle plain read flagged as conflict at %d", d)
+	}
+}
+
+// TestFirstConflictFalseSharing: accesses to different words of the same
+// cache line never conflict — the detector is word-granular.
+func TestFirstConflictFalseSharing(t *testing.T) {
+	a := sets(nil, map[uint64]uint32{0x100: 1 * 2}) // writes word 0 of the line
+	b := sets(map[uint64]uint32{0x108: 9 * 2}, nil) // reads word 1 of the same line
+	if d, ok := FirstConflict([]*AccessSets{a, b}); ok {
+		t.Fatalf("false sharing flagged as conflict at %d", d)
+	}
+}
+
+// TestFirstConflictReadRead: overlapping reads (and write-write overlap
+// with no cross-shard read) are not conflicts; the commit replay orders
+// writes canonically.
+func TestFirstConflictReadRead(t *testing.T) {
+	a := sets(map[uint64]uint32{0x200: 2 * 2}, nil)
+	b := sets(map[uint64]uint32{0x200: 7 * 2}, nil)
+	if d, ok := FirstConflict([]*AccessSets{a, b}); ok {
+		t.Fatalf("read-read flagged as conflict at %d", d)
+	}
+	// Write-write only.
+	a = sets(nil, map[uint64]uint32{0x200: 2 * 2})
+	b = sets(nil, map[uint64]uint32{0x200: 7 * 2})
+	if d, ok := FirstConflict([]*AccessSets{a, b}); ok {
+		t.Fatalf("write-write flagged as conflict at %d", d)
+	}
+	// A shard never conflicts with itself: own writes are visible through
+	// the epoch overlay.
+	self := sets(map[uint64]uint32{0x300: 5 * 2}, map[uint64]uint32{0x300: 1 * 2})
+	if d, ok := FirstConflict([]*AccessSets{self}); ok {
+		t.Fatalf("self read-own-write flagged as conflict at %d", d)
+	}
+}
+
+// TestFirstConflictEarliest: with several conflicting words the detector
+// must return the minimum divergence offset across all pairs.
+func TestFirstConflictEarliest(t *testing.T) {
+	a := sets(
+		map[uint64]uint32{0x400: 9 * 2},
+		map[uint64]uint32{0x100: 6 * 2, 0x108: 2 * 2},
+	)
+	b := sets(
+		map[uint64]uint32{0x100: 8 * 2, 0x108: 7 * 2},
+		map[uint64]uint32{0x400: 4 * 2},
+	)
+	// Candidates: a writes 0x100@6, b reads @8 -> d=7; a writes 0x108@2,
+	// b reads @7 -> d=3; b writes 0x400@4, a reads @9 -> d=5. Min is 3.
+	d, ok := FirstConflict([]*AccessSets{a, b})
+	if !ok || d != 3 {
+		t.Fatalf("got (%d,%v), want (3,true)", d, ok)
+	}
+}
+
+// TestEpochSetReuse: BeginEpoch must fully clear the previous epoch's
+// overlay, sets and log — a stale entry would manufacture conflicts (or
+// mask reads) in the next epoch.
+func TestEpochSetReuse(t *testing.T) {
+	m := New()
+	addr := m.AllocWords(4)
+	m.Write64(addr, 11)
+	v := NewView(m)
+
+	v.BeginEpoch()
+	v.EpochCycle(1)
+	v.Write(addr, 8, 42)
+	var got uint64
+	v.Atomic(OpFetchAdd, addr+8, 5, 0, &got)
+	v.EndCycle()
+	v.EpochCycle(2)
+	if r := v.Read(addr, 8); r != 42 {
+		t.Fatalf("read-own-write through overlay: got %d, want 42", r)
+	}
+	v.EndCycle()
+	if len(v.EpochLog()) != 2 {
+		t.Fatalf("epoch log has %d ops, want 2", len(v.EpochLog()))
+	}
+	if len(v.EpochSets().Writes) != 2 || len(v.EpochSets().Reads) != 2 {
+		t.Fatalf("sets: %d writes, %d reads; want 2, 2",
+			len(v.EpochSets().Writes), len(v.EpochSets().Reads))
+	}
+	v.EndEpoch()
+	if m.Read64(addr) != 11 {
+		t.Fatalf("aborted epoch leaked into memory: %d", m.Read64(addr))
+	}
+
+	// Second epoch on the same view: everything starts empty, and the
+	// overlay no longer holds the aborted write.
+	v.BeginEpoch()
+	if len(v.EpochLog()) != 0 || len(v.EpochSets().Reads) != 0 || len(v.EpochSets().Writes) != 0 {
+		t.Fatal("BeginEpoch did not clear previous epoch state")
+	}
+	v.EpochCycle(1)
+	if r := v.Read(addr, 8); r != 11 {
+		t.Fatalf("stale overlay survived BeginEpoch: got %d, want 11", r)
+	}
+	v.EndCycle()
+	v.EndEpoch()
+}
+
+// TestEpochApplierRollback: a replay that trips an atomic old-value
+// mismatch must leave memory untouched after Rollback, and a clean replay
+// must land exactly the logged effects.
+func TestEpochApplierRollback(t *testing.T) {
+	m := New()
+	addr := m.AllocWords(2)
+	m.Write64(addr, 100)
+	m.Write64(addr+8, 200)
+	ap := NewEpochApplier(m)
+
+	// Clean replay: store + fetch-add with the correct predicted old value.
+	ap.Begin()
+	ops := []EpochOp{
+		{Off: 1, Op: OpStore, Size: 8, Addr: addr, B: 7},
+		{Off: 2, Op: OpFetchAdd, Addr: addr + 8, B: 3, Old: 200},
+	}
+	for i := range ops {
+		if !ap.Apply(&ops[i]) {
+			t.Fatalf("clean replay rejected op %d", i)
+		}
+	}
+	if m.Read64(addr) != 7 || m.Read64(addr+8) != 203 {
+		t.Fatalf("clean replay: got %d,%d want 7,203", m.Read64(addr), m.Read64(addr+8))
+	}
+
+	// Failing replay: the store lands, then the atomic's prediction (stale
+	// old value) misses; rollback must restore both words.
+	ap.Begin()
+	bad := []EpochOp{
+		{Off: 1, Op: OpStore, Size: 8, Addr: addr, B: 99},
+		{Off: 1, Op: OpFetchAdd, Addr: addr + 8, B: 1, Old: 200}, // true old is 203
+	}
+	if !ap.Apply(&bad[0]) {
+		t.Fatal("store rejected")
+	}
+	if ap.Apply(&bad[1]) {
+		t.Fatal("stale atomic prediction accepted")
+	}
+	ap.Rollback()
+	if m.Read64(addr) != 7 || m.Read64(addr+8) != 203 {
+		t.Fatalf("rollback: got %d,%d want 7,203", m.Read64(addr), m.Read64(addr+8))
+	}
+}

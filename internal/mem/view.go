@@ -30,10 +30,15 @@ type viewOp struct {
 	result *uint64 // receives the atomic's fetched (old) value at Flush
 }
 
-// View wraps a Memory with a cycle-scoped write buffer.
+// View wraps a Memory with a cycle-scoped write buffer. In epoch mode
+// (speculative kernel, see spec.go) the buffer drains into a multi-cycle
+// overlay at EndCycle instead of into Memory, and every access is recorded
+// for conflict detection and commit replay.
 type View struct {
-	m   *Memory
-	ops []viewOp
+	m     *Memory
+	ops   []viewOp
+	epoch bool
+	ep    *epochState
 }
 
 // NewView returns an empty view over m.
@@ -52,7 +57,13 @@ func (v *View) Pending() int { return len(v.ops) }
 // every thread of the core regardless of rename order after the atomic
 // (the issuing thread is fenced for the rest of the cycle anyway).
 func (v *View) Read(addr uint64, n int) uint64 {
-	val := v.m.Peek(addr, n)
+	var val uint64
+	if v.epoch {
+		val = v.peekOv(addr, n)
+		v.recordRead(addr, n, false)
+	} else {
+		val = v.m.Peek(addr, n)
+	}
 	for i := range v.ops {
 		o := &v.ops[i]
 		if o.op == OpStore {

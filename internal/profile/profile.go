@@ -224,6 +224,61 @@ func (p *CoreProf) RAOcc(n int, d uint64) {
 	}
 }
 
+// CopyInto deep-copies the profiler state into dst, reusing dst's backing
+// slices. The speculative kernel snapshots each core's profiler at epoch
+// start and restores it on rollback (profiling is deterministic guest
+// state, so a rolled-back epoch must also roll its slot account back).
+func (p *CoreProf) CopyInto(dst *CoreProf) {
+	dst.width = p.width
+	dst.Cycles = p.Cycles
+	dst.Slots = p.Slots
+	dst.thread = append(dst.thread[:0], p.thread...)
+	if cap(dst.queues) < len(p.queues) {
+		grown := make([]queueProf, len(p.queues))
+		for i := range dst.queues {
+			grown[i].counts = dst.queues[i].counts
+		}
+		dst.queues = grown
+	}
+	dst.queues = dst.queues[:len(p.queues)]
+	for i := range p.queues {
+		dst.queues[i].counts = append(dst.queues[i].counts[:0], p.queues[i].counts...)
+		dst.queues[i].highWater = p.queues[i].highWater
+	}
+	dst.out = p.out
+	dst.RAOccSum = p.RAOccSum
+	dst.RAPeak = p.RAPeak
+}
+
+// SpecStats is the speculative kernel's deterministic epoch accounting: a
+// pure function of simulated state (never of host timing), so it is safe
+// to surface in reports. Cycle conservation is the auditable invariant:
+// CommittedCycles + RerunCycles + BarrierCycles + FFCycles must equal
+// every cycle the run advanced while speculation was active.
+type SpecStats struct {
+	Epochs          uint64 `json:"epochs"`
+	Commits         uint64 `json:"commits"`
+	Aborts          uint64 `json:"aborts"`
+	CommittedCycles uint64 `json:"committed_cycles"`
+	AbortedCycles   uint64 `json:"aborted_cycles"` // speculated then discarded (not advanced)
+	RerunCycles     uint64 `json:"rerun_cycles"`   // re-executed by the barrier kernel after aborts
+	BarrierCycles   uint64 `json:"barrier_cycles"` // barrier-stepped outside reruns (cooldown, capped epochs)
+	FFCycles        uint64 `json:"ff_cycles"`      // fast-forwarded between epochs
+	TotalCycles     uint64 `json:"total_cycles"`   // every cycle advanced while speculating
+}
+
+// Conserved checks the cycle-conservation invariant.
+func (s SpecStats) Conserved() error {
+	if sum := s.CommittedCycles + s.RerunCycles + s.BarrierCycles + s.FFCycles; sum != s.TotalCycles {
+		return fmt.Errorf("profile: speculation cycles %d (committed) + %d (rerun) + %d (barrier) + %d (ff) = %d, want total %d",
+			s.CommittedCycles, s.RerunCycles, s.BarrierCycles, s.FFCycles, sum, s.TotalCycles)
+	}
+	if s.Commits+s.Aborts != s.Epochs {
+		return fmt.Errorf("profile: speculation commits %d + aborts %d != epochs %d", s.Commits, s.Aborts, s.Epochs)
+	}
+	return nil
+}
+
 // QueueSnapshot is one queue's occupancy histogram at snapshot time.
 type QueueSnapshot struct {
 	Queue     int      `json:"queue"`
@@ -322,6 +377,13 @@ type KernelProf struct {
 	// within them. wait(w) = PoolNS - WorkerBusyNS[w].
 	PoolNS       uint64
 	WorkerBusyNS []uint64
+
+	// Speculative-kernel wall timing (zero unless -speculate): epoch
+	// produce (all shards, wall not CPU) and the sequential validate +
+	// commit pipeline. The deterministic epoch counters live in SpecStats,
+	// maintained by the simulator, and are snapshotted alongside.
+	SpecProduceNS  uint64
+	SpecValidateNS uint64
 }
 
 // NewKernelProf builds an empty kernel profiler.
@@ -370,20 +432,25 @@ type KernelSnapshot struct {
 	PoolNS        uint64   `json:"pool_ns,omitempty"`
 	WorkerBusyNS  []uint64 `json:"worker_busy_ns,omitempty"`
 	BarrierWaitNS []uint64 `json:"barrier_wait_ns,omitempty"`
+
+	SpecProduceNS  uint64 `json:"spec_produce_ns,omitempty"`
+	SpecValidateNS uint64 `json:"spec_validate_ns,omitempty"`
 }
 
 // Snapshot copies the kernel profile, deriving per-worker barrier wait.
 func (k *KernelProf) Snapshot() KernelSnapshot {
 	s := KernelSnapshot{
-		Workers:      k.Workers,
-		TickedCycles: k.TickedCycles,
-		FFCycles:     k.FFCycles,
-		FFJumps:      k.FFJumps,
-		ProduceNS:    k.ProduceNS,
-		CommitNS:     k.CommitNS,
-		FFNS:         k.FFNS,
-		PoolNS:       k.PoolNS,
-		WorkerBusyNS: append([]uint64(nil), k.WorkerBusyNS...),
+		Workers:        k.Workers,
+		TickedCycles:   k.TickedCycles,
+		FFCycles:       k.FFCycles,
+		FFJumps:        k.FFJumps,
+		ProduceNS:      k.ProduceNS,
+		CommitNS:       k.CommitNS,
+		FFNS:           k.FFNS,
+		PoolNS:         k.PoolNS,
+		WorkerBusyNS:   append([]uint64(nil), k.WorkerBusyNS...),
+		SpecProduceNS:  k.SpecProduceNS,
+		SpecValidateNS: k.SpecValidateNS,
 	}
 	for _, b := range k.WorkerBusyNS {
 		wait := uint64(0)
@@ -416,4 +483,5 @@ type Snapshot struct {
 	Cores      []CoreSnapshot  `json:"cores,omitempty"`
 	Kernel     *KernelSnapshot `json:"kernel,omitempty"`
 	Connectors []ConnSnapshot  `json:"connectors,omitempty"`
+	Spec       *SpecStats      `json:"speculation,omitempty"`
 }

@@ -67,6 +67,33 @@ func (q *Queue) RestoreState(st State) error {
 	return nil
 }
 
+// SaveStateInto is SaveState with buffer reuse: the Live slice backing
+// array is retained across calls. Used by the speculative kernel's
+// per-epoch shard snapshots, which save every queue once per epoch.
+func (q *Queue) SaveStateInto(st *State) {
+	st.ID, st.Cap = q.ID, q.Cap
+	st.SpecHead, st.SpecTail, st.CommHead = q.SpecHead, q.SpecTail, q.CommHead
+	st.SkipPending = q.SkipPending
+	st.Live = st.Live[:0]
+	for s := q.CommHead; s < q.SpecTail; s++ {
+		st.Live = append(st.Live, *q.at(s))
+	}
+}
+
+// CopyInto overwrites dst — a queue built with the same capacity — with a
+// behavioral replica of q: ring contents, pointers, and skip state. The
+// speculative kernel clones connector-remote queues this way at epoch
+// start. dst's tracer attachment is left alone (replicas trace nothing).
+func (q *Queue) CopyInto(dst *Queue) {
+	if dst.Cap != q.Cap {
+		panic(fmt.Sprintf("queue %d: CopyInto replica with cap %d != %d", q.ID, dst.Cap, q.Cap))
+	}
+	dst.ID = q.ID
+	copy(dst.ring, q.ring)
+	dst.SpecHead, dst.SpecTail, dst.CommHead = q.SpecHead, q.SpecTail, q.CommHead
+	dst.SkipPending = q.SkipPending
+}
+
 // EntryAt returns the ring entry holding sequence number seq, which must be
 // live (its slot not yet recycled). Restore paths use it to re-link in-flight
 // µops to the queue entries they bound.

@@ -1,6 +1,14 @@
 package ra
 
-import "encoding/json"
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"pipette/internal/core"
+)
+
+var _ core.FastCheckpointableUnit = (*RA)(nil)
 
 // unitState is the RA's dynamic state, serialized opaquely through
 // core.CheckpointableUnit. Configuration (mode, queues, base address) is
@@ -29,8 +37,111 @@ func (r *RA) SaveUnitState() ([]byte, error) {
 	})
 }
 
-// RestoreUnitState implements core.CheckpointableUnit.
+// binMagic starts the binary snapshot form. It can never begin a JSON
+// document, so RestoreUnitState distinguishes the two encodings by the
+// first byte.
+const binMagic = 0xFA
+
+// AppendUnitState implements core.FastCheckpointableUnit: an
+// allocation-light binary encoding used by per-epoch shard snapshots in
+// the speculative kernel (the JSON form stays the durable checkpoint
+// encoding, so committed snapshot hashes are unaffected).
+func (r *RA) AppendUnitState(buf []byte) ([]byte, error) {
+	buf = append(buf, binMagic)
+	var u64 [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		buf = append(buf, u64[:]...)
+	}
+	putBool := func(v bool) {
+		if v {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	put(uint64(len(r.outstanding)))
+	for _, t := range r.outstanding {
+		put(t)
+	}
+	putBool(r.havePending)
+	put(r.pendingVal)
+	putBool(r.scanActive)
+	put(r.scanCur)
+	put(r.scanEnd)
+	put(r.Stats.Loads)
+	put(r.Stats.CVForwarded)
+	put(r.Stats.InputsTaken)
+	return buf, nil
+}
+
+func (r *RA) restoreBinary(b []byte) error {
+	b = b[1:] // magic
+	get := func() (uint64, error) {
+		if len(b) < 8 {
+			return 0, fmt.Errorf("ra: truncated binary snapshot")
+		}
+		v := binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		return v, nil
+	}
+	getBool := func() (bool, error) {
+		if len(b) < 1 {
+			return false, fmt.Errorf("ra: truncated binary snapshot")
+		}
+		v := b[0] != 0
+		b = b[1:]
+		return v, nil
+	}
+	n, err := get()
+	if err != nil {
+		return err
+	}
+	if uint64(len(b)) < n*8 {
+		return fmt.Errorf("ra: truncated binary snapshot")
+	}
+	r.outstanding = r.outstanding[:0]
+	r.minOut = ^uint64(0)
+	for i := uint64(0); i < n; i++ {
+		t, _ := get()
+		r.outstanding = append(r.outstanding, t)
+		if t < r.minOut {
+			r.minOut = t
+		}
+	}
+	if r.havePending, err = getBool(); err != nil {
+		return err
+	}
+	if r.pendingVal, err = get(); err != nil {
+		return err
+	}
+	if r.scanActive, err = getBool(); err != nil {
+		return err
+	}
+	if r.scanCur, err = get(); err != nil {
+		return err
+	}
+	if r.scanEnd, err = get(); err != nil {
+		return err
+	}
+	if r.Stats.Loads, err = get(); err != nil {
+		return err
+	}
+	if r.Stats.CVForwarded, err = get(); err != nil {
+		return err
+	}
+	if r.Stats.InputsTaken, err = get(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RestoreUnitState implements core.CheckpointableUnit. It accepts both the
+// JSON checkpoint form and the binary epoch-snapshot form.
 func (r *RA) RestoreUnitState(b []byte) error {
+	if len(b) > 0 && b[0] == binMagic {
+		return r.restoreBinary(b)
+	}
 	var st unitState
 	if err := json.Unmarshal(b, &st); err != nil {
 		return err

@@ -9,15 +9,21 @@
 // or on a worker pool; SetWorkers only chooses the execution strategy.
 //
 // tickPool is that worker pool: persistent goroutines (the driver doubles
-// as worker 0) under a per-phase spin barrier built on atomics — channel
-// handoffs cost microseconds, which at ~1 µs per simulated cycle would eat
-// the entire speedup. Cores are dealt round-robin to workers; each phase is
-// either a produce tick or a per-shard NextEvent min-reduce (the
-// fast-forward probe), so the quiescence scan parallelizes too.
+// as worker 0) under a per-phase barrier that spins briefly and then parks
+// — pure channel handoffs cost microseconds, which at ~1 µs per simulated
+// cycle would eat the entire speedup, but pure spinning burns whole host
+// cores through long sequential phases (commit, fast-forward, epoch
+// validation). After spinLimit spins a worker publishes itself in a parked
+// bitmask and blocks on its wake channel; the driver claims the mask at
+// each release and hands every claimed worker a token. The driver parks
+// symmetrically while waiting for phase completion (dpark/dwake, signaled
+// by the last finisher). Cores are dealt round-robin to workers; a phase is
+// a produce tick, a per-shard NextEvent min-reduce (the fast-forward
+// probe), or a speculative-epoch shard run (speculate.go).
 package sim
 
 import (
-	"runtime"
+	"math/bits"
 	"sync/atomic"
 	"time"
 
@@ -25,14 +31,16 @@ import (
 )
 
 const (
-	opTick uint32 = iota // produce phase: tick my cores at p.now
-	opNext               // min-reduce NextEvent(p.now) over my cores
-	opQuit               // exit the worker goroutine
+	opTick  uint32 = iota // produce phase: tick my cores at p.now
+	opNext                // min-reduce NextEvent(p.now) over my cores
+	opEpoch               // run p.efn over my share of p.n items
+	opQuit                // exit the worker goroutine
 )
 
-// spinLimit bounds busy-waiting before yielding the OS thread; on hosts
-// with fewer cores than workers the barrier degrades to cooperative
-// scheduling instead of burning the quantum.
+// spinLimit bounds busy-waiting before parking on a channel; the common
+// barrier handoff stays in the spin window while long sequential phases
+// (commit, validation, fast-forward) and oversubscribed hosts fall back to
+// blocking instead of burning the scheduler quantum.
 const spinLimit = 128
 
 // padU64 keeps per-worker result slots on separate cache lines.
@@ -45,15 +53,31 @@ type tickPool struct {
 	cores []*core.Core
 	nw    int // total workers, driver included
 
-	// op and now are written by the driver before the epoch release and read
-	// by workers after observing it; the epoch/left atomics carry the
-	// happens-before edges in both directions.
+	// op, now, efn and n are written by the driver before the epoch release
+	// and read by workers after observing it; the epoch/left atomics (and
+	// the park-path channel handoffs) carry the happens-before edges in
+	// both directions.
 	op   uint32
 	now  uint64
-	mins []padU64 // per-worker opNext results
+	efn  func(i int) // opEpoch callback, applied per dealt item index
+	n    int         // opEpoch item count
+	mins []padU64    // per-worker opNext results
 
 	epoch atomic.Uint32 // incremented by the driver to release a phase
 	left  atomic.Int32  // workers yet to finish the current phase
+
+	// Parking: a worker that exhausts its release spin publishes its bit in
+	// parked and blocks on wake[w]; the driver claims the whole mask at each
+	// release and tokens every claimed worker. The driver parks on dwake
+	// (guarded by dpark) while waiting for phase completion; the last
+	// finisher tokens it. Tokens can go stale when a park loses the race
+	// with its wakeup condition — both wait loops re-check their condition
+	// after every token, so a stale token costs one spurious wakeup, never
+	// a lost one.
+	parked atomic.Uint64
+	wake   []chan struct{}
+	dpark  atomic.Uint32
+	dwake  chan struct{}
 
 	// Kernel-profiling instrumentation (EnableKernelProf): per-worker busy
 	// nanoseconds inside phases and the driver's wall time across them. The
@@ -66,31 +90,112 @@ type tickPool struct {
 }
 
 // newTickPool starts nw-1 worker goroutines over the given cores. nw is
-// clamped to the core count; a pool is only worth building for nw >= 2.
-// profiled enables per-worker busy timing (kernel profiling).
+// clamped to the core count (and to 64, the parked-bitmask width); a pool
+// is only worth building for nw >= 2. profiled enables per-worker busy
+// timing (kernel profiling).
 func newTickPool(cores []*core.Core, nw int, profiled bool) *tickPool {
 	if nw > len(cores) {
 		nw = len(cores)
 	}
+	if nw > 64 {
+		nw = 64
+	}
 	p := &tickPool{cores: cores, nw: nw, mins: make([]padU64, nw),
-		profiled: profiled, busy: make([]padU64, nw)}
+		profiled: profiled, busy: make([]padU64, nw),
+		wake: make([]chan struct{}, nw), dwake: make(chan struct{}, 1)}
 	for w := 1; w < nw; w++ {
+		p.wake[w] = make(chan struct{}, 1)
 		go p.worker(w)
 	}
 	return p
 }
 
+// awaitRelease blocks worker w until the driver releases epoch seen+1:
+// spin briefly, then park. Parking publishes the worker's bit in the mask
+// and re-checks the epoch — if the release raced in between, the worker
+// either reclaims its bit (CAS wins) or, when the driver already claimed
+// it, consumes the token the driver is committed to sending.
+func (p *tickPool) awaitRelease(w int, seen uint32) {
+	bit := uint64(1) << uint(w)
+	for spins := 0; ; spins++ {
+		if p.epoch.Load() != seen {
+			return
+		}
+		if spins < spinLimit {
+			continue
+		}
+		for {
+			m := p.parked.Load()
+			if p.parked.CompareAndSwap(m, m|bit) {
+				break
+			}
+		}
+		if p.epoch.Load() != seen {
+			for {
+				m := p.parked.Load()
+				if m&bit == 0 {
+					<-p.wake[w] // driver claimed us; its token is in flight
+					return
+				}
+				if p.parked.CompareAndSwap(m, m&^bit) {
+					return
+				}
+			}
+		}
+		<-p.wake[w]
+		return
+	}
+}
+
+// release opens the next phase: bump the epoch for the spinners and token
+// every parked worker.
+func (p *tickPool) release() {
+	p.epoch.Add(1)
+	if m := p.parked.Swap(0); m != 0 {
+		for m != 0 {
+			w := bits.TrailingZeros64(m)
+			m &^= 1 << uint(w)
+			p.wake[w] <- struct{}{}
+		}
+	}
+}
+
+// finish is a worker's phase completion: the last finisher wakes a parked
+// driver. The dpark read is ordered after the decrement (both seq-cst), so
+// a driver that observed left > 0 after setting dpark is always tokened.
+func (p *tickPool) finish() {
+	if p.left.Add(-1) == 0 && p.dpark.Load() == 1 {
+		select {
+		case p.dwake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// awaitDone blocks the driver until every worker finished the phase: spin
+// briefly, then park on dwake. The loop re-checks left after every token,
+// so a stale token from a lost park race only costs a spurious wakeup.
+func (p *tickPool) awaitDone() {
+	for spins := 0; p.left.Load() > 0; spins++ {
+		if spins < spinLimit {
+			continue
+		}
+		p.dpark.Store(1)
+		for p.left.Load() > 0 {
+			<-p.dwake
+		}
+		p.dpark.Store(0)
+		return
+	}
+}
+
 func (p *tickPool) worker(w int) {
 	seen := uint32(0)
 	for {
-		for spins := 0; p.epoch.Load() == seen; spins++ {
-			if spins >= spinLimit {
-				runtime.Gosched()
-			}
-		}
+		p.awaitRelease(w, seen)
 		seen++
 		if p.op == opQuit {
-			p.left.Add(-1)
+			p.finish()
 			return
 		}
 		if p.profiled {
@@ -100,7 +205,7 @@ func (p *tickPool) worker(w int) {
 		} else {
 			p.do(w)
 		}
-		p.left.Add(-1)
+		p.finish()
 	}
 }
 
@@ -110,6 +215,10 @@ func (p *tickPool) do(w int) {
 	case opTick:
 		for i := w; i < len(p.cores); i += p.nw {
 			p.cores[i].Tick(p.now)
+		}
+	case opEpoch:
+		for i := w; i < p.n; i += p.nw {
+			p.efn(i)
 		}
 	case opNext:
 		min := uint64(NoEvent)
@@ -134,16 +243,12 @@ func (p *tickPool) phase(op uint32, now uint64) {
 	if p.profiled {
 		t0 = time.Now()
 	}
-	p.epoch.Add(1)
+	p.release()
 	p.do(0)
 	if p.profiled {
 		p.busy[0].v += uint64(time.Since(t0))
 	}
-	for spins := 0; p.left.Load() > 0; spins++ {
-		if spins >= spinLimit {
-			runtime.Gosched()
-		}
-	}
+	p.awaitDone()
 	if p.profiled {
 		p.wallNS += uint64(time.Since(t0))
 	}
@@ -151,6 +256,14 @@ func (p *tickPool) phase(op uint32, now uint64) {
 
 // tick runs the produce phase of cycle now across all cores.
 func (p *tickPool) tick(now uint64) { p.phase(opTick, now) }
+
+// runEpochs runs fn over item indices [0, n) dealt round-robin across the
+// workers — the speculative kernel's parallel shard-epoch phase.
+func (p *tickPool) runEpochs(n int, fn func(i int)) {
+	p.efn, p.n = fn, n
+	p.phase(opEpoch, 0)
+	p.efn = nil
+}
 
 // nextEvent min-reduces NextEvent(now) across all cores.
 func (p *tickPool) nextEvent(now uint64) uint64 {
@@ -179,12 +292,8 @@ func (p *tickPool) busyNS() []uint64 {
 func (p *tickPool) shutdown() {
 	p.op = opQuit
 	p.left.Store(int32(p.nw - 1))
-	p.epoch.Add(1)
-	for spins := 0; p.left.Load() > 0; spins++ {
-		if spins >= spinLimit {
-			runtime.Gosched()
-		}
-	}
+	p.release()
+	p.awaitDone()
 }
 
 // SetWorkers sets how many host goroutines tick simulated cores during the

@@ -92,6 +92,15 @@ type System struct {
 	// differs.
 	noFastForward bool
 
+	// Speculative epoch kernel (SetSpeculate/SetEpoch): like fast-forward
+	// and the worker count, an execution strategy — results are
+	// bit-identical with it on or off. spec holds the lazily built kernel,
+	// specStats the deterministic epoch accounting (see speculate.go).
+	speculate bool
+	specEpoch uint64
+	spec      *specKernel
+	specStats profile.SpecStats
+
 	// Watchdog scratch (not serialized; re-primed on restore/reset).
 	lastCommit   uint64
 	lastProgress uint64
@@ -184,6 +193,10 @@ func (s *System) ProfSnapshot(label string) profile.Snapshot {
 	if s.kprof != nil {
 		ks := s.kprof.Snapshot()
 		snap.Kernel = &ks
+	}
+	if s.speculate && s.specStats.TotalCycles > 0 {
+		st := s.specStats
+		snap.Spec = &st
 	}
 	return snap
 }
@@ -587,9 +600,22 @@ func (s *System) RunUntil(until uint64) (Result, error) {
 	if s.sampler != nil {
 		sampleEvery = s.sampler.Interval
 	}
+	// The speculative epoch kernel engages only where it is provably
+	// equivalent: multi-core (the deferred split is on), no tracer (epochs
+	// cannot stage per-cycle event streams), every connector in the
+	// supported shape, every unit checkpointable. Anything else silently
+	// falls back to the per-cycle barrier kernel.
+	var sk *specKernel
+	if s.speculate && s.multi && s.tracer == nil {
+		sk = s.specKernelFor()
+	}
 	nextCheck := s.now // prime bookkeeping on the first stepped cycle
 	for !s.done() && (until == 0 || s.now < until) {
-		if s.multi {
+		if sk != nil {
+			if err := s.specAdvance(sk, pool, until, watchdog, sampleEvery); err != nil {
+				return s.result(), err
+			}
+		} else if s.multi {
 			s.stepDeferred(pool, sampleEvery)
 		} else {
 			s.step(sampleEvery)
@@ -612,12 +638,17 @@ func (s *System) RunUntil(until uint64) (Result, error) {
 				bound = until
 			}
 			if s.now < bound {
+				from := s.now
 				if s.kprof != nil {
-					t0, from := time.Now(), s.now
+					t0 := time.Now()
 					s.fastForward(pool, bound, sampleEvery)
 					s.kprof.FF(time.Since(t0), s.now-from)
 				} else {
 					s.fastForward(pool, bound, sampleEvery)
+				}
+				if sk != nil {
+					s.specStats.FFCycles += s.now - from
+					s.specStats.TotalCycles += s.now - from
 				}
 			}
 			if s.now >= nextCheck {

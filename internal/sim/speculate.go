@@ -1,0 +1,481 @@
+// The speculative epoch kernel: breaking the sequential-commit wall.
+//
+// The deferred produce/commit split (parallel.go) synchronizes every cycle —
+// each simulated cycle costs one barrier plus the sequential commit scan,
+// which caps parallel speedup long before core count does. Speculation
+// amortizes that synchronization over whole epochs: each core's shard runs
+// up to N cycles entirely privately, predicting the shared machine with
+// per-shard replicas, and the shards synchronize once per epoch in a
+// validate-and-commit pipeline.
+//
+// Per epoch:
+//
+//  1. Snapshot: every core saves its dynamic state (checkpoint.ShardSnapshots
+//     over buffer-reusing SaveStateInto) and its profiler, so a misspeculated
+//     epoch can be rolled back wholesale.
+//  2. Resync: each shard's cache-hierarchy replica is repaired from the real
+//     hierarchy's touched-set delta (cache.ResyncReplica), and each connector
+//     endpoint's remote-queue replica is re-primed.
+//  3. Produce: shards run E cycles against frozen shared state — functional
+//     memory through the view's epoch overlay (multi-cycle read-own-writes
+//     with word-granular access-set tracking), cache timing against the
+//     replica hierarchy with every access logged (core.FlushSpec), and each
+//     connector stepped on BOTH endpoint shards against replicas of the
+//     remote half (connector.SpecSrcTick/SpecDstTick).
+//  4. Validate: the driver reconciles the paired connector logs
+//     (connector.SpecReconcile), scans for an in-epoch completion point,
+//     checks cross-shard memory conflicts (mem.FirstConflict), then replays
+//     every logged cache access into the real hierarchy in canonical
+//     (cycle, core, log-order) order under an undo journal, comparing
+//     predicted completions, and finally applies the functional-memory epoch
+//     logs (mem.EpochApplier) comparing predicted atomic old-values.
+//  5. Commit or abort: a clean epoch commits wholesale — the real hierarchy
+//     already holds the replayed truth, connectors fold their agreed traffic
+//     in (SpecCommit), and the clock jumps to epoch end. Any divergence at
+//     offset D aborts the whole epoch: journals unwind, cores and profilers
+//     restore, and the barrier kernel re-executes cycles start+1..start+D —
+//     so every abort still makes ≥1 cycle of true progress.
+//
+// Replicas predict, they never decide: validation replays against the real
+// structures, so a stale replica can only cost an epoch abort, never a wrong
+// result. That is what makes speculative runs bit-identical to barrier runs
+// at every worker count and epoch length (the equivalence matrix in
+// internal/bench enforces this). Epoch length adapts online: halve on abort
+// (with a barrier-step cooldown at the floor), double after a streak of
+// clean commits, and every epoch is capped at the run bound, the next
+// error-deadline cycle and the next sampling boundary so watchdog, MaxCycles
+// and telemetry semantics stay exact. See docs/SPECULATION.md.
+package sim
+
+import (
+	"time"
+
+	"pipette/internal/cache"
+	"pipette/internal/checkpoint"
+	"pipette/internal/connector"
+	"pipette/internal/core"
+	"pipette/internal/mem"
+	"pipette/internal/profile"
+	"pipette/internal/queue"
+)
+
+// DefaultSpecEpoch is the default maximum epoch length (-epoch).
+const DefaultSpecEpoch = 64
+
+// specMinEpoch is the adaptive floor: below this the per-epoch overhead
+// (snapshot + resync + replay) exceeds the saved barriers, so the
+// controller barrier-steps through a cooldown instead of speculating.
+const specMinEpoch = 8
+
+// specGrowStreak is how many consecutive clean commits double the epoch.
+const specGrowStreak = 4
+
+// specRole is one connector endpoint owned by a shard: the producer side
+// carries a SrcView replica of the consumer queue, the consumer side a full
+// replica of the source queue. Each side logs one SpecAction per cycle.
+type specRole struct {
+	cn  *connector.Connector
+	src bool
+	v   connector.SrcView
+	rq  *queue.Queue
+	log []connector.SpecAction
+}
+
+// specShard is one core's private epoch context.
+type specShard struct {
+	c     *core.Core
+	hier  *cache.Hierarchy // prediction replica of the real hierarchy
+	port  *cache.Port      // this core's port on the replica
+	roles []*specRole      // connector endpoints, in registry order
+	acc   []core.SpecAccess
+	done  []bool // per-offset: core reported Done after that cycle
+	cur   int    // replay cursor into acc
+	mcur  int    // apply cursor into the view's epoch log
+}
+
+// specPair joins the two endpoint logs of one connector for reconciliation.
+type specPair struct {
+	cn   *connector.Connector
+	s, d *specRole
+}
+
+// specKernel is the per-system speculative state, built lazily on the first
+// speculative RunUntil segment and reused across segments.
+type specKernel struct {
+	shards   []*specShard
+	pairs    []specPair
+	snaps    *checkpoint.ShardSnapshots
+	profSnap []*profile.CoreProf
+	applier  *mem.EpochApplier
+	sets     []*mem.AccessSets
+
+	epochLen uint64
+	maxEpoch uint64
+	minEpoch uint64
+	streak   int
+	cooldown uint64 // barrier cycles left before re-attempting speculation
+}
+
+// SetSpeculate enables or disables the speculative epoch kernel (the
+// -speculate flag). Like fast-forward and worker count it is an execution
+// strategy, not a configuration: results, state hashes and telemetry are
+// bit-identical either way. It engages only on multi-core systems with no
+// tracer attached and with every connector supported; otherwise the run
+// silently falls back to the per-cycle barrier kernel.
+func (s *System) SetSpeculate(enabled bool) { s.speculate = enabled }
+
+// SetEpoch sets the maximum speculative epoch length in cycles (0 selects
+// DefaultSpecEpoch). The controller adapts below it online.
+func (s *System) SetEpoch(n uint64) { s.specEpoch = n }
+
+// SpecStats returns the deterministic epoch accounting accumulated so far.
+// Deliberately not part of Result: speculation never changes results, so
+// cached sweep cells stay byte-identical whether it was on or off.
+func (s *System) SpecStats() profile.SpecStats { return s.specStats }
+
+// specKernelFor returns the (lazily built) speculative kernel, or nil when
+// this system cannot speculate: a connector outside the supported shape, a
+// unit without checkpoint support, or tracing attached. Callers gate on
+// s.speculate && s.multi && s.tracer == nil first.
+func (s *System) specKernelFor() *specKernel {
+	for _, cn := range s.conns {
+		if !cn.SpecSupported() {
+			return nil
+		}
+	}
+	if s.spec != nil && len(s.spec.shards) == len(s.Cores) && len(s.spec.pairs) == len(s.conns) {
+		return s.spec
+	}
+	sk := &specKernel{snaps: checkpoint.NewShardSnapshots(len(s.Cores))}
+	if err := sk.snaps.Save(s.Cores); err != nil {
+		return nil // a unit is not checkpointable; speculation cannot roll back
+	}
+	s.Hier.EnableSpec()
+	for _, c := range s.Cores {
+		h := s.Hier.Clone(c.ID())
+		sk.shards = append(sk.shards, &specShard{c: c, hier: h, port: h.Port(c.ID())})
+	}
+	for _, cn := range s.conns {
+		sr := &specRole{cn: cn, src: true}
+		dr := &specRole{cn: cn, rq: cn.NewSrcQReplica()}
+		sk.shards[cn.SrcCore()].roles = append(sk.shards[cn.SrcCore()].roles, sr)
+		sk.shards[cn.DstCore()].roles = append(sk.shards[cn.DstCore()].roles, dr)
+		sk.pairs = append(sk.pairs, specPair{cn: cn, s: sr, d: dr})
+	}
+	sk.applier = mem.NewEpochApplier(s.Mem)
+	sk.maxEpoch = s.specEpoch
+	if sk.maxEpoch == 0 {
+		sk.maxEpoch = DefaultSpecEpoch
+	}
+	sk.minEpoch = specMinEpoch
+	if sk.maxEpoch < sk.minEpoch {
+		sk.minEpoch = sk.maxEpoch
+	}
+	sk.epochLen = sk.maxEpoch
+	s.spec = sk
+	return sk
+}
+
+// specAdvance advances the run by one unit of speculative execution: a full
+// epoch when one fits, a single barrier cycle otherwise (cooldown, or the
+// capped window is below the adaptive floor). Epochs never cross `until`,
+// the error deadline, or a sampling boundary, so error and telemetry
+// semantics match the per-cycle kernel exactly.
+func (s *System) specAdvance(sk *specKernel, p *tickPool, until, watchdog, sampleEvery uint64) error {
+	start := s.now
+	end := start + sk.epochLen
+	if bound := s.errDeadline(watchdog); end > bound {
+		end = bound
+	}
+	if until != 0 && end > until {
+		end = until
+	}
+	if sampleEvery != 0 {
+		if nb := start - start%sampleEvery + sampleEvery; end > nb {
+			end = nb
+		}
+	}
+	if sk.cooldown > 0 || end-start < sk.minEpoch {
+		if sk.cooldown > 0 {
+			sk.cooldown--
+		}
+		s.stepDeferred(p, sampleEvery)
+		s.specStats.BarrierCycles++
+		s.specStats.TotalCycles++
+		return nil
+	}
+	return s.runEpoch(sk, p, start, end, sampleEvery)
+}
+
+// runTo produces one shard's epoch: E private cycles against the replicas,
+// logging every cross-shard interaction for validation.
+func (sh *specShard) runTo(start uint64, E int) {
+	v := sh.c.View()
+	v.BeginEpoch()
+	sh.acc = sh.acc[:0]
+	sh.done = sh.done[:0]
+	for _, r := range sh.roles {
+		r.log = r.log[:0]
+	}
+	for off := 1; off <= E; off++ {
+		now := start + uint64(off)
+		v.EpochCycle(uint32(off))
+		sh.c.Tick(now)
+		sh.c.FlushSpec(now, sh.port, uint32(off), &sh.acc)
+		for _, r := range sh.roles {
+			if r.src {
+				r.cn.SpecSrcTick(now, &r.v, &r.log)
+			} else {
+				r.cn.SpecDstTick(now, r.rq, &r.log)
+			}
+		}
+		sh.done = append(sh.done, sh.c.Done())
+	}
+}
+
+// runEpoch executes one speculative epoch (start, end] and either commits
+// it wholesale or aborts and barrier-reruns through the divergence point.
+func (s *System) runEpoch(sk *specKernel, p *tickPool, start, end, sampleEvery uint64) error {
+	E := int(end - start)
+	var t0 time.Time
+	if s.kprof != nil {
+		t0 = time.Now()
+	}
+
+	// Snapshot for rollback: core state and (when profiling) the
+	// deterministic profiler counters the epoch will advance.
+	if err := sk.snaps.Save(s.Cores); err != nil {
+		return err
+	}
+	if s.profs != nil {
+		for len(sk.profSnap) < len(s.profs) {
+			sk.profSnap = append(sk.profSnap, &profile.CoreProf{})
+		}
+		for i, pr := range s.profs {
+			pr.CopyInto(sk.profSnap[i])
+		}
+	}
+
+	// Resync every replica from the real structures' drift since the last
+	// epoch, then reset the real hierarchy's touched tracking so the next
+	// resync sees only the coming epoch's (and any interleaved barrier
+	// cycles') mutations.
+	for _, sh := range sk.shards {
+		s.Hier.ResyncReplica(sh.hier, sh.c.ID())
+		for _, r := range sh.roles {
+			if r.src {
+				r.cn.SyncSrcView(&r.v)
+			} else {
+				r.cn.SyncSrcReplica(r.rq)
+			}
+		}
+	}
+	s.Hier.ResetTouched()
+
+	// Produce: all shards run their epoch privately (in parallel on the
+	// pool when one is attached).
+	if p != nil {
+		p.runEpochs(len(sk.shards), func(i int) { sk.shards[i].runTo(start, E) })
+	} else {
+		for _, sh := range sk.shards {
+			sh.runTo(start, E)
+		}
+	}
+	if s.kprof != nil {
+		s.kprof.SpecProduceNS += uint64(time.Since(t0))
+		t0 = time.Now()
+	}
+
+	// Validation, cheapest detector first. D is the first divergent offset
+	// (E+1 = clean); any D <= E aborts the whole epoch.
+	D := E + 1
+
+	// Connector reconciliation: the paired logs must agree cycle by cycle.
+	for i := range sk.pairs {
+		pr := &sk.pairs[i]
+		for off := 0; off < E && off < D-1; off++ {
+			if !connector.SpecReconcile(&pr.s.log[off], &pr.d.log[off]) {
+				D = off + 1
+				break
+			}
+		}
+	}
+
+	// Completion scan: if the whole system goes done strictly inside the
+	// epoch, the cycles past that point must not commit (the barrier kernel
+	// would have stopped). Treated as a divergence at the done offset; the
+	// rerun stops exactly there via its own done checks.
+	for off := 1; off < E && off < D; off++ {
+		all := true
+		for _, sh := range sk.shards {
+			if !sh.done[off-1] {
+				all = false
+				break
+			}
+		}
+		if all {
+			for i := range sk.pairs {
+				if sk.pairs[i].s.log[off-1].SrcCanDeq {
+					all = false
+					break
+				}
+			}
+		}
+		if all {
+			D = off
+			break
+		}
+	}
+
+	// Cross-shard memory conflicts: a shard read a word another shard wrote
+	// this epoch, at an offset where the barrier kernel would have made the
+	// write visible.
+	sk.sets = sk.sets[:0]
+	for _, sh := range sk.shards {
+		sk.sets = append(sk.sets, sh.c.View().EpochSets())
+	}
+	if d, ok := mem.FirstConflict(sk.sets); ok && int(d) < D {
+		D = int(d)
+	}
+
+	if D <= E {
+		if s.kprof != nil {
+			s.kprof.SpecValidateNS += uint64(time.Since(t0))
+		}
+		return s.specAbort(sk, p, E, D, sampleEvery)
+	}
+
+	// Timing replay: every logged cache access re-executes against the real
+	// hierarchy in canonical (cycle, core, log-order) order under an undo
+	// journal; a consumed completion or level that differs from the
+	// prediction is a divergence at that offset.
+	s.Hier.BeginJournal()
+	for _, sh := range sk.shards {
+		sh.cur = 0
+	}
+	fail := 0
+replay:
+	for off := 1; off <= E; off++ {
+		now := start + uint64(off)
+		for _, sh := range sk.shards {
+			for sh.cur < len(sh.acc) && sh.acc[sh.cur].Off == uint32(off) {
+				a := &sh.acc[sh.cur]
+				sh.cur++
+				done, lvl := sh.c.ReplaySpec(now, a)
+				if a.Kind != core.SpecStore && (done != a.Done || lvl != a.Lvl) {
+					fail = off
+					break replay
+				}
+			}
+		}
+	}
+	if fail != 0 {
+		s.Hier.AbortJournal()
+		if s.kprof != nil {
+			s.kprof.SpecValidateNS += uint64(time.Since(t0))
+		}
+		return s.specAbort(sk, p, E, fail, sampleEvery)
+	}
+
+	// Functional-memory apply: the epochs' write logs merge into shared
+	// memory in canonical order; a predicted atomic old-value that differs
+	// from the true one is a divergence (the shard's RMW computed on it).
+	sk.applier.Begin()
+	for _, sh := range sk.shards {
+		sh.mcur = 0
+	}
+apply:
+	for off := 1; off <= E; off++ {
+		for _, sh := range sk.shards {
+			lg := sh.c.View().EpochLog()
+			for sh.mcur < len(lg) && lg[sh.mcur].Off == uint32(off) {
+				op := &lg[sh.mcur]
+				sh.mcur++
+				if !sk.applier.Apply(op) {
+					fail = off
+					break apply
+				}
+			}
+		}
+	}
+	if fail != 0 {
+		sk.applier.Rollback()
+		s.Hier.AbortJournal()
+		if s.kprof != nil {
+			s.kprof.SpecValidateNS += uint64(time.Since(t0))
+		}
+		return s.specAbort(sk, p, E, fail, sampleEvery)
+	}
+
+	// Commit: the real hierarchy and memory already hold the epoch's truth;
+	// fold in the connectors' agreed traffic and jump the clock.
+	s.Hier.EndJournal()
+	for i := range sk.pairs {
+		sk.pairs[i].cn.SpecCommit(start, sk.pairs[i].s.log)
+	}
+	for _, sh := range sk.shards {
+		sh.c.View().EndEpoch()
+	}
+	s.now = end
+	s.specStats.Epochs++
+	s.specStats.Commits++
+	s.specStats.CommittedCycles += uint64(E)
+	s.specStats.TotalCycles += uint64(E)
+	if s.kprof != nil {
+		s.kprof.SpecValidateNS += uint64(time.Since(t0))
+	}
+	if sampleEvery != 0 && s.now%sampleEvery == 0 {
+		s.sample(s.now)
+	}
+	sk.streak++
+	if sk.streak >= specGrowStreak && sk.epochLen < sk.maxEpoch {
+		sk.streak = 0
+		if sk.epochLen *= 2; sk.epochLen > sk.maxEpoch {
+			sk.epochLen = sk.maxEpoch
+		}
+	}
+	return nil
+}
+
+// specAbort rolls a misspeculated epoch back — cores, profilers and views
+// to epoch start (shared memory and the real hierarchy were never touched,
+// or were unwound by the callers' journals) — then barrier-reruns through
+// the divergence offset so the abort still makes true progress.
+func (s *System) specAbort(sk *specKernel, p *tickPool, E, D int, sampleEvery uint64) error {
+	for _, sh := range sk.shards {
+		sh.c.View().EndEpoch()
+	}
+	for i, c := range s.Cores {
+		if err := sk.snaps.Restore(c, i); err != nil {
+			return err
+		}
+		// The watchdog's commit-cycle scratch is not part of the restored
+		// state; commits inside the discarded epoch would leave it ahead of
+		// the rolled-back clock.
+		c.ClampCommitScratch()
+	}
+	if s.profs != nil {
+		// After RestoreState: it resets the profiler's outstanding-load
+		// bookkeeping, which the snapshot overwrite must win over.
+		for i, pr := range s.profs {
+			sk.profSnap[i].CopyInto(pr)
+		}
+	}
+	s.specStats.Epochs++
+	s.specStats.Aborts++
+	s.specStats.AbortedCycles += uint64(E)
+	for i := 0; i < D && !s.done(); i++ {
+		s.stepDeferred(p, sampleEvery)
+		s.specStats.RerunCycles++
+		s.specStats.TotalCycles++
+	}
+	sk.streak = 0
+	if sk.epochLen > sk.minEpoch {
+		if sk.epochLen /= 2; sk.epochLen < sk.minEpoch {
+			sk.epochLen = sk.minEpoch
+		}
+	} else {
+		sk.cooldown = 4 * sk.minEpoch
+	}
+	return nil
+}

@@ -107,6 +107,38 @@ type TelemetryReport struct {
 	StallHist      []ThreadStallHist `json:"stall_hist,omitempty"`
 }
 
+// SpecReport is the speculative-epoch accounting section (-speculate runs
+// only): how the run's cycles were produced. It mirrors profile.SpecStats;
+// the validator enforces the same conservation invariants, so a report
+// whose epochs leaked or double-counted cycles is rejected.
+type SpecReport struct {
+	Epochs          uint64 `json:"epochs"`
+	Commits         uint64 `json:"commits"`
+	Aborts          uint64 `json:"aborts"`
+	CommittedCycles uint64 `json:"committed_cycles"`
+	AbortedCycles   uint64 `json:"aborted_cycles"`
+	RerunCycles     uint64 `json:"rerun_cycles"`
+	BarrierCycles   uint64 `json:"barrier_cycles"`
+	FFCycles        uint64 `json:"ff_cycles"`
+	TotalCycles     uint64 `json:"total_cycles"`
+}
+
+// validate checks the speculation section's conservation invariants.
+func (s *SpecReport) validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.Commits+s.Aborts != s.Epochs {
+		return fmt.Errorf("speculation: commits %d + aborts %d != epochs %d",
+			s.Commits, s.Aborts, s.Epochs)
+	}
+	if got := s.CommittedCycles + s.RerunCycles + s.BarrierCycles + s.FFCycles; got != s.TotalCycles {
+		return fmt.Errorf("speculation: committed %d + rerun %d + barrier %d + ff %d = %d cycles, want total %d",
+			s.CommittedCycles, s.RerunCycles, s.BarrierCycles, s.FFCycles, got, s.TotalCycles)
+	}
+	return nil
+}
+
 // Report is the canonical run report.
 type Report struct {
 	Schema    string           `json:"schema"`
@@ -127,6 +159,11 @@ type Report struct {
 	// Cycle-accounting sections (schema v2, profiling runs only).
 	CPIStacks []CPIStackReport  `json:"cpi_stacks,omitempty"`
 	QueueHist []QueueHistReport `json:"queue_hist,omitempty"`
+
+	// Speculative-epoch accounting (schema v2, -speculate runs only).
+	// Speculation never changes simulated results — this records how the
+	// run executed, like WallSeconds, not what it computed.
+	Speculation *SpecReport `json:"speculation,omitempty"`
 
 	// Sweep-execution provenance: how long the cell's simulation took and
 	// whether it was replayed from the sweep result cache. Neither field
@@ -266,7 +303,7 @@ func (r Report) validate() error {
 	switch r.Schema {
 	case ReportSchema:
 	case ReportSchemaV1:
-		if len(r.CPIStacks) > 0 || len(r.QueueHist) > 0 {
+		if len(r.CPIStacks) > 0 || len(r.QueueHist) > 0 || r.Speculation != nil {
 			return fmt.Errorf("schema %q carries v2 cycle-accounting sections (need %q)",
 				r.Schema, ReportSchema)
 		}
@@ -347,6 +384,9 @@ func (r Report) validate() error {
 			return fmt.Errorf("queue_hist[%d] (core %d q%d): high_water %d, counts imply %d",
 				i, qh.Core, qh.Queue, qh.HighWater, hw)
 		}
+	}
+	if err := r.Speculation.validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -46,8 +46,10 @@ fi
 fail=0
 bench_check_thresholds "$tmp" "$base" || fail=1
 
-# Kernel throughput: ticked ns/cycle ceilings and fast-forward speedup
-# floors on the bfs/prd rows (see cmd/pipette-kernelbench).
+# Kernel throughput: ticked ns/cycle ceilings and contrast speedup floors
+# on the bfs/prd rows of every regime — fast-forward, parallel, decoded
+# and speculative (see cmd/pipette-kernelbench; the parallel and
+# speculative floors are host-gated and skip themselves on small runners).
 if ! go run ./cmd/pipette-kernelbench -apps bfs,prd -check "$kernelbase"; then
 	fail=1
 fi

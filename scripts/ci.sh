@@ -12,8 +12,8 @@
 # by CI's validate job). Individual stages run via:
 #
 #	scripts/ci.sh lint | smoke | sweep-smoke | diverge-smoke | profile-smoke |
-#	               serve-smoke | experiments-check | correlation |
-#	               benchguard-test | bench
+#	               speculate-smoke | serve-smoke | experiments-check |
+#	               correlation | benchguard-test | bench
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -177,6 +177,39 @@ profile_smoke() {
 	}
 	kill "$simpid" 2>/dev/null || true
 	echo "profile smoke OK"
+}
+
+# Speculative-kernel smoke (docs/SPECULATION.md): a -speculate -epoch 64
+# run of a 4-core streaming workload must (a) report simulated numbers
+# identical to the barrier run, (b) carry a speculation section that
+# passes pipette-validate's conservation checks, and (c) actually commit
+# epochs — a silently-fallen-back run would satisfy (a) and (b) vacuously.
+speculate_smoke() {
+	echo "== speculate smoke: epoch kernel CLI =="
+	tools
+	"$bin/pipette-sim" -app bfs -variant streaming -input Rd -json \
+		>"$out/barrier.json" 2>/dev/null
+	"$bin/pipette-sim" -app bfs -variant streaming -input Rd -json \
+		-speculate -epoch 64 >"$out/speculate.json" 2>/dev/null
+	"$bin/pipette-validate" "$out/speculate.json"
+	grep -q '"speculation"' "$out/speculate.json" || {
+		echo "speculate smoke: report lacks the speculation section" >&2
+		exit 1
+	}
+	grep -q '"commits": 0,' "$out/speculate.json" && {
+		echo "speculate smoke: speculative run never committed an epoch" >&2
+		grep -A10 '"speculation"' "$out/speculate.json" >&2
+		exit 1
+	}
+	for field in '"cycles"' '"committed"' '"ipc"'; do
+		b=$(grep -m1 "$field" "$out/barrier.json")
+		s=$(grep -m1 "$field" "$out/speculate.json")
+		[ "$b" = "$s" ] || {
+			echo "speculate smoke: $field differs: barrier $b vs speculate $s" >&2
+			exit 1
+		}
+	done
+	echo "speculate smoke OK"
 }
 
 # Simulation-service smoke (docs/SERVER.md): bring up pipette-server,
@@ -371,6 +404,10 @@ profile-smoke)
 	profile_smoke
 	exit 0
 	;;
+speculate-smoke)
+	speculate_smoke
+	exit 0
+	;;
 serve-smoke)
 	serve_smoke
 	exit 0
@@ -406,6 +443,7 @@ smoke
 sweep_smoke
 diverge_smoke
 profile_smoke
+speculate_smoke
 serve_smoke
 ./scripts/benchguard_test.sh
 experiments_check
